@@ -1,0 +1,23 @@
+# Convenience targets for the VIF reproduction.
+
+.PHONY: install test bench bench-full experiments examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	VIF_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.cli run all
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+all: install test bench experiments

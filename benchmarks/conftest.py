@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints the paper-style table it regenerates (so the bench
+run doubles as the experiment log recorded in EXPERIMENTS.md) and uses
+``benchmark.pedantic`` with small round counts for the heavyweight
+experiments.
+
+Environment knob: set ``VIF_BENCH_FULL=1`` to run the full-scale paper
+workloads (Fig 9 up to 150 K rules, Fig 11 with 1,000 victims, ...).  The
+default sizes keep the whole suite to a few minutes while preserving every
+trend.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("VIF_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return "full" if full_scale() else "scaled"
+
+
+def emit(text: str) -> None:
+    """Print a result table with spacing that survives pytest's capture."""
+    print()
+    print(text)

@@ -1,0 +1,31 @@
+"""Section VI-D: the deployment cost ballpark.
+
+Paper: 500 Gb/s of verifiable filtering from 50 commodity SGX servers at
+~US$2,000 each -> ~US$100K one-time, one or two racks, amortizable over
+hundreds of member ASes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.deploy import CapacityPlanner, deployment_cost
+from repro.util.tables import format_table
+
+
+def test_vi_d_cost_analysis(benchmark):
+    report = benchmark(deployment_cost)
+    plan = CapacityPlanner(headroom=0.0).plan(500.0, total_rules=150_000)
+
+    emit(
+        format_table(
+            ["metric", "value"],
+            report.as_rows() + [["racks", plan.num_racks],
+                                ["attestation setup (s)", round(plan.setup_attestation_s, 1)]],
+            title="VI-D — 500 Gb/s deployment cost",
+        )
+    )
+    assert report.num_servers == 50
+    assert report.total_capex_usd == pytest.approx(100_000.0)
+    assert plan.num_racks <= 2
+    # 150 K rules also fit this fleet (50 enclaves x ~3 K rules).
+    assert plan.num_enclaves == 50

@@ -1,0 +1,65 @@
+"""Ablation (paper §VIII-A context): VIF at IXPs vs SENSS-style filtering
+at major transit ISPs.
+
+SENSS shows a handful of major ISPs can stop large attacks; VIF argues IXPs
+are the *deployable* place (single facility, SDN fabric, hundreds of
+members) with comparable reach.  This bench puts both on the same synthetic
+Internet: coverage from the 5 largest IXPs (one per region) vs the N
+largest transit ISPs by customer cone.
+"""
+
+from benchmarks.conftest import emit
+from repro.interdomain import (
+    dns_resolver_population,
+    generate_internet,
+    ixp_coverage,
+)
+from repro.interdomain.baselines import (
+    isp_deployment_coverage,
+    top_transit_ases,
+)
+from repro.interdomain.simulation import choose_victims
+from repro.util.tables import format_table
+
+
+def test_ixp_vs_transit_isp_deployment(benchmark):
+    graph, ixps = generate_internet()
+    victims = choose_victims(graph, 40)
+    sources = dns_resolver_population(graph)
+
+    def run():
+        vif = ixp_coverage(graph, ixps, victims, sources, top_levels=(1, 5))
+        top_isps = top_transit_ases(graph, 10)
+        isp = isp_deployment_coverage(
+            graph, top_isps, victims, sources, cumulative_levels=(1, 3, 5, 10)
+        )
+        return vif, isp
+
+    vif, isp = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, summary in [
+        ("VIF @ top-1 IXP/region (5 sites)", vif.summary(1)),
+        ("VIF @ top-5 IXPs/region (25 sites)", vif.summary(5)),
+        ("filters @ top-1 transit ISP", isp.summary(1)),
+        ("filters @ top-3 transit ISPs", isp.summary(3)),
+        ("filters @ top-5 transit ISPs", isp.summary(5)),
+        ("filters @ top-10 transit ISPs", isp.summary(10)),
+    ]:
+        rows.append([label, round(summary.median, 3), round(summary.p75, 3)])
+    emit(
+        format_table(
+            ["deployment", "median coverage", "p75"],
+            rows,
+            title="Ablation — IXP deployment vs transit-ISP deployment",
+        )
+    )
+
+    # The positioning claim: 5 IXP sites reach roughly what ~5 major
+    # transit ISPs reach, and a single ISP is far below a single round of
+    # regional IXPs (one facility each).
+    assert vif.summary(1).median >= 0.8 * isp.summary(5).median
+    assert vif.summary(1).median > 3 * isp.summary(1).median
+    # ISP coverage grows monotonically with deployment size.
+    medians = [isp.median(level) for level in (1, 3, 5, 10)]
+    assert medians == sorted(medians)

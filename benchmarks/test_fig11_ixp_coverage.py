@@ -1,0 +1,57 @@
+"""Fig 11: ratio of attack sources handled by VIF filters at Top-n IXPs.
+
+Paper result (both source datasets): with the single largest IXP per region
+(5 IXPs total), the median victim gets ~60% of its attack sources covered
+and the upper quartile 70-80%; Top-5 per region (25 IXPs) pushes medians
+past 75% and upper quartiles to 80-90%.
+
+Default run: 60 victims on the ~1,000-AS synthetic Internet (seconds).
+VIF_BENCH_FULL=1: 1,000 victims as in the paper.
+"""
+
+from benchmarks.conftest import emit, full_scale
+from repro.interdomain import (
+    dns_resolver_population,
+    generate_internet,
+    ixp_coverage,
+    mirai_bot_population,
+)
+from repro.interdomain.simulation import choose_victims, coverage_rows
+from repro.util.tables import format_table
+
+
+def test_fig11_coverage(benchmark):
+    graph, ixps = generate_internet()
+    num_victims = 1000 if full_scale() else 60
+    victims = choose_victims(graph, min(num_victims, 800))
+    populations = {
+        "vulnerable DNS resolvers": dns_resolver_population(graph),
+        "Mirai botnet": mirai_bot_population(graph),
+    }
+
+    results = {}
+
+    def run_all():
+        for label, population in populations.items():
+            results[label] = ixp_coverage(graph, ixps, victims, population)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for label, result in results.items():
+        emit(
+            format_table(
+                ["selection", "p5", "p25", "median", "p75", "p95"],
+                coverage_rows(result),
+                title=f"Fig 11 — attack sources handled by VIF IXPs ({label})",
+            )
+        )
+        top1 = result.summary(1)
+        top5 = result.summary(5)
+        # The paper's bands.
+        assert 0.45 < top1.median < 0.80
+        assert top5.median > 0.65
+        assert top5.p75 > 0.75
+        # Monotone in the number of deployed IXPs.
+        medians = [result.median(level) for level in (1, 2, 3, 4, 5)]
+        assert medians == sorted(medians)

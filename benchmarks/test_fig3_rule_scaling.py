@@ -1,0 +1,33 @@
+"""Fig 3a/3b: single-filter throughput and memory vs number of rules.
+
+Paper result: throughput is flat (line-rate-bound, ~15 Mpps at 64 B) up to
+about 3,000 rules, then degrades rapidly; the lookup-table memory footprint
+grows linearly and crosses the ~92 MB EPC limit mid-sweep.
+"""
+
+from benchmarks.conftest import emit
+from repro.dataplane.throughput import ThroughputHarness
+from repro.util.tables import format_table
+
+RULE_COUNTS = [100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000]
+
+
+def test_fig3a_throughput_vs_rules(benchmark):
+    harness = ThroughputHarness()
+    mpps = benchmark(harness.rule_count_sweep, RULE_COUNTS)
+    mb = harness.memory_sweep(RULE_COUNTS)
+    rows = [
+        [k, round(m, 2), round(f, 1), "yes" if f > 92 else "no"]
+        for k, m, f in zip(RULE_COUNTS, mpps, mb)
+    ]
+    emit(
+        format_table(
+            ["rules", "throughput (Mpps)", "enclave memory (MB)", "past EPC"],
+            rows,
+            title="Fig 3a/3b — filter throughput & memory vs #rules (64 B)",
+        )
+    )
+    # The paper's knee: flat to 3,000 rules, rapid degradation after.
+    assert mpps[0] - mpps[4] < 0.1 * mpps[0]
+    assert mpps[-1] < 0.5 * mpps[4]
+    assert mb[-1] > 92 > mb[4]

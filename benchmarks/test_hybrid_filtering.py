@@ -1,0 +1,86 @@
+"""Ablation (Appendix A/F): hash-based vs exact-match vs hybrid execution
+of non-deterministic rules.
+
+The design trade-off the paper describes: hash-based pays a per-packet
+SHA cost but no table memory; exact-match pays table memory and update
+latency but one lookup per packet; the hybrid amortizes conversion into
+batch updates and hashes only new flows.  We measure real per-packet work
+(hash evaluations, table hits, table size) over a realistic flow mix.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.filter import ConnectionPreservingMode, StatelessFilter
+from repro.core.rules import FilterRule, FlowPattern
+from repro.dataplane.pktgen import PacketGenerator
+from repro.util.tables import format_table
+
+RULE = FilterRule(
+    rule_id=1, pattern=FlowPattern(dst_prefix="203.0.113.0/24"), p_allow=0.5
+)
+
+
+def _workload(num_flows=400, packets_per_flow=10):
+    generator = PacketGenerator(3)
+    flows = generator.uniform_flows(num_flows, dst_ip="203.0.113.9")
+    packets = []
+    for flow in flows:
+        packets.extend(flow.make_packet() for _ in range(packets_per_flow))
+    return packets
+
+
+def _run(mode, packets, tick_every=1000):
+    filt = StatelessFilter(secret="ablation", mode=mode)
+    filt.install_rule(RULE)
+    for i, packet in enumerate(packets):
+        filt.decide(packet)
+        if mode is ConnectionPreservingMode.HYBRID and i % tick_every == 0:
+            filt.rule_update_tick()
+    filt.rule_update_tick()
+    return filt
+
+
+def test_connection_preserving_mode_ablation(benchmark):
+    packets = _workload()
+    rows = []
+    stats = {}
+    for mode in ConnectionPreservingMode:
+        filt = _run(mode, packets)
+        stats[mode] = filt
+        rows.append(
+            [
+                mode.value,
+                filt.hash_evaluations,
+                filt.table_hits,
+                len(filt.flow_table),
+                filt.flow_table.memory_bytes(),
+            ]
+        )
+    emit(
+        format_table(
+            ["mode", "SHA evals", "table hits", "table entries", "table bytes"],
+            rows,
+            title="Appendix A/F ablation — connection-preserving execution "
+                  "(400 flows x 10 packets)",
+        )
+    )
+
+    hash_mode = stats[ConnectionPreservingMode.HASH_BASED]
+    exact = stats[ConnectionPreservingMode.EXACT_MATCH]
+    hybrid = stats[ConnectionPreservingMode.HYBRID]
+    # Hash mode: one SHA per packet, zero memory.
+    assert hash_mode.hash_evaluations == len(packets)
+    assert len(hash_mode.flow_table) == 0
+    # Exact-match: one SHA per flow, the rest are table hits, full table.
+    assert exact.hash_evaluations == 400
+    assert exact.table_hits == len(packets) - 400
+    assert len(exact.flow_table) == 400
+    # Hybrid: SHA count strictly between the two, same eventual table.
+    assert 400 <= hybrid.hash_evaluations < len(packets)
+    assert len(hybrid.flow_table) == 400
+
+    benchmark.pedantic(
+        _run,
+        args=(ConnectionPreservingMode.HYBRID, packets),
+        rounds=3,
+        iterations=1,
+    )

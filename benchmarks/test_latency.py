@@ -1,0 +1,28 @@
+"""Section V-B latency: 34/38/52/80/107 us at 128...1500 B, 8 Gb/s load,
+near zero-copy filter with 3,000 rules."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.dataplane.throughput import ThroughputHarness
+from repro.util.tables import format_table
+
+PAPER_POINTS = {128: 34.0, 256: 38.0, 512: 52.0, 1024: 80.0, 1500: 107.0}
+
+
+def test_latency_at_8gbps(benchmark):
+    harness = ThroughputHarness()
+    report = benchmark(harness.latency_sweep)
+    rows = [
+        [size, round(measured, 1), PAPER_POINTS[size]]
+        for size, measured in zip(report.packet_sizes, report.latency_us)
+    ]
+    emit(
+        format_table(
+            ["size (B)", "model latency (us)", "paper (us)"],
+            rows,
+            title="Section V-B — average latency at 8 Gb/s constant load",
+        )
+    )
+    for size, measured in zip(report.packet_sizes, report.latency_us):
+        assert measured == pytest.approx(PAPER_POINTS[size], rel=0.12)

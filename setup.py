@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept as a legacy ``setup.py`` (metadata in ``setup.cfg``) so that editable
+installs work in offline environments that lack the ``wheel`` package —
+PEP 517 editable builds require ``bdist_wheel``, the legacy path does not.
+"""
+
+from setuptools import setup
+
+setup()

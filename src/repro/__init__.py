@@ -1,0 +1,93 @@
+"""repro — a reproduction of "Practical Verifiable In-network Filtering for
+DDoS Defense" (VIF, ICDCS 2019).
+
+Quickstart::
+
+    from repro import (
+        IASService, IXPController, RPKIRegistry, VIFSession,
+        FilterRule, FlowPattern, Action,
+    )
+
+    ias = IASService()
+    rpki = RPKIRegistry()
+    rpki.authorize("victim.example", "203.0.113.0/24")
+
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+
+    session = VIFSession("victim.example", rpki, ias, controller)
+    session.attest_filters()
+    session.submit_rules([
+        FilterRule(
+            rule_id=1,
+            pattern=FlowPattern(dst_prefix="203.0.113.0/24", dst_ports=(80, 80)),
+            p_allow=0.5,
+            requested_by="victim.example",
+        ),
+    ])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core import (
+    Action,
+    BypassEvidence,
+    ConnectionPreservingMode,
+    EnclaveFilter,
+    FilterDecision,
+    FilterRule,
+    FlowPattern,
+    IXPController,
+    LoadBalancer,
+    NeighborAuditor,
+    RPKIRegistry,
+    RuleDistributionProtocol,
+    RuleSet,
+    SessionState,
+    StatelessFilter,
+    VictimAuditor,
+    VIFSession,
+)
+from repro.dataplane import FiveTuple, Packet, Protocol
+from repro.optim import (
+    Allocation,
+    BranchAndBoundSolver,
+    RuleDistributionProblem,
+    greedy_solve,
+)
+from repro.sketch import CountMinSketch
+from repro.tee import Enclave, IASService, Platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "Allocation",
+    "BranchAndBoundSolver",
+    "BypassEvidence",
+    "ConnectionPreservingMode",
+    "CountMinSketch",
+    "Enclave",
+    "EnclaveFilter",
+    "FilterDecision",
+    "FilterRule",
+    "FiveTuple",
+    "FlowPattern",
+    "IASService",
+    "IXPController",
+    "LoadBalancer",
+    "NeighborAuditor",
+    "Packet",
+    "Platform",
+    "Protocol",
+    "RPKIRegistry",
+    "RuleDistributionProblem",
+    "RuleDistributionProtocol",
+    "RuleSet",
+    "SessionState",
+    "StatelessFilter",
+    "VictimAuditor",
+    "VIFSession",
+    "greedy_solve",
+]

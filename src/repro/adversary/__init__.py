@@ -1,0 +1,53 @@
+"""Adversary models (paper II-A, III-B).
+
+The threat model is a single malicious *filtering network* with full control
+of its own control and data plane.  This package provides:
+
+* :class:`HonestFilteringNetwork` — the baseline that simply runs the
+  deployment as configured;
+* :class:`MaliciousFilteringNetwork` — mounts the three bypass attacks
+  (inject-after, drop-after, drop-before) and the Goal-2 "save filtering
+  capacity" attack (steering traffic around the filters) against a real VIF
+  deployment, so tests can show each one is *detected*;
+* :class:`UnverifiedFilteringNetwork` — a SENSS-like strawman without TEEs
+  that executes *modified* rules directly (Goal 1 discrimination, Goal 2
+  inaccurate filtering), so tests/examples can show the attacks succeed
+  silently when filtering is not verifiable;
+* attack-traffic builders for the two evaluated attack classes (DNS
+  amplification, Mirai-style floods) and scenario harnesses tying traffic,
+  network and audits together.
+"""
+
+from repro.adversary.filtering_network import (
+    BypassConfig,
+    HonestFilteringNetwork,
+    MaliciousFilteringNetwork,
+    RuleTampering,
+    UnverifiedFilteringNetwork,
+)
+from repro.adversary.attacks import (
+    dns_amplification_flows,
+    mirai_flood_flows,
+)
+from repro.adversary.scenarios import (
+    BypassScenarioResult,
+    DiscriminationResult,
+    run_bypass_scenario,
+    run_discrimination_scenario,
+    run_inaccurate_filtering_scenario,
+)
+
+__all__ = [
+    "BypassConfig",
+    "BypassScenarioResult",
+    "DiscriminationResult",
+    "HonestFilteringNetwork",
+    "MaliciousFilteringNetwork",
+    "RuleTampering",
+    "UnverifiedFilteringNetwork",
+    "dns_amplification_flows",
+    "mirai_flood_flows",
+    "run_bypass_scenario",
+    "run_discrimination_scenario",
+    "run_inaccurate_filtering_scenario",
+]

@@ -1,0 +1,110 @@
+"""Attack-traffic builders for the two evaluated attack classes (paper VI-C).
+
+* **DNS amplification** (Rossow, "Amplification Hell"): reflected UDP
+  traffic *from* vulnerable open resolvers — source port 53, large
+  responses (the amplification payload), many distinct resolver source IPs.
+* **Mirai-style flood**: high-rate TCP traffic from a large bot population
+  — small packets, per-bot ephemeral ports, aimed at the victim's service
+  port.
+
+Both builders return :class:`~repro.dataplane.pktgen.FlowSpec_` lists with
+``ingress_as`` annotations so neighbor-AS audits and the discrimination
+scenarios can group traffic by upstream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dataplane.packet import FiveTuple, Protocol
+from repro.dataplane.pktgen import FlowSpec_
+from repro.util.rng import deterministic_rng
+
+
+def _spread_ip(rng, base_octet: int) -> str:
+    """A pseudo-random public-looking address under ``base_octet``."""
+    return (
+        f"{base_octet}.{rng.randrange(1, 255)}."
+        f"{rng.randrange(1, 255)}.{rng.randrange(1, 255)}"
+    )
+
+
+def dns_amplification_flows(
+    num_resolvers: int,
+    victim_ip: str = "203.0.113.10",
+    ingress_ases: Sequence[int] = (),
+    packet_size: int = 1024,
+    seed: int = 0,
+) -> List[FlowSpec_]:
+    """Reflected DNS responses from ``num_resolvers`` open resolvers.
+
+    Each resolver sends UDP from port 53 to an ephemeral victim port;
+    ``packet_size`` defaults to a large amplified response.
+    """
+    if num_resolvers <= 0:
+        raise ValueError("num_resolvers must be positive")
+    rng = deterministic_rng(f"dns-amp:{seed}")
+    flows: List[FlowSpec_] = []
+    seen = set()
+    while len(flows) < num_resolvers:
+        src_ip = _spread_ip(rng, rng.choice([37, 41, 62, 93, 103, 177, 196]))
+        if src_ip in seen:
+            continue
+        seen.add(src_ip)
+        ingress: Optional[int] = (
+            ingress_ases[len(flows) % len(ingress_ases)] if ingress_ases else None
+        )
+        flows.append(
+            FlowSpec_(
+                five_tuple=FiveTuple(
+                    src_ip=src_ip,
+                    dst_ip=victim_ip,
+                    src_port=53,
+                    dst_port=rng.randrange(1024, 65535),
+                    protocol=Protocol.UDP,
+                ),
+                packet_size=packet_size,
+                ingress_as=ingress,
+            )
+        )
+    return flows
+
+
+def mirai_flood_flows(
+    num_bots: int,
+    victim_ip: str = "203.0.113.10",
+    victim_port: int = 80,
+    ingress_ases: Sequence[int] = (),
+    packet_size: int = 64,
+    seed: int = 0,
+) -> List[FlowSpec_]:
+    """A Mirai-style TCP flood from ``num_bots`` compromised devices."""
+    if num_bots <= 0:
+        raise ValueError("num_bots must be positive")
+    rng = deterministic_rng(f"mirai:{seed}")
+    flows: List[FlowSpec_] = []
+    seen = set()
+    while len(flows) < num_bots:
+        # Mirai concentrated in consumer/IoT eyeball space.
+        src_ip = _spread_ip(rng, rng.choice([24, 58, 78, 110, 186, 200]))
+        src_port = rng.randrange(1024, 65535)
+        if (src_ip, src_port) in seen:
+            continue
+        seen.add((src_ip, src_port))
+        ingress: Optional[int] = (
+            ingress_ases[len(flows) % len(ingress_ases)] if ingress_ases else None
+        )
+        flows.append(
+            FlowSpec_(
+                five_tuple=FiveTuple(
+                    src_ip=src_ip,
+                    dst_ip=victim_ip,
+                    src_port=src_port,
+                    dst_port=victim_port,
+                    protocol=Protocol.TCP,
+                ),
+                packet_size=packet_size,
+                ingress_as=ingress,
+            )
+        )
+    return flows

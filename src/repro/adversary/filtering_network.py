@@ -1,0 +1,177 @@
+"""Honest, malicious, and unverified filtering-network models.
+
+All deterministic: "random" drop/injection choices hash the packet's flow
+and id under a seed, so scenarios replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.controller import IXPController
+from repro.core.rules import FilterRule, RuleSet
+from repro.dataplane.packet import Packet
+from repro.util.rng import stable_hash64
+
+_HASH_SPACE = float(2**64)
+
+
+def _coin(key: bytes, salt: str, probability: float) -> bool:
+    """Deterministic biased coin: True with ``probability``."""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    return stable_hash64(key, salt) < probability * _HASH_SPACE
+
+
+class HonestFilteringNetwork:
+    """Runs the VIF deployment exactly as configured."""
+
+    def __init__(self, controller: IXPController) -> None:
+        self.controller = controller
+
+    def carry(self, packets: Iterable[Packet]) -> List[Packet]:
+        """Deliver packets through the deployment toward the victim."""
+        return self.controller.carry(packets)
+
+
+@dataclass
+class BypassConfig:
+    """Which bypass attacks a malicious VIF network mounts (paper III-B).
+
+    * ``drop_before_filtering`` — per-ingress-AS probability of discarding a
+      packet before it reaches any enclave (Goal 1 flavored: discriminate a
+      neighbor while blaming DDoS filtering).
+    * ``drop_after_filtering`` — probability of discarding a packet the
+      filter allowed.
+    * ``inject_after_filtering`` — probability of re-injecting a copy of a
+      packet the filter dropped.
+    * ``skip_filter_fraction`` — Goal 2: fraction of traffic steered around
+      the filters entirely (forwarded unfiltered to save enclave capacity).
+    """
+
+    drop_before_filtering: Dict[int, float] = field(default_factory=dict)
+    drop_after_filtering: float = 0.0
+    inject_after_filtering: float = 0.0
+    skip_filter_fraction: float = 0.0
+    seed: str = "adversary"
+
+
+class MaliciousFilteringNetwork(HonestFilteringNetwork):
+    """A VIF filtering network mounting bypass attacks.
+
+    It cannot touch enclave internals (isolation) or the sealed rule/log
+    records (channel integrity); everything it *can* do is packet steering
+    outside the enclaves — exactly what the sketch audits are built to
+    catch.
+    """
+
+    def __init__(self, controller: IXPController, config: BypassConfig) -> None:
+        super().__init__(controller)
+        self.config = config
+        self.packets_dropped_before = 0
+        self.packets_dropped_after = 0
+        self.packets_injected = 0
+        self.packets_skipped_filter = 0
+
+    def carry(self, packets: Iterable[Packet]) -> List[Packet]:
+        config = self.config
+        delivered: List[Packet] = []
+        for packet in packets:
+            key = packet.five_tuple.key() + b"#" + str(packet.packet_id).encode()
+
+            # Drop before filtering (neighbor-AS discrimination).
+            if packet.ingress_as is not None:
+                p_drop = config.drop_before_filtering.get(packet.ingress_as, 0.0)
+                if _coin(key, f"{config.seed}/before", p_drop):
+                    self.packets_dropped_before += 1
+                    continue
+
+            # Goal 2: steer around the filter to save enclave capacity.
+            if _coin(key, f"{config.seed}/skip", config.skip_filter_fraction):
+                self.packets_skipped_filter += 1
+                delivered.append(packet)
+                continue
+
+            enclave_index = self.controller.load_balancer.route(packet)
+            if enclave_index is None:
+                delivered.append(packet)
+                continue
+            allowed = self.controller.enclaves[enclave_index].ecall(
+                "process_packet", packet
+            )
+            if allowed:
+                # Drop after filtering.
+                if _coin(key, f"{config.seed}/after", config.drop_after_filtering):
+                    self.packets_dropped_after += 1
+                    continue
+                delivered.append(packet)
+            else:
+                # Injection after filtering: resurrect the dropped packet.
+                if _coin(key, f"{config.seed}/inject", config.inject_after_filtering):
+                    self.packets_injected += 1
+                    delivered.append(packet.clone())
+        return delivered
+
+
+@dataclass
+class RuleTampering:
+    """How an *unverified* network modifies victim rules (Goal 1 / Goal 2).
+
+    ``per_as_p_allow[as_number]`` overrides a non-deterministic rule's
+    allow-probability for traffic entering via that AS (Goal 1: e.g. drop
+    80 % from AS A but only 20 % from AS B while the victim asked for 50 %).
+    ``global_p_allow`` overrides it for everyone (Goal 2: execute the rule
+    inaccurately to save resources).
+    """
+
+    per_as_p_allow: Dict[int, float] = field(default_factory=dict)
+    global_p_allow: Optional[float] = None
+    seed: str = "unverified"
+
+
+class UnverifiedFilteringNetwork:
+    """A SENSS-like filtering service with **no verifiability** (paper VIII-A).
+
+    There is no enclave and no authenticated log: the network applies
+    whatever rules it likes.  Used as the baseline that shows why
+    rule-violation attacks are undetectable without VIF — the victim sees
+    *some* traffic reduction and has no way to tell 50 % from 80 %/20 %.
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        tampering: Optional[RuleTampering] = None,
+    ) -> None:
+        self.rules = rules
+        self.tampering = tampering or RuleTampering()
+
+    def carry(self, packets: Iterable[Packet]) -> List[Packet]:
+        delivered: List[Packet] = []
+        for packet in packets:
+            rule = self.rules.match(packet.five_tuple)
+            if rule is None:
+                delivered.append(packet)
+                continue
+            p_allow = self._effective_p_allow(rule, packet)
+            if _coin(
+                packet.five_tuple.key(),
+                f"{self.tampering.seed}/{rule.rule_id}",
+                p_allow,
+            ):
+                delivered.append(packet)
+        return delivered
+
+    def _effective_p_allow(self, rule: FilterRule, packet: Packet) -> float:
+        requested = 0.0 if rule.p_drop >= 1.0 else 1.0 - rule.p_drop
+        if (
+            packet.ingress_as is not None
+            and packet.ingress_as in self.tampering.per_as_p_allow
+        ):
+            return self.tampering.per_as_p_allow[packet.ingress_as]
+        if self.tampering.global_p_allow is not None:
+            return self.tampering.global_p_allow
+        return requested

@@ -1,0 +1,202 @@
+"""End-to-end attack/defense scenarios.
+
+These harnesses wire together victim, filtering network, traffic and audits
+so that tests and examples can make the paper's security claims concrete:
+
+* :func:`run_bypass_scenario` — a malicious VIF network mounts a chosen
+  bypass attack; the function returns what the victim's and neighbors'
+  audits concluded.  The claim: every bypass configuration is detected by
+  the party the paper says detects it, and an honest run stays clean.
+* :func:`run_discrimination_scenario` — Goal 1 against an *unverified*
+  (SENSS-like) network vs against VIF.  The claim: without verifiability
+  the per-AS drop rates silently diverge from the requested rule; with VIF
+  the only way to discriminate is drop-before-filtering, which the
+  discriminated neighbor detects.
+* :func:`run_inaccurate_filtering_scenario` — Goal 2: the network filters
+  only part of the traffic to save capacity.  With VIF the victim's
+  outgoing-log audit exposes the unfiltered excess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.filtering_network import (
+    BypassConfig,
+    HonestFilteringNetwork,
+    MaliciousFilteringNetwork,
+    RuleTampering,
+    UnverifiedFilteringNetwork,
+)
+from repro.core.bypass import BypassEvidence
+from repro.core.controller import IXPController
+from repro.core.rules import FilterRule, RPKIRegistry, RuleSet
+from repro.core.session import VIFSession
+from repro.dataplane.packet import Packet
+from repro.dataplane.pktgen import FlowSpec_
+from repro.tee.attestation import IASService
+
+
+def _build_session(
+    rules: Sequence[FilterRule],
+    victim_name: str,
+    victim_prefix: str,
+    num_filters: int = 1,
+    sketch_seed: str = "vif",
+):
+    """Stand up IAS + RPKI + controller + attested session with rules installed."""
+    ias = IASService()
+    rpki = RPKIRegistry()
+    rpki.authorize(victim_name, victim_prefix)
+    controller = IXPController(ias, sketch_seed=sketch_seed)
+    controller.launch_filters(num_filters, scale_out=num_filters > 1)
+    session = VIFSession(victim_name, rpki, ias, controller)
+    session.attest_filters()
+    session.submit_rules(list(rules))
+    return session, controller
+
+
+@dataclass
+class BypassScenarioResult:
+    """Outcome of one bypass scenario run."""
+
+    victim_evidence: BypassEvidence
+    neighbor_evidence: Dict[int, BypassEvidence] = field(default_factory=dict)
+    delivered_packets: int = 0
+    sent_packets: int = 0
+
+    @property
+    def detected(self) -> bool:
+        if not self.victim_evidence.clean:
+            return True
+        return any(not e.clean for e in self.neighbor_evidence.values())
+
+
+def run_bypass_scenario(
+    rules: Sequence[FilterRule],
+    flows: Sequence[FlowSpec_],
+    packets_per_flow: int = 1,
+    bypass: Optional[BypassConfig] = None,
+    victim_name: str = "victim.example",
+    victim_prefix: str = "203.0.113.0/24",
+) -> BypassScenarioResult:
+    """Run traffic through a (possibly malicious) VIF network and audit.
+
+    ``bypass=None`` runs the honest baseline.  Neighbor auditors are created
+    for every distinct ``ingress_as`` in the flows.
+    """
+    session, controller = _build_session(rules, victim_name, victim_prefix)
+    network = (
+        HonestFilteringNetwork(controller)
+        if bypass is None
+        else MaliciousFilteringNetwork(controller, bypass)
+    )
+
+    # Each neighbor AS runs its own attested verification session — its
+    # incoming-log fetches travel over its own authenticated channel.
+    from repro.core.neighbor import NeighborSession
+
+    neighbor_ases = sorted(
+        {f.ingress_as for f in flows if f.ingress_as is not None}
+    )
+    neighbors: Dict[int, NeighborSession] = {}
+    for asn in neighbor_ases:
+        neighbor = NeighborSession(asn, controller, controller.ias)
+        neighbor.attest_filters()
+        neighbors[asn] = neighbor
+
+    packets: List[Packet] = []
+    for flow in flows:
+        for _ in range(packets_per_flow):
+            packet = flow.make_packet()
+            packets.append(packet)
+            if packet.ingress_as in neighbors:
+                neighbors[packet.ingress_as].observe_handoff(packet)
+
+    delivered = network.carry(packets)
+    session.observe_delivered(delivered)
+
+    victim_evidence = session.audit_round(abort_on_evidence=True)
+    neighbor_evidence = {
+        asn: neighbor.audit_round() for asn, neighbor in neighbors.items()
+    }
+
+    return BypassScenarioResult(
+        victim_evidence=victim_evidence,
+        neighbor_evidence=neighbor_evidence,
+        delivered_packets=len(delivered),
+        sent_packets=len(packets),
+    )
+
+
+@dataclass
+class DiscriminationResult:
+    """Per-AS delivery rates under a (possibly tampered) probabilistic rule."""
+
+    requested_p_allow: float
+    per_as_delivery_rate: Dict[int, float] = field(default_factory=dict)
+
+    def max_divergence(self) -> float:
+        """Largest |delivered-rate − requested| across neighbor ASes."""
+        if not self.per_as_delivery_rate:
+            return 0.0
+        return max(
+            abs(rate - self.requested_p_allow)
+            for rate in self.per_as_delivery_rate.values()
+        )
+
+
+def run_discrimination_scenario(
+    rule: FilterRule,
+    flows: Sequence[FlowSpec_],
+    tampering: Optional[RuleTampering] = None,
+    packets_per_flow: int = 1,
+) -> DiscriminationResult:
+    """Goal 1 against the *unverified* baseline network.
+
+    Returns per-ingress-AS delivery rates; with tampering the rates diverge
+    from the requested probability and nothing in the data path reveals it.
+    """
+    rules = RuleSet([rule])
+    network = UnverifiedFilteringNetwork(rules, tampering)
+
+    sent: Dict[int, int] = {}
+    got: Dict[int, int] = {}
+    packets: List[Packet] = []
+    for flow in flows:
+        for _ in range(packets_per_flow):
+            packet = flow.make_packet()
+            packets.append(packet)
+            if packet.ingress_as is not None:
+                sent[packet.ingress_as] = sent.get(packet.ingress_as, 0) + 1
+    for packet in network.carry(packets):
+        if packet.ingress_as is not None:
+            got[packet.ingress_as] = got.get(packet.ingress_as, 0) + 1
+
+    requested = rule.p_allow if rule.p_allow is not None else (1.0 - rule.p_drop)
+    return DiscriminationResult(
+        requested_p_allow=requested,
+        per_as_delivery_rate={
+            asn: got.get(asn, 0) / count for asn, count in sent.items()
+        },
+    )
+
+
+def run_inaccurate_filtering_scenario(
+    rules: Sequence[FilterRule],
+    flows: Sequence[FlowSpec_],
+    skip_filter_fraction: float,
+    packets_per_flow: int = 1,
+) -> BypassScenarioResult:
+    """Goal 2 against VIF: steer a fraction of traffic around the filters.
+
+    The skipped traffic reaches the victim without appearing in the
+    enclave's outgoing log, so the victim-side audit flags injection.
+    """
+    return run_bypass_scenario(
+        rules,
+        flows,
+        packets_per_flow=packets_per_flow,
+        bypass=BypassConfig(skip_filter_fraction=skip_filter_fraction),
+    )

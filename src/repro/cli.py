@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig8
+    python -m repro.cli run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import list_experiments, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Practical Verifiable In-network Filtering for "
+            "DDoS Defense' (VIF, ICDCS 2019): regenerate any table or figure."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment key from 'list', or 'all'")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment in list_experiments():
+            print(f"{experiment.key:12s} {experiment.paper_ref:14s} "
+                  f"{experiment.description}")
+        return 0
+
+    if args.experiment == "all":
+        results = run_all()
+    else:
+        try:
+            results = [run_experiment(args.experiment)]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    for result in results:
+        print(f"\n=== {result.paper_ref} [{result.key}] "
+              f"({time.strftime('%Y-%m-%d %H:%M:%S')}) ===")
+        print(result.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""The paper's primary contribution: verifiable in-network filtering.
+
+Submodules:
+
+* :mod:`repro.core.rules` — victim-submitted filter rules (deterministic and
+  non-deterministic, exact-match and prefix-based) with RPKI-style origin
+  validation.
+* :mod:`repro.core.filter` — the stateless ``f(p)`` filter with
+  connection-preserving non-deterministic execution (hash-based, exact-match
+  and the hybrid of Appendix A/F).
+* :mod:`repro.core.enclave_filter` — the filter hosted inside a TEE enclave
+  with in-enclave packet logs and load-balancer misbehavior checks.
+* :mod:`repro.core.bypass` / :mod:`repro.core.verification` — sketch-based
+  bypass detection for victims and neighbor ASes (paper III-B).
+* :mod:`repro.core.distribution` — the Fig 5 master/slave rule
+  redistribution protocol over the optimizer.
+* :mod:`repro.core.controller` — the untrusted IXP controller and load
+  balancer.
+* :mod:`repro.core.session` — end-to-end victim<->filtering-network session:
+  attestation, rule install, rounds, audits, abort-on-misbehavior.
+"""
+
+from repro.core.rules import (
+    Action,
+    FilterRule,
+    FlowPattern,
+    RPKIRegistry,
+    RuleSet,
+)
+from repro.core.filter import (
+    ConnectionPreservingMode,
+    FilterDecision,
+    StatelessFilter,
+)
+from repro.core.enclave_filter import EnclaveFilter, FilterReport
+from repro.core.bypass import (
+    BypassEvidence,
+    NeighborAuditor,
+    VictimAuditor,
+)
+from repro.core.controller import IXPController, LoadBalancer
+from repro.core.distribution import (
+    RedistributionRound,
+    RuleDistributionProtocol,
+)
+from repro.core.neighbor import NeighborSession
+from repro.core.rounds import RoundOutcome, RoundScheduler
+from repro.core.session import VIFSession, SessionState
+from repro.core.stateful import (
+    AuditableRateLimitFilter,
+    NaiveStatefulFirewall,
+    SourceGroupQuota,
+    fair_share_quotas,
+)
+
+__all__ = [
+    "Action",
+    "AuditableRateLimitFilter",
+    "BypassEvidence",
+    "ConnectionPreservingMode",
+    "EnclaveFilter",
+    "FilterDecision",
+    "FilterReport",
+    "FilterRule",
+    "FlowPattern",
+    "IXPController",
+    "LoadBalancer",
+    "NaiveStatefulFirewall",
+    "NeighborAuditor",
+    "NeighborSession",
+    "RPKIRegistry",
+    "RedistributionRound",
+    "RoundOutcome",
+    "RoundScheduler",
+    "RuleDistributionProtocol",
+    "RuleSet",
+    "SessionState",
+    "SourceGroupQuota",
+    "StatelessFilter",
+    "VictimAuditor",
+    "VIFSession",
+    "fair_share_quotas",
+]

@@ -1,0 +1,158 @@
+"""Bypass detection (paper section III-B).
+
+The auditable filter guarantees correct verdicts *for the packets it sees*;
+a malicious filtering network can still route traffic around the enclave.
+The three bypass attacks and who detects each:
+
+==========================  ==============================  ==================
+Attack                      Symptom                         Detector
+==========================  ==============================  ==================
+Injection after filtering   victim receives packets the     victim, via the
+                            enclave never forwarded         outgoing log
+Drop after filtering        enclave forwarded packets the   victim, via the
+                            victim never received           outgoing log
+Drop before filtering       neighbor AS handed packets the  neighbor AS, via
+                            enclave never saw               the incoming log
+==========================  ==============================  ==================
+
+(The fourth combination — injection *before* filtering — is explicitly not
+an attack: packet-injection independence means injected packets simply get
+filtered like any others.)
+
+Both auditors keep a local sketch built with the *same hash family* as the
+enclave's log and compare bin-by-bin.  A per-bin ``tolerance`` absorbs
+benign loss between the filter and the observer; Appendix-B fault
+localization (module :mod:`repro.interdomain.poisoning`) handles drops by
+intermediate ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dataplane.packet import Packet
+from repro.sketch.comparison import SketchComparison, compare_sketches
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.logs import FiveTupleLog, SourceIPLog
+
+
+@dataclass
+class BypassEvidence:
+    """The outcome of one audit round."""
+
+    observer: str
+    comparison: SketchComparison
+    suspected_attacks: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.suspected_attacks
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"{self.observer}: no bypass detected"
+        return (
+            f"{self.observer}: suspected {', '.join(self.suspected_attacks)} "
+            f"(missing={self.comparison.total_missing}, "
+            f"extra={self.comparison.total_extra})"
+        )
+
+
+class VictimAuditor:
+    """Victim-side log of received packets and the audit against the enclave.
+
+    The victim runs an efficient sketch "on a commodity server without SGX
+    overhead" (paper footnote 4) over every packet it actually receives,
+    then periodically fetches the enclave's authenticated outgoing log and
+    compares.
+    """
+
+    def __init__(self, victim_name: str, family_seed: str = "vif") -> None:
+        self.victim_name = victim_name
+        self.local_log = FiveTupleLog(family_seed=f"{family_seed}/out")
+
+    def observe(self, packet: Packet) -> None:
+        """Record one packet that reached the victim network."""
+        self.local_log.record(packet)
+
+    def observe_many(self, packets) -> None:
+        for packet in packets:
+            self.observe(packet)
+
+    def audit(
+        self, enclave_outgoing: CountMinSketch, tolerance: int = 0
+    ) -> BypassEvidence:
+        """Compare the enclave's outgoing log against what actually arrived."""
+        comparison = compare_sketches(
+            enclave_outgoing, self.local_log.sketch, tolerance=tolerance
+        )
+        suspected: List[str] = []
+        if comparison.drop_suspected:
+            suspected.append("drop-after-filtering")
+        if comparison.injection_suspected:
+            suspected.append("injection-after-filtering")
+        return BypassEvidence(
+            observer=f"victim:{self.victim_name}",
+            comparison=comparison,
+            suspected_attacks=suspected,
+        )
+
+
+class NeighborAuditor:
+    """Neighbor-AS-side log of packets handed to the filtering network.
+
+    A neighbor only sees its own side: it can prove *drop before filtering*
+    (it delivered packets the enclave never logged) but cannot observe what
+    happens after the filter — that is the victim's audit.
+    """
+
+    def __init__(self, as_number: int, family_seed: str = "vif") -> None:
+        self.as_number = as_number
+        self.local_log = SourceIPLog(family_seed=f"{family_seed}/in")
+
+    def observe(self, packet: Packet) -> None:
+        """Record one packet this AS forwarded into the filtering network."""
+        self.local_log.record(packet)
+
+    def observe_many(self, packets) -> None:
+        for packet in packets:
+            self.observe(packet)
+
+    def audit(
+        self, enclave_incoming: CountMinSketch, tolerance: int = 0
+    ) -> BypassEvidence:
+        """Compare the enclave's incoming log against what this AS delivered.
+
+        Only bins where the *neighbor* count exceeds the enclave's indicate
+        drop-before-filtering; the enclave legitimately counts more in every
+        bin because it aggregates all neighbors into one sketch.
+        """
+        comparison = compare_sketches(
+            enclave_incoming, self.local_log.sketch, tolerance=tolerance
+        )
+        suspected: List[str] = []
+        if comparison.injection_suspected:
+            # "extra at observer" here means: this AS delivered packets the
+            # enclave never logged as arrived.
+            suspected.append("drop-before-filtering")
+        return BypassEvidence(
+            observer=f"neighbor:AS{self.as_number}",
+            comparison=comparison,
+            suspected_attacks=suspected,
+        )
+
+
+def merge_enclave_logs(
+    sketches: List[CountMinSketch],
+) -> Optional[CountMinSketch]:
+    """Merge per-enclave logs into one (scale-out audits, paper IV-B).
+
+    All sketches must share a hash family; returns None for an empty list.
+    """
+    if not sketches:
+        return None
+    merged = sketches[0].copy()
+    for sketch in sketches[1:]:
+        merged.merge(sketch)
+    return merged

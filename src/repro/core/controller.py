@@ -1,0 +1,274 @@
+"""The untrusted IXP controller and load balancer (paper IV-B, VI-B, Fig 4/10).
+
+Both components are *outside* the TCB.  The controller launches enclaves on
+SGX platforms, learns the victim's rules (the paper accepts that "the VIF
+IXP eventually learns and analyzes all the rules"), and programs the
+switching fabric; the load balancer steers each inbound flow to the enclave
+holding its rule.  Neither can undetectably misbehave:
+
+* mis-steering a flow to an enclave that does not own its rule is flagged by
+  that enclave's ``set_assigned_rules`` check;
+* dropping flows instead of steering them shows up in the neighbor-side
+  incoming-log audit;
+* bypassing the filters entirely shows up in the victim-side outgoing-log
+  audit.
+
+The honest implementations live here; adversarial variants subclass
+:class:`LoadBalancer` in :mod:`repro.adversary.filtering_network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.filter import ConnectionPreservingMode
+from repro.core.rules import RuleSet
+from repro.dataplane.packet import Packet
+from repro.errors import ConfigurationError, DistributionError
+from repro.optim.problem import Allocation
+from repro.sketch.countmin import CountMinSketch
+from repro.tee.attestation import IASService
+from repro.tee.enclave import Enclave, Platform
+from repro.util.rng import stable_hash64
+
+
+class LoadBalancer:
+    """Flow-sticky weighted routing of packets to enclaves.
+
+    Routing state is a map ``rule_id -> [(enclave_index, weight)]`` derived
+    from an :class:`~repro.optim.problem.Allocation`: a split rule's traffic
+    is divided across its replicas in proportion to the allocated bandwidth,
+    with per-flow stickiness (a flow hashes to exactly one replica, so
+    connection preservation survives the split).
+    """
+
+    def __init__(self) -> None:
+        self._rules = RuleSet()
+        self._routes: Dict[int, List[Tuple[int, float]]] = {}
+        self.unrouted_packets = 0
+
+    def configure(
+        self, rules: RuleSet, routes: Dict[int, List[Tuple[int, float]]]
+    ) -> None:
+        """Install the (untrusted copies of) rules and the routing map."""
+        for rule_id, replicas in routes.items():
+            if rule_id not in rules:
+                raise ConfigurationError(f"route for unknown rule {rule_id}")
+            if not replicas:
+                raise ConfigurationError(f"rule {rule_id} has no replicas")
+            if any(w < 0 for _, w in replicas):
+                raise ConfigurationError(f"rule {rule_id} has a negative weight")
+        self._rules = rules
+        self._routes = {rid: list(reps) for rid, reps in routes.items()}
+
+    def route(self, packet: Packet) -> Optional[int]:
+        """The enclave index for ``packet``, or None when no rule matches.
+
+        Unmatched traffic takes the default path (no filtering requested for
+        it) — the honest behavior.
+        """
+        rule = self._rules.match(packet.five_tuple)
+        if rule is None or rule.rule_id not in self._routes:
+            self.unrouted_packets += 1
+            return None
+        replicas = self._routes[rule.rule_id]
+        if len(replicas) == 1:
+            return replicas[0][0]
+        total = sum(w for _, w in replicas)
+        if total <= 0:
+            return replicas[0][0]
+        point = (
+            stable_hash64(packet.five_tuple.key(), salt=f"lb/{rule.rule_id}")
+            / float(2**64)
+        ) * total
+        cumulative = 0.0
+        for enclave_index, weight in replicas:
+            cumulative += weight
+            if point < cumulative:
+                return enclave_index
+        return replicas[-1][0]
+
+
+@dataclass
+class DeploymentState:
+    """What the controller currently has installed."""
+
+    rules: RuleSet = field(default_factory=RuleSet)
+    allocation: Optional[Allocation] = None
+    rule_order: List[int] = field(default_factory=list)  # index -> rule_id
+
+
+class IXPController:
+    """Launches filters, applies allocations, and moves packets through them."""
+
+    def __init__(
+        self,
+        ias: IASService,
+        enclave_secret_seed: str = "vif-ixp",
+        mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
+        sketch_seed: str = "vif",
+    ) -> None:
+        self.ias = ias
+        self.enclave_secret_seed = enclave_secret_seed
+        self.mode = mode
+        self.sketch_seed = sketch_seed
+        self.load_balancer = LoadBalancer()
+        self.enclaves: List[Enclave] = []
+        self.programs: List[EnclaveFilter] = []
+        self.state = DeploymentState()
+        self._platform_counter = 0
+
+    # -- enclave lifecycle ------------------------------------------------------
+
+    def launch_filters(self, count: int, scale_out: Optional[bool] = None) -> List[Enclave]:
+        """Launch ``count`` fresh filter enclaves on fresh platforms.
+
+        ``scale_out`` defaults to True when the deployment will hold more
+        than one enclave (enables the assigned-rules misbehavior check).
+        """
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        if scale_out is None:
+            scale_out = (len(self.enclaves) + count) > 1
+        launched: List[Enclave] = []
+        for _ in range(count):
+            self._platform_counter += 1
+            platform = Platform(f"ixp-server-{self._platform_counter}")
+            self.ias.provision(platform)
+            program = EnclaveFilter(
+                secret=f"{self.enclave_secret_seed}/{self._platform_counter}",
+                mode=self.mode,
+                sketch_seed=self.sketch_seed,
+                scale_out_mode=scale_out,
+                decision_secret=f"{self.enclave_secret_seed}/fleet",
+            )
+            enclave = platform.launch(program)
+            self.enclaves.append(enclave)
+            self.programs.append(program)
+            launched.append(enclave)
+        return launched
+
+    def retire_filters(self, count: int) -> None:
+        """Destroy the last ``count`` enclaves (shrinking deployments)."""
+        if count <= 0 or count > len(self.enclaves):
+            raise ConfigurationError("bad retire count")
+        for _ in range(count):
+            enclave = self.enclaves.pop()
+            self.programs.pop()
+            enclave.destroy()
+
+    # -- rule installation ---------------------------------------------------------
+
+    def install_single_filter(self, rules: RuleSet) -> None:
+        """The single-enclave deployment: all rules on filter 0."""
+        if not self.enclaves:
+            self.launch_filters(1, scale_out=False)
+        rule_list = rules.rules()
+        self.enclaves[0].ecall("install_rules", rule_list)
+        routes = {rule.rule_id: [(0, 1.0)] for rule in rule_list}
+        self.load_balancer.configure(rules, routes)
+        self.state.rules = rules
+        self.state.rule_order = [rule.rule_id for rule in rule_list]
+        self.state.allocation = None
+
+    def apply_allocation(self, rules: RuleSet, allocation: Allocation) -> None:
+        """Install an optimizer allocation across the enclave fleet.
+
+        ``allocation`` indexes rules by position in ``rules.rules()`` order;
+        the fleet is grown/shrunk to the allocation's enclave count, each
+        enclave gets its subset (and its assigned-id list for misbehavior
+        detection), and the load balancer gets the weighted routes.
+        """
+        rule_list = rules.rules()
+        if allocation.problem.num_rules != len(rule_list):
+            raise DistributionError(
+                "allocation rule count does not match the rule set"
+            )
+        needed = len(allocation.assignments)
+        if needed > len(self.enclaves):
+            self.launch_filters(needed - len(self.enclaves), scale_out=True)
+        elif needed < len(self.enclaves):
+            self.retire_filters(len(self.enclaves) - needed)
+
+        scale_out = len(allocation.assignments) > 1
+        routes: Dict[int, List[Tuple[int, float]]] = {}
+        for j, share_map in enumerate(allocation.assignments):
+            self.enclaves[j].ecall("set_scale_out_mode", scale_out)
+            subset = [rule_list[i] for i in sorted(share_map)]
+            installed = {r.rule_id for r in self.enclaves[j].ecall("installed_rules")}
+            to_remove = installed - {r.rule_id for r in subset}
+            to_add = [r for r in subset if r.rule_id not in installed]
+            if to_remove:
+                self.enclaves[j].ecall("remove_rules", sorted(to_remove))
+            if to_add:
+                self.enclaves[j].ecall("install_rules", to_add)
+            self.enclaves[j].ecall(
+                "set_assigned_rules", [r.rule_id for r in subset]
+            )
+            for i, share in share_map.items():
+                routes.setdefault(rule_list[i].rule_id, []).append((j, share))
+
+        self.load_balancer.configure(rules, routes)
+        self.state.rules = rules
+        self.state.rule_order = [rule.rule_id for rule in rule_list]
+        self.state.allocation = allocation
+
+    # -- data path --------------------------------------------------------------
+
+    def carry(self, packets: Iterable[Packet]) -> List[Packet]:
+        """Move packets through the deployment; returns the forwarded ones.
+
+        Honest behavior: every packet matching an installed rule goes through
+        its enclave; unmatched packets are forwarded unfiltered.
+        """
+        forwarded: List[Packet] = []
+        for packet in packets:
+            enclave_index = self.load_balancer.route(packet)
+            if enclave_index is None:
+                forwarded.append(packet)
+                continue
+            if self.enclaves[enclave_index].ecall("process_packet", packet):
+                forwarded.append(packet)
+        return forwarded
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def collect_rule_rates(self, window_s: float) -> Dict[int, float]:
+        """Aggregate per-rule byte counters into bps over ``window_s``.
+
+        The division by wall time happens *here*, on the untrusted side,
+        because enclave clocks are untrusted (paper footnote 6).  A lying
+        controller only sabotages its own optimizer input.
+        """
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        totals: Dict[int, int] = {}
+        for enclave in self.enclaves:
+            for rule_id, nbytes in enclave.ecall("export_rule_rates").items():
+                totals[rule_id] = totals.get(rule_id, 0) + nbytes
+        return {rid: nbytes * 8 / window_s for rid, nbytes in totals.items()}
+
+    def collect_incoming_logs(self) -> List[CountMinSketch]:
+        """Each enclave's incoming sketch (for neighbor audits in tests)."""
+        return [p._logs.incoming.sketch.copy() for p in self.programs]
+
+    def collect_outgoing_logs(self) -> List[CountMinSketch]:
+        """Each enclave's outgoing sketch (for victim audits in tests).
+
+        The production path fetches these through the sealed channel
+        (:meth:`EnclaveFilter.export_logs`); tests shortcut via this helper.
+        """
+        return [p._logs.outgoing.sketch.copy() for p in self.programs]
+
+    def misbehavior_reports(self) -> List[str]:
+        """Load-balancer misbehavior events from every enclave."""
+        events: List[str] = []
+        for enclave in self.enclaves:
+            events.extend(enclave.ecall("misbehavior_report"))
+        return events
+
+    def rule_update_tick(self) -> int:
+        """Run the Appendix-F batch conversion on every enclave."""
+        return sum(enclave.ecall("rule_update_tick") for enclave in self.enclaves)

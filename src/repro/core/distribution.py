@@ -1,0 +1,278 @@
+"""The Fig 5 master/slave rule redistribution protocol.
+
+Redistribution happens in rounds.  Any enclave may become the master for a
+round (the trigger is a threshold breach — an enclave's traffic or rule
+count approaching its cap).  The round proceeds:
+
+1. every slave uploads its rule set ``R_i`` and measured per-rule byte
+   counts ``B_i`` to the master;
+2. the master converts byte counts to bandwidths (using the *controller's*
+   wall-clock window — enclave clocks are untrusted) and solves the
+   Appendix C/D optimization with the greedy algorithm;
+3. the new per-enclave rule sets go to the slaves, and the route map goes
+   to the untrusted load balancer;
+4. if the plan needs more enclaves, the controller launches and the victim
+   attests them before they join (the attestation step lives in
+   :mod:`repro.core.session`).
+
+Rule configurations are immutable within a round: "the entire filter rule
+set is given and does not change until the next rule reconfiguration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.controller import IXPController
+from repro.core.rules import FilterRule, RuleSet
+from repro.errors import DistributionError
+from repro.lookup.memory_model import EnclaveMemoryModel, PAPER_MEMORY_MODEL
+from repro.optim.greedy import greedy_solve
+from repro.optim.problem import Allocation, RuleDistributionProblem
+from repro.optim.validation import validate_allocation
+from repro.util.units import GBPS
+
+
+@dataclass
+class RedistributionRound:
+    """Record of one completed redistribution round."""
+
+    round_number: int
+    master_index: int
+    num_enclaves_before: int
+    num_enclaves_after: int
+    allocation: Allocation
+    rules_moved: int
+    rates_bps: Dict[int, float] = field(default_factory=dict)
+
+
+class RuleDistributionProtocol:
+    """Drives redistribution rounds over an :class:`IXPController` fleet."""
+
+    def __init__(
+        self,
+        controller: IXPController,
+        enclave_bandwidth: float = 10 * GBPS,
+        memory_model: EnclaveMemoryModel = PAPER_MEMORY_MODEL,
+        headroom: float = 0.1,
+        bandwidth_threshold: float = 0.9,
+        rule_threshold: float = 0.9,
+    ) -> None:
+        self.controller = controller
+        self.enclave_bandwidth = enclave_bandwidth
+        self.memory_model = memory_model
+        self.headroom = headroom
+        self.bandwidth_threshold = bandwidth_threshold
+        self.rule_threshold = rule_threshold
+        self.rounds: List[RedistributionRound] = []
+
+    # -- trigger -----------------------------------------------------------------
+
+    def needs_redistribution(self, window_s: float) -> bool:
+        """True when any enclave is near its bandwidth or rule cap."""
+        rates = self.controller.collect_rule_rates(window_s)
+        rule_cap = self.memory_model.rule_capacity()
+        for enclave in self.controller.enclaves:
+            installed = enclave.ecall("installed_rules")
+            if len(installed) > self.rule_threshold * rule_cap:
+                return True
+            enclave_rate = sum(rates.get(r.rule_id, 0.0) for r in installed)
+            if enclave_rate > self.bandwidth_threshold * self.enclave_bandwidth:
+                return True
+        return False
+
+    # -- the round itself -----------------------------------------------------------
+
+    def run_round(
+        self,
+        window_s: float,
+        master_index: int = 0,
+        extra_rules: Optional[List[FilterRule]] = None,
+    ) -> RedistributionRound:
+        """Execute one full Fig 5 round; returns its record.
+
+        ``extra_rules`` lets the victim add rules at a round boundary (the
+        only time the rule set may change).
+        """
+        controller = self.controller
+        if not controller.enclaves:
+            raise DistributionError("no enclaves to redistribute across")
+        if not 0 <= master_index < len(controller.enclaves):
+            raise DistributionError(f"bad master index {master_index}")
+
+        # Step 1: slaves (and master) upload {R_i, B_i}.
+        merged = RuleSet()
+        seen: set = set()
+        for enclave in controller.enclaves:
+            for rule in enclave.ecall("installed_rules"):
+                if rule.rule_id not in seen:
+                    seen.add(rule.rule_id)
+                    merged.add(rule)
+        for rule in extra_rules or []:
+            if rule.rule_id not in seen:
+                seen.add(rule.rule_id)
+                merged.add(rule)
+        if len(merged) == 0:
+            raise DistributionError("no rules installed anywhere")
+
+        rates = controller.collect_rule_rates(window_s)
+        for rule in extra_rules or []:
+            rates.setdefault(rule.rule_id, rule.rate_bps)
+
+        # Step 2: master recalculates the allocation.
+        rule_list = merged.rules()
+        problem = RuleDistributionProblem(
+            bandwidths=[rates.get(rule.rule_id, 0.0) for rule in rule_list],
+            enclave_bandwidth=self.enclave_bandwidth,
+            memory_budget=self.memory_model.performance_budget_bytes,
+            bytes_per_rule=self.memory_model.bytes_per_rule,
+            base_bytes=self.memory_model.base_bytes,
+            headroom=self.headroom,
+        )
+        allocation = greedy_solve(problem)
+        violations = validate_allocation(allocation)
+        if violations:
+            raise DistributionError(
+                "greedy produced an invalid allocation: " + "; ".join(violations)
+            )
+
+        # Step 3/4: reconfigure the fleet and the load balancer.
+        before = len(controller.enclaves)
+        placement_before = self._placement_snapshot()
+        controller.apply_allocation(merged, allocation)
+        placement_after = self._placement_snapshot()
+        moved = self._count_moves(placement_before, placement_after)
+
+        record = RedistributionRound(
+            round_number=len(self.rounds) + 1,
+            master_index=master_index,
+            num_enclaves_before=before,
+            num_enclaves_after=len(controller.enclaves),
+            allocation=allocation,
+            rules_moved=moved,
+            rates_bps=rates,
+        )
+        self.rounds.append(record)
+        return record
+
+    # -- the authenticated round (rule re-calc inside the master enclave) -------
+
+    def run_round_authenticated(
+        self,
+        window_s: float,
+        master_index: int = 0,
+        extra_rules_sealed: Optional[bytes] = None,
+    ) -> RedistributionRound:
+        """Fig 5 with end-to-end integrity: the controller only ferries.
+
+        Slaves upload MAC'd ``{R_i, B_i}`` states; the master verifies
+        them, recalculates the allocation *inside its enclave*, and returns
+        a MAC'd plan; each slave verifies the plan before installing its
+        slice.  A controller that modifies any byte in transit produces a
+        :class:`~repro.errors.SecureChannelError` instead of a silently
+        skewed allocation.  ``extra_rules_sealed`` lets the victim add
+        rules at the round boundary over its secure channel to the master.
+        """
+        import json
+
+        controller = self.controller
+        if not controller.enclaves:
+            raise DistributionError("no enclaves to redistribute across")
+        if not 0 <= master_index < len(controller.enclaves):
+            raise DistributionError(f"bad master index {master_index}")
+
+        states = [
+            enclave.ecall("export_state_authenticated")
+            for enclave in controller.enclaves
+        ]
+        plan_blob = controller.enclaves[master_index].ecall(
+            "master_recalculate",
+            states,
+            window_s,
+            self.enclave_bandwidth,
+            self.memory_model.performance_budget_bytes,
+            self.memory_model.bytes_per_rule,
+            self.memory_model.base_bytes,
+            self.headroom,
+            extra_rules_sealed,
+        )
+        # The plan is plaintext + 32-byte MAC; the controller may read it
+        # (it must program the load balancer) but cannot alter it.
+        plan = json.loads(plan_blob[:-32].decode())
+
+        before = len(controller.enclaves)
+        placement_before = self._placement_snapshot()
+        needed = len(plan["assignments"])
+        if needed > len(controller.enclaves):
+            controller.launch_filters(needed - len(controller.enclaves),
+                                      scale_out=True)
+        elif needed < len(controller.enclaves):
+            controller.retire_filters(len(controller.enclaves) - needed)
+
+        rules = RuleSet(FilterRule.from_dict(d) for d in plan["rules"])
+        routes: Dict[int, list] = {}
+        for j, assignment in enumerate(plan["assignments"]):
+            controller.enclaves[j].ecall("set_scale_out_mode", needed > 1)
+            controller.enclaves[j].ecall("install_plan_slice", plan_blob, j)
+            for rule_id, share in assignment.items():
+                routes.setdefault(int(rule_id), []).append((j, float(share)))
+        controller.load_balancer.configure(rules, routes)
+        controller.state.rules = rules
+        controller.state.rule_order = [r.rule_id for r in rules]
+
+        # Rebuild the allocation object for the round record.
+        problem = RuleDistributionProblem(
+            bandwidths=plan["bandwidths"],
+            enclave_bandwidth=plan["params"]["enclave_bandwidth"],
+            memory_budget=plan["params"]["memory_budget"],
+            bytes_per_rule=plan["params"]["bytes_per_rule"],
+            base_bytes=plan["params"]["base_bytes"],
+            headroom=plan["params"]["headroom"],
+            enclaves_override=needed,
+        )
+        rule_index = {r.rule_id: i for i, r in enumerate(rules)}
+        allocation = Allocation(
+            problem=problem,
+            assignments=[
+                {rule_index[int(rid)]: float(share) for rid, share in a.items()}
+                for a in plan["assignments"]
+            ],
+        )
+        controller.state.allocation = allocation
+        rates = {
+            rule.rule_id: plan["bandwidths"][i]
+            for i, rule in enumerate(rules)
+        }
+        record = RedistributionRound(
+            round_number=len(self.rounds) + 1,
+            master_index=master_index,
+            num_enclaves_before=before,
+            num_enclaves_after=len(controller.enclaves),
+            allocation=allocation,
+            rules_moved=self._count_moves(
+                placement_before, self._placement_snapshot()
+            ),
+            rates_bps=rates,
+        )
+        self.rounds.append(record)
+        return record
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _placement_snapshot(self) -> Dict[int, set]:
+        """rule_id -> set of enclave indexes currently holding it."""
+        placement: Dict[int, set] = {}
+        for j, enclave in enumerate(self.controller.enclaves):
+            for rule in enclave.ecall("installed_rules"):
+                placement.setdefault(rule.rule_id, set()).add(j)
+        return placement
+
+    @staticmethod
+    def _count_moves(before: Dict[int, set], after: Dict[int, set]) -> int:
+        """Rules whose replica set changed (installs + removals count once)."""
+        moved = 0
+        for rule_id in set(before) | set(after):
+            if before.get(rule_id, set()) != after.get(rule_id, set()):
+                moved += 1
+        return moved

@@ -1,0 +1,472 @@
+"""The VIF filter as an enclave program (paper Fig 6).
+
+:class:`EnclaveFilter` packages the stateless filter, the two count-min
+packet logs, per-rule byte counters (the optimizer's ``B_i`` feed) and the
+victim-facing secure channel into an :class:`~repro.tee.enclave.EnclaveProgram`.
+The untrusted host reaches it only through ECalls:
+
+=====================  ========================================================
+ECall                  Purpose
+=====================  ========================================================
+``install_rules``      install victim rules (over the secure channel in the
+                       full session; directly in unit tests)
+``set_assigned_rules`` scale-out: the rule-id subset this enclave owns — any
+                       packet matching none of them is load-balancer
+                       misbehavior (paper IV-B)
+``process_packet``     the data-plane fast path: log, filter, log
+``rule_update_tick``   Appendix-F batch conversion of queued flows
+``export_rule_rates``  per-rule byte counters for redistribution rounds
+``channel_public``     the enclave's DH public value (bound into attestation
+                       report_data)
+``open_victim_channel``complete the handshake with the victim
+``export_logs``        authenticated sketch logs over the secure channel
+``misbehavior_report`` load-balancer misbehavior events collected so far
+=====================  ========================================================
+
+EPC accounting mirrors the memory model: the base footprint (code, sketches,
+buffers) is charged at load, the lookup table and exact-match flow table are
+resized as rules and flows are installed, so
+``enclave.epc.paging`` turns on exactly when Fig 3b says it should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.filter import (
+    ConnectionPreservingMode,
+    FilterDecision,
+    StatelessFilter,
+)
+from repro.core.rules import FilterRule
+from repro.dataplane.packet import Packet
+from repro.errors import SecureChannelError
+from repro.lookup.memory_model import EnclaveMemoryModel, PAPER_MEMORY_MODEL
+from repro.sketch.logs import PacketLogPair
+from repro.tee.enclave import Enclave, EnclaveProgram
+from repro.tee.secure_channel import ChannelEndpoint, SecureChannel
+
+
+@dataclass
+class FilterReport:
+    """Operational snapshot the controller/victim can request."""
+
+    packets_processed: int = 0
+    packets_allowed: int = 0
+    packets_dropped: int = 0
+    unmatched_packets: int = 0
+    rule_bytes: Dict[int, int] = field(default_factory=dict)
+    misbehavior_events: List[str] = field(default_factory=list)
+
+
+class EnclaveFilter(EnclaveProgram):
+    """The trusted filtering program loaded into each VIF enclave."""
+
+    VERSION = "vif-filter-1.0"
+
+    def __init__(
+        self,
+        secret: str,
+        mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
+        memory_model: EnclaveMemoryModel = PAPER_MEMORY_MODEL,
+        sketch_seed: str = "vif",
+        scale_out_mode: bool = False,
+        decision_secret: Optional[str] = None,
+    ) -> None:
+        """``secret`` seeds this enclave's channel identity; ``decision_secret``
+        (shared fleet-wide, defaulting to ``secret``) seeds the hash-based
+        filtering coin so a flow keeps its verdict when a redistribution
+        round moves its rule to a different enclave."""
+        super().__init__()
+        self._filter = StatelessFilter(secret=decision_secret or secret, mode=mode)
+        # Fleet-shared MAC key for the Fig 5 master/slave protocol: state
+        # uploads and plan slices are authenticated end to end between
+        # enclaves, so the controller ferrying them cannot tamper.  Derived
+        # from the fleet decision secret (provisioned alike to every fleet
+        # member, verified by attestation).
+        import hashlib as _hashlib
+
+        self._fleet_mac_key = _hashlib.sha256(
+            (decision_secret or secret).encode() + b"|fleet-mac"
+        ).digest()
+        self._logs = PacketLogPair(family_seed=sketch_seed)
+        self._memory_model = memory_model
+        self._scale_out_mode = scale_out_mode
+        self._assigned_rule_ids: Optional[set] = None
+        self._report = FilterReport()
+        self._channel_endpoint = ChannelEndpoint.create("enclave", secret)
+        self._victim_channel: Optional[SecureChannel] = None
+        self._neighbor_channels: Dict[int, SecureChannel] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_load(self, enclave: Enclave) -> None:
+        super().on_load(enclave)
+        enclave.epc.allocate("base", self._memory_model.base_bytes)
+        for name, fn in [
+            ("install_rules", self.install_rules),
+            ("set_assigned_rules", self.set_assigned_rules),
+            ("set_scale_out_mode", self.set_scale_out_mode),
+            ("process_packet", self.process_packet),
+            ("rule_update_tick", self.rule_update_tick),
+            ("export_rule_rates", self.export_rule_rates),
+            ("channel_public", self.channel_public),
+            ("open_victim_channel", self.open_victim_channel),
+            ("open_neighbor_channel", self.open_neighbor_channel),
+            ("export_logs", self.export_logs),
+            ("export_incoming_log_to_neighbor", self.export_incoming_log_to_neighbor),
+            ("install_rules_sealed", self.install_rules_sealed),
+            ("export_state_authenticated", self.export_state_authenticated),
+            ("master_recalculate", self.master_recalculate),
+            ("install_plan_slice", self.install_plan_slice),
+            ("misbehavior_report", self.misbehavior_report),
+            ("report", self.report),
+            ("num_rules", lambda: self._filter.num_rules),
+            ("installed_rules", self.installed_rules),
+            ("remove_rules", self.remove_rules),
+        ]:
+            self.register_ecall(name, fn)
+
+    # -- rules ---------------------------------------------------------------
+
+    def install_rules(self, rules: Sequence[FilterRule]) -> int:
+        """Install rules and charge the lookup table against the EPC."""
+        installed = self._filter.install_rules(rules)
+        for rule in rules:
+            self._report.rule_bytes.setdefault(rule.rule_id, 0)
+        self._resize_epc()
+        return installed
+
+    def remove_rules(self, rule_ids: Sequence[int]) -> int:
+        """Remove rules by id (redistribution rounds shrink rule sets too)."""
+        removed = 0
+        by_id = {rule.rule_id: rule for rule in self._filter.trie.rules()}
+        for rule_id in rule_ids:
+            rule = by_id.get(rule_id)
+            if rule is None:
+                continue
+            self._filter.remove_rule(rule)
+            # Byte counters survive removal: they are cumulative-since-launch
+            # accounting, and redistribution must not lose measured history.
+            removed += 1
+        self._resize_epc()
+        return removed
+
+    def installed_rules(self) -> List[FilterRule]:
+        """The rules currently installed (the ``R_i`` of Fig 5)."""
+        return self._filter.trie.rules()
+
+    def set_assigned_rules(self, rule_ids: Sequence[int]) -> None:
+        """Scale-out: declare which rule ids this enclave is responsible for."""
+        self._assigned_rule_ids = set(rule_ids)
+
+    def set_scale_out_mode(self, enabled: bool) -> None:
+        """Toggle the load-balancer misbehavior checks.
+
+        Flipped on for every fleet member when a deployment grows past one
+        enclave — including the original master, which was launched alone.
+        """
+        self._scale_out_mode = bool(enabled)
+
+    # -- data plane -----------------------------------------------------------
+
+    def process_packet(self, packet: Packet) -> bool:
+        """Log incoming, filter, log forwarded; returns True to forward.
+
+        In scale-out mode, a packet matching none of the assigned rules is
+        recorded as load-balancer misbehavior (paper IV-B: "these
+        misbehaviors can be easily detected by each filter by checking if it
+        receives any packets that do not match the rules it receives from
+        the master node").
+        """
+        self._logs.record_incoming(packet)
+        self._report.packets_processed += 1
+
+        decision: FilterDecision = self._filter.decide(packet)
+        if decision.rule is not None:
+            self._report.rule_bytes[decision.rule.rule_id] = (
+                self._report.rule_bytes.get(decision.rule.rule_id, 0) + packet.size
+            )
+        else:
+            self._report.unmatched_packets += 1
+            if self._scale_out_mode:
+                self._report.misbehavior_events.append(
+                    f"load-balancer sent non-matching packet {packet.five_tuple}"
+                )
+        if (
+            self._scale_out_mode
+            and decision.rule is not None
+            and self._assigned_rule_ids is not None
+            and decision.rule.rule_id not in self._assigned_rule_ids
+        ):
+            self._report.misbehavior_events.append(
+                "load-balancer sent packet for rule "
+                f"{decision.rule.rule_id} not assigned to this enclave"
+            )
+
+        if decision.allowed:
+            self._logs.record_forwarded(packet)
+            self._report.packets_allowed += 1
+        else:
+            self._report.packets_dropped += 1
+        return decision.allowed
+
+    def rule_update_tick(self, max_idle_epochs: Optional[int] = None) -> int:
+        """Appendix-F batch conversion (+ optional idle-flow eviction);
+        resizes the flow-table EPC charge."""
+        installed = self._filter.rule_update_tick(max_idle_epochs)
+        self._resize_epc()
+        return installed
+
+    # -- accounting exports -------------------------------------------------------
+
+    def export_rule_rates(self) -> Dict[int, int]:
+        """Per-rule byte counters since launch (the ``B_i`` upload of Fig 5).
+
+        Deliberately *not* timestamped inside the enclave — the enclave clock
+        is untrusted (paper footnote 6); the controller divides by its own
+        wall time.
+        """
+        return dict(self._report.rule_bytes)
+
+    def report(self) -> FilterReport:
+        """Full operational snapshot (counters are copies)."""
+        return FilterReport(
+            packets_processed=self._report.packets_processed,
+            packets_allowed=self._report.packets_allowed,
+            packets_dropped=self._report.packets_dropped,
+            unmatched_packets=self._report.unmatched_packets,
+            rule_bytes=dict(self._report.rule_bytes),
+            misbehavior_events=list(self._report.misbehavior_events),
+        )
+
+    def misbehavior_report(self) -> List[str]:
+        return list(self._report.misbehavior_events)
+
+    # -- the Fig 5 master/slave protocol, authenticated end to end -------------
+
+    def _fleet_seal(self, payload: bytes) -> bytes:
+        import hmac as _hmac
+        import hashlib as _hashlib
+
+        tag = _hmac.new(self._fleet_mac_key, payload, _hashlib.sha256).digest()
+        return payload + tag
+
+    def _fleet_open(self, blob: bytes) -> bytes:
+        import hmac as _hmac
+        import hashlib as _hashlib
+
+        if len(blob) < 32:
+            raise SecureChannelError("fleet message too short")
+        payload, tag = blob[:-32], blob[-32:]
+        expected = _hmac.new(self._fleet_mac_key, payload, _hashlib.sha256).digest()
+        if not _hmac.compare_digest(expected, tag):
+            raise SecureChannelError(
+                "fleet message authentication failed (controller tampering?)"
+            )
+        return payload
+
+    def export_state_authenticated(self) -> bytes:
+        """The slave's {R_i, B_i} upload of Fig 5, MAC'd under the fleet key.
+
+        The untrusted controller carries this to the master; any bit it
+        flips (inflating a competitor's byte counts, dropping a rule) fails
+        authentication there.
+        """
+        import json
+
+        payload = json.dumps(
+            {
+                "rules": [r.to_dict() for r in self.installed_rules()],
+                "bytes": {str(k): v for k, v in self._report.rule_bytes.items()},
+            },
+            sort_keys=True,
+        ).encode()
+        return self._fleet_seal(payload)
+
+    def master_recalculate(
+        self,
+        states: Sequence[bytes],
+        window_s: float,
+        enclave_bandwidth: float,
+        memory_budget: int,
+        bytes_per_rule: int,
+        base_bytes: int,
+        headroom: float,
+        extra_rules_sealed: Optional[bytes] = None,
+    ) -> bytes:
+        """The master's "filter rule re-calc" step — *inside* the enclave.
+
+        Verifies every slave upload, merges rule sets and byte counts,
+        converts to rates over the controller-supplied window, runs the
+        greedy optimizer, and returns the authenticated plan: the merged
+        rule list plus per-enclave ``{rule_id: share}`` assignments.  The
+        plan is plaintext-readable (the controller must program the load
+        balancer from it) but tamper-evident for the slaves who install it.
+
+        ``extra_rules_sealed`` optionally carries new victim rules over the
+        victim<->master secure channel, admitted only at this round
+        boundary (paper IV-B).
+        """
+        import json
+
+        from repro.optim.greedy import greedy_solve
+        from repro.optim.problem import RuleDistributionProblem
+
+        merged: Dict[int, FilterRule] = {}
+        byte_counts: Dict[int, int] = {}
+        for blob in states:
+            state = json.loads(self._fleet_open(blob).decode())
+            for rule_dict in state["rules"]:
+                rule = FilterRule.from_dict(rule_dict)
+                merged.setdefault(rule.rule_id, rule)
+            for rule_id, count in state["bytes"].items():
+                byte_counts[int(rule_id)] = byte_counts.get(int(rule_id), 0) + count
+        if extra_rules_sealed is not None:
+            if self._victim_channel is None:
+                raise SecureChannelError("victim channel not established")
+            extra = json.loads(
+                self._victim_channel.open(extra_rules_sealed).decode()
+            )
+            for rule_dict in extra:
+                rule = FilterRule.from_dict(rule_dict)
+                merged.setdefault(rule.rule_id, rule)
+                byte_counts.setdefault(
+                    rule.rule_id, int(rule.rate_bps * window_s / 8)
+                )
+        if not merged:
+            raise SecureChannelError("no rules in any uploaded state")
+
+        rule_ids = sorted(merged)
+        if window_s <= 0:
+            raise SecureChannelError("bad rate window")
+        problem = RuleDistributionProblem(
+            bandwidths=[
+                byte_counts.get(rule_id, 0) * 8 / window_s for rule_id in rule_ids
+            ],
+            enclave_bandwidth=enclave_bandwidth,
+            memory_budget=memory_budget,
+            bytes_per_rule=bytes_per_rule,
+            base_bytes=base_bytes,
+            headroom=headroom,
+        )
+        allocation = greedy_solve(problem)
+        plan = {
+            "rules": [merged[rule_id].to_dict() for rule_id in rule_ids],
+            "bandwidths": list(problem.bandwidths),
+            "params": {
+                "enclave_bandwidth": enclave_bandwidth,
+                "memory_budget": memory_budget,
+                "bytes_per_rule": bytes_per_rule,
+                "base_bytes": base_bytes,
+                "headroom": headroom,
+            },
+            "assignments": [
+                {str(rule_ids[i]): share for i, share in assignment.items()}
+                for assignment in allocation.assignments
+            ],
+        }
+        return self._fleet_seal(json.dumps(plan, sort_keys=True).encode())
+
+    def install_plan_slice(self, plan_blob: bytes, my_index: int) -> int:
+        """Slave side of Fig 5: verify the plan and install *my* slice.
+
+        Replaces the current rule set with the plan's assignment for
+        ``my_index`` and records the assigned ids for the load-balancer
+        misbehavior check.  Returns the number of rules now installed.
+        """
+        import json
+
+        plan = json.loads(self._fleet_open(plan_blob).decode())
+        if not 0 <= my_index < len(plan["assignments"]):
+            raise SecureChannelError(
+                f"plan has no slice for enclave index {my_index}"
+            )
+        by_id = {
+            int(d["rule_id"]): FilterRule.from_dict(d) for d in plan["rules"]
+        }
+        wanted = {int(rule_id) for rule_id in plan["assignments"][my_index]}
+        installed = {r.rule_id for r in self.installed_rules()}
+        self.remove_rules(sorted(installed - wanted))
+        self.install_rules([by_id[rid] for rid in sorted(wanted - installed)])
+        self.set_assigned_rules(sorted(wanted))
+        return self._filter.num_rules
+
+    # -- secure channel -------------------------------------------------------
+
+    def channel_public(self) -> bytes:
+        """The DH public value; the victim checks it against report_data."""
+        return self._channel_endpoint.public_bytes()
+
+    def open_victim_channel(self, victim_public: int) -> None:
+        """Complete the handshake; the enclave side acts as the server."""
+        self._victim_channel = SecureChannel.establish(
+            self._channel_endpoint, victim_public, role="server"
+        )
+
+    def open_neighbor_channel(self, asn: int, neighbor_public: int) -> None:
+        """Neighbor ASes get their own authenticated channels (paper Fig 1:
+        neighbors verify the filtering too).  One channel per ASN."""
+        self._neighbor_channels[asn] = SecureChannel.establish(
+            self._channel_endpoint, neighbor_public, role="server"
+        )
+
+    def export_incoming_log_to_neighbor(self, asn: int, sealed_request: bytes) -> bytes:
+        """Serve the authenticated incoming log to a neighbor AS.
+
+        Neighbors only ever see the *incoming* sketch (what entered the
+        filter) — the outgoing log is the victim's business.
+        """
+        channel = self._neighbor_channels.get(asn)
+        if channel is None:
+            raise SecureChannelError(f"no channel established for AS{asn}")
+        if channel.open(sealed_request) != b"incoming":
+            raise SecureChannelError("neighbors may only query the incoming log")
+        return channel.seal(self._logs.incoming.sketch.serialize())
+
+    def install_rules_sealed(self, sealed_rules: bytes) -> int:
+        """Install rules delivered over the secure channel.
+
+        The payload is a JSON array of rule dicts
+        (:meth:`~repro.core.rules.FilterRule.to_dict`).  Because the host
+        only relays an opaque authenticated record, it cannot modify, drop
+        or reorder individual rules without the victim noticing — this is
+        what removes the Goal-1/Goal-2 rule-tampering capability.
+        """
+        import json
+
+        if self._victim_channel is None:
+            raise SecureChannelError("victim channel not established")
+        payload = self._victim_channel.open(sealed_rules)
+        rules = [FilterRule.from_dict(d) for d in json.loads(payload.decode())]
+        return self.install_rules(rules)
+
+    def export_logs(self, sealed_request: bytes) -> bytes:
+        """Serve an authenticated log query over the secure channel.
+
+        The request plaintext is ``b"incoming"`` or ``b"outgoing"``; the
+        response is the serialized sketch, sealed.  Any host tampering with
+        either record fails HMAC verification at the victim.
+        """
+        if self._victim_channel is None:
+            raise SecureChannelError("victim channel not established")
+        which = self._victim_channel.open(sealed_request)
+        if which == b"incoming":
+            blob = self._logs.incoming.sketch.serialize()
+        elif which == b"outgoing":
+            blob = self._logs.outgoing.sketch.serialize()
+        else:
+            raise SecureChannelError(f"unknown log query {which!r}")
+        return self._victim_channel.seal(blob)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _resize_epc(self) -> None:
+        if self._enclave is None:
+            return
+        self.enclave.epc.resize(
+            "lookup_table",
+            self._memory_model.bytes_per_rule * self._filter.num_rules,
+        )
+        self.enclave.epc.resize("flow_table", self._filter.flow_table.memory_bytes())

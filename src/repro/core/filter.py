@@ -1,0 +1,175 @@
+"""The stateless auditable filter ``f(p)`` (paper III-A, Appendix A/F).
+
+Auditability requires *arrival-time independence* and *packet-injection
+independence* (equation 2): the verdict for a packet must be a pure function
+of the packet itself, the installed rules, and the enclave's sealed secret.
+:class:`StatelessFilter` enforces this by construction — no verdict reads a
+clock or any history of other flows.
+
+Non-deterministic rules (drop a *fraction* of matching connections) are
+executed connection-preservingly in one of three modes (Appendix A):
+
+* ``HASH_BASED`` — verdict = [SHA-derived hash of (5-tuple, enclave secret)
+  < P_ALLOW].  Smallest memory, pays a hash per packet.
+* ``EXACT_MATCH`` — the hash verdict of a flow's first packet is installed
+  as an exact-match table entry; later packets hit the table.  Fast lookups,
+  larger memory, table-update cost.
+* ``HYBRID`` — hash-based for new flows, queued and batch-converted to
+  exact-match entries at every update period (the design the paper
+  recommends; Table II measures the batch insert).
+
+Because the per-flow "coin flip" is *derived from the sealed secret via a
+hash* rather than drawn from mutable RNG state, the exact-match table is
+purely a cache: every mode returns the same verdict for the same packet, and
+the filter stays stateless in the sense the auditability argument needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.rules import Action, FilterRule
+from repro.dataplane.packet import FiveTuple, Packet
+from repro.errors import ConfigurationError
+from repro.lookup.flowtable import ExactMatchFlowTable
+from repro.lookup.multibit_trie import MultiBitTrie
+from repro.util.rng import stable_hash64
+
+_HASH_SPACE = float(2**64)
+
+
+class ConnectionPreservingMode(enum.Enum):
+    """How non-deterministic rules are executed (Appendix A/F)."""
+
+    HASH_BASED = "hash-based"
+    EXACT_MATCH = "exact-match"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """The verdict for one packet, with provenance for audits and stats."""
+
+    allowed: bool
+    rule: Optional[FilterRule]
+    used_hash: bool
+
+    @property
+    def action(self) -> Action:
+        return Action.ALLOW if self.allowed else Action.DROP
+
+
+class StatelessFilter:
+    """Rule evaluation with connection-preserving probabilistic execution."""
+
+    def __init__(
+        self,
+        secret: str,
+        mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
+        default_action: Action = Action.ALLOW,
+        stride_bits: int = 8,
+    ) -> None:
+        if not secret:
+            raise ConfigurationError("the filter needs a non-empty enclave secret")
+        self._secret = secret
+        self.mode = mode
+        self.default_action = default_action
+        self.trie = MultiBitTrie(stride_bits=stride_bits)
+        self.flow_table = ExactMatchFlowTable()
+        self.hash_evaluations = 0
+        self.table_hits = 0
+
+    # -- rule management -----------------------------------------------------
+
+    def install_rule(self, rule: FilterRule) -> None:
+        self.trie.insert(rule)
+
+    def install_rules(self, rules) -> int:
+        """Install many rules; returns how many were inserted."""
+        return self.trie.insert_batch(rules)
+
+    def remove_rule(self, rule: FilterRule) -> None:
+        self.trie.remove(rule)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.trie)
+
+    # -- the filter function ---------------------------------------------------
+
+    def decide(self, packet: Packet) -> FilterDecision:
+        """The auditable ``f(p)``: verdict from the packet alone."""
+        return self.decide_flow(packet.five_tuple)
+
+    def decide_flow(self, flow: FiveTuple) -> FilterDecision:
+        """Verdict for a five-tuple (all packets of the flow agree)."""
+        rule = self.trie.lookup(flow)
+        if rule is None:
+            return FilterDecision(
+                allowed=self.default_action is Action.ALLOW,
+                rule=None,
+                used_hash=False,
+            )
+        if rule.deterministic:
+            assert rule.action is not None
+            return FilterDecision(
+                allowed=rule.action is Action.ALLOW, rule=rule, used_hash=False
+            )
+        return self._decide_probabilistic(flow, rule)
+
+    def __call__(self, packet: Packet) -> bool:
+        """Callable form for :class:`~repro.dataplane.pipeline.FilterPipeline`."""
+        return self.decide(packet).allowed
+
+    # -- update period ----------------------------------------------------------
+
+    def rule_update_tick(self, max_idle_epochs: Optional[int] = None) -> int:
+        """Run one Appendix-F update period: batch-install queued flows.
+
+        Returns the number of exact-match entries installed.  In HYBRID mode
+        the enclave calls this every few seconds (the paper uses 5–40 s),
+        amortizing table updates; in the other modes it is a no-op.
+
+        When ``max_idle_epochs`` is given, connections idle for more than
+        that many update periods are evicted — safe because re-created
+        entries hash to the identical verdict (connection preservation
+        survives eviction).
+        """
+        installed = self.flow_table.flush_pending()
+        self.flow_table.advance_epoch()
+        if max_idle_epochs is not None:
+            self.flow_table.evict_idle(max_idle_epochs)
+        return installed
+
+    # -- internals ---------------------------------------------------------------
+
+    def _decide_probabilistic(
+        self, flow: FiveTuple, rule: FilterRule
+    ) -> FilterDecision:
+        if self.mode is ConnectionPreservingMode.HASH_BASED:
+            allowed = self._hash_allows(flow, rule)
+            return FilterDecision(allowed=allowed, rule=rule, used_hash=True)
+
+        cached = self.flow_table.lookup(flow)
+        if cached is not None:
+            self.table_hits += 1
+            return FilterDecision(
+                allowed=cached is Action.ALLOW, rule=rule, used_hash=False
+            )
+
+        allowed = self._hash_allows(flow, rule)
+        decision = Action.ALLOW if allowed else Action.DROP
+        if self.mode is ConnectionPreservingMode.EXACT_MATCH:
+            self.flow_table.install(flow, decision)
+        else:  # HYBRID: queue for the next batch update
+            self.flow_table.queue(flow, decision)
+        return FilterDecision(allowed=allowed, rule=rule, used_hash=True)
+
+    def _hash_allows(self, flow: FiveTuple, rule: FilterRule) -> bool:
+        """The paper's H(five-tuple || secret) < 2^64 * P_ALLOW test."""
+        self.hash_evaluations += 1
+        assert rule.p_allow is not None
+        digest = stable_hash64(flow.key(), salt=f"{self._secret}|{rule.rule_id}")
+        return digest < rule.p_allow * _HASH_SPACE

@@ -1,0 +1,105 @@
+"""Neighbor-AS verification sessions (paper Fig 1, III-B).
+
+The direct upstream neighbors of the filtering network independently verify
+that their packets reach the VIF filters: each neighbor attests the
+enclaves (same IAS flow as the victim), opens its own secure channel into
+each one, logs what it hands the filtering network, and periodically
+compares its local sketch with the enclaves' authenticated incoming logs.
+A neighbor that finds drop-before-filtering evidence "can choose another
+downstream network".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.bypass import BypassEvidence, NeighborAuditor, merge_enclave_logs
+from repro.core.controller import IXPController
+from repro.core.enclave_filter import EnclaveFilter
+from repro.dataplane.packet import Packet
+from repro.errors import SessionError
+from repro.sketch.countmin import CountMinSketch
+from repro.tee.attestation import IASService, RemoteAttestationVerifier
+from repro.tee.secure_channel import ChannelEndpoint, SecureChannel
+
+
+@dataclass
+class NeighborSession:
+    """One upstream AS's verification relationship with a VIF deployment."""
+
+    asn: int
+    controller: IXPController
+    ias: IASService
+
+    def __post_init__(self) -> None:
+        self.auditor = NeighborAuditor(self.asn)
+        self.verifier = RemoteAttestationVerifier(
+            self.ias,
+            expected_measurement=EnclaveFilter.measurement(),
+            verifier_id=f"AS{self.asn}",
+        )
+        self._channels: Dict[int, SecureChannel] = {}
+        self.attested_count = 0
+        self.audit_log: List[BypassEvidence] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def attest_filters(self) -> int:
+        """Attest every not-yet-attested enclave and open channels."""
+        attested = 0
+        for index, enclave in enumerate(self.controller.enclaves):
+            if index in self._channels and not enclave.destroyed:
+                continue
+            enclave_public: bytes = enclave.ecall("channel_public")
+            self.verifier.attest(enclave, report_data=enclave_public)
+            endpoint = ChannelEndpoint.create(
+                f"neighbor-{self.asn}-{index}",
+                f"AS{self.asn}/{enclave.enclave_id}",
+            )
+            enclave.ecall("open_neighbor_channel", self.asn, endpoint.public)
+            self._channels[index] = SecureChannel.establish(
+                endpoint, int.from_bytes(enclave_public, "big"), role="client"
+            )
+            attested += 1
+        self.attested_count += attested
+        return attested
+
+    # -- traffic accounting ---------------------------------------------------
+
+    def observe_handoff(self, packet: Packet) -> None:
+        """Record one packet this AS handed to the filtering network."""
+        self.auditor.observe(packet)
+
+    def observe_handoffs(self, packets) -> None:
+        self.auditor.observe_many(packets)
+
+    # -- verification ------------------------------------------------------------
+
+    def fetch_incoming_log(self, enclave_index: int) -> CountMinSketch:
+        """One enclave's authenticated incoming sketch over this AS's channel."""
+        channel = self._channels.get(enclave_index)
+        if channel is None:
+            raise SessionError(
+                f"AS{self.asn} has no channel to enclave {enclave_index} "
+                "(attest first)"
+            )
+        sealed = self.controller.enclaves[enclave_index].ecall(
+            "export_incoming_log_to_neighbor",
+            self.asn,
+            channel.seal(b"incoming"),
+        )
+        return CountMinSketch.deserialize(channel.open(sealed))
+
+    def audit_round(self, tolerance: int = 0) -> BypassEvidence:
+        """Fetch every enclave's incoming log, merge, and compare."""
+        sketches = [
+            self.fetch_incoming_log(index)
+            for index in range(len(self.controller.enclaves))
+        ]
+        merged = merge_enclave_logs(sketches)
+        if merged is None:
+            raise SessionError("no enclaves to audit")
+        evidence = self.auditor.audit(merged, tolerance=tolerance)
+        self.audit_log.append(evidence)
+        return evidence

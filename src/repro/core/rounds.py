@@ -1,0 +1,118 @@
+"""Filtering-round scheduling (paper III-B, IV-B).
+
+The paper runs VIF in short rounds — "the VIF filtering network should
+allow a short (e.g., a few minutes) time duration for each filtering round
+so that victim networks can abort any further request quickly" — and
+redistributes rules between rounds when an enclave nears its caps.
+
+:class:`RoundScheduler` drives that loop against the simulation clock:
+
+1. carry the round's traffic;
+2. at the boundary: collect measured per-rule rates, redistribute if any
+   enclave is under pressure (attesting anything newly launched);
+3. run the victim's sketch audit; on evidence, the session aborts and the
+   loop stops.
+
+The scheduler is deliberately victim-perspective: it owns no data-plane
+state and everything it does is observable/repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.bypass import BypassEvidence
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.session import SessionState, VIFSession
+from repro.dataplane.packet import Packet
+from repro.errors import ConfigurationError
+from repro.tee.clock import HostClock
+
+#: "a few minutes" — the paper's suggested round duration.
+DEFAULT_ROUND_DURATION_S = 180.0
+
+TrafficSource = Callable[[int], Iterable[Packet]]
+DeliveryFn = Callable[[Iterable[Packet]], List[Packet]]
+
+
+@dataclass
+class RoundOutcome:
+    """What happened in one filtering round."""
+
+    round_number: int
+    started_at_s: float
+    packets_sent: int
+    packets_delivered: int
+    redistributed: bool
+    enclaves_after: int
+    audit: Optional[BypassEvidence] = None
+
+    @property
+    def aborted(self) -> bool:
+        return self.audit is not None and not self.audit.clean
+
+
+@dataclass
+class RoundScheduler:
+    """Runs consecutive filtering rounds until told to stop (or aborted)."""
+
+    session: VIFSession
+    protocol: RuleDistributionProtocol
+    clock: HostClock = field(default_factory=HostClock)
+    round_duration_s: float = DEFAULT_ROUND_DURATION_S
+    #: Delivery path — override to interpose a (possibly malicious)
+    #: filtering network; defaults to the honest controller path.
+    deliver: Optional[DeliveryFn] = None
+    outcomes: List[RoundOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.round_duration_s <= 0:
+            raise ConfigurationError("round duration must be positive")
+        if self.deliver is None:
+            self.deliver = self.session.controller.carry
+
+    def run_round(self, traffic: Iterable[Packet]) -> RoundOutcome:
+        """Run one full round with the given traffic."""
+        if self.session.state is not SessionState.ACTIVE:
+            raise ConfigurationError(
+                f"session must be active (is {self.session.state.value})"
+            )
+        round_number = len(self.outcomes) + 1
+        started = self.clock.now()
+
+        packets = list(traffic)
+        delivered = self.deliver(packets)
+        self.session.observe_delivered(delivered)
+        self.clock.advance(self.round_duration_s)
+
+        redistributed = False
+        if self.protocol.needs_redistribution(window_s=self.round_duration_s):
+            self.session.scale_out(self.protocol, window_s=self.round_duration_s)
+            redistributed = True
+
+        audit = self.session.audit_round()
+        outcome = RoundOutcome(
+            round_number=round_number,
+            started_at_s=started,
+            packets_sent=len(packets),
+            packets_delivered=len(delivered),
+            redistributed=redistributed,
+            enclaves_after=len(self.session.controller.enclaves),
+            audit=audit,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def run(self, traffic_source: TrafficSource, max_rounds: int) -> List[RoundOutcome]:
+        """Run up to ``max_rounds`` rounds; stops early on abort.
+
+        ``traffic_source(round_number)`` supplies each round's packets.
+        """
+        if max_rounds <= 0:
+            raise ConfigurationError("max_rounds must be positive")
+        for round_number in range(1, max_rounds + 1):
+            outcome = self.run_round(traffic_source(round_number))
+            if outcome.aborted:
+                break
+        return list(self.outcomes)

@@ -1,0 +1,223 @@
+"""The end-to-end VIF session between a victim and a filtering network.
+
+Mirrors the deployment walkthrough of paper VI-B:
+
+1. the victim contacts the IXP controller out of band and authenticates via
+   RPKI (its rules must target its own prefixes);
+2. the IXP launches filter enclaves; the victim **remotely attests** each
+   one, with the enclave's key-exchange public value bound into the
+   attestation report (channel binding);
+3. the victim establishes a secure channel *into each enclave* and submits
+   its filter rules over it — the untrusted network relays opaque
+   authenticated records it cannot tamper with;
+4. the controller distributes rules/traffic across the fleet (redistribution
+   rounds at most every few minutes — "a short time duration for each
+   filtering round so that victim networks can abort quickly");
+5. the victim (and neighbor ASes) audit the sketch logs each round and
+   **abort the contract** on any bypass evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.bypass import BypassEvidence, VictimAuditor, merge_enclave_logs
+from repro.core.controller import IXPController
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.rules import FilterRule, RPKIRegistry, RuleSet
+from repro.dataplane.packet import Packet
+from repro.errors import SessionAborted, SessionError
+from repro.sketch.countmin import CountMinSketch
+from repro.tee.attestation import AttestationReport, IASService, RemoteAttestationVerifier
+from repro.tee.secure_channel import ChannelEndpoint, SecureChannel
+
+
+class SessionState(enum.Enum):
+    CREATED = "created"
+    ATTESTED = "attested"
+    ACTIVE = "active"
+    ABORTED = "aborted"
+    CLOSED = "closed"
+
+
+@dataclass
+class AuditRecord:
+    """One audit round's outcome, kept as session evidence."""
+
+    round_number: int
+    evidence: BypassEvidence
+
+
+class VIFSession:
+    """Victim-side driver of one filtering contract."""
+
+    def __init__(
+        self,
+        victim_name: str,
+        rpki: RPKIRegistry,
+        ias: IASService,
+        controller: IXPController,
+        sketch_family_seed: str = "vif",
+        audit_tolerance: int = 0,
+    ) -> None:
+        self.victim_name = victim_name
+        self.rpki = rpki
+        self.controller = controller
+        self.state = SessionState.CREATED
+        self.auditor = VictimAuditor(victim_name, family_seed=sketch_family_seed)
+        self.verifier = RemoteAttestationVerifier(
+            ias,
+            expected_measurement=EnclaveFilter.measurement(),
+            verifier_id=victim_name,
+        )
+        self.audit_tolerance = audit_tolerance
+        self.attestation_reports: Dict[int, AttestationReport] = {}
+        self.audit_log: List[AuditRecord] = []
+        self._channels: Dict[int, SecureChannel] = {}
+        self._endpoints: Dict[int, ChannelEndpoint] = {}
+        self._installed = RuleSet()
+        self._rounds = 0
+
+    # -- step 2: attestation ------------------------------------------------------
+
+    def attest_filters(self) -> int:
+        """Attest every not-yet-attested enclave and open channels into them.
+
+        Returns the number of enclaves newly attested.  Raises
+        :class:`~repro.errors.AttestationError` if any enclave runs the
+        wrong code — the victim walks away before submitting anything.
+        """
+        self._require_not_aborted()
+        attested = 0
+        for index, enclave in enumerate(self.controller.enclaves):
+            if index in self.attestation_reports and not enclave.destroyed:
+                continue
+            enclave_public: bytes = enclave.ecall("channel_public")
+            report = self.verifier.attest(enclave, report_data=enclave_public)
+            self.attestation_reports[index] = report
+
+            endpoint = ChannelEndpoint.create(
+                f"victim-{index}", f"{self.victim_name}/{enclave.enclave_id}"
+            )
+            enclave.ecall("open_victim_channel", endpoint.public)
+            channel = SecureChannel.establish(
+                endpoint, int.from_bytes(enclave_public, "big"), role="client"
+            )
+            self._endpoints[index] = endpoint
+            self._channels[index] = channel
+            attested += 1
+        if self.state is SessionState.CREATED:
+            self.state = SessionState.ATTESTED
+        return attested
+
+    # -- step 3: rule submission -----------------------------------------------------
+
+    def submit_rules(self, rules: Sequence[FilterRule]) -> int:
+        """RPKI-validate and install rules into the (master) enclave.
+
+        Rules travel as one sealed record; the enclave parses and installs
+        them.  Returns the number installed.
+        """
+        self._require_state(SessionState.ATTESTED, SessionState.ACTIVE)
+        self.rpki.validate_rules(rules)
+        payload = json.dumps([rule.to_dict() for rule in rules]).encode()
+        sealed = self._channels[0].seal(payload)
+        installed = self.controller.enclaves[0].ecall("install_rules_sealed", sealed)
+        for rule in rules:
+            self._installed.add(rule)
+        # Rules start at the master enclave (Fig 5); the load balancer must
+        # steer matching traffic there until a redistribution round spreads
+        # the rules across the fleet.
+        routes = {rule.rule_id: [(0, 1.0)] for rule in self._installed}
+        self.controller.load_balancer.configure(self._installed, routes)
+        self.controller.state.rules = self._installed
+        self.state = SessionState.ACTIVE
+        return installed
+
+    # -- step 4: scale-out ---------------------------------------------------------------
+
+    def scale_out(
+        self, protocol: RuleDistributionProtocol, window_s: float = 5.0
+    ) -> None:
+        """Run a redistribution round, then attest any newly launched enclave.
+
+        Uses the authenticated Fig 5 round (rule re-calculation inside the
+        master enclave, MAC'd state uploads and plan slices), so the
+        controller ferrying the messages cannot skew the allocation.  New
+        enclaves must pass attestation *before* the victim trusts their
+        logs; an enclave that fails leaves the session aborted.
+        """
+        self._require_state(SessionState.ACTIVE)
+        protocol.run_round_authenticated(window_s=window_s)
+        self.attest_filters()
+
+    # -- traffic + audit ------------------------------------------------------------------
+
+    def observe_delivered(self, packets: Sequence[Packet]) -> None:
+        """Feed the packets that actually arrived at the victim network."""
+        self.auditor.observe_many(packets)
+
+    def fetch_outgoing_log(self, enclave_index: int) -> CountMinSketch:
+        """Fetch one enclave's authenticated outgoing sketch over the channel."""
+        self._require_state(SessionState.ACTIVE)
+        channel = self._channels[enclave_index]
+        sealed_request = channel.seal(b"outgoing")
+        sealed_response = self.controller.enclaves[enclave_index].ecall(
+            "export_logs", sealed_request
+        )
+        return CountMinSketch.deserialize(channel.open(sealed_response))
+
+    def audit_round(self, abort_on_evidence: bool = True) -> BypassEvidence:
+        """Fetch all outgoing logs, merge, and compare with local receipts.
+
+        On evidence of bypass the session aborts (the paper's remedy: "it
+        can decide to abort the ongoing filtering request").
+        """
+        self._require_state(SessionState.ACTIVE)
+        sketches = [
+            self.fetch_outgoing_log(index)
+            for index in range(len(self.controller.enclaves))
+        ]
+        merged = merge_enclave_logs(sketches)
+        if merged is None:
+            raise SessionError("no enclaves to audit")
+        evidence = self.auditor.audit(merged, tolerance=self.audit_tolerance)
+        self._rounds += 1
+        self.audit_log.append(AuditRecord(self._rounds, evidence))
+        if not evidence.clean and abort_on_evidence:
+            self.state = SessionState.ABORTED
+        return evidence
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Victim walks away from the contract."""
+        self.state = SessionState.ABORTED
+
+    def close(self) -> None:
+        """Orderly end of the contract."""
+        self._require_not_aborted()
+        self.state = SessionState.CLOSED
+
+    @property
+    def installed_rules(self) -> RuleSet:
+        return self._installed
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _require_state(self, *states: SessionState) -> None:
+        if self.state is SessionState.ABORTED:
+            raise SessionAborted("session was aborted after detected misbehavior")
+        if self.state not in states:
+            raise SessionError(
+                f"operation requires state in {[s.value for s in states]}, "
+                f"session is {self.state.value}"
+            )
+
+    def _require_not_aborted(self) -> None:
+        if self.state is SessionState.ABORTED:
+            raise SessionAborted("session was aborted after detected misbehavior")

@@ -1,0 +1,252 @@
+"""Stateful filtering extension — the paper's future-work direction.
+
+The conclusion of the paper "encourages more sophisticated yet auditable
+filter designs, such as stateful firewalls".  This module explores that
+frontier in both directions:
+
+* :class:`NaiveStatefulFirewall` — a textbook stateful design (SYN-gated
+  admission plus a token-bucket rate limiter fed by the enclave clock).
+  It is a *counter-example*: its verdicts depend on packet order and on the
+  adversary-controlled clock, so the filtering network can silently steer
+  outcomes without touching the enclave — exactly the manipulation the
+  III-A analysis rules out.  Tests demonstrate both manipulations.
+
+* :class:`AuditableRateLimitFilter` — a stateful-*looking* design that
+  stays auditable.  Per-rule admission quotas are enforced not over time
+  (no clock) but over a **deterministic hash partition of the flow space**:
+  a rule "admit at most fraction q of matching connections" maps each flow
+  to a point in [0,1) via ``H(5-tuple || secret)`` and admits it iff the
+  point falls below q.  This is the paper's non-deterministic rule
+  generalized to per-source-group budgets: verdicts remain pure functions
+  of the packet (equation 2), so order/timing manipulation is impossible,
+  while the victim can still express "cap every /16 of sources to its fair
+  share" — the common stateful-firewall use case during volumetric floods.
+
+The takeaway the module encodes: *state per se is not the problem — input
+channels the host controls are.*  Any extension whose verdict reads only
+(packet, rules, sealed secret) inherits VIF's auditability.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import ConfigurationError
+from repro.tee.clock import UntrustedClock
+from repro.util.rng import stable_hash64
+
+_HASH_SPACE = float(2**64)
+
+
+# ---------------------------------------------------------------------------
+# The counter-example: classic stateful design, not auditable.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _TokenBucket:
+    """A clock-fed token bucket (deliberately classic, deliberately unsafe)."""
+
+    rate_per_s: float
+    burst: float
+    tokens: float
+    last_refill: float
+
+    def admit(self, now: float, cost: float = 1.0) -> bool:
+        elapsed = max(0.0, now - self.last_refill)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate_per_s)
+        self.last_refill = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class NaiveStatefulFirewall:
+    """SYN-gated admission + per-source token buckets.  NOT auditable.
+
+    Two host-controlled input channels decide verdicts here:
+
+    * **order** — a data packet is admitted only if its flow's SYN was seen
+      first, so the host can deny a flow by reordering (or admit a bogus one
+      by injecting a SYN);
+    * **time** — the token bucket refills from the enclave clock, which the
+      host feeds; slowing the clock starves every source of tokens,
+      speeding it up effectively disables the limiter.
+
+    Provided so tests (and readers) can watch both manipulations succeed;
+    contrast with :class:`AuditableRateLimitFilter` below.
+    """
+
+    def __init__(
+        self,
+        clock: UntrustedClock,
+        rate_per_s: float = 100.0,
+        burst: float = 10.0,
+    ) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self._clock = clock
+        self._rate = rate_per_s
+        self._burst = burst
+        self._established: set = set()
+        self._buckets: Dict[str, _TokenBucket] = {}
+
+    def process(self, packet: Packet, syn: bool = False) -> bool:
+        """Verdict for one packet; ``syn`` marks TCP connection setup."""
+        flow = packet.five_tuple
+        if flow.protocol is Protocol.TCP:
+            if syn:
+                self._established.add(flow)
+            elif flow not in self._established:
+                return False  # no handshake observed -> reject (order-dependent!)
+        bucket = self._buckets.get(flow.src_ip)
+        if bucket is None:
+            bucket = _TokenBucket(
+                rate_per_s=self._rate,
+                burst=self._burst,
+                tokens=self._burst,
+                last_refill=self._clock.now(),
+            )
+            self._buckets[flow.src_ip] = bucket
+        return bucket.admit(self._clock.now())
+
+
+# ---------------------------------------------------------------------------
+# The auditable alternative.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceGroupQuota:
+    """One stateful-firewall-style policy expressed auditably.
+
+    ``group_prefix`` names the source group (e.g. ``"10.1.0.0/16"``);
+    ``admit_fraction`` is the fraction of that group's *connections* to
+    admit.  The victim computes fractions from its capacity and the
+    measured per-group rates, then updates them at round boundaries — the
+    adaptation loop lives with the victim, outside the data path, so the
+    data-path verdict stays stateless.
+    """
+
+    quota_id: int
+    group_prefix: str
+    admit_fraction: float
+
+    def __post_init__(self) -> None:
+        try:
+            ipaddress.ip_network(self.group_prefix, strict=False)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad group prefix: {exc}") from exc
+        if not 0.0 <= self.admit_fraction <= 1.0:
+            raise ConfigurationError("admit_fraction must be in [0, 1]")
+
+    def covers(self, flow: FiveTuple) -> bool:
+        """True when ``flow``'s source falls inside this quota's group."""
+        network = ipaddress.ip_network(self.group_prefix, strict=False)
+        return ipaddress.ip_address(flow.src_ip) in network
+
+
+class AuditableRateLimitFilter:
+    """Per-source-group admission quotas with stateless verdicts.
+
+    For a flow in group ``g`` under quota ``q``: admit iff
+    ``H(5T || secret || quota_id) < q * 2^64``.  Connection-preserving by
+    construction (all packets of a flow hash identically) and auditable by
+    construction (no clocks, no history).  The *fraction admitted within
+    each group* concentrates around ``q`` — the property tests quantify it —
+    which is what a token bucket delivers on average, without giving the
+    host a steering channel.
+    """
+
+    def __init__(self, secret: str) -> None:
+        if not secret:
+            raise ConfigurationError("need a non-empty enclave secret")
+        self._secret = secret
+        self._quotas: Dict[int, SourceGroupQuota] = {}
+
+    def install_quota(self, quota: SourceGroupQuota) -> None:
+        if quota.quota_id in self._quotas:
+            raise ConfigurationError(f"duplicate quota id {quota.quota_id}")
+        self._quotas[quota.quota_id] = quota
+
+    def remove_quota(self, quota_id: int) -> None:
+        self._quotas.pop(quota_id, None)
+
+    def update_quota(self, quota: SourceGroupQuota) -> None:
+        """Round-boundary adaptation: replace a quota's fraction."""
+        self._quotas[quota.quota_id] = quota
+
+    def admit(self, packet: Packet) -> bool:
+        """True when every installed quota admits the packet's flow."""
+        return self.admit_flow(packet.five_tuple)
+
+    def admit_flow(self, flow: FiveTuple) -> bool:
+        """Every quota whose group covers the flow must admit it; flows in
+        no quota's group pass freely (the default-allow of III-A)."""
+        for quota in self._quotas.values():
+            if not quota.covers(flow):
+                continue
+            point = stable_hash64(
+                flow.key(), salt=f"{self._secret}|quota-{quota.quota_id}"
+            )
+            if point >= quota.admit_fraction * _HASH_SPACE:
+                return False
+        return True
+
+    @property
+    def num_quotas(self) -> int:
+        return len(self._quotas)
+
+    def describe(self) -> str:
+        parts = [
+            f"quota {q.quota_id}: admit {q.admit_fraction:.0%} of {q.group_prefix}"
+            for q in self._quotas.values()
+        ]
+        return "; ".join(parts) or "no quotas installed"
+
+
+def fair_share_quotas(
+    group_rates_bps: Dict[str, float],
+    capacity_bps: float,
+    start_id: int = 1,
+) -> Dict[str, SourceGroupQuota]:
+    """Victim-side helper: derive per-group admit fractions from rates.
+
+    ``group_rates_bps`` maps source-group prefixes (e.g. ``"10.1.0.0/16"``)
+    to their measured inbound rate.  Implements max-min fair sharing:
+    groups under their fair share are fully admitted; the remaining
+    capacity is split evenly across the heavy groups.  Returns
+    ``{group_prefix: quota}`` ready to install.
+    """
+    if capacity_bps <= 0:
+        raise ConfigurationError("capacity must be positive")
+    if not group_rates_bps:
+        return {}
+    remaining = capacity_bps
+    pending = dict(group_rates_bps)
+    shares: Dict[str, float] = {}
+    # Classic water-filling.
+    while pending:
+        fair = remaining / len(pending)
+        satisfied = {g: r for g, r in pending.items() if r <= fair}
+        if not satisfied:
+            for group in pending:
+                shares[group] = fair
+            break
+        for group, rate in satisfied.items():
+            shares[group] = rate
+            remaining -= rate
+            del pending[group]
+    quotas: Dict[str, SourceGroupQuota] = {}
+    for index, (group, rate) in enumerate(sorted(group_rates_bps.items())):
+        fraction = 1.0 if rate <= 0 else min(1.0, shares[group] / rate)
+        quotas[group] = SourceGroupQuota(
+            quota_id=start_id + index,
+            group_prefix=group,
+            admit_fraction=fraction,
+        )
+    return quotas

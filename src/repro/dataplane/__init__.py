@@ -1,0 +1,53 @@
+"""Data-plane substrate: packets, rings, NIC, pipeline, traffic generation.
+
+This package replaces the paper's DPDK + 10 GbE testbed with a functional and
+timing-calibrated simulation: packets are real Python objects flowing through
+RX rings, a filter stage, and TX rings, while a cycle-cost model (calibrated
+against the paper's measured points) converts per-packet work into simulated
+throughput and latency.
+"""
+
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.dataplane.rings import Ring, RingOverflow
+from repro.dataplane.nic import NIC, PortStats
+from repro.dataplane.pktgen import FlowSpec_, PacketGenerator, TrafficProfile
+from repro.dataplane.cost_model import (
+    CostModel,
+    ImplementationVariant,
+    PAPER_COST_MODEL,
+)
+from repro.dataplane.pipeline import FilterPipeline, PipelineStats
+from repro.dataplane.throughput import (
+    LatencyReport,
+    ThroughputHarness,
+    ThroughputReport,
+)
+from repro.dataplane.trace import (
+    iter_trace,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "CostModel",
+    "FilterPipeline",
+    "FiveTuple",
+    "FlowSpec_",
+    "ImplementationVariant",
+    "LatencyReport",
+    "NIC",
+    "PAPER_COST_MODEL",
+    "Packet",
+    "PacketGenerator",
+    "PipelineStats",
+    "PortStats",
+    "Protocol",
+    "Ring",
+    "RingOverflow",
+    "ThroughputHarness",
+    "ThroughputReport",
+    "TrafficProfile",
+    "iter_trace",
+    "load_trace",
+    "save_trace",
+]

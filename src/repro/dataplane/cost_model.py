@@ -1,0 +1,220 @@
+"""Calibrated per-packet cycle-cost model for the VIF data plane.
+
+The paper's throughput/latency figures come from a DPDK + SGX testbed we do
+not have; per the substitution rule we reproduce them from an explicit cost
+structure.  Every constant below is anchored to a measured point in the
+paper (filter machine: Intel i7-6700, 3.4 GHz, one core per pipeline stage;
+the Filter thread is the bottleneck stage):
+
+* **Line rate.** 10 GbE carries ``10e9 / ((size + 20) * 8)`` packets/s
+  (14.88 Mpps at 64 B).  Throughput plots report *wire* Gb/s, so a
+  line-rate-limited run shows 10 Gb/s at every packet size, as in Fig 8.
+* **Native filter** ≈ 216 cycles/packet at 3,000 rules (ring hops + trie
+  walk) → 15.7 Mpps capacity → line-rate limited at all sizes (Fig 8/13
+  "Native").
+* **Near zero-copy SGX** adds the ``<5T, size, *>`` copy plus four linear
+  sketch hash updates ≈ +80 cycles → ≈ 296 cycles → 11.5 Mpps, i.e. ≈
+  7.7 Gb/s wire at 64 B — the paper's "8 Gb/s with 64 B packets and 3,000
+  rules" — and line rate at ≥128 B.
+* **Full-packet copy SGX** adds a fixed in-enclave buffer-management /
+  paging cost plus a per-byte copy ≈ +330 cycles + 0.45 cycles/B → ≈
+  5.3 Mpps at 64 B, matching the "capped at roughly 6 Mpps" of Fig 13 and
+  full line rate only at ≥256 B (Fig 8).
+* **Rule-count knee (Fig 3a).** Below ≈3,000 rules the lookup table stays
+  inside the cache/EPC-friendly working set (performance budget, see
+  :mod:`repro.lookup.memory_model`) and cost grows only logarithmically
+  with the trie walk; past it, each additional MB of table adds a
+  locality penalty (~6 cycles/packet/MB), collapsing throughput exactly
+  where the paper's Fig 3a does.
+* **SHA-256 hashing (Fig 14).** Hash-based connection-preserving filtering
+  costs ≈ 600 cycles per hashed packet; at a 10 % hash ratio that is +60
+  cycles — invisible except at 64 B where capacity is the binding
+  constraint (the paper's "up to 25 % degradation only at 64 B").
+* **Latency (§V-B).** The five measured points (34 µs @128 B … 107 µs
+  @1500 B at 8 Gb/s load) fit ``27.2 µs + 0.0532 µs/B`` to within ~3 µs —
+  a fixed pipeline traversal plus per-byte DMA/serialization — so that is
+  the model.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.lookup.memory_model import EnclaveMemoryModel, PAPER_MEMORY_MODEL
+from repro.util.units import MB, line_rate_pps
+
+
+class ImplementationVariant(enum.Enum):
+    """The three implementations benchmarked in Fig 8/13."""
+
+    NATIVE = "native"
+    SGX_FULL_COPY = "sgx-full-copy"
+    SGX_ZERO_COPY = "sgx-near-zero-copy"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-packet cycle costs for one filter pipeline."""
+
+    #: Core clock of the filter machine (i7-6700).
+    clock_hz: float = 3.4e9
+
+    #: RX poll + two ring hops + TX enqueue.
+    ring_cycles: float = 80.0
+
+    #: Trie lookup: fixed part plus per-level growth with the rule count.
+    lookup_base_cycles: float = 40.0
+    lookup_per_log2_rule_cycles: float = 8.0
+
+    #: Near zero-copy: copy <5T, size, *> into the enclave.
+    tuple_copy_cycles: float = 20.0
+
+    #: Two count-min sketches x two hash rows per packet.
+    sketch_cycles: float = 60.0
+
+    #: Full-packet copy: fixed in-enclave buffer management + paging churn,
+    #: plus the byte copy itself.
+    full_copy_fixed_cycles: float = 330.0
+    full_copy_per_byte_cycles: float = 0.45
+
+    #: SHA-256 over the 5-tuple for hash-based filtering decisions.
+    sha256_cycles: float = 600.0
+
+    #: Locality penalty once the lookup table exceeds the performance
+    #: budget: cycles per packet per MB of overshoot.
+    locality_cycles_per_mb: float = 6.0
+
+    #: Additional penalty per MB once the footprint exceeds the *EPC* and
+    #: real paging starts (full-copy runs live here permanently).
+    paging_cycles_per_mb: float = 10.0
+
+    memory_model: EnclaveMemoryModel = PAPER_MEMORY_MODEL
+
+    # -- cycle accounting ---------------------------------------------------
+
+    def lookup_cycles(self, num_rules: int) -> float:
+        """Trie walk cost including the locality/paging penalties."""
+        if num_rules < 0:
+            raise ValueError("num_rules must be non-negative")
+        cost = self.lookup_base_cycles
+        cost += self.lookup_per_log2_rule_cycles * math.log2(num_rules + 2)
+        footprint = self.memory_model.footprint_bytes(num_rules)
+        budget = self.memory_model.performance_budget_bytes
+        if footprint > budget:
+            cost += self.locality_cycles_per_mb * (footprint - budget) / MB
+        epc = self.memory_model.epc_limit_bytes
+        if footprint > epc:
+            cost += self.paging_cycles_per_mb * (footprint - epc) / MB
+        return cost
+
+    def per_packet_cycles(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        hash_ratio: float = 0.0,
+    ) -> float:
+        """Total Filter-thread cycles to process one packet.
+
+        ``hash_ratio`` is the fraction of packets undergoing the SHA-256
+        hash-based filtering decision (Appendix A/F, Fig 14).
+        """
+        if not 0.0 <= hash_ratio <= 1.0:
+            raise ValueError("hash_ratio must be within [0, 1]")
+        cycles = self.ring_cycles + self.lookup_cycles(num_rules)
+        if variant is ImplementationVariant.SGX_ZERO_COPY:
+            cycles += self.tuple_copy_cycles + self.sketch_cycles
+        elif variant is ImplementationVariant.SGX_FULL_COPY:
+            cycles += self.tuple_copy_cycles + self.sketch_cycles
+            cycles += (
+                self.full_copy_fixed_cycles
+                + self.full_copy_per_byte_cycles * packet_size
+            )
+        cycles += hash_ratio * self.sha256_cycles
+        return cycles
+
+    # -- throughput ---------------------------------------------------------
+
+    def capacity_pps(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        hash_ratio: float = 0.0,
+    ) -> float:
+        """CPU-bound packet rate of the filter stage."""
+        cycles = self.per_packet_cycles(variant, packet_size, num_rules, hash_ratio)
+        return self.clock_hz / cycles
+
+    def achieved_pps(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        hash_ratio: float = 0.0,
+        link_bps: float = 10e9,
+        offered_pps: float = float("inf"),
+    ) -> float:
+        """Delivered packet rate: min(offered, line rate, CPU capacity)."""
+        return min(
+            offered_pps,
+            line_rate_pps(packet_size, link_bps),
+            self.capacity_pps(variant, packet_size, num_rules, hash_ratio),
+        )
+
+    def achieved_wire_gbps(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        hash_ratio: float = 0.0,
+        link_bps: float = 10e9,
+        offered_pps: float = float("inf"),
+    ) -> float:
+        """Delivered throughput in wire Gb/s (framing included, as pktgen
+        reports it — a line-rate run reads 10.0 at every packet size)."""
+        pps = self.achieved_pps(
+            variant, packet_size, num_rules, hash_ratio, link_bps, offered_pps
+        )
+        return pps * (packet_size + 20) * 8 / 1e9
+
+    # -- latency ------------------------------------------------------------
+
+    #: Fixed pipeline traversal (polling intervals, ring hops) and per-byte
+    #: DMA/serialization — least-squares fit of the paper's five points.
+    latency_base_us: float = 27.2
+    latency_per_byte_us: float = 0.0532
+
+    def latency_us(
+        self,
+        packet_size: int,
+        variant: ImplementationVariant = ImplementationVariant.SGX_ZERO_COPY,
+        num_rules: int = 3000,
+        load_gbps: float = 8.0,
+        link_bps: float = 10e9,
+    ) -> float:
+        """Average packet latency under a constant offered load.
+
+        Below saturation the latency is load-independent (the paper measures
+        at a fixed 8 Gb/s); at or past saturation a queueing multiplier grows
+        toward infinity as offered load approaches capacity.
+        """
+        base = self.latency_base_us + self.latency_per_byte_us * packet_size
+        offered_pps = load_gbps * 1e9 / ((packet_size + 20) * 8)
+        capacity = min(
+            line_rate_pps(packet_size, link_bps),
+            self.capacity_pps(variant, packet_size, num_rules),
+        )
+        utilization = offered_pps / capacity
+        if utilization >= 1.0:
+            return float("inf")
+        # M/D/1-flavoured waiting growth; negligible at the paper's 80% load
+        # on a line-rate-limited run (the measured points already include
+        # that regime), dominant as utilization -> 1.
+        return base * (1.0 + 0.5 * utilization**2 / (1.0 - utilization) * 0.01)
+
+
+#: The calibration used by all benchmarks.
+PAPER_COST_MODEL = CostModel()

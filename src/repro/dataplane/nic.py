@@ -1,0 +1,81 @@
+"""A simulated NIC port with RX/TX queues and counters.
+
+Stands in for the 10 GbE Intel X540 cards of the paper's testbed.  The NIC
+does no policy — it moves packets between "the wire" (lists handed in/out by
+the harness) and its queues, and keeps the counters (received, transmitted,
+dropped-on-full) that the throughput harness and bypass audits read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.rings import Ring
+from repro.util.units import GBPS
+
+
+@dataclass
+class PortStats:
+    """Counter snapshot for one port."""
+
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    rx_dropped: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+
+
+class NIC:
+    """One port: an RX queue filled from the wire, a TX queue drained to it."""
+
+    def __init__(
+        self,
+        name: str,
+        link_bps: float = 10 * GBPS,
+        rx_queue_size: int = 4096,
+        tx_queue_size: int = 4096,
+    ) -> None:
+        self.name = name
+        self.link_bps = link_bps
+        self.rx_queue: Ring[Packet] = Ring(f"{name}/rx", rx_queue_size)
+        self.tx_queue: Ring[Packet] = Ring(f"{name}/tx", tx_queue_size)
+        self.stats = PortStats()
+
+    def receive_from_wire(self, packets: Iterable[Packet]) -> int:
+        """DMA packets from the wire into the RX queue; returns accepted count."""
+        accepted = 0
+        for packet in packets:
+            self.stats.rx_packets += 1
+            self.stats.rx_bytes += packet.size
+            if self.rx_queue.enqueue(packet):
+                accepted += 1
+            else:
+                self.stats.rx_dropped += 1
+        return accepted
+
+    def rx_burst(self, max_items: int = 32) -> List[Packet]:
+        """Poll the RX queue (what the RX thread does in its loop)."""
+        return self.rx_queue.dequeue_burst(max_items)
+
+    def tx(self, packets: Iterable[Packet]) -> int:
+        """Hand packets to the TX queue; returns accepted count."""
+        accepted = 0
+        for packet in packets:
+            if self.tx_queue.enqueue(packet):
+                accepted += 1
+        return accepted
+
+    def drain_to_wire(self) -> List[Packet]:
+        """Transmit everything queued (the harness is 'the wire')."""
+        out: List[Packet] = []
+        while True:
+            burst = self.tx_queue.dequeue_burst(64)
+            if not burst:
+                break
+            out.extend(burst)
+        for packet in out:
+            self.stats.tx_packets += 1
+            self.stats.tx_bytes += packet.size
+        return out

@@ -1,0 +1,116 @@
+"""Packets and five-tuples.
+
+VIF's auditable filter is deliberately stateless: the decision for a packet
+depends only on the packet itself (paper equation 2), in practice on its
+five-tuple ``(srcIP, dstIP, srcPort, dstPort, protocol)``.  The near
+zero-copy optimization copies exactly ``<5T, size>`` plus a memory reference
+into the enclave; :class:`Packet` mirrors that split — the five-tuple and
+size are the "copied" part, the payload stays outside.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+
+class Protocol(enum.IntEnum):
+    """IP protocol numbers used by the reproduction."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """An immutable flow identifier (the ``5T`` of the paper's Fig 7)."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: Protocol
+
+    def __post_init__(self) -> None:
+        # Validate addresses eagerly so malformed tuples fail at creation,
+        # not deep inside a sketch update.
+        ipaddress.ip_address(self.src_ip)
+        ipaddress.ip_address(self.dst_ip)
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port {port} out of range")
+
+    def key(self) -> bytes:
+        """Canonical byte encoding used for hashing (sketches, hash filters)."""
+        return (
+            f"{self.src_ip}|{self.dst_ip}|{self.src_port}|"
+            f"{self.dst_port}|{int(self.protocol)}"
+        ).encode("ascii")
+
+    def reversed(self) -> "FiveTuple":
+        """The reverse direction of this flow (used by tests/examples)."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    def src_ip_key(self) -> bytes:
+        """Key for the per-source-IP incoming log."""
+        return self.src_ip.encode("ascii")
+
+    def __str__(self) -> str:
+        proto = self.protocol.name
+        return (
+            f"{proto} {self.src_ip}:{self.src_port} -> "
+            f"{self.dst_ip}:{self.dst_port}"
+        )
+
+
+_packet_ids = count()
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``size`` is the full frame size in bytes (what pktgen reports and what
+    the throughput math uses).  ``payload`` stands in for the bytes that stay
+    in the untrusted memory pool under the near zero-copy design; the filter
+    never reads it.  ``ingress_as`` records which neighbor AS handed the
+    packet to the filtering network — the neighbor-side bypass detection
+    groups packets by it.
+    """
+
+    five_tuple: FiveTuple
+    size: int = 64
+    payload: bytes = b""
+    ingress_as: Optional[int] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 64 or self.size > 9216:
+            raise ValueError(f"frame size {self.size} outside [64, 9216]")
+
+    @property
+    def src_ip(self) -> str:
+        return self.five_tuple.src_ip
+
+    @property
+    def dst_ip(self) -> str:
+        return self.five_tuple.dst_ip
+
+    def clone(self) -> "Packet":
+        """A copy with a fresh packet id (used by injection attacks)."""
+        return Packet(
+            five_tuple=self.five_tuple,
+            size=self.size,
+            payload=self.payload,
+            ingress_as=self.ingress_as,
+        )

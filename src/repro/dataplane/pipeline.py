@@ -1,0 +1,120 @@
+"""The three-stage RX -> Filter -> TX pipeline (paper Fig 6).
+
+Functionally simulates the DPDK pipeline model: the RX stage polls the NIC
+RX queue in bursts onto the RX ring; the Filter stage pulls bursts off the
+RX ring, asks the filter for a verdict per packet, and pushes survivors to
+the TX ring (dropped packets go to the DROP ring for accounting); the TX
+stage drains the TX ring to the NIC.  The filter itself is a callable so the
+pipeline works with a bare function in unit tests and with an
+:class:`~repro.core.enclave_filter.EnclaveFilter` ECall in the full system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.dataplane.nic import NIC
+from repro.dataplane.packet import Packet
+from repro.dataplane.rings import Ring
+
+FilterFn = Callable[[Packet], bool]
+
+
+@dataclass
+class PipelineStats:
+    """Counters across one pipeline's lifetime."""
+
+    received: int = 0
+    allowed: int = 0
+    dropped: int = 0
+    ring_overflow_drops: int = 0
+
+    @property
+    def processed(self) -> int:
+        return self.allowed + self.dropped
+
+
+class FilterPipeline:
+    """One filter pipeline instance over a NIC pair.
+
+    ``filter_fn(packet) -> bool`` returns True to forward the packet.  The
+    burst size defaults to DPDK's conventional 32.
+    """
+
+    def __init__(
+        self,
+        filter_fn: FilterFn,
+        nic_in: Optional[NIC] = None,
+        nic_out: Optional[NIC] = None,
+        burst_size: int = 32,
+        ring_capacity: int = 4096,
+    ) -> None:
+        if burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        self.filter_fn = filter_fn
+        self.nic_in = nic_in or NIC("in")
+        self.nic_out = nic_out or NIC("out")
+        self.burst_size = burst_size
+        self.rx_ring: Ring[Packet] = Ring("rx", ring_capacity)
+        self.tx_ring: Ring[Packet] = Ring("tx", ring_capacity)
+        self.drop_ring: Ring[Packet] = Ring("drop", ring_capacity)
+        self.stats = PipelineStats()
+
+    # -- stages ------------------------------------------------------------
+
+    def rx_stage(self) -> int:
+        """Poll the inbound NIC onto the RX ring; returns packets moved."""
+        burst = self.nic_in.rx_burst(self.burst_size)
+        moved = self.rx_ring.enqueue_bulk(burst)
+        self.stats.received += len(burst)
+        self.stats.ring_overflow_drops += len(burst) - moved
+        return moved
+
+    def filter_stage(self) -> int:
+        """Run the filter over one burst; returns packets processed."""
+        burst = self.rx_ring.dequeue_burst(self.burst_size)
+        for packet in burst:
+            if self.filter_fn(packet):
+                if self.tx_ring.enqueue(packet):
+                    self.stats.allowed += 1
+                else:
+                    self.stats.ring_overflow_drops += 1
+            else:
+                self.stats.dropped += 1
+                # The DROP ring recycles buffers; overflow there only loses
+                # accounting fidelity, never packets, so use best-effort.
+                self.drop_ring.enqueue(packet)
+        return len(burst)
+
+    def tx_stage(self) -> int:
+        """Drain the TX ring to the outbound NIC; returns packets moved."""
+        burst = self.tx_ring.dequeue_burst(self.burst_size)
+        return self.nic_out.tx(burst)
+
+    # -- driving -----------------------------------------------------------
+
+    def run_once(self) -> None:
+        """One polling iteration of each stage, in pipeline order."""
+        self.rx_stage()
+        self.filter_stage()
+        self.tx_stage()
+
+    def run_until_drained(self, max_iterations: int = 1_000_000) -> None:
+        """Iterate until all queued packets have flowed through."""
+        for _ in range(max_iterations):
+            self.run_once()
+            if (
+                self.nic_in.rx_queue.empty
+                and self.rx_ring.empty
+                and self.tx_ring.empty
+            ):
+                break
+        else:
+            raise RuntimeError("pipeline failed to drain")
+
+    def process(self, packets: List[Packet]) -> List[Packet]:
+        """Convenience: push ``packets`` through and return the forwarded ones."""
+        self.nic_in.receive_from_wire(packets)
+        self.run_until_drained()
+        return self.nic_out.drain_to_wire()

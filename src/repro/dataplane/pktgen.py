@@ -1,0 +1,145 @@
+"""Traffic generation (stand-in for pktgen-dpdk).
+
+Generates reproducible packet streams from flow specifications: fixed-size
+line-rate sweeps for the throughput figures, mixed attack/legitimate traffic
+for the end-to-end examples, and lognormal per-rule rate profiles for the
+optimizer workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.util.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class FlowSpec_(object):
+    """A generator-side flow: a five-tuple plus its share of the traffic.
+
+    Named with a trailing underscore to avoid colliding with the *rule*
+    pattern type :class:`repro.core.rules.FlowPattern`.
+    """
+
+    five_tuple: FiveTuple
+    weight: float = 1.0
+    packet_size: int = 64
+    ingress_as: Optional[int] = None
+
+    def make_packet(self) -> Packet:
+        return Packet(
+            five_tuple=self.five_tuple,
+            size=self.packet_size,
+            ingress_as=self.ingress_as,
+        )
+
+
+@dataclass
+class TrafficProfile:
+    """A weighted mixture of flows drawn deterministically."""
+
+    flows: List[FlowSpec_] = field(default_factory=list)
+    seed: int = 0
+
+    def add_flow(self, flow: FlowSpec_) -> None:
+        if flow.weight <= 0:
+            raise ValueError("flow weight must be positive")
+        self.flows.append(flow)
+
+    def packets(self, count: int) -> Iterator[Packet]:
+        """Yield ``count`` packets, flows sampled by weight."""
+        if not self.flows:
+            raise ValueError("traffic profile has no flows")
+        rng = deterministic_rng(self.seed)
+        weights = [f.weight for f in self.flows]
+        for _ in range(count):
+            flow = rng.choices(self.flows, weights=weights, k=1)[0]
+            yield flow.make_packet()
+
+
+class PacketGenerator:
+    """Convenience builders for the traffic shapes the paper uses."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = deterministic_rng(seed)
+
+    def uniform_flows(
+        self,
+        num_flows: int,
+        dst_ip: str = "203.0.113.10",
+        dst_port: int = 80,
+        protocol: Protocol = Protocol.TCP,
+        packet_size: int = 64,
+        src_subnet_octets: Sequence[int] = (10, 0),
+        ingress_ases: Sequence[int] = (),
+    ) -> List[FlowSpec_]:
+        """``num_flows`` distinct source hosts hitting one destination.
+
+        Sources walk a /16 (then roll into the next /16) so flows are
+        distinct; ingress ASes round-robin over ``ingress_ases`` when given.
+        """
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        flows: List[FlowSpec_] = []
+        a, b = src_subnet_octets
+        for i in range(num_flows):
+            hi, lo = divmod(i, 254)
+            hi2, hi = divmod(hi, 254)
+            src_ip = f"{a}.{(b + hi2) % 256}.{hi % 254 + 1}.{lo + 1}"
+            five_tuple = FiveTuple(
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=1024 + (i % 60000),
+                dst_port=dst_port,
+                protocol=protocol,
+            )
+            ingress = ingress_ases[i % len(ingress_ases)] if ingress_ases else None
+            flows.append(
+                FlowSpec_(
+                    five_tuple=five_tuple,
+                    packet_size=packet_size,
+                    ingress_as=ingress,
+                )
+            )
+        return flows
+
+    def constant_stream(
+        self, flow: FlowSpec_, count: int
+    ) -> List[Packet]:
+        """``count`` identical-flow packets (single-flow line-rate test)."""
+        return [flow.make_packet() for _ in range(count)]
+
+    def mixed_profile(
+        self,
+        attack_flows: Sequence[FlowSpec_],
+        legit_flows: Sequence[FlowSpec_],
+        attack_fraction: float = 0.9,
+    ) -> TrafficProfile:
+        """A profile where ``attack_fraction`` of packets come from attackers."""
+        if not 0.0 < attack_fraction < 1.0:
+            raise ValueError("attack_fraction must be in (0, 1)")
+        if not attack_flows or not legit_flows:
+            raise ValueError("need at least one attack and one legit flow")
+        profile = TrafficProfile(seed=self.seed)
+        for flow in attack_flows:
+            profile.add_flow(
+                FlowSpec_(
+                    five_tuple=flow.five_tuple,
+                    weight=attack_fraction / len(attack_flows),
+                    packet_size=flow.packet_size,
+                    ingress_as=flow.ingress_as,
+                )
+            )
+        for flow in legit_flows:
+            profile.add_flow(
+                FlowSpec_(
+                    five_tuple=flow.five_tuple,
+                    weight=(1.0 - attack_fraction) / len(legit_flows),
+                    packet_size=flow.packet_size,
+                    ingress_as=flow.ingress_as,
+                )
+            )
+        return profile

@@ -1,0 +1,74 @@
+"""Bounded single-producer/single-consumer rings (DPDK lockless rings).
+
+The paper's pipeline passes packets between the RX, Filter and TX threads
+through lockless rings (RX ring, DROP ring, TX ring).  The simulation is
+single-threaded, so a ring is a bounded deque with DPDK-style bulk
+enqueue/dequeue and drop-on-overflow accounting — overflowing a ring is how
+back-pressure shows up in pipeline statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class RingOverflow(Exception):
+    """Raised by :meth:`Ring.enqueue_strict` when the ring is full."""
+
+
+class Ring(Generic[T]):
+    """A bounded FIFO with bulk operations and overflow accounting."""
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("ring capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+
+    def enqueue(self, item: T) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def enqueue_strict(self, item: T) -> None:
+        """Enqueue or raise :class:`RingOverflow` (for control messages)."""
+        if not self.enqueue(item):
+            raise RingOverflow(f"ring {self.name!r} full at {self.capacity}")
+
+    def enqueue_bulk(self, items: Iterable[T]) -> int:
+        """Enqueue many; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.enqueue(item):
+                accepted += 1
+        return accepted
+
+    def dequeue_burst(self, max_items: int = 32) -> List[T]:
+        """Dequeue up to ``max_items`` (the DPDK burst pattern)."""
+        if max_items <= 0:
+            raise ValueError("max_items must be positive")
+        burst: List[T] = []
+        while self._items and len(burst) < max_items:
+            burst.append(self._items.popleft())
+        self.dequeued += len(burst)
+        return burst
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items

@@ -1,0 +1,158 @@
+"""Throughput/latency measurement harness over the calibrated cost model.
+
+This is the module the figure benchmarks call: each method returns exactly
+the series a paper figure plots.  Numbers are *simulated* (cost model), not
+wall clock — the shapes, knees and crossovers are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.dataplane.cost_model import (
+    CostModel,
+    ImplementationVariant,
+    PAPER_COST_MODEL,
+)
+from repro.util.units import GBPS, MPPS
+
+#: The packet sizes every throughput figure sweeps.
+PAPER_PACKET_SIZES = (64, 128, 256, 512, 1024, 1500)
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """One figure-8/13-style sweep for a single implementation variant."""
+
+    variant: ImplementationVariant
+    packet_sizes: Sequence[int]
+    gbps: Sequence[float]
+    mpps: Sequence[float]
+
+    def as_rows(self) -> List[List[object]]:
+        return [
+            [size, round(g, 2), round(m, 2)]
+            for size, g, m in zip(self.packet_sizes, self.gbps, self.mpps)
+        ]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """The section V-B latency table."""
+
+    packet_sizes: Sequence[int]
+    latency_us: Sequence[float]
+
+
+class ThroughputHarness:
+    """Runs the paper's data-plane sweeps against a cost model."""
+
+    def __init__(
+        self,
+        cost_model: CostModel = PAPER_COST_MODEL,
+        link_bps: float = 10 * GBPS,
+    ) -> None:
+        self.cost_model = cost_model
+        self.link_bps = link_bps
+
+    # -- Fig 8 / Fig 13 -----------------------------------------------------
+
+    def packet_size_sweep(
+        self,
+        variant: ImplementationVariant,
+        num_rules: int = 3000,
+        packet_sizes: Sequence[int] = PAPER_PACKET_SIZES,
+    ) -> ThroughputReport:
+        """Throughput vs packet size for one implementation variant."""
+        gbps: List[float] = []
+        mpps: List[float] = []
+        for size in packet_sizes:
+            pps = self.cost_model.achieved_pps(
+                variant, size, num_rules, link_bps=self.link_bps
+            )
+            gbps.append(
+                self.cost_model.achieved_wire_gbps(
+                    variant, size, num_rules, link_bps=self.link_bps
+                )
+            )
+            mpps.append(pps / MPPS)
+        return ThroughputReport(
+            variant=variant,
+            packet_sizes=tuple(packet_sizes),
+            gbps=tuple(gbps),
+            mpps=tuple(mpps),
+        )
+
+    def all_variants_sweep(
+        self, num_rules: int = 3000
+    ) -> Dict[ImplementationVariant, ThroughputReport]:
+        """The full Fig 8/13 comparison across all three implementations."""
+        return {
+            variant: self.packet_size_sweep(variant, num_rules)
+            for variant in ImplementationVariant
+        }
+
+    # -- Fig 3a -------------------------------------------------------------
+
+    def rule_count_sweep(
+        self,
+        rule_counts: Sequence[int],
+        variant: ImplementationVariant = ImplementationVariant.NATIVE,
+        packet_size: int = 64,
+    ) -> List[float]:
+        """Throughput (Mpps) vs number of installed rules."""
+        return [
+            self.cost_model.achieved_pps(
+                variant, packet_size, k, link_bps=self.link_bps
+            )
+            / MPPS
+            for k in rule_counts
+        ]
+
+    def memory_sweep(self, rule_counts: Sequence[int]) -> List[float]:
+        """Enclave memory footprint (MB) vs number of rules (Fig 3b)."""
+        model = self.cost_model.memory_model
+        return [model.footprint_bytes(k) / (1024 * 1024) for k in rule_counts]
+
+    # -- Fig 14 -------------------------------------------------------------
+
+    def hash_ratio_sweep(
+        self,
+        hash_ratios: Sequence[float],
+        packet_sizes: Sequence[int] = PAPER_PACKET_SIZES,
+        num_rules: int = 3000,
+    ) -> Dict[int, List[float]]:
+        """Wire Gb/s per packet size as the hashed fraction varies."""
+        out: Dict[int, List[float]] = {}
+        for size in packet_sizes:
+            out[size] = [
+                self.cost_model.achieved_wire_gbps(
+                    ImplementationVariant.SGX_ZERO_COPY,
+                    size,
+                    num_rules,
+                    hash_ratio=ratio,
+                    link_bps=self.link_bps,
+                )
+                for ratio in hash_ratios
+            ]
+        return out
+
+    # -- section V-B latency --------------------------------------------------
+
+    def latency_sweep(
+        self,
+        packet_sizes: Sequence[int] = (128, 256, 512, 1024, 1500),
+        load_gbps: float = 8.0,
+        num_rules: int = 3000,
+    ) -> LatencyReport:
+        """Average latency at a constant offered load (paper: 8 Gb/s)."""
+        return LatencyReport(
+            packet_sizes=tuple(packet_sizes),
+            latency_us=tuple(
+                self.cost_model.latency_us(
+                    size, num_rules=num_rules, load_gbps=load_gbps
+                )
+                for size in packet_sizes
+            ),
+        )

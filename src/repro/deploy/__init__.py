@@ -1,0 +1,25 @@
+"""Deployment planning at IXPs (paper VI-B, VI-D).
+
+* :mod:`repro.deploy.capacity` — how many SGX servers/enclaves a target
+  filtering capacity needs (10 Gb/s and ~3,000 rules per enclave);
+* :mod:`repro.deploy.cost` — the paper's ballpark economics: 500 Gb/s from
+  50 commodity servers ≈ US$100K one-time, amortizable over member ASes;
+* :mod:`repro.deploy.ixp_deployment` — stands up a full VIF deployment
+  (controller + enclave fleet sized by the planner) at an IXP from the
+  inter-domain model.
+"""
+
+from repro.deploy.capacity import CapacityPlan, CapacityPlanner
+from repro.deploy.cost import CostReport, deployment_cost
+from repro.deploy.ixp_deployment import IXPDeployment
+from repro.deploy.scaleout import ScaleOutAssessment, ScaleOutPlanner
+
+__all__ = [
+    "CapacityPlan",
+    "CapacityPlanner",
+    "CostReport",
+    "IXPDeployment",
+    "ScaleOutAssessment",
+    "ScaleOutPlanner",
+    "deployment_cost",
+]

@@ -1,0 +1,96 @@
+"""Capacity planning for a VIF deployment (paper IV, VI-D).
+
+Sizing follows the two per-enclave bottlenecks of section IV-A: 10 Gb/s of
+traffic and ~3,000 filter rules.  One commodity server with four SGX cores
+hosts one line-rate filter pipeline, so servers == enclaves in the default
+plan (the paper's 500 Gb/s = 50 servers example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.lookup.memory_model import EnclaveMemoryModel, PAPER_MEMORY_MODEL
+from repro.tee.attestation import (
+    AttestationTimingModel,
+    PAPER_ATTESTATION_TIMING,
+)
+from repro.util.units import GBPS
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The result of sizing a deployment."""
+
+    target_gbps: float
+    total_rules: int
+    num_enclaves: int
+    num_servers: int
+    num_racks: int
+    setup_attestation_s: float
+
+    def as_rows(self):
+        return [
+            ["target capacity (Gb/s)", round(self.target_gbps, 1)],
+            ["filter rules", self.total_rules],
+            ["enclaves", self.num_enclaves],
+            ["servers", self.num_servers],
+            ["racks", self.num_racks],
+            ["attestation setup (s)", round(self.setup_attestation_s, 2)],
+        ]
+
+
+class CapacityPlanner:
+    """Sizes enclave fleets for a capacity/rule target."""
+
+    def __init__(
+        self,
+        enclave_bandwidth_bps: float = 10 * GBPS,
+        memory_model: EnclaveMemoryModel = PAPER_MEMORY_MODEL,
+        headroom: float = 0.1,
+        servers_per_rack: int = 42,
+        attestation_timing: AttestationTimingModel = PAPER_ATTESTATION_TIMING,
+        parallel_attestations: int = 8,
+    ) -> None:
+        if enclave_bandwidth_bps <= 0:
+            raise ConfigurationError("enclave bandwidth must be positive")
+        if servers_per_rack <= 0:
+            raise ConfigurationError("servers_per_rack must be positive")
+        self.enclave_bandwidth_bps = enclave_bandwidth_bps
+        self.memory_model = memory_model
+        self.headroom = headroom
+        self.servers_per_rack = servers_per_rack
+        self.attestation_timing = attestation_timing
+        self.parallel_attestations = parallel_attestations
+
+    def plan(self, target_gbps: float, total_rules: int = 0) -> CapacityPlan:
+        """Size a fleet for ``target_gbps`` of traffic and ``total_rules``.
+
+        The enclave count is the max of the bandwidth-driven and
+        rule-capacity-driven requirements, inflated by the optimizer's λ
+        headroom (paper IV-B).
+        """
+        if target_gbps <= 0:
+            raise ConfigurationError("target capacity must be positive")
+        if total_rules < 0:
+            raise ConfigurationError("total_rules must be non-negative")
+        by_bandwidth = target_gbps * GBPS / self.enclave_bandwidth_bps
+        rule_capacity = max(1, self.memory_model.rule_capacity())
+        by_rules = total_rules / rule_capacity
+        enclaves = max(1, math.ceil(max(by_bandwidth, by_rules) * (1 + self.headroom)))
+        servers = enclaves  # one 4-core SGX pipeline per commodity server
+        racks = math.ceil(servers / self.servers_per_rack)
+        # Attestations run in parallel batches; each round trip dominated by
+        # the IAS exchange (Appendix G).
+        batches = math.ceil(enclaves / self.parallel_attestations)
+        setup_s = batches * self.attestation_timing.end_to_end_s()
+        return CapacityPlan(
+            target_gbps=target_gbps,
+            total_rules=total_rules,
+            num_enclaves=enclaves,
+            num_servers=servers,
+            num_racks=racks,
+            setup_attestation_s=setup_s,
+        )

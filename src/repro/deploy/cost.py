@@ -1,0 +1,69 @@
+"""The paper's VI-D deployment cost analysis.
+
+"With a commodity server cost [of] approximately US$2,000, the filtering
+IXP only needs to spend ... US$100K [one-time] to offer an extremely large
+defense capability of 500 Gb/s", amortizable over hundreds of member ASes
+or recovered through victim service fees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deploy.capacity import CapacityPlanner
+from repro.errors import ConfigurationError
+
+#: Paper's commodity SGX server estimate.
+SERVER_UNIT_COST_USD = 2_000.0
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One-time capital expenditure breakdown for a VIF deployment."""
+
+    target_gbps: float
+    num_servers: int
+    server_unit_cost_usd: float
+    total_capex_usd: float
+    member_ases: int
+    capex_per_member_usd: float
+
+    def as_rows(self):
+        return [
+            ["target capacity (Gb/s)", round(self.target_gbps, 1)],
+            ["servers", self.num_servers],
+            ["server unit cost (USD)", round(self.server_unit_cost_usd, 2)],
+            ["total capex (USD)", round(self.total_capex_usd, 2)],
+            ["member ASes", self.member_ases],
+            ["capex per member (USD)", round(self.capex_per_member_usd, 2)],
+        ]
+
+
+def deployment_cost(
+    target_gbps: float = 500.0,
+    member_ases: int = 500,
+    server_unit_cost_usd: float = SERVER_UNIT_COST_USD,
+    planner: CapacityPlanner = None,
+    headroom: float = 0.0,
+) -> CostReport:
+    """Compute the VI-D estimate.
+
+    The paper's headline number uses exactly ``capacity / 10 Gb/s`` servers
+    (no λ headroom), so ``headroom`` defaults to zero here.
+    """
+    if member_ases <= 0:
+        raise ConfigurationError("member_ases must be positive")
+    if server_unit_cost_usd <= 0:
+        raise ConfigurationError("server cost must be positive")
+    if planner is None:
+        planner = CapacityPlanner(headroom=headroom)
+    plan = planner.plan(target_gbps)
+    capex = plan.num_servers * server_unit_cost_usd
+    return CostReport(
+        target_gbps=target_gbps,
+        num_servers=plan.num_servers,
+        server_unit_cost_usd=server_unit_cost_usd,
+        total_capex_usd=capex,
+        member_ases=member_ases,
+        capex_per_member_usd=capex / member_ases,
+    )

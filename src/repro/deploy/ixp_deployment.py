@@ -1,0 +1,84 @@
+"""A complete VIF deployment at an IXP from the inter-domain model.
+
+Ties the pieces together (paper Fig 10): the IXP (with its member ASes as
+potential neighbor auditors), a controller with an enclave fleet sized by
+the capacity planner, and a redistribution protocol.  Victims open sessions
+against the deployment; the example scripts drive full campaigns through
+this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.bypass import NeighborAuditor
+from repro.core.controller import IXPController
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.rules import RPKIRegistry
+from repro.core.session import VIFSession
+from repro.deploy.capacity import CapacityPlan, CapacityPlanner
+from repro.errors import ConfigurationError
+from repro.interdomain.ixp import IXP
+from repro.tee.attestation import IASService
+
+
+@dataclass
+class IXPDeployment:
+    """One VIF-enabled IXP."""
+
+    ixp: IXP
+    controller: IXPController
+    protocol: RuleDistributionProtocol
+    plan: CapacityPlan
+
+    @classmethod
+    def create(
+        cls,
+        ixp: IXP,
+        target_gbps: float,
+        ias: Optional[IASService] = None,
+        expected_rules: int = 3000,
+        planner: Optional[CapacityPlanner] = None,
+    ) -> "IXPDeployment":
+        """Stand up a deployment sized for ``target_gbps`` at ``ixp``."""
+        if target_gbps <= 0:
+            raise ConfigurationError("target capacity must be positive")
+        planner = planner or CapacityPlanner()
+        plan = planner.plan(target_gbps, total_rules=expected_rules)
+        controller = IXPController(
+            ias or IASService(service_name=f"ias-{ixp.ixp_id}"),
+            enclave_secret_seed=f"vif/{ixp.ixp_id}",
+        )
+        controller.launch_filters(plan.num_enclaves, scale_out=plan.num_enclaves > 1)
+        protocol = RuleDistributionProtocol(controller)
+        return cls(ixp=ixp, controller=controller, protocol=protocol, plan=plan)
+
+    def open_session(
+        self,
+        victim_name: str,
+        rpki: RPKIRegistry,
+        ias: IASService,
+        audit_tolerance: int = 0,
+    ) -> VIFSession:
+        """A victim opens (and attests) a filtering session here."""
+        session = VIFSession(
+            victim_name,
+            rpki,
+            ias,
+            self.controller,
+            audit_tolerance=audit_tolerance,
+        )
+        session.attest_filters()
+        return session
+
+    def neighbor_auditors(self, limit: Optional[int] = None) -> Dict[int, NeighborAuditor]:
+        """Auditors for (up to ``limit``) member ASes of this IXP."""
+        members = sorted(self.ixp.members)
+        if limit is not None:
+            members = members[:limit]
+        return {asn: NeighborAuditor(asn) for asn in members}
+
+    @property
+    def capacity_gbps(self) -> float:
+        return self.plan.num_enclaves * 10.0

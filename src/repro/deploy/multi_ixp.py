@@ -1,0 +1,259 @@
+"""Multi-IXP defense campaigns: the operational face of Fig 11.
+
+Fig 11 counts how many attack *sources* have a VIF IXP on their path; this
+module closes the loop by actually running the defense: the victim opens a
+session at each selected IXP, submits the same rules everywhere, and attack
+traffic is filtered at the **first** VIF IXP its AS path crosses (or
+reaches the victim unfiltered when no selected IXP is on path).  The result
+is the end-to-end quantity operators care about — residual attack volume at
+the victim as a function of how many IXPs offer VIF.
+
+Everything composes from existing parts: the synthetic Internet and policy
+routing pick the interception points; each interception point is a real
+:class:`~repro.deploy.ixp_deployment.IXPDeployment` with attested enclaves,
+sealed rule installs and sketch audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.bypass import BypassEvidence
+from repro.core.rules import FilterRule, RPKIRegistry
+from repro.core.session import VIFSession
+from repro.dataplane.packet import Packet
+from repro.deploy.ixp_deployment import IXPDeployment
+from repro.errors import ConfigurationError
+from repro.interdomain.ixp import IXP, top_ixps_by_region
+from repro.interdomain.routing import as_path, route_tree
+from repro.interdomain.topology import ASGraph
+from repro.tee.attestation import IASService
+
+DeliveryFn = Callable[[Iterable[Packet]], List[Packet]]
+
+
+@dataclass
+class MitigationReport:
+    """Outcome of one attack wave through the multi-IXP defense."""
+
+    packets_sent: int = 0
+    packets_filtered_at_ixps: int = 0
+    packets_delivered: int = 0
+    packets_unintercepted: int = 0
+    per_ixp_processed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def interception_ratio(self) -> float:
+        """Fraction of attack packets that met a VIF filter (Fig 11's
+        per-packet analogue)."""
+        if self.packets_sent == 0:
+            return 0.0
+        return 1.0 - self.packets_unintercepted / self.packets_sent
+
+    @property
+    def residual_ratio(self) -> float:
+        """Fraction of attack packets that reached the victim."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_sent
+
+
+class MultiIXPDefense:
+    """A victim's VIF contracts across the Top-n IXPs of every region."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        ixps: Sequence[IXP],
+        victim_asn: int,
+        victim_name: str,
+        victim_prefix: str,
+        top_n: int = 1,
+        per_ixp_gbps: float = 20.0,
+    ) -> None:
+        if victim_asn not in graph:
+            raise ConfigurationError(f"victim AS{victim_asn} not in topology")
+        self.graph = graph
+        self.victim_asn = victim_asn
+        self.victim_name = victim_name
+        self.victim_prefix = victim_prefix
+        self.selected = top_ixps_by_region(ixps, top_n)
+        self._routes = route_tree(graph, victim_asn)
+        self._interception_cache: Dict[int, Optional[str]] = {}
+
+        self.ias = IASService(service_name=f"ias-{victim_name}")
+        self.rpki = RPKIRegistry()
+        self.rpki.authorize(victim_name, victim_prefix)
+        self._all_ixps = list(ixps)
+        self._per_ixp_gbps = per_ixp_gbps
+        self.deployments: Dict[str, IXPDeployment] = {}
+        self.sessions: Dict[str, VIFSession] = {}
+        #: Test/adversary hook: per-IXP delivery function replacing the
+        #: honest ``controller.carry`` (e.g. a MaliciousFilteringNetwork).
+        self.delivery_overrides: Dict[str, DeliveryFn] = {}
+        self._installed_rules: List[FilterRule] = []
+        for ixp in self.selected:
+            self._contract(ixp)
+
+    def _contract(self, ixp: IXP) -> None:
+        deployment = IXPDeployment.create(
+            ixp, target_gbps=self._per_ixp_gbps, ias=self.ias
+        )
+        self.deployments[ixp.ixp_id] = deployment
+        self.sessions[ixp.ixp_id] = deployment.open_session(
+            self.victim_name, self.rpki, self.ias
+        )
+
+    # -- contract management ---------------------------------------------------
+
+    def submit_rules(self, rules: Sequence[FilterRule]) -> None:
+        """Install the same rule set at every contracted IXP (paper VI-B)."""
+        self._installed_rules = list(rules)
+        for session in self.sessions.values():
+            session.submit_rules(list(rules))
+
+    def replace_contract(self, ixp_id: str) -> Optional[str]:
+        """Drop a (misbehaving) IXP and contract its region's next-largest.
+
+        The paper's remedy for detected misbehavior is to abort the
+        contract; operationally the victim then wants a replacement
+        interception point in the same region.  Returns the new IXP id, or
+        None when the region has no uncontracted IXP left (the slot simply
+        goes dark).  The old session stays in the audit log as evidence.
+        """
+        old = next((x for x in self.selected if x.ixp_id == ixp_id), None)
+        if old is None:
+            raise ConfigurationError(f"{ixp_id!r} is not a contracted IXP")
+        self.sessions[ixp_id].abort()
+        contracted = {x.ixp_id for x in self.selected}
+        candidates = sorted(
+            (
+                x for x in self._all_ixps
+                if x.region == old.region and x.ixp_id not in contracted
+            ),
+            key=lambda x: (-x.member_count, x.ixp_id),
+        )
+        self.selected = [x for x in self.selected if x.ixp_id != ixp_id]
+        self.deployments.pop(ixp_id, None)
+        self.sessions.pop(ixp_id, None)
+        self.delivery_overrides.pop(ixp_id, None)
+        self._interception_cache.clear()
+        if not candidates:
+            return None
+        replacement = candidates[0]
+        self.selected.append(replacement)
+        self._contract(replacement)
+        if self._installed_rules:
+            self.sessions[replacement.ixp_id].submit_rules(
+                list(self._installed_rules)
+            )
+        return replacement.ixp_id
+
+    # -- path interception --------------------------------------------------------
+
+    def interception_point(self, source_asn: int) -> Optional[str]:
+        """The first selected IXP on the path source -> victim, or None.
+
+        "First" is in forwarding order: filtering happens at the earliest
+        VIF hop, closest to the source — the paper's motivation for pushing
+        filters upstream.
+        """
+        if source_asn in self._interception_cache:
+            return self._interception_cache[source_asn]
+        path = as_path(self._routes, source_asn)
+        found: Optional[str] = None
+        if path is not None:
+            for a, b in zip(path, path[1:]):
+                for ixp in self.selected:
+                    if a in ixp.members and b in ixp.members:
+                        found = ixp.ixp_id
+                        break
+                if found:
+                    break
+        self._interception_cache[source_asn] = found
+        return found
+
+    # -- the attack wave --------------------------------------------------------------
+
+    def carry_attack(
+        self, packets_by_source: Sequence[Tuple[int, Packet]]
+    ) -> MitigationReport:
+        """Run one wave; each packet is (source ASN, packet).
+
+        Packets crossing a contracted IXP go through its real deployment
+        (and are observed by the victim's auditor for that session);
+        unintercepted packets reach the victim directly.
+        """
+        report = MitigationReport()
+        by_ixp: Dict[str, List[Packet]] = {}
+        direct: List[Packet] = []
+        for source_asn, packet in packets_by_source:
+            report.packets_sent += 1
+            ixp_id = self.interception_point(source_asn)
+            if ixp_id is None:
+                direct.append(packet)
+            else:
+                by_ixp.setdefault(ixp_id, []).append(packet)
+
+        delivered: List[Packet] = list(direct)
+        report.packets_unintercepted = len(direct)
+        for ixp_id, packets in by_ixp.items():
+            deployment = self.deployments[ixp_id]
+            deliver = self.delivery_overrides.get(
+                ixp_id, deployment.controller.carry
+            )
+            out = deliver(packets)
+            report.per_ixp_processed[ixp_id] = len(packets)
+            report.packets_filtered_at_ixps += len(packets) - len(out)
+            self.sessions[ixp_id].observe_delivered(out)
+            delivered.extend(out)
+
+        report.packets_delivered = len(delivered)
+        return report
+
+    def carry_attack_by_ip(self, packets: Sequence[Packet]) -> MitigationReport:
+        """Like :meth:`carry_attack`, deriving each packet's origin AS from
+        its source address (requires the synthetic addressing plan —
+        :mod:`repro.interdomain.addressing`).  Packets whose source lies
+        outside the encoded space are treated as unintercepted.
+        """
+        from repro.interdomain.addressing import asn_of_ip
+
+        pairs: List[Tuple[int, Packet]] = []
+        for packet in packets:
+            asn = asn_of_ip(packet.five_tuple.src_ip)
+            pairs.append((asn if asn is not None and asn in self.graph else -1,
+                          packet))
+        return self.carry_attack(pairs)
+
+    # -- verification ---------------------------------------------------------------------
+
+    def audit_all(self) -> Dict[str, BypassEvidence]:
+        """Run the sketch audit at every contracted IXP.
+
+        Per-contract sessions isolate blame: a cheating IXP dirties only
+        its own audit, so the victim knows exactly which contract to abort.
+        """
+        return {
+            ixp_id: session.audit_round()
+            for ixp_id, session in self.sessions.items()
+        }
+
+    def audit_and_replace(self) -> Tuple[Dict[str, BypassEvidence], List[str]]:
+        """Audit every contract; replace the dirty ones.
+
+        Returns ``(evidence_by_ixp, replacement_ixp_ids)``.
+        """
+        evidence = self.audit_all()
+        replacements: List[str] = []
+        for ixp_id, ev in list(evidence.items()):
+            if not ev.clean:
+                new_id = self.replace_contract(ixp_id)
+                if new_id is not None:
+                    replacements.append(new_id)
+        return evidence, replacements
+
+    @property
+    def num_contracts(self) -> int:
+        return len(self.sessions)

@@ -1,0 +1,180 @@
+"""Scale-out validation: can N enclaves really carry this attack?
+
+The paper's scalability headline — "handle larger traffic volume (e.g.,
+500 Gb/s) and more complex filtering operations (e.g., 150,000 filter
+rules) by parallelizing the TEE-based filters" with ~50 enclaves — reduces
+to a feasibility question over the Appendix C constraints.  This module
+answers it constructively: given a fleet size, it checks the two capacity
+bounds, runs the greedy to produce a concrete allocation, and reports the
+loading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.lookup.memory_model import EnclaveMemoryModel, PAPER_MEMORY_MODEL
+from repro.optim.greedy import greedy_solve
+from repro.optim.problem import Allocation, RuleDistributionProblem
+from repro.optim.validation import validate_allocation
+from repro.util.stats import lognormal_bandwidths
+from repro.util.units import GBPS
+
+
+@dataclass(frozen=True)
+class ScaleOutAssessment:
+    """Verdict for one (fleet size, workload) combination."""
+
+    num_enclaves: int
+    total_gbps: float
+    num_rules: int
+    feasible: bool
+    reason: str
+    allocation: Optional[Allocation] = None
+    peak_bandwidth_utilization: float = 0.0
+    peak_rule_utilization: float = 0.0
+
+    def as_row(self) -> List[object]:
+        return [
+            self.num_enclaves,
+            "yes" if self.feasible else "no",
+            f"{self.peak_bandwidth_utilization:.0%}" if self.feasible else "-",
+            f"{self.peak_rule_utilization:.0%}" if self.feasible else "-",
+            self.reason,
+        ]
+
+
+class ScaleOutPlanner:
+    """Validates fleet sizes against attack workloads."""
+
+    def __init__(
+        self,
+        enclave_bandwidth: float = 10 * GBPS,
+        memory_model: EnclaveMemoryModel = PAPER_MEMORY_MODEL,
+    ) -> None:
+        if enclave_bandwidth <= 0:
+            raise ConfigurationError("enclave bandwidth must be positive")
+        self.enclave_bandwidth = enclave_bandwidth
+        self.memory_model = memory_model
+
+    def minimum_fleet(self, total_gbps: float, num_rules: int) -> int:
+        """The smallest fleet that can possibly work (Appendix C bounds)."""
+        if total_gbps <= 0 or num_rules <= 0:
+            raise ConfigurationError("workload must be positive")
+        by_bandwidth = total_gbps * GBPS / self.enclave_bandwidth
+        by_rules = num_rules / max(1, self.memory_model.rule_capacity())
+        return max(1, math.ceil(max(by_bandwidth, by_rules)))
+
+    def assess(
+        self,
+        num_enclaves: int,
+        total_gbps: float,
+        num_rules: int,
+        workload_seed: int = 0,
+        solve: bool = True,
+    ) -> ScaleOutAssessment:
+        """Check one fleet size; optionally produce the concrete allocation.
+
+        ``solve=False`` skips the greedy run (bounds check only), useful for
+        sweeping many infeasible sizes cheaply.
+        """
+        if num_enclaves <= 0:
+            raise ConfigurationError("fleet size must be positive")
+        rule_capacity = self.memory_model.rule_capacity()
+        if total_gbps * GBPS > num_enclaves * self.enclave_bandwidth:
+            return ScaleOutAssessment(
+                num_enclaves=num_enclaves,
+                total_gbps=total_gbps,
+                num_rules=num_rules,
+                feasible=False,
+                reason=(
+                    f"bandwidth: {total_gbps:.0f} Gb/s exceeds "
+                    f"{num_enclaves} x 10 Gb/s"
+                ),
+            )
+        if num_rules > num_enclaves * rule_capacity:
+            return ScaleOutAssessment(
+                num_enclaves=num_enclaves,
+                total_gbps=total_gbps,
+                num_rules=num_rules,
+                feasible=False,
+                reason=(
+                    f"rules: {num_rules} exceed {num_enclaves} x "
+                    f"{rule_capacity} per enclave"
+                ),
+            )
+        if not solve:
+            return ScaleOutAssessment(
+                num_enclaves=num_enclaves,
+                total_gbps=total_gbps,
+                num_rules=num_rules,
+                feasible=True,
+                reason="within bounds (not solved)",
+            )
+
+        bandwidths = lognormal_bandwidths(
+            num_rules, total_gbps * GBPS, seed=workload_seed
+        )
+        problem = RuleDistributionProblem(
+            bandwidths=bandwidths,
+            enclave_bandwidth=self.enclave_bandwidth,
+            memory_budget=self.memory_model.performance_budget_bytes,
+            bytes_per_rule=self.memory_model.bytes_per_rule,
+            base_bytes=self.memory_model.base_bytes,
+            enclaves_override=num_enclaves,
+        )
+        try:
+            allocation = greedy_solve(problem)
+        except InfeasibleError as exc:
+            return ScaleOutAssessment(
+                num_enclaves=num_enclaves,
+                total_gbps=total_gbps,
+                num_rules=num_rules,
+                feasible=False,
+                reason=f"no packing found: {exc}",
+            )
+        violations = validate_allocation(allocation)
+        if violations:
+            return ScaleOutAssessment(
+                num_enclaves=num_enclaves,
+                total_gbps=total_gbps,
+                num_rules=num_rules,
+                feasible=False,
+                reason=f"allocation invalid: {violations[0]}",
+            )
+        loads = [
+            allocation.bandwidth_on(j) / self.enclave_bandwidth
+            for j in range(len(allocation.assignments))
+        ]
+        rules = [
+            len(allocation.assignments[j]) / max(1, problem.rule_capacity_per_enclave)
+            for j in range(len(allocation.assignments))
+        ]
+        return ScaleOutAssessment(
+            num_enclaves=num_enclaves,
+            total_gbps=total_gbps,
+            num_rules=num_rules,
+            feasible=True,
+            reason="allocation found",
+            allocation=allocation,
+            peak_bandwidth_utilization=max(loads),
+            peak_rule_utilization=max(rules),
+        )
+
+    def sweep(
+        self,
+        fleet_sizes: Sequence[int],
+        total_gbps: float,
+        num_rules: int,
+        solve_feasible: bool = True,
+    ) -> List[ScaleOutAssessment]:
+        """Assess several fleet sizes (bounds-only below the minimum)."""
+        minimum = self.minimum_fleet(total_gbps, num_rules)
+        out: List[ScaleOutAssessment] = []
+        for n in fleet_sizes:
+            solve = solve_feasible and n >= minimum
+            out.append(self.assess(n, total_gbps, num_rules, solve=solve))
+        return out

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the VIF reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  Subsystems add
+narrower classes; security-relevant detections (attestation failures, bypass
+detections, load-balancer misbehavior) get their own types because callers
+routinely branch on them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class RuleError(ReproError):
+    """A filter rule is malformed or fails validation."""
+
+
+class RuleValidationError(RuleError):
+    """A rule failed origin (RPKI-style) validation and must be rejected."""
+
+
+class LookupError_(ReproError):
+    """A rule-lookup structure was used incorrectly (e.g. duplicate insert)."""
+
+
+class EnclaveError(ReproError):
+    """Base class for TEE-substrate errors."""
+
+
+class EnclaveMemoryError(EnclaveError):
+    """An allocation would exceed the enclave's EPC budget."""
+
+
+class EnclaveSealedError(EnclaveError):
+    """An operation was attempted on a destroyed / not-yet-initialized enclave."""
+
+
+class AttestationError(EnclaveError):
+    """Remote attestation failed: bad measurement, bad signature, stale quote."""
+
+
+class SecureChannelError(EnclaveError):
+    """Message authentication failed or the channel is not established."""
+
+
+class BypassDetected(ReproError):
+    """A sketch comparison revealed packets dropped/injected outside the filter.
+
+    Raised (or returned as evidence) when a victim network or a neighbor AS
+    finds a discrepancy between its local packet log and the enclave's
+    authenticated log (paper section III-B).
+    """
+
+
+class LoadBalancerMisbehavior(ReproError):
+    """An enclave received packets that match none of its installed rules.
+
+    Per section IV-B of the paper, each enclave checks every packet handed to
+    it by the untrusted load balancer against its rule set and reports any
+    mismatch to the DDoS victim.
+    """
+
+
+class DistributionError(ReproError):
+    """The rule-distribution protocol failed (infeasible instance, bad state)."""
+
+
+class InfeasibleError(DistributionError):
+    """No allocation satisfies the per-enclave bandwidth/memory constraints."""
+
+
+class SolverError(ReproError):
+    """The MILP/LP machinery hit an internal failure (not mere infeasibility)."""
+
+
+class SessionError(ReproError):
+    """A VIF victim<->filtering-network session was used out of order."""
+
+
+class SessionAborted(SessionError):
+    """The session was aborted after misbehavior was detected."""
+
+
+class TopologyError(ReproError):
+    """The AS-level topology is malformed (unknown AS, bad relationship...)."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed (no valley-free path, bad policy state)."""

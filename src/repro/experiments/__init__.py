@@ -1,0 +1,25 @@
+"""Named, runnable reproductions of every table and figure.
+
+Each experiment is a zero-argument callable returning the printable table
+for that paper artifact.  The registry backs both the CLI
+(``python -m repro.cli``) and EXPERIMENTS.md; the benchmark suite asserts
+the same claims with pass/fail thresholds.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_all",
+    "run_experiment",
+]

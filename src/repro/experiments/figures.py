@@ -1,0 +1,366 @@
+"""Generators for each paper table/figure (shared by CLI and benchmarks).
+
+Every function is deterministic and returns the formatted table as a
+string.  Sizes default to laptop-scale (seconds per experiment); the
+benchmark suite drives the same code with pass/fail thresholds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.adversary import (
+    BypassConfig,
+    mirai_flood_flows,
+    run_bypass_scenario,
+)
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.cost_model import ImplementationVariant
+from repro.dataplane.packet import Protocol
+from repro.dataplane.throughput import PAPER_PACKET_SIZES, ThroughputHarness
+from repro.deploy import CapacityPlanner, deployment_cost
+from repro.interdomain import (
+    dns_resolver_population,
+    generate_internet,
+    ixp_coverage,
+    mirai_bot_population,
+)
+from repro.interdomain.simulation import choose_victims, coverage_rows
+from repro.lookup.multibit_trie import MultiBitTrie
+from repro.optim.greedy import greedy_solve
+from repro.optim.ilp import BranchAndBoundSolver
+from repro.optim.problem import RuleDistributionProblem
+from repro.tee.attestation import PAPER_ATTESTATION_TIMING
+from repro.util.stats import lognormal_bandwidths
+from repro.util.tables import format_table
+from repro.util.units import GBPS
+
+
+def fig3_rule_scaling() -> str:
+    harness = ThroughputHarness()
+    counts = [100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000]
+    mpps = harness.rule_count_sweep(counts)
+    mb = harness.memory_sweep(counts)
+    rows = [
+        [k, round(m, 2), round(f, 1), "yes" if f > 92 else "no"]
+        for k, m, f in zip(counts, mpps, mb)
+    ]
+    return format_table(
+        ["rules", "throughput (Mpps)", "enclave memory (MB)", "past EPC"],
+        rows,
+        title="Fig 3a/3b — filter throughput & memory vs #rules (64 B packets)",
+    )
+
+
+def fig8_13_packet_size() -> str:
+    harness = ThroughputHarness()
+    reports = harness.all_variants_sweep(3000)
+    rows = []
+    for i, size in enumerate(PAPER_PACKET_SIZES):
+        row: List[object] = [size]
+        for variant in (
+            ImplementationVariant.NATIVE,
+            ImplementationVariant.SGX_FULL_COPY,
+            ImplementationVariant.SGX_ZERO_COPY,
+        ):
+            report = reports[variant]
+            row.append(f"{report.gbps[i]:.1f} / {report.mpps[i]:.2f}")
+        rows.append(row)
+    return format_table(
+        ["size (B)", "native Gb/s / Mpps", "full-copy", "near zero-copy"],
+        rows,
+        title="Fig 8 + Fig 13 — throughput vs packet size, 3,000 rules",
+    )
+
+
+def latency_table() -> str:
+    harness = ThroughputHarness()
+    report = harness.latency_sweep()
+    paper = {128: 34, 256: 38, 512: 52, 1024: 80, 1500: 107}
+    rows = [
+        [size, round(us, 1), paper[size]]
+        for size, us in zip(report.packet_sizes, report.latency_us)
+    ]
+    return format_table(
+        ["size (B)", "model latency (us)", "paper (us)"],
+        rows,
+        title="Section V-B — average latency at 8 Gb/s constant load",
+    )
+
+
+def fig14_hash_ratio() -> str:
+    harness = ThroughputHarness()
+    ratios = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0]
+    series = harness.hash_ratio_sweep(ratios)
+    rows = [
+        [r] + [round(series[s][i], 2) for s in sorted(series)]
+        for i, r in enumerate(ratios)
+    ]
+    return format_table(
+        ["hash ratio"] + [f"{s} B" for s in sorted(series)],
+        rows,
+        title="Fig 14 — throughput (Gb/s) vs fraction of hashed packets",
+    )
+
+
+def table1_ilp_vs_greedy(ks=(50, 100, 200)) -> str:
+    rows = []
+    for k in ks:
+        bandwidths = lognormal_bandwidths(k, max(10, k // 10) * GBPS, seed=k)
+        problem = RuleDistributionProblem(bandwidths=bandwidths)
+        start = time.perf_counter()
+        greedy_solve(problem)
+        greedy_s = time.perf_counter() - start
+        solver = BranchAndBoundSolver(
+            stop_at_first_incumbent=True,
+            use_rounding_heuristic=False,
+            node_limit=100_000,
+            time_limit_s=600,
+        )
+        start = time.perf_counter()
+        solver.solve(problem)
+        ilp_s = time.perf_counter() - start
+        rows.append(
+            [k, f"{ilp_s:.2f}", f"{greedy_s:.4f}", f"{ilp_s / greedy_s:.0f}x"]
+        )
+    return format_table(
+        ["k rules", "ILP first-incumbent (s)", "greedy (s)", "ratio"],
+        rows,
+        title=(
+            "Table I (scaled instances) — paper @k=5,000..15,000: "
+            "210..1,615 s vs 0.31..0.73 s"
+        ),
+    )
+
+
+def optimality_gap() -> str:
+    rows = []
+    gaps = []
+    for k in range(10, 16):
+        bandwidths = lognormal_bandwidths(k, 25 * GBPS, seed=k)
+        problem = RuleDistributionProblem(bandwidths=bandwidths, headroom=0.2)
+        exact = BranchAndBoundSolver(node_limit=5000, time_limit_s=300).solve(problem)
+        greedy = greedy_solve(problem)
+        gap = (greedy.objective() - exact.objective) / exact.objective
+        gaps.append(gap)
+        rows.append(
+            [k, f"{exact.objective:.4e}", f"{greedy.objective():.4e}", f"{gap:.1%}"]
+        )
+    rows.append(["avg", "", "", f"{sum(gaps) / len(gaps):.1%}"])
+    return format_table(
+        ["k", "exact optimum", "greedy", "gap"],
+        rows,
+        title="Section V-C — greedy vs exact optimum (paper: 5.2% average)",
+    )
+
+
+def fig9_greedy_scaling(ks=(10_000, 20_000, 40_000)) -> str:
+    rows = []
+    for k in ks:
+        bandwidths = lognormal_bandwidths(k, 500 * GBPS, seed=k)
+        problem = RuleDistributionProblem(bandwidths=bandwidths)
+        start = time.perf_counter()
+        allocation = greedy_solve(problem)
+        elapsed = time.perf_counter() - start
+        rows.append([k, f"{elapsed:.2f}", len(allocation.assignments)])
+    return format_table(
+        ["k rules", "greedy time (s)", "enclaves"],
+        rows,
+        title="Fig 9 — greedy runtime at 500 Gb/s (paper: <= 40 s at 150 K)",
+    )
+
+
+def table2_batch_insert() -> str:
+    trie = MultiBitTrie()
+    trie.insert_batch(
+        FilterRule(
+            rule_id=i,
+            pattern=FlowPattern(dst_prefix=f"10.{i % 250}.{i // 250}.0/24"),
+            action=Action.DROP,
+        )
+        for i in range(3000)
+    )
+    paper = {1: 50, 10: 52, 100: 53, 1000: 75}
+    rows = []
+    next_id = 10_000
+    for batch_size in (1, 10, 100, 1000):
+        batch = []
+        for i in range(batch_size):
+            n = next_id + i
+            batch.append(
+                FilterRule(
+                    rule_id=n,
+                    pattern=FlowPattern(
+                        src_prefix=f"172.16.{(n // 250) % 250}.{n % 250}/32",
+                        dst_prefix="203.0.113.7/32",
+                        src_ports=(1024 + n % 60000, 1024 + n % 60000),
+                        dst_ports=(80, 80),
+                        protocol=Protocol.TCP,
+                    ),
+                    action=Action.DROP,
+                )
+            )
+        next_id += batch_size
+        start = time.perf_counter()
+        trie.insert_batch(batch)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        rows.append([batch_size, f"{elapsed_ms:.3f}", paper[batch_size]])
+    return format_table(
+        ["batch size", "measured (ms)", "paper (ms)"],
+        rows,
+        title="Table II — batch insert into a warm (3,000-rule) lookup trie",
+    )
+
+
+def fig11_ixp_coverage(num_victims: int = 60) -> str:
+    graph, ixps = generate_internet()
+    victims = choose_victims(graph, num_victims)
+    sections = []
+    for label, population in (
+        ("vulnerable DNS resolvers", dns_resolver_population(graph)),
+        ("Mirai botnet", mirai_bot_population(graph)),
+    ):
+        result = ixp_coverage(graph, ixps, victims, population)
+        sections.append(
+            format_table(
+                ["selection", "p5", "p25", "median", "p75", "p95"],
+                coverage_rows(result),
+                title=f"Fig 11 — attack sources handled by VIF IXPs ({label})",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def table3_top_ixps() -> str:
+    _, ixps = generate_internet()
+    regions = sorted({ixp.region for ixp in ixps})
+    ranked = {
+        region: sorted(
+            (x for x in ixps if x.region == region), key=lambda x: -x.member_count
+        )
+        for region in regions
+    }
+    rows = [
+        [rank + 1] + [str(ranked[r][rank].member_count) for r in regions]
+        for rank in range(5)
+    ]
+    return format_table(
+        ["rank"] + regions,
+        rows,
+        title="Table III analogue — member counts of the top-5 IXPs per region",
+    )
+
+
+def attestation_timing() -> str:
+    timing = PAPER_ATTESTATION_TIMING
+    return format_table(
+        ["metric", "value"],
+        [
+            ["platform work (ms)", timing.platform_work_s * 1000],
+            ["IAS RTT (ms)", timing.ias_rtt_s * 1000],
+            ["end-to-end (s)", round(timing.end_to_end_s(), 3)],
+            ["paper end-to-end (s)", 3.04],
+        ],
+        title="Appendix G — remote attestation latency (calibrated model)",
+    )
+
+
+def cost_analysis() -> str:
+    report = deployment_cost()
+    plan = CapacityPlanner(headroom=0.0).plan(500.0, total_rules=150_000)
+    return format_table(
+        ["metric", "value"],
+        report.as_rows()
+        + [["racks", plan.num_racks],
+           ["attestation setup (s)", round(plan.setup_attestation_s, 1)]],
+        title="Section VI-D — 500 Gb/s deployment cost",
+    )
+
+
+def scaleout_validation(total_gbps: float = 50.0, num_rules: int = 15_000) -> str:
+    from repro.deploy.scaleout import ScaleOutPlanner
+
+    planner = ScaleOutPlanner()
+    minimum = planner.minimum_fleet(total_gbps, num_rules)
+    sizes = [max(1, minimum - 2), max(1, minimum - 1), minimum,
+             minimum + 1, minimum + 2]
+    assessments = planner.sweep(sorted(set(sizes)), total_gbps, num_rules)
+    return format_table(
+        ["enclaves", "feasible", "peak bw load", "peak rule load", "reason"],
+        [a.as_row() for a in assessments],
+        title=(
+            f"Scale-out validation — {total_gbps:.0f} Gb/s, {num_rules} rules "
+            "(paper headline: 500 Gb/s / 150 K rules on ~50 filters)"
+        ),
+    )
+
+
+def isp_baseline(num_victims: int = 40) -> str:
+    from repro.interdomain.baselines import (
+        isp_deployment_coverage,
+        top_transit_ases,
+    )
+    from repro.interdomain.simulation import choose_victims as _choose
+
+    graph, ixps = generate_internet()
+    victims = _choose(graph, num_victims)
+    sources = dns_resolver_population(graph)
+    vif = ixp_coverage(graph, ixps, victims, sources, top_levels=(1, 5))
+    isp = isp_deployment_coverage(
+        graph, top_transit_ases(graph, 10), victims, sources,
+        cumulative_levels=(1, 3, 5, 10),
+    )
+    rows = [
+        ["VIF @ top-1 IXP/region (5 sites)",
+         round(vif.summary(1).median, 3), round(vif.summary(1).p75, 3)],
+        ["VIF @ top-5 IXPs/region (25 sites)",
+         round(vif.summary(5).median, 3), round(vif.summary(5).p75, 3)],
+    ] + [
+        [f"filters @ top-{n} transit ISPs",
+         round(isp.summary(n).median, 3), round(isp.summary(n).p75, 3)]
+        for n in (1, 3, 5, 10)
+    ]
+    return format_table(
+        ["deployment", "median coverage", "p75"],
+        rows,
+        title="§VIII context — IXP deployment vs SENSS-style transit ISPs",
+    )
+
+
+def bypass_matrix() -> str:
+    rule = FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(
+            dst_prefix="203.0.113.0/24", dst_ports=(80, 80), protocol=Protocol.TCP
+        ),
+        p_allow=0.5,
+        requested_by="victim.example",
+    )
+    flows = mirai_flood_flows(300, ingress_ases=(64500, 64501))
+    cases = [
+        ("honest execution", None),
+        ("drop after filtering (30%)", BypassConfig(drop_after_filtering=0.3)),
+        ("injection after filtering (50%)", BypassConfig(inject_after_filtering=0.5)),
+        ("drop before filtering (AS64500, 40%)",
+         BypassConfig(drop_before_filtering={64500: 0.4})),
+        ("skip filter for 30% (Goal 2)", BypassConfig(skip_filter_fraction=0.3)),
+    ]
+    rows = []
+    for label, bypass in cases:
+        result = run_bypass_scenario([rule], flows, bypass=bypass)
+        victim = ", ".join(result.victim_evidence.suspected_attacks) or "-"
+        neighbors = (
+            "; ".join(
+                f"AS{asn}: {', '.join(e.suspected_attacks)}"
+                for asn, e in result.neighbor_evidence.items()
+                if not e.clean
+            )
+            or "-"
+        )
+        rows.append([label, "YES" if result.detected else "no", victim, neighbors])
+    return format_table(
+        ["attack", "detected", "victim sees", "neighbors see"],
+        rows,
+        title="Section III-B — bypass-attack detection matrix",
+    )

@@ -1,0 +1,150 @@
+"""The experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import figures
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    key: str
+    paper_ref: str
+    description: str
+    run: Callable[[], str]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    key: str
+    paper_ref: str
+    output: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.key: e
+    for e in [
+        Experiment(
+            "fig3",
+            "Fig 3a/3b",
+            "single-filter throughput and enclave memory vs #rules",
+            figures.fig3_rule_scaling,
+        ),
+        Experiment(
+            "fig8",
+            "Fig 8 + Fig 13",
+            "throughput vs packet size for native / full-copy / zero-copy",
+            figures.fig8_13_packet_size,
+        ),
+        Experiment(
+            "latency",
+            "Section V-B",
+            "average latency at 8 Gb/s constant load",
+            figures.latency_table,
+        ),
+        Experiment(
+            "fig14",
+            "Fig 14",
+            "throughput vs fraction of SHA-256-hashed packets",
+            figures.fig14_hash_ratio,
+        ),
+        Experiment(
+            "table1",
+            "Table I",
+            "exact ILP (first incumbent) vs greedy running time",
+            figures.table1_ilp_vs_greedy,
+        ),
+        Experiment(
+            "gap",
+            "Section V-C",
+            "greedy optimality gap on small instances",
+            figures.optimality_gap,
+        ),
+        Experiment(
+            "fig9",
+            "Fig 9",
+            "greedy runtime scaling, 500 Gb/s lognormal workload",
+            figures.fig9_greedy_scaling,
+        ),
+        Experiment(
+            "table2",
+            "Table II",
+            "batch insertion into a warm multi-bit trie",
+            figures.table2_batch_insert,
+        ),
+        Experiment(
+            "fig11",
+            "Fig 11",
+            "attack sources handled by Top-n regional VIF IXPs",
+            figures.fig11_ixp_coverage,
+        ),
+        Experiment(
+            "table3",
+            "Table III",
+            "top five IXPs per region by member count",
+            figures.table3_top_ixps,
+        ),
+        Experiment(
+            "attestation",
+            "Appendix G",
+            "remote attestation latency",
+            figures.attestation_timing,
+        ),
+        Experiment(
+            "cost",
+            "Section VI-D",
+            "500 Gb/s deployment cost analysis",
+            figures.cost_analysis,
+        ),
+        Experiment(
+            "bypass",
+            "Section III-B",
+            "bypass-attack detection matrix (not a figure; the core claim)",
+            figures.bypass_matrix,
+        ),
+        Experiment(
+            "scaleout",
+            "Abstract / IV-B",
+            "fleet-size validation around the feasibility boundary",
+            figures.scaleout_validation,
+        ),
+        Experiment(
+            "isp-baseline",
+            "Section VIII-A",
+            "IXP deployment vs SENSS-style transit-ISP deployment",
+            figures.isp_baseline,
+        ),
+    ]
+}
+
+
+def list_experiments() -> List[Experiment]:
+    """All experiments in registry order."""
+    return list(EXPERIMENTS.values())
+
+
+def get_experiment(key: str) -> Experiment:
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {key!r}; known: {known}") from None
+
+
+def run_experiment(key: str) -> ExperimentResult:
+    """Run one experiment and return its printable result."""
+    experiment = get_experiment(key)
+    return ExperimentResult(
+        key=experiment.key,
+        paper_ref=experiment.paper_ref,
+        output=experiment.run(),
+    )
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every experiment (minutes, not hours)."""
+    return [run_experiment(key) for key in EXPERIMENTS]

@@ -1,0 +1,61 @@
+"""Inter-domain substrate: AS topology, BGP policy routing, IXPs (paper VI).
+
+The paper's Fig 11 study uses CAIDA AS-relationship and IXP-membership data
+we do not have offline; this package generates a synthetic Internet with the
+same structural features the result depends on — a provider/customer
+hierarchy, valley-free (Gao–Rexford) routing, and regional IXPs whose
+membership sizes mirror Table III — plus synthetic stand-ins for the two
+attack-source populations (3 M open DNS resolvers, 250 K Mirai bots).
+"""
+
+from repro.interdomain.topology import ASGraph, ASNode, Tier
+from repro.interdomain.routing import Route, RouteKind, route_tree
+from repro.interdomain.ixp import IXP, path_transits_ixp, top_ixps_by_region
+from repro.interdomain.synthetic import (
+    SyntheticInternetConfig,
+    generate_internet,
+)
+from repro.interdomain.addressing import (
+    asn_of_ip,
+    host_ip,
+    materialize_sources,
+    prefix_of,
+)
+from repro.interdomain.attack_sources import (
+    dns_resolver_population,
+    mirai_bot_population,
+)
+from repro.interdomain.simulation import (
+    CoverageResult,
+    ixp_coverage,
+)
+from repro.interdomain.poisoning import (
+    FaultLocalizationOutcome,
+    InboundRouteTester,
+    Verdict,
+)
+
+__all__ = [
+    "ASGraph",
+    "ASNode",
+    "CoverageResult",
+    "FaultLocalizationOutcome",
+    "IXP",
+    "InboundRouteTester",
+    "Route",
+    "RouteKind",
+    "SyntheticInternetConfig",
+    "Tier",
+    "Verdict",
+    "asn_of_ip",
+    "dns_resolver_population",
+    "generate_internet",
+    "host_ip",
+    "ixp_coverage",
+    "materialize_sources",
+    "mirai_bot_population",
+    "path_transits_ixp",
+    "prefix_of",
+    "route_tree",
+    "top_ixps_by_region",
+]

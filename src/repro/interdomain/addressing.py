@@ -1,0 +1,81 @@
+"""IP address ownership for synthetic ASes.
+
+The paper's datasets are plain IP lists (3 M resolver IPs, 250 K bot IPs)
+that the authors mapped onto the AS topology.  This module provides the
+equivalent glue for the synthetic Internet: every AS owns a deterministic
+/16 (the two leading octets encode the AS number), so
+
+* attack-source populations can be *materialized* as concrete IPs,
+* a packet's source IP maps back to its origin AS (``asn_of_ip``), and
+* victim-side detectors and in-network deployments see mutually consistent
+  traffic.
+
+The encoding keeps addresses inside globally-routable-looking space
+(first octet 1..223) and supports ~57 K ASes — far beyond the synthetic
+topology sizes.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.interdomain.topology import ASGraph
+from repro.util.rng import deterministic_rng
+
+#: ASN 1 maps to 1.1.0.0/16; the offset keeps octet one in 1..223.
+_ASN_OFFSET = 256
+
+_MAX_ASN = 223 * 256 - _ASN_OFFSET  # first octet must stay <= 223
+
+
+def prefix_of(asn: int) -> str:
+    """The /16 owned by ``asn`` (deterministic, collision-free)."""
+    if not 1 <= asn <= _MAX_ASN:
+        raise ConfigurationError(
+            f"AS{asn} outside the addressable range [1, {_MAX_ASN}]"
+        )
+    encoded = asn + _ASN_OFFSET
+    return f"{encoded // 256}.{encoded % 256}.0.0/16"
+
+
+def asn_of_ip(ip: str) -> Optional[int]:
+    """The owning AS of ``ip``, or None when outside the encoded space."""
+    address = int(ipaddress.ip_address(ip))
+    encoded = address >> 16
+    asn = encoded - _ASN_OFFSET
+    if 1 <= asn <= _MAX_ASN:
+        return asn
+    return None
+
+
+def host_ip(asn: int, host_index: int) -> str:
+    """The ``host_index``-th host address inside AS ``asn``'s prefix."""
+    if not 0 <= host_index < 65534:
+        raise ConfigurationError("host_index must be in [0, 65533]")
+    network = ipaddress.ip_network(prefix_of(asn))
+    return str(network.network_address + 1 + host_index)
+
+
+def materialize_sources(
+    graph: ASGraph,
+    population: Dict[int, int],
+    max_per_as: int = 254,
+    seed: int = 0,
+) -> Dict[int, List[str]]:
+    """Concrete source IPs for an attack population ``{asn: count}``.
+
+    Hosts are drawn deterministically from each AS's prefix (capped at
+    ``max_per_as`` so waves stay laptop-sized; the cap models sampling the
+    dataset, not changing its AS-level shape).
+    """
+    rng = deterministic_rng(f"sources:{seed}")
+    out: Dict[int, List[str]] = {}
+    for asn, count in sorted(population.items()):
+        if asn not in graph:
+            raise TopologyError(f"population references unknown AS{asn}")
+        take = min(count, max_per_as)
+        offsets = rng.sample(range(65534), take)
+        out[asn] = [host_ip(asn, offset) for offset in offsets]
+    return out

@@ -1,0 +1,90 @@
+"""Synthetic attack-source populations (paper VI-C).
+
+The paper uses two real datasets we cannot ship: ~3 M vulnerable open DNS
+resolvers and ~250 K Mirai bot IPs.  What the Fig 11 simulation actually
+consumes is *which ASes the sources sit in and how many per AS*; the
+substitutes below reproduce the structural skew those datasets have:
+
+* **open resolvers** are spread broadly — hosting providers, enterprise
+  stubs and eyeball networks alike, across every region, with a heavy tail
+  (a few ASes host very many misconfigured resolvers);
+* **Mirai bots** concentrate in consumer eyeball stubs, strongly skewed
+  toward a subset of regions (the original botnet clustered in South
+  America and Asia; see Antonakakis et al. 2017).
+
+Counts per AS follow a Zipf-like tail in both cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.interdomain.topology import ASGraph, Tier
+from repro.util.rng import deterministic_rng
+
+
+def _zipf_counts(rng, num_ases: int, total_sources: int) -> List[int]:
+    """Split ``total_sources`` across ``num_ases`` with a Zipf-like tail."""
+    weights = [1.0 / (rank + 1) ** 0.9 for rank in range(num_ases)]
+    rng.shuffle(weights)
+    scale = total_sources / sum(weights)
+    counts = [max(1, int(w * scale)) for w in weights]
+    return counts
+
+
+def dns_resolver_population(
+    graph: ASGraph,
+    total_resolvers: int = 30_000,
+    participation: float = 0.6,
+    seed: int = 11,
+) -> Dict[int, int]:
+    """Synthetic open-resolver population: ``{asn: resolver_count}``.
+
+    ``participation`` is the fraction of stub/tier-2 ASes hosting at least
+    one open resolver — resolvers are everywhere, lightly favoring
+    transit/hosting-rich ASes.
+    """
+    if total_resolvers <= 0:
+        raise ValueError("total_resolvers must be positive")
+    rng = deterministic_rng(f"resolvers:{seed}")
+    candidates = graph.ases_by_tier(Tier.STUB) + graph.ases_by_tier(Tier.TIER2)
+    hosts = [asn for asn in candidates if rng.random() < participation]
+    if not hosts:
+        hosts = candidates[:1]
+    counts = _zipf_counts(rng, len(hosts), total_resolvers)
+    return dict(zip(hosts, counts))
+
+
+def mirai_bot_population(
+    graph: ASGraph,
+    total_bots: int = 25_000,
+    hot_regions: Sequence[str] = ("South America", "Asia Pacific"),
+    hot_region_share: float = 0.65,
+    participation: float = 0.35,
+    seed: int = 13,
+) -> Dict[int, int]:
+    """Synthetic Mirai population: ``{asn: bot_count}``.
+
+    ``hot_region_share`` of all bots land in eyeball stubs of the
+    ``hot_regions``; the remainder spreads over stubs elsewhere.
+    """
+    if total_bots <= 0:
+        raise ValueError("total_bots must be positive")
+    if not 0.0 <= hot_region_share <= 1.0:
+        raise ValueError("hot_region_share must be within [0, 1]")
+    rng = deterministic_rng(f"mirai-bots:{seed}")
+    stubs = graph.ases_by_tier(Tier.STUB)
+    hot = [a for a in stubs if graph.nodes[a].region in hot_regions]
+    cold = [a for a in stubs if graph.nodes[a].region not in hot_regions]
+
+    population: Dict[int, int] = {}
+    for pool, share in ((hot, hot_region_share), (cold, 1.0 - hot_region_share)):
+        if not pool or share <= 0:
+            continue
+        hosts = [asn for asn in pool if rng.random() < participation]
+        if not hosts:
+            hosts = pool[:1]
+        counts = _zipf_counts(rng, len(hosts), int(total_bots * share))
+        for asn, count in zip(hosts, counts):
+            population[asn] = population.get(asn, 0) + count
+    return population

@@ -1,0 +1,111 @@
+"""Deployment-point baselines: VIF-at-IXPs vs filtering at transit ISPs.
+
+The paper positions IXPs as the ideal early adopters (§VI-A) and contrasts
+with SENSS (§VIII-A), which installs victim-requested filters at a few
+major transit ISPs.  This module makes the comparison quantitative on the
+synthetic Internet:
+
+* an **ISP deployment** handles a flow when the deployed AS itself appears
+  on the flow's path (it forwards — and can filter — the traffic);
+* an **IXP deployment** handles a flow when the path crosses the IXP
+  (consecutive co-members, the paper's VI-C test).
+
+Both coverage curves are computed with the same victims/sources so the
+benches can ask the §VIII question directly: how many deployment points of
+each kind buy how much coverage?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.interdomain.routing import as_path, route_tree
+from repro.interdomain.simulation import CoverageResult
+from repro.interdomain.topology import ASGraph, Tier
+
+
+def customer_cone_sizes(graph: ASGraph) -> Dict[int, int]:
+    """Number of ASes in each AS's customer cone (itself included).
+
+    The standard "how big a transit provider is" metric — SENSS-style
+    deployments pick the ASes with the largest cones.
+    """
+    sizes: Dict[int, int] = {}
+
+    def cone_of(asn: int) -> Set[int]:
+        seen = {asn}
+        queue = deque([asn])
+        while queue:
+            current = queue.popleft()
+            for customer in graph.customers[current]:
+                if customer not in seen:
+                    seen.add(customer)
+                    queue.append(customer)
+        return seen
+
+    for asn in graph.nodes:
+        sizes[asn] = len(cone_of(asn))
+    return sizes
+
+
+def top_transit_ases(graph: ASGraph, count: int) -> List[int]:
+    """The ``count`` largest transit ASes by customer-cone size."""
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    sizes = customer_cone_sizes(graph)
+    transit = [
+        asn for asn in graph.nodes if graph.nodes[asn].tier is not Tier.STUB
+    ]
+    ranked = sorted(transit, key=lambda a: (-sizes[a], a))
+    return ranked[:count]
+
+
+def isp_deployment_coverage(
+    graph: ASGraph,
+    deployed_ases: Sequence[int],
+    victims: Sequence[int],
+    sources: Dict[int, int],
+    cumulative_levels: Sequence[int] = (1, 2, 3, 4, 5),
+) -> CoverageResult:
+    """Coverage when filters sit *inside* transit ASes (SENSS-style).
+
+    ``deployed_ases`` is an ordered list (best first); level ``n`` uses its
+    first ``n`` entries.  A source is handled when any deployed AS lies on
+    its path to the victim (endpoints excluded — the victim filters locally
+    anyway, and the source AS won't filter itself).
+    """
+    if not victims:
+        raise ConfigurationError("need at least one victim")
+    if not sources:
+        raise ConfigurationError("need at least one attack source")
+    if not deployed_ases:
+        raise ConfigurationError("need at least one deployed AS")
+
+    level_sets = {
+        level: set(deployed_ases[:level]) for level in cumulative_levels
+    }
+    result = CoverageResult(
+        ratios_by_level={level: [] for level in cumulative_levels}
+    )
+    for victim in victims:
+        routes = route_tree(graph, victim)
+        handled = {level: 0 for level in cumulative_levels}
+        total = 0
+        for src_as, count in sources.items():
+            if src_as == victim:
+                continue
+            path = as_path(routes, src_as)
+            if path is None:
+                continue
+            total += count
+            on_path = set(path[1:-1])
+            for level, deployed in level_sets.items():
+                if on_path & deployed:
+                    handled[level] += count
+        if total == 0:
+            continue
+        for level in cumulative_levels:
+            result.ratios_by_level[level].append(handled[level] / total)
+    return result

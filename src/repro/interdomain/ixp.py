@@ -1,0 +1,110 @@
+"""IXPs: membership, regional ranking, and path-transit tests (paper VI).
+
+The paper counts a flow as *handled* by a VIF IXP when its AS path contains
+two consecutive ASes that are both members of that IXP (section VI-C).
+:func:`path_transits_ixp` implements exactly that test; a stricter variant
+additionally requires the hop to be a peering established at that IXP
+(useful as an ablation — private interconnects between co-located members
+would not traverse the IXP fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.interdomain.topology import ASGraph
+
+
+@dataclass
+class IXP:
+    """One Internet exchange point."""
+
+    ixp_id: str
+    name: str
+    region: str
+    members: Set[int] = field(default_factory=set)
+
+    @property
+    def member_count(self) -> int:
+        return len(self.members)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.region}, {self.member_count} members)"
+
+
+def top_ixps_by_region(
+    ixps: Sequence[IXP], top_n: int
+) -> List[IXP]:
+    """The ``top_n`` largest IXPs (by member count) in *each* region.
+
+    This is the paper's selection: "Top-n IXPs denote the n largest IXPs in
+    each of the five regions", so top-1 over five regions selects five IXPs.
+    """
+    if top_n <= 0:
+        raise ValueError("top_n must be positive")
+    by_region: Dict[str, List[IXP]] = {}
+    for ixp in ixps:
+        by_region.setdefault(ixp.region, []).append(ixp)
+    selected: List[IXP] = []
+    for region in sorted(by_region):
+        ranked = sorted(
+            by_region[region], key=lambda x: (-x.member_count, x.ixp_id)
+        )
+        selected.extend(ranked[:top_n])
+    return selected
+
+
+def path_transits_ixp(
+    path: Sequence[int],
+    ixp: IXP,
+    graph: ASGraph = None,
+    require_peering_at_ixp: bool = False,
+) -> bool:
+    """True when the AS path crosses ``ixp``.
+
+    Default (paper definition): some consecutive pair of path ASes are both
+    members.  With ``require_peering_at_ixp`` the pair's peering must also
+    be registered at this IXP in the topology.
+    """
+    for a, b in zip(path, path[1:]):
+        if a in ixp.members and b in ixp.members:
+            if not require_peering_at_ixp:
+                return True
+            if graph is None:
+                raise ValueError(
+                    "require_peering_at_ixp needs the graph to check edges"
+                )
+            if ixp.ixp_id in graph.edge_ixps(a, b):
+                return True
+    return False
+
+
+def transited_ixps(
+    path: Sequence[int],
+    membership: Dict[int, Set[str]],
+) -> Set[str]:
+    """All IXP ids crossed by ``path``, given an AS->IXP-ids membership map.
+
+    The bulk form used by the coverage simulation: one pass over the path,
+    set intersections per hop.
+    """
+    crossed: Set[str] = set()
+    for a, b in zip(path, path[1:]):
+        ixps_a = membership.get(a)
+        if not ixps_a:
+            continue
+        ixps_b = membership.get(b)
+        if not ixps_b:
+            continue
+        crossed |= ixps_a & ixps_b
+    return crossed
+
+
+def membership_index(ixps: Iterable[IXP]) -> Dict[int, Set[str]]:
+    """Invert IXP member lists into an AS -> {ixp_id} map."""
+    index: Dict[int, Set[str]] = {}
+    for ixp in ixps:
+        for asn in ixp.members:
+            index.setdefault(asn, set()).add(ixp.ixp_id)
+    return index

@@ -1,0 +1,158 @@
+"""BGP-poisoning fault localization (paper Appendix B).
+
+When the victim's audit shows VIF-allowed packets going missing, the drop
+may be the filtering IXP's fault *or* an intermediate AS's.  Instead of
+full-path fault localization (which needs universal collaboration), the
+victim reroutes its inbound traffic to *avoid one intermediate AS at a
+time* (LIFEGUARD/Nyx-style BGP poisoning needs no cooperation) and watches
+whether the loss follows:
+
+* loss stops whenever AS X is avoided and resumes when X returns → X is
+  the dropper; avoid it for the rest of the session;
+* loss persists on every avoidance path → the filtering network itself is
+  misbehaving; discontinue the VIF contract.
+
+The simulation models a set of covert dropper ASes; probe delivery succeeds
+iff no dropper sits strictly between the filtering network and the victim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.interdomain.routing import as_path, route_tree
+from repro.interdomain.topology import ASGraph
+
+
+class Verdict(enum.Enum):
+    """Outcome of a fault-localization campaign."""
+
+    NO_LOSS = "no-loss-observed"
+    INTERMEDIATE_AS = "intermediate-as-dropping"
+    FILTERING_NETWORK = "filtering-network-misbehaving"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class FaultLocalizationOutcome:
+    """What the victim concluded and the evidence trail."""
+
+    verdict: Verdict
+    suspect_ases: List[int] = field(default_factory=list)
+    tested_ases: List[int] = field(default_factory=list)
+    probes_sent: int = 0
+
+
+class InboundRouteTester:
+    """Victim-side Appendix-B test driver.
+
+    ``droppers`` are the covert packet-dropping ASes (ground truth, hidden
+    from the algorithm); ``filtering_network_drops`` models the VIF IXP
+    itself discarding allowed packets after logging them.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        victim: int,
+        filtering_as: int,
+        droppers: Optional[Set[int]] = None,
+        filtering_network_drops: bool = False,
+    ) -> None:
+        if victim not in graph or filtering_as not in graph:
+            raise RoutingError("victim or filtering AS missing from the graph")
+        self.graph = graph
+        self.victim = victim
+        self.filtering_as = filtering_as
+        self.droppers = set(droppers or set())
+        self.filtering_network_drops = filtering_network_drops
+        self.probes_sent = 0
+
+    # -- the mechanics the victim has access to ---------------------------------
+
+    def current_path(self, graph: Optional[ASGraph] = None) -> Optional[Tuple[int, ...]]:
+        """The AS path from the filtering network to the victim."""
+        g = graph or self.graph
+        if self.filtering_as not in g or self.victim not in g:
+            return None
+        routes = route_tree(g, self.victim)
+        return as_path(routes, self.filtering_as)
+
+    def probe(self, path: Optional[Tuple[int, ...]]) -> bool:
+        """Send one probe along ``path``; True when it arrives.
+
+        Drops happen at the filtering network itself (if misbehaving) or at
+        any dropper strictly between it and the victim.
+        """
+        self.probes_sent += 1
+        if path is None:
+            return False
+        if self.filtering_network_drops:
+            return False
+        intermediate = path[1:-1]
+        return not any(asn in self.droppers for asn in intermediate)
+
+    # -- the Appendix-B campaign ---------------------------------------------------
+
+    def localize(self, probes_per_path: int = 3) -> FaultLocalizationOutcome:
+        """Run the full avoid-one-AS-at-a-time campaign."""
+        baseline_path = self.current_path()
+        if baseline_path is None:
+            return FaultLocalizationOutcome(verdict=Verdict.INCONCLUSIVE)
+
+        baseline_ok = all(
+            self.probe(baseline_path) for _ in range(probes_per_path)
+        )
+        if baseline_ok:
+            return FaultLocalizationOutcome(
+                verdict=Verdict.NO_LOSS, probes_sent=self.probes_sent
+            )
+
+        if not baseline_path[1:-1]:
+            # Direct handoff with loss: nobody else to blame.
+            return FaultLocalizationOutcome(
+                verdict=Verdict.FILTERING_NETWORK, probes_sent=self.probes_sent
+            )
+
+        suspects: List[int] = []
+        tested: List[int] = []
+        untestable: List[int] = []
+        for candidate in baseline_path[1:-1]:
+            # Poison candidate: inbound routes recompute on the graph
+            # without it.  No alternate path -> cannot test this AS.
+            poisoned = self.graph.without_as(candidate)
+            alt_path = self.current_path(poisoned)
+            if alt_path is None:
+                untestable.append(candidate)
+                continue
+            tested.append(candidate)
+            alt_ok = all(self.probe(alt_path) for _ in range(probes_per_path))
+            if alt_ok:
+                suspects.append(candidate)
+
+        if suspects:
+            return FaultLocalizationOutcome(
+                verdict=Verdict.INTERMEDIATE_AS,
+                suspect_ases=suspects,
+                tested_ases=tested,
+                probes_sent=self.probes_sent,
+            )
+        if tested and not untestable:
+            # Every intermediate AS could be avoided and the loss persisted
+            # on every reroute: the paper's conclusion is that the VIF IXP
+            # itself is misbehaving.
+            return FaultLocalizationOutcome(
+                verdict=Verdict.FILTERING_NETWORK,
+                tested_ases=tested,
+                probes_sent=self.probes_sent,
+            )
+        # Some AS could not be rerouted around (e.g. the victim's only
+        # provider): the victim cannot distinguish that AS from the IXP.
+        return FaultLocalizationOutcome(
+            verdict=Verdict.INCONCLUSIVE,
+            tested_ases=tested,
+            probes_sent=self.probes_sent,
+        )

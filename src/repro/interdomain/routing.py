@@ -1,0 +1,154 @@
+"""Gao–Rexford policy routing (paper VI-C simulation setup).
+
+The paper's simulation applies the standard BGP policy model: (1) prefer
+customer routes over peer routes over provider routes; (2) among those,
+prefer the shortest AS path; (3) break remaining ties on AS number.  Export
+rules make paths *valley-free*: an AS exports customer routes to everyone
+but peer/provider routes only to its customers.
+
+:func:`route_tree` computes, for one destination, every AS's best path with
+the classic three-stage BFS (customer routes bubble *up* the hierarchy, then
+one peer hop, then provider routes cascade *down*), which is equivalent to
+a full BGP convergence under this policy.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.interdomain.topology import ASGraph
+
+
+class RouteKind(enum.Enum):
+    """How the route was learned, in preference order."""
+
+    ORIGIN = 0
+    CUSTOMER = 1  # learned from a customer (most preferred)
+    PEER = 2
+    PROVIDER = 3  # learned from a provider (least preferred)
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's best route toward the tree's destination."""
+
+    kind: RouteKind
+    length: int  # AS hops to the destination
+    next_hop: Optional[int]  # None only at the origin
+
+    def preference(self) -> Tuple[int, int]:
+        """Sort key: lower is better (kind first, then length)."""
+        return (self.kind.value, self.length)
+
+
+def route_tree(graph: ASGraph, destination: int) -> Dict[int, Route]:
+    """Best route from every AS to ``destination`` (absent = unreachable)."""
+    if destination not in graph:
+        raise RoutingError(f"destination AS{destination} not in graph")
+
+    routes: Dict[int, Route] = {
+        destination: Route(kind=RouteKind.ORIGIN, length=0, next_hop=None)
+    }
+
+    # Stage 1 — customer routes: an AS that hears the route from a customer
+    # re-exports it to *its* providers, so the route climbs p2c edges.
+    # BFS guarantees shortest; processing neighbors in sorted order plus the
+    # first-writer-wins rule implements the lowest-AS tiebreak.
+    queue = deque([destination])
+    while queue:
+        u = queue.popleft()
+        for provider in sorted(graph.providers[u]):
+            if provider in routes:
+                continue
+            routes[provider] = Route(
+                kind=RouteKind.CUSTOMER,
+                length=routes[u].length + 1,
+                next_hop=u,
+            )
+            queue.append(provider)
+
+    # Stage 2 — peer routes: one peer hop off any customer-routed AS.
+    # (Peer routes are not re-exported to peers/providers, so no BFS here.)
+    customer_routed = [
+        asn for asn, r in routes.items()
+        if r.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER)
+    ]
+    peer_candidates: Dict[int, Route] = {}
+    for v in customer_routed:
+        for u in graph.peers[v]:
+            if u in routes:
+                continue
+            candidate = Route(
+                kind=RouteKind.PEER, length=routes[v].length + 1, next_hop=v
+            )
+            best = peer_candidates.get(u)
+            if (
+                best is None
+                or candidate.length < best.length
+                or (candidate.length == best.length and v < best.next_hop)  # type: ignore[operator]
+            ):
+                peer_candidates[u] = candidate
+    routes.update(peer_candidates)
+
+    # Stage 3 — provider routes: any routed AS exports to its customers;
+    # the route cascades down p2c edges.  Dijkstra-style expansion keeps the
+    # shortest-path preference among provider routes.
+    heap = [
+        (route.length, asn) for asn, route in routes.items()
+    ]
+    heapq.heapify(heap)
+    while heap:
+        dist, v = heapq.heappop(heap)
+        if routes[v].length != dist:
+            continue  # stale entry
+        for u in sorted(graph.customers[v]):
+            if u in routes:
+                continue
+            routes[u] = Route(kind=RouteKind.PROVIDER, length=dist + 1, next_hop=v)
+            heapq.heappush(heap, (dist + 1, u))
+
+    return routes
+
+
+def as_path(routes: Dict[int, Route], source: int) -> Optional[Tuple[int, ...]]:
+    """The AS path (source ... destination) for ``source``, or None."""
+    if source not in routes:
+        return None
+    path = [source]
+    current = source
+    guard = 0
+    while routes[current].next_hop is not None:
+        current = routes[current].next_hop  # type: ignore[assignment]
+        path.append(current)
+        guard += 1
+        if guard > len(routes) + 1:
+            raise RoutingError("next-hop chain does not terminate (cycle)")
+    return tuple(path)
+
+
+def is_valley_free(graph: ASGraph, path: Tuple[int, ...]) -> bool:
+    """Check the valley-free property of an AS path (used by tests).
+
+    A valid path is a sequence of customer->provider steps, at most one
+    peer step, then provider->customer steps.
+    """
+    # 0 = climbing, 1 = after the peak / peer edge (descending only)
+    phase = 0
+    for a, b in zip(path, path[1:]):
+        if b in graph.providers[a]:  # uphill: a's provider
+            if phase == 1:
+                return False
+        elif b in graph.peers[a]:  # the single lateral step
+            if phase == 1:
+                return False
+            phase = 1
+        elif b in graph.customers[a]:  # downhill
+            phase = 1
+        else:
+            return False  # not an edge at all
+    return True

@@ -1,0 +1,120 @@
+"""The Fig 11 coverage simulation.
+
+For each victim AS, compute the policy-routing tree toward it, trace every
+attack source's AS path, and measure the fraction of attack *sources*
+(weighted by per-AS source count) whose path crosses at least one of the
+selected VIF IXPs.  The paper reports the distribution over 1,000 random
+victims as box plots for Top-1 … Top-5 IXPs per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.interdomain.ixp import IXP, membership_index, top_ixps_by_region, transited_ixps
+from repro.interdomain.routing import as_path, route_tree
+from repro.interdomain.topology import ASGraph, Tier
+from repro.util.rng import deterministic_rng
+from repro.util.stats import BoxplotSummary, boxplot_summary
+
+
+@dataclass
+class CoverageResult:
+    """Per-Top-n coverage ratios across victims (the Fig 11 data)."""
+
+    #: top-n -> one coverage ratio per victim.
+    ratios_by_level: Dict[int, List[float]] = field(default_factory=dict)
+
+    def summary(self, level: int) -> BoxplotSummary:
+        """The box-plot five-number summary for Top-``level`` IXPs."""
+        return boxplot_summary(self.ratios_by_level[level])
+
+    def median(self, level: int) -> float:
+        return self.summary(level).median
+
+
+def choose_victims(
+    graph: ASGraph, count: int, seed: int = 17
+) -> List[int]:
+    """Random stub ("Tier-3") victims, the paper's victim model."""
+    rng = deterministic_rng(f"victims:{seed}")
+    stubs = graph.ases_by_tier(Tier.STUB)
+    if count > len(stubs):
+        raise ConfigurationError(
+            f"asked for {count} victims but only {len(stubs)} stubs exist"
+        )
+    return sorted(rng.sample(stubs, count))
+
+
+def ixp_coverage(
+    graph: ASGraph,
+    ixps: Sequence[IXP],
+    victims: Sequence[int],
+    sources: Dict[int, int],
+    top_levels: Sequence[int] = (1, 2, 3, 4, 5),
+) -> CoverageResult:
+    """Run the coverage experiment.
+
+    ``sources`` maps source AS -> number of attack sources inside it (from
+    :mod:`repro.interdomain.attack_sources`).  A source is *handled* when
+    its path to the victim transits any IXP in the Top-n selection (the
+    paper's consecutive-members test).
+    """
+    if not victims:
+        raise ConfigurationError("need at least one victim")
+    if not sources:
+        raise ConfigurationError("need at least one attack source")
+
+    # Top-n ID sets, nested by construction.
+    level_sets: Dict[int, Set[str]] = {}
+    for level in top_levels:
+        level_sets[level] = {
+            ixp.ixp_id for ixp in top_ixps_by_region(ixps, level)
+        }
+    member_idx = membership_index(ixps)
+
+    result = CoverageResult(
+        ratios_by_level={level: [] for level in top_levels}
+    )
+    for victim in victims:
+        routes = route_tree(graph, victim)
+        handled = {level: 0 for level in top_levels}
+        total = 0
+        for src_as, count in sources.items():
+            if src_as == victim:
+                continue
+            path = as_path(routes, src_as)
+            if path is None:
+                continue  # unreachable source contributes no attack traffic
+            total += count
+            crossed = transited_ixps(path, member_idx)
+            if not crossed:
+                continue
+            for level in top_levels:
+                if crossed & level_sets[level]:
+                    handled[level] += count
+        if total == 0:
+            continue
+        for level in top_levels:
+            result.ratios_by_level[level].append(handled[level] / total)
+    return result
+
+
+def coverage_rows(result: CoverageResult) -> List[List[object]]:
+    """Fig 11 as printable rows: level, p5, p25, median, p75, p95."""
+    rows: List[List[object]] = []
+    for level in sorted(result.ratios_by_level):
+        s = result.summary(level)
+        rows.append(
+            [
+                f"Top-{level} IXPs",
+                round(s.p5, 3),
+                round(s.p25, 3),
+                round(s.median, 3),
+                round(s.p75, 3),
+                round(s.p95, 3),
+            ]
+        )
+    return rows

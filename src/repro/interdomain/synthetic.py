@@ -1,0 +1,228 @@
+"""Synthetic Internet generation (the CAIDA-data substitute, see DESIGN.md).
+
+The generator builds, per region (the paper's five: Europe, North America,
+South America, Asia Pacific, Africa):
+
+* a small clique of **tier-1** transit ASes, peering with each other within
+  and across regions (the default-free zone);
+* **tier-2** regional transit ASes, each buying transit from 1–3 tier-1s
+  and peering laterally at IXPs;
+* **stub** (eyeball/content/enterprise) ASes, each buying transit from 1–3
+  tier-2s (occasionally a tier-1);
+* a handful of **IXPs** with skewed membership sizes mirroring Table III —
+  the region's top IXP gathers a large fraction of the region's ASes, the
+  tail IXPs far fewer.  Peer edges are placed *at* IXPs between sampled
+  member pairs (transit-heavy members peer more, like route-server
+  participants), plus the tier-1 mesh.
+
+Structural properties the Fig 11 result depends on — most peering
+concentrated at a few giant IXPs, valley-free paths crossing the hierarchy
+through those peering hops — emerge from this construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interdomain.ixp import IXP
+from repro.interdomain.topology import ASGraph, Tier
+from repro.util.rng import deterministic_rng
+
+#: The paper's five regions (Table III).
+PAPER_REGIONS = (
+    "Europe",
+    "North America",
+    "South America",
+    "Asia Pacific",
+    "Africa",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticInternetConfig:
+    """Knobs for the generator; defaults give ~1,000 ASes in seconds."""
+
+    regions: Sequence[str] = PAPER_REGIONS
+    tier1_per_region: int = 2
+    tier2_per_region: int = 20
+    stubs_per_region: int = 180
+    ixps_per_region: int = 5
+    #: Fraction of the region's ASes that join the region's rank-r IXP.
+    #: Calibrated (with the tier weights below) so Fig 11 reproduces the
+    #: paper's bands: Top-1 median ≈0.6, Top-5 median ≈0.75, upper
+    #: quartiles 0.8-0.95 for both source populations.
+    ixp_member_fractions: Sequence[float] = (0.24, 0.115, 0.07, 0.045, 0.028)
+    #: Fraction of a top IXP's members drawn from other regions.
+    foreign_member_fraction: float = 0.12
+    #: Membership weight per tier: the big fabrics attract the large transit
+    #: networks; stubs join far less often.
+    member_weight_tier1: float = 3.5
+    member_weight_tier2: float = 4.0
+    member_weight_stub: float = 1.0
+    #: Average number of IXP peers for a transit member at its IXPs.
+    mean_peers_per_transit_member: int = 8
+    #: Average number of IXP peers for a stub member.
+    mean_peers_per_stub_member: int = 2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.tier1_per_region < 1 or self.tier2_per_region < 1:
+            raise ConfigurationError("need at least one tier-1 and tier-2 per region")
+        if len(self.ixp_member_fractions) < self.ixps_per_region:
+            raise ConfigurationError(
+                "need a member fraction for every IXP rank"
+            )
+
+
+def generate_internet(
+    config: SyntheticInternetConfig = SyntheticInternetConfig(),
+) -> Tuple[ASGraph, List[IXP]]:
+    """Build the synthetic topology; returns ``(graph, ixps)``."""
+    rng = deterministic_rng(f"internet:{config.seed}")
+    graph = ASGraph()
+
+    tier1s: Dict[str, List[int]] = {}
+    tier2s: Dict[str, List[int]] = {}
+    stubs: Dict[str, List[int]] = {}
+    next_asn = 1
+    for region in config.regions:
+        tier1s[region] = []
+        tier2s[region] = []
+        stubs[region] = []
+        for _ in range(config.tier1_per_region):
+            graph.add_as(next_asn, region, Tier.TIER1)
+            tier1s[region].append(next_asn)
+            next_asn += 1
+        for _ in range(config.tier2_per_region):
+            graph.add_as(next_asn, region, Tier.TIER2)
+            tier2s[region].append(next_asn)
+            next_asn += 1
+        for _ in range(config.stubs_per_region):
+            graph.add_as(next_asn, region, Tier.STUB)
+            stubs[region].append(next_asn)
+            next_asn += 1
+
+    # Tier-1 default-free zone: full mesh (peer) across all regions.
+    all_tier1 = [asn for region in config.regions for asn in tier1s[region]]
+    for i, a in enumerate(all_tier1):
+        for b in all_tier1[i + 1 :]:
+            graph.add_p2p(a, b)
+
+    # Tier-2 transit: 1-3 tier-1 providers, mostly same region.
+    for region in config.regions:
+        for asn in tier2s[region]:
+            num_providers = rng.choice((1, 2, 2, 3))
+            pool = list(tier1s[region])
+            other = [a for a in all_tier1 if a not in pool]
+            providers = set()
+            while len(providers) < num_providers:
+                if other and rng.random() < 0.2:
+                    providers.add(rng.choice(other))
+                else:
+                    providers.add(rng.choice(pool))
+            for provider in providers:
+                graph.add_p2c(provider, asn)
+
+    # Stubs: 1-3 tier-2 providers (same region), rarely a tier-1 upstream.
+    for region in config.regions:
+        for asn in stubs[region]:
+            num_providers = rng.choice((1, 1, 2, 2, 3))
+            providers = set()
+            while len(providers) < num_providers:
+                if rng.random() < 0.05:
+                    providers.add(rng.choice(tier1s[region]))
+                else:
+                    providers.add(rng.choice(tier2s[region]))
+            for provider in providers:
+                graph.add_p2c(provider, asn)
+
+    # IXPs with skewed membership; transit ASes join preferentially.
+    ixps: List[IXP] = []
+    for region in config.regions:
+        region_ases = tier1s[region] + tier2s[region] + stubs[region]
+        foreign_ases = [
+            asn
+            for other in config.regions
+            if other != region
+            for asn in tier1s[other] + tier2s[other]
+        ]
+        for rank in range(config.ixps_per_region):
+            ixp_id = f"ixp-{region.lower().replace(' ', '-')}-{rank + 1}"
+            ixp = IXP(
+                ixp_id=ixp_id,
+                name=f"{region} IX {rank + 1}",
+                region=region,
+            )
+            # Jitter the target so regional tables (Table III) differ the
+            # way real regions do.
+            target = max(
+                3,
+                int(
+                    config.ixp_member_fractions[rank]
+                    * len(region_ases)
+                    * rng.uniform(0.85, 1.2)
+                ),
+            )
+            tier_weights = {
+                Tier.TIER1: config.member_weight_tier1,
+                Tier.TIER2: config.member_weight_tier2,
+                Tier.STUB: config.member_weight_stub,
+            }
+            weights = {
+                asn: tier_weights[graph.nodes[asn].tier] for asn in region_ases
+            }
+            members = _weighted_sample(rng, weights, target)
+            # Big IXPs attract remote members (e.g. US networks at AMS-IX).
+            if rank == 0 and foreign_ases:
+                extra = int(target * config.foreign_member_fraction)
+                members |= set(
+                    rng.sample(foreign_ases, min(extra, len(foreign_ases)))
+                )
+            ixp.members = members
+            ixps.append(ixp)
+
+    # Peering fabric at each IXP.
+    for ixp in ixps:
+        members = sorted(ixp.members)
+        for asn in members:
+            is_stub = graph.nodes[asn].tier is Tier.STUB
+            mean = (
+                config.mean_peers_per_stub_member
+                if is_stub
+                else config.mean_peers_per_transit_member
+            )
+            wanted = min(
+                len(members) - 1,
+                max(1, int(rng.gauss(mean, mean / 3))),
+            )
+            partners = rng.sample(
+                [m for m in members if m != asn], wanted
+            )
+            for partner in partners:
+                if partner in graph.customers[asn] or partner in graph.providers[asn]:
+                    continue  # already a transit relationship
+                graph.add_p2p(asn, partner, ixp_id=ixp.ixp_id)
+
+    return graph, ixps
+
+
+def _weighted_sample(rng, weights: Dict[int, float], count: int) -> set:
+    """Sample ``count`` distinct keys with probability proportional to weight."""
+    chosen: set = set()
+    population = list(weights)
+    weight_list = [weights[a] for a in population]
+    # Rejection-style sampling keeps the implementation simple; the loop
+    # terminates quickly because count << len(population) in practice.
+    guard = 0
+    while len(chosen) < min(count, len(population)):
+        chosen.add(rng.choices(population, weights=weight_list, k=1)[0])
+        guard += 1
+        if guard > 50 * count + 1000:
+            # Fill deterministically if rejection stalls (tiny populations).
+            for asn in population:
+                if len(chosen) >= min(count, len(population)):
+                    break
+                chosen.add(asn)
+    return chosen

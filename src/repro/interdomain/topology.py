@@ -1,0 +1,195 @@
+"""AS-level topology with business relationships.
+
+Two relationship kinds, following the standard inference model (Gao 2001):
+provider-to-customer (p2c) and peer-to-peer (p2p).  Peerings may be
+annotated with the IXPs at which they occur — large IXPs are precisely
+where most peer edges live, which is what makes them effective VIF
+deployment points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import TopologyError
+
+
+class Tier(enum.Enum):
+    """Coarse AS roles used by the synthetic generator and source models."""
+
+    TIER1 = "tier1"
+    TIER2 = "tier2"
+    STUB = "stub"
+
+
+@dataclass(frozen=True)
+class ASNode:
+    """One autonomous system."""
+
+    asn: int
+    region: str
+    tier: Tier
+
+
+class ASGraph:
+    """Mutable AS graph with p2c and p2p edges."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, ASNode] = {}
+        self.providers: Dict[int, Set[int]] = {}
+        self.customers: Dict[int, Set[int]] = {}
+        self.peers: Dict[int, Set[int]] = {}
+        #: peering edge -> IXP ids where that peering is established.
+        self.peering_ixps: Dict[FrozenSet[int], Set[str]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_as(self, asn: int, region: str, tier: Tier) -> ASNode:
+        if asn in self.nodes:
+            raise TopologyError(f"AS{asn} already exists")
+        node = ASNode(asn=asn, region=region, tier=tier)
+        self.nodes[asn] = node
+        self.providers[asn] = set()
+        self.customers[asn] = set()
+        self.peers[asn] = set()
+        return node
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Add a provider->customer edge."""
+        self._require(provider)
+        self._require(customer)
+        if provider == customer:
+            raise TopologyError("an AS cannot be its own provider")
+        if customer in self.peers[provider] or provider in self.peers[customer]:
+            raise TopologyError(
+                f"AS{provider}-AS{customer} already peer; conflicting relationship"
+            )
+        if provider in self.customers[customer]:
+            raise TopologyError(
+                f"AS{provider} is already a customer of AS{customer}"
+            )
+        self.customers[provider].add(customer)
+        self.providers[customer].add(provider)
+
+    def add_p2p(self, a: int, b: int, ixp_id: Optional[str] = None) -> None:
+        """Add (or re-annotate) a peer edge, optionally at an IXP."""
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise TopologyError("an AS cannot peer with itself")
+        if b in self.customers[a] or a in self.customers[b]:
+            raise TopologyError(
+                f"AS{a}-AS{b} already have a p2c relationship; cannot also peer"
+            )
+        self.peers[a].add(b)
+        self.peers[b].add(a)
+        if ixp_id is not None:
+            self.peering_ixps.setdefault(frozenset((a, b)), set()).add(ixp_id)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def ases(self) -> List[int]:
+        return sorted(self.nodes)
+
+    def ases_by_tier(self, tier: Tier) -> List[int]:
+        return sorted(a for a, n in self.nodes.items() if n.tier is tier)
+
+    def ases_by_region(self, region: str) -> List[int]:
+        return sorted(a for a, n in self.nodes.items() if n.region == region)
+
+    def degree(self, asn: int) -> int:
+        self._require(asn)
+        return (
+            len(self.providers[asn])
+            + len(self.customers[asn])
+            + len(self.peers[asn])
+        )
+
+    def neighbors(self, asn: int) -> Set[int]:
+        self._require(asn)
+        return self.providers[asn] | self.customers[asn] | self.peers[asn]
+
+    def num_edges(self) -> int:
+        p2c = sum(len(c) for c in self.customers.values())
+        p2p = sum(len(p) for p in self.peers.values()) // 2
+        return p2c + p2p
+
+    def edge_ixps(self, a: int, b: int) -> Set[str]:
+        """The IXPs at which AS a and AS b peer (empty for p2c/private)."""
+        return set(self.peering_ixps.get(frozenset((a, b)), set()))
+
+    def without_as(self, asn: int) -> "ASGraph":
+        """A copy of the graph with ``asn`` removed (BGP-poisoning tests)."""
+        self._require(asn)
+        clone = ASGraph()
+        for node in self.nodes.values():
+            if node.asn != asn:
+                clone.add_as(node.asn, node.region, node.tier)
+        for provider, custs in self.customers.items():
+            if provider == asn:
+                continue
+            for customer in custs:
+                if customer != asn:
+                    clone.add_p2c(provider, customer)
+        done: Set[FrozenSet[int]] = set()
+        for a, peer_set in self.peers.items():
+            if a == asn:
+                continue
+            for b in peer_set:
+                if b == asn:
+                    continue
+                key = frozenset((a, b))
+                if key in done:
+                    continue
+                done.add(key)
+                ixps = self.peering_ixps.get(key, set())
+                if ixps:
+                    for ixp_id in sorted(ixps):
+                        clone.add_p2p(a, b, ixp_id)
+                else:
+                    clone.add_p2p(a, b)
+        return clone
+
+    def validate(self) -> List[str]:
+        """Structural sanity checks; returns a list of problems (empty=ok)."""
+        problems: List[str] = []
+        for provider, custs in self.customers.items():
+            for customer in custs:
+                if provider not in self.providers.get(customer, set()):
+                    problems.append(
+                        f"p2c edge AS{provider}->AS{customer} not mirrored"
+                    )
+        for a, peer_set in self.peers.items():
+            for b in peer_set:
+                if a not in self.peers.get(b, set()):
+                    problems.append(f"p2p edge AS{a}-AS{b} not mirrored")
+        # Provider cycles would break the hierarchy (and stage-1 routing).
+        state: Dict[int, int] = {}
+
+        def dfs(u: int) -> bool:
+            state[u] = 1
+            for v in self.providers[u]:
+                if state.get(v, 0) == 1:
+                    return False
+                if state.get(v, 0) == 0 and not dfs(v):
+                    return False
+            state[u] = 2
+            return True
+
+        for asn in self.nodes:
+            if state.get(asn, 0) == 0 and not dfs(asn):
+                problems.append("provider hierarchy contains a cycle")
+                break
+        return problems
+
+    def _require(self, asn: int) -> None:
+        if asn not in self.nodes:
+            raise TopologyError(f"unknown AS{asn}")

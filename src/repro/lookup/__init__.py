@@ -1,0 +1,24 @@
+"""Rule lookup structures (paper IV-A, V-A, Appendix F).
+
+The enclave resolves each packet against its installed rules through a
+multi-bit trie (the paper's "state-of-the-art multi-bit tries data
+structure") plus an exact-match flow table for connection-preserving
+non-deterministic rules.  :mod:`repro.lookup.memory_model` captures the
+linear memory cost ``C_j = u * rules + v`` that both Fig 3b and the
+Appendix C optimizer rely on.
+"""
+
+from repro.lookup.multibit_trie import MultiBitTrie, TrieStats
+from repro.lookup.flowtable import ExactMatchFlowTable
+from repro.lookup.memory_model import (
+    EnclaveMemoryModel,
+    PAPER_MEMORY_MODEL,
+)
+
+__all__ = [
+    "EnclaveMemoryModel",
+    "ExactMatchFlowTable",
+    "MultiBitTrie",
+    "PAPER_MEMORY_MODEL",
+    "TrieStats",
+]

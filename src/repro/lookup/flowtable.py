@@ -1,0 +1,126 @@
+"""Exact-match flow table for connection-preserving filtering (Appendix A/F).
+
+Non-deterministic rules need every packet of a TCP/UDP connection to share
+one decision.  The exact-match strategy materializes a per-connection entry
+(five-tuple → ALLOW/DROP) once the decision is made; the hybrid design
+queues new flows decided hash-based and batch-converts them into table
+entries at every rule update period.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # annotations only — avoids a core<->lookup cycle
+    from repro.core.rules import Action
+    from repro.dataplane.packet import FiveTuple
+
+
+class ExactMatchFlowTable:
+    """A hash table of per-connection decisions with batch insertion.
+
+    Entries age out: each lookup stamps the entry with the current epoch
+    (epochs advance once per rule-update period via :meth:`advance_epoch`),
+    and :meth:`evict_idle` removes connections idle for too many epochs —
+    the enclave's defense against the table growing without bound under
+    high flow churn.  Eviction is *safe* for connection preservation: the
+    per-flow verdict is hash-derived, so a flow whose entry was evicted and
+    later re-created gets the identical decision.
+    """
+
+    #: Approximate enclave bytes per entry: five-tuple key, decision, and
+    #: hash-bucket overhead — matches the lookup-table growth the paper
+    #: observes for exact-match rules.
+    BYTES_PER_ENTRY = 64
+
+    def __init__(self) -> None:
+        self._entries: Dict[FiveTuple, Action] = {}
+        self._pending: List[Tuple[FiveTuple, Action]] = []
+        self._epoch = 0
+        self._last_seen: Dict[FiveTuple, int] = {}
+
+    # -- direct entries --------------------------------------------------------
+
+    def lookup(self, flow: FiveTuple) -> Optional[Action]:
+        """The installed decision for ``flow``, or None if absent."""
+        decision = self._entries.get(flow)
+        if decision is not None:
+            self._last_seen[flow] = self._epoch
+        return decision
+
+    def install(self, flow: FiveTuple, decision: Action) -> None:
+        """Install (or overwrite) a per-connection decision immediately."""
+        self._entries[flow] = decision
+        self._last_seen[flow] = self._epoch
+
+    def remove(self, flow: FiveTuple) -> None:
+        """Drop a per-connection entry (e.g. connection timed out)."""
+        self._entries.pop(flow, None)
+        self._last_seen.pop(flow, None)
+
+    # -- aging ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def advance_epoch(self) -> int:
+        """Move to the next update period; returns the new epoch."""
+        self._epoch += 1
+        return self._epoch
+
+    def evict_idle(self, max_idle_epochs: int) -> int:
+        """Remove entries not looked up for > ``max_idle_epochs`` epochs.
+
+        Returns the number of evicted connections.
+        """
+        if max_idle_epochs < 0:
+            raise ValueError("max_idle_epochs must be non-negative")
+        stale = [
+            flow
+            for flow, seen in self._last_seen.items()
+            if self._epoch - seen > max_idle_epochs and flow in self._entries
+        ]
+        for flow in stale:
+            self.remove(flow)
+        return len(stale)
+
+    # -- hybrid design: queue now, install at the next update period ------------
+
+    def queue(self, flow: FiveTuple, decision: Action) -> None:
+        """Queue a hash-decided new flow for the next batch conversion."""
+        self._pending.append((flow, decision))
+
+    def flush_pending(self) -> int:
+        """Batch-install all queued flows (the per-update-period conversion).
+
+        Returns the number of entries installed.  Duplicate queued flows keep
+        the first decision, matching "all the packets in a flow are allowed
+        or dropped together".
+        """
+        installed = 0
+        for flow, decision in self._pending:
+            if flow not in self._entries:
+                self._entries[flow] = decision
+                self._last_seen[flow] = self._epoch
+                installed += 1
+        self._pending.clear()
+        return installed
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, flow: FiveTuple) -> bool:
+        return flow in self._entries
+
+    def entries(self) -> Iterable[Tuple[FiveTuple, Action]]:
+        """All installed entries (deterministic order for tests)."""
+        return sorted(self._entries.items(), key=lambda kv: kv[0])
+
+    def memory_bytes(self) -> int:
+        """Enclave footprint of installed + queued entries."""
+        return (len(self._entries) + len(self._pending)) * self.BYTES_PER_ENTRY

@@ -1,0 +1,153 @@
+"""Problem and solution types for the rule-distribution optimization.
+
+Notation follows Appendix C: ``k`` rules with bandwidths ``b_i``; ``n``
+enclaves each limited to bandwidth ``G`` and memory ``M``; memory cost
+``C_j = u·(#rules on j) + v``; allocated bandwidth ``I_j = Σ_i x_ij``;
+objective ``min z`` with ``z ≥ α·C_p + I_q`` for every pair ``(p, q)`` —
+i.e. ``z = α·max_j C_j + max_j I_j``.
+
+The paper's Equation 4 as printed sums ``y_ij`` over *enclaves* for a fixed
+rule; the prose makes clear the constraint is per-enclave, so we implement
+``∀j: u·Σ_i y_ij + v ≤ M`` (erratum noted in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.lookup.memory_model import PAPER_MEMORY_MODEL
+from repro.util.units import GBPS
+
+#: Balances memory cost against bandwidth in the objective.  The paper does
+#: not report its value; we scale memory (tens of MB) into the same range as
+#: bandwidth (Gb/s) so neither term dominates.
+PAPER_ALPHA = 100.0 / PAPER_MEMORY_MODEL.performance_budget_bytes
+
+
+@dataclass(frozen=True)
+class RuleDistributionProblem:
+    """One instance of the Appendix C optimization."""
+
+    bandwidths: Sequence[float]  # b_i, bits/s
+    enclave_bandwidth: float = 10 * GBPS  # G
+    memory_budget: int = PAPER_MEMORY_MODEL.performance_budget_bytes  # M
+    bytes_per_rule: int = PAPER_MEMORY_MODEL.bytes_per_rule  # u
+    base_bytes: int = PAPER_MEMORY_MODEL.base_bytes  # v
+    headroom: float = 0.1  # λ
+    alpha: float = PAPER_ALPHA
+    #: Pin the fleet size explicitly (operators sizing to hardware on hand);
+    #: overrides the λ-derived enclave count when set.
+    enclaves_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.bandwidths:
+            raise ConfigurationError("problem needs at least one rule")
+        if any(b < 0 for b in self.bandwidths):
+            raise ConfigurationError("bandwidths must be non-negative")
+        if self.enclave_bandwidth <= 0:
+            raise ConfigurationError("enclave bandwidth must be positive")
+        if self.memory_budget <= self.base_bytes:
+            raise ConfigurationError(
+                "memory budget must exceed the per-enclave base cost"
+            )
+        if self.headroom < 0:
+            raise ConfigurationError("headroom (lambda) must be >= 0")
+        if self.enclaves_override is not None and self.enclaves_override < 1:
+            raise ConfigurationError("enclaves_override must be >= 1")
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.bandwidths)
+
+    @property
+    def total_bandwidth(self) -> float:
+        return sum(self.bandwidths)
+
+    @property
+    def rule_capacity_per_enclave(self) -> int:
+        """(M - v) / u, the max rules one enclave can hold."""
+        return (self.memory_budget - self.base_bytes) // self.bytes_per_rule
+
+    @property
+    def min_enclaves(self) -> int:
+        """n_min = ceil(max(Σb/G, k·u/(M−v)))."""
+        by_bandwidth = self.total_bandwidth / self.enclave_bandwidth
+        by_memory = (
+            self.num_rules
+            * self.bytes_per_rule
+            / (self.memory_budget - self.base_bytes)
+        )
+        return max(1, math.ceil(max(by_bandwidth, by_memory)))
+
+    @property
+    def num_enclaves(self) -> int:
+        """n = ceil(n_min_raw × (1 + λ)) — headroom for the optimizer —
+        unless an explicit fleet size was pinned."""
+        if self.enclaves_override is not None:
+            return self.enclaves_override
+        by_bandwidth = self.total_bandwidth / self.enclave_bandwidth
+        by_memory = (
+            self.num_rules
+            * self.bytes_per_rule
+            / (self.memory_budget - self.base_bytes)
+        )
+        raw = max(by_bandwidth, by_memory, 1.0)
+        return math.ceil(raw * (1.0 + self.headroom))
+
+    def memory_cost(self, rules_on_enclave: int) -> float:
+        """C_j = u·rules + v."""
+        return self.bytes_per_rule * rules_on_enclave + self.base_bytes
+
+    def check_feasible(self) -> None:
+        """Raise :class:`InfeasibleError` if any single rule cannot fit."""
+        if self.rule_capacity_per_enclave < 1:
+            raise InfeasibleError("memory budget cannot hold even one rule")
+        # Bandwidth is splittable across enclaves, so single-rule bandwidth
+        # never blocks feasibility as long as the aggregate fits in n·G.
+        if self.total_bandwidth > self.num_enclaves * self.enclave_bandwidth:
+            raise InfeasibleError(
+                "total bandwidth exceeds the aggregate enclave capacity"
+            )
+
+
+@dataclass
+class Allocation:
+    """A solution: per-enclave rule sets and bandwidth shares.
+
+    ``assignments[j]`` maps rule index ``i`` to the bandwidth ``x_ij``
+    assigned to enclave ``j`` (``y_ij = 1`` exactly for present keys).
+    """
+
+    problem: RuleDistributionProblem
+    assignments: List[Dict[int, float]] = field(default_factory=list)
+
+    @property
+    def num_enclaves_used(self) -> int:
+        return sum(1 for a in self.assignments if a)
+
+    def rules_on(self, j: int) -> List[int]:
+        """Rule indexes installed on enclave ``j`` (sorted)."""
+        return sorted(self.assignments[j])
+
+    def bandwidth_on(self, j: int) -> float:
+        """I_j — the bandwidth allocated to enclave ``j``."""
+        return sum(self.assignments[j].values())
+
+    def memory_on(self, j: int) -> float:
+        """C_j — the memory cost of enclave ``j``."""
+        return self.problem.memory_cost(len(self.assignments[j]))
+
+    def objective(self) -> float:
+        """z = α·max_j C_j + max_j I_j."""
+        if not self.assignments:
+            return 0.0
+        max_c = max(self.memory_on(j) for j in range(len(self.assignments)))
+        max_i = max(self.bandwidth_on(j) for j in range(len(self.assignments)))
+        return self.problem.alpha * max_c + max_i
+
+    def rule_replicas(self, i: int) -> List[int]:
+        """Enclaves on which rule ``i`` is installed (split rules: several)."""
+        return [j for j, a in enumerate(self.assignments) if i in a]

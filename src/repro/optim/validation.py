@@ -1,0 +1,62 @@
+"""Feasibility checking for rule-distribution allocations.
+
+Used by tests (every solver output must validate), by the redistribution
+protocol before pushing a plan to enclaves, and by property-based tests
+which throw random instances at both solvers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.optim.problem import Allocation
+
+#: Relative slack for floating-point bandwidth sums.
+_REL_TOL = 1e-6
+
+
+def validate_allocation(allocation: Allocation) -> List[str]:
+    """Return a list of constraint violations (empty list == feasible).
+
+    Checks, mirroring Appendix C:
+
+    * every enclave respects the bandwidth cap ``G`` (eq. 5);
+    * every enclave respects the memory budget ``M`` (eq. 4, per-enclave);
+    * every rule's bandwidth shares sum to ``b_i`` (eq. 6);
+    * shares are non-negative and only present where the rule is installed
+      (eqs. 7–8 hold by construction of the assignment maps).
+    """
+    problem = allocation.problem
+    violations: List[str] = []
+
+    for j, share_map in enumerate(allocation.assignments):
+        bandwidth = sum(share_map.values())
+        if bandwidth > problem.enclave_bandwidth * (1 + _REL_TOL):
+            violations.append(
+                f"enclave {j}: bandwidth {bandwidth:.3e} exceeds "
+                f"G={problem.enclave_bandwidth:.3e}"
+            )
+        memory = problem.memory_cost(len(share_map))
+        if memory > problem.memory_budget * (1 + _REL_TOL):
+            violations.append(
+                f"enclave {j}: memory {memory:.0f} exceeds "
+                f"M={problem.memory_budget}"
+            )
+        for i, share in share_map.items():
+            if share < 0:
+                violations.append(f"enclave {j}: negative share for rule {i}")
+            if not 0 <= i < problem.num_rules:
+                violations.append(f"enclave {j}: unknown rule index {i}")
+
+    totals = [0.0] * problem.num_rules
+    for share_map in allocation.assignments:
+        for i, share in share_map.items():
+            if 0 <= i < problem.num_rules:
+                totals[i] += share
+    for i, (assigned, wanted) in enumerate(zip(totals, problem.bandwidths)):
+        tolerance = max(_REL_TOL * max(wanted, 1.0), 1e-9)
+        if abs(assigned - wanted) > tolerance:
+            violations.append(
+                f"rule {i}: assigned bandwidth {assigned:.6e} != b_i {wanted:.6e}"
+            )
+    return violations

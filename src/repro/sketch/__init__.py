@@ -1,0 +1,35 @@
+"""Count-min sketch packet logs (paper section III-B and V-A).
+
+The VIF enclave keeps two sketches per filter: a per-source-IP sketch over
+*incoming* packets (lets neighbor ASes detect drop-before-filtering) and a
+per-5-tuple sketch over *forwarded* packets (lets the victim detect
+injection-after / drop-after-filtering).  The paper's configuration is two
+independent hash rows, 64 K bins each, 64-bit counters — about 1 MB per
+sketch instance.
+"""
+
+from repro.sketch.hashing import HashFamily
+from repro.sketch.bounds import ErrorBound, dimensions_for, paper_bound
+from repro.sketch.countmin import CountMinSketch, PAPER_DEPTH, PAPER_WIDTH
+from repro.sketch.comparison import (
+    Discrepancy,
+    SketchComparison,
+    compare_sketches,
+)
+from repro.sketch.logs import FiveTupleLog, PacketLogPair, SourceIPLog
+
+__all__ = [
+    "CountMinSketch",
+    "Discrepancy",
+    "ErrorBound",
+    "FiveTupleLog",
+    "HashFamily",
+    "dimensions_for",
+    "paper_bound",
+    "PAPER_DEPTH",
+    "PAPER_WIDTH",
+    "PacketLogPair",
+    "SketchComparison",
+    "SourceIPLog",
+    "compare_sketches",
+]

@@ -1,0 +1,61 @@
+"""Count-min error bounds (Cormode & Muthukrishnan 2005).
+
+For a sketch of width ``w`` and depth ``d`` over a stream of ``N`` updates:
+
+* every estimate satisfies ``truth <= estimate`` (always), and
+* ``estimate <= truth + (e / w) * N`` with probability ``>= 1 - e^-d``.
+
+These utilities size sketches for a target (ε, δ) and quantify what the
+paper's 2 x 64 K configuration guarantees — used by the sketch-accuracy
+ablation and by operators choosing per-victim sketch budgets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """The (ε, δ) guarantee of a sketch configuration."""
+
+    width: int
+    depth: int
+
+    @property
+    def epsilon(self) -> float:
+        """Additive error factor: estimates exceed truth by ≤ ε·N w.h.p."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Failure probability of the ε bound per query."""
+        return math.exp(-self.depth)
+
+    def max_overcount(self, total_updates: int) -> float:
+        """The w.h.p. additive error after ``total_updates`` updates."""
+        if total_updates < 0:
+            raise ValueError("total_updates must be non-negative")
+        return self.epsilon * total_updates
+
+    def memory_bytes(self, counter_bytes: int = 8) -> int:
+        """Sketch footprint under the given counter size."""
+        return self.width * self.depth * counter_bytes
+
+
+def paper_bound() -> ErrorBound:
+    """The paper's configuration: 64 K bins x 2 rows."""
+    return ErrorBound(width=64 * 1024, depth=2)
+
+
+def dimensions_for(epsilon: float, delta: float) -> ErrorBound:
+    """Smallest (width, depth) achieving additive error ε·N with
+    failure probability ≤ δ."""
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    width = math.ceil(math.e / epsilon)
+    depth = math.ceil(math.log(1.0 / delta))
+    return ErrorBound(width=width, depth=depth)

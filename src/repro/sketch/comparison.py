@@ -1,0 +1,107 @@
+"""Sketch discrepancy detection for VIF bypass auditing (paper III-B).
+
+The victim compares the enclave's authenticated **outgoing** log with its own
+locally measured sketch of what it actually received; a neighbor AS compares
+its own sketch of what it handed to the filtering network with the enclave's
+**incoming** log.  Bin-wise differences classify the misbehavior:
+
+* enclave bin > observer bin  →  packets the enclave forwarded (or logged as
+  arrived) never reached the observer: *drop after filtering* (victim view)
+  or packets vanished before the filter (neighbor view cannot see this side).
+* observer bin > enclave bin  →  the observer saw packets the enclave never
+  forwarded/received: *injection after filtering* (victim view) or *drop
+  before filtering* (neighbor view).
+
+A small ``tolerance`` absorbs benign loss on the path between the filter and
+the observer; sustained discrepancies above it are reported as evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sketch.countmin import CountMinSketch
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One sketch bin whose counters disagree beyond tolerance."""
+
+    row: int
+    index: int
+    enclave_count: int
+    observer_count: int
+
+    @property
+    def missing_at_observer(self) -> int:
+        """Packets the enclave logged that the observer never saw."""
+        return max(0, self.enclave_count - self.observer_count)
+
+    @property
+    def extra_at_observer(self) -> int:
+        """Packets the observer saw that the enclave never logged."""
+        return max(0, self.observer_count - self.enclave_count)
+
+
+@dataclass
+class SketchComparison:
+    """Result of comparing an enclave sketch against an observer sketch.
+
+    ``total_missing``/``total_extra`` estimate the number of *packets*
+    affected: per-bin differences are summed within each hash row and the
+    maximum row total is reported (every packet lands once per row, so each
+    row's sum independently estimates the same quantity).
+    """
+
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+    total_missing: int = 0
+    total_extra: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no bin disagrees beyond tolerance."""
+        return not self.discrepancies
+
+    @property
+    def drop_suspected(self) -> bool:
+        """Enclave counted packets the observer never received."""
+        return self.total_missing > 0
+
+    @property
+    def injection_suspected(self) -> bool:
+        """Observer received packets the enclave never logged."""
+        return self.total_extra > 0
+
+
+def compare_sketches(
+    enclave_sketch: CountMinSketch,
+    observer_sketch: CountMinSketch,
+    tolerance: int = 0,
+) -> SketchComparison:
+    """Compare two sketches bin-by-bin and aggregate the discrepancies.
+
+    ``tolerance`` is the per-bin absolute slack (in packets) below which a
+    difference is attributed to benign loss and ignored.
+    """
+    if not enclave_sketch.family.compatible_with(observer_sketch.family):
+        raise ValueError("sketches use different hash families; cannot compare")
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+
+    result = SketchComparison()
+    enclave_rows = enclave_sketch.bins()
+    observer_rows = observer_sketch.bins()
+    for r, (erow, orow) in enumerate(zip(enclave_rows, observer_rows)):
+        row_missing = 0
+        row_extra = 0
+        for i, (e, o) in enumerate(zip(erow, orow)):
+            if abs(e - o) <= tolerance:
+                continue
+            disc = Discrepancy(row=r, index=i, enclave_count=e, observer_count=o)
+            result.discrepancies.append(disc)
+            row_missing += disc.missing_at_observer
+            row_extra += disc.extra_at_observer
+        result.total_missing = max(result.total_missing, row_missing)
+        result.total_extra = max(result.total_extra, row_extra)
+    return result

@@ -1,0 +1,168 @@
+"""Count-min sketch (Cormode & Muthukrishnan) with 64-bit saturating counters.
+
+Configuration defaults follow the paper (section V-A): depth 2, width 64 K,
+64-bit counters — about 1 MB of enclave memory per instance.  The sketch
+supports the operations VIF needs: point update/query, merge (for sketches
+collected from parallel enclaves), serialization (the victim fetches the
+authenticated sketch over the secure channel), and exact bin-wise access for
+discrepancy detection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.sketch.hashing import HashFamily
+
+Key = Union[str, bytes]
+
+#: Paper configuration: "2 independent linear hash functions, 64K sketch
+#: bins, and 64 bit counters".
+PAPER_DEPTH = 2
+PAPER_WIDTH = 64 * 1024
+_COUNTER_MAX = 2**64 - 1
+
+
+class CountMinSketch:
+    """A count-min sketch over string/bytes keys.
+
+    The estimate returned by :meth:`estimate` never underestimates the true
+    count (the classic CM guarantee), which is what makes the bypass
+    detection sound: a *lower* enclave count than the victim's for any key is
+    impossible unless packets were dropped or injected outside the enclave.
+    """
+
+    def __init__(
+        self,
+        depth: int = PAPER_DEPTH,
+        width: int = PAPER_WIDTH,
+        family_seed: str = "vif",
+    ) -> None:
+        self.family = HashFamily(depth, width, family_seed)
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    # -- core operations ---------------------------------------------------
+
+    def update(self, key: Key, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key`` (count may be any positive int)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        for row, idx in zip(self._rows, self.family.indexes(key)):
+            row[idx] = min(row[idx] + count, _COUNTER_MAX)
+        self._total += count
+
+    def estimate(self, key: Key) -> int:
+        """Upper-bounded frequency estimate of ``key`` (never underestimates)."""
+        return min(
+            row[idx] for row, idx in zip(self._rows, self.family.indexes(key))
+        )
+
+    @property
+    def total(self) -> int:
+        """Total number of updates applied (exact, not estimated)."""
+        return self._total
+
+    @property
+    def depth(self) -> int:
+        return self.family.depth
+
+    @property
+    def width(self) -> int:
+        return self.family.width
+
+    # -- composition -------------------------------------------------------
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add ``other``'s counters into this sketch (same family required).
+
+        Used when the victim aggregates the outgoing logs of several parallel
+        enclaves into a single comparable log.
+        """
+        if not self.family.compatible_with(other.family):
+            raise ValueError("cannot merge sketches with different hash families")
+        for mine, theirs in zip(self._rows, other._rows):
+            for i, value in enumerate(theirs):
+                mine[i] = min(mine[i] + value, _COUNTER_MAX)
+        self._total += other._total
+
+    def copy(self) -> "CountMinSketch":
+        """Deep copy, preserving the hash family."""
+        clone = CountMinSketch(self.depth, self.width, self.family.family_seed)
+        clone._rows = [row[:] for row in self._rows]
+        clone._total = self._total
+        return clone
+
+    def clear(self) -> None:
+        """Reset all counters (start of a new filtering round)."""
+        for row in self._rows:
+            for i in range(len(row)):
+                row[i] = 0
+        self._total = 0
+
+    # -- inspection / transport ---------------------------------------------
+
+    def bins(self) -> List[Tuple[int, ...]]:
+        """Return the raw counter matrix as a list of row tuples."""
+        return [tuple(row) for row in self._rows]
+
+    def nonzero_bins(self) -> Dict[Tuple[int, int], int]:
+        """Sparse view ``{(row, index): count}`` of non-zero counters."""
+        sparse: Dict[Tuple[int, int], int] = {}
+        for r, row in enumerate(self._rows):
+            for i, value in enumerate(row):
+                if value:
+                    sparse[(r, i)] = value
+        return sparse
+
+    def memory_bytes(self) -> int:
+        """Enclave memory footprint of the counters (8 bytes per bin)."""
+        return self.depth * self.width * 8
+
+    def serialize(self) -> bytes:
+        """Serialize counters for transport over the secure channel."""
+        out = bytearray()
+        out += self.depth.to_bytes(4, "big")
+        out += self.width.to_bytes(4, "big")
+        seed = self.family.family_seed.encode("utf-8")
+        out += len(seed).to_bytes(4, "big")
+        out += seed
+        for row in self._rows:
+            for value in row:
+                out += value.to_bytes(8, "big")
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "CountMinSketch":
+        """Inverse of :meth:`serialize`."""
+        if len(blob) < 12:
+            raise ValueError("sketch blob too short")
+        depth = int.from_bytes(blob[0:4], "big")
+        width = int.from_bytes(blob[4:8], "big")
+        seed_len = int.from_bytes(blob[8:12], "big")
+        offset = 12
+        seed = blob[offset : offset + seed_len].decode("utf-8")
+        offset += seed_len
+        expected = offset + depth * width * 8
+        if len(blob) != expected:
+            raise ValueError(
+                f"sketch blob length {len(blob)} does not match header "
+                f"(expected {expected})"
+            )
+        sketch = cls(depth, width, seed)
+        total = 0
+        for r in range(depth):
+            row = sketch._rows[r]
+            for i in range(width):
+                row[i] = int.from_bytes(blob[offset : offset + 8], "big")
+                offset += 8
+            total = max(total, sum(row))
+        # The exact total is not carried in the blob; the max row sum equals
+        # it as long as counters never saturated, which holds at VIF scales.
+        sketch._total = total
+        return sketch
+
+    def update_many(self, keys: Iterable[Key]) -> None:
+        """Bulk update convenience used by the data-plane pipeline."""
+        for key in keys:
+            self.update(key)

@@ -1,0 +1,51 @@
+"""Hash families for sketching.
+
+The paper uses "2 independent linear hash functions" per sketch.  We derive
+each row's hash from SHA-256 with a distinct salt (see
+:func:`repro.util.rng.stable_hash64`), which is stable across processes —
+required because the victim and the enclave each build sketches locally and
+then compare them bin by bin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.util.rng import stable_hash64
+
+Key = Union[str, bytes]
+
+
+class HashFamily:
+    """A family of ``depth`` independent hash functions onto ``width`` bins.
+
+    Two parties comparing sketches must construct them with the same
+    ``family_seed`` — in VIF this seed is part of the filtering contract the
+    victim negotiates over the secure channel.
+    """
+
+    def __init__(self, depth: int, width: int, family_seed: str = "vif") -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.depth = depth
+        self.width = width
+        self.family_seed = family_seed
+        self._salts: List[bytes] = [
+            f"{family_seed}/row-{row}".encode("utf-8") for row in range(depth)
+        ]
+
+    def indexes(self, key: Key) -> Sequence[int]:
+        """Return the bin index of ``key`` in each of the ``depth`` rows."""
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        return [stable_hash64(key, salt) % self.width for salt in self._salts]
+
+    def compatible_with(self, other: "HashFamily") -> bool:
+        """True when two families hash identically (same seed/shape)."""
+        return (
+            self.depth == other.depth
+            and self.width == other.width
+            and self.family_seed == other.family_seed
+        )

@@ -1,0 +1,92 @@
+"""Accountable packet logs kept inside the VIF enclave (paper III-B, V-A).
+
+Two logs per filter:
+
+* :class:`SourceIPLog` — per-source-IP count-min sketch over **incoming**
+  packets.  Neighbor ASes of the filtering network compare their own copy
+  against it to detect *drop before filtering*.
+* :class:`FiveTupleLog` — per-5-tuple count-min sketch over **forwarded**
+  packets.  The victim compares against it to detect *injection after
+  filtering* and *drop after filtering*.
+
+Both wrap :class:`~repro.sketch.countmin.CountMinSketch` with the right key
+extraction, so enclave code and observer code cannot accidentally hash
+different fields.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.packet import FiveTuple, Packet
+from repro.sketch.countmin import CountMinSketch, PAPER_DEPTH, PAPER_WIDTH
+
+
+class SourceIPLog:
+    """Count-min sketch keyed on packet source IP."""
+
+    def __init__(
+        self,
+        depth: int = PAPER_DEPTH,
+        width: int = PAPER_WIDTH,
+        family_seed: str = "vif/in",
+    ) -> None:
+        self.sketch = CountMinSketch(depth, width, family_seed)
+
+    def record(self, packet: Packet) -> None:
+        """Log one incoming packet."""
+        self.sketch.update(packet.five_tuple.src_ip_key())
+
+    def estimate(self, src_ip: str) -> int:
+        """Estimated number of packets logged for ``src_ip``."""
+        return self.sketch.estimate(src_ip.encode("ascii"))
+
+    @property
+    def total(self) -> int:
+        return self.sketch.total
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes()
+
+
+class FiveTupleLog:
+    """Count-min sketch keyed on the full five-tuple."""
+
+    def __init__(
+        self,
+        depth: int = PAPER_DEPTH,
+        width: int = PAPER_WIDTH,
+        family_seed: str = "vif/out",
+    ) -> None:
+        self.sketch = CountMinSketch(depth, width, family_seed)
+
+    def record(self, packet: Packet) -> None:
+        """Log one forwarded packet."""
+        self.sketch.update(packet.five_tuple.key())
+
+    def estimate(self, flow: FiveTuple) -> int:
+        """Estimated number of packets logged for ``flow``."""
+        return self.sketch.estimate(flow.key())
+
+    @property
+    def total(self) -> int:
+        return self.sketch.total
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes()
+
+
+class PacketLogPair:
+    """The (incoming, outgoing) log pair a VIF filter maintains."""
+
+    def __init__(self, family_seed: str = "vif") -> None:
+        self.incoming = SourceIPLog(family_seed=f"{family_seed}/in")
+        self.outgoing = FiveTupleLog(family_seed=f"{family_seed}/out")
+
+    def record_incoming(self, packet: Packet) -> None:
+        self.incoming.record(packet)
+
+    def record_forwarded(self, packet: Packet) -> None:
+        self.outgoing.record(packet)
+
+    def memory_bytes(self) -> int:
+        """Combined enclave footprint of both sketches (~2 MB at defaults)."""
+        return self.incoming.memory_bytes() + self.outgoing.memory_bytes()

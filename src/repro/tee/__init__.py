@@ -1,0 +1,47 @@
+"""Trusted-execution-environment substrate (paper II-C).
+
+A functional stand-in for Intel SGX that enforces exactly the guarantees the
+paper's security argument uses — and nothing more:
+
+* **Isolation + integrity** — enclave state is only reachable through
+  registered ECalls; the untrusted host cannot mutate it (the simulator
+  gives the host no handle to the inner state object).
+* **Measurement + remote attestation** — enclaves expose a code
+  measurement; quotes are signed with a platform key that only the
+  (simulated) Intel Attestation Service can verify, and IAS reports are
+  signed with a key verifiers can check.
+* **No timing/ordering guarantees** — the enclave's clock is an
+  :class:`UntrustedClock` fed by the host, who may skew or stall it; packet
+  order is whatever the host delivers.  This is what forces the stateless
+  filter design of section III-A.
+* **Bounded EPC** — an accounting object charges allocations against the
+  ~92 MB usable Enclave Page Cache and reports when paging would begin.
+"""
+
+from repro.tee.epc import EPCAccounting
+from repro.tee.clock import HostClock, UntrustedClock
+from repro.tee.enclave import Enclave, EnclaveProgram, Platform
+from repro.tee.attestation import (
+    AttestationReport,
+    AttestationTimingModel,
+    IASService,
+    Quote,
+    RemoteAttestationVerifier,
+)
+from repro.tee.secure_channel import SecureChannel, ChannelEndpoint
+
+__all__ = [
+    "AttestationReport",
+    "AttestationTimingModel",
+    "ChannelEndpoint",
+    "EPCAccounting",
+    "Enclave",
+    "EnclaveProgram",
+    "HostClock",
+    "IASService",
+    "Platform",
+    "Quote",
+    "RemoteAttestationVerifier",
+    "SecureChannel",
+    "UntrustedClock",
+]

@@ -1,0 +1,234 @@
+"""Remote attestation with a simulated Intel Attestation Service (paper II-C).
+
+Protocol, mirroring the EPID flow the paper describes:
+
+1. the verifier (DDoS victim) issues a challenge nonce;
+2. the enclave produces a :class:`Quote` binding its measurement, the nonce
+   and caller-chosen ``report_data`` (VIF binds the enclave's key-exchange
+   public value here, so the secure channel terminates *inside* the attested
+   enclave), signed with the platform attestation key;
+3. the verifier submits the quote to the :class:`IASService`, which checks
+   the platform signature and returns a signed :class:`AttestationReport`;
+4. the verifier validates the IAS signature with the (public) IAS report key
+   and compares the measurement against the expected VIF filter code.
+
+An :class:`AttestationTimingModel` reproduces Appendix G: ~28.8 ms of
+platform work plus WAN round trips to the IAS give an end-to-end latency of
+about 3.04 s.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import AttestationError
+from repro.tee.enclave import Enclave, Platform
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A platform-signed statement of what code an enclave runs."""
+
+    platform_id: str
+    enclave_id: str
+    measurement: str
+    nonce: bytes
+    report_data: bytes
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return b"|".join(
+            [
+                self.platform_id.encode(),
+                self.enclave_id.encode(),
+                self.measurement.encode(),
+                self.nonce,
+                self.report_data,
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """IAS verdict over a quote, signed with the IAS report key."""
+
+    quote: Quote
+    verdict: str  # "OK" or a rejection reason
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return self.quote.signed_payload() + b"|" + self.verdict.encode()
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "OK"
+
+
+def generate_quote(enclave: Enclave, nonce: bytes, report_data: bytes = b"") -> Quote:
+    """Produce a quote for ``enclave`` (run by the platform's quoting enclave)."""
+    payload = b"|".join(
+        [
+            enclave.platform.platform_id.encode(),
+            enclave.enclave_id.encode(),
+            enclave.measurement().encode(),
+            nonce,
+            report_data,
+        ]
+    )
+    signature = hmac.new(
+        enclave.platform.attestation_key(), payload, hashlib.sha256
+    ).digest()
+    return Quote(
+        platform_id=enclave.platform.platform_id,
+        enclave_id=enclave.enclave_id,
+        measurement=enclave.measurement(),
+        nonce=nonce,
+        report_data=report_data,
+        signature=signature,
+    )
+
+
+class IASService:
+    """The (simulated) globally distributed Intel Attestation Service.
+
+    Platforms are provisioned at "manufacturing" via :meth:`provision`; the
+    service verifies quote signatures against the provisioned keys and signs
+    reports with its report key.  Verifiers hold the corresponding
+    verification key (:meth:`report_verification_key`), standing in for the
+    Intel-issued certificate chain.
+    """
+
+    def __init__(self, service_name: str = "ias") -> None:
+        self._platform_keys: Dict[str, bytes] = {}
+        self._report_key = hashlib.sha256(
+            f"ias-report-key:{service_name}".encode()
+        ).digest()
+
+    def provision(self, platform: Platform) -> None:
+        """Register a platform's attestation key (out-of-band provisioning)."""
+        self._platform_keys[platform.platform_id] = platform.attestation_key()
+
+    def verify_quote(self, quote: Quote) -> AttestationReport:
+        """Check the platform signature and return a signed report."""
+        key = self._platform_keys.get(quote.platform_id)
+        if key is None:
+            verdict = f"UNKNOWN_PLATFORM:{quote.platform_id}"
+        else:
+            expected = hmac.new(key, quote.signed_payload(), hashlib.sha256).digest()
+            verdict = "OK" if hmac.compare_digest(expected, quote.signature) else "BAD_SIGNATURE"
+        payload = quote.signed_payload() + b"|" + verdict.encode()
+        signature = hmac.new(self._report_key, payload, hashlib.sha256).digest()
+        return AttestationReport(quote=quote, verdict=verdict, signature=signature)
+
+    def report_verification_key(self) -> bytes:
+        """Key verifiers use to authenticate IAS reports.
+
+        A real deployment distributes an X.509 certificate; HMAC keeps the
+        simulation honest (reports not produced by this IAS fail to verify)
+        without pulling in an asymmetric-crypto dependency.
+        """
+        return self._report_key
+
+
+class RemoteAttestationVerifier:
+    """Victim-side attestation logic."""
+
+    def __init__(
+        self,
+        ias: IASService,
+        expected_measurement: str,
+        verifier_id: str = "victim",
+    ) -> None:
+        self._ias = ias
+        self._ias_key = ias.report_verification_key()
+        self.expected_measurement = expected_measurement
+        self.verifier_id = verifier_id
+        self._nonce_counter = 0
+
+    def challenge(self) -> bytes:
+        """A fresh attestation nonce (prevents quote replay)."""
+        self._nonce_counter += 1
+        return hashlib.sha256(
+            f"{self.verifier_id}:nonce:{self._nonce_counter}".encode()
+        ).digest()[:16]
+
+    def attest(self, enclave: Enclave, report_data: bytes = b"") -> AttestationReport:
+        """Run the full attestation round against ``enclave``.
+
+        Raises :class:`AttestationError` on any failure; returns the signed
+        report on success (callers keep it as evidence for the session).
+        """
+        nonce = self.challenge()
+        quote = generate_quote(enclave, nonce, report_data)
+        report = self._ias.verify_quote(quote)
+        self.validate_report(report, nonce, report_data)
+        return report
+
+    def validate_report(
+        self,
+        report: AttestationReport,
+        nonce: bytes,
+        expected_report_data: Optional[bytes] = None,
+    ) -> None:
+        """Check IAS signature, verdict, nonce freshness and measurement."""
+        expected_sig = hmac.new(
+            self._ias_key, report.signed_payload(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected_sig, report.signature):
+            raise AttestationError("IAS report signature invalid")
+        if not report.ok:
+            raise AttestationError(f"IAS rejected the quote: {report.verdict}")
+        if report.quote.nonce != nonce:
+            raise AttestationError("stale or replayed quote (nonce mismatch)")
+        if report.quote.measurement != self.expected_measurement:
+            raise AttestationError(
+                "measurement mismatch: enclave runs "
+                f"{report.quote.measurement[:16]}..., expected "
+                f"{self.expected_measurement[:16]}..."
+            )
+        if (
+            expected_report_data is not None
+            and report.quote.report_data != expected_report_data
+        ):
+            raise AttestationError("report_data mismatch (channel binding broken)")
+
+
+@dataclass(frozen=True)
+class AttestationTimingModel:
+    """Latency model reproducing Appendix G.
+
+    The paper measures 28.8 ms of platform-side work (quote generation for a
+    1 MB enclave binary) and ~3.04 s end to end with the verifier/enclave in
+    South Asia and IAS in Ashburn, VA.  The end-to-end time decomposes into
+    platform work plus several WAN round trips (challenge delivery, quote
+    return, IAS query/response over TLS including handshakes).
+    """
+
+    platform_work_s: float = 0.0288
+    verifier_enclave_rtt_s: float = 0.040
+    ias_rtt_s: float = 0.230
+    ias_tls_handshake_rtts: int = 3
+    verifier_processing_s: float = 0.010
+
+    def end_to_end_s(self) -> float:
+        """Total simulated latency of one attestation round."""
+        wan = (
+            2 * self.verifier_enclave_rtt_s  # challenge out, quote back
+            + (1 + self.ias_tls_handshake_rtts) * self.ias_rtt_s
+        )
+        return self.platform_work_s + wan + self.verifier_processing_s
+
+
+#: Calibrated so end_to_end_s() ≈ 3.04 s as in Appendix G: the dominant cost
+#: is the trans-continental IAS exchange (TLS setup + REST call), modelled as
+#: 12 effective round trips of 230 ms plus platform/verifier work.
+PAPER_ATTESTATION_TIMING = AttestationTimingModel(
+    platform_work_s=0.0288,
+    verifier_enclave_rtt_s=0.040,
+    ias_rtt_s=0.2435,
+    ias_tls_handshake_rtts=11,
+    verifier_processing_s=0.011,
+)

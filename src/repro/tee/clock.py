@@ -1,0 +1,83 @@
+"""Clocks: a host-controlled simulated clock and the enclave's untrusted view.
+
+Paper III-A: "a malicious filtering network can delay the time
+query/response messages to/from the trusted clock source for the enclave,
+slowing down the enclave's internal time clock."  The simulator makes this
+concrete: :class:`HostClock` is the ground-truth simulation clock, advanced
+by the harness, and :class:`UntrustedClock` is what the enclave sees — the
+host may add skew, freeze it, or slow it down.  Tests use the pair to show
+that any arrival-time-dependent filter is manipulable while the stateless
+filter is not.
+"""
+
+from __future__ import annotations
+
+
+class HostClock:
+    """Ground-truth simulated time in seconds, advanced explicitly."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+
+
+class UntrustedClock:
+    """The enclave's view of time, derived from the host's feed.
+
+    ``rate`` < 1 models the host slowing the enclave clock down by delaying
+    time responses; ``offset`` models a constant skew; :meth:`freeze` stalls
+    the clock entirely.  An honest host uses the defaults.
+    """
+
+    def __init__(
+        self, host_clock: HostClock, rate: float = 1.0, offset: float = 0.0
+    ) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._host = host_clock
+        self._rate = rate
+        self._offset = offset
+        self._frozen_at: float = -1.0
+        # Anchor so rate changes apply from "now", not retroactively.
+        self._anchor_host = host_clock.now()
+        self._anchor_enclave = host_clock.now() + offset
+
+    def now(self) -> float:
+        """The enclave-visible time."""
+        if self._frozen_at >= 0:
+            return self._frozen_at
+        return self._anchor_enclave + (self._host.now() - self._anchor_host) * self._rate
+
+    # -- adversary controls -------------------------------------------------
+
+    def set_rate(self, rate: float) -> None:
+        """Host slows down (rate < 1) or speeds up the enclave clock."""
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._anchor_enclave = self.now()
+        self._anchor_host = self._host.now()
+        self._rate = rate
+
+    def freeze(self) -> None:
+        """Host stops answering time queries; the clock stalls."""
+        self._frozen_at = self.now()
+
+    def unfreeze(self) -> None:
+        """Host resumes time responses from the stalled value."""
+        if self._frozen_at < 0:
+            return
+        self._anchor_enclave = self._frozen_at
+        self._anchor_host = self._host.now()
+        self._frozen_at = -1.0
+
+    @property
+    def manipulated(self) -> bool:
+        """True when the host has tampered with the feed in any way."""
+        return self._rate != 1.0 or self._frozen_at >= 0 or self._offset != 0.0

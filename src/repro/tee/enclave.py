@@ -1,0 +1,162 @@
+"""Enclave and platform model.
+
+An :class:`Enclave` hosts one :class:`EnclaveProgram` (for VIF, the
+:class:`~repro.core.enclave_filter.EnclaveFilter`).  The host interacts with
+the program *only* through :meth:`Enclave.ecall`, which dispatches to entry
+points the program registered — the simulator hands the host no reference to
+the program object, which is the isolation guarantee.  Each enclave counts
+its ECalls/OCalls so the data-plane cost model can charge the context-switch
+overhead the paper's "reduce the number of context switches" optimization
+eliminates.
+
+A :class:`Platform` stands in for one SGX-capable server: it owns the
+attestation key (shared with the simulated IAS at manufacturing time) and
+can launch enclaves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import EnclaveError, EnclaveSealedError
+from repro.tee.clock import HostClock, UntrustedClock
+from repro.tee.epc import EPCAccounting
+
+
+class EnclaveProgram:
+    """Base class for code loaded into an enclave.
+
+    Subclasses register ECall entry points in :meth:`on_load` via
+    :meth:`register_ecall`.  ``measurement`` must be a deterministic function
+    of the code identity; the default hashes the class's qualified name and
+    a version tag, which is enough for attestation semantics (a *different*
+    program yields a different measurement).
+    """
+
+    VERSION = "1.0"
+
+    def __init__(self) -> None:
+        self._ecalls: Dict[str, Callable[..., Any]] = {}
+        self._enclave: Optional["Enclave"] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_load(self, enclave: "Enclave") -> None:
+        """Called once when loaded; register entry points and allocate state."""
+        self._enclave = enclave
+
+    def register_ecall(self, name: str, fn: Callable[..., Any]) -> None:
+        if name in self._ecalls:
+            raise EnclaveError(f"duplicate ECall {name!r}")
+        self._ecalls[name] = fn
+
+    @classmethod
+    def measurement(cls) -> str:
+        """MRENCLAVE-like code measurement (hex SHA-256)."""
+        ident = f"{cls.__module__}.{cls.__qualname__}:{cls.VERSION}"
+        return hashlib.sha256(ident.encode("utf-8")).hexdigest()
+
+    # -- conveniences for subclasses -------------------------------------------
+
+    @property
+    def enclave(self) -> "Enclave":
+        if self._enclave is None:
+            raise EnclaveError("program is not loaded into an enclave")
+        return self._enclave
+
+    def ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke an untrusted host function (counted by the cost model)."""
+        return self.enclave._dispatch_ocall(name, *args, **kwargs)
+
+
+class Enclave:
+    """One launched enclave instance."""
+
+    def __init__(
+        self,
+        program: EnclaveProgram,
+        platform: "Platform",
+        enclave_id: str,
+        epc: Optional[EPCAccounting] = None,
+    ) -> None:
+        self._program = program
+        self.platform = platform
+        self.enclave_id = enclave_id
+        self.epc = epc or EPCAccounting()
+        self.clock = UntrustedClock(platform.host_clock)
+        self.ecall_count = 0
+        self.ocall_count = 0
+        self._destroyed = False
+        self._ocall_handlers: Dict[str, Callable[..., Any]] = {}
+        program.on_load(self)
+
+    # -- the host-facing surface -------------------------------------------------
+
+    def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Enter the enclave through a registered entry point."""
+        if self._destroyed:
+            raise EnclaveSealedError(f"enclave {self.enclave_id} was destroyed")
+        fn = self._program._ecalls.get(name)
+        if fn is None:
+            raise EnclaveError(f"unknown ECall {name!r}")
+        self.ecall_count += 1
+        return fn(*args, **kwargs)
+
+    def register_ocall_handler(self, name: str, fn: Callable[..., Any]) -> None:
+        """Host registers an untrusted function the program may OCall."""
+        self._ocall_handlers[name] = fn
+
+    def destroy(self) -> None:
+        """Tear the enclave down; all further ECalls fail.
+
+        Destroying (and relaunching with different code) is the *only*
+        tampering available to a malicious host — and it changes the
+        measurement, so attestation catches it.
+        """
+        self._destroyed = True
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def measurement(self) -> str:
+        """The loaded program's code measurement."""
+        return type(self._program).measurement()
+
+    # -- internal -----------------------------------------------------------------
+
+    def _dispatch_ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        if self._destroyed:
+            raise EnclaveSealedError(f"enclave {self.enclave_id} was destroyed")
+        self.ocall_count += 1
+        handler = self._ocall_handlers.get(name)
+        if handler is None:
+            raise EnclaveError(f"no OCall handler registered for {name!r}")
+        return handler(*args, **kwargs)
+
+
+class Platform:
+    """An SGX-capable server able to launch enclaves and sign quotes."""
+
+    def __init__(self, platform_id: str, host_clock: Optional[HostClock] = None) -> None:
+        self.platform_id = platform_id
+        self.host_clock = host_clock or HostClock()
+        # Per-platform attestation key, provisioned to IAS out of band
+        # (stands in for the EPID group key material).
+        self._attestation_key = hashlib.sha256(
+            f"platform-key:{platform_id}".encode("utf-8")
+        ).digest()
+        self._launch_counter = 0
+
+    def launch(
+        self, program: EnclaveProgram, epc: Optional[EPCAccounting] = None
+    ) -> Enclave:
+        """Launch ``program`` in a fresh enclave on this platform."""
+        self._launch_counter += 1
+        enclave_id = f"{self.platform_id}/enclave-{self._launch_counter}"
+        return Enclave(program, self, enclave_id, epc=epc)
+
+    def attestation_key(self) -> bytes:
+        """The signing key (the simulated IAS learns it at provisioning)."""
+        return self._attestation_key

@@ -1,0 +1,100 @@
+"""Enclave Page Cache accounting (paper IV-A, Fig 3b).
+
+SGX backs enclave memory with a fixed-size protected region; once the
+working set exceeds the usable EPC (~92 MB on the paper's hardware), pages
+are encrypted/evicted and performance collapses.  The simulator tracks
+allocations explicitly so the data-plane cost model can charge a paging
+penalty exactly when the real hardware would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import EnclaveMemoryError
+from repro.util.units import MB
+
+#: "This result also confirms the Enclave Page Cache (EPC) limit is around
+#: 92 MB, as seen in many other works."
+DEFAULT_EPC_LIMIT = 92 * MB
+
+
+class EPCAccounting:
+    """Tracks named allocations inside one enclave.
+
+    ``hard_limit_bytes`` is the point past which allocation *fails* (the
+    machine's total paged capacity); between ``epc_limit_bytes`` and the hard
+    limit, allocations succeed but :attr:`paging` turns on and the cost model
+    applies the paging penalty.
+    """
+
+    def __init__(
+        self,
+        epc_limit_bytes: int = DEFAULT_EPC_LIMIT,
+        hard_limit_bytes: int = 1024 * MB,
+    ) -> None:
+        if epc_limit_bytes <= 0 or hard_limit_bytes < epc_limit_bytes:
+            raise ValueError("limits must satisfy 0 < epc_limit <= hard_limit")
+        self.epc_limit_bytes = epc_limit_bytes
+        self.hard_limit_bytes = hard_limit_bytes
+        self._allocations: Dict[str, int] = {}
+        self._peak = 0
+
+    def allocate(self, label: str, num_bytes: int) -> None:
+        """Charge ``num_bytes`` under ``label`` (labels accumulate)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if self.used + num_bytes > self.hard_limit_bytes:
+            raise EnclaveMemoryError(
+                f"allocation {label!r} of {num_bytes} B exceeds the hard limit "
+                f"({self.used} B already in use, "
+                f"hard limit {self.hard_limit_bytes} B)"
+            )
+        self._allocations[label] = self._allocations.get(label, 0) + num_bytes
+        self._peak = max(self._peak, self.used)
+
+    def resize(self, label: str, num_bytes: int) -> None:
+        """Set the allocation under ``label`` to exactly ``num_bytes``."""
+        current = self._allocations.get(label, 0)
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if self.used - current + num_bytes > self.hard_limit_bytes:
+            raise EnclaveMemoryError(
+                f"resize of {label!r} to {num_bytes} B exceeds the hard limit"
+            )
+        self._allocations[label] = num_bytes
+        self._peak = max(self._peak, self.used)
+
+    def free(self, label: str) -> None:
+        """Release everything charged under ``label``."""
+        self._allocations.pop(label, None)
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return sum(self._allocations.values())
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of :attr:`used`."""
+        return self._peak
+
+    @property
+    def paging(self) -> bool:
+        """True when the working set no longer fits in EPC."""
+        return self.used > self.epc_limit_bytes
+
+    def paging_pressure(self) -> float:
+        """How far past the EPC limit the working set is (0.0 when inside).
+
+        Returned as a fraction of the EPC size; the data-plane cost model
+        scales its per-packet paging penalty by this value.
+        """
+        overshoot = self.used - self.epc_limit_bytes
+        if overshoot <= 0:
+            return 0.0
+        return overshoot / self.epc_limit_bytes
+
+    def breakdown(self) -> Dict[str, int]:
+        """Copy of the per-label allocation map (for reports/tests)."""
+        return dict(self._allocations)

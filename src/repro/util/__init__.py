@@ -1,0 +1,44 @@
+"""Shared plumbing: units, statistics helpers, deterministic RNG, tables."""
+
+from repro.util.units import (
+    GBPS,
+    KB,
+    MB,
+    MPPS,
+    bits_to_gbps,
+    ethernet_frame_overhead_bytes,
+    gbps_to_pps,
+    line_rate_pps,
+    pps_to_gbps,
+)
+from repro.util.stats import (
+    BoxplotSummary,
+    boxplot_summary,
+    lognormal_bandwidths,
+    mean,
+    percentile,
+    stdev,
+)
+from repro.util.rng import deterministic_rng, stable_hash64
+from repro.util.tables import format_table
+
+__all__ = [
+    "GBPS",
+    "KB",
+    "MB",
+    "MPPS",
+    "BoxplotSummary",
+    "bits_to_gbps",
+    "boxplot_summary",
+    "deterministic_rng",
+    "ethernet_frame_overhead_bytes",
+    "format_table",
+    "gbps_to_pps",
+    "line_rate_pps",
+    "lognormal_bandwidths",
+    "mean",
+    "percentile",
+    "pps_to_gbps",
+    "stable_hash64",
+    "stdev",
+]

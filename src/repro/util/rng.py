@@ -1,0 +1,40 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component in the library takes an explicit seed and derives
+its generator through :func:`deterministic_rng`, so whole experiments replay
+bit-for-bit.  :func:`stable_hash64` is a process-independent 64-bit hash
+(Python's builtin ``hash`` is salted per process) used for sketch hashing and
+hash-based filtering decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+Seedable = Union[int, str, bytes]
+
+
+def deterministic_rng(seed: Seedable) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically from ``seed``."""
+    if isinstance(seed, int):
+        return random.Random(seed)
+    if isinstance(seed, str):
+        seed = seed.encode("utf-8")
+    digest = hashlib.sha256(seed).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def stable_hash64(data: Union[str, bytes], salt: Union[str, bytes] = b"") -> int:
+    """A stable (cross-process) 64-bit hash of ``data`` under ``salt``.
+
+    Built from SHA-256 so different salts give effectively independent hash
+    functions — the property the count-min sketch analysis needs.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    if isinstance(salt, str):
+        salt = salt.encode("utf-8")
+    digest = hashlib.sha256(salt + b"\x00" + data).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,100 @@
+"""Small statistics helpers: percentiles, box-plot summaries, workloads.
+
+The paper reports Fig 11 as box-and-whisker plots (5th/25th/50th/75th/95th
+percentiles) and draws its optimizer workloads from a lognormal bandwidth
+distribution (section V-C); both helpers live here so benchmarks and tests
+share one definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.util.rng import deterministic_rng
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; zero for singleton input."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    # lo + (hi - lo) * frac is exact when both neighbors are equal, keeping
+    # the result inside [min, max] under floating point.
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary matching the paper's Fig 11 whisker convention."""
+
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+
+    def as_row(self) -> List[float]:
+        """Return the summary as a list ordered p5..p95."""
+        return [self.p5, self.p25, self.median, self.p75, self.p95]
+
+
+def boxplot_summary(values: Iterable[float]) -> BoxplotSummary:
+    """Compute the 5/25/50/75/95 percentile summary of ``values``."""
+    data = list(values)
+    return BoxplotSummary(
+        p5=percentile(data, 5),
+        p25=percentile(data, 25),
+        median=percentile(data, 50),
+        p75=percentile(data, 75),
+        p95=percentile(data, 95),
+    )
+
+
+def lognormal_bandwidths(
+    num_rules: int,
+    total_bps: float,
+    sigma: float = 1.0,
+    seed: int = 0,
+) -> List[float]:
+    """Per-rule bandwidths following a lognormal distribution (paper V-C).
+
+    Draws ``num_rules`` lognormal samples and rescales them so they sum to
+    ``total_bps`` exactly, mirroring the paper's "incoming traffic
+    distribution across the filter rules follows a lognormal distribution"
+    with a fixed total (100 or 500 Gb/s in the evaluation).
+    """
+    if num_rules <= 0:
+        raise ValueError("num_rules must be positive")
+    if total_bps <= 0:
+        raise ValueError("total_bps must be positive")
+    rng = deterministic_rng(seed)
+    raw = [rng.lognormvariate(0.0, sigma) for _ in range(num_rules)]
+    scale = total_bps / sum(raw)
+    return [r * scale for r in raw]

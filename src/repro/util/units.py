@@ -1,0 +1,59 @@
+"""Unit conversions used throughout the data-plane and optimizer code.
+
+Bandwidths are stored internally in **bits per second** and memory in
+**bytes**; the constants below make call sites read like the paper
+(``10 * GBPS``, ``92 * MB``).  Packet-per-second math accounts for Ethernet
+framing overhead the same way a 10 GbE NIC does, so ``line_rate_pps(64)``
+gives the familiar 14.88 Mpps.
+"""
+
+from __future__ import annotations
+
+#: One gigabit per second, in bits per second.
+GBPS = 1_000_000_000
+
+#: One million packets per second.
+MPPS = 1_000_000
+
+#: Binary kilobyte / megabyte, in bytes.
+KB = 1024
+MB = 1024 * 1024
+
+#: Preamble (7 B) + SFD (1 B) + inter-frame gap (12 B) per Ethernet frame.
+#: The 4-byte FCS is part of the frame and assumed included in packet size,
+#: matching how pktgen-dpdk reports sizes.
+_WIRE_OVERHEAD_BYTES = 20
+
+
+def ethernet_frame_overhead_bytes() -> int:
+    """Return the per-frame wire overhead (preamble + SFD + IFG) in bytes."""
+    return _WIRE_OVERHEAD_BYTES
+
+
+def line_rate_pps(packet_size_bytes: int, link_bps: float = 10 * GBPS) -> float:
+    """Maximum packets/second a link can carry at the given packet size.
+
+    >>> round(line_rate_pps(64) / 1e6, 2)
+    14.88
+    """
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    wire_bits = (packet_size_bytes + _WIRE_OVERHEAD_BYTES) * 8
+    return link_bps / wire_bits
+
+
+def pps_to_gbps(pps: float, packet_size_bytes: int) -> float:
+    """Convert a packet rate to goodput in Gb/s (payload bits only)."""
+    return pps * packet_size_bytes * 8 / GBPS
+
+
+def gbps_to_pps(gbps: float, packet_size_bytes: int) -> float:
+    """Convert a goodput in Gb/s to a packet rate for the given size."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    return gbps * GBPS / (packet_size_bytes * 8)
+
+
+def bits_to_gbps(bits_per_second: float) -> float:
+    """Convert a rate in bits/s to Gb/s."""
+    return bits_per_second / GBPS

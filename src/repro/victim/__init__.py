@@ -1,0 +1,24 @@
+"""Victim-side tooling: detect the attack, synthesize the filter rules.
+
+The paper assumes the DDoS victim shows up at the IXP with rules in hand.
+This package builds that missing half: an :class:`AttackDetector` that
+watches the victim's inbound traffic and extracts attack signatures, and a
+:class:`RuleSynthesizer` that turns signatures plus a capacity budget into
+RPKI-valid :class:`~repro.core.rules.FilterRule` lists (max-min fair
+admit fractions per source group) ready for
+:meth:`~repro.core.session.VIFSession.submit_rules`.
+"""
+
+from repro.victim.detector import (
+    AttackAssessment,
+    AttackDetector,
+    TrafficSignature,
+)
+from repro.victim.synthesis import RuleSynthesizer
+
+__all__ = [
+    "AttackAssessment",
+    "AttackDetector",
+    "RuleSynthesizer",
+    "TrafficSignature",
+]

@@ -1,0 +1,137 @@
+"""Inbound-traffic attack detection at the victim network.
+
+The detector aggregates inbound bytes per *traffic signature* — a source
+prefix group plus protocol, refined with the source port when one port
+dominates the group (the fingerprint of reflection attacks: UDP/53 for DNS
+amplification, UDP/123 for NTP, ...).  An attack is declared when the
+aggregate inbound rate exceeds the victim's capacity watermark, and the
+offending signatures are ranked by rate for the synthesizer.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.packet import Packet, Protocol
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrafficSignature:
+    """One aggregated traffic class seen by the victim."""
+
+    src_prefix: str
+    protocol: Protocol
+    src_port: Optional[int]  # set when a single port dominates the group
+    rate_bps: float
+
+    def describe(self) -> str:
+        port = f" src-port {self.src_port}" if self.src_port is not None else ""
+        return (
+            f"{self.protocol.name}{port} from {self.src_prefix} "
+            f"at {self.rate_bps / 1e9:.2f} Gb/s"
+        )
+
+
+@dataclass
+class AttackAssessment:
+    """The detector's verdict over one observation window."""
+
+    total_rate_bps: float
+    capacity_bps: float
+    is_attack: bool
+    signatures: List[TrafficSignature] = field(default_factory=list)
+
+    @property
+    def overload_factor(self) -> float:
+        """How many times over capacity the inbound rate is."""
+        if self.capacity_bps <= 0:
+            return 0.0
+        return self.total_rate_bps / self.capacity_bps
+
+
+class AttackDetector:
+    """Aggregates inbound traffic into signatures over a window."""
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        group_prefix_len: int = 16,
+        port_dominance: float = 0.7,
+        attack_watermark: float = 1.0,
+    ) -> None:
+        """``attack_watermark`` is the multiple of capacity at which the
+        inbound rate counts as an attack (1.0 = at capacity);
+        ``port_dominance`` is the traffic share one source port must hold
+        within a group for the signature to pin that port."""
+        if capacity_bps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0 <= group_prefix_len <= 32:
+            raise ConfigurationError("group prefix length must be in [0, 32]")
+        if not 0.5 <= port_dominance <= 1.0:
+            raise ConfigurationError("port_dominance must be in [0.5, 1.0]")
+        self.capacity_bps = capacity_bps
+        self.group_prefix_len = group_prefix_len
+        self.port_dominance = port_dominance
+        self.attack_watermark = attack_watermark
+        # (group, protocol) -> {src_port: bytes}
+        self._bytes: Dict[Tuple[str, Protocol], Dict[int, int]] = {}
+        self._total_bytes = 0
+
+    # -- ingestion -------------------------------------------------------------
+
+    def observe(self, packet: Packet) -> None:
+        """Account one inbound packet."""
+        group = str(
+            ipaddress.ip_network(
+                f"{packet.five_tuple.src_ip}/{self.group_prefix_len}",
+                strict=False,
+            )
+        )
+        key = (group, packet.five_tuple.protocol)
+        ports = self._bytes.setdefault(key, {})
+        ports[packet.five_tuple.src_port] = (
+            ports.get(packet.five_tuple.src_port, 0) + packet.size
+        )
+        self._total_bytes += packet.size
+
+    def observe_many(self, packets) -> None:
+        for packet in packets:
+            self.observe(packet)
+
+    def reset(self) -> None:
+        """Start a fresh observation window."""
+        self._bytes.clear()
+        self._total_bytes = 0
+
+    # -- analysis ----------------------------------------------------------------
+
+    def analyze(self, window_s: float) -> AttackAssessment:
+        """Summarize the window into an assessment (does not reset)."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        total_rate = self._total_bytes * 8 / window_s
+        signatures: List[TrafficSignature] = []
+        for (group, protocol), ports in self._bytes.items():
+            group_bytes = sum(ports.values())
+            top_port, top_bytes = max(ports.items(), key=lambda kv: kv[1])
+            pinned: Optional[int] = (
+                top_port if top_bytes / group_bytes >= self.port_dominance else None
+            )
+            signatures.append(
+                TrafficSignature(
+                    src_prefix=group,
+                    protocol=protocol,
+                    src_port=pinned,
+                    rate_bps=group_bytes * 8 / window_s,
+                )
+            )
+        signatures.sort(key=lambda s: (-s.rate_bps, s.src_prefix))
+        return AttackAssessment(
+            total_rate_bps=total_rate,
+            capacity_bps=self.capacity_bps,
+            is_attack=total_rate > self.attack_watermark * self.capacity_bps,
+            signatures=signatures,
+        )

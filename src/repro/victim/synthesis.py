@@ -1,0 +1,134 @@
+"""Turning attack signatures into VIF filter rules.
+
+Given an :class:`~repro.victim.detector.AttackAssessment` and the victim's
+capacity budget, the synthesizer produces non-deterministic
+:class:`~repro.core.rules.FilterRule` entries — one per offending
+signature — whose admit fractions implement max-min fair sharing of the
+budget across signatures (heavy reflectors squeezed hard, background
+traffic untouched).  Every rule targets the victim's own prefix, so the
+output passes RPKI validation as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.rules import FilterRule, FlowPattern
+from repro.errors import ConfigurationError
+from repro.victim.detector import AttackAssessment, TrafficSignature
+
+
+class RuleSynthesizer:
+    """Builds submittable rule lists from detector output."""
+
+    def __init__(
+        self,
+        victim_prefix: str,
+        requested_by: str,
+        min_rule_rate_bps: float = 0.0,
+        min_admit_fraction: float = 0.01,
+    ) -> None:
+        """``min_rule_rate_bps`` skips signatures too small to matter
+        (default 0: never silently skip — operators opt in);
+        ``min_admit_fraction`` keeps a diagnostic trickle of even the worst
+        traffic class (a fully closed class is invisible to the victim)."""
+        if not victim_prefix or not requested_by:
+            raise ConfigurationError("victim prefix and identity are required")
+        if not 0.0 <= min_admit_fraction <= 1.0:
+            raise ConfigurationError("min_admit_fraction must be in [0, 1]")
+        self.victim_prefix = victim_prefix
+        self.requested_by = requested_by
+        self.min_rule_rate_bps = min_rule_rate_bps
+        self.min_admit_fraction = min_admit_fraction
+
+    def synthesize(
+        self,
+        assessment: AttackAssessment,
+        budget_bps: Optional[float] = None,
+        start_rule_id: int = 1,
+        max_rules: int = 3000,
+    ) -> List[FilterRule]:
+        """Produce the rule list for one assessment.
+
+        ``budget_bps`` defaults to the victim capacity; ``max_rules`` caps
+        the output at a single enclave's worth (the paper's ~3,000) —
+        smaller signatures beyond the cap are left unfiltered, consuming
+        part of the budget implicitly.
+        """
+        if budget_bps is None:
+            budget_bps = assessment.capacity_bps
+        if budget_bps <= 0:
+            raise ConfigurationError("budget must be positive")
+        if max_rules <= 0:
+            raise ConfigurationError("max_rules must be positive")
+        if not assessment.is_attack:
+            return []
+
+        chosen = [
+            s for s in assessment.signatures
+            if s.rate_bps >= self.min_rule_rate_bps
+        ][:max_rules]
+        if not chosen:
+            return []
+        unfiltered_rate = assessment.total_rate_bps - sum(
+            s.rate_bps for s in chosen
+        )
+        effective_budget = max(budget_bps - max(0.0, unfiltered_rate), 0.0)
+
+        shares = self._max_min_shares(
+            {i: s.rate_bps for i, s in enumerate(chosen)}, effective_budget
+        )
+        rules: List[FilterRule] = []
+        for index, signature in enumerate(chosen):
+            fraction = (
+                1.0
+                if signature.rate_bps <= 0
+                else min(1.0, shares[index] / signature.rate_bps)
+            )
+            fraction = max(fraction, self.min_admit_fraction)
+            rules.append(
+                FilterRule(
+                    rule_id=start_rule_id + index,
+                    pattern=self._pattern_for(signature),
+                    p_allow=fraction,
+                    rate_bps=signature.rate_bps,
+                    requested_by=self.requested_by,
+                )
+            )
+        return rules
+
+    # -- internals -----------------------------------------------------------------
+
+    def _pattern_for(self, signature: TrafficSignature) -> FlowPattern:
+        src_ports = (
+            (signature.src_port, signature.src_port)
+            if signature.src_port is not None
+            else None
+        )
+        return FlowPattern(
+            src_prefix=signature.src_prefix,
+            dst_prefix=self.victim_prefix,
+            src_ports=src_ports,
+            protocol=signature.protocol,
+        )
+
+    @staticmethod
+    def _max_min_shares(
+        rates: Dict[int, float], budget: float
+    ) -> Dict[int, float]:
+        """Water-filling of ``budget`` across the rate demands."""
+        shares: Dict[int, float] = {}
+        pending = dict(rates)
+        remaining = budget
+        while pending:
+            fair = remaining / len(pending)
+            satisfied = {k: r for k, r in pending.items() if r <= fair}
+            if not satisfied:
+                for key in pending:
+                    shares[key] = fair
+                break
+            for key, rate in satisfied.items():
+                shares[key] = rate
+                remaining -= rate
+                del pending[key]
+        return shares

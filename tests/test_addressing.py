@@ -1,0 +1,93 @@
+"""AS address ownership."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.interdomain.addressing import (
+    asn_of_ip,
+    host_ip,
+    materialize_sources,
+    prefix_of,
+)
+from repro.interdomain.attack_sources import mirai_bot_population
+from repro.interdomain.synthetic import SyntheticInternetConfig, generate_internet
+
+
+def test_prefix_encoding():
+    assert prefix_of(1) == "1.1.0.0/16"
+    assert prefix_of(256) == "2.0.0.0/16"
+
+
+def test_prefixes_disjoint():
+    prefixes = {prefix_of(asn) for asn in range(1, 2000)}
+    assert len(prefixes) == 1999
+
+
+def test_roundtrip_ip_to_asn():
+    for asn in (1, 77, 1010, 5000):
+        assert asn_of_ip(host_ip(asn, 12)) == asn
+
+
+def test_out_of_space_ips_map_to_none():
+    assert asn_of_ip("0.1.2.3") is None
+    assert asn_of_ip("230.0.0.1") is None
+
+
+def test_first_octet_stays_unicast():
+    from ipaddress import ip_network
+
+    for asn in (1, 1000, 10_000, 50_000):
+        first = int(prefix_of(asn).split(".")[0])
+        assert 1 <= first <= 223
+        ip_network(prefix_of(asn))  # parses
+
+
+def test_bounds_validation():
+    with pytest.raises(ConfigurationError):
+        prefix_of(0)
+    with pytest.raises(ConfigurationError):
+        prefix_of(10**7)
+    with pytest.raises(ConfigurationError):
+        host_ip(1, 70_000)
+
+
+@given(st.integers(min_value=1, max_value=50_000),
+       st.integers(min_value=0, max_value=65_533))
+def test_roundtrip_property(asn, host_index):
+    assert asn_of_ip(host_ip(asn, host_index)) == asn
+
+
+def test_materialize_sources():
+    graph, _ = generate_internet(
+        SyntheticInternetConfig(tier1_per_region=1, tier2_per_region=3,
+                                stubs_per_region=10, seed=2)
+    )
+    population = mirai_bot_population(graph, total_bots=500)
+    ips = materialize_sources(graph, population, max_per_as=20)
+    assert set(ips) == set(population)
+    for asn, addrs in ips.items():
+        assert 1 <= len(addrs) <= 20
+        assert len(set(addrs)) == len(addrs)  # distinct hosts
+        assert all(asn_of_ip(a) == asn for a in addrs)
+
+
+def test_materialize_rejects_unknown_as():
+    graph, _ = generate_internet(
+        SyntheticInternetConfig(tier1_per_region=1, tier2_per_region=3,
+                                stubs_per_region=10, seed=2)
+    )
+    with pytest.raises(TopologyError):
+        materialize_sources(graph, {999_999: 5})
+
+
+def test_materialize_deterministic():
+    graph, _ = generate_internet(
+        SyntheticInternetConfig(tier1_per_region=1, tier2_per_region=3,
+                                stubs_per_region=10, seed=2)
+    )
+    population = mirai_bot_population(graph, total_bots=200)
+    assert materialize_sources(graph, population, seed=4) == materialize_sources(
+        graph, population, seed=4
+    )

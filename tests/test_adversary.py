@@ -1,0 +1,162 @@
+"""Adversary models and end-to-end attack scenarios.
+
+These are the paper's security claims as executable checks: each bypass
+attack is detected by exactly the party section III-B says detects it; the
+Goal-1/Goal-2 rule violations succeed silently only against the unverified
+baseline.
+"""
+
+import pytest
+
+from repro.adversary import (
+    BypassConfig,
+    RuleTampering,
+    dns_amplification_flows,
+    mirai_flood_flows,
+    run_bypass_scenario,
+    run_discrimination_scenario,
+    run_inaccurate_filtering_scenario,
+)
+from repro.adversary.filtering_network import UnverifiedFilteringNetwork
+from repro.core.rules import FilterRule, FlowPattern, RuleSet
+from repro.dataplane.packet import Protocol
+from tests.conftest import VICTIM, VICTIM_PREFIX
+
+AS_A, AS_B = 64500, 64501
+
+
+@pytest.fixture(scope="module")
+def rule():
+    return FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(
+            dst_prefix=VICTIM_PREFIX, dst_ports=(80, 80), protocol=Protocol.TCP
+        ),
+        p_allow=0.5,
+        requested_by=VICTIM,
+    )
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return mirai_flood_flows(300, ingress_ases=(AS_A, AS_B))
+
+
+# -- attack traffic builders ------------------------------------------------------
+
+
+def test_dns_amplification_flows_shape():
+    flows = dns_amplification_flows(200, ingress_ases=(1, 2))
+    assert len(flows) == 200
+    assert all(f.five_tuple.protocol is Protocol.UDP for f in flows)
+    assert all(f.five_tuple.src_port == 53 for f in flows)
+    assert all(f.packet_size == 1024 for f in flows)
+    assert len({f.five_tuple.src_ip for f in flows}) == 200
+    assert {f.ingress_as for f in flows} == {1, 2}
+
+
+def test_mirai_flows_shape():
+    flows = mirai_flood_flows(150)
+    assert len(flows) == 150
+    assert all(f.five_tuple.protocol is Protocol.TCP for f in flows)
+    assert all(f.five_tuple.dst_port == 80 for f in flows)
+    assert all(f.packet_size == 64 for f in flows)
+
+
+def test_attack_builders_deterministic():
+    assert [f.five_tuple for f in mirai_flood_flows(50)] == [
+        f.five_tuple for f in mirai_flood_flows(50)
+    ]
+    with pytest.raises(ValueError):
+        mirai_flood_flows(0)
+    with pytest.raises(ValueError):
+        dns_amplification_flows(0)
+
+
+# -- the detection matrix ------------------------------------------------------------
+
+
+def test_honest_run_is_clean(rule, flows):
+    result = run_bypass_scenario([rule], flows)
+    assert not result.detected
+    assert result.victim_evidence.clean
+    assert all(e.clean for e in result.neighbor_evidence.values())
+    # Roughly half the connections are delivered.
+    assert 0.4 < result.delivered_packets / result.sent_packets < 0.6
+
+
+def test_drop_after_filtering_detected_by_victim(rule, flows):
+    result = run_bypass_scenario(
+        [rule], flows, bypass=BypassConfig(drop_after_filtering=0.3)
+    )
+    assert result.victim_evidence.suspected_attacks == ["drop-after-filtering"]
+    assert all(e.clean for e in result.neighbor_evidence.values())
+
+
+def test_injection_after_filtering_detected_by_victim(rule, flows):
+    result = run_bypass_scenario(
+        [rule], flows, bypass=BypassConfig(inject_after_filtering=0.5)
+    )
+    assert result.victim_evidence.suspected_attacks == [
+        "injection-after-filtering"
+    ]
+
+
+def test_drop_before_filtering_detected_by_the_right_neighbor(rule, flows):
+    result = run_bypass_scenario(
+        [rule], flows, bypass=BypassConfig(drop_before_filtering={AS_A: 0.4})
+    )
+    # The victim's outgoing-log audit cannot see this attack...
+    assert result.victim_evidence.clean
+    # ...but the discriminated neighbor can, and the other one stays clean.
+    assert result.neighbor_evidence[AS_A].suspected_attacks == [
+        "drop-before-filtering"
+    ]
+    assert result.neighbor_evidence[AS_B].clean
+
+
+def test_goal2_skip_filter_detected(rule, flows):
+    result = run_inaccurate_filtering_scenario(
+        [rule], flows, skip_filter_fraction=0.3
+    )
+    assert result.detected
+    assert "injection-after-filtering" in result.victim_evidence.suspected_attacks
+
+
+def test_tiny_bypass_still_detected(rule, flows):
+    """Even a 2% skim is visible — sketches are exact counters here."""
+    result = run_bypass_scenario(
+        [rule], flows, bypass=BypassConfig(drop_after_filtering=0.02)
+    )
+    assert result.detected
+
+
+# -- the unverified baseline -----------------------------------------------------------
+
+
+def test_goal1_discrimination_succeeds_silently(rule, flows):
+    tampering = RuleTampering(per_as_p_allow={AS_A: 0.2, AS_B: 0.8})
+    result = run_discrimination_scenario(rule, flows, tampering=tampering,
+                                         packets_per_flow=2)
+    assert result.per_as_delivery_rate[AS_A] < 0.35
+    assert result.per_as_delivery_rate[AS_B] > 0.65
+    assert result.max_divergence() > 0.2
+
+
+def test_goal2_inaccurate_execution_on_unverified(rule, flows):
+    tampering = RuleTampering(global_p_allow=0.9)  # barely filters
+    result = run_discrimination_scenario(rule, flows, tampering=tampering)
+    for rate in result.per_as_delivery_rate.values():
+        assert rate > 0.8
+
+
+def test_unverified_honest_matches_requested(rule, flows):
+    result = run_discrimination_scenario(rule, flows, packets_per_flow=2)
+    assert result.max_divergence() < 0.1
+
+
+def test_unverified_network_forwards_unmatched(rule):
+    network = UnverifiedFilteringNetwork(RuleSet([rule]))
+    other = mirai_flood_flows(10, victim_ip="198.51.100.9")
+    delivered = network.carry([f.make_packet() for f in other])
+    assert len(delivered) == 10

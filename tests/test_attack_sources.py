@@ -1,0 +1,76 @@
+"""Synthetic attack-source populations."""
+
+import pytest
+
+from repro.interdomain.attack_sources import (
+    dns_resolver_population,
+    mirai_bot_population,
+)
+from repro.interdomain.synthetic import SyntheticInternetConfig, generate_internet
+from repro.interdomain.topology import Tier
+
+
+SMALL = SyntheticInternetConfig(
+    tier1_per_region=1, tier2_per_region=5, stubs_per_region=30, seed=4
+)
+
+
+def graph():
+    g, _ = generate_internet(SMALL)
+    return g
+
+
+def test_resolver_population_totals_roughly_requested():
+    g = graph()
+    population = dns_resolver_population(g, total_resolvers=5000)
+    total = sum(population.values())
+    assert 0.8 * 5000 < total < 1.3 * 5000
+    assert all(count >= 1 for count in population.values())
+
+
+def test_resolvers_only_in_stub_or_tier2():
+    g = graph()
+    population = dns_resolver_population(g, total_resolvers=2000)
+    for asn in population:
+        assert g.nodes[asn].tier in (Tier.STUB, Tier.TIER2)
+
+
+def test_resolver_population_heavy_tail():
+    g = graph()
+    population = dns_resolver_population(g, total_resolvers=30000)
+    counts = sorted(population.values(), reverse=True)
+    assert counts[0] > 4 * counts[len(counts) // 2]
+
+
+def test_mirai_population_concentrates_in_hot_regions():
+    g = graph()
+    population = mirai_bot_population(g, total_bots=20000)
+    hot = sum(
+        count for asn, count in population.items()
+        if g.nodes[asn].region in ("South America", "Asia Pacific")
+    )
+    total = sum(population.values())
+    assert hot / total > 0.55
+
+
+def test_mirai_population_only_in_stubs():
+    g = graph()
+    for asn in mirai_bot_population(g, total_bots=5000):
+        assert g.nodes[asn].tier is Tier.STUB
+
+
+def test_populations_deterministic():
+    g = graph()
+    assert dns_resolver_population(g, seed=1) == dns_resolver_population(g, seed=1)
+    assert mirai_bot_population(g, seed=1) == mirai_bot_population(g, seed=1)
+    assert dns_resolver_population(g, seed=1) != dns_resolver_population(g, seed=2)
+
+
+def test_validation():
+    g = graph()
+    with pytest.raises(ValueError):
+        dns_resolver_population(g, total_resolvers=0)
+    with pytest.raises(ValueError):
+        mirai_bot_population(g, total_bots=-1)
+    with pytest.raises(ValueError):
+        mirai_bot_population(g, hot_region_share=1.5)

@@ -1,0 +1,133 @@
+"""Remote attestation with the simulated IAS (paper II-C, Appendix G)."""
+
+import pytest
+
+from repro.core.enclave_filter import EnclaveFilter
+from repro.errors import AttestationError
+from repro.tee.attestation import (
+    AttestationTimingModel,
+    IASService,
+    PAPER_ATTESTATION_TIMING,
+    RemoteAttestationVerifier,
+    generate_quote,
+)
+from repro.tee.enclave import Platform
+
+
+def setup():
+    ias = IASService()
+    platform = Platform("srv-1")
+    ias.provision(platform)
+    enclave = platform.launch(EnclaveFilter(secret="s"))
+    verifier = RemoteAttestationVerifier(ias, EnclaveFilter.measurement())
+    return ias, platform, enclave, verifier
+
+
+def test_happy_path():
+    _, _, enclave, verifier = setup()
+    report = verifier.attest(enclave)
+    assert report.ok
+    assert report.quote.measurement == EnclaveFilter.measurement()
+
+
+def test_report_data_binding():
+    _, _, enclave, verifier = setup()
+    payload = enclave.ecall("channel_public")
+    report = verifier.attest(enclave, report_data=payload)
+    assert report.quote.report_data == payload
+
+
+def test_unprovisioned_platform_rejected():
+    ias = IASService()
+    platform = Platform("rogue")  # never provisioned
+    enclave = platform.launch(EnclaveFilter(secret="s"))
+    verifier = RemoteAttestationVerifier(ias, EnclaveFilter.measurement())
+    with pytest.raises(AttestationError, match="rejected"):
+        verifier.attest(enclave)
+
+
+def test_wrong_code_measurement_rejected():
+    """The core guarantee: different code => attestation fails."""
+
+    class BackdooredFilter(EnclaveFilter):
+        VERSION = "vif-filter-1.0-evil"
+
+    ias = IASService()
+    platform = Platform("srv")
+    ias.provision(platform)
+    evil = platform.launch(BackdooredFilter(secret="s"))
+    verifier = RemoteAttestationVerifier(ias, EnclaveFilter.measurement())
+    with pytest.raises(AttestationError, match="measurement mismatch"):
+        verifier.attest(evil)
+
+
+def test_forged_quote_signature_rejected():
+    ias, platform, enclave, verifier = setup()
+    nonce = verifier.challenge()
+    quote = generate_quote(enclave, nonce)
+    forged = type(quote)(
+        platform_id=quote.platform_id,
+        enclave_id=quote.enclave_id,
+        measurement=quote.measurement,
+        nonce=quote.nonce,
+        report_data=quote.report_data,
+        signature=b"\x00" * 32,
+    )
+    report = ias.verify_quote(forged)
+    assert not report.ok
+    with pytest.raises(AttestationError):
+        verifier.validate_report(report, nonce)
+
+
+def test_report_from_wrong_ias_rejected():
+    _, _, enclave, verifier = setup()
+    other_ias = IASService("evil-ias")
+    other_platform = Platform("srv-1")  # same id, same key derivation
+    other_ias.provision(other_platform)
+    nonce = verifier.challenge()
+    quote = generate_quote(enclave, nonce)
+    foreign_report = other_ias.verify_quote(quote)
+    with pytest.raises(AttestationError, match="signature invalid"):
+        verifier.validate_report(foreign_report, nonce)
+
+
+def test_nonce_replay_rejected():
+    _, _, enclave, verifier = setup()
+    nonce = verifier.challenge()
+    quote = generate_quote(enclave, nonce)
+    report = verifier._ias.verify_quote(quote)
+    fresh_nonce = verifier.challenge()
+    with pytest.raises(AttestationError, match="nonce"):
+        verifier.validate_report(report, fresh_nonce)
+
+
+def test_report_data_mismatch_rejected():
+    _, _, enclave, verifier = setup()
+    nonce = verifier.challenge()
+    quote = generate_quote(enclave, nonce, report_data=b"A")
+    report = verifier._ias.verify_quote(quote)
+    with pytest.raises(AttestationError, match="channel binding"):
+        verifier.validate_report(report, nonce, expected_report_data=b"B")
+
+
+def test_nonces_are_unique():
+    _, _, _, verifier = setup()
+    assert verifier.challenge() != verifier.challenge()
+
+
+def test_timing_model_matches_appendix_g():
+    # "the platform takes 28.8 milliseconds and the total end-to-end
+    # latency of 3.04 seconds"
+    assert PAPER_ATTESTATION_TIMING.platform_work_s == pytest.approx(0.0288)
+    assert PAPER_ATTESTATION_TIMING.end_to_end_s() == pytest.approx(3.04, abs=0.05)
+
+
+def test_timing_model_decomposition():
+    t = AttestationTimingModel(
+        platform_work_s=0.01,
+        verifier_enclave_rtt_s=0.0,
+        ias_rtt_s=0.0,
+        ias_tls_handshake_rtts=0,
+        verifier_processing_s=0.0,
+    )
+    assert t.end_to_end_s() == pytest.approx(0.01)

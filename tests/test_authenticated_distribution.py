@@ -1,0 +1,194 @@
+"""The authenticated Fig 5 round: rule re-calc inside the master enclave,
+with end-to-end integrity against the ferrying controller."""
+
+import json
+
+import pytest
+
+from repro.core.controller import IXPController
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.rules import FilterRule, FlowPattern, RuleSet
+from repro.core.session import VIFSession
+from repro.core.rules import RPKIRegistry
+from repro.errors import DistributionError, SecureChannelError
+from repro.tee.attestation import IASService
+from tests.conftest import VICTIM, VICTIM_PREFIX, make_packet
+
+
+def rule(rule_id, prefix):
+    return FilterRule(
+        rule_id=rule_id, pattern=FlowPattern(dst_prefix=prefix), p_allow=1.0,
+        requested_by=VICTIM,
+    )
+
+
+def stand_up(num_rules=8, packets_per_rule=4):
+    controller = IXPController(IASService())
+    controller.launch_filters(1)
+    rules = RuleSet(rule(i, f"10.{i}.0.0/16") for i in range(1, num_rules + 1))
+    controller.install_single_filter(rules)
+    for i in range(1, num_rules + 1):
+        for j in range(packets_per_rule):
+            controller.carry([make_packet(dst_ip=f"10.{i}.0.{j + 1}", size=1000)])
+    return controller, rules
+
+
+def test_authenticated_round_matches_plain_round_semantics():
+    controller, rules = stand_up()
+    protocol = RuleDistributionProtocol(controller, enclave_bandwidth=20_000.0)
+    record = protocol.run_round_authenticated(window_s=1.0)
+    # Every rule still installed somewhere, traffic still flows.
+    installed = set()
+    for enclave in controller.enclaves:
+        installed |= {r.rule_id for r in enclave.ecall("installed_rules")}
+    assert installed == {r.rule_id for r in rules}
+    assert record.num_enclaves_after == len(controller.enclaves) > 1
+    delivered = controller.carry(
+        [make_packet(dst_ip=f"10.{i}.0.9") for i in range(1, 9)]
+    )
+    assert len(delivered) == 8  # p_allow=1.0 rules
+    assert controller.misbehavior_reports() == []
+
+
+def test_authenticated_round_rates_from_byte_counts():
+    controller, _ = stand_up(num_rules=3, packets_per_rule=5)
+    protocol = RuleDistributionProtocol(controller)
+    record = protocol.run_round_authenticated(window_s=2.0)
+    # 5 packets x 1000 B x 8 / 2 s = 20 kb/s per rule.
+    assert record.rates_bps[1] == pytest.approx(20_000.0)
+
+
+def test_tampered_state_upload_detected():
+    """The controller inflates a slave's byte counts in transit: the
+    master's MAC check blows up instead of computing a skewed plan."""
+    controller, _ = stand_up()
+    states = [
+        enclave.ecall("export_state_authenticated")
+        for enclave in controller.enclaves
+    ]
+    tampered = bytearray(states[0])
+    tampered[10] ^= 0x01
+    with pytest.raises(SecureChannelError, match="authentication failed"):
+        controller.enclaves[0].ecall(
+            "master_recalculate",
+            [bytes(tampered)],
+            1.0, 10e9, 50 * 1024 * 1024, 14336, 8 * 1024 * 1024, 0.1, None,
+        )
+
+
+def test_tampered_plan_rejected_by_slaves():
+    controller, _ = stand_up()
+    protocol = RuleDistributionProtocol(controller, enclave_bandwidth=20_000.0)
+    states = [
+        enclave.ecall("export_state_authenticated")
+        for enclave in controller.enclaves
+    ]
+    plan = controller.enclaves[0].ecall(
+        "master_recalculate",
+        states, 1.0,
+        protocol.enclave_bandwidth,
+        protocol.memory_model.performance_budget_bytes,
+        protocol.memory_model.bytes_per_rule,
+        protocol.memory_model.base_bytes,
+        protocol.headroom, None,
+    )
+    tampered = bytearray(plan)
+    tampered[5] ^= 0xFF
+    with pytest.raises(SecureChannelError):
+        controller.enclaves[0].ecall("install_plan_slice", bytes(tampered), 0)
+
+
+def test_plan_slice_index_bounds():
+    controller, _ = stand_up(num_rules=2)
+    protocol = RuleDistributionProtocol(controller)
+    states = [
+        enclave.ecall("export_state_authenticated")
+        for enclave in controller.enclaves
+    ]
+    plan = controller.enclaves[0].ecall(
+        "master_recalculate",
+        states, 1.0,
+        protocol.enclave_bandwidth,
+        protocol.memory_model.performance_budget_bytes,
+        protocol.memory_model.bytes_per_rule,
+        protocol.memory_model.base_bytes,
+        protocol.headroom, None,
+    )
+    with pytest.raises(SecureChannelError, match="no slice"):
+        controller.enclaves[0].ecall("install_plan_slice", plan, 99)
+
+
+def test_victim_rules_added_at_round_boundary_via_sealed_channel(rpki, ias):
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    session.attest_filters()
+    session.submit_rules([rule(1, "203.0.113.0/25")])
+    controller.carry([make_packet(dst_ip="203.0.113.5", size=500)])
+
+    extra = [
+        FilterRule(
+            rule_id=50,
+            pattern=FlowPattern(dst_prefix="203.0.113.128/25"),
+            p_allow=0.5,
+            rate_bps=1e6,
+            requested_by=VICTIM,
+        )
+    ]
+    sealed = session._channels[0].seal(
+        json.dumps([r.to_dict() for r in extra]).encode()
+    )
+    protocol = RuleDistributionProtocol(controller)
+    record = protocol.run_round_authenticated(
+        window_s=1.0, extra_rules_sealed=sealed
+    )
+    installed = set()
+    for enclave in controller.enclaves:
+        installed |= {r.rule_id for r in enclave.ecall("installed_rules")}
+    assert {1, 50} <= installed
+    assert record.rates_bps[50] == pytest.approx(1e6)
+
+
+def test_round_requires_enclaves():
+    controller = IXPController(IASService())
+    protocol = RuleDistributionProtocol(controller)
+    with pytest.raises(DistributionError):
+        protocol.run_round_authenticated(window_s=1.0)
+
+
+def test_controller_cannot_forge_states_without_fleet_key():
+    """A controller fabricating a whole state blob fails too — it has no
+    fleet key to MAC it with."""
+    controller, _ = stand_up(num_rules=2)
+    forged_payload = json.dumps({"rules": [], "bytes": {"1": 10**12}}).encode()
+    forged = forged_payload + b"\x00" * 32
+    with pytest.raises(SecureChannelError):
+        controller.enclaves[0].ecall(
+            "master_recalculate",
+            [forged], 1.0, 10e9, 50 * 1024 * 1024, 14336, 8 * 1024 * 1024,
+            0.1, None,
+        )
+
+
+def test_authenticated_and_plain_rounds_agree():
+    """Given identical measured rates, the authenticated round (optimizer
+    inside the master enclave) lands on the same allocation as the
+    controller-side round."""
+    controller_a, _ = stand_up()
+    controller_b, _ = stand_up()
+    protocol_a = RuleDistributionProtocol(controller_a, enclave_bandwidth=20_000.0)
+    protocol_b = RuleDistributionProtocol(controller_b, enclave_bandwidth=20_000.0)
+    plain = protocol_a.run_round(window_s=1.0)
+    auth = protocol_b.run_round_authenticated(window_s=1.0)
+    assert plain.rates_bps == auth.rates_bps
+    assert plain.num_enclaves_after == auth.num_enclaves_after
+    assert plain.allocation.assignments == auth.allocation.assignments
+
+
+def test_authenticated_round_is_repeatable():
+    controller, _ = stand_up()
+    protocol = RuleDistributionProtocol(controller, enclave_bandwidth=20_000.0)
+    first = protocol.run_round_authenticated(window_s=1.0)
+    second = protocol.run_round_authenticated(window_s=1.0)
+    assert second.rules_moved == 0
+    assert first.allocation.assignments == second.allocation.assignments

@@ -1,0 +1,112 @@
+"""Deployment-point baselines (SENSS-style transit ISPs vs VIF IXPs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interdomain.attack_sources import dns_resolver_population
+from repro.interdomain.baselines import (
+    customer_cone_sizes,
+    isp_deployment_coverage,
+    top_transit_ases,
+)
+from repro.interdomain.simulation import choose_victims
+from repro.interdomain.synthetic import SyntheticInternetConfig, generate_internet
+from repro.interdomain.topology import ASGraph, Tier
+
+SMALL = SyntheticInternetConfig(
+    tier1_per_region=1, tier2_per_region=5, stubs_per_region=25, seed=8
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, _ = generate_internet(SMALL)
+    victims = choose_victims(graph, 15)
+    sources = dns_resolver_population(graph, total_resolvers=2000)
+    return graph, victims, sources
+
+
+def test_customer_cone_simple_chain():
+    g = ASGraph()
+    g.add_as(1, "E", Tier.TIER1)
+    g.add_as(2, "E", Tier.TIER2)
+    g.add_as(3, "E", Tier.STUB)
+    g.add_p2c(1, 2)
+    g.add_p2c(2, 3)
+    sizes = customer_cone_sizes(g)
+    assert sizes == {1: 3, 2: 2, 3: 1}
+
+
+def test_cone_handles_multihoming_without_double_count():
+    g = ASGraph()
+    g.add_as(1, "E", Tier.TIER1)
+    g.add_as(2, "E", Tier.TIER2)
+    g.add_as(3, "E", Tier.TIER2)
+    g.add_as(4, "E", Tier.STUB)
+    g.add_p2c(1, 2)
+    g.add_p2c(1, 3)
+    g.add_p2c(2, 4)
+    g.add_p2c(3, 4)  # multihomed stub
+    assert customer_cone_sizes(g)[1] == 4
+
+
+def test_top_transit_ases_are_transit_and_ranked(world):
+    graph, _, _ = world
+    top = top_transit_ases(graph, 8)
+    assert len(top) == 8
+    sizes = customer_cone_sizes(graph)
+    assert all(graph.nodes[a].tier is not Tier.STUB for a in top)
+    assert [sizes[a] for a in top] == sorted(
+        (sizes[a] for a in top), reverse=True
+    )
+    with pytest.raises(ConfigurationError):
+        top_transit_ases(graph, 0)
+
+
+def test_isp_coverage_monotone_in_deployment_size(world):
+    graph, victims, sources = world
+    top = top_transit_ases(graph, 5)
+    result = isp_deployment_coverage(
+        graph, top, victims, sources, cumulative_levels=(1, 2, 3, 4, 5)
+    )
+    medians = [result.median(level) for level in (1, 2, 3, 4, 5)]
+    for lo, hi in zip(medians, medians[1:]):
+        assert hi >= lo - 1e-12
+
+
+def test_isp_coverage_endpoints_excluded(world):
+    """Deploying at the victim's own AS handles nothing: endpoints are not
+    in-network filtering points."""
+    graph, victims, sources = world
+    result = isp_deployment_coverage(
+        graph, [victims[0]], [victims[0]], sources, cumulative_levels=(1,)
+    )
+    assert all(r == 0.0 for r in result.ratios_by_level[1])
+
+
+def test_isp_coverage_validation(world):
+    graph, victims, sources = world
+    with pytest.raises(ConfigurationError):
+        isp_deployment_coverage(graph, [], victims, sources)
+    with pytest.raises(ConfigurationError):
+        isp_deployment_coverage(graph, [1], [], sources)
+    with pytest.raises(ConfigurationError):
+        isp_deployment_coverage(graph, [1], victims, {})
+
+
+def test_all_transit_deployment_is_near_total(world):
+    """Deploying at every transit AS covers essentially all sources (any
+    multi-hop path traverses some transit AS)."""
+    graph, victims, sources = world
+    every_transit = [
+        a for a in graph.nodes if graph.nodes[a].tier is not Tier.STUB
+    ]
+    result = isp_deployment_coverage(
+        graph,
+        every_transit,
+        victims,
+        sources,
+        cumulative_levels=(len(every_transit),),
+    )
+    ratios = result.ratios_by_level[len(every_transit)]
+    assert min(ratios) > 0.9

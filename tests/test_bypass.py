@@ -1,0 +1,126 @@
+"""Bypass detection: victim and neighbor auditors (paper III-B)."""
+
+from repro.core.bypass import NeighborAuditor, VictimAuditor, merge_enclave_logs
+from repro.sketch.logs import PacketLogPair
+from tests.conftest import make_packet
+
+
+def test_victim_clean_when_streams_match():
+    logs = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    for i in range(50):
+        packet = make_packet(src_port=1000 + i)
+        logs.record_forwarded(packet)
+        auditor.observe(packet)
+    evidence = auditor.audit(logs.outgoing.sketch)
+    assert evidence.clean
+    assert "no bypass" in evidence.describe()
+
+
+def test_victim_detects_drop_after_filtering():
+    logs = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    packets = [make_packet(src_port=1000 + i) for i in range(50)]
+    for packet in packets:
+        logs.record_forwarded(packet)
+    for packet in packets[:40]:  # 10 vanish after the filter
+        auditor.observe(packet)
+    evidence = auditor.audit(logs.outgoing.sketch)
+    assert evidence.suspected_attacks == ["drop-after-filtering"]
+    assert evidence.comparison.total_missing == 10
+
+
+def test_victim_detects_injection_after_filtering():
+    logs = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    packets = [make_packet(src_port=1000 + i) for i in range(20)]
+    for packet in packets:
+        logs.record_forwarded(packet)
+        auditor.observe(packet)
+    for i in range(5):  # injected copies the enclave never saw
+        auditor.observe(make_packet(src_port=7000 + i))
+    evidence = auditor.audit(logs.outgoing.sketch)
+    assert evidence.suspected_attacks == ["injection-after-filtering"]
+    assert evidence.comparison.total_extra == 5
+
+
+def test_victim_detects_both_simultaneously():
+    logs = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    logs.record_forwarded(make_packet(src_port=1))
+    auditor.observe(make_packet(src_port=2))
+    evidence = auditor.audit(logs.outgoing.sketch)
+    assert set(evidence.suspected_attacks) == {
+        "drop-after-filtering",
+        "injection-after-filtering",
+    }
+
+
+def test_victim_tolerance_absorbs_benign_loss():
+    logs = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    packets = [make_packet(src_port=1000 + i) for i in range(50)]
+    for packet in packets:
+        logs.record_forwarded(packet)
+    for packet in packets[:-1]:
+        auditor.observe(packet)
+    assert auditor.audit(logs.outgoing.sketch, tolerance=1).clean
+    assert not auditor.audit(logs.outgoing.sketch, tolerance=0).clean
+
+
+def test_neighbor_detects_drop_before_filtering():
+    logs = PacketLogPair()
+    neighbor = NeighborAuditor(64500)
+    handed = [make_packet(src_ip=f"10.0.{i}.1", ingress_as=64500) for i in range(30)]
+    for packet in handed:
+        neighbor.observe(packet)
+    for packet in handed[:20]:  # 10 dropped before reaching the filter
+        logs.record_incoming(packet)
+    evidence = neighbor.audit(logs.incoming.sketch)
+    assert evidence.suspected_attacks == ["drop-before-filtering"]
+    assert "AS64500" in evidence.describe()
+
+
+def test_neighbor_clean_with_other_neighbors_traffic():
+    """The enclave log aggregates all neighbors; extra enclave counts from
+    other ASes must not look like misbehavior to this one."""
+    logs = PacketLogPair()
+    neighbor = NeighborAuditor(64500)
+    mine = [make_packet(src_ip=f"10.0.{i}.1", ingress_as=64500) for i in range(10)]
+    others = [make_packet(src_ip=f"172.16.{i}.1", ingress_as=64501) for i in range(10)]
+    for packet in mine:
+        neighbor.observe(packet)
+        logs.record_incoming(packet)
+    for packet in others:
+        logs.record_incoming(packet)  # observed by the enclave, not by AS64500
+    assert neighbor.audit(logs.incoming.sketch).clean
+
+
+def test_merge_enclave_logs():
+    a = PacketLogPair()
+    b = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    for i in range(10):
+        packet = make_packet(src_port=5000 + i)
+        (a if i % 2 else b).record_forwarded(packet)
+        auditor.observe(packet)
+    merged = merge_enclave_logs(
+        [a.outgoing.sketch.copy(), b.outgoing.sketch.copy()]
+    )
+    assert auditor.audit(merged).clean
+    assert merge_enclave_logs([]) is None
+
+
+def test_injection_before_filtering_is_not_an_attack():
+    """Paper III-A: injected packets before the filter just get filtered;
+    the victim's audit of the outgoing log stays clean."""
+    logs = PacketLogPair()
+    auditor = VictimAuditor("victim")
+    legit = [make_packet(src_port=1000 + i) for i in range(10)]
+    injected = [make_packet(src_port=9000 + i) for i in range(5)]
+    for packet in legit + injected:
+        logs.record_incoming(packet)
+        # Suppose the filter forwards everything (ALLOW rule):
+        logs.record_forwarded(packet)
+        auditor.observe(packet)
+    assert auditor.audit(logs.outgoing.sketch).clean

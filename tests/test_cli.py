@@ -1,0 +1,62 @@
+"""The command-line interface and the experiment registry."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+
+def test_registry_covers_every_paper_artifact():
+    keys = set(EXPERIMENTS)
+    assert {
+        "fig3", "fig8", "latency", "fig14", "table1", "gap", "fig9",
+        "table2", "fig11", "table3", "attestation", "cost", "bypass",
+    } <= keys
+
+
+def test_get_experiment_unknown_key():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_list_experiments_ordered_and_described():
+    experiments = list_experiments()
+    assert len(experiments) == len(EXPERIMENTS)
+    for experiment in experiments:
+        assert experiment.paper_ref and experiment.description
+
+
+def test_run_experiment_returns_table():
+    result = run_experiment("cost")
+    assert result.key == "cost"
+    assert "500" in result.output and "servers" in result.output
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "Fig 11" in out
+
+
+def test_cli_run_single(capsys):
+    assert main(["run", "attestation"]) == 0
+    out = capsys.readouterr().out
+    assert "Appendix G" in out and "3.04" in out
+
+
+def test_cli_run_unknown(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_fast_experiments_run(capsys):
+    # The sub-second experiments, end to end through the CLI.
+    for key in ("fig3", "fig8", "latency", "fig14", "table3"):
+        assert main(["run", key]) == 0
+    out = capsys.readouterr().out
+    assert len([l for l in out.splitlines() if l.startswith("=== ")]) == 5

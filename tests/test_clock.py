@@ -1,0 +1,73 @@
+"""Host clock and the untrusted enclave clock (paper III-A)."""
+
+import pytest
+
+from repro.tee.clock import HostClock, UntrustedClock
+
+
+def test_host_clock_advances():
+    clock = HostClock()
+    clock.advance(5.0)
+    assert clock.now() == 5.0
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_honest_feed_tracks_host():
+    host = HostClock()
+    enclave = UntrustedClock(host)
+    host.advance(3.0)
+    assert enclave.now() == pytest.approx(3.0)
+    assert not enclave.manipulated
+
+
+def test_slowed_clock():
+    """The III-A attack: delaying time responses slows the enclave clock."""
+    host = HostClock()
+    enclave = UntrustedClock(host)
+    enclave.set_rate(0.5)
+    host.advance(10.0)
+    assert enclave.now() == pytest.approx(5.0)
+    assert enclave.manipulated
+
+
+def test_rate_change_is_not_retroactive():
+    host = HostClock()
+    enclave = UntrustedClock(host)
+    host.advance(10.0)
+    enclave.set_rate(0.0)  # freeze via rate
+    host.advance(100.0)
+    assert enclave.now() == pytest.approx(10.0)
+
+
+def test_freeze_and_unfreeze():
+    host = HostClock()
+    enclave = UntrustedClock(host)
+    host.advance(2.0)
+    enclave.freeze()
+    host.advance(50.0)
+    assert enclave.now() == pytest.approx(2.0)
+    enclave.unfreeze()
+    host.advance(1.0)
+    assert enclave.now() == pytest.approx(3.0)
+
+
+def test_unfreeze_without_freeze_is_noop():
+    host = HostClock()
+    enclave = UntrustedClock(host)
+    enclave.unfreeze()
+    assert enclave.now() == 0.0
+
+
+def test_offset_counts_as_manipulation():
+    host = HostClock()
+    assert UntrustedClock(host, offset=5.0).manipulated
+
+
+def test_negative_rate_rejected():
+    host = HostClock()
+    with pytest.raises(ValueError):
+        UntrustedClock(host, rate=-1.0)
+    enclave = UntrustedClock(host)
+    with pytest.raises(ValueError):
+        enclave.set_rate(-0.1)

@@ -1,0 +1,164 @@
+"""Untrusted controller + load balancer."""
+
+import pytest
+
+from repro.core.controller import IXPController, LoadBalancer
+from repro.core.rules import Action, FilterRule, FlowPattern, RuleSet
+from repro.errors import ConfigurationError, DistributionError
+from repro.optim.problem import Allocation, RuleDistributionProblem
+from repro.tee.attestation import IASService
+from repro.util.units import GBPS
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+
+def rule(rule_id, prefix=VICTIM_PREFIX, p_allow=None, action=Action.DROP):
+    if p_allow is not None:
+        return FilterRule(
+            rule_id=rule_id, pattern=FlowPattern(dst_prefix=prefix), p_allow=p_allow
+        )
+    return FilterRule(
+        rule_id=rule_id, pattern=FlowPattern(dst_prefix=prefix), action=action
+    )
+
+
+# -- LoadBalancer -------------------------------------------------------------
+
+
+def test_lb_routes_matching_packet():
+    lb = LoadBalancer()
+    rules = RuleSet([rule(1)])
+    lb.configure(rules, {1: [(0, 1.0)]})
+    assert lb.route(make_packet()) == 0
+
+
+def test_lb_unmatched_returns_none():
+    lb = LoadBalancer()
+    lb.configure(RuleSet([rule(1)]), {1: [(0, 1.0)]})
+    assert lb.route(make_packet(dst_ip="192.0.2.1")) is None
+    assert lb.unrouted_packets == 1
+
+
+def test_lb_flow_stickiness():
+    lb = LoadBalancer()
+    lb.configure(RuleSet([rule(1)]), {1: [(0, 0.5), (1, 0.5)]})
+    packet = make_packet()
+    first = lb.route(packet)
+    assert all(lb.route(packet) == first for _ in range(10))
+
+
+def test_lb_weighted_split_roughly_proportional():
+    lb = LoadBalancer()
+    lb.configure(RuleSet([rule(1)]), {1: [(0, 0.8), (1, 0.2)]})
+    choices = [lb.route(make_packet(src_port=1024 + i)) for i in range(1000)]
+    share0 = choices.count(0) / len(choices)
+    assert 0.73 < share0 < 0.87
+
+
+def test_lb_configure_validation():
+    lb = LoadBalancer()
+    with pytest.raises(ConfigurationError):
+        lb.configure(RuleSet(), {1: [(0, 1.0)]})
+    with pytest.raises(ConfigurationError):
+        lb.configure(RuleSet([rule(1)]), {1: []})
+    with pytest.raises(ConfigurationError):
+        lb.configure(RuleSet([rule(1)]), {1: [(0, -1.0)]})
+
+
+def test_lb_zero_weight_single_replica():
+    lb = LoadBalancer()
+    lb.configure(RuleSet([rule(1)]), {1: [(0, 0.0), (1, 0.0)]})
+    assert lb.route(make_packet()) == 0
+
+
+# -- IXPController --------------------------------------------------------------
+
+
+def make_controller(n=1):
+    controller = IXPController(IASService())
+    controller.launch_filters(n)
+    return controller
+
+
+def test_launch_and_retire():
+    controller = make_controller(3)
+    assert len(controller.enclaves) == 3
+    controller.retire_filters(2)
+    assert len(controller.enclaves) == 1
+    with pytest.raises(ConfigurationError):
+        controller.retire_filters(5)
+    with pytest.raises(ConfigurationError):
+        controller.launch_filters(0)
+
+
+def test_install_single_filter_and_carry():
+    controller = make_controller(1)
+    controller.install_single_filter(RuleSet([rule(1)]))
+    delivered = controller.carry([make_packet(), make_packet(dst_ip="192.0.2.1")])
+    # Matching packet dropped by rule; non-matching forwarded unfiltered.
+    assert len(delivered) == 1
+    assert delivered[0].dst_ip == "192.0.2.1"
+
+
+def test_apply_allocation_installs_subsets():
+    controller = make_controller(1)
+    rules = RuleSet([rule(i, prefix=f"10.{i}.0.0/16") for i in range(1, 5)])
+    problem = RuleDistributionProblem(
+        bandwidths=[1 * GBPS] * 4, enclave_bandwidth=2 * GBPS, headroom=0.0
+    )
+    allocation = Allocation(
+        problem=problem,
+        assignments=[{0: 1 * GBPS, 1: 1 * GBPS}, {2: 1 * GBPS, 3: 1 * GBPS}],
+    )
+    controller.apply_allocation(rules, allocation)
+    assert len(controller.enclaves) == 2
+    ids_0 = {r.rule_id for r in controller.enclaves[0].ecall("installed_rules")}
+    ids_1 = {r.rule_id for r in controller.enclaves[1].ecall("installed_rules")}
+    assert ids_0 == {1, 2} and ids_1 == {3, 4}
+
+
+def test_apply_allocation_rule_count_mismatch():
+    controller = make_controller(1)
+    rules = RuleSet([rule(1)])
+    problem = RuleDistributionProblem(bandwidths=[1.0, 2.0])
+    allocation = Allocation(problem=problem, assignments=[{0: 1.0, 1: 2.0}])
+    with pytest.raises(DistributionError):
+        controller.apply_allocation(rules, allocation)
+
+
+def test_carry_through_allocation_routes_to_owner():
+    controller = make_controller(1)
+    rules = RuleSet(
+        [rule(1, prefix="10.1.0.0/16"), rule(2, prefix="10.2.0.0/16")]
+    )
+    problem = RuleDistributionProblem(
+        bandwidths=[1 * GBPS, 1 * GBPS], enclave_bandwidth=10 * GBPS, headroom=1.0
+    )
+    allocation = Allocation(
+        problem=problem, assignments=[{0: 1 * GBPS}, {1: 1 * GBPS}]
+    )
+    controller.apply_allocation(rules, allocation)
+    controller.carry(
+        [make_packet(dst_ip="10.1.0.9"), make_packet(dst_ip="10.2.0.9")]
+    )
+    assert controller.enclaves[0].ecall("report").packets_processed == 1
+    assert controller.enclaves[1].ecall("report").packets_processed == 1
+    assert controller.misbehavior_reports() == []
+
+
+def test_collect_rule_rates():
+    controller = make_controller(1)
+    controller.install_single_filter(RuleSet([rule(1, p_allow=1.0)]))
+    for _ in range(4):
+        controller.carry([make_packet(size=125)])
+    rates = controller.collect_rule_rates(window_s=1.0)
+    assert rates[1] == pytest.approx(4 * 125 * 8)
+    with pytest.raises(ConfigurationError):
+        controller.collect_rule_rates(0)
+
+
+def test_rule_update_tick_propagates():
+    controller = make_controller(2)
+    controller.install_single_filter(RuleSet([rule(1, p_allow=0.5)]))
+    for i in range(6):
+        controller.carry([make_packet(src_port=1024 + i)])
+    assert controller.rule_update_tick() == 6

@@ -1,0 +1,86 @@
+"""Controller/session corner cases around reconfiguration and lifecycle."""
+
+import pytest
+
+from repro.core.controller import IXPController
+from repro.core.rules import Action, FilterRule, FlowPattern, RuleSet
+from repro.core.session import SessionState
+from repro.errors import SessionError
+from repro.optim.problem import Allocation, RuleDistributionProblem
+from repro.tee.attestation import IASService
+from repro.util.units import GBPS
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+
+def rule(rule_id, prefix):
+    return FilterRule(
+        rule_id=rule_id, pattern=FlowPattern(dst_prefix=prefix),
+        action=Action.ALLOW,
+    )
+
+
+def test_retired_enclaves_are_destroyed():
+    controller = IXPController(IASService())
+    controller.launch_filters(3)
+    victims = controller.enclaves[1:]
+    controller.retire_filters(2)
+    assert all(e.destroyed for e in victims)
+    assert len(controller.enclaves) == len(controller.programs) == 1
+
+
+def test_lb_reconfigure_replaces_stale_routes():
+    controller = IXPController(IASService())
+    controller.launch_filters(1)
+    controller.install_single_filter(RuleSet([rule(1, "10.1.0.0/16")]))
+    assert controller.load_balancer.route(make_packet(dst_ip="10.1.0.5")) == 0
+    # Re-install with a different rule: the old route must vanish.
+    controller.install_single_filter(RuleSet([rule(2, "10.2.0.0/16")]))
+    assert controller.load_balancer.route(make_packet(dst_ip="10.1.0.5")) is None
+    assert controller.load_balancer.route(make_packet(dst_ip="10.2.0.5")) == 0
+
+
+def test_apply_allocation_shrinks_fleet():
+    controller = IXPController(IASService())
+    controller.launch_filters(4)
+    rules = RuleSet([rule(1, "10.1.0.0/16")])
+    problem = RuleDistributionProblem(bandwidths=[1 * GBPS], headroom=0.0)
+    allocation = Allocation(problem=problem, assignments=[{0: 1 * GBPS}])
+    controller.apply_allocation(rules, allocation)
+    assert len(controller.enclaves) == 1
+
+
+def test_single_enclave_allocation_disables_misbehavior_checks():
+    controller = IXPController(IASService())
+    controller.launch_filters(2)
+    rules = RuleSet([rule(1, "10.1.0.0/16")])
+    problem = RuleDistributionProblem(bandwidths=[1 * GBPS], headroom=0.0)
+    controller.apply_allocation(
+        rules, Allocation(problem=problem, assignments=[{0: 1 * GBPS}])
+    )
+    # Unmatched traffic through the lone enclave is not "misbehavior".
+    controller.enclaves[0].ecall("process_packet", make_packet(dst_ip="192.0.2.1"))
+    assert controller.misbehavior_reports() == []
+
+
+def test_session_closed_state_blocks_operations(session):
+    session.submit_rules(
+        [FilterRule(rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+                    p_allow=1.0, requested_by="victim.example")]
+    )
+    session.close()
+    assert session.state is SessionState.CLOSED
+    with pytest.raises(SessionError):
+        session.audit_round()
+    with pytest.raises(SessionError):
+        session.submit_rules([])
+
+
+def test_fetch_log_requires_active_session(rpki, ias):
+    from repro.core.session import VIFSession
+
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    session = VIFSession("victim.example", rpki, ias, controller)
+    session.attest_filters()
+    with pytest.raises(SessionError):
+        session.fetch_outgoing_log(0)  # ATTESTED, not yet ACTIVE

@@ -1,0 +1,132 @@
+"""The calibrated cycle-cost model — anchored to the paper's numbers.
+
+These tests pin the calibration: if a constant drifts, the figure
+reproductions drift with it, so the anchors below are deliberately tight.
+"""
+
+import pytest
+
+from repro.dataplane.cost_model import (
+    CostModel,
+    ImplementationVariant,
+    PAPER_COST_MODEL,
+)
+from repro.util.units import MPPS
+
+M = PAPER_COST_MODEL
+NATIVE = ImplementationVariant.NATIVE
+FULL = ImplementationVariant.SGX_FULL_COPY
+ZERO = ImplementationVariant.SGX_ZERO_COPY
+
+
+def test_zero_copy_64b_approx_8gbps():
+    # Paper V-B: "8 Gb/s throughput performance even with 64 Byte packets
+    # and 3,000 filter rules".
+    gbps = M.achieved_wire_gbps(ZERO, 64, 3000)
+    assert 7.0 < gbps < 9.0
+
+
+def test_native_is_line_rate_at_all_sizes():
+    for size in (64, 128, 256, 512, 1024, 1500):
+        assert M.achieved_wire_gbps(NATIVE, size, 3000) == pytest.approx(
+            10.0, rel=0.01
+        )
+
+
+def test_all_variants_line_rate_at_256b_and_up():
+    # Paper: "For the packet sizes of 256 Byte or larger, all the three
+    # implementations achieve the full line-rate of 10 Gb/s."
+    for variant in (NATIVE, FULL, ZERO):
+        for size in (256, 512, 1024, 1500):
+            assert M.achieved_wire_gbps(variant, size, 3000) == pytest.approx(
+                10.0, rel=0.01
+            )
+
+
+def test_full_copy_capped_near_6mpps():
+    # Paper Appendix E: "maximum packet processing rate is capped at
+    # roughly 6 Mpps" for the full-copy variant.
+    pps = M.capacity_pps(FULL, 64, 3000)
+    assert 4.5 * MPPS < pps < 6.5 * MPPS
+
+
+def test_full_copy_worst_at_small_packets():
+    small = M.achieved_wire_gbps(FULL, 64, 3000)
+    large = M.achieved_wire_gbps(FULL, 1500, 3000)
+    assert small < 5.0 < large
+
+
+def test_variant_ordering_at_small_packets():
+    # native >= zero-copy >= full-copy at 64 B.
+    n = M.achieved_pps(NATIVE, 64, 3000)
+    z = M.achieved_pps(ZERO, 64, 3000)
+    f = M.achieved_pps(FULL, 64, 3000)
+    assert n >= z > f
+
+
+def test_rule_knee_at_3000():
+    # Fig 3a: line rate through 3,000 rules, collapse beyond.
+    at_100 = M.achieved_pps(NATIVE, 64, 100)
+    at_3000 = M.achieved_pps(NATIVE, 64, 3000)
+    at_10000 = M.achieved_pps(NATIVE, 64, 10000)
+    assert at_100 == pytest.approx(at_3000, rel=0.01)  # both line-rate bound
+    assert at_10000 < 0.5 * at_3000
+
+
+def test_lookup_cost_monotone_in_rules():
+    costs = [M.lookup_cycles(k) for k in (0, 10, 100, 1000, 3000, 5000, 10000)]
+    assert costs == sorted(costs)
+
+
+def test_hash_ratio_degrades_only_small_packets():
+    # Fig 14 at a 10% hash ratio: 64 B degrades up to ~25%, others don't.
+    base = M.achieved_wire_gbps(ZERO, 64, 3000, hash_ratio=0.0)
+    hashed = M.achieved_wire_gbps(ZERO, 64, 3000, hash_ratio=0.1)
+    degradation = 1 - hashed / base
+    assert 0.05 < degradation < 0.30
+    for size in (256, 512, 1024, 1500):
+        assert M.achieved_wire_gbps(ZERO, size, 3000, hash_ratio=0.1) == (
+            pytest.approx(M.achieved_wire_gbps(ZERO, size, 3000), rel=0.01)
+        )
+
+
+def test_hash_ratio_monotone():
+    values = [
+        M.achieved_wire_gbps(ZERO, 64, 3000, hash_ratio=r)
+        for r in (0.0, 0.1, 0.5, 1.0)
+    ]
+    assert values == sorted(values, reverse=True)
+
+
+def test_latency_matches_paper_points():
+    # Section V-B: 34/38/52/80/107 us at 128..1500 B under 8 Gb/s load.
+    expected = {128: 34, 256: 38, 512: 52, 1024: 80, 1500: 107}
+    for size, target in expected.items():
+        latency = M.latency_us(size, load_gbps=8.0)
+        assert latency == pytest.approx(target, rel=0.12)
+
+
+def test_latency_infinite_at_saturation():
+    assert M.latency_us(64, load_gbps=10.0, num_rules=10000) == float("inf")
+
+
+def test_offered_load_caps_throughput():
+    pps = M.achieved_pps(NATIVE, 64, 100, offered_pps=1000.0)
+    assert pps == 1000.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        M.per_packet_cycles(ZERO, 64, -1)
+    with pytest.raises(ValueError):
+        M.per_packet_cycles(ZERO, 64, 100, hash_ratio=1.5)
+
+
+def test_epc_paging_penalty_applies_past_92mb():
+    # Crossing the EPC limit (~6,100 rules with the default memory model)
+    # must add cost beyond the locality trend.
+    custom = CostModel()
+    below = custom.lookup_cycles(6000)
+    above = custom.lookup_cycles(6500)
+    slope_before = custom.lookup_cycles(6000) - custom.lookup_cycles(5500)
+    assert above - below > slope_before

@@ -1,0 +1,109 @@
+"""Deployment planning, cost analysis, IXP deployment."""
+
+import pytest
+
+from repro.core.rules import FilterRule, FlowPattern, RPKIRegistry
+from repro.deploy import CapacityPlanner, IXPDeployment, deployment_cost
+from repro.errors import ConfigurationError
+from repro.interdomain.ixp import IXP
+from tests.conftest import VICTIM, VICTIM_PREFIX, make_packet
+
+
+def test_plan_500gbps_is_50_servers():
+    # Paper VI-D: "to handle 500 Gb/s attack traffic, an IXP needs to
+    # invest in 50 modest SGX-supporting commodity servers, which would
+    # require only one or two server racks."
+    plan = CapacityPlanner(headroom=0.0).plan(500.0)
+    assert plan.num_servers == 50
+    assert plan.num_racks in (1, 2)
+
+
+def test_plan_respects_rule_capacity():
+    plan = CapacityPlanner(headroom=0.0).plan(10.0, total_rules=30_000)
+    # 30 K rules at ~3 K rules/enclave -> at least 10 enclaves even though
+    # bandwidth alone needs only 1.
+    assert plan.num_enclaves >= 10
+
+
+def test_plan_headroom():
+    base = CapacityPlanner(headroom=0.0).plan(100.0).num_enclaves
+    inflated = CapacityPlanner(headroom=0.2).plan(100.0).num_enclaves
+    assert inflated == 12 and base == 10
+
+
+def test_plan_attestation_setup_time():
+    plan = CapacityPlanner(parallel_attestations=10, headroom=0.0).plan(500.0)
+    # 50 enclaves in batches of 10 -> 5 sequential rounds of ~3.04 s.
+    assert plan.setup_attestation_s == pytest.approx(5 * 3.04, rel=0.05)
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigurationError):
+        CapacityPlanner().plan(0)
+    with pytest.raises(ConfigurationError):
+        CapacityPlanner().plan(10, total_rules=-1)
+    with pytest.raises(ConfigurationError):
+        CapacityPlanner(enclave_bandwidth_bps=0)
+
+
+def test_cost_analysis_headline_number():
+    # "US$ 100K to offer an extremely large defense capability of 500 Gb/s"
+    report = deployment_cost()
+    assert report.total_capex_usd == pytest.approx(100_000.0)
+    assert report.num_servers == 50
+    assert report.capex_per_member_usd == pytest.approx(200.0)
+
+
+def test_cost_analysis_custom():
+    report = deployment_cost(target_gbps=100, member_ases=100,
+                             server_unit_cost_usd=1500)
+    assert report.num_servers == 10
+    assert report.total_capex_usd == pytest.approx(15_000.0)
+    assert report.capex_per_member_usd == pytest.approx(150.0)
+    rows = report.as_rows()
+    assert any("capex" in str(r[0]) for r in rows)
+
+
+def test_cost_validation():
+    with pytest.raises(ConfigurationError):
+        deployment_cost(member_ases=0)
+    with pytest.raises(ConfigurationError):
+        deployment_cost(server_unit_cost_usd=0)
+
+
+def _ixp():
+    return IXP(ixp_id="test-ix", name="Test IX", region="Europe",
+               members={64500, 64501, 64502})
+
+
+def test_ixp_deployment_create_and_session():
+    deployment = IXPDeployment.create(_ixp(), target_gbps=30)
+    assert deployment.capacity_gbps >= 30
+    assert len(deployment.controller.enclaves) == deployment.plan.num_enclaves
+
+    rpki = RPKIRegistry()
+    rpki.authorize(VICTIM, VICTIM_PREFIX)
+    session = deployment.open_session(VICTIM, rpki, deployment.controller.ias)
+    rule = FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+        p_allow=0.0,
+        requested_by=VICTIM,
+    )
+    session.submit_rules([rule])
+    delivered = deployment.controller.carry([make_packet() for _ in range(10)])
+    assert delivered == []  # p_allow 0: everything dropped in-filter
+    session.observe_delivered(delivered)
+    assert session.audit_round().clean
+
+
+def test_ixp_deployment_neighbor_auditors():
+    deployment = IXPDeployment.create(_ixp(), target_gbps=10)
+    auditors = deployment.neighbor_auditors()
+    assert set(auditors) == {64500, 64501, 64502}
+    assert len(deployment.neighbor_auditors(limit=2)) == 2
+
+
+def test_ixp_deployment_validation():
+    with pytest.raises(ConfigurationError):
+        IXPDeployment.create(_ixp(), target_gbps=0)

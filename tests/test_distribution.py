@@ -1,0 +1,127 @@
+"""The Fig 5 master/slave redistribution protocol."""
+
+import pytest
+
+from repro.core.controller import IXPController
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.rules import FilterRule, FlowPattern, RuleSet
+from repro.errors import DistributionError
+from repro.lookup.memory_model import EnclaveMemoryModel
+from repro.tee.attestation import IASService
+from repro.util.units import GBPS, MB
+from tests.conftest import make_packet
+
+
+def rule(rule_id, prefix):
+    return FilterRule(
+        rule_id=rule_id, pattern=FlowPattern(dst_prefix=prefix), p_allow=1.0
+    )
+
+
+def stand_up(num_rules=10, packets_per_rule=3, size=1000):
+    controller = IXPController(IASService())
+    controller.launch_filters(1)
+    rules = RuleSet([rule(i, f"10.{i}.0.0/16") for i in range(1, num_rules + 1)])
+    controller.install_single_filter(rules)
+    for i in range(1, num_rules + 1):
+        for j in range(packets_per_rule):
+            controller.carry([make_packet(dst_ip=f"10.{i}.0.{j + 1}", size=size)])
+    return controller, rules
+
+
+def test_round_preserves_rule_set():
+    controller, rules = stand_up()
+    protocol = RuleDistributionProtocol(controller)
+    record = protocol.run_round(window_s=1.0)
+    installed = set()
+    for enclave in controller.enclaves:
+        installed |= {r.rule_id for r in enclave.ecall("installed_rules")}
+    assert installed == {r.rule_id for r in rules}
+    assert record.round_number == 1
+    assert protocol.rounds == [record]
+
+
+def test_round_uses_measured_rates():
+    controller, _ = stand_up(num_rules=4, packets_per_rule=10)
+    protocol = RuleDistributionProtocol(controller)
+    record = protocol.run_round(window_s=2.0)
+    # 10 packets x 1000 B x 8 bits over 2 s = 40 kb/s per rule.
+    assert record.rates_bps[1] == pytest.approx(40_000)
+
+
+def test_round_scales_fleet_to_load():
+    """Rules with rates near the enclave cap force a multi-enclave fleet."""
+    controller, _ = stand_up(num_rules=4, packets_per_rule=2, size=1500)
+    protocol = RuleDistributionProtocol(
+        controller, enclave_bandwidth=30_000.0  # tiny synthetic cap (bps)
+    )
+    record = protocol.run_round(window_s=1.0)
+    # Each rule's rate is 2*1500*8 = 24 kb/s; total 96 kb/s >> 30 kb/s cap.
+    assert record.num_enclaves_after >= 4
+    assert record.num_enclaves_after == len(controller.enclaves)
+
+
+def test_round_accepts_extra_rules():
+    controller, _ = stand_up(num_rules=3)
+    protocol = RuleDistributionProtocol(controller)
+    extra = rule(99, "10.99.0.0/16").with_rate(1 * GBPS)
+    protocol.run_round(window_s=1.0, extra_rules=[extra])
+    installed = set()
+    for enclave in controller.enclaves:
+        installed |= {r.rule_id for r in enclave.ecall("installed_rules")}
+    assert 99 in installed
+
+
+def test_round_requires_enclaves_and_rules():
+    controller = IXPController(IASService())
+    protocol = RuleDistributionProtocol(controller)
+    with pytest.raises(DistributionError):
+        protocol.run_round(window_s=1.0)
+    controller.launch_filters(1)
+    with pytest.raises(DistributionError):
+        protocol.run_round(window_s=1.0)
+    with pytest.raises(DistributionError):
+        stand_up_controller, _ = stand_up(1)
+        RuleDistributionProtocol(stand_up_controller).run_round(
+            window_s=1.0, master_index=5
+        )
+
+
+def test_needs_redistribution_rule_pressure():
+    controller, _ = stand_up(num_rules=10)
+    tight_memory = EnclaveMemoryModel(
+        bytes_per_rule=1 * MB,
+        base_bytes=1 * MB,
+        epc_limit_bytes=12 * MB,
+        performance_budget_bytes=11 * MB,  # capacity: 10 rules
+    )
+    protocol = RuleDistributionProtocol(
+        controller, memory_model=tight_memory, rule_threshold=0.5
+    )
+    assert protocol.needs_redistribution(window_s=1.0)
+
+
+def test_needs_redistribution_bandwidth_pressure():
+    controller, _ = stand_up(num_rules=2, packets_per_rule=10, size=1500)
+    protocol = RuleDistributionProtocol(
+        controller, enclave_bandwidth=100_000.0, bandwidth_threshold=0.5
+    )
+    # 2 rules x 10 x 1500 B x 8 / 1 s = 240 kb/s on enclave 0 > 50 kb/s.
+    assert protocol.needs_redistribution(window_s=1.0)
+
+
+def test_no_redistribution_needed_when_idle():
+    controller, _ = stand_up(num_rules=2, packets_per_rule=1)
+    protocol = RuleDistributionProtocol(controller)
+    assert not protocol.needs_redistribution(window_s=1.0)
+
+
+def test_rules_moved_counting():
+    controller, _ = stand_up(num_rules=6)
+    protocol = RuleDistributionProtocol(controller)
+    first = protocol.run_round(window_s=1.0)
+    # Second round with identical rates should move nothing (same greedy
+    # input -> same allocation).
+    second = protocol.run_round(window_s=1.0)
+    assert second.rules_moved == 0
+    assert second.round_number == 2

@@ -1,0 +1,18 @@
+"""Run the doctests embedded in module docstrings/APIs."""
+
+import doctest
+
+import pytest
+
+import repro.util.units
+
+MODULES_WITH_DOCTESTS = [repro.util.units]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,111 @@
+"""Enclave isolation semantics."""
+
+import pytest
+
+from repro.errors import EnclaveError, EnclaveSealedError
+from repro.tee.enclave import Enclave, EnclaveProgram, Platform
+
+
+class CounterProgram(EnclaveProgram):
+    """Minimal program: isolated counter plus an OCall passthrough."""
+
+    VERSION = "counter-1"
+
+    def __init__(self):
+        super().__init__()
+        self._count = 0
+
+    def on_load(self, enclave):
+        super().on_load(enclave)
+        self.register_ecall("bump", self.bump)
+        self.register_ecall("value", lambda: self._count)
+        self.register_ecall("ask_host", lambda q: self.ocall("answer", q))
+
+    def bump(self):
+        self._count += 1
+        return self._count
+
+
+def launch():
+    platform = Platform("server-1")
+    program = CounterProgram()
+    return platform.launch(program), program, platform
+
+
+def test_ecall_dispatch_and_state_isolation():
+    enclave, _, _ = launch()
+    assert enclave.ecall("bump") == 1
+    assert enclave.ecall("bump") == 2
+    assert enclave.ecall("value") == 2
+    assert enclave.ecall_count == 3
+
+
+def test_unknown_ecall_rejected():
+    enclave, _, _ = launch()
+    with pytest.raises(EnclaveError):
+        enclave.ecall("nope")
+
+
+def test_ocall_roundtrip_and_counting():
+    enclave, _, _ = launch()
+    enclave.register_ocall_handler("answer", lambda q: q.upper())
+    assert enclave.ecall("ask_host", "hi") == "HI"
+    assert enclave.ocall_count == 1
+
+
+def test_ocall_without_handler_fails():
+    enclave, _, _ = launch()
+    with pytest.raises(EnclaveError):
+        enclave.ecall("ask_host", "hi")
+
+
+def test_destroyed_enclave_rejects_everything():
+    enclave, _, _ = launch()
+    enclave.destroy()
+    assert enclave.destroyed
+    with pytest.raises(EnclaveSealedError):
+        enclave.ecall("bump")
+
+
+def test_measurement_depends_on_code_not_instance():
+    e1, _, _ = launch()
+    e2, _, _ = launch()
+    assert e1.measurement() == e2.measurement()
+
+    class OtherProgram(CounterProgram):
+        VERSION = "counter-2"
+
+    other = Platform("p").launch(OtherProgram())
+    assert other.measurement() != e1.measurement()
+
+
+def test_duplicate_ecall_registration_rejected():
+    class BadProgram(EnclaveProgram):
+        def on_load(self, enclave):
+            super().on_load(enclave)
+            self.register_ecall("x", lambda: 1)
+            self.register_ecall("x", lambda: 2)
+
+    with pytest.raises(EnclaveError):
+        Platform("p").launch(BadProgram())
+
+
+def test_program_requires_loading():
+    program = CounterProgram()
+    with pytest.raises(EnclaveError):
+        _ = program.enclave
+
+
+def test_platform_launch_ids_unique():
+    platform = Platform("srv")
+    a = platform.launch(CounterProgram())
+    b = platform.launch(CounterProgram())
+    assert a.enclave_id != b.enclave_id
+
+
+def test_base_epc_charged_for_filter_program():
+    from repro.core.enclave_filter import EnclaveFilter
+
+    platform = Platform("srv")
+    enclave = platform.launch(EnclaveFilter(secret="s"))
+    assert enclave.epc.used > 0

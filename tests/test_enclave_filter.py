@@ -1,0 +1,201 @@
+"""The enclave-hosted filter program: ECall surface, logs, EPC, misbehavior."""
+
+import json
+
+import pytest
+
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.errors import SecureChannelError
+from repro.tee.enclave import Platform
+from repro.tee.secure_channel import ChannelEndpoint, SecureChannel
+from repro.sketch.countmin import CountMinSketch
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+
+def launch(**kw):
+    platform = Platform("srv")
+    program = EnclaveFilter(secret="enclave-secret", **kw)
+    return platform.launch(program), program
+
+
+def half_rule(rule_id=1):
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=VICTIM_PREFIX, dst_ports=(80, 80)),
+        p_allow=0.5,
+    )
+
+
+def drop_rule(rule_id=1, prefix=VICTIM_PREFIX):
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=prefix),
+        action=Action.DROP,
+    )
+
+
+def test_install_and_process():
+    enclave, _ = launch()
+    assert enclave.ecall("install_rules", [drop_rule()]) == 1
+    assert enclave.ecall("num_rules") == 1
+    assert enclave.ecall("process_packet", make_packet()) is False
+    assert enclave.ecall("process_packet", make_packet(dst_ip="198.51.100.1")) is True
+
+
+def test_report_counters():
+    enclave, _ = launch()
+    enclave.ecall("install_rules", [drop_rule()])
+    enclave.ecall("process_packet", make_packet())
+    enclave.ecall("process_packet", make_packet(dst_ip="198.51.100.1"))
+    report = enclave.ecall("report")
+    assert report.packets_processed == 2
+    assert report.packets_dropped == 1
+    assert report.packets_allowed == 1
+    assert report.unmatched_packets == 1
+
+
+def test_logs_record_incoming_and_forwarded():
+    enclave, program = launch()
+    enclave.ecall("install_rules", [drop_rule()])
+    dropped = make_packet()
+    passed = make_packet(dst_ip="198.51.100.1")
+    enclave.ecall("process_packet", dropped)
+    enclave.ecall("process_packet", passed)
+    assert program._logs.incoming.total == 2  # both logged on arrival
+    assert program._logs.outgoing.total == 1  # only the forwarded one
+
+
+def test_rule_byte_counters():
+    enclave, _ = launch()
+    enclave.ecall("install_rules", [drop_rule()])
+    enclave.ecall("process_packet", make_packet(size=100))
+    enclave.ecall("process_packet", make_packet(size=200))
+    rates = enclave.ecall("export_rule_rates")
+    assert rates == {1: 300}
+
+
+def test_remove_rules_and_epc_accounting():
+    enclave, program = launch()
+    rules = [drop_rule(i, prefix=f"10.{i}.0.0/16") for i in range(1, 21)]
+    enclave.ecall("install_rules", rules)
+    used_full = enclave.epc.used
+    assert enclave.ecall("remove_rules", [1, 2, 3]) == 3
+    assert enclave.ecall("num_rules") == 17
+    assert enclave.epc.used < used_full
+    assert enclave.ecall("remove_rules", [999]) == 0
+
+
+def test_epc_grows_with_rules():
+    enclave, program = launch()
+    base = enclave.epc.used
+    enclave.ecall(
+        "install_rules", [drop_rule(i, prefix=f"10.{i}.0.0/16") for i in range(1, 101)]
+    )
+    grown = enclave.epc.used
+    assert grown == base + 100 * program._memory_model.bytes_per_rule
+
+
+def test_scale_out_misbehavior_unassigned_rule():
+    enclave, _ = launch(scale_out_mode=True)
+    enclave.ecall("install_rules", [drop_rule(1), drop_rule(2, "198.51.100.0/24")])
+    enclave.ecall("set_assigned_rules", [1])
+    enclave.ecall("process_packet", make_packet())  # rule 1: fine
+    assert enclave.ecall("misbehavior_report") == []
+    enclave.ecall("process_packet", make_packet(dst_ip="198.51.100.1"))  # rule 2!
+    events = enclave.ecall("misbehavior_report")
+    assert len(events) == 1 and "rule 2" in events[0]
+
+
+def test_scale_out_misbehavior_nonmatching_packet():
+    enclave, _ = launch(scale_out_mode=True)
+    enclave.ecall("install_rules", [drop_rule(1)])
+    enclave.ecall("set_assigned_rules", [1])
+    enclave.ecall("process_packet", make_packet(dst_ip="192.0.2.1"))
+    events = enclave.ecall("misbehavior_report")
+    assert len(events) == 1 and "non-matching" in events[0]
+
+
+def test_no_misbehavior_checks_in_single_filter_mode():
+    enclave, _ = launch(scale_out_mode=False)
+    enclave.ecall("install_rules", [drop_rule(1)])
+    enclave.ecall("process_packet", make_packet(dst_ip="192.0.2.1"))
+    assert enclave.ecall("misbehavior_report") == []
+
+
+def _open_channel(enclave):
+    victim_ep = ChannelEndpoint.create("victim", "victim-seed")
+    enclave_public = int.from_bytes(enclave.ecall("channel_public"), "big")
+    enclave.ecall("open_victim_channel", victim_ep.public)
+    return SecureChannel.establish(victim_ep, enclave_public, role="client")
+
+
+def test_sealed_rule_install():
+    enclave, _ = launch()
+    channel = _open_channel(enclave)
+    payload = json.dumps([drop_rule().to_dict()]).encode()
+    assert enclave.ecall("install_rules_sealed", channel.seal(payload)) == 1
+    assert enclave.ecall("num_rules") == 1
+
+
+def test_sealed_rule_install_rejects_tampering():
+    enclave, _ = launch()
+    channel = _open_channel(enclave)
+    payload = json.dumps([drop_rule().to_dict()]).encode()
+    record = bytearray(channel.seal(payload))
+    record[20] ^= 0xFF
+    with pytest.raises(SecureChannelError):
+        enclave.ecall("install_rules_sealed", bytes(record))
+    assert enclave.ecall("num_rules") == 0
+
+
+def test_sealed_log_export_roundtrip():
+    enclave, program = launch()
+    enclave.ecall("install_rules", [half_rule()])
+    for i in range(30):
+        enclave.ecall("process_packet", make_packet(src_port=1024 + i))
+    channel = _open_channel(enclave)
+    sealed = enclave.ecall("export_logs", channel.seal(b"outgoing"))
+    sketch = CountMinSketch.deserialize(channel.open(sealed))
+    assert sketch.bins() == program._logs.outgoing.sketch.bins()
+    sealed_in = enclave.ecall("export_logs", channel.seal(b"incoming"))
+    sketch_in = CountMinSketch.deserialize(channel.open(sealed_in))
+    assert sketch_in.total == 30
+
+
+def test_log_export_requires_channel():
+    enclave, _ = launch()
+    with pytest.raises(SecureChannelError):
+        enclave.ecall("export_logs", b"whatever")
+
+
+def test_log_export_rejects_unknown_query():
+    enclave, _ = launch()
+    channel = _open_channel(enclave)
+    with pytest.raises(SecureChannelError, match="unknown log query"):
+        enclave.ecall("export_logs", channel.seal(b"everything"))
+
+
+def test_rule_update_tick_ecall():
+    enclave, _ = launch()
+    enclave.ecall("install_rules", [half_rule()])
+    for i in range(5):
+        enclave.ecall("process_packet", make_packet(src_port=2000 + i))
+    assert enclave.ecall("rule_update_tick") == 5
+
+
+def test_shared_decision_secret_across_enclaves():
+    """Two enclaves with the same decision secret agree on every flow."""
+    p1 = Platform("a").launch(
+        EnclaveFilter(secret="chan-a", decision_secret="fleet")
+    )
+    p2 = Platform("b").launch(
+        EnclaveFilter(secret="chan-b", decision_secret="fleet")
+    )
+    p1.ecall("install_rules", [half_rule()])
+    p2.ecall("install_rules", [half_rule()])
+    for i in range(50):
+        packet = make_packet(src_port=4000 + i)
+        assert p1.ecall("process_packet", packet) == p2.ecall(
+            "process_packet", packet
+        )

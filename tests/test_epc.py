@@ -1,0 +1,74 @@
+"""EPC accounting."""
+
+import pytest
+
+from repro.errors import EnclaveMemoryError
+from repro.tee.epc import DEFAULT_EPC_LIMIT, EPCAccounting
+from repro.util.units import MB
+
+
+def test_default_limit_is_92mb():
+    assert DEFAULT_EPC_LIMIT == 92 * MB
+
+
+def test_allocate_and_free():
+    epc = EPCAccounting()
+    epc.allocate("table", 10 * MB)
+    epc.allocate("table", 5 * MB)  # accumulates under the label
+    assert epc.used == 15 * MB
+    epc.free("table")
+    assert epc.used == 0
+
+
+def test_resize_sets_absolute():
+    epc = EPCAccounting()
+    epc.allocate("x", 10 * MB)
+    epc.resize("x", 3 * MB)
+    assert epc.used == 3 * MB
+
+
+def test_paging_turns_on_past_epc_limit():
+    epc = EPCAccounting(epc_limit_bytes=10 * MB, hard_limit_bytes=100 * MB)
+    epc.allocate("a", 10 * MB)
+    assert not epc.paging
+    assert epc.paging_pressure() == 0.0
+    epc.allocate("b", 5 * MB)
+    assert epc.paging
+    assert epc.paging_pressure() == pytest.approx(0.5)
+
+
+def test_hard_limit_enforced():
+    epc = EPCAccounting(epc_limit_bytes=10 * MB, hard_limit_bytes=20 * MB)
+    epc.allocate("a", 15 * MB)
+    with pytest.raises(EnclaveMemoryError):
+        epc.allocate("b", 10 * MB)
+    with pytest.raises(EnclaveMemoryError):
+        epc.resize("a", 25 * MB)
+    assert epc.used == 15 * MB  # failed ops leave state intact
+
+
+def test_peak_tracking():
+    epc = EPCAccounting()
+    epc.allocate("a", 8 * MB)
+    epc.free("a")
+    epc.allocate("b", 2 * MB)
+    assert epc.peak == 8 * MB
+
+
+def test_breakdown():
+    epc = EPCAccounting()
+    epc.allocate("sketches", 2 * MB)
+    epc.allocate("table", 1 * MB)
+    assert epc.breakdown() == {"sketches": 2 * MB, "table": 1 * MB}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EPCAccounting(epc_limit_bytes=0)
+    with pytest.raises(ValueError):
+        EPCAccounting(epc_limit_bytes=10, hard_limit_bytes=5)
+    epc = EPCAccounting()
+    with pytest.raises(ValueError):
+        epc.allocate("x", -1)
+    with pytest.raises(ValueError):
+        epc.resize("x", -1)

@@ -1,0 +1,54 @@
+"""Every example script must run end to end (they are the user-facing API
+surface; breaking one is breaking the README)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _load_and_run(path: pathlib.Path, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    out = _load_and_run(path, capsys)
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_quickstart_output_contract(capsys):
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    out = _load_and_run(path, capsys)
+    assert "attestation: verdict=OK" in out
+    assert "no bypass detected" in out
+
+
+def test_bypass_demo_detects_everything(capsys):
+    path = next(p for p in EXAMPLES if p.stem == "bypass_detection_demo")
+    out = _load_and_run(path, capsys)
+    # Every attack row says YES, the honest row says no.
+    lines = [l for l in out.splitlines() if "YES" in l or "honest" in l]
+    attack_lines = [l for l in lines if "honest" not in l]
+    assert len(attack_lines) >= 4
+    honest = next(l for l in lines if "honest" in l)
+    assert "YES" not in honest

@@ -1,0 +1,74 @@
+"""Smoke tests for the experiment generators behind the CLI.
+
+The slow ones (gap, fig9, table1, fig11, bypass) are exercised by the
+benchmark suite and the CLI tests; the fast generators are checked here for
+output contracts so a refactor cannot silently break `repro.cli run all`.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_fig3_contains_knee_and_epc_marker():
+    out = figures.fig3_rule_scaling()
+    assert "3000" in out and "10000" in out
+    assert "yes" in out  # some row crossed the EPC line
+    assert "Fig 3a/3b" in out
+
+
+def test_fig8_lists_all_sizes_and_variants():
+    out = figures.fig8_13_packet_size()
+    for size in (64, 128, 256, 512, 1024, 1500):
+        assert str(size) in out
+    assert "native" in out and "zero-copy" in out
+
+
+def test_latency_table_has_paper_column():
+    out = figures.latency_table()
+    assert "paper (us)" in out
+    assert "107" in out
+
+
+def test_fig14_rows_per_ratio():
+    out = figures.fig14_hash_ratio()
+    assert "1.000" in out and "0.010" in out
+    assert "64 B" in out and "1500 B" in out
+
+
+def test_table2_shape():
+    out = figures.table2_batch_insert()
+    assert "1000" in out and "paper (ms)" in out
+
+
+def test_table3_five_regions():
+    out = figures.table3_top_ixps()
+    for region in ("Europe", "Africa", "Asia Pacific"):
+        assert region in out
+
+
+def test_attestation_hits_3_04():
+    out = figures.attestation_timing()
+    assert "3.04" in out
+
+
+def test_cost_hits_100k():
+    out = figures.cost_analysis()
+    assert "100000" in out and "50" in out
+
+
+def test_scaleout_validation_scaled_instance():
+    out = figures.scaleout_validation(total_gbps=20, num_rules=1000)
+    assert "feasible" in out
+    assert "yes" in out and "no" in out
+
+
+def test_fig11_parameterizable():
+    out = figures.fig11_ixp_coverage(num_victims=10)
+    assert "Top-1 IXPs" in out and "Top-5 IXPs" in out
+    assert "Mirai" in out
+
+
+def test_generators_are_deterministic():
+    assert figures.fig3_rule_scaling() == figures.fig3_rule_scaling()
+    assert figures.table3_top_ixps() == figures.table3_top_ixps()

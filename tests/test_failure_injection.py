@@ -1,0 +1,181 @@
+"""Failure injection: crashes, exhaustion, outages, misconfiguration.
+
+Robustness behaviors the paper implies but never tests: what happens when
+an enclave dies mid-session, when the EPC hard limit is hit, when the IAS
+is unreachable for a platform, or when the two sides of an audit are
+misconfigured."""
+
+import pytest
+
+from repro.core.controller import IXPController
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.rules import Action, FilterRule, FlowPattern, RuleSet
+from repro.core.session import VIFSession
+from repro.errors import (
+    AttestationError,
+    EnclaveMemoryError,
+    EnclaveSealedError,
+)
+from repro.lookup.memory_model import EnclaveMemoryModel
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.comparison import compare_sketches
+from repro.tee.attestation import IASService
+from repro.tee.enclave import Platform
+from repro.util.units import MB
+from tests.conftest import VICTIM, VICTIM_PREFIX, make_packet
+
+
+def test_destroyed_enclave_fails_closed():
+    """A crashed/killed enclave rejects every ECall — it cannot silently
+    pass traffic unfiltered."""
+    controller = IXPController(IASService())
+    controller.launch_filters(1)
+    controller.install_single_filter(
+        RuleSet(
+            [FilterRule(rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+                        action=Action.DROP)]
+        )
+    )
+    controller.enclaves[0].destroy()
+    with pytest.raises(EnclaveSealedError):
+        controller.carry([make_packet()])
+
+
+def test_relaunched_enclave_needs_fresh_attestation(rpki, ias):
+    """After a crash the platform relaunches the filter; the victim's old
+    channel is gone and the new enclave must attest again."""
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    session.attest_filters()
+
+    # Crash and replace in-place (same slot, fresh program).
+    controller.enclaves[0].destroy()
+    platform = controller.enclaves[0].platform
+    program = EnclaveFilter(secret="relaunched")
+    controller.enclaves[0] = platform.launch(program)
+    controller.programs[0] = program
+
+    # Cached attestation refers to the dead enclave; re-attesting picks the
+    # replacement up and re-binds the channel.
+    attested = session.attest_filters()
+    assert attested == 0  # index still marked attested...
+    session.attestation_reports.clear()  # victim notices the crash
+    session._channels.clear()
+    assert session.attest_filters() == 1
+    session.submit_rules(
+        [FilterRule(rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+                    p_allow=0.5, requested_by=VICTIM)]
+    )
+
+
+def test_epc_hard_limit_rejects_oversized_rule_set():
+    """Installing far beyond EPC capacity fails loudly, not silently."""
+    tiny = EnclaveMemoryModel(
+        bytes_per_rule=1 * MB,
+        base_bytes=1 * MB,
+        epc_limit_bytes=8 * MB,
+        performance_budget_bytes=6 * MB,
+    )
+    platform = Platform("small")
+    program = EnclaveFilter(secret="s", memory_model=tiny)
+    enclave = platform.launch(program)
+    # The default EPC hard limit is 1 GiB; shrink it for the test.
+    enclave.epc.hard_limit_bytes = 16 * MB
+    rules = [
+        FilterRule(rule_id=i, pattern=FlowPattern(dst_prefix=f"10.{i}.0.0/16"),
+                   action=Action.DROP)
+        for i in range(1, 40)
+    ]
+    with pytest.raises(EnclaveMemoryError):
+        enclave.ecall("install_rules", rules)
+
+
+def test_paging_state_visible_past_epc():
+    """Filling past the (soft) EPC limit flips the paging flag the cost
+    model keys on — the graceful-degradation path."""
+    tiny = EnclaveMemoryModel(
+        bytes_per_rule=1 * MB,
+        base_bytes=1 * MB,
+        epc_limit_bytes=5 * MB,
+        performance_budget_bytes=4 * MB,
+    )
+    platform = Platform("small")
+    program = EnclaveFilter(secret="s", memory_model=tiny)
+    enclave = platform.launch(program)
+    enclave.epc.epc_limit_bytes = 5 * MB
+    rules = [
+        FilterRule(rule_id=i, pattern=FlowPattern(dst_prefix=f"10.{i}.0.0/16"),
+                   action=Action.DROP)
+        for i in range(1, 10)
+    ]
+    enclave.ecall("install_rules", rules)
+    assert enclave.epc.paging
+    # The filter still answers (slowly on real hardware): fail-soft.
+    assert enclave.ecall("process_packet", make_packet(dst_ip="10.1.0.1")) is False
+
+
+def test_ias_outage_for_one_platform(rpki):
+    """A platform the IAS cannot vouch for never joins the session."""
+    ias = IASService()
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    # Simulate provisioning loss: wipe the IAS's key table.
+    ias._platform_keys.clear()
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    with pytest.raises(AttestationError):
+        session.attest_filters()
+
+
+def test_sketch_seed_misconfiguration_fails_loud():
+    """A victim whose local log uses the wrong hash-family seed gets an
+    error, not a silently meaningless comparison."""
+    a = CountMinSketch(2, 256, "vif/out")
+    b = CountMinSketch(2, 256, "wrong-seed/out")
+    with pytest.raises(ValueError):
+        compare_sketches(a, b)
+
+
+def test_ring_overflow_backpressure_accounting():
+    """Saturating a pipeline's rings drops packets *with accounting* —
+    nothing disappears untracked."""
+    from repro.dataplane.pipeline import FilterPipeline
+
+    pipeline = FilterPipeline(lambda p: True, ring_capacity=16)
+    # Stuff the inbound NIC far beyond ring capacity, then run stages in a
+    # pattern that never drains the RX ring fully.
+    packets = [make_packet(src_port=1024 + i) for i in range(64)]
+    pipeline.nic_in.receive_from_wire(packets)
+    for _ in range(2):
+        pipeline.rx_stage()
+        pipeline.rx_stage()
+        pipeline.filter_stage()
+    # Conservation: every packet is either still queued, filtered (allowed
+    # packets live on in the TX ring, counted once via stats.allowed),
+    # dropped by policy, or dropped by ring overflow — and the counts add
+    # up exactly.
+    total_accounted = (
+        pipeline.stats.allowed
+        + pipeline.stats.dropped
+        + pipeline.stats.ring_overflow_drops
+        + len(pipeline.rx_ring)
+        + len(pipeline.nic_in.rx_queue)
+    )
+    assert total_accounted == len(packets)
+    assert pipeline.stats.ring_overflow_drops > 0  # the failure did happen
+
+
+def test_audit_tolerance_session_survives_benign_loss(rpki, ias):
+    """With a tolerance configured, single-packet benign loss between the
+    IXP and the victim does not abort the contract."""
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    session = VIFSession(VICTIM, rpki, ias, controller, audit_tolerance=1)
+    session.attest_filters()
+    session.submit_rules(
+        [FilterRule(rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+                    p_allow=1.0, requested_by=VICTIM)]
+    )
+    delivered = controller.carry([make_packet(src_port=1000 + i) for i in range(20)])
+    session.observe_delivered(delivered[:-1])  # one packet lost en route
+    assert session.audit_round().clean

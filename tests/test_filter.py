@@ -1,0 +1,241 @@
+"""The stateless filter: auditability properties and the three
+connection-preserving modes (paper III-A, Appendix A/F)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filter import ConnectionPreservingMode, StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import ConfigurationError
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+
+def build_filter(rules, mode=ConnectionPreservingMode.HYBRID, secret="s"):
+    f = StatelessFilter(secret=secret, mode=mode)
+    f.install_rules(rules)
+    return f
+
+
+def half_rule(rule_id=1):
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=VICTIM_PREFIX, dst_ports=(80, 80)),
+        p_allow=0.5,
+    )
+
+
+def drop_rule(rule_id=1):
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=VICTIM_PREFIX, dst_ports=(80, 80)),
+        action=Action.DROP,
+    )
+
+
+def packets_for_flows(n, repeat=1):
+    out = []
+    for i in range(n):
+        for _ in range(repeat):
+            out.append(make_packet(src_port=1024 + i))
+    return out
+
+
+# -- deterministic rules ---------------------------------------------------------
+
+
+def test_deterministic_drop():
+    f = build_filter([drop_rule()])
+    assert not f.decide(make_packet()).allowed
+    assert f.decide(make_packet(dst_port=443)).allowed  # no rule -> default
+
+
+def test_default_action_configurable():
+    f = StatelessFilter(secret="s", default_action=Action.DROP)
+    assert not f.decide(make_packet()).allowed
+
+
+def test_decision_provenance():
+    f = build_filter([drop_rule()])
+    decision = f.decide(make_packet())
+    assert decision.rule.rule_id == 1
+    assert decision.action is Action.DROP
+    assert not decision.used_hash
+
+
+def test_empty_secret_rejected():
+    with pytest.raises(ConfigurationError):
+        StatelessFilter(secret="")
+
+
+# -- the core auditability property ------------------------------------------------
+
+
+def test_statelessness_order_independence():
+    """Equation 2: f(p) must not depend on the surrounding packet stream."""
+    packets = packets_for_flows(200)
+    f1 = build_filter([half_rule()])
+    decisions_in_order = {
+        p.five_tuple: f1.decide(p).allowed for p in packets
+    }
+    f2 = build_filter([half_rule()])
+    shuffled = packets[:]
+    random.Random(99).shuffle(shuffled)
+    decisions_shuffled = {
+        p.five_tuple: f2.decide(p).allowed for p in shuffled
+    }
+    assert decisions_in_order == decisions_shuffled
+
+
+def test_statelessness_injection_independence():
+    """Injecting arbitrary packets must not change other flows' verdicts."""
+    packets = packets_for_flows(100)
+    f1 = build_filter([half_rule()])
+    baseline = {p.five_tuple: f1.decide(p).allowed for p in packets}
+
+    f2 = build_filter([half_rule()])
+    noise = [make_packet(src_ip=f"172.16.{i}.1", src_port=5000 + i)
+             for i in range(50)]
+    for p in noise:
+        f2.decide(p)
+    after_injection = {p.five_tuple: f2.decide(p).allowed for p in packets}
+    assert baseline == after_injection
+
+
+def test_repeated_evaluation_is_stable():
+    f = build_filter([half_rule()])
+    packet = make_packet()
+    first = f.decide(packet).allowed
+    for _ in range(20):
+        assert f.decide(packet).allowed == first
+
+
+# -- probabilistic execution ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", list(ConnectionPreservingMode))
+def test_connection_preserving_in_every_mode(mode):
+    """All packets of one flow share the verdict, in every mode."""
+    f = build_filter([half_rule()], mode=mode)
+    for i in range(50):
+        verdicts = {
+            f.decide(make_packet(src_port=2000 + i)).allowed for _ in range(5)
+        }
+        assert len(verdicts) == 1
+
+
+@pytest.mark.parametrize("mode", list(ConnectionPreservingMode))
+def test_drop_fraction_near_requested(mode):
+    f = build_filter([half_rule()], mode=mode)
+    packets = packets_for_flows(600)
+    allowed = sum(1 for p in packets if f.decide(p).allowed)
+    assert 0.42 < allowed / len(packets) < 0.58
+
+
+def test_modes_agree_on_verdicts():
+    """The exact-match table is a cache of the hash verdict, so all three
+    modes produce identical decisions given the same secret."""
+    packets = packets_for_flows(150)
+    verdicts = []
+    for mode in ConnectionPreservingMode:
+        f = build_filter([half_rule()], mode=mode)
+        verdicts.append([f.decide(p).allowed for p in packets])
+    assert verdicts[0] == verdicts[1] == verdicts[2]
+
+
+def test_different_secrets_differ():
+    packets = packets_for_flows(100)
+    fa = build_filter([half_rule()], secret="alpha")
+    fb = build_filter([half_rule()], secret="beta")
+    va = [fa.decide(p).allowed for p in packets]
+    vb = [fb.decide(p).allowed for p in packets]
+    assert va != vb
+
+
+def test_p_allow_extremes():
+    f0 = build_filter(
+        [FilterRule(rule_id=1, pattern=FlowPattern(), p_allow=0.0)]
+    )
+    f1 = build_filter(
+        [FilterRule(rule_id=1, pattern=FlowPattern(), p_allow=1.0)]
+    )
+    for i in range(50):
+        packet = make_packet(src_port=3000 + i)
+        assert not f0.decide(packet).allowed
+        assert f1.decide(packet).allowed
+
+
+# -- mode mechanics -------------------------------------------------------------------
+
+
+def test_hash_mode_always_hashes():
+    f = build_filter([half_rule()], mode=ConnectionPreservingMode.HASH_BASED)
+    packet = make_packet()
+    for _ in range(5):
+        f.decide(packet)
+    assert f.hash_evaluations == 5
+    assert len(f.flow_table) == 0
+
+
+def test_exact_match_mode_installs_immediately():
+    f = build_filter([half_rule()], mode=ConnectionPreservingMode.EXACT_MATCH)
+    packet = make_packet()
+    first = f.decide(packet)
+    assert first.used_hash
+    second = f.decide(packet)
+    assert not second.used_hash  # table hit
+    assert f.hash_evaluations == 1
+    assert f.table_hits == 1
+    assert len(f.flow_table) == 1
+
+
+def test_hybrid_mode_batches_at_update_tick():
+    f = build_filter([half_rule()], mode=ConnectionPreservingMode.HYBRID)
+    packets = packets_for_flows(10)
+    for p in packets:
+        f.decide(p)
+        f.decide(p)  # second packet of each flow still hash-decided
+    assert len(f.flow_table) == 0
+    assert f.flow_table.pending_count > 0
+    installed = f.rule_update_tick()
+    assert installed == 10
+    before = f.hash_evaluations
+    for p in packets:
+        f.decide(p)
+    assert f.hash_evaluations == before  # all table hits now
+
+
+def test_update_tick_noop_in_hash_mode():
+    f = build_filter([half_rule()], mode=ConnectionPreservingMode.HASH_BASED)
+    f.decide(make_packet())
+    assert f.rule_update_tick() == 0
+
+
+# -- property: verdict is a pure function of (flow, rules, secret) ----------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    port=st.integers(min_value=1, max_value=65535),
+    octet=st.integers(min_value=1, max_value=254),
+    p_allow=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_verdict_pure_function(port, octet, p_allow):
+    rule = FilterRule(
+        rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX), p_allow=p_allow
+    )
+    flow = FiveTuple(
+        src_ip=f"10.0.0.{octet}",
+        dst_ip="203.0.113.7",
+        src_port=port,
+        dst_port=80,
+        protocol=Protocol.TCP,
+    )
+    results = set()
+    for mode in ConnectionPreservingMode:
+        f = build_filter([rule], mode=mode, secret="fixed")
+        results.add(f.decide_flow(flow).allowed)
+    assert len(results) == 1

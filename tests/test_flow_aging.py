@@ -1,0 +1,98 @@
+"""Flow-table aging: bounded memory with connection preservation intact."""
+
+from repro.core.filter import ConnectionPreservingMode, StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.lookup.flowtable import ExactMatchFlowTable
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+
+def half_rule():
+    return FilterRule(
+        rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX), p_allow=0.5
+    )
+
+
+def flow(port):
+    return make_packet(src_port=port).five_tuple
+
+
+def test_lookup_refreshes_idleness():
+    table = ExactMatchFlowTable()
+    table.install(flow(1), Action.ALLOW)
+    table.install(flow(2), Action.DROP)
+    for _ in range(3):
+        table.advance_epoch()
+        table.lookup(flow(1))  # flow 1 stays hot; flow 2 idles
+    evicted = table.evict_idle(max_idle_epochs=2)
+    assert evicted == 1
+    assert table.lookup(flow(1)) is Action.ALLOW
+    assert table.lookup(flow(2)) is None
+
+
+def test_evict_idle_zero_epochs():
+    table = ExactMatchFlowTable()
+    table.install(flow(1), Action.ALLOW)
+    table.advance_epoch()
+    assert table.evict_idle(max_idle_epochs=0) == 1
+
+
+def test_evict_idle_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ExactMatchFlowTable().evict_idle(-1)
+
+
+def test_flush_pending_entries_stamped_fresh():
+    table = ExactMatchFlowTable()
+    table.queue(flow(1), Action.ALLOW)
+    table.flush_pending()
+    table.advance_epoch()
+    assert table.evict_idle(max_idle_epochs=1) == 0  # only one epoch idle
+
+
+def test_filter_tick_with_eviction_bounds_table():
+    filt = StatelessFilter(secret="s", mode=ConnectionPreservingMode.HYBRID)
+    filt.install_rule(half_rule())
+    # Wave 1: 50 flows, converted to entries at the tick.
+    for i in range(50):
+        filt.decide(make_packet(src_port=1000 + i))
+    filt.rule_update_tick(max_idle_epochs=1)
+    assert len(filt.flow_table) == 50
+    # Waves 2-4: entirely new flows each period; old ones idle out.
+    for wave in range(2, 5):
+        for i in range(50):
+            filt.decide(make_packet(src_port=wave * 1000 + i))
+        filt.rule_update_tick(max_idle_epochs=1)
+    # The table holds only the recent waves, not all 200 flows.
+    assert len(filt.flow_table) <= 110
+
+
+def test_eviction_preserves_connection_decisions():
+    """The safety property: evict, re-observe, identical verdict."""
+    filt = StatelessFilter(secret="s", mode=ConnectionPreservingMode.HYBRID)
+    filt.install_rule(half_rule())
+    packets = [make_packet(src_port=2000 + i) for i in range(80)]
+    before = {p.five_tuple: filt.decide(p).allowed for p in packets}
+    filt.rule_update_tick()
+    # Idle everything out.
+    for _ in range(3):
+        filt.rule_update_tick(max_idle_epochs=0)
+    assert len(filt.flow_table) == 0
+    after = {p.five_tuple: filt.decide(p).allowed for p in packets}
+    assert before == after
+
+
+def test_enclave_filter_tick_with_eviction():
+    from repro.core.enclave_filter import EnclaveFilter
+    from repro.tee.enclave import Platform
+
+    enclave = Platform("p").launch(EnclaveFilter(secret="s"))
+    enclave.ecall("install_rules", [half_rule()])
+    for i in range(20):
+        enclave.ecall("process_packet", make_packet(src_port=3000 + i))
+    enclave.ecall("rule_update_tick", None)
+    used_with_table = enclave.epc.used
+    for _ in range(3):
+        enclave.ecall("rule_update_tick", 0)
+    assert enclave.epc.used < used_with_table  # EPC charge shrank with eviction

@@ -1,0 +1,65 @@
+"""Exact-match flow table and the hybrid batch-queue path."""
+
+from repro.core.rules import Action
+from repro.dataplane.packet import FiveTuple, Protocol
+from repro.lookup.flowtable import ExactMatchFlowTable
+
+
+def flow(port=1000):
+    return FiveTuple(
+        src_ip="10.0.0.1", dst_ip="203.0.113.1", src_port=port, dst_port=80,
+        protocol=Protocol.TCP,
+    )
+
+
+def test_install_lookup_remove():
+    table = ExactMatchFlowTable()
+    table.install(flow(), Action.DROP)
+    assert table.lookup(flow()) is Action.DROP
+    assert flow() in table
+    table.remove(flow())
+    assert table.lookup(flow()) is None
+    table.remove(flow())  # idempotent
+
+
+def test_queue_does_not_apply_until_flush():
+    table = ExactMatchFlowTable()
+    table.queue(flow(), Action.ALLOW)
+    assert table.lookup(flow()) is None
+    assert table.pending_count == 1
+    assert table.flush_pending() == 1
+    assert table.lookup(flow()) is Action.ALLOW
+    assert table.pending_count == 0
+
+
+def test_flush_keeps_first_decision_for_duplicates():
+    table = ExactMatchFlowTable()
+    table.queue(flow(), Action.DROP)
+    table.queue(flow(), Action.ALLOW)
+    assert table.flush_pending() == 1
+    assert table.lookup(flow()) is Action.DROP
+
+
+def test_flush_does_not_overwrite_installed():
+    table = ExactMatchFlowTable()
+    table.install(flow(), Action.ALLOW)
+    table.queue(flow(), Action.DROP)
+    table.flush_pending()
+    assert table.lookup(flow()) is Action.ALLOW
+
+
+def test_memory_accounting():
+    table = ExactMatchFlowTable()
+    for i in range(10):
+        table.install(flow(port=i + 1), Action.DROP)
+    table.queue(flow(port=99), Action.ALLOW)
+    assert table.memory_bytes() == 11 * ExactMatchFlowTable.BYTES_PER_ENTRY
+    assert len(table) == 10
+
+
+def test_entries_deterministic_order():
+    table = ExactMatchFlowTable()
+    table.install(flow(port=2), Action.DROP)
+    table.install(flow(port=1), Action.ALLOW)
+    ports = [f.src_port for f, _ in table.entries()]
+    assert ports == [1, 2]

@@ -1,0 +1,143 @@
+"""Full-system integration: victim + IXP + attack + scale-out + audits.
+
+One long scenario exercising every subsystem together, plus integration
+checks that cut across module boundaries (sealed channel -> enclave ->
+sketch -> audit; greedy allocation -> controller -> LB -> enclave checks).
+"""
+
+import pytest
+
+from repro.adversary import BypassConfig, MaliciousFilteringNetwork, dns_amplification_flows
+from repro.core.bypass import NeighborAuditor, merge_enclave_logs
+from repro.core.controller import IXPController
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.rules import FilterRule, FlowPattern, RPKIRegistry
+from repro.core.session import SessionState, VIFSession
+from repro.dataplane.packet import Protocol
+from repro.tee.attestation import IASService
+from tests.conftest import VICTIM, VICTIM_PREFIX
+
+
+def build_world(num_filters=2):
+    ias = IASService()
+    rpki = RPKIRegistry()
+    rpki.authorize(VICTIM, VICTIM_PREFIX)
+    controller = IXPController(ias)
+    controller.launch_filters(num_filters, scale_out=num_filters > 1)
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    session.attest_filters()
+    return ias, rpki, controller, session
+
+
+def reflection_rules(prefix_octets, p_allow=0.1):
+    return [
+        FilterRule(
+            rule_id=100 + i,
+            pattern=FlowPattern(
+                src_prefix=f"{octet}.0.0.0/8",
+                dst_prefix=VICTIM_PREFIX,
+                src_ports=(53, 53),
+                protocol=Protocol.UDP,
+            ),
+            p_allow=p_allow,
+            requested_by=VICTIM,
+        )
+        for i, octet in enumerate(sorted(prefix_octets))
+    ]
+
+
+def test_full_campaign_honest():
+    _, _, controller, session = build_world()
+    flows = dns_amplification_flows(600, ingress_ases=(64500, 64501))
+    octets = {f.five_tuple.src_ip.split(".")[0] for f in flows}
+    session.submit_rules(reflection_rules(octets))
+
+    neighbors = {asn: NeighborAuditor(asn) for asn in (64500, 64501)}
+    packets = []
+    for flow in flows:
+        for _ in range(2):
+            packet = flow.make_packet()
+            packets.append(packet)
+            neighbors[packet.ingress_as].observe(packet)
+
+    delivered = controller.carry(packets)
+    # ~10% of connections survive the p_allow=0.1 rules.
+    assert 0.03 < len(delivered) / len(packets) < 0.2
+
+    # Scale out on measured rates, attest, and run a second wave.
+    protocol = RuleDistributionProtocol(controller, enclave_bandwidth=2e6)
+    session.scale_out(protocol, window_s=1.0)
+    delivered2 = controller.carry(packets)
+    assert {p.five_tuple for p in delivered} == {p.five_tuple for p in delivered2}
+
+    session.observe_delivered(delivered)
+    session.observe_delivered(delivered2)
+    evidence = session.audit_round()
+    assert evidence.clean
+    assert session.state is SessionState.ACTIVE
+
+    merged_in = merge_enclave_logs(controller.collect_incoming_logs())
+    for auditor in neighbors.values():
+        # The neighbors handed each packet once but two waves went through
+        # the filters, so the enclave-side counts dominate: clean.
+        assert auditor.audit(merged_in).clean
+    assert controller.misbehavior_reports() == []
+
+
+def test_full_campaign_with_cheating_ixp():
+    _, _, controller, session = build_world(num_filters=1)
+    flows = dns_amplification_flows(300, ingress_ases=(64500,))
+    octets = {f.five_tuple.src_ip.split(".")[0] for f in flows}
+    session.submit_rules(reflection_rules(octets, p_allow=0.5))
+
+    network = MaliciousFilteringNetwork(
+        controller, BypassConfig(skip_filter_fraction=0.25)
+    )
+    packets = [f.make_packet() for f in flows]
+    delivered = network.carry(packets)
+    assert network.packets_skipped_filter > 0
+    session.observe_delivered(delivered)
+    evidence = session.audit_round()
+    assert not evidence.clean
+    assert session.state is SessionState.ABORTED
+    # Once aborted, the victim refuses to continue the contract.
+    with pytest.raises(Exception):
+        session.submit_rules(reflection_rules({"9"}))
+
+
+def test_load_balancer_misrouting_is_reported_by_enclaves():
+    """Cross-module: greedy allocation -> controller -> enclave check."""
+    _, _, controller, session = build_world(num_filters=1)
+    rules = [
+        FilterRule(
+            rule_id=i,
+            pattern=FlowPattern(src_prefix=f"10.{i}.0.0/16",
+                                dst_prefix=VICTIM_PREFIX),
+            p_allow=1.0,
+            requested_by=VICTIM,
+        )
+        for i in range(1, 5)
+    ]
+    session.submit_rules(rules)
+    from tests.conftest import make_packet
+
+    for i in range(1, 5):
+        controller.carry([make_packet(src_ip=f"10.{i}.0.1", size=1500)])
+    protocol = RuleDistributionProtocol(controller, enclave_bandwidth=15_000.0)
+    session.scale_out(protocol, window_s=1.0)
+    assert len(controller.enclaves) >= 2
+
+    # A malicious LB sends a rule-1 packet to an enclave that owns other
+    # rules: that enclave reports it.
+    target = None
+    for j, enclave in enumerate(controller.enclaves):
+        owned = {r.rule_id for r in enclave.ecall("installed_rules")}
+        if 1 not in owned and owned:
+            target = j
+            break
+    assert target is not None
+    controller.enclaves[target].ecall(
+        "process_packet", make_packet(src_ip="10.1.0.1")
+    )
+    reports = controller.misbehavior_reports()
+    assert reports and any("not assigned" in r or "non-matching" in r for r in reports)

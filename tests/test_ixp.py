@@ -1,0 +1,81 @@
+"""IXP membership, ranking, path-transit tests."""
+
+import pytest
+
+from repro.interdomain.ixp import (
+    IXP,
+    membership_index,
+    path_transits_ixp,
+    top_ixps_by_region,
+    transited_ixps,
+)
+from repro.interdomain.topology import ASGraph, Tier
+
+
+def ixp(ixp_id="x", region="Europe", members=()):
+    return IXP(ixp_id=ixp_id, name=ixp_id.upper(), region=region,
+               members=set(members))
+
+
+def test_member_count_and_str():
+    x = ixp(members=(1, 2, 3))
+    assert x.member_count == 3
+    assert "3 members" in str(x)
+
+
+def test_top_ixps_by_region_selects_n_per_region():
+    ixps = [
+        ixp("e1", "Europe", range(10)),
+        ixp("e2", "Europe", range(5)),
+        ixp("a1", "Africa", range(7)),
+        ixp("a2", "Africa", range(2)),
+    ]
+    top1 = top_ixps_by_region(ixps, 1)
+    assert {x.ixp_id for x in top1} == {"e1", "a1"}
+    top2 = top_ixps_by_region(ixps, 2)
+    assert len(top2) == 4
+    with pytest.raises(ValueError):
+        top_ixps_by_region(ixps, 0)
+
+
+def test_top_ixps_ties_break_on_id():
+    ixps = [ixp("b", members=(1,)), ixp("a", members=(2,))]
+    assert top_ixps_by_region(ixps, 1)[0].ixp_id == "a"
+
+
+def test_path_transits_membership_definition():
+    # Paper: "two consecutive ASes that are the members of the IXP".
+    x = ixp(members=(2, 3))
+    assert path_transits_ixp((1, 2, 3, 4), x)
+    assert not path_transits_ixp((1, 2, 4), x)  # 2 and 4 not consecutive members
+    assert not path_transits_ixp((2,), x)  # single node, no hop
+
+
+def test_path_transits_strict_peering_mode():
+    g = ASGraph()
+    for asn in (1, 2, 3):
+        g.add_as(asn, "E", Tier.TIER2)
+    g.add_p2p(1, 2, ixp_id="x")
+    g.add_p2c(2, 3)
+    x = ixp(members=(1, 2, 3))
+    # Membership test says yes for hop (2,3); strict mode says no (that hop
+    # is a private transit link, not the IXP fabric).
+    assert path_transits_ixp((2, 3), x)
+    assert not path_transits_ixp((2, 3), x, graph=g, require_peering_at_ixp=True)
+    assert path_transits_ixp((1, 2), x, graph=g, require_peering_at_ixp=True)
+    with pytest.raises(ValueError):
+        path_transits_ixp((1, 2), x, require_peering_at_ixp=True)
+
+
+def test_transited_ixps_bulk():
+    ixps = [ixp("x", members=(1, 2)), ixp("y", members=(2, 3)), ixp("z", members=(9,))]
+    index = membership_index(ixps)
+    assert transited_ixps((1, 2, 3), index) == {"x", "y"}
+    assert transited_ixps((3, 1), index) == set()
+    assert transited_ixps((1,), index) == set()
+
+
+def test_membership_index():
+    ixps = [ixp("x", members=(1, 2)), ixp("y", members=(2,))]
+    index = membership_index(ixps)
+    assert index == {1: {"x"}, 2: {"x", "y"}}

@@ -1,0 +1,54 @@
+"""Enclave memory model (Fig 3b calibration anchors)."""
+
+import pytest
+
+from repro.lookup.memory_model import EnclaveMemoryModel, PAPER_MEMORY_MODEL
+from repro.util.units import MB
+
+
+def test_footprint_linear():
+    m = PAPER_MEMORY_MODEL
+    assert m.footprint_bytes(0) == m.base_bytes
+    assert m.footprint_bytes(1000) - m.footprint_bytes(0) == 1000 * m.bytes_per_rule
+
+
+def test_fig3b_anchor_150mb_at_10k_rules():
+    mb = PAPER_MEMORY_MODEL.footprint_bytes(10_000) / MB
+    assert 130 < mb < 160
+
+
+def test_epc_crossing_between_3k_and_10k():
+    m = PAPER_MEMORY_MODEL
+    assert not m.exceeds_epc(3000)
+    assert m.exceeds_epc(10_000)
+
+
+def test_rule_capacity_matches_the_3000_knee():
+    # The optimizer's per-enclave rule capacity must sit at the Fig 3a knee.
+    capacity = PAPER_MEMORY_MODEL.rule_capacity()
+    assert 2500 <= capacity <= 3500
+
+
+def test_rule_capacity_with_custom_budget():
+    m = PAPER_MEMORY_MODEL
+    assert m.rule_capacity(m.base_bytes) == 0
+    assert m.rule_capacity(m.base_bytes + 10 * m.bytes_per_rule) == 10
+
+
+def test_u_v_aliases():
+    m = PAPER_MEMORY_MODEL
+    assert m.u == m.bytes_per_rule
+    assert m.v == m.base_bytes
+
+
+def test_footprint_rejects_negative():
+    with pytest.raises(ValueError):
+        PAPER_MEMORY_MODEL.footprint_bytes(-1)
+
+
+def test_custom_model():
+    m = EnclaveMemoryModel(bytes_per_rule=100, base_bytes=1000,
+                           epc_limit_bytes=10_000, performance_budget_bytes=6000)
+    assert m.rule_capacity() == 50
+    assert m.exceeds_epc(100)
+    assert not m.exceeds_epc(10)

@@ -1,0 +1,261 @@
+"""Multi-IXP defense campaigns."""
+
+import pytest
+
+from repro.core.rules import FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.deploy.multi_ixp import MultiIXPDefense
+from repro.errors import ConfigurationError
+from repro.interdomain.attack_sources import dns_resolver_population
+from repro.interdomain.simulation import choose_victims
+from repro.interdomain.synthetic import SyntheticInternetConfig, generate_internet
+from repro.util.rng import deterministic_rng
+
+VICTIM_NAME = "victim.example"
+VICTIM_PREFIX = "203.0.113.0/24"
+
+SMALL = SyntheticInternetConfig(
+    tier1_per_region=1, tier2_per_region=6, stubs_per_region=30, seed=12
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, ixps = generate_internet(SMALL)
+    victim = choose_victims(graph, 1, seed=4)[0]
+    return graph, ixps, victim
+
+
+def build_defense(world, top_n=1):
+    graph, ixps, victim = world
+    return MultiIXPDefense(
+        graph, ixps, victim, VICTIM_NAME, VICTIM_PREFIX, top_n=top_n
+    )
+
+
+def drop_all_udp_rule():
+    return FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(
+            dst_prefix=VICTIM_PREFIX, src_ports=(53, 53), protocol=Protocol.UDP
+        ),
+        p_allow=0.0,
+        requested_by=VICTIM_NAME,
+    )
+
+
+def attack_wave(graph, victim, per_as=2, seed=5):
+    rng = deterministic_rng(f"wave:{seed}")
+    sources = dns_resolver_population(graph, total_resolvers=600, seed=seed)
+    wave = []
+    for asn in sources:
+        if asn == victim:
+            continue
+        for _ in range(per_as):
+            five_tuple = FiveTuple(
+                src_ip=(
+                    f"{rng.randrange(1, 223)}.{rng.randrange(256)}."
+                    f"{rng.randrange(256)}.{rng.randrange(1, 255)}"
+                ),
+                dst_ip="203.0.113.10",
+                src_port=53,
+                dst_port=rng.randrange(1024, 60000),
+                protocol=Protocol.UDP,
+            )
+            wave.append((asn, Packet(five_tuple=five_tuple, size=1024)))
+    return wave
+
+
+def test_contracts_one_per_selected_ixp(world):
+    defense = build_defense(world, top_n=1)
+    assert defense.num_contracts == 5  # one per region
+    defense2 = build_defense(world, top_n=2)
+    assert defense2.num_contracts == 10
+
+
+def test_unknown_victim_rejected(world):
+    graph, ixps, _ = world
+    with pytest.raises(ConfigurationError):
+        MultiIXPDefense(graph, ixps, 10**9, VICTIM_NAME, VICTIM_PREFIX)
+
+
+def test_interception_matches_path_membership(world):
+    graph, ixps, victim = world
+    defense = build_defense(world)
+    from repro.interdomain.ixp import transited_ixps, membership_index
+    from repro.interdomain.routing import as_path, route_tree
+
+    routes = route_tree(graph, victim)
+    index = membership_index(defense.selected)
+    selected_ids = {x.ixp_id for x in defense.selected}
+    checked = 0
+    for source in list(graph.nodes)[:80]:
+        if source == victim:
+            continue
+        point = defense.interception_point(source)
+        path = as_path(routes, source)
+        crossed = transited_ixps(path, index) & selected_ids if path else set()
+        if point is None:
+            assert not crossed
+        else:
+            assert point in crossed
+        checked += 1
+    assert checked > 0
+
+
+def test_intercepted_fraction_of_dropped_traffic(world):
+    """With a drop-everything rule, exactly the intercepted packets vanish
+    and exactly the unintercepted ones arrive."""
+    graph, ixps, victim = world
+    defense = build_defense(world)
+    defense.submit_rules([drop_all_udp_rule()])
+    wave = attack_wave(graph, victim)
+    report = defense.carry_attack(wave)
+    assert report.packets_sent == len(wave)
+    assert report.packets_filtered_at_ixps + report.packets_unintercepted == (
+        report.packets_sent
+    )
+    assert report.packets_delivered == report.packets_unintercepted
+    assert 0.0 < report.interception_ratio < 1.0
+    assert report.residual_ratio == pytest.approx(
+        1.0 - report.interception_ratio
+    )
+
+
+def test_more_ixps_never_reduce_interception(world):
+    graph, ixps, victim = world
+    wave = attack_wave(graph, victim)
+    ratios = []
+    for top_n in (1, 3):
+        defense = build_defense(world, top_n=top_n)
+        defense.submit_rules([drop_all_udp_rule()])
+        ratios.append(defense.carry_attack(wave).interception_ratio)
+    assert ratios[1] >= ratios[0] - 1e-12
+
+
+def test_audits_clean_after_honest_wave(world):
+    graph, ixps, victim = world
+    defense = build_defense(world)
+    defense.submit_rules([drop_all_udp_rule()])
+    defense.carry_attack(attack_wave(graph, victim))
+    audits = defense.audit_all()
+    assert len(audits) == defense.num_contracts
+    assert all(evidence.clean for evidence in audits.values())
+
+
+def test_per_ixp_accounting(world):
+    graph, ixps, victim = world
+    defense = build_defense(world)
+    defense.submit_rules([drop_all_udp_rule()])
+    report = defense.carry_attack(attack_wave(graph, victim))
+    assert sum(report.per_ixp_processed.values()) == (
+        report.packets_sent - report.packets_unintercepted
+    )
+    for ixp_id in report.per_ixp_processed:
+        assert ixp_id in defense.deployments
+
+
+def test_empty_wave(world):
+    defense = build_defense(world)
+    report = defense.carry_attack([])
+    assert report.packets_sent == 0
+    assert report.interception_ratio == 0.0
+    assert report.residual_ratio == 0.0
+
+
+def test_cheating_ixp_is_identified_and_replaced(world):
+    """One of the five contracted IXPs skims traffic around its filters;
+    the per-contract audits pin the blame on exactly that IXP, and the
+    victim re-contracts the region's next-largest exchange."""
+    from repro.adversary import BypassConfig, MaliciousFilteringNetwork
+
+    graph, ixps, victim = world
+    defense = build_defense(world, top_n=1)
+    defense.submit_rules([drop_all_udp_rule()])
+    wave = attack_wave(graph, victim)
+
+    # Pick a contracted IXP that actually sees traffic in this wave.
+    probe = defense.carry_attack(wave)
+    assert probe.per_ixp_processed, "wave never crosses a contracted IXP"
+    cheater_id = max(probe.per_ixp_processed, key=probe.per_ixp_processed.get)
+    cheater_region = next(
+        x.region for x in defense.selected if x.ixp_id == cheater_id
+    )
+    cheat = MaliciousFilteringNetwork(
+        defense.deployments[cheater_id].controller,
+        BypassConfig(skip_filter_fraction=0.5),
+    )
+    defense.delivery_overrides[cheater_id] = cheat.carry
+    defense.carry_attack(wave)
+
+    evidence, replacements = defense.audit_and_replace()
+    dirty = [ixp_id for ixp_id, ev in evidence.items() if not ev.clean]
+    assert dirty == [cheater_id]  # blame lands on exactly the cheater
+    assert cheater_id not in defense.sessions
+    # A same-region replacement was contracted with the rules installed.
+    assert len(replacements) == 1
+    new_id = replacements[0]
+    assert next(
+        x.region for x in defense.selected if x.ixp_id == new_id
+    ) == cheater_region
+    assert len(defense.sessions[new_id].installed_rules) == 1
+    assert defense.num_contracts == 5
+
+
+def test_replace_contract_validation(world):
+    defense = build_defense(world)
+    with pytest.raises(ConfigurationError):
+        defense.replace_contract("not-a-contract")
+
+
+def test_carry_attack_by_ip_consistent_addressing(world):
+    """With the synthetic addressing plan, packets' source IPs alone drive
+    interception — no side-channel ASN labels needed."""
+    from repro.interdomain.addressing import host_ip, materialize_sources
+    from repro.interdomain.attack_sources import dns_resolver_population
+
+    graph, ixps, victim = world
+    defense = build_defense(world)
+    defense.submit_rules([drop_all_udp_rule()])
+
+    population = dns_resolver_population(graph, total_resolvers=400, seed=6)
+    ips_by_as = materialize_sources(graph, population, max_per_as=2)
+    rng = deterministic_rng("ipwave")
+    packets = []
+    expected_pairs = []
+    for asn, addrs in ips_by_as.items():
+        if asn == victim:
+            continue
+        for addr in addrs:
+            packet = Packet(
+                five_tuple=FiveTuple(
+                    src_ip=addr, dst_ip="203.0.113.10", src_port=53,
+                    dst_port=rng.randrange(1024, 60000),
+                    protocol=Protocol.UDP,
+                ),
+                size=1024,
+            )
+            packets.append(packet)
+            expected_pairs.append((asn, packet))
+
+    by_ip = defense.carry_attack_by_ip(packets)
+    explicit = build_defense(world)
+    explicit.submit_rules([drop_all_udp_rule()])
+    by_label = explicit.carry_attack(expected_pairs)
+    assert by_ip.interception_ratio == pytest.approx(by_label.interception_ratio)
+    assert by_ip.packets_delivered == by_label.packets_delivered
+
+
+def test_carry_attack_by_ip_unmapped_sources_pass_through(world):
+    defense = build_defense(world)
+    defense.submit_rules([drop_all_udp_rule()])
+    alien = Packet(
+        five_tuple=FiveTuple(
+            src_ip="240.0.0.9", dst_ip="203.0.113.10", src_port=53,
+            dst_port=4444, protocol=Protocol.UDP,
+        ),
+        size=1024,
+    )
+    report = defense.carry_attack_by_ip([alien])
+    assert report.packets_unintercepted == 1
+    assert report.packets_delivered == 1

@@ -1,0 +1,120 @@
+"""Neighbor-AS verification sessions over authenticated channels."""
+
+import pytest
+
+from repro.adversary import BypassConfig, MaliciousFilteringNetwork
+from repro.core.controller import IXPController
+from repro.core.neighbor import NeighborSession
+from repro.core.rules import FilterRule, FlowPattern, RuleSet
+from repro.errors import SecureChannelError, SessionError
+from repro.tee.attestation import IASService
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+AS_A, AS_B = 64500, 64501
+
+
+def stand_up():
+    ias = IASService()
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    controller.install_single_filter(
+        RuleSet(
+            [FilterRule(rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+                        p_allow=1.0)]
+        )
+    )
+    return ias, controller
+
+
+def packets_from(asn, count=30):
+    return [
+        make_packet(src_ip=f"10.{asn % 250}.{i}.1", ingress_as=asn)
+        for i in range(count)
+    ]
+
+
+def test_attest_and_clean_audit():
+    ias, controller = stand_up()
+    neighbor = NeighborSession(AS_A, controller, ias)
+    assert neighbor.attest_filters() == 1
+    handed = packets_from(AS_A)
+    neighbor.observe_handoffs(handed)
+    controller.carry(handed)
+    evidence = neighbor.audit_round()
+    assert evidence.clean
+    assert neighbor.audit_log == [evidence]
+
+
+def test_detects_drop_before_filtering_against_itself_only():
+    ias, controller = stand_up()
+    neighbor_a = NeighborSession(AS_A, controller, ias)
+    neighbor_b = NeighborSession(AS_B, controller, ias)
+    neighbor_a.attest_filters()
+    neighbor_b.attest_filters()
+
+    network = MaliciousFilteringNetwork(
+        controller, BypassConfig(drop_before_filtering={AS_A: 0.5})
+    )
+    a_packets = packets_from(AS_A)
+    b_packets = packets_from(AS_B)
+    neighbor_a.observe_handoffs(a_packets)
+    neighbor_b.observe_handoffs(b_packets)
+    network.carry(a_packets + b_packets)
+
+    assert neighbor_a.audit_round().suspected_attacks == [
+        "drop-before-filtering"
+    ]
+    assert neighbor_b.audit_round().clean
+
+
+def test_incoming_log_requires_channel():
+    ias, controller = stand_up()
+    neighbor = NeighborSession(AS_A, controller, ias)
+    with pytest.raises(SessionError):
+        neighbor.fetch_incoming_log(0)
+    # And directly at the ECall: no channel for this ASN.
+    with pytest.raises(SecureChannelError, match="no channel"):
+        controller.enclaves[0].ecall(
+            "export_incoming_log_to_neighbor", AS_A, b"x" * 50
+        )
+
+
+def test_neighbors_cannot_query_the_outgoing_log():
+    ias, controller = stand_up()
+    neighbor = NeighborSession(AS_A, controller, ias)
+    neighbor.attest_filters()
+    channel = neighbor._channels[0]
+    with pytest.raises(SecureChannelError, match="only query the incoming"):
+        controller.enclaves[0].ecall(
+            "export_incoming_log_to_neighbor",
+            AS_A,
+            channel.seal(b"outgoing"),
+        )
+
+
+def test_neighbor_channels_are_isolated_per_asn():
+    """AS B cannot consume AS A's channel (sequence/keys differ)."""
+    ias, controller = stand_up()
+    neighbor_a = NeighborSession(AS_A, controller, ias)
+    neighbor_b = NeighborSession(AS_B, controller, ias)
+    neighbor_a.attest_filters()
+    neighbor_b.attest_filters()
+    request_from_a = neighbor_a._channels[0].seal(b"incoming")
+    with pytest.raises(SecureChannelError):
+        controller.enclaves[0].ecall(
+            "export_incoming_log_to_neighbor", AS_B, request_from_a
+        )
+
+
+def test_scale_out_requires_reattestation():
+    ias, controller = stand_up()
+    neighbor = NeighborSession(AS_A, controller, ias)
+    neighbor.attest_filters()
+    controller.launch_filters(1)
+    with pytest.raises(SessionError):
+        neighbor.audit_round()  # enclave 1 has no channel yet
+    assert neighbor.attest_filters() == 1
+    handed = packets_from(AS_A, count=5)
+    neighbor.observe_handoffs(handed)
+    controller.carry(handed)
+    assert neighbor.audit_round().clean

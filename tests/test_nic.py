@@ -1,0 +1,33 @@
+"""NIC port simulation."""
+
+from repro.dataplane.nic import NIC
+from tests.conftest import make_packet
+
+
+def test_receive_and_rx_burst():
+    nic = NIC("test")
+    packets = [make_packet(src_port=1000 + i) for i in range(5)]
+    assert nic.receive_from_wire(packets) == 5
+    burst = nic.rx_burst(3)
+    assert [p.five_tuple.src_port for p in burst] == [1000, 1001, 1002]
+    assert nic.stats.rx_packets == 5
+    assert nic.stats.rx_bytes == sum(p.size for p in packets)
+
+
+def test_rx_queue_overflow_counts_drops():
+    nic = NIC("tiny", rx_queue_size=2)
+    accepted = nic.receive_from_wire([make_packet() for _ in range(4)])
+    assert accepted == 2
+    assert nic.stats.rx_dropped == 2
+    assert nic.stats.rx_packets == 4  # counted on the wire side
+
+
+def test_tx_and_drain():
+    nic = NIC("test")
+    packets = [make_packet(src_port=2000 + i) for i in range(3)]
+    assert nic.tx(packets) == 3
+    out = nic.drain_to_wire()
+    assert len(out) == 3
+    assert nic.stats.tx_packets == 3
+    assert nic.stats.tx_bytes == sum(p.size for p in packets)
+    assert nic.drain_to_wire() == []

@@ -1,0 +1,102 @@
+"""Algorithm 1 (greedy rule distribution)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError
+from repro.optim.greedy import greedy_solve
+from repro.optim.problem import RuleDistributionProblem
+from repro.optim.validation import validate_allocation
+from repro.util.stats import lognormal_bandwidths
+from repro.util.units import GBPS, MB
+
+
+def test_small_instance_feasible():
+    p = RuleDistributionProblem(bandwidths=[3 * GBPS, 4 * GBPS, 5 * GBPS])
+    allocation = greedy_solve(p)
+    assert validate_allocation(allocation) == []
+
+
+def test_single_rule():
+    p = RuleDistributionProblem(bandwidths=[5 * GBPS])
+    allocation = greedy_solve(p)
+    assert validate_allocation(allocation) == []
+    assert allocation.rule_replicas(0)
+
+
+def test_rule_larger_than_one_enclave_is_split():
+    # 25 Gb/s on one rule cannot fit one 10 Gb/s enclave: must be split.
+    p = RuleDistributionProblem(bandwidths=[25 * GBPS], headroom=0.2)
+    allocation = greedy_solve(p)
+    assert validate_allocation(allocation) == []
+    assert len(allocation.rule_replicas(0)) >= 3
+
+
+def test_zero_bandwidth_rules_are_placed():
+    p = RuleDistributionProblem(bandwidths=[0.0, 0.0, 1 * GBPS])
+    allocation = greedy_solve(p)
+    assert validate_allocation(allocation) == []
+    for i in range(3):
+        assert allocation.rule_replicas(i), f"rule {i} not placed"
+
+
+def test_respects_rule_capacity():
+    p = RuleDistributionProblem(
+        bandwidths=[1000.0] * 30,
+        memory_budget=11 * MB,
+        bytes_per_rule=1 * MB,
+        base_bytes=1 * MB,  # capacity: 10 rules/enclave
+        headroom=0.2,
+    )
+    allocation = greedy_solve(p)
+    assert validate_allocation(allocation) == []
+    assert all(len(a) <= 10 for a in allocation.assignments)
+
+
+def test_lognormal_workload_100g():
+    bandwidths = lognormal_bandwidths(500, 100 * GBPS, seed=5)
+    p = RuleDistributionProblem(bandwidths=bandwidths)
+    allocation = greedy_solve(p)
+    assert validate_allocation(allocation) == []
+    # Bandwidth balance: the max enclave load is within 2x of the average.
+    loads = [allocation.bandwidth_on(j) for j in range(len(allocation.assignments))]
+    busy = [l for l in loads if l > 0]
+    assert max(busy) <= 2.0 * (sum(busy) / len(busy))
+
+
+def test_infeasible_single_rule_memory():
+    p = RuleDistributionProblem(
+        bandwidths=[1.0],
+        memory_budget=2 * MB,
+        bytes_per_rule=4 * MB,
+        base_bytes=1 * MB,
+    )
+    with pytest.raises(InfeasibleError):
+        greedy_solve(p)
+
+
+def test_deterministic():
+    bandwidths = lognormal_bandwidths(100, 20 * GBPS, seed=9)
+    p = RuleDistributionProblem(bandwidths=bandwidths)
+    a = greedy_solve(p)
+    b = greedy_solve(p)
+    assert a.assignments == b.assignments
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bandwidths=st.lists(
+        st.floats(min_value=0.0, max_value=15e9), min_size=1, max_size=40
+    ),
+    headroom=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_greedy_output_always_feasible(bandwidths, headroom):
+    """Property: on any instance, the greedy returns a valid allocation
+    (or proves infeasibility by raising)."""
+    p = RuleDistributionProblem(bandwidths=bandwidths, headroom=headroom)
+    try:
+        allocation = greedy_solve(p)
+    except InfeasibleError:
+        return
+    assert validate_allocation(allocation) == []

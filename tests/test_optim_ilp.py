@@ -1,0 +1,100 @@
+"""The branch & bound mixed-ILP solver (the CPLEX stand-in)."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.optim.greedy import greedy_solve
+from repro.optim.ilp import BranchAndBoundSolver
+from repro.optim.problem import RuleDistributionProblem
+from repro.optim.validation import validate_allocation
+from repro.util.stats import lognormal_bandwidths
+from repro.util.units import GBPS, MB
+
+
+def solver(**kw):
+    return BranchAndBoundSolver(node_limit=kw.pop("node_limit", 3000),
+                                time_limit_s=kw.pop("time_limit_s", 120), **kw)
+
+
+def test_small_instance_solves_to_optimality():
+    p = RuleDistributionProblem(
+        bandwidths=[3 * GBPS, 4 * GBPS, 5 * GBPS, 6 * GBPS], headroom=0.2
+    )
+    result = solver().solve(p)
+    assert result.optimal
+    assert validate_allocation(result.allocation) == []
+    assert result.objective == pytest.approx(result.allocation.objective())
+    assert result.nodes_explored >= 1
+    assert result.wall_time_s > 0
+
+
+def test_exact_never_worse_than_greedy():
+    for seed in (1, 2, 3):
+        bandwidths = lognormal_bandwidths(8, 15 * GBPS, seed=seed)
+        p = RuleDistributionProblem(bandwidths=bandwidths, headroom=0.3)
+        exact = solver().solve(p)
+        greedy = greedy_solve(p)
+        assert exact.objective <= greedy.objective() * (1 + 1e-6)
+
+
+def test_balanced_split_found():
+    # Two 5 Gb/s rules on two enclaves: the optimum balances them 5/5.
+    p = RuleDistributionProblem(
+        bandwidths=[5 * GBPS, 5 * GBPS], enclave_bandwidth=10 * GBPS, headroom=1.0
+    )
+    result = solver().solve(p)
+    loads = sorted(
+        result.allocation.bandwidth_on(j)
+        for j in range(len(result.allocation.assignments))
+        if result.allocation.assignments[j]
+    )
+    assert loads[-1] == pytest.approx(5 * GBPS, rel=0.05)
+
+
+def test_first_incumbent_mode_stops_early():
+    bandwidths = lognormal_bandwidths(12, 25 * GBPS, seed=4)
+    p = RuleDistributionProblem(bandwidths=bandwidths, headroom=0.2)
+    result = solver(stop_at_first_incumbent=True).solve(p)
+    assert validate_allocation(result.allocation) == []
+    # May or may not be optimal, but must be feasible and flagged not-proven.
+    assert not result.optimal
+
+
+def test_no_rounding_heuristic_still_solves():
+    p = RuleDistributionProblem(
+        bandwidths=[2 * GBPS, 3 * GBPS, 4 * GBPS], headroom=0.3
+    )
+    result = solver(use_rounding_heuristic=False,
+                    stop_at_first_incumbent=True).solve(p)
+    assert validate_allocation(result.allocation) == []
+
+
+def test_respects_memory_constraint():
+    p = RuleDistributionProblem(
+        bandwidths=[100.0] * 6,
+        memory_budget=4 * MB,
+        bytes_per_rule=1 * MB,
+        base_bytes=1 * MB,  # 3 rules per enclave max
+        headroom=0.5,
+    )
+    result = solver().solve(p)
+    assert validate_allocation(result.allocation) == []
+    assert all(len(a) <= 3 for a in result.allocation.assignments)
+
+
+def test_zero_bandwidth_rules_are_placed():
+    p = RuleDistributionProblem(bandwidths=[0.0, 1 * GBPS], headroom=0.2)
+    result = solver().solve(p)
+    assert validate_allocation(result.allocation) == []
+    assert result.allocation.rule_replicas(0)
+
+
+def test_infeasible_raises():
+    p = RuleDistributionProblem(
+        bandwidths=[1.0],
+        memory_budget=2 * MB,
+        bytes_per_rule=4 * MB,
+        base_bytes=1 * MB,
+    )
+    with pytest.raises(InfeasibleError):
+        solver().solve(p)

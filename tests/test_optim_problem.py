@@ -1,0 +1,87 @@
+"""Problem/Allocation types for the Appendix C optimization."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.optim.problem import Allocation, RuleDistributionProblem
+from repro.util.units import GBPS, MB
+
+
+def problem(bandwidths, **kw):
+    return RuleDistributionProblem(bandwidths=bandwidths, **kw)
+
+
+def test_min_enclaves_bandwidth_bound():
+    # 25 Gb/s over 10 Gb/s enclaves -> at least 3.
+    p = problem([12.5 * GBPS, 12.5 * GBPS])
+    assert p.min_enclaves == 3
+
+
+def test_min_enclaves_memory_bound():
+    p = problem(
+        [1.0] * 100,
+        memory_budget=10 * MB,
+        bytes_per_rule=1 * MB,
+        base_bytes=1 * MB,
+    )
+    # 100 rules / 9 per enclave -> 12.
+    assert p.min_enclaves == math.ceil(100 / 9)
+
+
+def test_headroom_inflates_enclaves():
+    p0 = problem([30 * GBPS], headroom=0.0)
+    p1 = problem([30 * GBPS], headroom=0.5)
+    assert p0.num_enclaves == 3
+    assert p1.num_enclaves == 5  # ceil(3 * 1.5)
+
+
+def test_rule_capacity_per_enclave():
+    p = problem([1.0], memory_budget=10 * MB, bytes_per_rule=1 * MB, base_bytes=1 * MB)
+    assert p.rule_capacity_per_enclave == 9
+
+
+def test_memory_cost_linear():
+    p = problem([1.0])
+    assert p.memory_cost(0) == p.base_bytes
+    assert p.memory_cost(10) == p.base_bytes + 10 * p.bytes_per_rule
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        problem([])
+    with pytest.raises(ConfigurationError):
+        problem([-1.0])
+    with pytest.raises(ConfigurationError):
+        problem([1.0], enclave_bandwidth=0)
+    with pytest.raises(ConfigurationError):
+        problem([1.0], headroom=-0.1)
+    with pytest.raises(ConfigurationError):
+        problem([1.0], memory_budget=1, base_bytes=2)
+
+
+def test_check_feasible():
+    problem([1 * GBPS]).check_feasible()
+    tight = problem([1.0], memory_budget=2 * MB, bytes_per_rule=4 * MB,
+                    base_bytes=1 * MB)
+    with pytest.raises(InfeasibleError):
+        tight.check_feasible()
+
+
+def test_allocation_accessors():
+    p = problem([4.0, 6.0], enclave_bandwidth=10.0, headroom=0.0)
+    alloc = Allocation(problem=p, assignments=[{0: 4.0, 1: 2.0}, {1: 4.0}])
+    assert alloc.rules_on(0) == [0, 1]
+    assert alloc.bandwidth_on(0) == pytest.approx(6.0)
+    assert alloc.bandwidth_on(1) == pytest.approx(4.0)
+    assert alloc.memory_on(0) == p.memory_cost(2)
+    assert alloc.rule_replicas(1) == [0, 1]
+    assert alloc.num_enclaves_used == 2
+
+
+def test_allocation_objective():
+    p = problem([4.0, 6.0], enclave_bandwidth=10.0, alpha=0.0, headroom=0.0)
+    alloc = Allocation(problem=p, assignments=[{0: 4.0}, {1: 6.0}])
+    assert alloc.objective() == pytest.approx(6.0)  # max I_j with alpha=0
+    assert Allocation(problem=p).objective() == 0.0

@@ -1,0 +1,76 @@
+"""Packets and five-tuples."""
+
+import pytest
+
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+
+
+def five_tuple(**kw) -> FiveTuple:
+    base = dict(
+        src_ip="10.0.0.1",
+        dst_ip="203.0.113.1",
+        src_port=1234,
+        dst_port=80,
+        protocol=Protocol.TCP,
+    )
+    base.update(kw)
+    return FiveTuple(**base)
+
+
+def test_five_tuple_validation():
+    with pytest.raises(ValueError):
+        five_tuple(src_ip="not-an-ip")
+    with pytest.raises(ValueError):
+        five_tuple(src_port=-1)
+    with pytest.raises(ValueError):
+        five_tuple(dst_port=70000)
+
+
+def test_five_tuple_key_is_canonical_and_distinct():
+    a = five_tuple()
+    b = five_tuple(src_port=1235)
+    assert a.key() == five_tuple().key()
+    assert a.key() != b.key()
+    assert a.src_ip_key() == b"10.0.0.1"
+
+
+def test_five_tuple_reversed():
+    ft = five_tuple()
+    rev = ft.reversed()
+    assert rev.src_ip == ft.dst_ip and rev.dst_port == ft.src_port
+    assert rev.reversed() == ft
+
+
+def test_five_tuple_is_hashable_and_ordered():
+    s = {five_tuple(), five_tuple(), five_tuple(src_port=9)}
+    assert len(s) == 2
+    assert sorted(s)  # order= on the dataclass
+
+
+def test_five_tuple_str():
+    assert "TCP 10.0.0.1:1234 -> 203.0.113.1:80" == str(five_tuple())
+
+
+def test_packet_size_bounds():
+    with pytest.raises(ValueError):
+        Packet(five_tuple=five_tuple(), size=63)
+    with pytest.raises(ValueError):
+        Packet(five_tuple=five_tuple(), size=10_000)
+    Packet(five_tuple=five_tuple(), size=64)
+    Packet(five_tuple=five_tuple(), size=9216)
+
+
+def test_packet_ids_unique_and_clone_gets_new_id():
+    a = Packet(five_tuple=five_tuple())
+    b = Packet(five_tuple=five_tuple())
+    assert a.packet_id != b.packet_id
+    c = a.clone()
+    assert c.packet_id != a.packet_id
+    assert c.five_tuple == a.five_tuple and c.size == a.size
+
+
+def test_packet_accessors():
+    p = Packet(five_tuple=five_tuple(), ingress_as=64500)
+    assert p.src_ip == "10.0.0.1"
+    assert p.dst_ip == "203.0.113.1"
+    assert p.ingress_as == 64500

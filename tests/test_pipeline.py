@@ -1,0 +1,57 @@
+"""The RX -> Filter -> TX pipeline."""
+
+import pytest
+
+from repro.dataplane.pipeline import FilterPipeline
+from tests.conftest import make_packet
+
+
+def test_allow_all_forwards_everything():
+    pipeline = FilterPipeline(lambda p: True)
+    packets = [make_packet(src_port=1000 + i) for i in range(100)]
+    out = pipeline.process(packets)
+    assert len(out) == 100
+    assert pipeline.stats.allowed == 100
+    assert pipeline.stats.dropped == 0
+
+
+def test_drop_all_forwards_nothing():
+    pipeline = FilterPipeline(lambda p: False)
+    out = pipeline.process([make_packet() for _ in range(10)])
+    assert out == []
+    assert pipeline.stats.dropped == 10
+    assert len(pipeline.drop_ring) == 10
+
+
+def test_selective_filter():
+    pipeline = FilterPipeline(lambda p: p.five_tuple.src_port % 2 == 0)
+    packets = [make_packet(src_port=1000 + i) for i in range(50)]
+    out = pipeline.process(packets)
+    assert len(out) == 25
+    assert all(p.five_tuple.src_port % 2 == 0 for p in out)
+
+
+def test_order_preserved():
+    pipeline = FilterPipeline(lambda p: True)
+    packets = [make_packet(src_port=2000 + i) for i in range(40)]
+    out = pipeline.process(packets)
+    assert [p.five_tuple.src_port for p in out] == [2000 + i for i in range(40)]
+
+
+def test_stats_processed():
+    pipeline = FilterPipeline(lambda p: p.five_tuple.src_port != 1000)
+    pipeline.process([make_packet(src_port=1000), make_packet(src_port=1001)])
+    assert pipeline.stats.processed == 2
+    assert pipeline.stats.received == 2
+
+
+def test_burst_size_validation():
+    with pytest.raises(ValueError):
+        FilterPipeline(lambda p: True, burst_size=0)
+
+
+def test_multiple_process_calls_accumulate():
+    pipeline = FilterPipeline(lambda p: True)
+    pipeline.process([make_packet()])
+    pipeline.process([make_packet()])
+    assert pipeline.stats.allowed == 2

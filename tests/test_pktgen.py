@@ -1,0 +1,75 @@
+"""Traffic generation."""
+
+import pytest
+
+from repro.dataplane.packet import Protocol
+from repro.dataplane.pktgen import FlowSpec_, PacketGenerator, TrafficProfile
+
+
+def test_uniform_flows_are_distinct():
+    gen = PacketGenerator(0)
+    flows = gen.uniform_flows(1000)
+    tuples = {f.five_tuple for f in flows}
+    assert len(tuples) == 1000
+    assert all(f.five_tuple.dst_port == 80 for f in flows)
+
+
+def test_uniform_flows_ingress_round_robin():
+    gen = PacketGenerator(0)
+    flows = gen.uniform_flows(6, ingress_ases=(1, 2, 3))
+    assert [f.ingress_as for f in flows] == [1, 2, 3, 1, 2, 3]
+
+
+def test_uniform_flows_validation():
+    with pytest.raises(ValueError):
+        PacketGenerator(0).uniform_flows(0)
+
+
+def test_flow_spec_make_packet():
+    gen = PacketGenerator(0)
+    flow = gen.uniform_flows(1, packet_size=512)[0]
+    packet = flow.make_packet()
+    assert packet.size == 512
+    assert packet.five_tuple == flow.five_tuple
+
+
+def test_traffic_profile_weighted_mix():
+    gen = PacketGenerator(7)
+    attack = gen.uniform_flows(10, dst_port=53, protocol=Protocol.UDP)
+    legit = gen.uniform_flows(10, dst_port=443)
+    profile = gen.mixed_profile(attack, legit, attack_fraction=0.9)
+    packets = list(profile.packets(2000))
+    udp = sum(1 for p in packets if p.five_tuple.protocol is Protocol.UDP)
+    assert 0.85 < udp / len(packets) < 0.95
+
+
+def test_traffic_profile_deterministic():
+    gen = PacketGenerator(7)
+    flows = gen.uniform_flows(5)
+    p1 = TrafficProfile(flows=list(flows), seed=3)
+    p2 = TrafficProfile(flows=list(flows), seed=3)
+    assert [p.five_tuple for p in p1.packets(50)] == [
+        p.five_tuple for p in p2.packets(50)
+    ]
+
+
+def test_profile_validation():
+    gen = PacketGenerator(0)
+    with pytest.raises(ValueError):
+        list(TrafficProfile().packets(5))
+    with pytest.raises(ValueError):
+        TrafficProfile().add_flow(
+            FlowSpec_(five_tuple=gen.uniform_flows(1)[0].five_tuple, weight=0)
+        )
+    with pytest.raises(ValueError):
+        gen.mixed_profile([], gen.uniform_flows(1), 0.5)
+    with pytest.raises(ValueError):
+        gen.mixed_profile(gen.uniform_flows(1), gen.uniform_flows(1), 1.5)
+
+
+def test_constant_stream():
+    gen = PacketGenerator(0)
+    flow = gen.uniform_flows(1)[0]
+    packets = gen.constant_stream(flow, 10)
+    assert len(packets) == 10
+    assert len({p.five_tuple for p in packets}) == 1

@@ -1,0 +1,103 @@
+"""Appendix B fault localization via BGP-poisoning reroutes."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.interdomain.poisoning import (
+    FaultLocalizationOutcome,
+    InboundRouteTester,
+    Verdict,
+)
+from repro.interdomain.topology import ASGraph, Tier
+
+
+def multipath_graph() -> ASGraph:
+    r"""Egress 1 reaches victim 6 via two disjoint transit chains.
+
+        1 -> 2 -> 4 -> 6      (primary: shorter via peer 2-4? no: p2c chain)
+        1 -> 3 -> 5 -> 6      (backup)
+    """
+    g = ASGraph()
+    for asn in (1, 2, 3, 4, 5):
+        g.add_as(asn, "E", Tier.TIER2 if asn > 1 else Tier.TIER1)
+    g.add_as(6, "E", Tier.STUB)
+    g.add_p2c(1, 2)
+    g.add_p2c(1, 3)
+    g.add_p2c(2, 4)
+    g.add_p2c(3, 5)
+    g.add_p2c(4, 6)
+    g.add_p2c(5, 6)
+    return g
+
+
+def test_no_loss_short_circuits():
+    g = multipath_graph()
+    tester = InboundRouteTester(g, victim=6, filtering_as=1)
+    outcome = tester.localize()
+    assert outcome.verdict is Verdict.NO_LOSS
+
+
+def test_intermediate_dropper_located():
+    g = multipath_graph()
+    baseline = InboundRouteTester(g, 6, 1).current_path()
+    dropper = baseline[1]  # first intermediate
+    tester = InboundRouteTester(g, 6, 1, droppers={dropper})
+    outcome = tester.localize()
+    assert outcome.verdict is Verdict.INTERMEDIATE_AS
+    assert dropper in outcome.suspect_ases
+    assert outcome.probes_sent > 0
+
+
+def test_filtering_network_blamed_when_all_reroutes_fail():
+    g = multipath_graph()
+    tester = InboundRouteTester(g, 6, 1, filtering_network_drops=True)
+    outcome = tester.localize()
+    # Every intermediate of the baseline is avoidable in this topology, and
+    # the loss persists everywhere -> blame the filtering network.
+    assert outcome.verdict is Verdict.FILTERING_NETWORK
+    assert outcome.suspect_ases == []
+
+
+def test_inconclusive_when_chokepoint_untestable():
+    # Remove the backup chain: AS on the single path cannot be avoided.
+    g = multipath_graph()
+    g2 = g.without_as(3)
+    g3 = g2.without_as(5)
+    tester = InboundRouteTester(g3, 6, 1, filtering_network_drops=True)
+    outcome = tester.localize()
+    assert outcome.verdict is Verdict.INCONCLUSIVE
+
+
+def test_direct_handoff_blames_filtering_network():
+    g = ASGraph()
+    g.add_as(1, "E", Tier.TIER2)
+    g.add_as(2, "E", Tier.STUB)
+    g.add_p2c(1, 2)
+    tester = InboundRouteTester(g, 2, 1, filtering_network_drops=True)
+    outcome = tester.localize()
+    assert outcome.verdict is Verdict.FILTERING_NETWORK
+
+
+def test_unreachable_victim_inconclusive():
+    g = multipath_graph()
+    g.add_as(99, "E", Tier.STUB)  # isolated
+    tester = InboundRouteTester(g, 99, 1)
+    assert tester.localize().verdict is Verdict.INCONCLUSIVE
+
+
+def test_validation():
+    g = multipath_graph()
+    with pytest.raises(RoutingError):
+        InboundRouteTester(g, victim=123, filtering_as=1)
+    with pytest.raises(RoutingError):
+        InboundRouteTester(g, victim=6, filtering_as=123)
+
+
+def test_probe_semantics():
+    g = multipath_graph()
+    tester = InboundRouteTester(g, 6, 1, droppers={4})
+    assert tester.probe((1, 2, 6)) is True  # dropper not on path
+    assert tester.probe((1, 4, 6)) is False
+    assert tester.probe(None) is False
+    # Droppers at the endpoints don't count (only strict intermediates).
+    assert tester.probe((4, 2, 6)) is True

@@ -1,0 +1,131 @@
+"""Cross-module property-based tests: invariants that must hold across the
+whole system, on randomized inputs."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import IXPController, LoadBalancer
+from repro.core.rules import FilterRule, FlowPattern, RuleSet
+from repro.dataplane.pktgen import PacketGenerator
+from repro.errors import InfeasibleError
+from repro.optim.greedy import greedy_solve
+from repro.optim.problem import RuleDistributionProblem
+from repro.tee.attestation import IASService
+from repro.util.stats import lognormal_bandwidths
+from repro.util.units import GBPS
+from tests.conftest import VICTIM_PREFIX, make_packet
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_rules=st.integers(min_value=1, max_value=12),
+    total_gbps=st.floats(min_value=0.5, max_value=60.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_allocation_to_routes_conserves_bandwidth(num_rules, total_gbps, seed):
+    """Greedy allocation -> LB route weights: each rule's replica weights
+    sum to its bandwidth b_i (nothing lost in the handoff)."""
+    bandwidths = lognormal_bandwidths(num_rules, total_gbps * GBPS, seed=seed)
+    problem = RuleDistributionProblem(bandwidths=bandwidths)
+    try:
+        allocation = greedy_solve(problem)
+    except InfeasibleError:
+        return
+    for i, b in enumerate(bandwidths):
+        total = sum(
+            share
+            for assignment in allocation.assignments
+            for rule, share in assignment.items()
+            if rule == i
+        )
+        assert math.isclose(total, b, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=5
+    ),
+    num_flows=st.integers(min_value=1, max_value=60),
+)
+def test_load_balancer_routes_every_matching_packet_exactly_once(
+    weights, num_flows
+):
+    """Whatever the replica weights, a matching packet goes to exactly one
+    valid enclave index, deterministically."""
+    rule = FilterRule(
+        rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX), p_allow=0.5
+    )
+    lb = LoadBalancer()
+    lb.configure(
+        RuleSet([rule]), {1: [(j, w) for j, w in enumerate(weights)]}
+    )
+    for i in range(num_flows):
+        packet = make_packet(src_port=1024 + i)
+        first = lb.route(packet)
+        assert first is not None and 0 <= first < len(weights)
+        assert lb.route(packet) == first
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_flows=st.integers(min_value=5, max_value=40),
+    p_allow=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_honest_deployment_always_passes_audit(num_flows, p_allow, seed):
+    """End-to-end soundness: for random rules and traffic, an honest
+    filtering network never trips the victim's audit."""
+    from repro.core.bypass import VictimAuditor, merge_enclave_logs
+
+    controller = IXPController(IASService())
+    controller.launch_filters(1)
+    rule = FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(dst_prefix=VICTIM_PREFIX),
+        p_allow=p_allow,
+    )
+    controller.install_single_filter(RuleSet([rule]))
+    generator = PacketGenerator(seed)
+    packets = [
+        flow.make_packet()
+        for flow in generator.uniform_flows(num_flows, dst_ip="203.0.113.9")
+    ]
+    delivered = controller.carry(packets)
+    auditor = VictimAuditor("v")
+    auditor.observe_many(delivered)
+    merged = merge_enclave_logs(controller.collect_outgoing_logs())
+    assert auditor.audit(merged).clean
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    drop_index=st.integers(min_value=0, max_value=1_000_000),
+    num_flows=st.integers(min_value=2, max_value=30),
+)
+def test_any_single_post_filter_drop_is_caught(drop_index, num_flows):
+    """Completeness: removing ANY single delivered packet flips the audit."""
+    from repro.core.bypass import VictimAuditor, merge_enclave_logs
+
+    controller = IXPController(IASService())
+    controller.launch_filters(1)
+    rule = FilterRule(
+        rule_id=1, pattern=FlowPattern(dst_prefix=VICTIM_PREFIX), p_allow=1.0
+    )
+    controller.install_single_filter(RuleSet([rule]))
+    generator = PacketGenerator(7)
+    packets = [
+        flow.make_packet()
+        for flow in generator.uniform_flows(num_flows, dst_ip="203.0.113.9")
+    ]
+    delivered = controller.carry(packets)
+    assert delivered
+    victim_sees = list(delivered)
+    del victim_sees[drop_index % len(victim_sees)]
+    auditor = VictimAuditor("v")
+    auditor.observe_many(victim_sees)
+    merged = merge_enclave_logs(controller.collect_outgoing_logs())
+    evidence = auditor.audit(merged)
+    assert evidence.suspected_attacks == ["drop-after-filtering"]

@@ -1,0 +1,55 @@
+"""DPDK-style rings."""
+
+import pytest
+
+from repro.dataplane.rings import Ring, RingOverflow
+from repro.errors import ConfigurationError
+
+
+def test_fifo_order():
+    ring = Ring("r", capacity=8)
+    for i in range(5):
+        assert ring.enqueue(i)
+    assert ring.dequeue_burst(3) == [0, 1, 2]
+    assert ring.dequeue_burst(10) == [3, 4]
+
+
+def test_overflow_counts_drops():
+    ring = Ring("r", capacity=2)
+    assert ring.enqueue(1) and ring.enqueue(2)
+    assert not ring.enqueue(3)
+    assert ring.dropped == 1
+    assert len(ring) == 2
+
+
+def test_enqueue_strict_raises():
+    ring = Ring("r", capacity=1)
+    ring.enqueue_strict("a")
+    with pytest.raises(RingOverflow):
+        ring.enqueue_strict("b")
+
+
+def test_bulk_enqueue_partial():
+    ring = Ring("r", capacity=3)
+    assert ring.enqueue_bulk(range(5)) == 3
+    assert ring.dropped == 2
+
+
+def test_counters():
+    ring = Ring("r", capacity=10)
+    ring.enqueue_bulk(range(4))
+    ring.dequeue_burst(2)
+    assert ring.enqueued == 4
+    assert ring.dequeued == 2
+    assert not ring.empty
+
+
+def test_burst_size_validation():
+    ring = Ring("r")
+    with pytest.raises(ValueError):
+        ring.dequeue_burst(0)
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        Ring("r", capacity=0)

@@ -1,0 +1,99 @@
+"""The filtering-round scheduler."""
+
+import pytest
+
+from repro.adversary import BypassConfig, MaliciousFilteringNetwork
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.rounds import RoundScheduler
+from repro.core.rules import FilterRule, FlowPattern
+from repro.core.session import SessionState
+from repro.errors import ConfigurationError
+from tests.conftest import VICTIM, VICTIM_PREFIX, make_packet
+
+
+def rules(n=4):
+    return [
+        FilterRule(
+            rule_id=i,
+            pattern=FlowPattern(src_prefix=f"10.{i}.0.0/16",
+                                dst_prefix=VICTIM_PREFIX),
+            p_allow=0.5,
+            requested_by=VICTIM,
+        )
+        for i in range(1, n + 1)
+    ]
+
+
+def traffic(round_number, flows_per_rule=10):
+    packets = []
+    for i in range(1, 5):
+        for j in range(flows_per_rule):
+            packets.append(
+                make_packet(src_ip=f"10.{i}.0.{j + 1}", src_port=7000 + j)
+            )
+    return packets
+
+
+@pytest.fixture
+def scheduler(session):
+    session.submit_rules(rules())
+    protocol = RuleDistributionProtocol(session.controller)
+    return RoundScheduler(session=session, protocol=protocol,
+                          round_duration_s=60.0)
+
+
+def test_honest_rounds_stay_active(scheduler):
+    outcomes = scheduler.run(traffic, max_rounds=3)
+    assert len(outcomes) == 3
+    assert all(o.audit.clean for o in outcomes)
+    assert scheduler.session.state is SessionState.ACTIVE
+    assert [o.round_number for o in outcomes] == [1, 2, 3]
+    assert outcomes[1].started_at_s == pytest.approx(60.0)
+
+
+def test_delivery_counts_recorded(scheduler):
+    outcome = scheduler.run_round(traffic(1))
+    assert outcome.packets_sent == 40
+    assert 0 < outcome.packets_delivered < 40  # ~50% connection survival
+
+
+def test_redistribution_triggered_under_pressure(session):
+    session.submit_rules(rules())
+    # A tiny synthetic bandwidth cap guarantees pressure after one round.
+    protocol = RuleDistributionProtocol(
+        session.controller, enclave_bandwidth=2000.0, bandwidth_threshold=0.1
+    )
+    scheduler = RoundScheduler(session=session, protocol=protocol,
+                               round_duration_s=1.0)
+    outcome = scheduler.run_round(traffic(1))
+    assert outcome.redistributed
+    assert outcome.enclaves_after > 1
+    assert outcome.audit.clean  # redistribution must not disturb the audit
+
+
+def test_abort_stops_the_loop(session):
+    session.submit_rules(rules())
+    protocol = RuleDistributionProtocol(session.controller)
+    cheat = MaliciousFilteringNetwork(
+        session.controller, BypassConfig(drop_after_filtering=0.5)
+    )
+    scheduler = RoundScheduler(
+        session=session, protocol=protocol, deliver=cheat.carry,
+        round_duration_s=30.0,
+    )
+    outcomes = scheduler.run(traffic, max_rounds=5)
+    assert len(outcomes) == 1  # aborted after the first audit
+    assert outcomes[0].aborted
+    assert session.state is SessionState.ABORTED
+    with pytest.raises(ConfigurationError):
+        scheduler.run_round(traffic(2))
+
+
+def test_validation(session):
+    session.submit_rules(rules())
+    protocol = RuleDistributionProtocol(session.controller)
+    with pytest.raises(ConfigurationError):
+        RoundScheduler(session=session, protocol=protocol, round_duration_s=0)
+    scheduler = RoundScheduler(session=session, protocol=protocol)
+    with pytest.raises(ConfigurationError):
+        scheduler.run(traffic, max_rounds=0)

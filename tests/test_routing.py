@@ -1,0 +1,147 @@
+"""Gao-Rexford policy routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.interdomain.routing import (
+    Route,
+    RouteKind,
+    as_path,
+    is_valley_free,
+    route_tree,
+)
+from repro.interdomain.synthetic import SyntheticInternetConfig, generate_internet
+from repro.interdomain.topology import ASGraph, Tier
+
+
+def diamond() -> ASGraph:
+    r"""1 and 2 are tier-1 peers; 3 buys from 1, 4 buys from 2; 3-4 peer.
+
+        1 ===peer=== 2
+        |            |
+        3 ===peer=== 4
+    """
+    g = ASGraph()
+    g.add_as(1, "E", Tier.TIER1)
+    g.add_as(2, "E", Tier.TIER1)
+    g.add_as(3, "E", Tier.TIER2)
+    g.add_as(4, "E", Tier.TIER2)
+    g.add_p2c(1, 3)
+    g.add_p2c(2, 4)
+    g.add_p2p(1, 2)
+    g.add_p2p(3, 4, ixp_id="ix")
+    return g
+
+
+def test_origin_route():
+    routes = route_tree(diamond(), 3)
+    assert routes[3].kind is RouteKind.ORIGIN
+    assert routes[3].length == 0
+
+
+def test_customer_route_preferred():
+    routes = route_tree(diamond(), 3)
+    # 1 hears from its customer 3.
+    assert routes[1].kind is RouteKind.CUSTOMER
+    assert routes[1].next_hop == 3
+
+
+def test_peer_route_single_hop():
+    routes = route_tree(diamond(), 3)
+    # 4 peers with 3 directly: a peer route, length 1 — preferred over the
+    # longer provider route via 2.
+    assert routes[4].kind is RouteKind.PEER
+    assert routes[4].next_hop == 3
+    assert routes[4].length == 1
+
+
+def test_provider_route_when_nothing_better():
+    g = diamond()
+    routes = route_tree(g, 4)
+    # 2->4 customer; 1 peers with 2 -> peer route; 3 gets it from provider 1.
+    assert routes[3].kind is RouteKind.PEER  # 3 peers with 4 directly
+    # Remove the 3-4 peering to force the provider path.
+    g2 = diamond()
+    g2.peers[3].discard(4)
+    g2.peers[4].discard(3)
+    routes2 = route_tree(g2, 4)
+    assert routes2[3].kind is RouteKind.PROVIDER
+    assert as_path(routes2, 3) == (3, 1, 2, 4)
+
+
+def test_as_path_reconstruction():
+    routes = route_tree(diamond(), 3)
+    assert as_path(routes, 4) == (4, 3)
+    assert as_path(routes, 2) == (2, 1, 3)
+    assert as_path(routes, 3) == (3,)
+    assert as_path(routes, 99) is None
+
+
+def test_unknown_destination_raises():
+    with pytest.raises(RoutingError):
+        route_tree(diamond(), 99)
+
+
+def test_no_valley_paths_exported():
+    """A route learned from a peer/provider is never exported to another
+    peer/provider: 4 must NOT reach 3's customers through 2-1 peer link
+    when an alternative doesn't exist."""
+    g = ASGraph()
+    g.add_as(1, "E", Tier.TIER1)
+    g.add_as(2, "E", Tier.TIER1)
+    g.add_as(3, "E", Tier.STUB)
+    g.add_p2p(1, 2)
+    g.add_p2c(1, 3)
+    # 2 reaches 3 via peer 1 (peer route over 1's customer route): valid.
+    routes = route_tree(g, 3)
+    assert routes[2].kind is RouteKind.PEER
+    # But a second peer (4) of 2 must not learn that route through 2.
+    g.add_as(4, "E", Tier.TIER1)
+    g.add_p2p(2, 4)
+    routes = route_tree(g, 3)
+    assert 4 not in routes  # no valley-free path exists
+
+
+def test_valley_free_checker():
+    g = diamond()
+    assert is_valley_free(g, (4, 3))
+    assert is_valley_free(g, (3, 1, 2, 4))
+    assert not is_valley_free(g, (1, 3, 4, 2))  # down then lateral = valley
+    assert not is_valley_free(g, (1, 4))  # not even an edge
+
+
+def test_route_preference_object():
+    a = Route(kind=RouteKind.CUSTOMER, length=5, next_hop=1)
+    b = Route(kind=RouteKind.PEER, length=1, next_hop=2)
+    assert a.preference() < b.preference()  # customer wins despite length
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5),
+       victim_index=st.integers(min_value=0, max_value=50))
+def test_all_paths_valley_free_on_synthetic_internet(seed, victim_index):
+    """Property: every computed path on a generated topology is valley-free."""
+    config = SyntheticInternetConfig(
+        tier1_per_region=1, tier2_per_region=4, stubs_per_region=12, seed=seed
+    )
+    graph, _ = generate_internet(config)
+    stubs = graph.ases_by_tier(Tier.STUB)
+    victim = stubs[victim_index % len(stubs)]
+    routes = route_tree(graph, victim)
+    for source in list(routes)[:40]:
+        path = as_path(routes, source)
+        assert path is not None
+        assert is_valley_free(graph, path), path
+
+
+def test_synthetic_internet_fully_routable():
+    graph, _ = generate_internet(
+        SyntheticInternetConfig(tier1_per_region=1, tier2_per_region=4,
+                                stubs_per_region=10, seed=3)
+    )
+    victim = graph.ases_by_tier(Tier.STUB)[0]
+    routes = route_tree(graph, victim)
+    # Every AS reaches the victim (stubs are always provider-connected).
+    assert len(routes) == len(graph)

@@ -1,0 +1,96 @@
+"""Fine-grained routing-policy behaviors: tie-breaking, preference order,
+and reconfiguration corner cases."""
+
+from repro.interdomain.routing import RouteKind, as_path, route_tree
+from repro.interdomain.topology import ASGraph, Tier
+
+
+def ladder() -> ASGraph:
+    r"""Victim 9 below two parallel providers with different AS numbers.
+
+        1          2      (tier-1 peers)
+        |          |
+        3          4      (both providers of 9)
+         \        /
+             9
+    """
+    g = ASGraph()
+    for asn, tier in ((1, Tier.TIER1), (2, Tier.TIER1),
+                      (3, Tier.TIER2), (4, Tier.TIER2)):
+        g.add_as(asn, "E", tier)
+    g.add_as(9, "E", Tier.STUB)
+    g.add_p2p(1, 2)
+    g.add_p2c(1, 3)
+    g.add_p2c(2, 4)
+    g.add_p2c(3, 9)
+    g.add_p2c(4, 9)
+    return g
+
+
+def test_equal_length_customer_routes_break_on_lower_asn():
+    routes = route_tree(ladder(), 9)
+    # 1 hears the route via its customer 3; 2 via 4 — both unique.  But a
+    # shared upper AS would have two equal choices; add one to check.
+    g = ladder()
+    g.add_as(5, "E", Tier.TIER1)
+    g.add_p2c(5, 3)
+    g.add_p2c(5, 4)
+    routes = route_tree(g, 9)
+    assert routes[5].kind is RouteKind.CUSTOMER
+    assert routes[5].next_hop == 3  # lower next-hop ASN wins the tie
+
+
+def test_shorter_customer_route_beats_longer():
+    g = ladder()
+    # Give 1 a direct customer edge to 9: the 2-hop route via 3 loses.
+    g.add_p2c(1, 9)
+    routes = route_tree(g, 9)
+    assert routes[1].next_hop == 9
+    assert routes[1].length == 1
+
+
+def test_peer_route_preferred_over_shorter_provider_route():
+    """Preference is strictly customer > peer > provider, regardless of
+    AS-path length (Gao-Rexford rule 1 beats rule 2)."""
+    g = ASGraph()
+    for asn, tier in ((1, Tier.TIER1), (2, Tier.TIER1), (3, Tier.TIER2)):
+        g.add_as(asn, "E", tier)
+    g.add_as(9, "E", Tier.STUB)
+    g.add_p2c(1, 9)     # 1 has the customer route
+    g.add_p2c(1, 3)
+    g.add_p2p(2, 1)     # 2 peers with 1 -> peer route, length 2
+    g.add_p2c(2, 3)     # 3 could go via provider 2... but it prefers:
+    routes = route_tree(g, 9)
+    # 3's options: provider 1 (length 2) or provider 2 (length 3 via peer).
+    assert routes[3].kind is RouteKind.PROVIDER
+    assert routes[3].next_hop == 1
+    # 2 itself holds a peer route even though a provider path may be longer.
+    assert routes[2].kind is RouteKind.PEER
+
+
+def test_route_tree_is_deterministic():
+    g = ladder()
+    first = route_tree(g, 9)
+    second = route_tree(g, 9)
+    assert {a: (r.kind, r.length, r.next_hop) for a, r in first.items()} == {
+        a: (r.kind, r.length, r.next_hop) for a, r in second.items()
+    }
+
+
+def test_paths_never_loop():
+    g = ladder()
+    routes = route_tree(g, 9)
+    for source in g.nodes:
+        path = as_path(routes, source)
+        assert path is not None
+        assert len(path) == len(set(path))  # no repeated AS
+
+
+def test_removing_an_as_reroutes_around_it():
+    g = ladder()
+    before = as_path(route_tree(g, 9), 1)
+    assert before == (1, 3, 9)
+    poisoned = g.without_as(3)
+    after = as_path(route_tree(poisoned, 9), 1)
+    assert after is not None and 3 not in after
+    assert after == (1, 2, 4, 9)

@@ -1,0 +1,79 @@
+"""Scale-out feasibility validation (the 500 Gb/s / 150 K rules claim)."""
+
+import pytest
+
+from repro.deploy.scaleout import ScaleOutPlanner
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return ScaleOutPlanner()
+
+
+def test_minimum_fleet_bandwidth_bound(planner):
+    assert planner.minimum_fleet(total_gbps=500, num_rules=100) == 50
+    assert planner.minimum_fleet(total_gbps=25, num_rules=100) == 3
+
+
+def test_minimum_fleet_rule_bound(planner):
+    # ~3,000 rules per enclave -> 150 K rules need ~49-50 enclaves even at
+    # negligible bandwidth.
+    minimum = planner.minimum_fleet(total_gbps=1, num_rules=150_000)
+    assert 45 <= minimum <= 55
+
+
+def test_undersized_fleet_rejected_with_reason(planner):
+    bw = planner.assess(10, total_gbps=500, num_rules=100, solve=False)
+    assert not bw.feasible and "bandwidth" in bw.reason
+    rules = planner.assess(10, total_gbps=10, num_rules=150_000, solve=False)
+    assert not rules.feasible and "rules" in rules.reason
+
+
+def test_paper_headline_fleet_is_feasible(planner):
+    """50 Gb/s + 15 K rules on 6 enclaves — the headline claim at 1/10
+    scale (full scale runs in the scale-out benchmark)."""
+    assessment = planner.assess(6, total_gbps=50, num_rules=15_000)
+    assert assessment.feasible
+    assert assessment.allocation is not None
+    assert len(assessment.allocation.assignments) <= 6
+    assert assessment.peak_bandwidth_utilization <= 1.0
+    assert assessment.peak_rule_utilization <= 1.0
+
+
+def test_extra_headroom_lowers_peak_load(planner):
+    tight = planner.assess(6, total_gbps=50, num_rules=2_000)
+    roomy = planner.assess(9, total_gbps=50, num_rules=2_000)
+    assert tight.feasible and roomy.feasible
+    assert roomy.peak_bandwidth_utilization <= tight.peak_bandwidth_utilization + 1e-9
+
+
+def test_sweep_marks_feasibility_boundary(planner):
+    sweep = planner.sweep([2, 4, 6, 8], total_gbps=50, num_rules=2_000)
+    feasibility = [a.feasible for a in sweep]
+    assert feasibility == [False, False, True, True]
+    # Feasible entries carry utilization; infeasible carry a reason.
+    assert sweep[0].reason and sweep[2].peak_bandwidth_utilization > 0
+
+
+def test_bounds_only_mode_skips_solving(planner):
+    assessment = planner.assess(6, total_gbps=50, num_rules=2_000, solve=False)
+    assert assessment.feasible
+    assert assessment.allocation is None
+
+
+def test_validation(planner):
+    with pytest.raises(ConfigurationError):
+        planner.assess(0, total_gbps=10, num_rules=10)
+    with pytest.raises(ConfigurationError):
+        planner.minimum_fleet(0, 10)
+    with pytest.raises(ConfigurationError):
+        ScaleOutPlanner(enclave_bandwidth=0)
+
+
+def test_assessment_row_rendering(planner):
+    feasible = planner.assess(6, total_gbps=50, num_rules=2_000)
+    row = feasible.as_row()
+    assert row[0] == 6 and row[1] == "yes"
+    infeasible = planner.assess(1, total_gbps=50, num_rules=2_000, solve=False)
+    assert infeasible.as_row()[1] == "no"

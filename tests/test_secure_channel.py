@@ -1,0 +1,113 @@
+"""The victim<->enclave secure channel: a hostile host cannot tamper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SecureChannelError
+from repro.tee.secure_channel import (
+    ChannelEndpoint,
+    SecureChannel,
+    establish_pair,
+)
+
+
+def test_roundtrip():
+    client, server, _, _ = establish_pair("c", "s")
+    record = client.seal(b"install rule 1")
+    assert server.open(record) == b"install rule 1"
+    reply = server.seal(b"ack")
+    assert client.open(reply) == b"ack"
+
+
+def test_both_sides_derive_same_key():
+    a = ChannelEndpoint.create("a", "seed-1")
+    b = ChannelEndpoint.create("b", "seed-2")
+    assert a.shared_key(b.public) == b.shared_key(a.public)
+
+
+def test_different_sessions_have_different_keys():
+    a1 = ChannelEndpoint.create("a", "s1")
+    b1 = ChannelEndpoint.create("b", "s1b")
+    a2 = ChannelEndpoint.create("a", "s2")
+    assert a1.shared_key(b1.public) != a2.shared_key(b1.public)
+
+
+def test_ciphertext_hides_plaintext():
+    client, _, _, _ = establish_pair("c", "s")
+    record = client.seal(b"SECRET-RULE-PAYLOAD")
+    assert b"SECRET-RULE-PAYLOAD" not in record
+
+
+def test_tampered_record_rejected():
+    client, server, _, _ = establish_pair("c", "s")
+    record = bytearray(client.seal(b"hello"))
+    record[14] ^= 0xFF  # flip a ciphertext bit
+    with pytest.raises(SecureChannelError, match="authentication"):
+        server.open(bytes(record))
+
+
+def test_truncated_record_rejected():
+    client, server, _, _ = establish_pair("c", "s")
+    record = client.seal(b"hello")
+    with pytest.raises(SecureChannelError):
+        server.open(record[: len(record) // 2])
+    with pytest.raises(SecureChannelError):
+        server.open(b"")
+
+
+def test_replay_rejected():
+    client, server, _, _ = establish_pair("c", "s")
+    record = client.seal(b"one")
+    assert server.open(record) == b"one"
+    with pytest.raises(SecureChannelError, match="replayed"):
+        server.open(record)
+
+
+def test_reorder_rejected():
+    client, server, _, _ = establish_pair("c", "s")
+    first = client.seal(b"one")
+    second = client.seal(b"two")
+    with pytest.raises(SecureChannelError, match="replayed or reordered"):
+        server.open(second)
+    assert server.open(first) == b"one"
+
+
+def test_reflected_record_rejected():
+    """A record sealed by the client cannot be passed back to the client."""
+    client, _, _, _ = establish_pair("c", "s")
+    record = client.seal(b"x")
+    with pytest.raises(SecureChannelError):
+        client.open(record)
+
+
+def test_bad_peer_public_rejected():
+    endpoint = ChannelEndpoint.create("a", "seed")
+    with pytest.raises(SecureChannelError):
+        endpoint.shared_key(0)
+    with pytest.raises(SecureChannelError):
+        endpoint.shared_key(1)
+
+
+def test_channel_construction_validation():
+    with pytest.raises(SecureChannelError):
+        SecureChannel(b"short-key", "client")
+    with pytest.raises(SecureChannelError):
+        SecureChannel(b"k" * 32, "observer")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=4096))
+def test_roundtrip_arbitrary_payloads(payload):
+    client, server, _, _ = establish_pair("c", "s")
+    assert server.open(client.seal(payload)) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=256), st.integers(min_value=0, max_value=2000))
+def test_any_single_bitflip_detected(payload, position):
+    client, server, _, _ = establish_pair("c", "s")
+    record = bytearray(client.seal(payload))
+    record[position % len(record)] ^= 0x01
+    with pytest.raises(SecureChannelError):
+        server.open(bytes(record))

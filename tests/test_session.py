@@ -1,0 +1,163 @@
+"""The end-to-end VIF session state machine."""
+
+import pytest
+
+from repro.core.distribution import RuleDistributionProtocol
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.controller import IXPController
+from repro.core.rules import FilterRule, FlowPattern
+from repro.core.session import SessionState, VIFSession
+from repro.errors import (
+    AttestationError,
+    RuleValidationError,
+    SessionAborted,
+    SessionError,
+)
+from repro.tee.attestation import IASService
+from tests.conftest import VICTIM, VICTIM_PREFIX, make_packet
+
+
+def half_rule(rule_id=1):
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=VICTIM_PREFIX, dst_ports=(80, 80)),
+        p_allow=0.5,
+        requested_by=VICTIM,
+    )
+
+
+def test_lifecycle_happy_path(session, controller):
+    assert session.state is SessionState.ATTESTED
+    session.submit_rules([half_rule()])
+    assert session.state is SessionState.ACTIVE
+    packets = [make_packet(src_port=1024 + i) for i in range(100)]
+    delivered = controller.carry(packets)
+    session.observe_delivered(delivered)
+    evidence = session.audit_round()
+    assert evidence.clean
+    session.close()
+    assert session.state is SessionState.CLOSED
+
+
+def test_submit_before_attest_rejected(rpki, ias):
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    with pytest.raises(SessionError):
+        session.submit_rules([half_rule()])
+
+
+def test_rpki_violation_rejected(session):
+    foreign = FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(dst_prefix="198.51.100.0/24"),
+        p_allow=0.5,
+        requested_by=VICTIM,
+    )
+    with pytest.raises(RuleValidationError):
+        session.submit_rules([foreign])
+    assert session.state is SessionState.ATTESTED  # nothing installed
+
+
+def test_attestation_failure_blocks_session(rpki, ias):
+    class EvilFilter(EnclaveFilter):
+        VERSION = "evil"
+
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    # Swap in an enclave running the wrong code.
+    platform = controller.enclaves[0].platform
+    evil = platform.launch(EvilFilter(secret="x"))
+    controller.enclaves[0] = evil
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    with pytest.raises(AttestationError):
+        session.attest_filters()
+    assert session.state is SessionState.CREATED
+
+
+def test_audit_detects_out_of_band_delivery(session, controller):
+    session.submit_rules([half_rule()])
+    packets = [make_packet(src_port=1024 + i) for i in range(50)]
+    delivered = controller.carry(packets)
+    session.observe_delivered(delivered)
+    # The filtering network slips extra packets past the filter:
+    session.observe_delivered([make_packet(src_port=9999)])
+    evidence = session.audit_round()
+    assert not evidence.clean
+    assert session.state is SessionState.ABORTED
+
+
+def test_aborted_session_rejects_everything(session, controller):
+    session.submit_rules([half_rule()])
+    session.observe_delivered([make_packet()])  # never forwarded by filter
+    session.audit_round()
+    assert session.state is SessionState.ABORTED
+    with pytest.raises(SessionAborted):
+        session.submit_rules([half_rule(2)])
+    with pytest.raises(SessionAborted):
+        session.audit_round()
+    with pytest.raises(SessionAborted):
+        session.close()
+
+
+def test_audit_without_abort_option(session, controller):
+    session.submit_rules([half_rule()])
+    session.observe_delivered([make_packet()])
+    evidence = session.audit_round(abort_on_evidence=False)
+    assert not evidence.clean
+    assert session.state is SessionState.ACTIVE
+
+
+def test_manual_abort(session):
+    session.abort()
+    assert session.state is SessionState.ABORTED
+
+
+def test_audit_uses_sealed_channel(session, controller):
+    session.submit_rules([half_rule()])
+    sketch = session.fetch_outgoing_log(0)
+    assert sketch.total == 0  # nothing carried yet
+    delivered = controller.carry([make_packet(src_port=1024 + i) for i in range(40)])
+    sketch = session.fetch_outgoing_log(0)
+    assert sketch.total == len(delivered)
+
+
+def test_scale_out_attests_new_enclaves(rpki, ias):
+    controller = IXPController(ias)
+    controller.launch_filters(1)
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    session.attest_filters()
+    rules = [
+        FilterRule(
+            rule_id=i,
+            pattern=FlowPattern(src_prefix=f"10.{i}.0.0/16",
+                                dst_prefix=VICTIM_PREFIX),
+            p_allow=1.0,
+            requested_by=VICTIM,
+        )
+        for i in range(1, 9)
+    ]
+    session.submit_rules(rules)
+    for i in range(1, 9):
+        controller.carry([make_packet(src_ip=f"10.{i}.0.1", size=1500)])
+    protocol = RuleDistributionProtocol(controller, enclave_bandwidth=20_000.0)
+    session.scale_out(protocol, window_s=1.0)
+    assert len(controller.enclaves) > 1
+    assert len(session.attestation_reports) == len(controller.enclaves)
+    # Audits keep working across the whole fleet.
+    delivered = controller.carry(
+        [make_packet(src_ip=f"10.{i}.0.1", src_port=2000 + i) for i in range(1, 9)]
+    )
+    session.observe_delivered(delivered)
+    # Include the pre-scale-out traffic the victim also received.
+    session.observe_delivered(
+        [make_packet(src_ip=f"10.{i}.0.1", size=1500) for i in range(1, 9)]
+    )
+    assert session.audit_round().clean
+
+
+def test_installed_rules_tracked(session):
+    session.submit_rules([half_rule()])
+    assert len(session.installed_rules) == 1
+    session.submit_rules([half_rule(5)])
+    assert {r.rule_id for r in session.installed_rules} == {1, 5}

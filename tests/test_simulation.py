@@ -1,0 +1,111 @@
+"""The Fig 11 coverage simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interdomain.attack_sources import dns_resolver_population
+from repro.interdomain.ixp import IXP
+from repro.interdomain.simulation import (
+    choose_victims,
+    coverage_rows,
+    ixp_coverage,
+)
+from repro.interdomain.synthetic import SyntheticInternetConfig, generate_internet
+
+SMALL = SyntheticInternetConfig(
+    tier1_per_region=1, tier2_per_region=6, stubs_per_region=40, seed=6
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, ixps = generate_internet(SMALL)
+    victims = choose_victims(graph, 20)
+    sources = dns_resolver_population(graph, total_resolvers=3000)
+    return graph, ixps, victims, sources
+
+
+def test_coverage_monotone_in_top_n(world):
+    graph, ixps, victims, sources = world
+    result = ixp_coverage(graph, ixps, victims, sources)
+    medians = [result.median(level) for level in (1, 2, 3, 4, 5)]
+    for lo, hi in zip(medians, medians[1:]):
+        assert hi >= lo - 1e-12
+
+
+def test_coverage_ratios_are_probabilities(world):
+    graph, ixps, victims, sources = world
+    result = ixp_coverage(graph, ixps, victims, sources)
+    for ratios in result.ratios_by_level.values():
+        assert len(ratios) == len(victims)
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+
+def test_no_ixps_means_no_coverage(world):
+    graph, _, victims, sources = world
+    empty_ixps = [
+        IXP(ixp_id=f"e{i}", name="E", region=r, members=set())
+        for i, r in enumerate(
+            ("Europe", "North America", "South America", "Asia Pacific", "Africa")
+        )
+    ]
+    result = ixp_coverage(graph, empty_ixps, victims, sources, top_levels=(1,))
+    assert all(r == 0.0 for r in result.ratios_by_level[1])
+
+
+def test_universal_ixp_means_full_coverage(world):
+    graph, _, victims, sources = world
+    god_ixp = [
+        IXP(ixp_id="all", name="ALL", region="Europe", members=set(graph.ases()))
+    ]
+    result = ixp_coverage(graph, god_ixp, victims, sources, top_levels=(1,))
+    # Every multi-hop path is covered; only sources adjacent to... no:
+    # every hop is member-member, so any source with a path of >= 1 hop
+    # counts.  Sources == victims are excluded, so ratio is 1.0.
+    assert all(r == pytest.approx(1.0) for r in result.ratios_by_level[1])
+
+
+def test_coverage_rows_format(world):
+    graph, ixps, victims, sources = world
+    result = ixp_coverage(graph, ixps, victims, sources)
+    rows = coverage_rows(result)
+    assert len(rows) == 5
+    assert rows[0][0] == "Top-1 IXPs"
+    for row in rows:
+        p5, p25, median, p75, p95 = row[1:]
+        assert p5 <= p25 <= median <= p75 <= p95
+
+
+def test_choose_victims_are_stubs_and_deterministic(world):
+    graph, _, _, _ = world
+    victims = choose_victims(graph, 10, seed=5)
+    assert victims == choose_victims(graph, 10, seed=5)
+    from repro.interdomain.topology import Tier
+
+    for victim in victims:
+        assert graph.nodes[victim].tier is Tier.STUB
+    with pytest.raises(ConfigurationError):
+        choose_victims(graph, 10**6)
+
+
+def test_validation(world):
+    graph, ixps, victims, sources = world
+    with pytest.raises(ConfigurationError):
+        ixp_coverage(graph, ixps, [], sources)
+    with pytest.raises(ConfigurationError):
+        ixp_coverage(graph, ixps, victims, {})
+
+
+def test_paper_band_reproduction():
+    """The headline claim at the default calibration: Top-1 median ~0.6,
+    Top-5 median >=0.7, upper quartile 0.8-0.95+ (paper VI-C)."""
+    graph, ixps = generate_internet()  # full default topology
+    victims = choose_victims(graph, 40)
+    sources = dns_resolver_population(graph)
+    result = ixp_coverage(graph, ixps, victims, sources)
+    top1 = result.summary(1)
+    top5 = result.summary(5)
+    assert 0.4 < top1.median < 0.8
+    assert top5.median >= top1.median
+    assert top5.median > 0.6
+    assert top5.p75 > 0.75

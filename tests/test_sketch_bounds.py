@@ -1,0 +1,63 @@
+"""Count-min (ε, δ) bound utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.bounds import ErrorBound, dimensions_for, paper_bound
+from repro.sketch.countmin import CountMinSketch
+
+
+def test_paper_configuration_guarantees():
+    bound = paper_bound()
+    assert bound.width == 64 * 1024 and bound.depth == 2
+    # epsilon = e / 65536 ~ 4.1e-5: over a 1 M-packet round, estimates
+    # exceed truth by at most ~41 packets w.h.p.
+    assert bound.max_overcount(1_000_000) == pytest.approx(41.5, rel=0.05)
+    assert bound.delta == pytest.approx(math.exp(-2))
+    assert bound.memory_bytes() == 64 * 1024 * 2 * 8
+
+
+def test_dimensions_for_targets():
+    bound = dimensions_for(epsilon=0.001, delta=0.01)
+    assert bound.epsilon <= 0.001
+    assert bound.delta <= 0.01
+    assert bound.width == math.ceil(math.e / 0.001)
+    assert bound.depth == math.ceil(math.log(100))
+
+
+def test_dimensions_validation():
+    for eps, delta in ((0.0, 0.1), (1.5, 0.1), (0.1, 0.0), (0.1, 1.0)):
+        with pytest.raises(ValueError):
+            dimensions_for(eps, delta)
+    with pytest.raises(ValueError):
+        paper_bound().max_overcount(-1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    total=st.integers(min_value=50, max_value=400),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_bound_holds_empirically(total, seed):
+    """On random streams, the ε·N overcount bound holds for (nearly) all
+    keys — sampled at a deliberately narrow width to make errors likely."""
+    import random
+
+    rng = random.Random(seed)
+    bound = ErrorBound(width=64, depth=4)
+    sketch = CountMinSketch(depth=bound.depth, width=bound.width, family_seed="b")
+    truth = {}
+    for _ in range(total):
+        key = f"k{rng.randrange(100)}".encode()
+        truth[key] = truth.get(key, 0) + 1
+        sketch.update(key)
+    limit = bound.max_overcount(total)
+    violations = sum(
+        1 for key, count in truth.items()
+        if sketch.estimate(key) - count > limit
+    )
+    # delta = e^-4 ~ 1.8% per key; allow a generous empirical margin.
+    assert violations <= max(2, 0.1 * len(truth))

@@ -1,0 +1,117 @@
+"""Sketch discrepancy detection — the bypass-audit primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.comparison import compare_sketches
+from repro.sketch.countmin import CountMinSketch
+
+
+def pair(width=256):
+    return (
+        CountMinSketch(2, width, "cmp"),
+        CountMinSketch(2, width, "cmp"),
+    )
+
+
+def test_identical_sketches_clean():
+    a, b = pair()
+    for i in range(20):
+        a.update(f"k{i}".encode())
+        b.update(f"k{i}".encode())
+    result = compare_sketches(a, b)
+    assert result.clean
+    assert not result.drop_suspected and not result.injection_suspected
+
+
+def test_missing_at_observer_flags_drop():
+    enclave, observer = pair()
+    enclave.update(b"flow", 10)
+    observer.update(b"flow", 6)  # 4 packets never arrived
+    result = compare_sketches(enclave, observer)
+    assert result.drop_suspected
+    assert not result.injection_suspected
+    # Per-row sums each see the 4 lost packets; the report takes the max.
+    assert result.total_missing == 4
+
+
+def test_extra_at_observer_flags_injection():
+    enclave, observer = pair()
+    observer.update(b"ghost", 3)  # enclave never logged these
+    result = compare_sketches(enclave, observer)
+    assert result.injection_suspected
+    assert not result.drop_suspected
+
+
+def test_tolerance_absorbs_benign_loss():
+    enclave, observer = pair()
+    enclave.update(b"flow", 100)
+    observer.update(b"flow", 99)  # one benign loss
+    assert not compare_sketches(enclave, observer, tolerance=1).discrepancies
+    assert compare_sketches(enclave, observer, tolerance=0).drop_suspected
+
+
+def test_tolerance_validation():
+    a, b = pair()
+    with pytest.raises(ValueError):
+        compare_sketches(a, b, tolerance=-1)
+
+
+def test_family_mismatch_rejected():
+    a = CountMinSketch(2, 256, "one")
+    b = CountMinSketch(2, 256, "two")
+    with pytest.raises(ValueError):
+        compare_sketches(a, b)
+
+
+def test_discrepancy_fields():
+    enclave, observer = pair(width=64)
+    enclave.update(b"x", 5)
+    result = compare_sketches(enclave, observer)
+    for disc in result.discrepancies:
+        assert disc.enclave_count == 5
+        assert disc.observer_count == 0
+        assert disc.missing_at_observer == 5
+        assert disc.extra_at_observer == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=20),
+        max_size=20,
+    )
+)
+def test_no_false_positives_on_identical_streams(stream):
+    """An honest network never trips the audit, whatever the traffic."""
+    enclave, observer = pair(width=128)
+    for key, count in stream.items():
+        enclave.update(key, count)
+        observer.update(key, count)
+    assert compare_sketches(enclave, observer).clean
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=20),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+def test_any_dropped_packet_is_detected(stream, dropped):
+    """Soundness: dropping packets of any flow always shows as missing."""
+    enclave, observer = pair(width=128)
+    victim_key = sorted(stream)[0]
+    for key, count in stream.items():
+        enclave.update(key, count)
+        seen = count - dropped if key == victim_key else count
+        if seen > 0:
+            observer.update(key, seen)
+    result = compare_sketches(enclave, observer)
+    assert result.drop_suspected
+    assert result.total_missing >= min(dropped, stream[victim_key])

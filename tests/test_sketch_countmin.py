@@ -1,0 +1,143 @@
+"""Count-min sketch: CM guarantees, merge, serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.countmin import CountMinSketch, PAPER_DEPTH, PAPER_WIDTH
+
+
+def small_sketch(width=256, seed="t") -> CountMinSketch:
+    return CountMinSketch(depth=2, width=width, family_seed=seed)
+
+
+def test_paper_configuration_memory():
+    sketch = CountMinSketch()
+    assert sketch.depth == PAPER_DEPTH == 2
+    assert sketch.width == PAPER_WIDTH == 64 * 1024
+    # "Each counter has 64 bits and takes only around 1 MB EPC memory".
+    assert sketch.memory_bytes() == 2 * 64 * 1024 * 8
+    assert sketch.memory_bytes() <= 1.1 * 1024 * 1024
+
+
+def test_update_and_estimate():
+    sketch = small_sketch()
+    sketch.update(b"flow-a", 3)
+    sketch.update(b"flow-a")
+    assert sketch.estimate(b"flow-a") >= 4
+    assert sketch.total == 4
+
+
+def test_estimate_unseen_key_can_be_zero():
+    sketch = small_sketch(width=4096)
+    sketch.update(b"x")
+    assert sketch.estimate(b"never-seen") in (0, 1)  # collisions possible
+
+
+def test_update_rejects_nonpositive():
+    sketch = small_sketch()
+    with pytest.raises(ValueError):
+        sketch.update(b"x", 0)
+    with pytest.raises(ValueError):
+        sketch.update(b"x", -1)
+
+
+def test_clear_resets():
+    sketch = small_sketch()
+    sketch.update(b"x", 10)
+    sketch.clear()
+    assert sketch.total == 0
+    assert sketch.estimate(b"x") == 0
+
+
+def test_merge_adds_counts():
+    a = small_sketch()
+    b = small_sketch()
+    a.update(b"k", 2)
+    b.update(b"k", 5)
+    a.merge(b)
+    assert a.estimate(b"k") >= 7
+    assert a.total == 7
+
+
+def test_merge_requires_same_family():
+    a = small_sketch(seed="one")
+    b = small_sketch(seed="two")
+    with pytest.raises(ValueError):
+        a.merge(b)
+    c = CountMinSketch(depth=2, width=512, family_seed="one")
+    with pytest.raises(ValueError):
+        a.merge(c)
+
+
+def test_copy_is_independent():
+    a = small_sketch()
+    a.update(b"k")
+    b = a.copy()
+    b.update(b"k", 10)
+    assert a.estimate(b"k") < b.estimate(b"k")
+
+
+def test_serialize_roundtrip():
+    a = small_sketch()
+    for i in range(50):
+        a.update(f"key-{i}".encode(), i + 1)
+    b = CountMinSketch.deserialize(a.serialize())
+    assert b.depth == a.depth and b.width == a.width
+    assert b.bins() == a.bins()
+    for i in range(50):
+        assert b.estimate(f"key-{i}".encode()) == a.estimate(f"key-{i}".encode())
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(ValueError):
+        CountMinSketch.deserialize(b"short")
+    blob = small_sketch().serialize()
+    with pytest.raises(ValueError):
+        CountMinSketch.deserialize(blob[:-8])
+
+
+def test_nonzero_bins_sparse_view():
+    sketch = small_sketch()
+    sketch.update(b"only-key", 4)
+    sparse = sketch.nonzero_bins()
+    assert sum(sparse.values()) == 4 * sketch.depth
+    assert all(count == 4 for count in sparse.values())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=50),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_never_underestimates(truth):
+    """The defining count-min property: estimate >= true count, always."""
+    sketch = small_sketch(width=64)  # narrow: force collisions
+    for key, count in truth.items():
+        sketch.update(key, count)
+    for key, count in truth.items():
+        assert sketch.estimate(key) >= count
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=40),
+    st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=40),
+)
+def test_merge_equals_union_stream(stream_a, stream_b):
+    """Merging sketches == sketching the concatenated stream."""
+    a = small_sketch(width=128)
+    b = small_sketch(width=128)
+    union = small_sketch(width=128)
+    for key in stream_a:
+        a.update(key)
+        union.update(key)
+    for key in stream_b:
+        b.update(key)
+        union.update(key)
+    a.merge(b)
+    assert a.bins() == union.bins()

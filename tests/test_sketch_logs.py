@@ -1,0 +1,54 @@
+"""Enclave packet logs (per-srcIP incoming, per-5-tuple outgoing)."""
+
+from repro.sketch.logs import FiveTupleLog, PacketLogPair, SourceIPLog
+from tests.conftest import make_packet
+
+
+def test_source_ip_log_counts_by_source():
+    log = SourceIPLog()
+    for port in (1000, 2000, 3000):
+        log.record(make_packet(src_ip="10.0.0.1", src_port=port))
+    log.record(make_packet(src_ip="10.0.0.2"))
+    assert log.estimate("10.0.0.1") >= 3
+    assert log.estimate("10.0.0.2") >= 1
+    assert log.total == 4
+
+
+def test_five_tuple_log_distinguishes_flows():
+    log = FiveTupleLog()
+    a = make_packet(src_port=1111)
+    b = make_packet(src_port=2222)
+    log.record(a)
+    log.record(a)
+    log.record(b)
+    assert log.estimate(a.five_tuple) >= 2
+    assert log.estimate(b.five_tuple) >= 1
+
+
+def test_log_pair_records_in_and_out_independently():
+    pair = PacketLogPair()
+    packet = make_packet()
+    pair.record_incoming(packet)
+    pair.record_incoming(packet)
+    pair.record_forwarded(packet)
+    assert pair.incoming.total == 2
+    assert pair.outgoing.total == 1
+
+
+def test_log_pair_memory_budget():
+    # Two sketches ~1 MB each: the paper's "less than 1 MB per each sketch".
+    pair = PacketLogPair()
+    assert pair.memory_bytes() <= 2 * 1024 * 1024 * 1.1
+
+
+def test_logs_with_same_seed_are_comparable():
+    """The victim's local log must share the enclave log's hash family."""
+    enclave_pair = PacketLogPair(family_seed="vif")
+    victim_log = FiveTupleLog(family_seed="vif/out")
+    packet = make_packet()
+    enclave_pair.record_forwarded(packet)
+    victim_log.record(packet)
+    assert enclave_pair.outgoing.sketch.family.compatible_with(
+        victim_log.sketch.family
+    )
+    assert enclave_pair.outgoing.sketch.bins() == victim_log.sketch.bins()

@@ -1,0 +1,212 @@
+"""The stateful-filtering extension: the naive design is manipulable, the
+auditable design is not (paper III-A applied to the conclusion's
+future-work direction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stateful import (
+    AuditableRateLimitFilter,
+    NaiveStatefulFirewall,
+    SourceGroupQuota,
+    fair_share_quotas,
+)
+from repro.errors import ConfigurationError
+from repro.tee.clock import HostClock, UntrustedClock
+from tests.conftest import make_packet
+
+
+# -- the counter-example: order and clock manipulation succeed -----------------
+
+
+def test_naive_firewall_is_order_dependent():
+    """The SAME packets in a different order get different verdicts —
+    violating arrival-order independence (paper III-A)."""
+    host = HostClock()
+    data = make_packet(src_port=5000)
+
+    fw1 = NaiveStatefulFirewall(UntrustedClock(host))
+    fw1.process(data.clone(), syn=True)
+    in_order = fw1.process(data.clone())
+
+    fw2 = NaiveStatefulFirewall(UntrustedClock(host))
+    reordered = fw2.process(data.clone())  # host delivered data before SYN
+    fw2.process(data.clone(), syn=True)
+
+    assert in_order is True
+    assert reordered is False  # verdict flipped purely by reordering
+
+
+def test_naive_firewall_is_clock_dependent():
+    """Slowing the enclave's time feed starves the token bucket —
+    the III-A clock-delay attack."""
+    host = HostClock()
+
+    honest_clock = UntrustedClock(host)
+    fw_honest = NaiveStatefulFirewall(honest_clock, rate_per_s=10, burst=5)
+    slowed_clock = UntrustedClock(host)
+    slowed_clock.set_rate(0.0)  # host stalls time responses
+    fw_starved = NaiveStatefulFirewall(slowed_clock, rate_per_s=10, burst=5)
+
+    packet = make_packet(src_port=6000)
+    fw_honest.process(packet.clone(), syn=True)
+    fw_starved.process(packet.clone(), syn=True)
+
+    honest_admitted = 0
+    starved_admitted = 0
+    for _ in range(50):
+        host.advance(0.1)  # real time passes; the starved clock sees none
+        if fw_honest.process(packet.clone()):
+            honest_admitted += 1
+        if fw_starved.process(packet.clone()):
+            starved_admitted += 1
+    assert honest_admitted > starved_admitted
+    assert starved_admitted <= 5  # at most the initial burst
+
+
+def test_naive_firewall_validation():
+    host = HostClock()
+    with pytest.raises(ConfigurationError):
+        NaiveStatefulFirewall(UntrustedClock(host), rate_per_s=0)
+
+
+# -- the auditable alternative ---------------------------------------------------
+
+
+def quota(fraction=0.5, prefix="10.0.0.0/8", quota_id=1):
+    return SourceGroupQuota(
+        quota_id=quota_id, group_prefix=prefix, admit_fraction=fraction
+    )
+
+
+def test_auditable_filter_order_independent():
+    packets = [make_packet(src_port=1000 + i) for i in range(100)]
+    f1 = AuditableRateLimitFilter("secret")
+    f1.install_quota(quota())
+    forward = {p.five_tuple: f1.admit(p) for p in packets}
+    f2 = AuditableRateLimitFilter("secret")
+    f2.install_quota(quota())
+    backward = {p.five_tuple: f2.admit(p) for p in reversed(packets)}
+    assert forward == backward
+
+
+def test_auditable_filter_clock_free():
+    """No clock input exists at all: the same instance gives the same
+    verdict no matter how much host time passes (trivially true — there is
+    nothing to manipulate)."""
+    filt = AuditableRateLimitFilter("secret")
+    filt.install_quota(quota())
+    packet = make_packet()
+    verdicts = {filt.admit(packet) for _ in range(10)}
+    assert len(verdicts) == 1
+
+
+def test_quota_fraction_is_respected():
+    filt = AuditableRateLimitFilter("secret")
+    filt.install_quota(quota(fraction=0.3))
+    packets = [make_packet(src_port=2000 + i) for i in range(1000)]
+    admitted = sum(1 for p in packets if filt.admit(p))
+    assert 0.24 < admitted / len(packets) < 0.36
+
+
+def test_quota_only_applies_to_its_group():
+    filt = AuditableRateLimitFilter("secret")
+    filt.install_quota(quota(fraction=0.0, prefix="10.0.0.0/8"))
+    assert not filt.admit(make_packet(src_ip="10.1.1.1"))
+    assert filt.admit(make_packet(src_ip="172.16.0.1"))  # outside the group
+
+
+def test_multiple_quotas_conjunctive():
+    filt = AuditableRateLimitFilter("secret")
+    filt.install_quota(quota(fraction=1.0, prefix="10.0.0.0/8", quota_id=1))
+    filt.install_quota(quota(fraction=0.0, prefix="10.1.0.0/16", quota_id=2))
+    assert filt.admit(make_packet(src_ip="10.2.0.1"))  # only quota 1 covers
+    assert not filt.admit(make_packet(src_ip="10.1.0.1"))  # quota 2 vetoes
+
+
+def test_quota_update_and_remove():
+    filt = AuditableRateLimitFilter("secret")
+    filt.install_quota(quota(fraction=0.0))
+    packet = make_packet(src_ip="10.1.1.1")
+    assert not filt.admit(packet)
+    filt.update_quota(quota(fraction=1.0))
+    assert filt.admit(packet)
+    filt.remove_quota(1)
+    assert filt.num_quotas == 0
+    with pytest.raises(ConfigurationError):
+        filt.install_quota(quota())
+        filt.install_quota(quota())
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        AuditableRateLimitFilter("")
+    with pytest.raises(ConfigurationError):
+        SourceGroupQuota(quota_id=1, group_prefix="nope", admit_fraction=0.5)
+    with pytest.raises(ConfigurationError):
+        SourceGroupQuota(quota_id=1, group_prefix="10.0.0.0/8", admit_fraction=2.0)
+
+
+def test_describe():
+    filt = AuditableRateLimitFilter("secret")
+    assert "no quotas" in filt.describe()
+    filt.install_quota(quota(fraction=0.25))
+    assert "25%" in filt.describe()
+
+
+# -- fair-share quota derivation -----------------------------------------------------
+
+
+def test_fair_share_light_groups_fully_admitted():
+    quotas = fair_share_quotas(
+        {"10.1.0.0/16": 10.0, "10.2.0.0/16": 1000.0}, capacity_bps=200.0
+    )
+    assert quotas["10.1.0.0/16"].admit_fraction == pytest.approx(1.0)
+    # The heavy group gets the leftover 190 of its 1000.
+    assert quotas["10.2.0.0/16"].admit_fraction == pytest.approx(0.19)
+
+
+def test_fair_share_even_split_when_all_heavy():
+    quotas = fair_share_quotas(
+        {"10.1.0.0/16": 500.0, "10.2.0.0/16": 500.0}, capacity_bps=100.0
+    )
+    for q in quotas.values():
+        assert q.admit_fraction == pytest.approx(0.1)
+
+
+def test_fair_share_total_within_capacity():
+    rates = {f"10.{i}.0.0/16": float(50 * (i + 1)) for i in range(8)}
+    quotas = fair_share_quotas(rates, capacity_bps=600.0)
+    admitted = sum(rates[g] * q.admit_fraction for g, q in quotas.items())
+    assert admitted == pytest.approx(600.0, rel=1e-6)
+
+
+def test_fair_share_validation_and_empty():
+    with pytest.raises(ConfigurationError):
+        fair_share_quotas({"10.0.0.0/8": 1.0}, capacity_bps=0)
+    assert fair_share_quotas({}, capacity_bps=10.0) == {}
+
+
+def test_fair_share_zero_rate_group():
+    quotas = fair_share_quotas(
+        {"10.1.0.0/16": 0.0, "10.2.0.0/16": 100.0}, capacity_bps=50.0
+    )
+    assert quotas["10.1.0.0/16"].admit_fraction == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed_port=st.integers(min_value=1, max_value=60000),
+)
+def test_auditable_admission_is_pure_function(fraction, seed_port):
+    """Property: two independent instances with the same secret agree on
+    every flow, for every quota fraction — the verdict depends on nothing
+    but (packet, quota, secret)."""
+    packet = make_packet(src_ip="10.9.9.9", src_port=seed_port)
+    a = AuditableRateLimitFilter("fixed-secret")
+    a.install_quota(quota(fraction=fraction))
+    b = AuditableRateLimitFilter("fixed-secret")
+    b.install_quota(quota(fraction=fraction))
+    assert a.admit(packet) == b.admit(packet)

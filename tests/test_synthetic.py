@@ -1,0 +1,117 @@
+"""The synthetic Internet generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interdomain.synthetic import (
+    PAPER_REGIONS,
+    SyntheticInternetConfig,
+    generate_internet,
+)
+from repro.interdomain.topology import Tier
+
+
+SMALL = SyntheticInternetConfig(
+    tier1_per_region=1, tier2_per_region=5, stubs_per_region=20, seed=1
+)
+
+
+def test_counts_match_config():
+    graph, ixps = generate_internet(SMALL)
+    assert len(graph) == 5 * (1 + 5 + 20)
+    assert len(ixps) == 5 * 5
+    assert len(graph.ases_by_tier(Tier.TIER1)) == 5
+    assert len(graph.ases_by_tier(Tier.TIER2)) == 25
+
+
+def test_structure_is_valid():
+    graph, _ = generate_internet(SMALL)
+    assert graph.validate() == []
+
+
+def test_tier1_full_mesh():
+    graph, _ = generate_internet(SMALL)
+    tier1s = graph.ases_by_tier(Tier.TIER1)
+    for a in tier1s:
+        for b in tier1s:
+            if a != b:
+                assert b in graph.peers[a]
+
+
+def test_every_non_tier1_has_a_provider():
+    graph, _ = generate_internet(SMALL)
+    for asn, node in graph.nodes.items():
+        if node.tier is Tier.TIER1:
+            assert not graph.providers[asn]
+        else:
+            assert graph.providers[asn], f"AS{asn} has no provider"
+
+
+def test_stub_providers_are_transit():
+    graph, _ = generate_internet(SMALL)
+    for asn in graph.ases_by_tier(Tier.STUB):
+        for provider in graph.providers[asn]:
+            assert graph.nodes[provider].tier is not Tier.STUB
+
+
+def test_ixp_membership_skew():
+    graph, ixps = generate_internet()
+    by_region = {}
+    for ixp in ixps:
+        by_region.setdefault(ixp.region, []).append(ixp)
+    for region, regional in by_region.items():
+        ranked = sorted(regional, key=lambda x: -x.member_count)
+        # The #1 IXP is markedly larger than the #5.
+        assert ranked[0].member_count > 2 * ranked[-1].member_count
+
+
+def test_top_ixps_have_foreign_members():
+    graph, ixps = generate_internet()
+    top = max(ixps, key=lambda x: x.member_count)
+    foreign = [
+        asn for asn in top.members if graph.nodes[asn].region != top.region
+    ]
+    assert foreign
+
+
+def test_peer_edges_annotated_with_ixps():
+    graph, ixps = generate_internet(SMALL)
+    annotated = sum(1 for _ in graph.peering_ixps)
+    assert annotated > 0
+    # Every annotated peering is between members of the annotated IXP.
+    index = {ixp.ixp_id: ixp for ixp in ixps}
+    for edge, ids in graph.peering_ixps.items():
+        a, b = sorted(edge)
+        for ixp_id in ids:
+            members = index[ixp_id].members
+            assert a in members and b in members
+
+
+def test_deterministic_generation():
+    g1, i1 = generate_internet(SMALL)
+    g2, i2 = generate_internet(SMALL)
+    assert g1.ases() == g2.ases()
+    assert g1.num_edges() == g2.num_edges()
+    assert [x.members for x in i1] == [x.members for x in i2]
+
+
+def test_seed_changes_topology():
+    other = SyntheticInternetConfig(
+        tier1_per_region=1, tier2_per_region=5, stubs_per_region=20, seed=2
+    )
+    g1, _ = generate_internet(SMALL)
+    g2, _ = generate_internet(other)
+    assert g1.num_edges() != g2.num_edges()
+
+
+def test_default_regions_are_the_papers_five():
+    assert PAPER_REGIONS == (
+        "Europe", "North America", "South America", "Asia Pacific", "Africa"
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SyntheticInternetConfig(tier1_per_region=0)
+    with pytest.raises(ConfigurationError):
+        SyntheticInternetConfig(ixps_per_region=9)

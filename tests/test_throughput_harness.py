@@ -1,0 +1,76 @@
+"""The figure-series harness."""
+
+import pytest
+
+from repro.dataplane.cost_model import ImplementationVariant
+from repro.dataplane.throughput import PAPER_PACKET_SIZES, ThroughputHarness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ThroughputHarness()
+
+
+def test_fig8_sweep_shape(harness):
+    reports = harness.all_variants_sweep()
+    assert set(reports) == set(ImplementationVariant)
+    for report in reports.values():
+        assert report.packet_sizes == PAPER_PACKET_SIZES
+        assert len(report.gbps) == len(report.mpps) == len(PAPER_PACKET_SIZES)
+        # Wire throughput never exceeds the 10 Gb/s link.
+        assert all(g <= 10.0 + 1e-9 for g in report.gbps)
+
+
+def test_fig8_zero_copy_64b(harness):
+    report = harness.packet_size_sweep(ImplementationVariant.SGX_ZERO_COPY)
+    assert 7.0 < report.gbps[0] < 9.0  # 64 B
+    assert report.gbps[-1] == pytest.approx(10.0, rel=0.01)  # 1500 B
+
+
+def test_fig13_full_copy_cap(harness):
+    report = harness.packet_size_sweep(ImplementationVariant.SGX_FULL_COPY)
+    assert max(report.mpps) < 6.5
+
+
+def test_fig3a_knee(harness):
+    counts = [100, 1000, 2000, 3000, 4000, 6000, 8000, 10000]
+    mpps = harness.rule_count_sweep(counts)
+    # Flat through 3,000 rules...
+    assert mpps[0] == pytest.approx(mpps[3], rel=0.02)
+    # ...then a rapid decline.
+    assert mpps[-1] < 0.4 * mpps[3]
+    assert mpps == sorted(mpps, reverse=True)
+
+
+def test_fig3b_memory_linear_and_crosses_epc(harness):
+    counts = [0, 2000, 4000, 6000, 8000, 10000]
+    mb = harness.memory_sweep(counts)
+    diffs = [b - a for a, b in zip(mb, mb[1:])]
+    assert all(d == pytest.approx(diffs[0], rel=1e-6) for d in diffs)  # linear
+    assert mb[0] < 92 < mb[-1]  # the EPC line is crossed mid-sweep
+    assert mb[-1] == pytest.approx(148, rel=0.1)  # ~150 MB at 10 K rules
+
+
+def test_fig14_series(harness):
+    series = harness.hash_ratio_sweep([0.01, 0.1, 0.5, 1.0])
+    assert set(series) == set(PAPER_PACKET_SIZES)
+    for size, values in series.items():
+        assert values == sorted(values, reverse=True)
+    # Only small packets degrade at a low hash ratio.
+    assert series[64][1] < series[64][0]
+    assert series[1500][1] == pytest.approx(series[1500][0], rel=0.01)
+
+
+def test_latency_report(harness):
+    report = harness.latency_sweep()
+    assert report.packet_sizes == (128, 256, 512, 1024, 1500)
+    assert list(report.latency_us) == sorted(report.latency_us)
+    assert 30 < report.latency_us[0] < 40
+    assert 100 < report.latency_us[-1] < 125
+
+
+def test_throughput_report_rows(harness):
+    report = harness.packet_size_sweep(ImplementationVariant.NATIVE)
+    rows = report.as_rows()
+    assert len(rows) == len(PAPER_PACKET_SIZES)
+    assert rows[0][0] == 64

@@ -1,0 +1,87 @@
+"""Statistics helpers: percentiles, boxplots, lognormal workloads."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    boxplot_summary,
+    lognormal_bandwidths,
+    mean,
+    percentile,
+    stdev,
+)
+
+
+def test_mean_and_stdev():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    assert stdev([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        stdev([])
+
+
+def test_percentile_endpoints():
+    data = [5.0, 1.0, 3.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 5.0
+    assert percentile(data, 50) == 3.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_validates_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_boxplot_summary_ordering():
+    data = list(range(101))
+    s = boxplot_summary(float(x) for x in data)
+    assert s.p5 <= s.p25 <= s.median <= s.p75 <= s.p95
+    assert s.median == pytest.approx(50.0)
+    assert s.as_row() == [s.p5, s.p25, s.median, s.p75, s.p95]
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_percentile_within_range(data):
+    for q in (0, 5, 50, 95, 100):
+        value = percentile(data, q)
+        assert min(data) <= value <= max(data)
+
+
+def test_lognormal_bandwidths_sum_to_total():
+    b = lognormal_bandwidths(500, 100e9, seed=3)
+    assert len(b) == 500
+    assert sum(b) == pytest.approx(100e9, rel=1e-9)
+    assert all(x > 0 for x in b)
+
+
+def test_lognormal_bandwidths_deterministic():
+    assert lognormal_bandwidths(50, 1e9, seed=1) == lognormal_bandwidths(
+        50, 1e9, seed=1
+    )
+    assert lognormal_bandwidths(50, 1e9, seed=1) != lognormal_bandwidths(
+        50, 1e9, seed=2
+    )
+
+
+def test_lognormal_bandwidths_is_skewed():
+    # A lognormal workload has a heavy tail: max >> median.
+    b = sorted(lognormal_bandwidths(1000, 100e9, seed=7))
+    assert b[-1] > 5 * b[len(b) // 2]
+
+
+def test_lognormal_bandwidths_validation():
+    with pytest.raises(ValueError):
+        lognormal_bandwidths(0, 1e9)
+    with pytest.raises(ValueError):
+        lognormal_bandwidths(10, 0)

@@ -1,0 +1,36 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_rendering():
+    out = format_table(["a", "bb"], [[1, 2], [30, 4.5]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "--" in lines[1]
+    assert "30" in lines[2] or "30" in lines[3]
+
+
+def test_title_included():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_floats_formatted():
+    out = format_table(["v"], [[1.23456]])
+    assert "1.235" in out
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_columns_aligned():
+    out = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+    rows = out.splitlines()[2:]
+    # The second column starts at the same offset in every row.
+    offsets = [row.index(str(v)) for row, v in zip(rows, ("1", "22"))]
+    assert offsets[0] == offsets[1]

@@ -1,0 +1,60 @@
+"""Units and line-rate math."""
+
+import pytest
+
+from repro.util.units import (
+    GBPS,
+    bits_to_gbps,
+    ethernet_frame_overhead_bytes,
+    gbps_to_pps,
+    line_rate_pps,
+    pps_to_gbps,
+)
+
+
+def test_line_rate_64b_is_14_88_mpps():
+    # The canonical 10 GbE small-packet line rate.
+    assert line_rate_pps(64) == pytest.approx(14_880_952, rel=1e-4)
+
+
+def test_line_rate_1500b():
+    assert line_rate_pps(1500) == pytest.approx(10e9 / (1520 * 8), rel=1e-9)
+
+
+def test_line_rate_scales_with_link_speed():
+    assert line_rate_pps(64, link_bps=40 * GBPS) == pytest.approx(
+        4 * line_rate_pps(64), rel=1e-9
+    )
+
+
+def test_line_rate_rejects_bad_size():
+    with pytest.raises(ValueError):
+        line_rate_pps(0)
+    with pytest.raises(ValueError):
+        line_rate_pps(-5)
+
+
+def test_pps_gbps_roundtrip():
+    pps = 3_000_000.0
+    assert gbps_to_pps(pps_to_gbps(pps, 512), 512) == pytest.approx(pps)
+
+
+def test_gbps_to_pps_rejects_bad_size():
+    with pytest.raises(ValueError):
+        gbps_to_pps(1.0, 0)
+
+
+def test_bits_to_gbps():
+    assert bits_to_gbps(10e9) == pytest.approx(10.0)
+
+
+def test_frame_overhead_is_20_bytes():
+    # preamble 7 + SFD 1 + IFG 12
+    assert ethernet_frame_overhead_bytes() == 20
+
+
+def test_wire_rate_at_line_rate_is_link_speed():
+    # pps * (size + overhead) * 8 == link for any size at line rate.
+    for size in (64, 128, 512, 1500):
+        pps = line_rate_pps(size)
+        assert pps * (size + 20) * 8 == pytest.approx(10e9, rel=1e-9)

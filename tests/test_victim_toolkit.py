@@ -1,0 +1,191 @@
+"""Victim-side attack detection and rule synthesis."""
+
+import pytest
+
+from repro.adversary import dns_amplification_flows, mirai_flood_flows
+from repro.core.rules import RPKIRegistry
+from repro.dataplane.packet import Protocol
+from repro.errors import ConfigurationError
+from repro.victim import AttackDetector, RuleSynthesizer
+from tests.conftest import VICTIM, VICTIM_PREFIX, make_packet
+
+CAPACITY = 1e6  # 1 Mb/s victim uplink, easy to overload in tests
+
+
+def detector(**kw):
+    return AttackDetector(capacity_bps=CAPACITY, **kw)
+
+
+def flood_packets(count=200, size=1024):
+    flows = dns_amplification_flows(count, packet_size=size)
+    return [flow.make_packet() for flow in flows]
+
+
+# -- detection ---------------------------------------------------------------
+
+
+def test_quiet_traffic_is_not_an_attack():
+    det = detector()
+    det.observe_many([make_packet(size=200) for _ in range(5)])
+    assessment = det.analyze(window_s=10.0)
+    assert not assessment.is_attack
+    assert assessment.total_rate_bps == pytest.approx(5 * 200 * 8 / 10)
+
+
+def test_flood_is_detected_with_signatures():
+    det = detector()
+    det.observe_many(flood_packets(300))
+    assessment = det.analyze(window_s=1.0)
+    assert assessment.is_attack
+    assert assessment.overload_factor > 1.0
+    assert assessment.signatures
+    top = assessment.signatures[0]
+    assert top.protocol is Protocol.UDP
+    assert top.src_port == 53  # the reflection fingerprint is pinned
+    assert "UDP src-port 53" in top.describe()
+
+
+def test_port_not_pinned_when_spread():
+    det = detector()
+    # Many flows in ONE source group, each from a different ephemeral port.
+    det.observe_many(
+        [make_packet(src_ip=f"10.1.{i}.1", src_port=20000 + i, size=1500)
+         for i in range(50)]
+    )
+    assessment = det.analyze(window_s=0.001)
+    assert len(assessment.signatures) == 1
+    assert assessment.signatures[0].src_port is None
+
+
+def test_signatures_ranked_by_rate():
+    det = detector()
+    det.observe_many(flood_packets(100, size=1500))
+    det.observe(make_packet(size=64))
+    rates = [s.rate_bps for s in det.analyze(1.0).signatures]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_reset_clears_window():
+    det = detector()
+    det.observe_many(flood_packets(50))
+    det.reset()
+    assert not det.analyze(1.0).is_attack
+
+
+def test_detector_validation():
+    with pytest.raises(ConfigurationError):
+        AttackDetector(capacity_bps=0)
+    with pytest.raises(ConfigurationError):
+        AttackDetector(capacity_bps=1.0, group_prefix_len=40)
+    with pytest.raises(ConfigurationError):
+        AttackDetector(capacity_bps=1.0, port_dominance=0.3)
+    with pytest.raises(ConfigurationError):
+        detector().analyze(0)
+
+
+# -- synthesis -----------------------------------------------------------------
+
+
+def synthesizer(**kw):
+    return RuleSynthesizer(VICTIM_PREFIX, VICTIM, **kw)
+
+
+def test_no_rules_without_an_attack():
+    det = detector()
+    det.observe(make_packet())
+    assert synthesizer().synthesize(det.analyze(10.0)) == []
+
+
+def test_synthesized_rules_pass_rpki_and_cover_the_flood():
+    det = detector()
+    packets = flood_packets(300)
+    det.observe_many(packets)
+    rules = synthesizer().synthesize(det.analyze(1.0))
+    assert rules
+    rpki = RPKIRegistry()
+    rpki.authorize(VICTIM, VICTIM_PREFIX)
+    rpki.validate_rules(rules)  # no raise: ready to submit as-is
+    # Every flood packet matches some synthesized rule.
+    from repro.core.rules import RuleSet
+
+    ruleset = RuleSet(rules)
+    matched = sum(1 for p in packets if ruleset.match(p.five_tuple))
+    assert matched == len(packets)
+
+
+def test_admitted_rate_respects_budget():
+    det = detector()
+    det.observe_many(flood_packets(400, size=1500))
+    assessment = det.analyze(1.0)
+    budget = CAPACITY
+    rules = synthesizer(min_admit_fraction=0.0).synthesize(
+        assessment, budget_bps=budget
+    )
+    admitted = sum(r.rate_bps * (r.p_allow or 0.0) for r in rules)
+    assert admitted <= budget * 1.01
+
+
+def test_light_signatures_fully_admitted():
+    det = detector()
+    det.observe_many(flood_packets(200, size=1500))  # heavy UDP flood
+    det.observe_many(
+        [make_packet(src_ip="192.0.2.7", size=64) for _ in range(3)]
+    )  # a whisper of TCP
+    rules = synthesizer(min_rule_rate_bps=0.0).synthesize(det.analyze(1.0))
+    tcp_rules = [
+        r for r in rules if r.pattern.protocol is Protocol.TCP
+    ]
+    assert tcp_rules and all(r.p_allow == pytest.approx(1.0) for r in tcp_rules)
+
+
+def test_min_admit_fraction_keeps_a_trickle():
+    det = detector()
+    det.observe_many(flood_packets(400, size=1500))
+    rules = synthesizer(min_admit_fraction=0.05).synthesize(
+        det.analyze(1.0), budget_bps=1.0  # essentially zero budget
+    )
+    assert rules
+    assert all(r.p_allow >= 0.05 for r in rules)
+
+
+def test_max_rules_cap():
+    det = detector(group_prefix_len=32)  # one group per resolver
+    det.observe_many(flood_packets(300))
+    rules = synthesizer().synthesize(det.analyze(1.0), max_rules=10)
+    assert len(rules) == 10
+
+
+def test_rule_ids_sequential_from_start():
+    det = detector()
+    det.observe_many(flood_packets(100))
+    rules = synthesizer().synthesize(det.analyze(1.0), start_rule_id=500)
+    assert [r.rule_id for r in rules] == list(
+        range(500, 500 + len(rules))
+    )
+
+
+def test_synthesizer_validation():
+    with pytest.raises(ConfigurationError):
+        RuleSynthesizer("", VICTIM)
+    with pytest.raises(ConfigurationError):
+        RuleSynthesizer(VICTIM_PREFIX, VICTIM, min_admit_fraction=2.0)
+    det = detector()
+    det.observe_many(flood_packets(50))
+    with pytest.raises(ConfigurationError):
+        synthesizer().synthesize(det.analyze(1.0), budget_bps=0)
+    with pytest.raises(ConfigurationError):
+        synthesizer().synthesize(det.analyze(1.0), max_rules=0)
+
+
+def test_end_to_end_detect_synthesize_submit(session, controller):
+    """The full victim loop: detect -> synthesize -> submit -> filter."""
+    det = detector()
+    packets = flood_packets(400, size=1500)  # ~4.8 Mb/s vs 1 Mb/s capacity
+    det.observe_many(packets)
+    rules = synthesizer().synthesize(det.analyze(1.0))
+    session.submit_rules(rules)
+    delivered = controller.carry(packets)
+    # Max-min shares admit ~1/4.8 of the flood on average.
+    assert len(delivered) < 0.4 * len(packets)
+    session.observe_delivered(delivered)
+    assert session.audit_round().clean
