@@ -1,6 +1,6 @@
 # Convenience targets for the VIF reproduction.
 
-.PHONY: install test bench bench-full experiments examples all
+.PHONY: install test bench bench-smoke bench-full experiments examples all
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast sanity pass over the benchmark suite: skips the slow-marked
+# paper-scale experiments and disables benchmark timing loops.
+bench-smoke:
+	pytest -m "not slow" --benchmark-disable benchmarks/
 
 bench-full:
 	VIF_BENCH_FULL=1 pytest benchmarks/ --benchmark-only

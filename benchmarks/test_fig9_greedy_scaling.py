@@ -9,6 +9,8 @@ the paper's full 10 K..150 K grid.
 
 import time
 
+import pytest
+
 from benchmarks.conftest import emit, full_scale
 from repro.optim.greedy import greedy_solve
 from repro.optim.problem import RuleDistributionProblem
@@ -16,6 +18,8 @@ from repro.optim.validation import validate_allocation
 from repro.util.stats import lognormal_bandwidths
 from repro.util.tables import format_table
 from repro.util.units import GBPS
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig9_greedy_scaling(benchmark):

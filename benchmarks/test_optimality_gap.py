@@ -6,6 +6,8 @@ CPLEX's mixed ILP solver and the results from our greedy algorithm is only
 5.2%."  Our greedy (with its quota refinement) lands at or below that gap.
 """
 
+import pytest
+
 from benchmarks.conftest import emit
 from repro.optim.greedy import greedy_solve
 from repro.optim.ilp import BranchAndBoundSolver
@@ -13,6 +15,8 @@ from repro.optim.problem import RuleDistributionProblem
 from repro.util.stats import lognormal_bandwidths
 from repro.util.tables import format_table
 from repro.util.units import GBPS
+
+pytestmark = pytest.mark.slow
 
 
 def _gap_study():

@@ -8,9 +8,13 @@ VIF_BENCH_FULL=1 runs the full 500 Gb/s / 150 K-rule instance with a
 Fig 9 redistribution times).
 """
 
+import pytest
+
 from benchmarks.conftest import emit, full_scale
 from repro.deploy.scaleout import ScaleOutPlanner
 from repro.util.tables import format_table
+
+pytestmark = pytest.mark.slow
 
 
 def test_scaleout_headline(benchmark):

@@ -12,6 +12,8 @@ already grows from ~50x to ~300x; VIF_BENCH_FULL=1 adds k=400.
 
 import time
 
+import pytest
+
 from benchmarks.conftest import emit, full_scale
 from repro.optim.greedy import greedy_solve
 from repro.optim.ilp import BranchAndBoundSolver
@@ -19,6 +21,8 @@ from repro.optim.problem import RuleDistributionProblem
 from repro.optim.validation import validate_allocation
 from repro.util.stats import lognormal_bandwidths
 from repro.util.units import GBPS
+
+pytestmark = pytest.mark.slow
 
 
 def _instance(k: int) -> RuleDistributionProblem:

@@ -32,7 +32,7 @@ from repro.core.filter import (
     FilterDecision,
     StatelessFilter,
 )
-from repro.core.enclave_filter import EnclaveFilter, FilterReport
+from repro.core.enclave_filter import EnclaveBurstFilter, EnclaveFilter, FilterReport
 from repro.core.bypass import (
     BypassEvidence,
     NeighborAuditor,
@@ -58,6 +58,7 @@ __all__ = [
     "AuditableRateLimitFilter",
     "BypassEvidence",
     "ConnectionPreservingMode",
+    "EnclaveBurstFilter",
     "EnclaveFilter",
     "FilterDecision",
     "FilterReport",

@@ -16,8 +16,13 @@ from repro.dataplane.cost_model import (
     ImplementationVariant,
     PAPER_COST_MODEL,
 )
-from repro.dataplane.pipeline import FilterPipeline, PipelineStats
+from repro.dataplane.pipeline import (
+    FilterPipeline,
+    PipelineAccountingError,
+    PipelineStats,
+)
 from repro.dataplane.throughput import (
+    BatchSweepReport,
     LatencyReport,
     ThroughputHarness,
     ThroughputReport,
@@ -29,6 +34,7 @@ from repro.dataplane.trace import (
 )
 
 __all__ = [
+    "BatchSweepReport",
     "CostModel",
     "FilterPipeline",
     "FiveTuple",
@@ -39,6 +45,7 @@ __all__ = [
     "PAPER_COST_MODEL",
     "Packet",
     "PacketGenerator",
+    "PipelineAccountingError",
     "PipelineStats",
     "PortStats",
     "Protocol",

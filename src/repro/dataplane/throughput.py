@@ -8,7 +8,7 @@ wall clock — the shapes, knees and crossovers are the reproduction target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.dataplane.cost_model import (
     CostModel,
@@ -45,6 +45,24 @@ class LatencyReport:
     latency_us: Sequence[float]
 
 
+@dataclass(frozen=True)
+class BatchSweepReport:
+    """Throughput vs ECall batch size (the §V context-switch ablation)."""
+
+    variant: ImplementationVariant
+    batch_sizes: Sequence[int]
+    mpps: Sequence[float]
+    ecalls_per_packet: Sequence[float]
+
+    def as_rows(self) -> List[List[object]]:
+        return [
+            [batch, round(m, 3), round(e, 4)]
+            for batch, m, e in zip(
+                self.batch_sizes, self.mpps, self.ecalls_per_packet
+            )
+        ]
+
+
 class ThroughputHarness:
     """Runs the paper's data-plane sweeps against a cost model."""
 
@@ -63,17 +81,24 @@ class ThroughputHarness:
         variant: ImplementationVariant,
         num_rules: int = 3000,
         packet_sizes: Sequence[int] = PAPER_PACKET_SIZES,
+        batch_size: Optional[int] = None,
     ) -> ThroughputReport:
-        """Throughput vs packet size for one implementation variant."""
+        """Throughput vs packet size for one implementation variant.
+
+        ``batch_size`` is the ECall batch (packets per enclave transition);
+        ``None`` reproduces the paper's calibrated batching.
+        """
         gbps: List[float] = []
         mpps: List[float] = []
         for size in packet_sizes:
             pps = self.cost_model.achieved_pps(
-                variant, size, num_rules, link_bps=self.link_bps
+                variant, size, num_rules, link_bps=self.link_bps,
+                batch_size=batch_size,
             )
             gbps.append(
                 self.cost_model.achieved_wire_gbps(
-                    variant, size, num_rules, link_bps=self.link_bps
+                    variant, size, num_rules, link_bps=self.link_bps,
+                    batch_size=batch_size,
                 )
             )
             mpps.append(pps / MPPS)
@@ -92,6 +117,40 @@ class ThroughputHarness:
             variant: self.packet_size_sweep(variant, num_rules)
             for variant in ImplementationVariant
         }
+
+    # -- §V context-switch ablation -----------------------------------------
+
+    def batch_size_sweep(
+        self,
+        batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+        variant: ImplementationVariant = ImplementationVariant.SGX_ZERO_COPY,
+        packet_size: int = 64,
+        num_rules: int = 3000,
+    ) -> BatchSweepReport:
+        """Throughput vs ECall batch size at a fixed packet size.
+
+        Shows what Fig 8 leaves implicit: without batching (batch 1) the
+        enclave transition dominates and the SGX data path cannot come
+        anywhere near line rate.
+        """
+        mpps = [
+            self.cost_model.achieved_pps(
+                variant, packet_size, num_rules, link_bps=self.link_bps,
+                batch_size=batch,
+            )
+            / MPPS
+            for batch in batch_sizes
+        ]
+        ecalls = [
+            self.cost_model.ecalls_per_packet(variant, batch)
+            for batch in batch_sizes
+        ]
+        return BatchSweepReport(
+            variant=variant,
+            batch_sizes=tuple(batch_sizes),
+            mpps=tuple(mpps),
+            ecalls_per_packet=tuple(ecalls),
+        )
 
     # -- Fig 3a -------------------------------------------------------------
 

@@ -24,7 +24,7 @@ import bisect
 import math
 from typing import List, Optional, Tuple
 
-from repro.errors import InfeasibleError
+from repro.errors import ConfigurationError, InfeasibleError
 from repro.optim.problem import Allocation, RuleDistributionProblem
 
 
@@ -87,8 +87,20 @@ def _assign_bandwidth(
     A rule that does not fit the enclave's bandwidth remainder is split:
     the remainder is assigned here and the rest returns to the pool.
     """
-    pool = _BandwidthPool([(b, i) for i, b in enumerate(bandwidths) if b > 0])
-    zero_rules = [i for i, b in enumerate(bandwidths) if b == 0]
+    pool_items: List[Tuple[float, int]] = []
+    zero_rules: List[int] = []
+    for i, b in enumerate(bandwidths):
+        # A negative (or NaN) bandwidth passes neither the positive-pool
+        # filter nor the zero list — the rule would vanish from the
+        # allocation without any error.  Problem construction validates
+        # too; this guards direct callers.
+        if b < 0 or b != b:
+            raise ConfigurationError(f"rule {i} has invalid bandwidth {b!r}")
+        if b > 0:
+            pool_items.append((b, i))
+        else:
+            zero_rules.append(i)
+    pool = _BandwidthPool(pool_items)
     assignments: List[dict] = [dict() for _ in range(n)]
 
     for j in range(n):

@@ -45,8 +45,19 @@ class RuleDistributionProblem:
     def __post_init__(self) -> None:
         if not self.bandwidths:
             raise ConfigurationError("problem needs at least one rule")
-        if any(b < 0 for b in self.bandwidths):
-            raise ConfigurationError("bandwidths must be non-negative")
+        for i, b in enumerate(self.bandwidths):
+            # NaN/inf must be caught here too: NaN passes every comparison
+            # filter downstream, so the packing pass would silently drop the
+            # rule instead of erroring.
+            if not math.isfinite(b):
+                raise ConfigurationError(
+                    f"rule {i} has non-finite bandwidth {b!r}"
+                )
+            if b < 0:
+                raise ConfigurationError(
+                    f"rule {i} has negative bandwidth {b!r}; "
+                    "bandwidths must be non-negative"
+                )
         if self.enclave_bandwidth <= 0:
             raise ConfigurationError("enclave bandwidth must be positive")
         if self.memory_budget <= self.base_bytes:

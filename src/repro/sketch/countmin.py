@@ -1,15 +1,20 @@
 """Count-min sketch (Cormode & Muthukrishnan) with 64-bit saturating counters.
 
 Configuration defaults follow the paper (section V-A): depth 2, width 64 K,
-64-bit counters — about 1 MB of enclave memory per instance.  The sketch
-supports the operations VIF needs: point update/query, merge (for sketches
-collected from parallel enclaves), serialization (the victim fetches the
-authenticated sketch over the secure channel), and exact bin-wise access for
-discrepancy detection.
+64-bit counters — about 1 MB of enclave memory per instance.  Counter rows
+are flat ``array('Q')`` buffers (one machine word per bin, as the C enclave
+would keep them) rather than Python lists, which keeps the memory footprint
+honest and makes the bulk data-path update a tight loop.  The sketch
+supports the operations VIF needs: point update/query, bulk update (the
+burst ECall fast path), merge (for sketches collected from parallel
+enclaves), serialization (the victim fetches the authenticated sketch over
+the secure channel), and exact bin-wise access for discrepancy detection.
 """
 
 from __future__ import annotations
 
+import sys
+from array import array
 from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.sketch.hashing import HashFamily
@@ -21,6 +26,16 @@ Key = Union[str, bytes]
 PAPER_DEPTH = 2
 PAPER_WIDTH = 64 * 1024
 _COUNTER_MAX = 2**64 - 1
+
+#: Serialized-blob format version.  Version 2 added the leading version byte
+#: and the exact update total (version-1 blobs reconstructed the total as
+#: the max row sum, which silently diverges once any counter saturates).
+BLOB_VERSION = 2
+
+
+def _zero_row(width: int) -> array:
+    """A fresh all-zero counter row (``array('Q')`` of ``width`` bins)."""
+    return array("Q", bytes(8 * width))
 
 
 class CountMinSketch:
@@ -39,7 +54,7 @@ class CountMinSketch:
         family_seed: str = "vif",
     ) -> None:
         self.family = HashFamily(depth, width, family_seed)
-        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._rows: List[array] = [_zero_row(width) for _ in range(depth)]
         self._total = 0
 
     # -- core operations ---------------------------------------------------
@@ -49,8 +64,30 @@ class CountMinSketch:
         if count <= 0:
             raise ValueError("count must be positive")
         for row, idx in zip(self._rows, self.family.indexes(key)):
-            row[idx] = min(row[idx] + count, _COUNTER_MAX)
+            value = row[idx] + count
+            row[idx] = value if value <= _COUNTER_MAX else _COUNTER_MAX
         self._total += count
+
+    def update_many(self, keys: Iterable[Key], count: int = 1) -> int:
+        """Bulk update: add ``count`` occurrences of every key in ``keys``.
+
+        The data-plane burst path: hash indexes for the whole batch are
+        precomputed per row (:meth:`HashFamily.index_vectors`), then each
+        counter row is walked once — equivalent to calling :meth:`update`
+        per key, without the per-key dispatch.  Returns the number of keys
+        applied.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        keys = list(keys)
+        if not keys:
+            return 0
+        for row, indexes in zip(self._rows, self.family.index_vectors(keys)):
+            for idx in indexes:
+                value = row[idx] + count
+                row[idx] = value if value <= _COUNTER_MAX else _COUNTER_MAX
+        self._total += count * len(keys)
+        return len(keys)
 
     def estimate(self, key: Key) -> int:
         """Upper-bounded frequency estimate of ``key`` (never underestimates)."""
@@ -83,7 +120,9 @@ class CountMinSketch:
             raise ValueError("cannot merge sketches with different hash families")
         for mine, theirs in zip(self._rows, other._rows):
             for i, value in enumerate(theirs):
-                mine[i] = min(mine[i] + value, _COUNTER_MAX)
+                if value:
+                    merged = mine[i] + value
+                    mine[i] = merged if merged <= _COUNTER_MAX else _COUNTER_MAX
         self._total += other._total
 
     def copy(self) -> "CountMinSketch":
@@ -95,9 +134,7 @@ class CountMinSketch:
 
     def clear(self) -> None:
         """Reset all counters (start of a new filtering round)."""
-        for row in self._rows:
-            for i in range(len(row)):
-                row[i] = 0
+        self._rows = [_zero_row(self.width) for _ in range(self.depth)]
         self._total = 0
 
     # -- inspection / transport ---------------------------------------------
@@ -120,29 +157,54 @@ class CountMinSketch:
         return self.depth * self.width * 8
 
     def serialize(self) -> bytes:
-        """Serialize counters for transport over the secure channel."""
+        """Serialize counters for transport over the secure channel.
+
+        Blob layout (version :data:`BLOB_VERSION`): 1-byte version, 4-byte
+        depth, 4-byte width, 4-byte seed length, the seed, 4-byte total
+        length plus the exact update total (big-endian, arbitrary
+        precision — the total is exact even past counter saturation), then
+        the counter rows as little-endian 64-bit words.
+        """
         out = bytearray()
+        out += BLOB_VERSION.to_bytes(1, "big")
         out += self.depth.to_bytes(4, "big")
         out += self.width.to_bytes(4, "big")
         seed = self.family.family_seed.encode("utf-8")
         out += len(seed).to_bytes(4, "big")
         out += seed
+        total_bytes = self._total.to_bytes((self._total.bit_length() + 7) // 8, "big")
+        out += len(total_bytes).to_bytes(4, "big")
+        out += total_bytes
         for row in self._rows:
-            for value in row:
-                out += value.to_bytes(8, "big")
+            if sys.byteorder != "little":
+                row = row[:]
+                row.byteswap()
+            out += row.tobytes()
         return bytes(out)
 
     @classmethod
     def deserialize(cls, blob: bytes) -> "CountMinSketch":
-        """Inverse of :meth:`serialize`."""
-        if len(blob) < 12:
+        """Inverse of :meth:`serialize`; rejects unknown format versions."""
+        if len(blob) < 17:
             raise ValueError("sketch blob too short")
-        depth = int.from_bytes(blob[0:4], "big")
-        width = int.from_bytes(blob[4:8], "big")
-        seed_len = int.from_bytes(blob[8:12], "big")
-        offset = 12
+        version = blob[0]
+        if version != BLOB_VERSION:
+            raise ValueError(
+                f"unsupported sketch blob version {version} "
+                f"(expected {BLOB_VERSION})"
+            )
+        depth = int.from_bytes(blob[1:5], "big")
+        width = int.from_bytes(blob[5:9], "big")
+        seed_len = int.from_bytes(blob[9:13], "big")
+        offset = 13
         seed = blob[offset : offset + seed_len].decode("utf-8")
         offset += seed_len
+        if len(blob) < offset + 4:
+            raise ValueError("sketch blob truncated before total")
+        total_len = int.from_bytes(blob[offset : offset + 4], "big")
+        offset += 4
+        total = int.from_bytes(blob[offset : offset + total_len], "big")
+        offset += total_len
         expected = offset + depth * width * 8
         if len(blob) != expected:
             raise ValueError(
@@ -150,19 +212,12 @@ class CountMinSketch:
                 f"(expected {expected})"
             )
         sketch = cls(depth, width, seed)
-        total = 0
         for r in range(depth):
-            row = sketch._rows[r]
-            for i in range(width):
-                row[i] = int.from_bytes(blob[offset : offset + 8], "big")
-                offset += 8
-            total = max(total, sum(row))
-        # The exact total is not carried in the blob; the max row sum equals
-        # it as long as counters never saturated, which holds at VIF scales.
+            row = array("Q")
+            row.frombytes(blob[offset : offset + width * 8])
+            if sys.byteorder != "little":
+                row.byteswap()
+            sketch._rows[r] = row
+            offset += width * 8
         sketch._total = total
         return sketch
-
-    def update_many(self, keys: Iterable[Key]) -> None:
-        """Bulk update convenience used by the data-plane pipeline."""
-        for key in keys:
-            self.update(key)

@@ -9,7 +9,7 @@ then compare them bin by bin.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Iterable, List, Sequence, Union
 
 from repro.util.rng import stable_hash64
 
@@ -41,6 +41,22 @@ class HashFamily:
         if isinstance(key, str):
             key = key.encode("utf-8")
         return [stable_hash64(key, salt) % self.width for salt in self._salts]
+
+    def index_vectors(self, keys: Iterable[Key]) -> List[List[int]]:
+        """Per-row index vectors for a batch of keys (bulk sketch updates).
+
+        ``result[row][k]`` is the bin of ``keys[k]`` in ``row`` — the same
+        values ``indexes`` yields key by key, but laid out so a caller can
+        walk one counter row at a time.
+        """
+        encoded = [
+            key.encode("utf-8") if isinstance(key, str) else key for key in keys
+        ]
+        width = self.width
+        return [
+            [stable_hash64(key, salt) % width for key in encoded]
+            for salt in self._salts
+        ]
 
     def compatible_with(self, other: "HashFamily") -> bool:
         """True when two families hash identically (same seed/shape)."""

@@ -16,6 +16,8 @@ different fields.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.dataplane.packet import FiveTuple, Packet
 from repro.sketch.countmin import CountMinSketch, PAPER_DEPTH, PAPER_WIDTH
 
@@ -34,6 +36,12 @@ class SourceIPLog:
     def record(self, packet: Packet) -> None:
         """Log one incoming packet."""
         self.sketch.update(packet.five_tuple.src_ip_key())
+
+    def record_burst(self, packets: Sequence[Packet]) -> None:
+        """Log a whole burst in one bulk sketch update."""
+        self.sketch.update_many(
+            [packet.five_tuple.src_ip_key() for packet in packets]
+        )
 
     def estimate(self, src_ip: str) -> int:
         """Estimated number of packets logged for ``src_ip``."""
@@ -62,6 +70,10 @@ class FiveTupleLog:
         """Log one forwarded packet."""
         self.sketch.update(packet.five_tuple.key())
 
+    def record_burst(self, packets: Sequence[Packet]) -> None:
+        """Log a whole burst in one bulk sketch update."""
+        self.sketch.update_many([packet.five_tuple.key() for packet in packets])
+
     def estimate(self, flow: FiveTuple) -> int:
         """Estimated number of packets logged for ``flow``."""
         return self.sketch.estimate(flow.key())
@@ -86,6 +98,16 @@ class PacketLogPair:
 
     def record_forwarded(self, packet: Packet) -> None:
         self.outgoing.record(packet)
+
+    def record_incoming_burst(self, packets: Sequence[Packet]) -> None:
+        """Log a burst of arriving packets (the burst-ECall fast path)."""
+        if packets:
+            self.incoming.record_burst(packets)
+
+    def record_forwarded_burst(self, packets: Sequence[Packet]) -> None:
+        """Log the forwarded subset of a burst."""
+        if packets:
+            self.outgoing.record_burst(packets)
 
     def memory_bytes(self) -> int:
         """Combined enclave footprint of both sketches (~2 MB at defaults)."""

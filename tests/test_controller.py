@@ -145,6 +145,22 @@ def test_carry_through_allocation_routes_to_owner():
     assert controller.misbehavior_reports() == []
 
 
+def test_carry_batches_ecalls():
+    """carry() must group consecutive same-enclave packets into burst
+    ECalls instead of one transition per packet."""
+    controller = make_controller(1)
+    controller.install_single_filter(RuleSet([rule(1, p_allow=1.0)]))
+    enclave = controller.enclaves[0]
+    before = enclave.ecall_count
+    delivered = controller.carry(
+        [make_packet(src_port=1024 + i) for i in range(50)]
+    )
+    assert len(delivered) == 50
+    # 50 consecutive packets for one enclave, carry_burst_size=64 -> 1 ECall.
+    assert enclave.ecall_count == before + 1
+    assert enclave.ecall("report").packets_processed == 50
+
+
 def test_collect_rule_rates():
     controller = make_controller(1)
     controller.install_single_filter(RuleSet([rule(1, p_allow=1.0)]))

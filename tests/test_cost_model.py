@@ -122,6 +122,48 @@ def test_validation():
         M.per_packet_cycles(ZERO, 64, 100, hash_ratio=1.5)
 
 
+def test_ecalls_per_packet():
+    assert M.ecalls_per_packet(ZERO) == pytest.approx(1 / 32)  # calibrated
+    assert M.ecalls_per_packet(ZERO, batch_size=1) == 1.0
+    assert M.ecalls_per_packet(ZERO, batch_size=64) == pytest.approx(1 / 64)
+    assert M.ecalls_per_packet(NATIVE, batch_size=1) == 0.0  # no enclave
+    with pytest.raises(ValueError):
+        M.ecalls_per_packet(ZERO, batch_size=0)
+
+
+def test_default_batch_matches_calibration():
+    """batch_size=None and batch_size=32 must reproduce the pinned anchors
+    exactly — the transition term is modeled relative to the calibrated
+    burst, so it is zero at the default."""
+    for variant in (NATIVE, FULL, ZERO):
+        assert M.transition_cycles(variant) == 0.0
+        assert M.achieved_wire_gbps(variant, 64, 3000, batch_size=32) == (
+            M.achieved_wire_gbps(variant, 64, 3000)
+        )
+
+
+def test_per_packet_ecalls_collapse_throughput():
+    # One transition per packet: ~31 extra amortized transitions * 8k
+    # cycles dwarfs the ~2k-cycle processing cost.
+    batched = M.capacity_pps(ZERO, 64, 3000)
+    unbatched = M.capacity_pps(ZERO, 64, 3000, batch_size=1)
+    assert unbatched < 0.2 * batched
+
+
+def test_throughput_monotone_in_batch_size():
+    values = [
+        M.capacity_pps(ZERO, 64, 3000, batch_size=b) for b in (1, 2, 4, 8, 16, 32, 64)
+    ]
+    assert values == sorted(values)
+
+
+def test_native_unaffected_by_batch_size():
+    for b in (1, 8, 64):
+        assert M.achieved_pps(NATIVE, 64, 3000, batch_size=b) == (
+            M.achieved_pps(NATIVE, 64, 3000)
+        )
+
+
 def test_epc_paging_penalty_applies_past_92mb():
     # Crossing the EPC limit (~6,100 rules with the default memory model)
     # must add cost beyond the locality trend.

@@ -4,9 +4,10 @@ import json
 
 import pytest
 
-from repro.core.enclave_filter import EnclaveFilter
+from repro.core.enclave_filter import EnclaveBurstFilter, EnclaveFilter
 from repro.core.rules import Action, FilterRule, FlowPattern
-from repro.errors import SecureChannelError
+from repro.dataplane.pipeline import FilterPipeline
+from repro.errors import EnclaveError, SecureChannelError
 from repro.tee.enclave import Platform
 from repro.tee.secure_channel import ChannelEndpoint, SecureChannel
 from repro.sketch.countmin import CountMinSketch
@@ -182,6 +183,90 @@ def test_rule_update_tick_ecall():
     for i in range(5):
         enclave.ecall("process_packet", make_packet(src_port=2000 + i))
     assert enclave.ecall("rule_update_tick") == 5
+
+
+def test_process_burst_matches_per_packet_semantics():
+    """One burst ECall must leave the enclave in the identical state (report
+    counters, byte counters, both sketches) as per-packet ECalls."""
+    rules = [drop_rule(1), half_rule(2)]
+    burst_enclave, burst_program = launch()
+    point_enclave, point_program = launch()
+    burst_enclave.ecall("install_rules", rules)
+    point_enclave.ecall("install_rules", rules)
+    packets = [
+        make_packet(src_port=1024 + i, dst_ip="203.0.113.9" if i % 3 else "192.0.2.1")
+        for i in range(40)
+    ]
+
+    verdicts = burst_enclave.ecall("process_burst", packets)
+    expected = [point_enclave.ecall("process_packet", p) for p in packets]
+    assert verdicts == expected
+
+    assert burst_enclave.ecall("report").__dict__ == (
+        point_enclave.ecall("report").__dict__
+    )
+    assert (
+        burst_program._logs.incoming.sketch.bins()
+        == point_program._logs.incoming.sketch.bins()
+    )
+    assert (
+        burst_program._logs.outgoing.sketch.bins()
+        == point_program._logs.outgoing.sketch.bins()
+    )
+
+
+def test_process_burst_is_one_ecall():
+    enclave, _ = launch()
+    enclave.ecall("install_rules", [drop_rule()])
+    before = enclave.ecall_count
+    enclave.ecall("process_burst", [make_packet(src_port=1024 + i) for i in range(32)])
+    assert enclave.ecall_count == before + 1
+
+
+def test_process_burst_empty_and_oversized():
+    enclave, _ = launch()
+    assert enclave.ecall("process_burst", []) == []
+    too_many = [make_packet()] * (EnclaveFilter.MAX_BURST + 1)
+    with pytest.raises(EnclaveError, match="staging buffer"):
+        enclave.ecall("process_burst", too_many)
+
+
+def test_process_burst_misbehavior_checks_still_fire():
+    enclave, _ = launch(scale_out_mode=True)
+    enclave.ecall("install_rules", [drop_rule(1), drop_rule(2, "198.51.100.0/24")])
+    enclave.ecall("set_assigned_rules", [1])
+    enclave.ecall(
+        "process_burst",
+        [
+            make_packet(),  # rule 1: assigned, fine
+            make_packet(dst_ip="198.51.100.1"),  # rule 2: not assigned
+            make_packet(dst_ip="192.0.2.1"),  # matches nothing
+        ],
+    )
+    events = enclave.ecall("misbehavior_report")
+    assert len(events) == 2
+    assert any("rule 2" in event for event in events)
+    assert any("non-matching" in event for event in events)
+
+
+def test_enclave_burst_filter_drives_pipeline_with_one_ecall_per_burst():
+    """The full vertical slice: NIC -> rings -> one ECall per burst."""
+    enclave, _ = launch()
+    enclave.ecall("install_rules", [drop_rule()])
+    pipeline = FilterPipeline(EnclaveBurstFilter(enclave), burst_size=32)
+    ecalls_before = enclave.ecall_count
+    packets = [
+        make_packet(src_port=1024 + i)
+        if i % 2 == 0
+        else make_packet(src_port=1024 + i, dst_ip="198.51.100.1")
+        for i in range(96)
+    ]
+    out = pipeline.process(packets)
+    data_path_ecalls = enclave.ecall_count - ecalls_before
+    assert data_path_ecalls == 3  # 96 packets / bursts of 32
+    assert len(out) == 48  # odd i -> non-victim dst -> allowed
+    assert pipeline.stats.allowed == 48
+    assert pipeline.stats.dropped == 48
 
 
 def test_shared_decision_secret_across_enclaves():

@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import InfeasibleError
-from repro.optim.greedy import greedy_solve
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.optim.greedy import _assign_bandwidth, greedy_solve
 from repro.optim.problem import RuleDistributionProblem
 from repro.optim.validation import validate_allocation
 from repro.util.stats import lognormal_bandwidths
@@ -82,6 +82,19 @@ def test_deterministic():
     a = greedy_solve(p)
     b = greedy_solve(p)
     assert a.assignments == b.assignments
+
+
+def test_assign_bandwidth_rejects_negative_rule():
+    """A negative bandwidth used to be silently discarded (it matched
+    neither the positive pool nor the zero list), so the rule vanished
+    from the allocation without any error."""
+    with pytest.raises(ConfigurationError, match="rule 1"):
+        _assign_bandwidth([5.0, -2.0, 3.0], h=10.0, g=100.0, n=2)
+
+
+def test_assign_bandwidth_rejects_nan_rule():
+    with pytest.raises(ConfigurationError, match="invalid bandwidth"):
+        _assign_bandwidth([5.0, float("nan")], h=10.0, g=100.0, n=2)
 
 
 @settings(max_examples=40, deadline=None)

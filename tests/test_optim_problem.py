@@ -61,6 +61,22 @@ def test_validation():
         problem([1.0], memory_budget=1, base_bytes=2)
 
 
+def test_validation_rejects_non_finite_bandwidths():
+    """NaN passes every `< 0` / `> 0` filter, so without an explicit check a
+    NaN-bandwidth rule silently vanishes from the greedy packing."""
+    with pytest.raises(ConfigurationError, match="non-finite"):
+        problem([1.0, float("nan")])
+    with pytest.raises(ConfigurationError, match="non-finite"):
+        problem([float("inf")])
+    with pytest.raises(ConfigurationError, match="non-finite"):
+        problem([1.0, float("-inf")])
+
+
+def test_validation_error_names_offending_rule():
+    with pytest.raises(ConfigurationError, match="rule 2"):
+        problem([1.0, 2.0, -3.0])
+
+
 def test_check_feasible():
     problem([1 * GBPS]).check_feasible()
     tight = problem([1.0], memory_budget=2 * MB, bytes_per_rule=4 * MB,

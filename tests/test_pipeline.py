@@ -1,8 +1,10 @@
 """The RX -> Filter -> TX pipeline."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.dataplane.pipeline import FilterPipeline
+from repro.dataplane.pipeline import FilterPipeline, PipelineAccountingError
 from tests.conftest import make_packet
 
 
@@ -55,3 +57,122 @@ def test_multiple_process_calls_accumulate():
     pipeline.process([make_packet()])
     pipeline.process([make_packet()])
     assert pipeline.stats.allowed == 2
+
+
+# -- overflow accounting -------------------------------------------------------
+
+
+def test_tx_ring_overflow_is_counted():
+    """A packet the filter allowed but the full TX ring swallowed must be
+    visible in the stats — it used to vanish from every counter."""
+    pipeline = FilterPipeline(lambda p: True, ring_capacity=4, burst_size=4)
+    pipeline.nic_in.receive_from_wire(
+        [make_packet(src_port=1000 + i) for i in range(8)]
+    )
+    pipeline.rx_stage()
+    pipeline.filter_stage()  # fills the TX ring to capacity
+    pipeline.rx_stage()
+    pipeline.filter_stage()  # 4 allowed verdicts, no TX room: all overflow
+    stats = pipeline.stats
+    assert stats.allowed == 4
+    assert stats.tx_overflow_drops == 4
+    assert stats.processed == 8
+    pipeline.check_conservation()
+    pipeline.run_until_drained()
+    assert stats.received == (
+        stats.allowed
+        + stats.dropped
+        + stats.rx_overflow_drops
+        + stats.tx_overflow_drops
+    )
+
+
+def test_conservation_check_catches_untracked_loss():
+    pipeline = FilterPipeline(lambda p: True)
+    pipeline.process([make_packet()])
+    pipeline.stats.received += 1  # simulate a lost packet
+    with pytest.raises(PipelineAccountingError):
+        pipeline.check_conservation()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_packets=st.integers(min_value=0, max_value=150),
+    ring_capacity=st.integers(min_value=1, max_value=6),
+    burst_size=st.integers(min_value=1, max_value=48),
+    modulus=st.integers(min_value=1, max_value=4),
+)
+def test_packet_conservation_under_backpressure(
+    n_packets, ring_capacity, burst_size, modulus
+):
+    """However small the rings, received == allowed + dropped + overflow."""
+    pipeline = FilterPipeline(
+        lambda p: p.five_tuple.src_port % modulus != 0,
+        ring_capacity=ring_capacity,
+        burst_size=burst_size,
+    )
+    out = pipeline.process(
+        [make_packet(src_port=1000 + i) for i in range(n_packets)]
+    )
+    stats = pipeline.stats
+    assert stats.received == n_packets
+    assert stats.received == (
+        stats.allowed
+        + stats.dropped
+        + stats.rx_overflow_drops
+        + stats.tx_overflow_drops
+    )
+    assert len(out) == stats.allowed
+
+
+# -- the burst filter interface ------------------------------------------------
+
+
+class BurstSpy:
+    """A filter exposing ``process_burst``; records how it was invoked."""
+
+    def __init__(self, verdict):
+        self.verdict = verdict
+        self.burst_sizes = []
+        self.per_packet_calls = 0
+
+    def __call__(self, packet):
+        self.per_packet_calls += 1
+        return self.verdict(packet)
+
+    def process_burst(self, packets):
+        self.burst_sizes.append(len(packets))
+        return [self.verdict(p) for p in packets]
+
+
+def test_burst_interface_preferred_over_per_packet():
+    spy = BurstSpy(lambda p: True)
+    pipeline = FilterPipeline(spy, burst_size=32)
+    out = pipeline.process([make_packet(src_port=1000 + i) for i in range(100)])
+    assert len(out) == 100
+    assert spy.per_packet_calls == 0
+    assert sum(spy.burst_sizes) == 100
+    assert max(spy.burst_sizes) <= 32
+    # 100 packets in bursts of <= 32 -> exactly 4 filter invocations.
+    assert len(spy.burst_sizes) == 4
+
+
+def test_burst_interface_verdicts_match_per_packet():
+    verdict = lambda p: p.five_tuple.src_port % 2 == 0  # noqa: E731
+    packets = [make_packet(src_port=1000 + i) for i in range(64)]
+    burst_out = FilterPipeline(BurstSpy(verdict)).process(list(packets))
+    plain_out = FilterPipeline(verdict).process(list(packets))
+    assert [p.five_tuple for p in burst_out] == [p.five_tuple for p in plain_out]
+
+
+def test_burst_filter_verdict_count_mismatch_raises():
+    class Broken:
+        def __call__(self, packet):
+            return True
+
+        def process_burst(self, packets):
+            return [True]  # wrong length for any burst > 1
+
+    pipeline = FilterPipeline(Broken())
+    with pytest.raises(PipelineAccountingError):
+        pipeline.process([make_packet(src_port=1000 + i) for i in range(2)])

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sketch.countmin import CountMinSketch, PAPER_DEPTH, PAPER_WIDTH
+from repro.sketch.countmin import (
+    BLOB_VERSION,
+    CountMinSketch,
+    PAPER_DEPTH,
+    PAPER_WIDTH,
+)
 
 
 def small_sketch(width=256, seed="t") -> CountMinSketch:
@@ -95,6 +100,78 @@ def test_deserialize_rejects_garbage():
     blob = small_sketch().serialize()
     with pytest.raises(ValueError):
         CountMinSketch.deserialize(blob[:-8])
+
+
+def test_serialize_blob_is_versioned():
+    blob = small_sketch().serialize()
+    assert blob[0] == BLOB_VERSION
+
+
+def test_deserialize_rejects_bad_version_byte():
+    blob = bytearray(small_sketch().serialize())
+    for bad in (0, 1, BLOB_VERSION + 1, 255):
+        blob[0] = bad
+        with pytest.raises(ValueError, match="version"):
+            CountMinSketch.deserialize(bytes(blob))
+
+
+def test_serialize_carries_exact_total():
+    a = small_sketch()
+    a.update(b"k", 7)
+    a.update(b"other", 2)
+    b = CountMinSketch.deserialize(a.serialize())
+    assert b.total == a.total == 9
+
+
+def test_serialize_total_exact_after_counter_saturation():
+    """The old format reconstructed the total as the max row sum, which is
+    wrong once any counter saturates; the blob must carry the exact value."""
+    a = small_sketch(width=8)
+    huge = 2**64 - 1
+    a.update(b"k", huge)
+    a.update(b"k", 5)  # counters saturate at 2^64-1; the total must not
+    assert a.total == huge + 5
+    assert a.estimate(b"k") == huge  # bins saturated
+    b = CountMinSketch.deserialize(a.serialize())
+    assert b.total == huge + 5
+    assert b.bins() == a.bins()
+
+
+def test_roundtrip_then_merge_matches_direct_merge():
+    """Victim-side flow: deserialize per-enclave blobs, merge into one log."""
+    a = small_sketch()
+    b = small_sketch()
+    for i in range(40):
+        a.update(f"a-{i}".encode(), i + 1)
+        b.update(f"b-{i}".encode(), 2 * i + 1)
+    direct = a.copy()
+    direct.merge(b)
+    via_wire = CountMinSketch.deserialize(a.serialize())
+    via_wire.merge(CountMinSketch.deserialize(b.serialize()))
+    assert via_wire.bins() == direct.bins()
+    assert via_wire.total == direct.total
+
+
+def test_update_many_equivalent_to_point_updates():
+    bulk = small_sketch()
+    point = small_sketch()
+    keys = [f"key-{i % 13}".encode() for i in range(100)]
+    assert bulk.update_many(keys) == 100
+    for key in keys:
+        point.update(key)
+    assert bulk.bins() == point.bins()
+    assert bulk.total == point.total == 100
+
+
+def test_update_many_with_count_and_empty():
+    sketch = small_sketch()
+    assert sketch.update_many([], 5) == 0
+    assert sketch.total == 0
+    sketch.update_many([b"x", b"y"], 3)
+    assert sketch.estimate(b"x") >= 3
+    assert sketch.total == 6
+    with pytest.raises(ValueError):
+        sketch.update_many([b"x"], 0)
 
 
 def test_nonzero_bins_sparse_view():

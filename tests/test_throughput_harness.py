@@ -69,6 +69,29 @@ def test_latency_report(harness):
     assert 100 < report.latency_us[-1] < 125
 
 
+def test_batch_size_sweep(harness):
+    report = harness.batch_size_sweep()
+    assert report.batch_sizes == (1, 2, 4, 8, 16, 32, 64, 128)
+    # More packets per transition never hurts.
+    assert list(report.mpps) == sorted(report.mpps)
+    # ECall accounting: exactly one transition per batch.
+    assert list(report.ecalls_per_packet) == [
+        pytest.approx(1 / b) for b in report.batch_sizes
+    ]
+    # Unbatched, the 8k-cycle transition dominates the ~2k-cycle packet cost.
+    assert report.mpps[0] < 0.2 * report.mpps[-1]
+    rows = report.as_rows()
+    assert len(rows) == 8 and rows[0][0] == 1
+
+
+def test_batch_sweep_consistent_with_packet_size_sweep(harness):
+    """At the calibrated batch (32) the sweep agrees with Fig 8's 64 B point."""
+    batch_report = harness.batch_size_sweep()
+    fig8 = harness.packet_size_sweep(ImplementationVariant.SGX_ZERO_COPY)
+    at_32 = batch_report.mpps[batch_report.batch_sizes.index(32)]
+    assert at_32 == pytest.approx(fig8.mpps[0], rel=1e-9)
+
+
 def test_throughput_report_rows(harness):
     report = harness.packet_size_sweep(ImplementationVariant.NATIVE)
     rows = report.as_rows()
