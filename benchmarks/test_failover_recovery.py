@@ -1,0 +1,181 @@
+"""Failover recovery: time-to-recover and traffic lost vs fleet size/failure rate.
+
+Sweeps the fault-injection harness over fleet sizes and kill fractions and
+reports, per configuration:
+
+* **recovery_s** — simulated recovery time (relaunch + attestation rounds +
+  backoff waits, built from the Appendix G attestation timing model);
+* **lost%** — rule traffic dropped fail-closed or shed during the outage
+  window, as a fraction of all rule traffic offered (the availability cost
+  of the paper's fail-closed stance);
+* **shed** — rules sacrificed when surviving capacity could not absorb the
+  orphans;
+* **unfiltered** — the security invariant: must be 0 in every cell.
+
+Every cell is deterministic (seeded schedules, traffic, and backoff
+jitter), so these numbers are reproducible artifacts, not anecdotes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.controller import IXPController
+from repro.core.fleet import FleetConfig, FleetManager
+from repro.core.rules import Action, FilterRule, FlowPattern, RPKIRegistry, RuleSet
+from repro.core.session import VIFSession
+from repro.faults import FaultInjectionHarness, FaultSchedule, FlakyIAS
+from repro.util.units import GBPS
+
+VICTIM = "victim.example"
+ROUNDS = 6
+
+
+def _rules(count: int, fleet_size: int, utilisation: float = 0.7) -> RuleSet:
+    """Aggregate demand at ``utilisation`` of fleet capacity: survivable
+    small kills, forced shedding at large ones."""
+    rate = utilisation * fleet_size * 10 * GBPS / count
+    rules = RuleSet()
+    for i in range(count):
+        rules.add(
+            FilterRule(
+                rule_id=i + 1,
+                pattern=FlowPattern(dst_prefix=f"10.{i // 250}.{i % 250}.0/24"),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+                requested_by=VICTIM,
+                rate_bps=rate,
+            )
+        )
+    return rules
+
+
+def _run_cell(fleet_size: int, kill_fraction: float, seed: str):
+    from repro.faults import FaultKind
+
+    # Platform losses against a thin spare budget: small kills relaunch on
+    # spares, large kills exhaust them and force repair/shedding — that is
+    # where the availability cost shows up.
+    ias = FlakyIAS()
+    controller = IXPController(ias)
+    fleet = FleetManager(
+        controller,
+        config=FleetConfig(spare_platforms=fleet_size // 10, seed=seed),
+    )
+    rules = _rules(count=3 * fleet_size, fleet_size=fleet_size, utilisation=0.75)
+    fleet.deploy(rules, enclaves_override=fleet_size)
+
+    rpki = RPKIRegistry()
+    rpki.authorize(VICTIM, "10.0.0.0/8")
+    session = VIFSession(VICTIM, rpki, ias, controller)
+    session.attest_filters()
+    fleet.session = session
+
+    schedule = FaultSchedule.kill_fraction(
+        seed, rounds=ROUNDS, fleet_size=fleet_size, fraction=kill_fraction,
+        kind=FaultKind.PLATFORM_LOSS,
+    )
+    result = FaultInjectionHarness(fleet, schedule, ias=ias).run()
+
+    rule_traffic = result.packets_sent - sum(
+        r.carry.unrouted for r in result.records
+    )
+    lost = result.packets_lost_to_failover
+    return {
+        "recovery_s": result.counters["recovery_time_s"],
+        "lost_pct": 100.0 * lost / max(rule_traffic, 1),
+        "shed": int(result.counters["rules_shed"]),
+        "unfiltered": int(result.counters["unfiltered_packets"]),
+        "invariant": result.invariant_violations,
+        "valid": not result.final_allocation_violations,
+    }
+
+
+def test_bench_recovery_vs_fleet_size_and_failure_rate():
+    fleet_sizes = (20, 10, 5) if full_scale() else (10, 5)
+    kill_fractions = (0.1, 0.2, 0.4)
+
+    lines = [
+        f"{'fleet':>6} {'killed':>7} {'recovery_s':>11} {'lost%':>7} "
+        f"{'shed':>5} {'unfiltered':>11}"
+    ]
+    cells = {}
+    for n in fleet_sizes:
+        for frac in kill_fractions:
+            cell = _run_cell(n, frac, seed=f"bench-{n}-{frac}")
+            cells[(n, frac)] = cell
+            lines.append(
+                f"{n:>6} {frac:>7.0%} {cell['recovery_s']:>11.2f} "
+                f"{cell['lost_pct']:>7.2f} {cell['shed']:>5} "
+                f"{cell['unfiltered']:>11}"
+            )
+    emit(
+        "failover recovery sweep "
+        f"({ROUNDS} rounds, kill at round {ROUNDS // 2})\n" + "\n".join(lines)
+    )
+
+    for (n, frac), cell in cells.items():
+        # the security invariant holds in every configuration
+        assert cell["unfiltered"] == 0, (n, frac)
+        assert cell["invariant"] == 0, (n, frac)
+        assert cell["valid"], (n, frac)
+        # recovery happened and its cost is visible
+        assert cell["recovery_s"] > 0, (n, frac)
+
+    # killing more of the fleet cannot cost less recovery time
+    for n in fleet_sizes:
+        assert cells[(n, 0.4)]["recovery_s"] >= cells[(n, 0.1)]["recovery_s"]
+
+
+def test_bench_recovery_rides_out_ias_outage():
+    """An IAS outage during recovery stretches recovery time via backoff
+    but never breaks the invariant or aborts the failover."""
+    from repro.faults import FaultEvent, FaultKind
+
+    def run(outage: int):
+        seed = f"bench-ias-{outage}"
+        ias = FlakyIAS()
+        controller = IXPController(ias)
+        fleet = FleetManager(
+            controller, config=FleetConfig(spare_platforms=2, seed=seed)
+        )
+        fleet.deploy(_rules(15, 5), enclaves_override=5)
+        rpki = RPKIRegistry()
+        rpki.authorize(VICTIM, "10.0.0.0/8")
+        session = VIFSession(VICTIM, rpki, ias, controller)
+        session.attest_filters()
+        fleet.session = session
+        base = FaultSchedule.kill_fraction(
+            seed, rounds=ROUNDS, fleet_size=5, fraction=0.2
+        )
+        events = base.events
+        if outage:
+            events += (
+                FaultEvent(
+                    round_index=base.events[0].round_index,
+                    kind=FaultKind.IAS_OUTAGE,
+                    magnitude=outage,
+                ),
+            )
+        schedule = FaultSchedule(rounds=ROUNDS, events=events, seed=seed)
+        result = FaultInjectionHarness(fleet, schedule, ias=ias).run()
+        return result, fleet
+
+    clean, _ = run(outage=0)
+    outage, fleet = run(outage=3)
+
+    emit(
+        "IAS outage during recovery\n"
+        f"{'scenario':<10} {'recovery_s':>11} {'retries':>8} {'unfiltered':>11}\n"
+        f"{'clean':<10} {clean.counters['recovery_time_s']:>11.2f} "
+        f"{int(clean.counters['attestation_retries']):>8} "
+        f"{int(clean.counters['unfiltered_packets']):>11}\n"
+        f"{'outage x3':<10} {outage.counters['recovery_time_s']:>11.2f} "
+        f"{int(outage.counters['attestation_retries']):>8} "
+        f"{int(outage.counters['unfiltered_packets']):>11}"
+    )
+
+    assert outage.counters["attestation_retries"] == 3
+    assert outage.recovery_failures == 0  # ridden out, not aborted
+    assert outage.counters["recovery_time_s"] > clean.counters["recovery_time_s"]
+    assert outage.counters["unfiltered_packets"] == 0
+    assert outage.invariant_violations == 0
+    assert fleet.counters.relaunches >= 1

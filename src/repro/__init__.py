@@ -35,8 +35,11 @@ from repro.core import (
     BypassEvidence,
     ConnectionPreservingMode,
     EnclaveFilter,
+    EnclaveHealth,
     FilterDecision,
     FilterRule,
+    FleetConfig,
+    FleetManager,
     FlowPattern,
     IXPController,
     LoadBalancer,
@@ -70,9 +73,12 @@ __all__ = [
     "CountMinSketch",
     "Enclave",
     "EnclaveFilter",
+    "EnclaveHealth",
     "FilterDecision",
     "FilterRule",
     "FiveTuple",
+    "FleetConfig",
+    "FleetManager",
     "FlowPattern",
     "IASService",
     "IXPController",

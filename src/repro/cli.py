@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig8
     python -m repro.cli run all
+    python -m repro.cli fleet-sim --fleet-size 10 --rounds 8 --kill 0.2
 """
 
 from __future__ import annotations
@@ -29,11 +30,141 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment key from 'list', or 'all'")
+    fleet = sub.add_parser(
+        "fleet-sim",
+        help="run the fault-injection fleet simulation",
+        description=(
+            "Deploy a filtering fleet, play a seeded fault schedule against "
+            "it, and report recovery counters.  The run is deterministic "
+            "given --seed; the fail-closed invariant (no rule traffic "
+            "delivered unfiltered) is checked every round."
+        ),
+    )
+    fleet.add_argument("--seed", default="fleet-sim", help="schedule/traffic seed")
+    fleet.add_argument("--fleet-size", type=int, default=10, metavar="N",
+                       help="enclaves to deploy (default 10)")
+    fleet.add_argument("--rules", type=int, default=24, metavar="K",
+                       help="filter rules to install (default 24)")
+    fleet.add_argument("--rounds", type=int, default=8, metavar="R",
+                       help="traffic rounds to run (default 8)")
+    fleet.add_argument("--kill", type=float, default=0.2, metavar="FRAC",
+                       help="fraction of the fleet crashed mid-run (default 0.2)")
+    fleet.add_argument("--crash-prob", type=float, default=0.0, metavar="P",
+                       help="additional per-round random crash probability")
+    fleet.add_argument("--epc-prob", type=float, default=0.0, metavar="P",
+                       help="per-round EPC-exhaustion probability")
+    fleet.add_argument("--ias-outage", type=int, default=0, metavar="K",
+                       help="fail K IAS verifications in the kill round")
+    fleet.add_argument("--spares", type=int, default=2, metavar="S",
+                       help="spare platforms available for failover (default 2)")
     return parser
+
+
+def run_fleet_sim(args: argparse.Namespace) -> int:
+    """The ``fleet-sim`` subcommand (imports deferred: keep ``list`` fast)."""
+    from repro.core.controller import IXPController
+    from repro.core.fleet import FleetConfig, FleetManager
+    from repro.core.rules import (
+        Action,
+        FilterRule,
+        FlowPattern,
+        RPKIRegistry,
+        RuleSet,
+    )
+    from repro.core.session import VIFSession
+    from repro.faults import (
+        FaultEvent,
+        FaultInjectionHarness,
+        FaultKind,
+        FaultSchedule,
+        FlakyIAS,
+    )
+    from repro.util.units import GBPS
+
+    if args.fleet_size < 1 or args.rules < 1 or args.rounds < 1:
+        print("fleet-size, rules and rounds must be positive", file=sys.stderr)
+        return 2
+
+    ias = FlakyIAS()
+    controller = IXPController(ias)
+    fleet = FleetManager(
+        controller, config=FleetConfig(spare_platforms=args.spares, seed=args.seed)
+    )
+
+    rules = RuleSet()
+    # One /24 per rule under a shared /8 test prefix; aggregate demand sized
+    # to ~60% of fleet capacity so moderate kill fractions stay feasible.
+    rate = 0.6 * args.fleet_size * 10 * GBPS / args.rules
+    for i in range(args.rules):
+        rules.add(
+            FilterRule(
+                rule_id=i + 1,
+                pattern=FlowPattern(
+                    dst_prefix=f"10.{(i // 256) % 256}.{i % 256}.0/24"
+                ),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+                requested_by="victim.example",
+                rate_bps=rate,
+            )
+        )
+    fleet.deploy(rules, enclaves_override=args.fleet_size)
+
+    # Attach a victim session so replacements are re-attested through the
+    # real attestation path (and IAS outages actually bite).
+    rpki = RPKIRegistry()
+    rpki.authorize("victim.example", "10.0.0.0/8")
+    session = VIFSession("victim.example", rpki, ias, controller)
+    session.attest_filters()
+    fleet.session = session
+
+    schedule = FaultSchedule.kill_fraction(
+        args.seed, rounds=args.rounds, fleet_size=args.fleet_size,
+        fraction=args.kill,
+    ) if args.kill > 0 else FaultSchedule(rounds=args.rounds, seed=args.seed)
+    events = list(schedule.events)
+    if args.ias_outage > 0:
+        kill_round = events[0].round_index if events else args.rounds // 2
+        events.append(FaultEvent(round_index=kill_round,
+                                 kind=FaultKind.IAS_OUTAGE,
+                                 magnitude=args.ias_outage))
+    if args.crash_prob > 0 or args.epc_prob > 0:
+        extra = FaultSchedule.generate(
+            f"{args.seed}/extra", rounds=args.rounds,
+            fleet_size=args.fleet_size, crash_prob=args.crash_prob,
+            epc_exhaustion_prob=args.epc_prob,
+        )
+        events.extend(extra.events)
+    schedule = FaultSchedule(
+        rounds=args.rounds, events=tuple(events), seed=args.seed
+    )
+
+    harness = FaultInjectionHarness(fleet, schedule, ias=ias)
+    result = harness.run()
+
+    print(f"fleet-sim seed={args.seed!r}: {args.fleet_size} enclaves, "
+          f"{args.rules} rules, {args.rounds} rounds")
+    for event in schedule.events:
+        print(f"  fault {event.describe()}")
+    for key, value in sorted(result.summary().items()):
+        if isinstance(value, float):
+            print(f"  {key:28s} {value:.3f}")
+        else:
+            print(f"  {key:28s} {value}")
+    if result.final_allocation_violations:
+        print("  final allocation INVALID:", file=sys.stderr)
+        for violation in result.final_allocation_violations:
+            print(f"    {violation}", file=sys.stderr)
+        return 1
+    if result.invariant_violations:
+        print("  FAIL-CLOSED INVARIANT VIOLATED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "fleet-sim":
+        return run_fleet_sim(args)
     if args.command == "list":
         for experiment in list_experiments():
             print(f"{experiment.key:12s} {experiment.paper_ref:14s} "

@@ -18,6 +18,9 @@ Submodules:
   balancer.
 * :mod:`repro.core.session` — end-to-end victim<->filtering-network session:
   attestation, rule install, rounds, audits, abort-on-misbehavior.
+* :mod:`repro.core.fleet` — fault-tolerant fleet manager: health probes,
+  automatic failover with incremental rule re-distribution, fail-closed
+  graceful degradation.
 """
 
 from repro.core.rules import (
@@ -38,10 +41,18 @@ from repro.core.bypass import (
     NeighborAuditor,
     VictimAuditor,
 )
-from repro.core.controller import IXPController, LoadBalancer
+from repro.core.controller import BLACKHOLE, IXPController, LoadBalancer
 from repro.core.distribution import (
     RedistributionRound,
     RuleDistributionProtocol,
+)
+from repro.core.fleet import (
+    EnclaveHealth,
+    FleetBurstFilter,
+    FleetConfig,
+    FleetCounters,
+    FleetManager,
+    RecoveryReport,
 )
 from repro.core.neighbor import NeighborSession
 from repro.core.rounds import RoundOutcome, RoundScheduler
@@ -56,13 +67,19 @@ from repro.core.stateful import (
 __all__ = [
     "Action",
     "AuditableRateLimitFilter",
+    "BLACKHOLE",
     "BypassEvidence",
     "ConnectionPreservingMode",
     "EnclaveBurstFilter",
     "EnclaveFilter",
+    "EnclaveHealth",
     "FilterDecision",
     "FilterReport",
     "FilterRule",
+    "FleetBurstFilter",
+    "FleetConfig",
+    "FleetCounters",
+    "FleetManager",
     "FlowPattern",
     "IXPController",
     "LoadBalancer",
@@ -70,6 +87,7 @@ __all__ = [
     "NeighborAuditor",
     "NeighborSession",
     "RPKIRegistry",
+    "RecoveryReport",
     "RedistributionRound",
     "RoundOutcome",
     "RoundScheduler",

@@ -20,7 +20,7 @@ The honest implementations live here; adversarial variants subclass
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.enclave_filter import EnclaveFilter
 from repro.core.filter import ConnectionPreservingMode
@@ -31,7 +31,15 @@ from repro.optim.problem import Allocation
 from repro.sketch.countmin import CountMinSketch
 from repro.tee.attestation import IASService
 from repro.tee.enclave import Enclave, Platform
+from repro.tee.epc import EPCAccounting
 from repro.util.rng import stable_hash64
+
+
+#: Sentinel verdict from :meth:`LoadBalancer.route` for packets matching a
+#: *shed* rule: the rule lost its enclave in a capacity-loss failover and its
+#: traffic must be dropped at the switch, never forwarded unfiltered
+#: (fail-closed degradation).
+BLACKHOLE = "blackhole"
 
 
 class LoadBalancer:
@@ -42,12 +50,18 @@ class LoadBalancer:
     is divided across its replicas in proportion to the allocated bandwidth,
     with per-flow stickiness (a flow hashes to exactly one replica, so
     connection preservation survives the split).
+
+    A rule may additionally be *blackholed* (graceful degradation under
+    capacity loss): matching packets get the :data:`BLACKHOLE` verdict and
+    are dropped by the carrier instead of being routed or forwarded.
     """
 
     def __init__(self) -> None:
         self._rules = RuleSet()
         self._routes: Dict[int, List[Tuple[int, float]]] = {}
+        self._blackholed: Set[int] = set()
         self.unrouted_packets = 0
+        self.blackholed_packets = 0
 
     def configure(
         self, rules: RuleSet, routes: Dict[int, List[Tuple[int, float]]]
@@ -62,14 +76,30 @@ class LoadBalancer:
                 raise ConfigurationError(f"rule {rule_id} has a negative weight")
         self._rules = rules
         self._routes = {rid: list(reps) for rid, reps in routes.items()}
+        self._blackholed -= set(self._routes)
 
-    def route(self, packet: Packet) -> Optional[int]:
-        """The enclave index for ``packet``, or None when no rule matches.
+    def blackhole(self, rule_ids: Iterable[int]) -> None:
+        """Mark shed rules: their traffic is dropped, not forwarded."""
+        for rule_id in rule_ids:
+            self._blackholed.add(rule_id)
+            self._routes.pop(rule_id, None)
 
-        Unmatched traffic takes the default path (no filtering requested for
-        it) — the honest behavior.
+    @property
+    def blackholed_rule_ids(self) -> Set[int]:
+        return set(self._blackholed)
+
+    def route(self, packet: Packet) -> Union[int, str, None]:
+        """The enclave index for ``packet``, or a non-routing verdict.
+
+        Returns ``None`` when no rule matches — unmatched traffic takes the
+        default path (no filtering requested for it), the honest behavior —
+        or :data:`BLACKHOLE` when the matching rule was shed and its traffic
+        must be dropped fail-closed.
         """
         rule = self._rules.match(packet.five_tuple)
+        if rule is not None and rule.rule_id in self._blackholed:
+            self.blackholed_packets += 1
+            return BLACKHOLE
         if rule is None or rule.rule_id not in self._routes:
             self.unrouted_packets += 1
             return None
@@ -149,6 +179,41 @@ class IXPController:
             self.programs.append(program)
             launched.append(enclave)
         return launched
+
+    def relaunch_filter(
+        self,
+        index: int,
+        platform: Optional[Platform] = None,
+        epc: Optional["EPCAccounting"] = None,
+    ) -> Enclave:
+        """Replace the (dead) enclave at ``index`` with a fresh launch.
+
+        Reuses the dead enclave's platform unless a replacement ``platform``
+        is supplied (platform loss).  The fresh program gets a new channel
+        secret — the victim must re-attest it — but the shared fleet
+        decision secret, so hash-based flow verdicts survive the failover.
+        The replacement starts with empty rule tables and sketch logs;
+        callers reinstall rules and re-base audits.
+        """
+        if not 0 <= index < len(self.enclaves):
+            raise ConfigurationError(f"no enclave at index {index}")
+        old = self.enclaves[index]
+        old.destroy()  # idempotent: usually already dead
+        if platform is None:
+            platform = old.platform
+        self.ias.provision(platform)
+        self._platform_counter += 1
+        program = EnclaveFilter(
+            secret=f"{self.enclave_secret_seed}/relaunch-{self._platform_counter}",
+            mode=self.mode,
+            sketch_seed=self.sketch_seed,
+            scale_out_mode=len(self.enclaves) > 1,
+            decision_secret=f"{self.enclave_secret_seed}/fleet",
+        )
+        enclave = platform.launch(program, epc=epc)
+        self.enclaves[index] = enclave
+        self.programs[index] = program
+        return enclave
 
     def retire_filters(self, count: int) -> None:
         """Destroy the last ``count`` enclaves (shrinking deployments)."""
@@ -248,6 +313,8 @@ class IXPController:
 
         for packet in packets:
             enclave_index = self.load_balancer.route(packet)
+            if enclave_index is BLACKHOLE:
+                continue  # shed rule: fail-closed drop (counted by the LB)
             if enclave_index is None:
                 flush()
                 forwarded.append(packet)
@@ -263,6 +330,35 @@ class IXPController:
         return forwarded
 
     # -- telemetry ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Deployment-level counters, including the load balancer's.
+
+        ``unrouted_packets`` (traffic matching no installed rule, forwarded
+        on the default path) and ``blackholed_packets`` (traffic for shed
+        rules, dropped fail-closed) previously accumulated invisibly inside
+        the load balancer; surfacing them here keeps the controller's books
+        reconcilable against pipeline accounting.  Destroyed enclaves are
+        skipped rather than queried (their counters are unreachable), and
+        reported under ``dead_enclaves``.
+        """
+        totals = {
+            "enclaves": len(self.enclaves),
+            "dead_enclaves": sum(1 for e in self.enclaves if e.destroyed),
+            "unrouted_packets": self.load_balancer.unrouted_packets,
+            "blackholed_packets": self.load_balancer.blackholed_packets,
+            "packets_processed": 0,
+            "packets_allowed": 0,
+            "packets_dropped": 0,
+        }
+        for enclave in self.enclaves:
+            if enclave.destroyed:
+                continue
+            report = enclave.ecall("report")
+            totals["packets_processed"] += report.packets_processed
+            totals["packets_allowed"] += report.packets_allowed
+            totals["packets_dropped"] += report.packets_dropped
+        return totals
 
     def collect_rule_rates(self, window_s: float) -> Dict[int, float]:
         """Aggregate per-rule byte counters into bps over ``window_s``.

@@ -24,6 +24,7 @@ ECall                  Purpose
 ``open_victim_channel``complete the handshake with the victim
 ``export_logs``        authenticated sketch logs over the secure channel
 ``misbehavior_report`` load-balancer misbehavior events collected so far
+``ping``               liveness heartbeat for the fleet manager's health probes
 =====================  ========================================================
 
 EPC accounting mirrors the memory model: the base footprint (code, sketches,
@@ -101,6 +102,7 @@ class EnclaveFilter(EnclaveProgram):
         self._channel_endpoint = ChannelEndpoint.create("enclave", secret)
         self._victim_channel: Optional[SecureChannel] = None
         self._neighbor_channels: Dict[int, SecureChannel] = {}
+        self._ping_counter = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -125,6 +127,7 @@ class EnclaveFilter(EnclaveProgram):
             ("master_recalculate", self.master_recalculate),
             ("install_plan_slice", self.install_plan_slice),
             ("misbehavior_report", self.misbehavior_report),
+            ("ping", self.ping),
             ("report", self.report),
             ("num_rules", lambda: self._filter.num_rules),
             ("installed_rules", self.installed_rules),
@@ -289,6 +292,19 @@ class EnclaveFilter(EnclaveProgram):
 
     def misbehavior_report(self) -> List[str]:
         return list(self._report.misbehavior_events)
+
+    def ping(self) -> int:
+        """Liveness heartbeat for the fleet manager's health probes.
+
+        The cheapest possible ECall: a destroyed enclave raises
+        :class:`~repro.errors.EnclaveSealedError` at the enclave boundary
+        before ever reaching this code, so a successful return *is* the
+        health signal.  Returns a monotonically increasing probe counter so
+        callers can also detect a silently restarted program (the counter
+        resets to 1).
+        """
+        self._ping_counter += 1
+        return self._ping_counter
 
     # -- the Fig 5 master/slave protocol, authenticated end to end -------------
 

@@ -1,0 +1,760 @@
+"""Fault-tolerant fleet management for the filtering enclaves.
+
+The paper's scale-out design (VI-B, Appendix C) distributes rules over ~50
+enclaves but assumes the fleet stays healthy; its own threat model admits the
+untrusted IXP can kill an enclave at any time.  A dead enclave fails closed
+(every ECall raises), which is safe but not *available*: rules assigned to it
+blackhole their traffic until somebody notices.  :class:`FleetManager` is
+that somebody.  It keeps the deployment serving through crashes, platform
+loss, EPC exhaustion and IAS outages:
+
+* **health monitoring** — cheap ``ping`` ECall probes per round; an enclave
+  is SUSPECT after one missed probe and DEAD after a configurable streak
+  (the data path also marks an enclave dead the moment a burst ECall raises
+  :class:`~repro.errors.EnclaveSealedError`, so detection never waits for
+  the prober);
+* **failover** — a dead enclave is relaunched on its platform when the
+  platform survives, else on a spare platform from a bounded budget; the
+  replacement is re-attested through the victim's
+  :class:`~repro.core.session.VIFSession` with bounded retry + exponential
+  backoff (deterministic jitter from :mod:`repro.util.rng`), so a transient
+  IAS outage delays recovery instead of aborting it;
+* **incremental re-distribution** — when no relaunch is possible, the
+  orphaned rules are greedily re-packed onto survivors
+  (:func:`~repro.optim.repair.repair_allocation`), preserving every
+  survivor's rule set; only if repair is infeasible does the manager fall
+  back to a full :func:`~repro.optim.greedy.greedy_solve` over the
+  surviving fleet;
+* **graceful degradation** — when surviving capacity is below demand, rules
+  are shed in priority/bandwidth order (:func:`~repro.optim.repair.shed_order`)
+  and their traffic is *blackholed at the load balancer* — never passed
+  unfiltered (fail-closed, the AITF partial-filtering stance) — with the
+  shed set reported exactly.
+
+Every decision is deterministic given the seed, so the fault-injection
+harness (:mod:`repro.faults`) replays recovery paths bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.controller import BLACKHOLE, IXPController
+from repro.core.rules import RuleSet
+from repro.core.session import VIFSession
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import UNROUTED
+from repro.errors import (
+    AttestationError,
+    ConfigurationError,
+    EnclaveError,
+    EnclaveMemoryError,
+    EnclaveSealedError,
+    FleetError,
+    InfeasibleError,
+    RecoveryFailed,
+)
+from repro.optim.greedy import greedy_solve
+from repro.optim.problem import Allocation, RuleDistributionProblem
+from repro.optim.repair import repair_allocation, shed_order
+from repro.tee.attestation import PAPER_ATTESTATION_TIMING
+from repro.tee.enclave import Platform
+from repro.tee.epc import EPCAccounting
+from repro.util.rng import deterministic_rng
+
+
+class EnclaveHealth(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class FleetConfig:
+    """Knobs for health monitoring and recovery."""
+
+    #: Consecutive missed probes before an enclave is declared DEAD.
+    miss_threshold: int = 2
+    #: Attestation attempts per recovery before :class:`RecoveryFailed`.
+    max_attestation_attempts: int = 6
+    #: First retry backoff (simulated seconds); doubles per attempt.
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    #: Jitter as a fraction of the current delay (deterministic, seeded).
+    backoff_jitter: float = 0.25
+    #: Replacement platforms available when a platform is lost outright.
+    spare_platforms: int = 4
+    #: Simulated cost of launching a replacement enclave.
+    relaunch_time_s: float = 0.5
+    #: Simulated cost of a repair / full re-solve (rule reinstalls plus
+    #: load-balancer route updates across the surviving fleet).
+    redistribution_time_s: float = 0.25
+    #: Seed for the deterministic backoff-jitter stream.
+    seed: str = "vif-fleet"
+
+
+@dataclass
+class FleetCounters:
+    """Recovery observability; ``unfiltered_packets`` must stay 0."""
+
+    probes: int = 0
+    probe_misses: int = 0
+    failovers: int = 0
+    relaunches: int = 0
+    attestation_retries: int = 0
+    repairs: int = 0
+    full_resolves: int = 0
+    rules_rehomed: int = 0
+    rules_shed: int = 0
+    shed_bandwidth_bps: float = 0.0
+    shed_drops: int = 0
+    failclosed_drops: int = 0
+    routing_anomalies: int = 0
+    unfiltered_packets: int = 0
+    recovery_time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "probes": self.probes,
+            "probe_misses": self.probe_misses,
+            "failovers": self.failovers,
+            "relaunches": self.relaunches,
+            "attestation_retries": self.attestation_retries,
+            "repairs": self.repairs,
+            "full_resolves": self.full_resolves,
+            "rules_rehomed": self.rules_rehomed,
+            "rules_shed": self.rules_shed,
+            "shed_bandwidth_bps": self.shed_bandwidth_bps,
+            "shed_drops": self.shed_drops,
+            "failclosed_drops": self.failclosed_drops,
+            "routing_anomalies": self.routing_anomalies,
+            "unfiltered_packets": self.unfiltered_packets,
+            "recovery_time_s": self.recovery_time_s,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`FleetManager.recover` call did."""
+
+    relaunched_slots: List[int] = field(default_factory=list)
+    orphaned_slots: List[int] = field(default_factory=list)
+    repaired: bool = False
+    full_resolve: bool = False
+    rules_rehomed: int = 0
+    shed_rule_ids: List[int] = field(default_factory=list)
+    shed_bandwidth_bps: float = 0.0
+
+    @property
+    def acted(self) -> bool:
+        return bool(self.relaunched_slots or self.orphaned_slots)
+
+
+@dataclass
+class CarryResult:
+    """One traffic round through the fleet, with fail-closed accounting."""
+
+    delivered: List[Packet] = field(default_factory=list)
+    #: ``id()`` of delivered packets adjudicated (and allowed) by a live
+    #: enclave — the harness audits delivered ∖ filtered against the rules.
+    filtered_ids: Set[int] = field(default_factory=set)
+    allowed: int = 0
+    dropped_filtered: int = 0
+    unrouted: int = 0
+    dropped_shed: int = 0
+    dropped_failclosed: int = 0
+
+    @property
+    def sent(self) -> int:
+        return (
+            self.allowed
+            + self.dropped_filtered
+            + self.unrouted
+            + self.dropped_shed
+            + self.dropped_failclosed
+        )
+
+
+@dataclass
+class RoundResult:
+    """One fleet round: probe, recover, carry."""
+
+    health: List[EnclaveHealth]
+    recovery: RecoveryReport
+    carry: CarryResult
+
+
+# Internal per-packet verdict tags.
+_ALLOWED = "allowed"
+_DROPPED = "dropped"
+_UNROUTED = "unrouted"
+_SHED = "shed"
+_FAILCLOSED = "failclosed"
+
+
+class FleetManager:
+    """Keeps an :class:`IXPController` fleet serving through failures."""
+
+    def __init__(
+        self,
+        controller: IXPController,
+        session: Optional[VIFSession] = None,
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        self.controller = controller
+        self.session = session
+        self.config = config or FleetConfig()
+        self.counters = FleetCounters()
+        self._rng = deterministic_rng(f"{self.config.seed}/backoff")
+        self._health: List[EnclaveHealth] = []
+        self._misses: List[int] = []
+        self._rules = RuleSet()
+        self._rule_order: List[int] = []
+        self._bandwidths: List[float] = []
+        self._priorities: Dict[int, int] = {}
+        self._allocation: Optional[Allocation] = None
+        self._problem_params: Dict[str, object] = {}
+        self._shed: Set[int] = set()
+        self._failed_platforms: Set[str] = set()
+        self._platform_epc_caps: Dict[str, int] = {}
+        self._spares_used = 0
+
+    # -- deployment -------------------------------------------------------------
+
+    def deploy(
+        self,
+        rules: RuleSet,
+        bandwidths: Optional[Sequence[float]] = None,
+        priorities: Optional[Dict[int, int]] = None,
+        **problem_params: object,
+    ) -> Allocation:
+        """Solve, launch, install and (when a session is attached) attest.
+
+        ``bandwidths`` defaults to each rule's measured ``rate_bps`` in rule
+        id order; ``priorities`` feeds the shed policy (higher survives
+        longer); remaining keyword arguments go to
+        :class:`~repro.optim.problem.RuleDistributionProblem` (e.g.
+        ``enclave_bandwidth``, ``enclaves_override``).
+        """
+        rule_list = rules.rules()
+        if not rule_list:
+            raise ConfigurationError("deploy needs at least one rule")
+        if bandwidths is None:
+            bandwidths = [rule.rate_bps for rule in rule_list]
+        if len(bandwidths) != len(rule_list):
+            raise ConfigurationError("bandwidths do not match the rule set")
+        problem = RuleDistributionProblem(
+            bandwidths=list(bandwidths), **problem_params
+        )
+        allocation = greedy_solve(problem)
+        self.controller.apply_allocation(rules, allocation)
+
+        self._rules = rules
+        self._rule_order = [rule.rule_id for rule in rule_list]
+        self._bandwidths = list(bandwidths)
+        self._priorities = dict(priorities or {})
+        self._allocation = allocation
+        self._problem_params = dict(problem_params)
+        self._problem_params.pop("enclaves_override", None)
+        self._shed = set()
+        self._sync_health(reset=True)
+        if self.session is not None:
+            self._attest_with_retry()
+        return allocation
+
+    # -- health monitoring --------------------------------------------------------
+
+    def probe(self) -> List[EnclaveHealth]:
+        """One heartbeat round: ``ping`` every enclave, update health."""
+        self._sync_health()
+        for j, enclave in enumerate(self.controller.enclaves):
+            if self._health[j] is EnclaveHealth.DEAD:
+                continue  # stays dead until recover() replaces it
+            self.counters.probes += 1
+            try:
+                enclave.ecall("ping")
+            except EnclaveError:
+                self.counters.probe_misses += 1
+                self._misses[j] += 1
+                self._health[j] = (
+                    EnclaveHealth.DEAD
+                    if self._misses[j] >= self.config.miss_threshold
+                    else EnclaveHealth.SUSPECT
+                )
+            else:
+                self._misses[j] = 0
+                self._health[j] = EnclaveHealth.HEALTHY
+        return list(self._health)
+
+    @property
+    def health(self) -> List[EnclaveHealth]:
+        return list(self._health)
+
+    @property
+    def allocation(self) -> Optional[Allocation]:
+        return self._allocation
+
+    @property
+    def shed_rule_ids(self) -> Set[int]:
+        return set(self._shed)
+
+    @property
+    def active_rule_ids(self) -> List[int]:
+        return list(self._rule_order)
+
+    # -- fault entry points (used by repro.faults and tests) ----------------------
+
+    def inject_crash(self, slot: int, platform_lost: bool = False) -> None:
+        """Kill the enclave at ``slot``; optionally take its platform too."""
+        slot = self._resolve_slot(slot)
+        enclave = self.controller.enclaves[slot]
+        enclave.destroy()
+        if platform_lost:
+            self._failed_platforms.add(enclave.platform.platform_id)
+
+    def inject_epc_exhaustion(self, slot: int) -> None:
+        """Kill the enclave at ``slot`` and EPC-starve its platform.
+
+        A relaunch on the starved platform fails at load time
+        (:class:`~repro.errors.EnclaveMemoryError` charging the base
+        footprint), forcing the orphan/repair recovery path.
+        """
+        slot = self._resolve_slot(slot)
+        enclave = self.controller.enclaves[slot]
+        enclave.destroy()
+        self._platform_epc_caps[enclave.platform.platform_id] = 1
+
+    def _resolve_slot(self, slot: int) -> int:
+        n = len(self.controller.enclaves)
+        if n == 0:
+            raise FleetError("fleet is empty")
+        return slot % n
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Handle every DEAD slot: relaunch, repair, or shed — in that order."""
+        self._sync_health()
+        report = RecoveryReport()
+        dead = [
+            j
+            for j, h in enumerate(self._health)
+            if h is EnclaveHealth.DEAD or self.controller.enclaves[j].destroyed
+        ]
+        if not dead:
+            return report
+        for j in dead:
+            self.counters.failovers += 1
+            if self._relaunch(j) is not None:
+                report.relaunched_slots.append(j)
+            else:
+                report.orphaned_slots.append(j)
+
+        if report.relaunched_slots and self.session is not None:
+            for j in report.relaunched_slots:
+                self.session.invalidate_attestation(j)
+            self._attest_with_retry()
+        for j in report.relaunched_slots:
+            self.counters.relaunches += 1
+            self._health[j] = EnclaveHealth.HEALTHY
+            self._misses[j] = 0
+
+        if report.orphaned_slots:
+            self._rehome_orphans(report)
+        return report
+
+    def run_round(self, packets: Sequence[Packet]) -> RoundResult:
+        """One operational round: probe health, recover, carry traffic."""
+        health = self.probe()
+        recovery = self.recover()
+        carry = self.carry(packets)
+        return RoundResult(health=health, recovery=recovery, carry=carry)
+
+    # -- data path ----------------------------------------------------------------
+
+    def carry(self, packets: Sequence[Packet]) -> CarryResult:
+        """Move packets through the fleet, failing closed across failover.
+
+        Unlike :meth:`IXPController.carry`, a burst that hits a dead enclave
+        does not abort the round: its packets are dropped (fail-closed,
+        counted in ``dropped_failclosed``), the slot is marked DEAD for the
+        next :meth:`recover`, and the rest of the traffic flows on.
+        """
+        packets = list(packets)
+        tags = self._adjudicate(packets)
+        result = CarryResult()
+        for packet, tag in zip(packets, tags):
+            if tag == _ALLOWED:
+                result.allowed += 1
+                result.delivered.append(packet)
+                result.filtered_ids.add(id(packet))
+            elif tag == _DROPPED:
+                result.dropped_filtered += 1
+            elif tag == _UNROUTED:
+                result.unrouted += 1
+                result.delivered.append(packet)
+            elif tag == _SHED:
+                result.dropped_shed += 1
+            else:
+                result.dropped_failclosed += 1
+        self.counters.shed_drops += result.dropped_shed
+        self.counters.failclosed_drops += result.dropped_failclosed
+        # Final audit of the fail-closed invariant: a delivered packet that
+        # matches any rule (active or shed) must have been adjudicated by an
+        # enclave.  Structurally unreachable; counted, never hidden.
+        for packet in result.delivered:
+            if id(packet) in result.filtered_ids:
+                continue
+            if self._rules.match(packet.five_tuple) is not None:
+                self.counters.unfiltered_packets += 1
+        return result
+
+    def _adjudicate(self, packets: List[Packet]) -> List[str]:
+        """Per-packet verdict tags, bursting consecutive same-slot packets."""
+        tags: List[Optional[str]] = [None] * len(packets)
+        lb = self.controller.load_balancer
+        burst: List[Packet] = []
+        burst_positions: List[int] = []
+        burst_slot: Optional[int] = None
+
+        def flush() -> None:
+            nonlocal burst, burst_positions, burst_slot
+            if burst_slot is None:
+                return
+            enclave = self.controller.enclaves[burst_slot]
+            try:
+                verdicts = enclave.ecall("process_burst", list(burst))
+            except EnclaveSealedError:
+                # Death discovered on the data path: fail closed, flag the
+                # slot, keep the round going.
+                self._mark_dead(burst_slot)
+                for pos in burst_positions:
+                    tags[pos] = _FAILCLOSED
+            else:
+                for pos, ok in zip(burst_positions, verdicts):
+                    tags[pos] = _ALLOWED if ok else _DROPPED
+            burst = []
+            burst_positions = []
+            burst_slot = None
+
+        for idx, packet in enumerate(packets):
+            verdict = lb.route(packet)
+            if verdict is BLACKHOLE:
+                tags[idx] = _SHED
+                continue
+            if verdict is None:
+                # Cross-check the load balancer: if the authoritative rule
+                # set matches this packet, "unrouted" would deliver rule
+                # traffic unfiltered — drop it instead (fail-closed).
+                if self._rules.match(packet.five_tuple) is not None:
+                    self.counters.routing_anomalies += 1
+                    tags[idx] = _FAILCLOSED
+                else:
+                    tags[idx] = _UNROUTED
+                continue
+            slot = verdict
+            if (
+                slot >= len(self.controller.enclaves)
+                or self.controller.enclaves[slot].destroyed
+                or (
+                    slot < len(self._health)
+                    and self._health[slot] is EnclaveHealth.DEAD
+                )
+            ):
+                self._mark_dead(slot)
+                tags[idx] = _FAILCLOSED
+                continue
+            if slot != burst_slot or len(burst) >= self.controller.carry_burst_size:
+                flush()
+                burst_slot = slot
+            burst.append(packet)
+            burst_positions.append(idx)
+        flush()
+        return [tag if tag is not None else _FAILCLOSED for tag in tags]
+
+    def _mark_dead(self, slot: int) -> None:
+        self._sync_health()
+        if 0 <= slot < len(self._health):
+            self._health[slot] = EnclaveHealth.DEAD
+            self._misses[slot] = self.config.miss_threshold
+
+    # -- recovery internals --------------------------------------------------------
+
+    def _relaunch(self, slot: int):
+        """Try to replace the enclave at ``slot``; None when impossible."""
+        old = self.controller.enclaves[slot]
+        candidates: List[Platform] = []
+        if old.platform.platform_id not in self._failed_platforms:
+            candidates.append(old.platform)
+        while True:
+            if candidates:
+                platform = candidates.pop(0)
+            elif self._spares_used < self.config.spare_platforms:
+                self._spares_used += 1
+                platform = Platform(f"ixp-spare-{self._spares_used}")
+            else:
+                return None
+            epc_cap = self._platform_epc_caps.get(platform.platform_id)
+            epc = (
+                EPCAccounting(epc_limit_bytes=epc_cap, hard_limit_bytes=epc_cap)
+                if epc_cap
+                else None
+            )
+            try:
+                enclave = self.controller.relaunch_filter(
+                    slot, platform=platform, epc=epc
+                )
+                self._reinstall_slot(slot)
+            except EnclaveMemoryError:
+                # EPC-starved platform: unusable for this (or any) slice.
+                self._failed_platforms.add(platform.platform_id)
+                self.controller.enclaves[slot].destroy()
+                continue
+            self.counters.recovery_time_s += self.config.relaunch_time_s
+            return enclave
+
+    def _reinstall_slot(self, slot: int) -> None:
+        """Reinstall the current allocation's slice on a fresh enclave."""
+        if self._allocation is None:
+            return
+        enclave = self.controller.enclaves[slot]
+        share_map = (
+            self._allocation.assignments[slot]
+            if slot < len(self._allocation.assignments)
+            else {}
+        )
+        rule_ids = sorted(self._rule_order[i] for i in share_map)
+        enclave.ecall(
+            "install_rules", [self._rules.get(rid) for rid in rule_ids]
+        )
+        enclave.ecall(
+            "set_scale_out_mode", len(self.controller.enclaves) > 1
+        )
+        enclave.ecall("set_assigned_rules", rule_ids)
+
+    def _attest_with_retry(self) -> int:
+        """Re-attest pending enclaves, riding out IAS outages.
+
+        Bounded retries with exponential backoff; the jitter stream is
+        deterministic (seeded), so recoveries replay exactly.  Elapsed
+        (simulated) time accumulates in ``counters.recovery_time_s``.
+        """
+        assert self.session is not None
+        delay = self.config.backoff_base_s
+        attempts = self.config.max_attestation_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                attested = self.session.attest_filters()
+            except AttestationError as exc:
+                self.counters.attestation_retries += 1
+                self.counters.recovery_time_s += (
+                    PAPER_ATTESTATION_TIMING.end_to_end_s()
+                )
+                if attempt == attempts:
+                    raise RecoveryFailed(
+                        f"attestation failed after {attempts} attempts: {exc}"
+                    ) from exc
+                jitter = self._rng.random() * self.config.backoff_jitter * delay
+                self.counters.recovery_time_s += delay + jitter
+                delay *= self.config.backoff_factor
+            else:
+                self.counters.recovery_time_s += (
+                    attested * PAPER_ATTESTATION_TIMING.end_to_end_s()
+                )
+                return attested
+        return 0  # unreachable
+
+    def _rehome_orphans(self, report: RecoveryReport) -> None:
+        """Repair the allocation around unusable slots, shedding if needed."""
+        if self._allocation is None:
+            return
+        self.counters.recovery_time_s += self.config.redistribution_time_s
+        dead_slots = sorted(
+            {
+                j
+                for j in range(len(self._allocation.assignments))
+                if j in set(report.orphaned_slots)
+                or (
+                    j < len(self.controller.enclaves)
+                    and self.controller.enclaves[j].destroyed
+                )
+            }
+        )
+        orphan_rules = {
+            self._rule_order[i]
+            for j in dead_slots
+            if j < len(self._allocation.assignments)
+            for i in self._allocation.assignments[j]
+        }
+        try:
+            repaired = repair_allocation(self._allocation, dead_slots)
+        except InfeasibleError:
+            self._full_resolve(dead_slots, orphan_rules, report)
+            return
+        self.counters.repairs += 1
+        self.counters.rules_rehomed += len(orphan_rules)
+        report.repaired = True
+        report.rules_rehomed = len(orphan_rules)
+        self._allocation = repaired
+        self._install_assignments(repaired.assignments)
+
+    def _full_resolve(
+        self,
+        dead_slots: List[int],
+        orphan_rules: Set[int],
+        report: RecoveryReport,
+    ) -> None:
+        """Re-solve over the survivors, shedding rules until feasible."""
+        live_slots = [
+            j
+            for j in range(len(self.controller.enclaves))
+            if j not in set(dead_slots)
+            and not self.controller.enclaves[j].destroyed
+        ]
+        active = list(zip(self._rule_order, self._bandwidths))
+        queue = shed_order(active, self._priorities)
+        shed: List[Tuple[int, float]] = []
+        allocation: Optional[Allocation] = None
+        while True:
+            remaining = [rb for rb in active if rb not in set(shed)]
+            if not remaining or not live_slots:
+                shed = active  # nothing can be served; shed the rest
+                remaining = []
+                break
+            problem = RuleDistributionProblem(
+                bandwidths=[bw for _, bw in remaining],
+                enclaves_override=len(live_slots),
+                **self._problem_params,  # type: ignore[arg-type]
+            )
+            try:
+                allocation = greedy_solve(problem)
+                break
+            except InfeasibleError:
+                shed.append(queue.pop(0))
+
+        shed_ids = [rid for rid, _ in shed]
+        shed_bw = sum(bw for _, bw in shed)
+        if shed_ids:
+            self._shed.update(shed_ids)
+            self.counters.rules_shed += len(shed_ids)
+            self.counters.shed_bandwidth_bps += shed_bw
+            report.shed_rule_ids = sorted(shed_ids)
+            report.shed_bandwidth_bps = shed_bw
+        self.counters.full_resolves += 1
+        report.full_resolve = True
+
+        if allocation is None:
+            self._rule_order = []
+            self._bandwidths = []
+            self._allocation = None
+            self.controller.load_balancer.configure(self._rules, {})
+            self.controller.load_balancer.blackhole(self._shed)
+            return
+
+        remaining = [rb for rb in active if rb[0] not in set(shed_ids)]
+        self._rule_order = [rid for rid, _ in remaining]
+        self._bandwidths = [bw for _, bw in remaining]
+        rehomed = len(orphan_rules & set(self._rule_order))
+        self.counters.rules_rehomed += rehomed
+        report.rules_rehomed = rehomed
+
+        # Map solver enclave indices (0..n_live) back onto physical slots.
+        slot_assignments: List[Dict[int, float]] = [
+            {} for _ in range(len(self.controller.enclaves))
+        ]
+        for solver_j, share_map in enumerate(allocation.assignments):
+            if solver_j < len(live_slots):
+                slot_assignments[live_slots[solver_j]] = dict(share_map)
+            elif share_map:
+                # Solver headroom asked for more enclaves than survive;
+                # fold the overflow onto the last live slot (validation
+                # against G may fail, in which case repair would have been
+                # tried first — this is the best-effort tail).
+                slot_assignments[live_slots[-1]].update(share_map)
+        self._allocation = Allocation(
+            problem=allocation.problem, assignments=slot_assignments
+        )
+        self._install_assignments(slot_assignments)
+
+    def _install_assignments(
+        self, assignments: Sequence[Dict[int, float]]
+    ) -> None:
+        """Diff-install per-slot rule sets and rebuild LB routes."""
+        routes: Dict[int, List[Tuple[int, float]]] = {}
+        live = sum(1 for e in self.controller.enclaves if not e.destroyed)
+        for j, enclave in enumerate(self.controller.enclaves):
+            if enclave.destroyed:
+                continue
+            share_map = assignments[j] if j < len(assignments) else {}
+            wanted_ids = {self._rule_order[i] for i in share_map}
+            installed = {
+                r.rule_id for r in enclave.ecall("installed_rules")
+            }
+            to_remove = sorted(installed - wanted_ids)
+            to_add = sorted(wanted_ids - installed)
+            if to_remove:
+                enclave.ecall("remove_rules", to_remove)
+            if to_add:
+                enclave.ecall(
+                    "install_rules", [self._rules.get(rid) for rid in to_add]
+                )
+            enclave.ecall("set_scale_out_mode", live > 1)
+            enclave.ecall("set_assigned_rules", sorted(wanted_ids))
+            for i, share in share_map.items():
+                routes.setdefault(self._rule_order[i], []).append((j, share))
+        self.controller.load_balancer.configure(self._rules, routes)
+        if self._shed:
+            self.controller.load_balancer.blackhole(self._shed)
+        self.controller.state.rules = self._rules
+        self.controller.state.rule_order = list(self._rule_order)
+        self.controller.state.allocation = self._allocation
+
+    # -- internals ----------------------------------------------------------------
+
+    def _sync_health(self, reset: bool = False) -> None:
+        n = len(self.controller.enclaves)
+        if reset:
+            self._health = [EnclaveHealth.HEALTHY] * n
+            self._misses = [0] * n
+            return
+        while len(self._health) < n:
+            self._health.append(EnclaveHealth.HEALTHY)
+            self._misses.append(0)
+        del self._health[n:]
+        del self._misses[n:]
+
+
+class FleetBurstFilter:
+    """Pipeline adapter: the whole fleet behind one burst-filter interface.
+
+    Lets a :class:`~repro.dataplane.pipeline.FilterPipeline` keep polling
+    across failovers: packets for dead enclaves get a False verdict
+    (fail-closed drop), shed-rule packets get False, unmatched packets get
+    the :data:`~repro.dataplane.pipeline.UNROUTED` verdict (forwarded on the
+    default path, counted separately in pipeline stats).
+    """
+
+    def __init__(self, fleet: FleetManager) -> None:
+        self.fleet = fleet
+
+    def __call__(self, packet: Packet):
+        return self.process_burst([packet])[0]
+
+    def process_burst(self, packets: Sequence[Packet]) -> List[object]:
+        tags = self.fleet._adjudicate(list(packets))
+        verdicts: List[object] = []
+        for tag in tags:
+            if tag == _ALLOWED:
+                verdicts.append(True)
+            elif tag == _UNROUTED:
+                verdicts.append(UNROUTED)
+            else:
+                verdicts.append(False)
+        # Keep the fleet's own books consistent with the pipeline's.
+        self.fleet.counters.shed_drops += sum(1 for t in tags if t == _SHED)
+        self.fleet.counters.failclosed_drops += sum(
+            1 for t in tags if t == _FAILCLOSED
+        )
+        return verdicts

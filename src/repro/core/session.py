@@ -94,7 +94,13 @@ class VIFSession:
         self._require_not_aborted()
         attested = 0
         for index, enclave in enumerate(self.controller.enclaves):
-            if index in self.attestation_reports and not enclave.destroyed:
+            if enclave.destroyed:
+                # A dead slot is awaiting failover; there is nothing to
+                # attest (its traffic fails closed meanwhile).  Replacements
+                # show up here as fresh, un-attested enclaves after the
+                # fleet manager calls invalidate_attestation().
+                continue
+            if index in self.attestation_reports:
                 continue
             enclave_public: bytes = enclave.ecall("channel_public")
             report = self.verifier.attest(enclave, report_data=enclave_public)
@@ -113,6 +119,18 @@ class VIFSession:
         if self.state is SessionState.CREATED:
             self.state = SessionState.ATTESTED
         return attested
+
+    def invalidate_attestation(self, index: int) -> None:
+        """Forget the attestation and channel for one enclave slot.
+
+        Called on failover: the replacement enclave at ``index`` is a fresh
+        launch whose key-exchange value the victim has never seen, so the
+        cached report and channel refer to the dead instance.  The next
+        :meth:`attest_filters` re-attests the slot and re-binds the channel.
+        """
+        self.attestation_reports.pop(index, None)
+        self._channels.pop(index, None)
+        self._endpoints.pop(index, None)
 
     # -- step 3: rule submission -----------------------------------------------------
 

@@ -15,22 +15,35 @@ The filter may be either of:
   once per burst, so an enclave-backed filter pays one ECall transition per
   burst instead of one per packet (the paper's context-switch reduction).
 
+A routed filter (one that steers packets through a load balancer, e.g.
+:class:`~repro.core.fleet.FleetBurstFilter`) may return the :data:`UNROUTED`
+verdict for packets matching no installed rule: they are forwarded on the
+default path but counted separately from filter-approved traffic, so
+load-balancer bypass is visible in the books.
+
 Accounting is conservation-checked: after every drain,
-``received == allowed + dropped + rx_overflow_drops + tx_overflow_drops``
-holds exactly — no packet ever disappears untracked.
+``received == allowed + dropped + unrouted + rx_overflow_drops +
+tx_overflow_drops`` holds exactly — no packet ever disappears untracked.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.dataplane.nic import NIC
 from repro.dataplane.packet import Packet
 from repro.dataplane.rings import Ring
 
+#: Verdict for a packet the filter forwarded *without* adjudicating it (no
+#: installed rule matched, so it takes the default path).  Truthy — the
+#: packet is still forwarded — but accounted under ``stats.unrouted`` rather
+#: than ``stats.allowed``.
+UNROUTED = "unrouted"
+
+Verdict = Union[bool, str]
 FilterFn = Callable[[Packet], bool]
-BurstFilterFn = Callable[[Sequence[Packet]], Sequence[bool]]
+BurstFilterFn = Callable[[Sequence[Packet]], Sequence[Verdict]]
 
 
 class PipelineAccountingError(RuntimeError):
@@ -44,6 +57,7 @@ class PipelineStats:
     received: int = 0
     allowed: int = 0
     dropped: int = 0
+    unrouted: int = 0
     rx_overflow_drops: int = 0
     tx_overflow_drops: int = 0
 
@@ -55,7 +69,7 @@ class PipelineStats:
     @property
     def processed(self) -> int:
         """Packets the filter stage reached a verdict for."""
-        return self.allowed + self.dropped + self.tx_overflow_drops
+        return self.allowed + self.dropped + self.unrouted + self.tx_overflow_drops
 
 
 class FilterPipeline:
@@ -115,7 +129,10 @@ class FilterPipeline:
         for packet, allowed in zip(burst, verdicts):
             if allowed:
                 if self.tx_ring.enqueue(packet):
-                    self.stats.allowed += 1
+                    if allowed is UNROUTED:
+                        self.stats.unrouted += 1
+                    else:
+                        self.stats.allowed += 1
                 else:
                     # The filter's verdict stands (and the enclave already
                     # logged the packet as forwarded); the loss is the
@@ -137,22 +154,27 @@ class FilterPipeline:
     # -- accounting ---------------------------------------------------------
 
     def check_conservation(self) -> None:
-        """Enforce ``received == allowed + dropped + overflow drops``.
+        """Enforce ``received == allowed + dropped + unrouted + overflow drops``.
 
         Packets sitting on the RX ring are received but not yet adjudicated,
         so they count as in-flight (TX-ring occupants are already counted in
-        ``allowed`` at enqueue time).  Raises
+        ``allowed``/``unrouted`` at enqueue time).  Raises
         :class:`PipelineAccountingError` on violation.
         """
         s = self.stats
         accounted = (
-            s.allowed + s.dropped + s.rx_overflow_drops + s.tx_overflow_drops
+            s.allowed
+            + s.dropped
+            + s.unrouted
+            + s.rx_overflow_drops
+            + s.tx_overflow_drops
         )
         in_flight = len(self.rx_ring)
         if s.received != accounted + in_flight:
             raise PipelineAccountingError(
                 f"pipeline lost packets untracked: received={s.received}, "
                 f"allowed={s.allowed}, dropped={s.dropped}, "
+                f"unrouted={s.unrouted}, "
                 f"rx_overflow={s.rx_overflow_drops}, "
                 f"tx_overflow={s.tx_overflow_drops}, in_flight={in_flight}"
             )

@@ -80,6 +80,19 @@ class SolverError(ReproError):
     """The MILP/LP machinery hit an internal failure (not mere infeasibility)."""
 
 
+class FleetError(ReproError):
+    """Fleet-management failure (health monitoring, failover, recovery)."""
+
+
+class RecoveryFailed(FleetError):
+    """A failover could not be completed (e.g. attestation retries exhausted).
+
+    Raised only after the fleet manager has exhausted its bounded
+    retry/backoff budget; transient IAS outages shorter than the budget are
+    absorbed silently (modulo counters).
+    """
+
+
 class SessionError(ReproError):
     """A VIF victim<->filtering-network session was used out of order."""
 

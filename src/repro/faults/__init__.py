@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the filtering-enclave fleet.
+
+The paper's threat model (section III) lets the *untrusted IXP* crash an
+enclave, starve its platform, or sit between the victim and the IAS; the
+defense is that every such failure is fail-closed and recoverable.  This
+package turns that claim into something testable:
+
+* :mod:`repro.faults.schedule` — seeded, replayable schedules of fault
+  events (crash, platform loss, EPC exhaustion, IAS outage) interleaved
+  with traffic rounds;
+* :mod:`repro.faults.injector` — applies events to a live
+  :class:`~repro.core.fleet.FleetManager`, including :class:`FlakyIAS`, an
+  attestation service that fails the next *k* verifications;
+* :mod:`repro.faults.harness` — drives fleet rounds under a schedule while
+  *independently* checking the fail-closed invariant (no packet matching a
+  filter rule is ever delivered without an enclave verdict, even
+  mid-failover).
+
+Everything is deterministic given the schedule seed, so a failing run is a
+reproducer, not an anecdote.
+"""
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.injector import FaultInjector, FlakyIAS
+from repro.faults.harness import (
+    FaultInjectionHarness,
+    HarnessResult,
+    RoundRecord,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjectionHarness",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FlakyIAS",
+    "HarnessResult",
+    "RoundRecord",
+]

@@ -1,0 +1,219 @@
+"""The deterministic fault-injection harness.
+
+Interleaves scheduled faults with traffic rounds against a
+:class:`~repro.core.fleet.FleetManager` and *independently* audits the
+fail-closed invariant each round: a delivered packet that matches any rule
+in the harness's own reference copy of the rule set must carry an enclave
+verdict.  The harness never trusts the fleet's ``unfiltered_packets``
+counter for this — it re-derives the check from the packets themselves, so
+a fleet-manager accounting bug cannot hide a breach.
+
+Everything downstream of the seed is deterministic (schedules, traffic,
+backoff jitter), so ``HarnessResult`` values are reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.fleet import (
+    CarryResult,
+    EnclaveHealth,
+    FleetManager,
+    RecoveryReport,
+)
+from repro.core.rules import RuleSet
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import RecoveryFailed
+from repro.faults.injector import FaultInjector, FlakyIAS
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.optim.validation import validate_allocation
+from repro.util.rng import deterministic_rng
+
+TrafficSource = Callable[[int], Sequence[Packet]]
+
+
+def rule_traffic(
+    rules: RuleSet,
+    seed: str = "vif-traffic",
+    packets_per_rule: int = 4,
+    background_packets: int = 4,
+    background_dst: str = "198.18.0.0/15",
+) -> TrafficSource:
+    """A deterministic per-round traffic source exercising every rule.
+
+    Each round carries ``packets_per_rule`` packets into every rule's
+    destination prefix (varying source addresses, so split rules exercise
+    several replicas) plus ``background_packets`` packets to unrelated
+    destinations (``background_dst`` defaults to the RFC 2544 benchmark
+    range) that must ride the default path.
+    """
+    rule_list = rules.rules()
+
+    def first_host(prefix: str, offset: int) -> str:
+        net = ipaddress.ip_network(prefix, strict=False)
+        return str(net.network_address + (offset % max(net.num_addresses, 1)))
+
+    def traffic(round_index: int) -> List[Packet]:
+        rng = deterministic_rng(f"{seed}/round-{round_index}")
+        packets: List[Packet] = []
+        for rule in rule_list:
+            for k in range(packets_per_rule):
+                flow = FiveTuple(
+                    src_ip=f"198.51.{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                    dst_ip=first_host(rule.pattern.dst_prefix, k + 1),
+                    src_port=rng.randrange(1024, 65535),
+                    dst_port=(
+                        rule.pattern.dst_ports[0]
+                        if rule.pattern.dst_ports
+                        else 80
+                    ),
+                    protocol=rule.pattern.protocol or Protocol.TCP,
+                )
+                packets.append(Packet(five_tuple=flow))
+        for k in range(background_packets):
+            flow = FiveTuple(
+                src_ip=f"198.51.{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                dst_ip=first_host(background_dst, rng.randrange(1, 1 << 16)),
+                src_port=rng.randrange(1024, 65535),
+                dst_port=443,
+                protocol=Protocol.TCP,
+            )
+            packets.append(Packet(five_tuple=flow))
+        rng.shuffle(packets)
+        return packets
+
+    return traffic
+
+
+@dataclass
+class RoundRecord:
+    """Everything that happened in one harness round."""
+
+    round_index: int
+    events: List[FaultEvent]
+    health: List[EnclaveHealth]
+    recovery: RecoveryReport
+    carry: CarryResult
+    recovery_failed: bool = False
+    #: Independently re-derived: delivered packets matching a reference rule
+    #: without an enclave verdict.  Must be 0, always.
+    invariant_violations: int = 0
+
+
+@dataclass
+class HarnessResult:
+    """The full run: per-round records plus fleet-level aggregates."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: validate_allocation() violations on the final allocation ([] == valid).
+    final_allocation_violations: List[str] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.records)
+
+    @property
+    def invariant_violations(self) -> int:
+        return sum(r.invariant_violations for r in self.records)
+
+    @property
+    def recovery_failures(self) -> int:
+        return sum(1 for r in self.records if r.recovery_failed)
+
+    @property
+    def packets_sent(self) -> int:
+        return sum(r.carry.sent for r in self.records)
+
+    @property
+    def packets_delivered(self) -> int:
+        return sum(len(r.carry.delivered) for r in self.records)
+
+    @property
+    def packets_lost_to_failover(self) -> int:
+        """Rule traffic dropped because its enclave was dead or shed."""
+        return sum(
+            r.carry.dropped_failclosed + r.carry.dropped_shed
+            for r in self.records
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rounds": self.rounds,
+            "packets_sent": self.packets_sent,
+            "packets_delivered": self.packets_delivered,
+            "packets_lost_to_failover": self.packets_lost_to_failover,
+            "invariant_violations": self.invariant_violations,
+            "recovery_failures": self.recovery_failures,
+            "allocation_valid": not self.final_allocation_violations,
+            **{f"fleet_{k}": v for k, v in self.counters.items()},
+        }
+
+
+class FaultInjectionHarness:
+    """Drives a fleet through a fault schedule with independent auditing."""
+
+    def __init__(
+        self,
+        fleet: FleetManager,
+        schedule: FaultSchedule,
+        traffic: Optional[TrafficSource] = None,
+        ias: Optional[FlakyIAS] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.schedule = schedule
+        self.injector = FaultInjector(fleet, ias=ias)
+        # Reference copy of the rules, snapshotted *now*: the invariant is
+        # judged against what the victim asked for, not against whatever
+        # rule set the fleet ends up with after shedding.
+        self._reference = RuleSet(fleet._rules.rules())
+        self.traffic = traffic or rule_traffic(
+            self._reference, seed=f"{schedule.seed}/traffic"
+        )
+
+    def run(self) -> HarnessResult:
+        """Play the schedule to completion; never raises on recovery
+        failure (it is recorded and the round still carries fail-closed)."""
+        result = HarnessResult()
+        for r in range(self.schedule.rounds):
+            events = self.injector.apply_round(self.schedule, r)
+            health = self.fleet.probe()
+            recovery_failed = False
+            try:
+                recovery = self.fleet.recover()
+            except RecoveryFailed:
+                # Outage outlasted the retry budget: replacements stay
+                # un-attested and DEAD; traffic still fails closed and the
+                # next round retries recovery from scratch.
+                recovery = RecoveryReport()
+                recovery_failed = True
+            carry = self.fleet.carry(self.traffic(r))
+            record = RoundRecord(
+                round_index=r,
+                events=events,
+                health=health,
+                recovery=recovery,
+                carry=carry,
+                recovery_failed=recovery_failed,
+                invariant_violations=self._audit(carry),
+            )
+            result.records.append(record)
+        result.counters = self.fleet.counters.as_dict()
+        if self.fleet.allocation is not None:
+            result.final_allocation_violations = [
+                str(v) for v in validate_allocation(self.fleet.allocation)
+            ]
+        return result
+
+    def _audit(self, carry: CarryResult) -> int:
+        """Independent fail-closed check over the delivered packets."""
+        violations = 0
+        for packet in carry.delivered:
+            if id(packet) in carry.filtered_ids:
+                continue
+            if self._reference.match(packet.five_tuple) is not None:
+                violations += 1
+        return violations

@@ -1,0 +1,94 @@
+"""Applying fault events to a live fleet.
+
+:class:`FlakyIAS` models the attestation-service outage the paper's WAN
+numbers make plausible (Appendix G: every attestation crosses a continent to
+the IAS): it behaves exactly like :class:`~repro.tee.attestation.IASService`
+except that the next *k* verifications fail.  Because the fleet manager's
+retry/backoff budget exceeds any scheduled outage, a transient outage delays
+recovery instead of aborting it — which is what the harness asserts.
+
+:class:`FaultInjector` maps :class:`~repro.faults.schedule.FaultEvent`
+values onto the :class:`~repro.core.fleet.FleetManager` fault entry points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.fleet import FleetManager
+from repro.errors import AttestationError, ConfigurationError
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.tee.attestation import AttestationReport, IASService, Quote
+
+
+class FlakyIAS(IASService):
+    """An IAS whose next ``k`` verifications fail (injected outage).
+
+    Drop-in for :class:`IASService` — same provisioning, same report key —
+    so verifiers built against it validate real reports once the outage
+    clears.  Outages stack: two ``fail_next(2)`` calls fail four
+    verifications.
+    """
+
+    def __init__(self, service_name: str = "ias") -> None:
+        super().__init__(service_name)
+        self._outage_remaining = 0
+        self.failed_verifications = 0
+
+    def fail_next(self, count: int = 1) -> None:
+        """Make the next ``count`` verify_quote calls fail."""
+        if count < 0:
+            raise ConfigurationError("outage length must be >= 0")
+        self._outage_remaining += count
+
+    @property
+    def outage_remaining(self) -> int:
+        return self._outage_remaining
+
+    def verify_quote(self, quote: Quote) -> AttestationReport:
+        if self._outage_remaining > 0:
+            self._outage_remaining -= 1
+            self.failed_verifications += 1
+            raise AttestationError(
+                "IAS unreachable (injected outage, "
+                f"{self._outage_remaining} failures remaining)"
+            )
+        return super().verify_quote(quote)
+
+
+class FaultInjector:
+    """Dispatches schedule events onto a fleet (and its IAS)."""
+
+    def __init__(
+        self, fleet: FleetManager, ias: Optional[FlakyIAS] = None
+    ) -> None:
+        self.fleet = fleet
+        self.ias = ias
+        self.applied: List[FaultEvent] = []
+
+    def apply(self, event: FaultEvent) -> None:
+        """Fire one event.  IAS outages require a :class:`FlakyIAS`."""
+        if event.kind is FaultKind.CRASH:
+            self.fleet.inject_crash(event.target)
+        elif event.kind is FaultKind.PLATFORM_LOSS:
+            self.fleet.inject_crash(event.target, platform_lost=True)
+        elif event.kind is FaultKind.EPC_EXHAUSTION:
+            self.fleet.inject_epc_exhaustion(event.target)
+        elif event.kind is FaultKind.IAS_OUTAGE:
+            if self.ias is None:
+                raise ConfigurationError(
+                    "IAS_OUTAGE event needs a FlakyIAS injector target"
+                )
+            self.ias.fail_next(event.magnitude)
+        else:  # pragma: no cover - enum is closed
+            raise ConfigurationError(f"unknown fault kind {event.kind!r}")
+        self.applied.append(event)
+
+    def apply_round(
+        self, schedule: FaultSchedule, round_index: int
+    ) -> List[FaultEvent]:
+        """Fire every event scheduled for ``round_index``; returns them."""
+        events = schedule.for_round(round_index)
+        for event in events:
+            self.apply(event)
+        return events

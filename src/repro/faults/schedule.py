@@ -1,0 +1,155 @@
+"""Seeded, replayable fault schedules.
+
+A schedule is an immutable list of :class:`FaultEvent` pinned to round
+indexes.  Generation draws from :func:`repro.util.rng.deterministic_rng`, so
+the same seed always yields the same event sequence — a recovery bug found
+by the harness replays bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.rng import deterministic_rng
+
+
+class FaultKind(enum.Enum):
+    #: Enclave dies; its platform survives and can host a relaunch.
+    CRASH = "crash"
+    #: Enclave dies *and* its platform is gone (power/hardware loss);
+    #: recovery needs a spare platform or a re-distribution.
+    PLATFORM_LOSS = "platform-loss"
+    #: Enclave dies and its platform's EPC is exhausted, so a relaunch
+    #: fails at load time — forces the orphan/repair path.
+    EPC_EXHAUSTION = "epc-exhaustion"
+    #: The attestation service fails the next ``magnitude`` verifications
+    #: (transient outage); recovery must ride it out with retry/backoff.
+    IAS_OUTAGE = "ias-outage"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault, pinned to the round it fires in.
+
+    ``target`` is the enclave slot for enclave-scoped kinds (taken modulo
+    the live fleet size at injection time) and unused for IAS outages;
+    ``magnitude`` is the outage length (failed verifications) for
+    :attr:`FaultKind.IAS_OUTAGE` and unused otherwise.
+    """
+
+    round_index: int
+    kind: FaultKind
+    target: int = 0
+    magnitude: int = 1
+
+    def describe(self) -> str:
+        if self.kind is FaultKind.IAS_OUTAGE:
+            return f"r{self.round_index}: IAS outage x{self.magnitude}"
+        return f"r{self.round_index}: {self.kind.value} @ slot {self.target}"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable fault plan over ``rounds`` traffic rounds."""
+
+    rounds: int
+    events: Tuple[FaultEvent, ...] = ()
+    seed: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigurationError("schedule needs at least one round")
+        for event in self.events:
+            if not 0 <= event.round_index < self.rounds:
+                raise ConfigurationError(
+                    f"event {event.describe()!r} outside {self.rounds} rounds"
+                )
+
+    def for_round(self, round_index: int) -> List[FaultEvent]:
+        """Events firing in ``round_index``, in schedule order."""
+        return [e for e in self.events if e.round_index == round_index]
+
+    @property
+    def enclave_faults(self) -> int:
+        return sum(
+            1 for e in self.events if e.kind is not FaultKind.IAS_OUTAGE
+        )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: str,
+        rounds: int,
+        fleet_size: int,
+        crash_prob: float = 0.05,
+        platform_loss_prob: float = 0.0,
+        epc_exhaustion_prob: float = 0.0,
+        ias_outage_prob: float = 0.0,
+        ias_outage_length: int = 2,
+    ) -> "FaultSchedule":
+        """Draw a random schedule: per round, each fault class fires with
+        its probability (enclave-scoped faults pick a uniform slot)."""
+        if fleet_size < 1:
+            raise ConfigurationError("fleet_size must be >= 1")
+        rng = deterministic_rng(f"{seed}/fault-schedule")
+        events: List[FaultEvent] = []
+        kinds = (
+            (FaultKind.CRASH, crash_prob),
+            (FaultKind.PLATFORM_LOSS, platform_loss_prob),
+            (FaultKind.EPC_EXHAUSTION, epc_exhaustion_prob),
+        )
+        for r in range(rounds):
+            for kind, prob in kinds:
+                if rng.random() < prob:
+                    events.append(
+                        FaultEvent(
+                            round_index=r,
+                            kind=kind,
+                            target=rng.randrange(fleet_size),
+                        )
+                    )
+            if rng.random() < ias_outage_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=r,
+                        kind=FaultKind.IAS_OUTAGE,
+                        magnitude=ias_outage_length,
+                    )
+                )
+        return cls(rounds=rounds, events=tuple(events), seed=seed)
+
+    @classmethod
+    def kill_fraction(
+        cls,
+        seed: str,
+        rounds: int,
+        fleet_size: int,
+        fraction: float,
+        at_round: Optional[int] = None,
+        kind: FaultKind = FaultKind.CRASH,
+    ) -> "FaultSchedule":
+        """Kill ``fraction`` of the fleet (distinct slots) in one round.
+
+        The acceptance scenario: 20% of a 10-enclave fleet dies mid-run and
+        the fleet must restore a valid allocation with zero unfiltered
+        packets.  Defaults to the middle round.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        if kind is FaultKind.IAS_OUTAGE:
+            raise ConfigurationError("kill_fraction is enclave-scoped")
+        count = max(1, round(fleet_size * fraction))
+        if at_round is None:
+            at_round = rounds // 2
+        rng = deterministic_rng(f"{seed}/kill-fraction")
+        slots = rng.sample(range(fleet_size), count)
+        events = tuple(
+            FaultEvent(round_index=at_round, kind=kind, target=slot)
+            for slot in sorted(slots)
+        )
+        return cls(rounds=rounds, events=events, seed=seed)

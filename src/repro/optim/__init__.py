@@ -25,6 +25,7 @@ from repro.optim.problem import (
 )
 from repro.optim.greedy import greedy_solve
 from repro.optim.ilp import BranchAndBoundSolver, ILPResult
+from repro.optim.repair import repair_allocation, shed_order
 from repro.optim.validation import validate_allocation
 
 __all__ = [
@@ -34,5 +35,7 @@ __all__ = [
     "PAPER_ALPHA",
     "RuleDistributionProblem",
     "greedy_solve",
+    "repair_allocation",
+    "shed_order",
     "validate_allocation",
 ]

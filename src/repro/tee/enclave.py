@@ -96,7 +96,7 @@ class Enclave:
     def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Enter the enclave through a registered entry point."""
         if self._destroyed:
-            raise EnclaveSealedError(f"enclave {self.enclave_id} was destroyed")
+            raise EnclaveSealedError(self._sealed_message(f"ECall {name!r}"))
         fn = self._program._ecalls.get(name)
         if fn is None:
             raise EnclaveError(f"unknown ECall {name!r}")
@@ -110,10 +110,14 @@ class Enclave:
     def destroy(self) -> None:
         """Tear the enclave down; all further ECalls fail.
 
+        Idempotent: failover paths may race the health monitor to the same
+        dead enclave, and a second ``destroy()`` must not be an error.
         Destroying (and relaunching with different code) is the *only*
         tampering available to a malicious host — and it changes the
         measurement, so attestation catches it.
         """
+        if self._destroyed:
+            return
         self._destroyed = True
 
     @property
@@ -126,9 +130,17 @@ class Enclave:
 
     # -- internal -----------------------------------------------------------------
 
+    def _sealed_message(self, operation: str) -> str:
+        """Sealed-enclave error text with enough identity for failover logs."""
+        return (
+            f"{operation} on destroyed enclave {self.enclave_id} "
+            f"(platform {self.platform.platform_id}, "
+            f"measurement {self.measurement()[:16]}...)"
+        )
+
     def _dispatch_ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         if self._destroyed:
-            raise EnclaveSealedError(f"enclave {self.enclave_id} was destroyed")
+            raise EnclaveSealedError(self._sealed_message(f"OCall {name!r}"))
         self.ocall_count += 1
         handler = self._ocall_handlers.get(name)
         if handler is None:

@@ -54,6 +54,32 @@ def test_cli_run_unknown(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_cli_fleet_sim(capsys):
+    assert main([
+        "fleet-sim", "--fleet-size", "4", "--rules", "8", "--rounds", "4",
+        "--kill", "0.25", "--ias-outage", "2", "--seed", "cli-test",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fault r2: crash" in out
+    assert "fleet_unfiltered_packets     0" in out
+    assert "invariant_violations         0" in out
+    assert "allocation_valid             True" in out
+
+
+def test_cli_fleet_sim_is_deterministic(capsys):
+    args = ["fleet-sim", "--fleet-size", "3", "--rules", "6",
+            "--rounds", "3", "--seed", "det"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_fleet_sim_rejects_bad_sizes(capsys):
+    assert main(["fleet-sim", "--fleet-size", "0"]) == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
 def test_cli_fast_experiments_run(capsys):
     # The sub-second experiments, end to end through the CLI.
     for key in ("fig3", "fig8", "latency", "fig14", "table3"):

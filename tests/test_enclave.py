@@ -67,6 +67,27 @@ def test_destroyed_enclave_rejects_everything():
         enclave.ecall("bump")
 
 
+def test_destroy_is_idempotent():
+    # failover paths destroy defensively; a second destroy must be a no-op
+    enclave, _, _ = launch()
+    enclave.destroy()
+    epc_after_first = enclave.epc.used
+    enclave.destroy()
+    assert enclave.destroyed
+    assert enclave.epc.used == epc_after_first
+
+
+def test_sealed_error_identifies_the_enclave():
+    enclave, _, _ = launch()
+    enclave.destroy()
+    with pytest.raises(EnclaveSealedError) as excinfo:
+        enclave.ecall("bump")
+    message = str(excinfo.value)
+    assert enclave.enclave_id in message
+    assert enclave.platform.platform_id in message
+    assert enclave.measurement()[:16] in message
+
+
 def test_measurement_depends_on_code_not_instance():
     e1, _, _ = launch()
     e2, _, _ = launch()

@@ -1,0 +1,206 @@
+"""Fault schedules, injector dispatch, FlakyIAS, and the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import IXPController
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.fleet import FleetConfig, FleetManager
+from repro.core.rules import Action, FilterRule, FlowPattern, RuleSet
+from repro.errors import AttestationError, ConfigurationError
+from repro.faults import (
+    FaultEvent,
+    FaultInjectionHarness,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FlakyIAS,
+)
+from repro.tee.attestation import generate_quote
+from repro.tee.enclave import Platform
+from repro.util.units import GBPS
+from tests.conftest import VICTIM
+
+
+def build_rules(count: int = 8, rate_bps: float = 2.0 * GBPS) -> RuleSet:
+    rules = RuleSet()
+    for i in range(count):
+        rules.add(
+            FilterRule(
+                rule_id=i + 1,
+                pattern=FlowPattern(dst_prefix=f"203.0.{100 + i}.0/24"),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+                requested_by=VICTIM,
+                rate_bps=rate_bps,
+            )
+        )
+    return rules
+
+
+class TestFaultSchedule:
+    def test_generate_is_deterministic(self):
+        a = FaultSchedule.generate("s1", rounds=20, fleet_size=8,
+                                   crash_prob=0.3, ias_outage_prob=0.2)
+        b = FaultSchedule.generate("s1", rounds=20, fleet_size=8,
+                                   crash_prob=0.3, ias_outage_prob=0.2)
+        assert a.events == b.events
+
+    def test_generate_varies_with_seed(self):
+        a = FaultSchedule.generate("s1", rounds=50, fleet_size=8, crash_prob=0.3)
+        b = FaultSchedule.generate("s2", rounds=50, fleet_size=8, crash_prob=0.3)
+        assert a.events != b.events
+
+    def test_generate_targets_inside_fleet(self):
+        schedule = FaultSchedule.generate(
+            "s", rounds=50, fleet_size=5, crash_prob=0.5,
+            epc_exhaustion_prob=0.2, platform_loss_prob=0.2,
+        )
+        assert schedule.enclave_faults > 0
+        for event in schedule.events:
+            assert 0 <= event.round_index < 50
+            if event.kind is not FaultKind.IAS_OUTAGE:
+                assert 0 <= event.target < 5
+
+    def test_kill_fraction_counts_distinct_slots(self):
+        schedule = FaultSchedule.kill_fraction(
+            "acceptance", rounds=10, fleet_size=10, fraction=0.2
+        )
+        assert len(schedule.events) == 2
+        assert len({e.target for e in schedule.events}) == 2
+        assert all(e.round_index == 5 for e in schedule.events)
+        assert all(e.kind is FaultKind.CRASH for e in schedule.events)
+
+    def test_kill_fraction_validation(self):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            FaultSchedule.kill_fraction("s", rounds=4, fleet_size=4, fraction=0.0)
+        with pytest.raises(ConfigurationError, match="enclave-scoped"):
+            FaultSchedule.kill_fraction(
+                "s", rounds=4, fleet_size=4, fraction=0.5,
+                kind=FaultKind.IAS_OUTAGE,
+            )
+
+    def test_event_outside_rounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            FaultSchedule(
+                rounds=2,
+                events=(FaultEvent(round_index=5, kind=FaultKind.CRASH),),
+            )
+
+    def test_for_round_preserves_order(self):
+        e0 = FaultEvent(round_index=1, kind=FaultKind.CRASH, target=0)
+        e1 = FaultEvent(round_index=1, kind=FaultKind.EPC_EXHAUSTION, target=1)
+        schedule = FaultSchedule(rounds=3, events=(e0, e1))
+        assert schedule.for_round(1) == [e0, e1]
+        assert schedule.for_round(0) == []
+
+
+class TestFlakyIAS:
+    def test_fails_next_k_then_recovers(self):
+        ias = FlakyIAS()
+        platform = Platform("p1")
+        ias.provision(platform)
+        enclave = platform.launch(EnclaveFilter(secret="flaky-test"))
+        quote = generate_quote(enclave, b"nonce")
+        ias.fail_next(2)
+        for _ in range(2):
+            with pytest.raises(AttestationError, match="injected outage"):
+                ias.verify_quote(quote)
+        report = ias.verify_quote(quote)
+        assert report.ok
+        assert ias.failed_verifications == 2
+        assert ias.outage_remaining == 0
+
+    def test_outages_stack(self):
+        ias = FlakyIAS()
+        ias.fail_next(1)
+        ias.fail_next(2)
+        assert ias.outage_remaining == 3
+
+    def test_negative_outage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlakyIAS().fail_next(-1)
+
+
+class TestFaultInjector:
+    def make_fleet(self, ias=None):
+        controller = IXPController(ias or FlakyIAS())
+        fleet = FleetManager(
+            controller, config=FleetConfig(spare_platforms=0)
+        )
+        fleet.deploy(build_rules(), enclaves_override=3)
+        return fleet
+
+    def test_crash_dispatch(self):
+        fleet = self.make_fleet()
+        injector = FaultInjector(fleet)
+        injector.apply(FaultEvent(round_index=0, kind=FaultKind.CRASH, target=1))
+        assert fleet.controller.enclaves[1].destroyed
+        assert injector.applied
+
+    def test_epc_dispatch_starves_platform(self):
+        fleet = self.make_fleet()
+        FaultInjector(fleet).apply(
+            FaultEvent(round_index=0, kind=FaultKind.EPC_EXHAUSTION, target=0)
+        )
+        report = fleet.recover()
+        assert report.orphaned_slots == [0]
+
+    def test_ias_outage_requires_flaky_ias(self):
+        fleet = self.make_fleet()
+        injector = FaultInjector(fleet)  # no ias wired in
+        with pytest.raises(ConfigurationError, match="FlakyIAS"):
+            injector.apply(
+                FaultEvent(round_index=0, kind=FaultKind.IAS_OUTAGE, magnitude=1)
+            )
+
+    def test_target_wraps_modulo_fleet(self):
+        fleet = self.make_fleet()
+        FaultInjector(fleet).apply(
+            FaultEvent(round_index=0, kind=FaultKind.CRASH, target=7)
+        )
+        assert fleet.controller.enclaves[7 % 3].destroyed
+
+
+class TestHarness:
+    def run_harness(self, seed="harness"):
+        ias = FlakyIAS()
+        controller = IXPController(ias)
+        fleet = FleetManager(
+            controller, config=FleetConfig(spare_platforms=2, seed=seed)
+        )
+        fleet.deploy(build_rules(), enclaves_override=4)
+        schedule = FaultSchedule.generate(
+            seed, rounds=6, fleet_size=4,
+            crash_prob=0.25, epc_exhaustion_prob=0.1, ias_outage_prob=0.15,
+        )
+        harness = FaultInjectionHarness(fleet, schedule, ias=ias)
+        return harness.run()
+
+    def test_run_completes_with_invariant_intact(self):
+        result = self.run_harness()
+        assert result.rounds == 6
+        assert result.invariant_violations == 0
+        assert result.counters["unfiltered_packets"] == 0
+        assert result.packets_sent > 0
+        assert result.packets_delivered > 0
+        assert result.final_allocation_violations == []
+
+    def test_run_is_deterministic(self):
+        a = self.run_harness(seed="det")
+        b = self.run_harness(seed="det")
+        assert a.summary() == b.summary()
+        for ra, rb in zip(a.records, b.records):
+            assert ra.carry.sent == rb.carry.sent
+            assert len(ra.carry.delivered) == len(rb.carry.delivered)
+            assert ra.recovery.relaunched_slots == rb.recovery.relaunched_slots
+
+    def test_summary_shape(self):
+        summary = self.run_harness().summary()
+        for key in (
+            "rounds", "packets_sent", "packets_delivered",
+            "packets_lost_to_failover", "invariant_violations",
+            "recovery_failures", "allocation_valid",
+            "fleet_failovers", "fleet_unfiltered_packets",
+        ):
+            assert key in summary

@@ -1,0 +1,317 @@
+"""FleetManager: health probes, failover, re-distribution, degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import IXPController
+from repro.core.fleet import (
+    EnclaveHealth,
+    FleetConfig,
+    FleetManager,
+)
+from repro.core.rules import Action, FilterRule, FlowPattern, RPKIRegistry, RuleSet
+from repro.core.session import VIFSession
+from repro.errors import (
+    ConfigurationError,
+    EnclaveSealedError,
+    FleetError,
+    RecoveryFailed,
+)
+from repro.faults import FlakyIAS
+from repro.optim import validate_allocation
+from repro.tee.attestation import IASService
+from repro.util.units import GBPS
+from tests.conftest import VICTIM, make_packet
+
+
+def build_rules(count: int = 8, rate_bps: float = 2.0 * GBPS) -> RuleSet:
+    """One /24 per rule under 203.0.x.0; alternating DROP/ALLOW."""
+    rules = RuleSet()
+    for i in range(count):
+        rules.add(
+            FilterRule(
+                rule_id=i + 1,
+                pattern=FlowPattern(dst_prefix=f"203.0.{100 + i}.0/24"),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+                requested_by=VICTIM,
+                rate_bps=rate_bps,
+            )
+        )
+    return rules
+
+
+def rule_packet(i: int, src_ip: str = "10.9.8.7"):
+    return make_packet(src_ip=src_ip, dst_ip=f"203.0.{100 + i}.5")
+
+
+def build_fleet(
+    rules: RuleSet,
+    enclaves: int = 4,
+    config: FleetConfig = None,
+    ias: IASService = None,
+    **deploy_params,
+):
+    controller = IXPController(ias or IASService())
+    fleet = FleetManager(controller, config=config)
+    fleet.deploy(rules, enclaves_override=enclaves, **deploy_params)
+    return fleet
+
+
+class TestDeployAndHealth:
+    def test_deploy_launches_fleet_and_serves(self):
+        rules = build_rules()
+        fleet = build_fleet(rules, enclaves=4)
+        assert len(fleet.controller.enclaves) == 4
+        assert validate_allocation(fleet.allocation) == []
+        result = fleet.carry([rule_packet(i) for i in range(8)])
+        assert result.allowed == 4 and result.dropped_filtered == 4
+        assert result.dropped_failclosed == 0
+        assert fleet.counters.unfiltered_packets == 0
+
+    def test_deploy_rejects_empty_and_mismatched_input(self):
+        controller = IXPController(IASService())
+        fleet = FleetManager(controller)
+        with pytest.raises(ConfigurationError, match="at least one rule"):
+            fleet.deploy(RuleSet())
+        with pytest.raises(ConfigurationError, match="do not match"):
+            fleet.deploy(build_rules(4), bandwidths=[1.0])
+
+    def test_ping_heartbeat_is_a_cheap_counter_ecall(self):
+        fleet = build_fleet(build_rules(), enclaves=2)
+        enclave = fleet.controller.enclaves[0]
+        assert enclave.ecall("ping") == 1
+        assert enclave.ecall("ping") == 2
+
+    def test_probe_all_healthy(self):
+        fleet = build_fleet(build_rules(), enclaves=3)
+        assert fleet.probe() == [EnclaveHealth.HEALTHY] * 3
+        assert fleet.counters.probes == 3
+        assert fleet.counters.probe_misses == 0
+
+    def test_probe_suspect_then_dead_at_miss_threshold(self):
+        fleet = build_fleet(
+            build_rules(), enclaves=3, config=FleetConfig(miss_threshold=2)
+        )
+        fleet.controller.enclaves[1].destroy()
+        assert fleet.probe()[1] is EnclaveHealth.SUSPECT
+        assert fleet.probe()[1] is EnclaveHealth.DEAD
+        # dead slots are no longer probed
+        probes_before = fleet.counters.probes
+        fleet.probe()
+        assert fleet.counters.probes == probes_before + 2
+
+    def test_transient_probe_miss_recovers_to_healthy(self, monkeypatch):
+        fleet = build_fleet(
+            build_rules(), enclaves=2, config=FleetConfig(miss_threshold=2)
+        )
+        enclave = fleet.controller.enclaves[0]
+        original = enclave.ecall
+        state = {"failed": False}
+
+        def flaky(name, *args):
+            if name == "ping" and not state["failed"]:
+                state["failed"] = True
+                raise EnclaveSealedError("transient probe loss")
+            return original(name, *args)
+
+        monkeypatch.setattr(enclave, "ecall", flaky)
+        assert fleet.probe()[0] is EnclaveHealth.SUSPECT
+        assert fleet.probe()[0] is EnclaveHealth.HEALTHY
+        # a SUSPECT slot that recovers is never put through failover
+        assert fleet.recover().acted is False
+
+
+class TestFailover:
+    def test_crash_recovery_relaunches_and_reinstalls(self):
+        rules = build_rules()
+        fleet = build_fleet(rules, enclaves=4)
+        victim_slot = 1
+        installed_before = {
+            r.rule_id
+            for r in fleet.controller.enclaves[victim_slot].ecall("installed_rules")
+        }
+        fleet.inject_crash(victim_slot)
+        fleet.probe(), fleet.probe()
+        report = fleet.recover()
+        assert report.relaunched_slots == [victim_slot]
+        assert not report.orphaned_slots
+        replacement = fleet.controller.enclaves[victim_slot]
+        assert not replacement.destroyed
+        installed_after = {
+            r.rule_id for r in replacement.ecall("installed_rules")
+        }
+        assert installed_after == installed_before
+        assert fleet.counters.relaunches == 1
+        assert fleet.counters.failovers == 1
+        assert validate_allocation(fleet.allocation) == []
+        result = fleet.carry([rule_packet(i) for i in range(8)])
+        assert result.dropped_failclosed == 0
+        assert fleet.counters.unfiltered_packets == 0
+
+    def test_data_path_discovers_death_and_fails_closed(self):
+        rules = build_rules()
+        fleet = build_fleet(rules, enclaves=4)
+        fleet.inject_crash(0)  # no probe round: data path finds out first
+        packets = [rule_packet(i) for i in range(8)]
+        result = fleet.carry(packets)
+        assert result.dropped_failclosed > 0
+        assert len(result.delivered) + result.dropped_filtered \
+            + result.dropped_failclosed == len(packets)
+        assert fleet.counters.unfiltered_packets == 0
+        # the death was flagged for recovery without any probe
+        report = fleet.recover()
+        assert report.relaunched_slots
+        assert fleet.carry(packets).dropped_failclosed == 0
+
+    def test_platform_loss_recovers_onto_spare(self):
+        fleet = build_fleet(
+            build_rules(), enclaves=3, config=FleetConfig(spare_platforms=1)
+        )
+        old_platform = fleet.controller.enclaves[2].platform.platform_id
+        fleet.inject_crash(2, platform_lost=True)
+        report = fleet.recover()
+        assert report.relaunched_slots == [2]
+        new_platform = fleet.controller.enclaves[2].platform.platform_id
+        assert new_platform != old_platform
+        assert new_platform.startswith("ixp-spare-")
+
+    def test_platform_loss_without_spares_repairs_allocation(self):
+        rules = build_rules()
+        fleet = build_fleet(
+            rules, enclaves=4, config=FleetConfig(spare_platforms=0)
+        )
+        fleet.inject_crash(3, platform_lost=True)
+        report = fleet.recover()
+        assert report.orphaned_slots == [3]
+        assert report.repaired
+        assert report.rules_rehomed > 0
+        assert fleet.counters.repairs == 1
+        assert fleet.counters.relaunches == 0
+        assert validate_allocation(fleet.allocation) == []
+        # orphaned slot holds nothing; survivors serve everything
+        assert fleet.allocation.assignments[3] == {}
+        result = fleet.carry([rule_packet(i) for i in range(8)])
+        assert result.dropped_failclosed == 0
+        assert fleet.counters.unfiltered_packets == 0
+
+    def test_epc_exhaustion_forces_orphan_path(self):
+        fleet = build_fleet(
+            build_rules(), enclaves=4, config=FleetConfig(spare_platforms=0)
+        )
+        fleet.inject_epc_exhaustion(1)
+        report = fleet.recover()
+        assert report.orphaned_slots == [1]
+        assert report.repaired
+        assert fleet.counters.unfiltered_packets == 0
+
+    def test_inject_on_empty_fleet_raises(self):
+        fleet = FleetManager(IXPController(IASService()))
+        with pytest.raises(FleetError, match="empty"):
+            fleet.inject_crash(0)
+
+
+class TestGracefulDegradation:
+    def tight_fleet(self, priorities=None, spares=0):
+        """Two enclaves at 100% utilisation: losing one forces shedding."""
+        rules = build_rules(count=4, rate_bps=5.0 * GBPS)  # 20G over 2x10G
+        fleet = build_fleet(
+            rules,
+            enclaves=2,
+            config=FleetConfig(spare_platforms=spares),
+            priorities=priorities,
+        )
+        return fleet
+
+    def test_capacity_loss_sheds_fail_closed(self):
+        fleet = self.tight_fleet()
+        fleet.inject_crash(0, platform_lost=True)
+        report = fleet.recover()
+        assert report.full_resolve
+        assert report.shed_rule_ids  # survivors cannot hold 20G
+        assert report.shed_bandwidth_bps > 0
+        assert fleet.counters.rules_shed == len(report.shed_rule_ids)
+        assert fleet.shed_rule_ids == set(report.shed_rule_ids)
+        lb = fleet.controller.load_balancer
+        assert fleet.shed_rule_ids <= lb.blackholed_rule_ids
+
+        packets = [rule_packet(i) for i in range(4)]
+        result = fleet.carry(packets)
+        # shed-rule traffic is dropped at the balancer, never delivered
+        assert result.dropped_shed > 0
+        assert fleet.counters.unfiltered_packets == 0
+        delivered_dsts = {p.five_tuple.dst_ip for p in result.delivered}
+        for rid in report.shed_rule_ids:
+            assert f"203.0.{99 + rid}.5" not in delivered_dsts
+
+    def test_shed_order_respects_priorities(self):
+        # rule 1 is precious; the sheds must come from the others
+        fleet = self.tight_fleet(priorities={1: 10})
+        fleet.inject_crash(1, platform_lost=True)
+        report = fleet.recover()
+        assert report.shed_rule_ids
+        assert 1 not in report.shed_rule_ids
+
+    def test_surviving_rules_still_filter_after_shed(self):
+        fleet = self.tight_fleet()
+        fleet.inject_crash(0, platform_lost=True)
+        fleet.recover()
+        assert validate_allocation(fleet.allocation) == []
+        kept = set(fleet.active_rule_ids)
+        assert kept and kept.isdisjoint(fleet.shed_rule_ids)
+        result = fleet.carry([rule_packet(rid - 1) for rid in sorted(kept)])
+        assert result.allowed + result.dropped_filtered == len(kept)
+
+
+class TestAttestationRetry:
+    def attested_fleet(self, ias, config=None):
+        rules = build_rules()
+        controller = IXPController(ias)
+        fleet = FleetManager(controller, config=config)
+        fleet.deploy(rules, enclaves_override=3)
+        rpki = RPKIRegistry()
+        rpki.authorize(VICTIM, "203.0.0.0/16")
+        session = VIFSession(VICTIM, rpki, ias, controller)
+        session.attest_filters()
+        fleet.session = session
+        return fleet
+
+    def test_recovery_rides_out_transient_ias_outage(self):
+        ias = FlakyIAS()
+        fleet = self.attested_fleet(ias)
+        fleet.inject_crash(0)
+        ias.fail_next(2)
+        report = fleet.recover()
+        assert report.relaunched_slots == [0]
+        assert fleet.counters.attestation_retries == 2
+        assert ias.outage_remaining == 0
+        # replacement was re-attested: the session holds a fresh report
+        assert 0 in fleet.session.attestation_reports
+        assert fleet.counters.recovery_time_s > 3.0  # paper-scale attestation
+
+    def test_recovery_failed_after_retry_budget(self):
+        ias = FlakyIAS()
+        fleet = self.attested_fleet(
+            ias, config=FleetConfig(max_attestation_attempts=3)
+        )
+        fleet.inject_crash(1)
+        ias.fail_next(100)
+        with pytest.raises(RecoveryFailed, match="after 3 attempts"):
+            fleet.recover()
+        assert fleet.counters.attestation_retries == 3
+        # traffic for the un-attested slot still fails closed
+        result = fleet.carry([rule_packet(i) for i in range(8)])
+        assert fleet.counters.unfiltered_packets == 0
+
+    def test_backoff_is_deterministic_per_seed(self):
+        times = []
+        for _ in range(2):
+            ias = FlakyIAS()
+            fleet = self.attested_fleet(
+                ias, config=FleetConfig(seed="backoff-test")
+            )
+            fleet.inject_crash(0)
+            ias.fail_next(3)
+            fleet.recover()
+            times.append(fleet.counters.recovery_time_s)
+        assert times[0] == times[1]

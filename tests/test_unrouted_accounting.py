@@ -1,0 +1,194 @@
+"""Unrouted-traffic accounting: LB counters, pipeline verdicts, conservation.
+
+PR-1 added the ``received == allowed + dropped + overflows`` conservation
+check; this locks in the extension: default-path traffic (matching no
+installed rule) is counted as ``unrouted`` — distinct from filter-approved
+``allowed`` — at both the load balancer and the pipeline, and the
+conservation identity still holds exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import BLACKHOLE, IXPController, LoadBalancer
+from repro.core.fleet import FleetBurstFilter, FleetConfig, FleetManager
+from repro.core.rules import Action, FilterRule, FlowPattern, RuleSet
+from repro.dataplane.pipeline import (
+    UNROUTED,
+    FilterPipeline,
+    PipelineAccountingError,
+)
+from repro.tee.attestation import IASService
+from repro.util.units import GBPS
+from tests.conftest import VICTIM, make_packet
+
+
+def build_rules(count: int = 6, rate_bps: float = 2.0 * GBPS) -> RuleSet:
+    rules = RuleSet()
+    for i in range(count):
+        rules.add(
+            FilterRule(
+                rule_id=i + 1,
+                pattern=FlowPattern(dst_prefix=f"203.0.{100 + i}.0/24"),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+                requested_by=VICTIM,
+                rate_bps=rate_bps,
+            )
+        )
+    return rules
+
+
+def rule_packet(i: int):
+    return make_packet(dst_ip=f"203.0.{100 + i}.5")
+
+
+def off_path_packet(k: int = 0):
+    """Traffic matching no rule: rides the default path."""
+    return make_packet(dst_ip=f"198.18.0.{k + 1}")
+
+
+class TestLoadBalancerCounters:
+    def test_unrouted_counter_increments(self):
+        lb = LoadBalancer()
+        rules = build_rules(1)
+        lb.configure(rules, {1: [(0, 1.0)]})
+        assert lb.route(off_path_packet()) is None
+        assert lb.route(rule_packet(0)) == 0
+        assert lb.unrouted_packets == 1
+
+    def test_blackholed_counter_and_verdict(self):
+        lb = LoadBalancer()
+        rules = build_rules(2)
+        lb.configure(rules, {1: [(0, 1.0)], 2: [(0, 1.0)]})
+        lb.blackhole([2])
+        assert lb.route(rule_packet(1)) is BLACKHOLE
+        assert lb.blackholed_packets == 1
+        assert lb.blackholed_rule_ids == {2}
+        # rule 1 still routes
+        assert lb.route(rule_packet(0)) == 0
+
+    def test_reconfigure_clears_blackhole_only_for_rerouted_rules(self):
+        lb = LoadBalancer()
+        rules = build_rules(2)
+        lb.configure(rules, {1: [(0, 1.0)], 2: [(0, 1.0)]})
+        lb.blackhole([1, 2])
+        # rule 1 gets a route again; rule 2 stays shed
+        lb.configure(rules, {1: [(0, 1.0)]})
+        assert lb.blackholed_rule_ids == {2}
+
+    def test_controller_stats_surface_lb_counters(self):
+        controller = IXPController(IASService())
+        controller.launch_filters(1, scale_out=False)
+        controller.install_single_filter(build_rules(2))
+        controller.carry([rule_packet(0), off_path_packet(), off_path_packet(1)])
+        stats = controller.stats()
+        assert stats["unrouted_packets"] == 2
+        assert stats["blackholed_packets"] == 0
+        assert stats["packets_processed"] == 1
+        assert stats["dead_enclaves"] == 0
+
+    def test_controller_stats_skip_destroyed_enclaves(self):
+        controller = IXPController(IASService())
+        controller.launch_filters(2)
+        controller.enclaves[1].destroy()
+        stats = controller.stats()
+        assert stats["dead_enclaves"] == 1
+        assert stats["enclaves"] == 2
+
+
+class TestPipelineUnroutedVerdict:
+    def test_plain_bool_filters_never_count_unrouted(self):
+        pipeline = FilterPipeline(lambda p: True)
+        pipeline.process([make_packet() for _ in range(5)])
+        assert pipeline.stats.allowed == 5
+        assert pipeline.stats.unrouted == 0
+
+    def test_unrouted_verdict_counted_separately_and_forwarded(self):
+        class RoutedFilter:
+            def __call__(self, packet):
+                return self.process_burst([packet])[0]
+
+            def process_burst(self, packets):
+                return [
+                    UNROUTED if p.five_tuple.dst_ip.startswith("198.18.") else True
+                    for p in packets
+                ]
+
+        pipeline = FilterPipeline(RoutedFilter())
+        out = pipeline.process(
+            [rule_packet(0), off_path_packet(), off_path_packet(1)]
+        )
+        assert len(out) == 3  # unrouted traffic is still forwarded
+        assert pipeline.stats.allowed == 1
+        assert pipeline.stats.unrouted == 2
+        assert pipeline.stats.processed == 3
+        pipeline.check_conservation()
+
+    def test_conservation_message_includes_unrouted(self):
+        pipeline = FilterPipeline(lambda p: True)
+        pipeline.stats.received = 10  # cook the books
+        with pytest.raises(PipelineAccountingError, match="unrouted="):
+            pipeline.check_conservation()
+
+    def test_conservation_identity_exact(self):
+        class HalfRouted:
+            def __call__(self, packet):
+                return self.process_burst([packet])[0]
+
+            def process_burst(self, packets):
+                verdicts = []
+                for p in packets:
+                    last = int(p.five_tuple.dst_ip.rsplit(".", 1)[1])
+                    verdicts.append(
+                        UNROUTED if last % 3 == 0 else last % 2 == 0
+                    )
+                return verdicts
+
+        pipeline = FilterPipeline(HalfRouted())
+        pipeline.process(
+            [make_packet(dst_ip=f"203.0.100.{k}") for k in range(1, 61)]
+        )
+        s = pipeline.stats
+        assert s.received == 60
+        assert s.allowed + s.dropped + s.unrouted == 60
+        assert s.unrouted == 20
+
+
+class TestFleetPipelineIntegration:
+    def make_fleet(self):
+        controller = IXPController(IASService())
+        fleet = FleetManager(
+            controller, config=FleetConfig(spare_platforms=0)
+        )
+        fleet.deploy(build_rules(), enclaves_override=3)
+        return fleet
+
+    def test_fleet_filter_in_pipeline_counts_unrouted(self):
+        fleet = self.make_fleet()
+        pipeline = FilterPipeline(FleetBurstFilter(fleet))
+        packets = [rule_packet(i) for i in range(6)] + [
+            off_path_packet(k) for k in range(3)
+        ]
+        out = pipeline.process(packets)
+        assert pipeline.stats.unrouted == 3
+        assert pipeline.stats.allowed == 3  # even-indexed rules ALLOW
+        assert pipeline.stats.dropped == 3
+        assert len(out) == 6
+        pipeline.check_conservation()
+
+    def test_pipeline_survives_mid_run_crash_fail_closed(self):
+        fleet = self.make_fleet()
+        pipeline = FilterPipeline(FleetBurstFilter(fleet))
+        packets = [rule_packet(i) for i in range(6)]
+        pipeline.process(packets)
+        allowed_before = pipeline.stats.allowed
+        fleet.inject_crash(0)
+        fleet.inject_crash(1)
+        fleet.inject_crash(2)
+        out = pipeline.process(packets)
+        # whole fleet dead: every rule packet dropped, none delivered
+        assert out == []
+        assert pipeline.stats.allowed == allowed_before
+        assert fleet.counters.unfiltered_packets == 0
+        pipeline.check_conservation()
