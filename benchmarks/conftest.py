@@ -31,3 +31,24 @@ def emit(text: str) -> None:
     """Print a result table with spacing that survives pytest's capture."""
     print()
     print(text)
+
+
+def emit_metrics_snapshot(name: str, extra: dict | None = None) -> str:
+    """Write the metrics registry as ``BENCH_<name>.json`` and return the path.
+
+    The file lands in ``$VIF_BENCH_OUT`` when set (CI uploads that directory
+    as an artifact), else the current working directory.  The payload is the
+    registry snapshot (schema ``vif-metrics-v1``) with ``bench``/``extra``
+    keys merged on top, so every benchmark reports against the same counters.
+    """
+    from repro import obs
+
+    out_dir = os.environ.get("VIF_BENCH_OUT", "")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    payload = {"bench": name}
+    if extra:
+        payload.update(extra)
+    obs.get_registry().write_json(path, extra=payload)
+    return path

@@ -18,7 +18,8 @@ jitter), so these numbers are reproducible artifacts, not anecdotes.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import emit, emit_metrics_snapshot, full_scale
+from repro import obs
 from repro.core.controller import IXPController
 from repro.core.fleet import FleetConfig, FleetManager
 from repro.core.rules import Action, FilterRule, FlowPattern, RPKIRegistry, RuleSet
@@ -98,18 +99,33 @@ def test_bench_recovery_vs_fleet_size_and_failure_rate():
         f"{'shed':>5} {'unfiltered':>11}"
     ]
     cells = {}
-    for n in fleet_sizes:
-        for frac in kill_fractions:
-            cell = _run_cell(n, frac, seed=f"bench-{n}-{frac}")
-            cells[(n, frac)] = cell
-            lines.append(
-                f"{n:>6} {frac:>7.0%} {cell['recovery_s']:>11.2f} "
-                f"{cell['lost_pct']:>7.2f} {cell['shed']:>5} "
-                f"{cell['unfiltered']:>11}"
-            )
+    # Timing on: the snapshot this sweep emits should carry the ECall
+    # latency histograms alongside the conservation counters.
+    prev_timing = obs.set_timing(True)
+    try:
+        for n in fleet_sizes:
+            for frac in kill_fractions:
+                cell = _run_cell(n, frac, seed=f"bench-{n}-{frac}")
+                cells[(n, frac)] = cell
+                lines.append(
+                    f"{n:>6} {frac:>7.0%} {cell['recovery_s']:>11.2f} "
+                    f"{cell['lost_pct']:>7.2f} {cell['shed']:>5} "
+                    f"{cell['unfiltered']:>11}"
+                )
+    finally:
+        obs.set_timing(prev_timing)
     emit(
         "failover recovery sweep "
         f"({ROUNDS} rounds, kill at round {ROUNDS // 2})\n" + "\n".join(lines)
+    )
+    emit_metrics_snapshot(
+        "failover_recovery",
+        extra={
+            "cells": {
+                f"fleet={n},killed={frac}": cell
+                for (n, frac), cell in cells.items()
+            }
+        },
     )
 
     for (n, frac), cell in cells.items():
@@ -123,6 +139,15 @@ def test_bench_recovery_vs_fleet_size_and_failure_rate():
     # killing more of the fleet cannot cost less recovery time
     for n in fleet_sizes:
         assert cells[(n, 0.4)]["recovery_s"] >= cells[(n, 0.1)]["recovery_s"]
+
+
+def test_bench_recovery_cell_is_deterministic():
+    """Same seed, same cell — bit-for-bit.  Recovery time is simulated
+    (attestation timing model + seeded backoff jitter), so nothing here may
+    depend on the wall clock."""
+    first = _run_cell(5, 0.2, seed="bench-determinism")
+    second = _run_cell(5, 0.2, seed="bench-determinism")
+    assert first == second
 
 
 def test_bench_recovery_rides_out_ias_outage():

@@ -57,15 +57,24 @@ def test_table2_batch_insert(benchmark):
     per_rule_us = {}
     trie = _warm_trie()
     next_id = 10_000
+    # Each cell is the min over several repeats (fresh rule ids per repeat,
+    # same warm trie): a single timed insert — especially at batch=1 —
+    # jitters by an order of magnitude under scheduler noise, and the min
+    # is the standard robust estimator for "the cost of the work itself".
+    repeats = 5
     for batch_size in (1, 10, 100, 1000):
-        batch = _exact_rules(next_id, batch_size)
-        next_id += batch_size
-        start = time.perf_counter()
-        trie.insert_batch(batch)
-        elapsed_ms = (time.perf_counter() - start) * 1000
-        per_rule_us[batch_size] = elapsed_ms * 1000 / batch_size
+        best_ms = float("inf")
+        for _ in range(repeats):
+            batch = _exact_rules(next_id, batch_size)
+            next_id += batch_size
+            start = time.perf_counter()
+            trie.insert_batch(batch)
+            best_ms = min(
+                best_ms, (time.perf_counter() - start) * 1000
+            )
+        per_rule_us[batch_size] = best_ms * 1000 / batch_size
         rows.append(
-            [batch_size, f"{elapsed_ms:.3f}", PAPER_MS[batch_size],
+            [batch_size, f"{best_ms:.3f}", PAPER_MS[batch_size],
              f"{per_rule_us[batch_size]:.1f}"]
         )
     emit(

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run fig8
     python -m repro.cli run all
     python -m repro.cli fleet-sim --fleet-size 10 --rounds 8 --kill 0.2
+    python -m repro.cli metrics --json metrics.json --trace round.trace.json
 """
 
 from __future__ import annotations
@@ -57,7 +58,97 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail K IAS verifications in the kill round")
     fleet.add_argument("--spares", type=int, default=2, metavar="S",
                        help="spare platforms available for failover (default 2)")
+    fleet.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write a registry snapshot (JSON) after the run")
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a small instrumented round and dump the metrics registry",
+        description=(
+            "Deploy a small fleet, push deterministic traffic through a "
+            "pipeline with timing and tracing enabled (including one "
+            "mid-run crash/failover), then render the metrics registry in "
+            "Prometheus text format.  Exits non-zero if any registered "
+            "conservation invariant is violated."
+        ),
+    )
+    metrics.add_argument("--seed", default="repro-metrics", help="traffic seed")
+    metrics.add_argument("--fleet-size", type=int, default=3, metavar="N",
+                         help="enclaves to deploy (default 3)")
+    metrics.add_argument("--rules", type=int, default=6, metavar="K",
+                         help="filter rules to install (default 6)")
+    metrics.add_argument("--rounds", type=int, default=4, metavar="R",
+                         help="traffic rounds to run (default 4)")
+    metrics.add_argument("--json", metavar="PATH", default=None,
+                         help="also write a JSON snapshot of the registry")
+    metrics.add_argument("--trace", metavar="PATH", default=None,
+                         help="also write the recorded spans as Chrome-trace JSON")
     return parser
+
+
+def run_metrics(args: argparse.Namespace) -> int:
+    """The ``metrics`` subcommand: a self-contained instrumented demo round."""
+    from repro import obs
+    from repro.core.controller import IXPController
+    from repro.core.fleet import FleetBurstFilter, FleetConfig, FleetManager
+    from repro.core.rules import Action, FilterRule, FlowPattern, RuleSet
+    from repro.dataplane.pipeline import FilterPipeline
+    from repro.faults.harness import rule_traffic
+    from repro.tee.attestation import IASService
+    from repro.util.units import GBPS
+
+    if args.fleet_size < 1 or args.rules < 1 or args.rounds < 1:
+        print("fleet-size, rules and rounds must be positive", file=sys.stderr)
+        return 2
+
+    prev_timing = obs.set_timing(True)
+    prev_tracing = obs.set_tracing(True)
+    try:
+        controller = IXPController(IASService())
+        fleet = FleetManager(controller, config=FleetConfig(seed=args.seed))
+        rules = RuleSet()
+        rate = 0.6 * args.fleet_size * 10 * GBPS / args.rules
+        for i in range(args.rules):
+            rules.add(
+                FilterRule(
+                    rule_id=i + 1,
+                    pattern=FlowPattern(
+                        dst_prefix=f"10.{(i // 256) % 256}.{i % 256}.0/24"
+                    ),
+                    action=Action.DROP if i % 2 else Action.ALLOW,
+                    requested_by="victim.example",
+                    rate_bps=rate,
+                )
+            )
+        fleet.deploy(rules, enclaves_override=args.fleet_size)
+        traffic = rule_traffic(rules, seed=f"{args.seed}/traffic")
+        pipeline = FilterPipeline(FleetBurstFilter(fleet))
+        for r in range(args.rounds):
+            if r == args.rounds // 2 and args.fleet_size > 1:
+                # Exercise the failover path so the recovery histogram and
+                # failover counters are non-trivial in the dump.
+                fleet.inject_crash(0)
+            fleet.run_round(traffic(r))
+            pipeline.process(list(traffic(1000 + r)))
+
+        registry = obs.get_registry()
+        violations = registry.check_invariants()
+        print(registry.render_prometheus())
+        if args.json:
+            registry.write_json(
+                args.json, extra={"command": "metrics", "seed": args.seed}
+            )
+            print(f"wrote metrics snapshot to {args.json}", file=sys.stderr)
+        if args.trace:
+            obs.get_tracer().write_chrome_trace(args.trace)
+            print(f"wrote chrome trace to {args.trace}", file=sys.stderr)
+        if violations:
+            for violation in violations:
+                print(f"invariant violated: {violation}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        obs.set_timing(prev_timing)
+        obs.set_tracing(prev_tracing)
 
 
 def run_fleet_sim(args: argparse.Namespace) -> int:
@@ -141,6 +232,19 @@ def run_fleet_sim(args: argparse.Namespace) -> int:
     harness = FaultInjectionHarness(fleet, schedule, ias=ias)
     result = harness.run()
 
+    if args.metrics_json:
+        from repro import obs
+
+        obs.get_registry().write_json(
+            args.metrics_json,
+            extra={
+                "command": "fleet-sim",
+                "seed": args.seed,
+                "summary": result.summary(),
+            },
+        )
+        print(f"wrote metrics snapshot to {args.metrics_json}", file=sys.stderr)
+
     print(f"fleet-sim seed={args.seed!r}: {args.fleet_size} enclaves, "
           f"{args.rules} rules, {args.rounds} rounds")
     for event in schedule.events:
@@ -165,6 +269,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "fleet-sim":
         return run_fleet_sim(args)
+    if args.command == "metrics":
+        return run_metrics(args)
     if args.command == "list":
         for experiment in list_experiments():
             print(f"{experiment.key:12s} {experiment.paper_ref:14s} "

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro import obs
 from repro.core.enclave_filter import EnclaveFilter
 from repro.core.filter import ConnectionPreservingMode
 from repro.core.rules import RuleSet
@@ -60,8 +61,36 @@ class LoadBalancer:
         self._rules = RuleSet()
         self._routes: Dict[int, List[Tuple[int, float]]] = {}
         self._blackholed: Set[int] = set()
-        self.unrouted_packets = 0
-        self.blackholed_packets = 0
+        registry = obs.get_registry()
+        label = obs.next_instance_label("lb")
+        self._unrouted_c = registry.counter(
+            "vif_lb_unrouted_packets_total",
+            help="Packets matching no installed rule (default path)",
+            lb=label,
+        )
+        self._blackholed_c = registry.counter(
+            "vif_lb_blackholed_packets_total",
+            help="Packets for shed rules, dropped fail-closed at the switch",
+            lb=label,
+        )
+
+    @property
+    def unrouted_packets(self) -> int:
+        """Packets routed to no enclave (stored in the metrics registry)."""
+        return self._unrouted_c.value
+
+    @unrouted_packets.setter
+    def unrouted_packets(self, value: int) -> None:
+        self._unrouted_c.set(value)
+
+    @property
+    def blackholed_packets(self) -> int:
+        """Packets dropped fail-closed (stored in the metrics registry)."""
+        return self._blackholed_c.value
+
+    @blackholed_packets.setter
+    def blackholed_packets(self, value: int) -> None:
+        self._blackholed_c.set(value)
 
     def configure(
         self, rules: RuleSet, routes: Dict[int, List[Tuple[int, float]]]

@@ -41,6 +41,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.controller import BLACKHOLE, IXPController
 from repro.core.rules import RuleSet
 from repro.core.session import VIFSession
@@ -95,44 +96,116 @@ class FleetConfig:
     seed: str = "vif-fleet"
 
 
-@dataclass
-class FleetCounters:
-    """Recovery observability; ``unfiltered_packets`` must stay 0."""
+def _fleet_counter(name: str, doc: str):
+    """A counter attribute whose storage is a registry series."""
 
-    probes: int = 0
-    probe_misses: int = 0
-    failovers: int = 0
-    relaunches: int = 0
-    attestation_retries: int = 0
-    repairs: int = 0
-    full_resolves: int = 0
-    rules_rehomed: int = 0
-    rules_shed: int = 0
-    shed_bandwidth_bps: float = 0.0
-    shed_drops: int = 0
-    failclosed_drops: int = 0
-    routing_anomalies: int = 0
-    unfiltered_packets: int = 0
-    recovery_time_s: float = 0.0
+    def getter(self: "FleetCounters"):
+        return self._counters[name].value
+
+    def setter(self: "FleetCounters", value) -> None:
+        self._counters[name].set(value)
+
+    return property(getter, setter, doc=doc)
+
+
+class FleetCounters:
+    """Recovery observability; ``unfiltered_packets`` must stay 0.
+
+    Fields are stored in the metrics registry as ``vif_fleet_<field>_total``
+    series labeled per fleet instance, so the legacy attribute API and the
+    Prometheus exposition read the same memory.  The two ``*_s``/``*_bps``
+    fields are cumulative sums, not event counts.
+    """
+
+    FIELDS = (
+        "probes",
+        "probe_misses",
+        "failovers",
+        "relaunches",
+        "attestation_retries",
+        "repairs",
+        "full_resolves",
+        "rules_rehomed",
+        "rules_shed",
+        "shed_bandwidth_bps",
+        "shed_drops",
+        "failclosed_drops",
+        "routing_anomalies",
+        "unfiltered_packets",
+        "recovery_time_s",
+    )
+
+    _HELP = {
+        "probes": "Heartbeat ECalls issued",
+        "probe_misses": "Heartbeat ECalls that raised",
+        "failovers": "Dead slots handled by recover()",
+        "relaunches": "Replacement enclaves brought up",
+        "attestation_retries": "Attestation attempts that hit an IAS outage",
+        "repairs": "Incremental allocation repairs",
+        "full_resolves": "Full re-solves over the surviving fleet",
+        "rules_rehomed": "Rules moved to a surviving enclave",
+        "rules_shed": "Rules shed under capacity loss (blackholed)",
+        "shed_bandwidth_bps": "Cumulative bandwidth of shed rules",
+        "shed_drops": "Packets dropped because their rule was shed",
+        "failclosed_drops": "Packets dropped because their enclave was dead",
+        "routing_anomalies": "Rule-matching packets the LB left unrouted",
+        "unfiltered_packets": "Delivered rule traffic no enclave adjudicated (must stay 0)",
+        "recovery_time_s": "Cumulative simulated recovery time",
+    }
+
+    def __init__(
+        self,
+        registry: Optional["obs.MetricsRegistry"] = None,
+        fleet: Optional[str] = None,
+        **initial,
+    ) -> None:
+        reg = registry or obs.get_registry()
+        self.fleet_label = fleet or obs.next_instance_label("fleet")
+        self._counters = {
+            name: reg.counter(
+                f"vif_fleet_{name}_total",
+                help=self._HELP[name],
+                fleet=self.fleet_label,
+            )
+            for name in self.FIELDS
+        }
+        for name, value in initial.items():
+            if name not in self._counters:
+                raise TypeError(f"unknown fleet counter {name!r}")
+            self._counters[name].set(value)
+
+    probes = _fleet_counter("probes", _HELP["probes"])
+    probe_misses = _fleet_counter("probe_misses", _HELP["probe_misses"])
+    failovers = _fleet_counter("failovers", _HELP["failovers"])
+    relaunches = _fleet_counter("relaunches", _HELP["relaunches"])
+    attestation_retries = _fleet_counter(
+        "attestation_retries", _HELP["attestation_retries"]
+    )
+    repairs = _fleet_counter("repairs", _HELP["repairs"])
+    full_resolves = _fleet_counter("full_resolves", _HELP["full_resolves"])
+    rules_rehomed = _fleet_counter("rules_rehomed", _HELP["rules_rehomed"])
+    rules_shed = _fleet_counter("rules_shed", _HELP["rules_shed"])
+    shed_bandwidth_bps = _fleet_counter(
+        "shed_bandwidth_bps", _HELP["shed_bandwidth_bps"]
+    )
+    shed_drops = _fleet_counter("shed_drops", _HELP["shed_drops"])
+    failclosed_drops = _fleet_counter(
+        "failclosed_drops", _HELP["failclosed_drops"]
+    )
+    routing_anomalies = _fleet_counter(
+        "routing_anomalies", _HELP["routing_anomalies"]
+    )
+    unfiltered_packets = _fleet_counter(
+        "unfiltered_packets", _HELP["unfiltered_packets"]
+    )
+    recovery_time_s = _fleet_counter("recovery_time_s", _HELP["recovery_time_s"])
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "probes": self.probes,
-            "probe_misses": self.probe_misses,
-            "failovers": self.failovers,
-            "relaunches": self.relaunches,
-            "attestation_retries": self.attestation_retries,
-            "repairs": self.repairs,
-            "full_resolves": self.full_resolves,
-            "rules_rehomed": self.rules_rehomed,
-            "rules_shed": self.rules_shed,
-            "shed_bandwidth_bps": self.shed_bandwidth_bps,
-            "shed_drops": self.shed_drops,
-            "failclosed_drops": self.failclosed_drops,
-            "routing_anomalies": self.routing_anomalies,
-            "unfiltered_packets": self.unfiltered_packets,
-            "recovery_time_s": self.recovery_time_s,
-        }
+        return {name: self._counters[name].value for name in self.FIELDS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={self._counters[n].value}" for n in self.FIELDS)
+        return f"FleetCounters({inner})"
 
 
 @dataclass
@@ -207,6 +280,36 @@ class FleetManager:
         self.session = session
         self.config = config or FleetConfig()
         self.counters = FleetCounters()
+        # Carry-path conservation books.  These are incremented ONLY inside
+        # carry() (FleetBurstFilter routes its drops into the shared
+        # shed/failclosed counters too, which is why the invariant needs its
+        # own offered/outcome series rather than reusing FleetCounters).
+        registry = obs.get_registry()
+        label = self.counters.fleet_label
+        self._carry_counters = {
+            name: registry.counter(
+                f"vif_fleet_carry_{name}_total",
+                help=f"Carry-path packets: {name}",
+                fleet=label,
+            )
+            for name in (
+                "offered",
+                "allowed",
+                "dropped_filtered",
+                "unrouted",
+                "shed",
+                "failclosed",
+            )
+        }
+        self._recovery_hist = registry.histogram(
+            "vif_fleet_recovery_seconds",
+            help="Simulated recovery time per acted recover() call",
+            buckets=obs.RECOVERY_BUCKETS,
+            fleet=label,
+        )
+        registry.register_invariant(
+            f"fleet_carry_conservation/{label}", self._carry_violation
+        )
         self._rng = deterministic_rng(f"{self.config.seed}/backoff")
         self._health: List[EnclaveHealth] = []
         self._misses: List[int] = []
@@ -337,6 +440,7 @@ class FleetManager:
     def recover(self) -> RecoveryReport:
         """Handle every DEAD slot: relaunch, repair, or shed — in that order."""
         self._sync_health()
+        recovery_start_s = self.counters.recovery_time_s
         report = RecoveryReport()
         dead = [
             j
@@ -363,13 +467,21 @@ class FleetManager:
 
         if report.orphaned_slots:
             self._rehome_orphans(report)
+        if report.acted:
+            self._recovery_hist.observe(
+                self.counters.recovery_time_s - recovery_start_s
+            )
         return report
 
     def run_round(self, packets: Sequence[Packet]) -> RoundResult:
         """One operational round: probe health, recover, carry traffic."""
-        health = self.probe()
-        recovery = self.recover()
-        carry = self.carry(packets)
+        with obs.span("fleet.round", fleet=self.counters.fleet_label):
+            with obs.span("fleet.probe"):
+                health = self.probe()
+            with obs.span("fleet.recover"):
+                recovery = self.recover()
+            with obs.span("fleet.carry", packets=len(packets)):
+                carry = self.carry(packets)
         return RoundResult(health=health, recovery=recovery, carry=carry)
 
     # -- data path ----------------------------------------------------------------
@@ -401,6 +513,13 @@ class FleetManager:
                 result.dropped_failclosed += 1
         self.counters.shed_drops += result.dropped_shed
         self.counters.failclosed_drops += result.dropped_failclosed
+        cc = self._carry_counters
+        cc["offered"].inc(len(packets))
+        cc["allowed"].inc(result.allowed)
+        cc["dropped_filtered"].inc(result.dropped_filtered)
+        cc["unrouted"].inc(result.unrouted)
+        cc["shed"].inc(result.dropped_shed)
+        cc["failclosed"].inc(result.dropped_failclosed)
         # Final audit of the fail-closed invariant: a delivered packet that
         # matches any rule (active or shed) must have been adjudicated by an
         # enclave.  Structurally unreachable; counted, never hidden.
@@ -712,6 +831,29 @@ class FleetManager:
         self.controller.state.allocation = self._allocation
 
     # -- internals ----------------------------------------------------------------
+
+    def _carry_violation(self) -> Optional[str]:
+        """Carry-path conservation predicate (a registry invariant).
+
+        Every packet offered to :meth:`carry` ends in exactly one outcome
+        bucket; returns ``None`` when the books balance.
+        """
+        cc = self._carry_counters
+        offered = cc["offered"].value
+        accounted = (
+            cc["allowed"].value
+            + cc["dropped_filtered"].value
+            + cc["unrouted"].value
+            + cc["shed"].value
+            + cc["failclosed"].value
+        )
+        if offered == accounted:
+            return None
+        return (
+            f"fleet carry lost packets untracked: offered={offered}, "
+            f"accounted={accounted} "
+            f"({ {name: c.value for name, c in cc.items()} })"
+        )
 
     def _sync_health(self, reset: bool = False) -> None:
         n = len(self.controller.enclaves)

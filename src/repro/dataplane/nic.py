@@ -8,23 +8,61 @@ dropped-on-full) that the throughput harness and bypass audits read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
+from repro import obs
 from repro.dataplane.packet import Packet
 from repro.dataplane.rings import Ring
 from repro.util.units import GBPS
 
 
-@dataclass
-class PortStats:
-    """Counter snapshot for one port."""
+def _port_counter(field: str, doc: str):
+    def getter(self: "PortStats") -> int:
+        return self._counters[field].value
 
-    rx_packets: int = 0
-    rx_bytes: int = 0
-    rx_dropped: int = 0
-    tx_packets: int = 0
-    tx_bytes: int = 0
+    def setter(self: "PortStats", value: int) -> None:
+        self._counters[field].set(value)
+
+    return property(getter, setter, doc=doc)
+
+
+class PortStats:
+    """Per-port counters, stored in the metrics registry.
+
+    Series are named ``vif_nic_<field>_total`` and labeled by port, so the
+    victim-side bypass audits (NIC RX vs enclave logs vs NIC TX) read off
+    the same exposition as everything else.
+    """
+
+    FIELDS = ("rx_packets", "rx_bytes", "rx_dropped", "tx_packets", "tx_bytes")
+
+    _HELP = {
+        "rx_packets": "Packets arriving from the wire",
+        "rx_bytes": "Bytes arriving from the wire",
+        "rx_dropped": "Packets dropped on a full RX queue",
+        "tx_packets": "Packets transmitted to the wire",
+        "tx_bytes": "Bytes transmitted to the wire",
+    }
+
+    def __init__(self, port: Optional[str] = None) -> None:
+        label = obs.next_instance_label(f"nic/{port or 'port'}")
+        registry = obs.get_registry()
+        self._counters = {
+            field: registry.counter(
+                f"vif_nic_{field}_total", help=self._HELP[field], port=label
+            )
+            for field in self.FIELDS
+        }
+
+    rx_packets = _port_counter("rx_packets", _HELP["rx_packets"])
+    rx_bytes = _port_counter("rx_bytes", _HELP["rx_bytes"])
+    rx_dropped = _port_counter("rx_dropped", _HELP["rx_dropped"])
+    tx_packets = _port_counter("tx_packets", _HELP["tx_packets"])
+    tx_bytes = _port_counter("tx_bytes", _HELP["tx_bytes"])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"PortStats({inner})"
 
 
 class NIC:
@@ -41,7 +79,7 @@ class NIC:
         self.link_bps = link_bps
         self.rx_queue: Ring[Packet] = Ring(f"{name}/rx", rx_queue_size)
         self.tx_queue: Ring[Packet] = Ring(f"{name}/tx", tx_queue_size)
-        self.stats = PortStats()
+        self.stats = PortStats(port=name)
 
     def receive_from_wire(self, packets: Iterable[Packet]) -> int:
         """DMA packets from the wire into the RX queue; returns accepted count."""

@@ -28,9 +28,10 @@ tx_overflow_drops`` holds exactly — no packet ever disappears untracked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.dataplane.nic import NIC
 from repro.dataplane.packet import Packet
 from repro.dataplane.rings import Ring
@@ -50,16 +51,82 @@ class PipelineAccountingError(RuntimeError):
     """The pipeline's packet-conservation invariant was violated."""
 
 
-@dataclass
-class PipelineStats:
-    """Counters across one pipeline's lifetime."""
+def _registry_backed(field: str, doc: str):
+    """An int attribute whose storage is a registry :class:`~repro.obs.Counter`.
 
-    received: int = 0
-    allowed: int = 0
-    dropped: int = 0
-    unrouted: int = 0
-    rx_overflow_drops: int = 0
-    tx_overflow_drops: int = 0
+    Reads return the counter value; writes store through (tests assign
+    counters directly to prove the conservation check fires).  The counter
+    object itself is what ``repro metrics`` renders — same memory, one
+    source of truth.
+    """
+
+    def getter(self: "PipelineStats") -> int:
+        return self._counters[field].value
+
+    def setter(self: "PipelineStats", value: int) -> None:
+        self._counters[field].set(value)
+
+    return property(getter, setter, doc=doc)
+
+
+class PipelineStats:
+    """Counters across one pipeline's lifetime, stored in the metrics registry.
+
+    Every field reads and writes a ``vif_pipeline_<field>_total`` counter
+    labeled with this pipeline's instance label, so the legacy attribute
+    API (``stats.received``), the conservation check, and the Prometheus
+    exposition all see the same numbers.
+    """
+
+    FIELDS = (
+        "received",
+        "allowed",
+        "dropped",
+        "unrouted",
+        "rx_overflow_drops",
+        "tx_overflow_drops",
+    )
+
+    _HELP = {
+        "received": "Packets polled off the inbound NIC",
+        "allowed": "Packets the filter approved and the TX ring accepted",
+        "dropped": "Packets the filter rejected",
+        "unrouted": "Packets forwarded on the default path (no rule matched)",
+        "rx_overflow_drops": "Packets lost to RX-ring back-pressure",
+        "tx_overflow_drops": "Packets lost to TX-ring back-pressure",
+    }
+
+    def __init__(
+        self,
+        registry: Optional["obs.MetricsRegistry"] = None,
+        pipeline: Optional[str] = None,
+        **initial: int,
+    ) -> None:
+        reg = registry or obs.get_registry()
+        self.pipeline_label = pipeline or obs.next_instance_label("pipeline")
+        self._counters = {
+            field: reg.counter(
+                f"vif_pipeline_{field}_total",
+                help=self._HELP[field],
+                pipeline=self.pipeline_label,
+            )
+            for field in self.FIELDS
+        }
+        for field, value in initial.items():
+            if field not in self._counters:
+                raise TypeError(f"unknown pipeline counter {field!r}")
+            self._counters[field].set(value)
+
+    received = _registry_backed("received", _HELP["received"])
+    allowed = _registry_backed("allowed", _HELP["allowed"])
+    dropped = _registry_backed("dropped", _HELP["dropped"])
+    unrouted = _registry_backed("unrouted", _HELP["unrouted"])
+    rx_overflow_drops = _registry_backed(
+        "rx_overflow_drops", _HELP["rx_overflow_drops"]
+    )
+    tx_overflow_drops = _registry_backed(
+        "tx_overflow_drops", _HELP["tx_overflow_drops"]
+    )
 
     @property
     def ring_overflow_drops(self) -> int:
@@ -70,6 +137,13 @@ class PipelineStats:
     def processed(self) -> int:
         """Packets the filter stage reached a verdict for."""
         return self.allowed + self.dropped + self.unrouted + self.tx_overflow_drops
+
+    def as_dict(self) -> dict:
+        return {field: self._counters[field].value for field in self.FIELDS}
+
+    def __repr__(self) -> str:  # keeps failure output readable
+        inner = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"PipelineStats({inner})"
 
 
 class FilterPipeline:
@@ -101,6 +175,18 @@ class FilterPipeline:
         self.tx_ring: Ring[Packet] = Ring("tx", ring_capacity)
         self.drop_ring: Ring[Packet] = Ring("drop", ring_capacity)
         self.stats = PipelineStats()
+        # The conservation check is a registry invariant: `repro metrics`
+        # (and any harness) can audit every live pipeline's books without
+        # holding a reference to the pipeline itself.
+        registry = obs.get_registry()
+        self._burst_hist = registry.histogram(
+            "vif_pipeline_filter_burst_seconds",
+            help="Filter-stage verdict latency per burst (timing-enabled only)",
+        )
+        self._invariant_name = f"pipeline_conservation/{self.stats.pipeline_label}"
+        registry.register_invariant(
+            self._invariant_name, self._conservation_violation
+        )
 
     # -- stages ------------------------------------------------------------
 
@@ -117,6 +203,8 @@ class FilterPipeline:
         burst = self.rx_ring.dequeue_burst(self.burst_size)
         if not burst:
             return 0
+        timed = obs.timing_enabled()
+        start = time.perf_counter() if timed else 0.0
         if self.burst_fn is not None:
             verdicts = list(self.burst_fn(burst))
             if len(verdicts) != len(burst):
@@ -126,6 +214,8 @@ class FilterPipeline:
                 )
         else:
             verdicts = [self.filter_fn(packet) for packet in burst]
+        if timed:
+            self._burst_hist.observe(time.perf_counter() - start)
         for packet, allowed in zip(burst, verdicts):
             if allowed:
                 if self.tx_ring.enqueue(packet):
@@ -153,13 +243,10 @@ class FilterPipeline:
 
     # -- accounting ---------------------------------------------------------
 
-    def check_conservation(self) -> None:
-        """Enforce ``received == allowed + dropped + unrouted + overflow drops``.
+    def _conservation_violation(self) -> Optional[str]:
+        """The conservation predicate, registered as a registry invariant.
 
-        Packets sitting on the RX ring are received but not yet adjudicated,
-        so they count as in-flight (TX-ring occupants are already counted in
-        ``allowed``/``unrouted`` at enqueue time).  Raises
-        :class:`PipelineAccountingError` on violation.
+        Returns ``None`` when the books balance, else the violation text.
         """
         s = self.stats
         accounted = (
@@ -170,14 +257,29 @@ class FilterPipeline:
             + s.tx_overflow_drops
         )
         in_flight = len(self.rx_ring)
-        if s.received != accounted + in_flight:
-            raise PipelineAccountingError(
-                f"pipeline lost packets untracked: received={s.received}, "
-                f"allowed={s.allowed}, dropped={s.dropped}, "
-                f"unrouted={s.unrouted}, "
-                f"rx_overflow={s.rx_overflow_drops}, "
-                f"tx_overflow={s.tx_overflow_drops}, in_flight={in_flight}"
-            )
+        if s.received == accounted + in_flight:
+            return None
+        return (
+            f"pipeline lost packets untracked: received={s.received}, "
+            f"allowed={s.allowed}, dropped={s.dropped}, "
+            f"unrouted={s.unrouted}, "
+            f"rx_overflow={s.rx_overflow_drops}, "
+            f"tx_overflow={s.tx_overflow_drops}, in_flight={in_flight}"
+        )
+
+    def check_conservation(self) -> None:
+        """Enforce ``received == allowed + dropped + unrouted + overflow drops``.
+
+        Packets sitting on the RX ring are received but not yet adjudicated,
+        so they count as in-flight (TX-ring occupants are already counted in
+        ``allowed``/``unrouted`` at enqueue time).  Raises
+        :class:`PipelineAccountingError` on violation.  The same predicate
+        is registered with the metrics registry, so ``repro metrics`` audits
+        it fleet-wide.
+        """
+        violation = self._conservation_violation()
+        if violation is not None:
+            raise PipelineAccountingError(violation)
 
     # -- driving -----------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Generic, Iterable, List, TypeVar
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
@@ -32,12 +33,27 @@ class Ring(Generic[T]):
         self._items: Deque[T] = deque()
         self.enqueued = 0
         self.dequeued = 0
-        self.dropped = 0
+        # Overflow drops are how back-pressure becomes visible, so they go
+        # straight into the registry (labeled per ring instance).
+        self._dropped = obs.get_registry().counter(
+            "vif_ring_overflow_drops_total",
+            help="Items dropped on a full ring (back-pressure)",
+            ring=obs.next_instance_label(f"ring/{name}"),
+        )
+
+    @property
+    def dropped(self) -> int:
+        """Items lost to overflow (stored in the metrics registry)."""
+        return self._dropped.value
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        self._dropped.set(value)
 
     def enqueue(self, item: T) -> bool:
         """Enqueue; returns False (and counts a drop) when full."""
         if len(self._items) >= self.capacity:
-            self.dropped += 1
+            self._dropped.inc()
             return False
         self._items.append(item)
         self.enqueued += 1

@@ -18,6 +18,7 @@ import ipaddress
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.fleet import (
     CarryResult,
     EnclaveHealth,
@@ -178,28 +179,40 @@ class FaultInjectionHarness:
         """Play the schedule to completion; never raises on recovery
         failure (it is recorded and the round still carries fail-closed)."""
         result = HarnessResult()
+        rounds_c = obs.get_registry().counter(
+            "vif_harness_rounds_total",
+            help="Fault-injection harness rounds completed",
+        )
+        violations_c = obs.get_registry().counter(
+            "vif_harness_invariant_violations_total",
+            help="Independently re-derived fail-closed violations (must stay 0)",
+        )
         for r in range(self.schedule.rounds):
-            events = self.injector.apply_round(self.schedule, r)
-            health = self.fleet.probe()
-            recovery_failed = False
-            try:
-                recovery = self.fleet.recover()
-            except RecoveryFailed:
-                # Outage outlasted the retry budget: replacements stay
-                # un-attested and DEAD; traffic still fails closed and the
-                # next round retries recovery from scratch.
-                recovery = RecoveryReport()
-                recovery_failed = True
-            carry = self.fleet.carry(self.traffic(r))
-            record = RoundRecord(
-                round_index=r,
-                events=events,
-                health=health,
-                recovery=recovery,
-                carry=carry,
-                recovery_failed=recovery_failed,
-                invariant_violations=self._audit(carry),
-            )
+            with obs.span("harness.round", round=r):
+                events = self.injector.apply_round(self.schedule, r)
+                health = self.fleet.probe()
+                recovery_failed = False
+                try:
+                    recovery = self.fleet.recover()
+                except RecoveryFailed:
+                    # Outage outlasted the retry budget: replacements stay
+                    # un-attested and DEAD; traffic still fails closed and the
+                    # next round retries recovery from scratch.
+                    recovery = RecoveryReport()
+                    recovery_failed = True
+                carry = self.fleet.carry(self.traffic(r))
+                record = RoundRecord(
+                    round_index=r,
+                    events=events,
+                    health=health,
+                    recovery=recovery,
+                    carry=carry,
+                    recovery_failed=recovery_failed,
+                    invariant_violations=self._audit(carry),
+                )
+            rounds_c.inc()
+            if record.invariant_violations:
+                violations_c.inc(record.invariant_violations)
             result.records.append(record)
         result.counters = self.fleet.counters.as_dict()
         if self.fleet.allocation is not None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.core.fleet import FleetManager
 from repro.errors import AttestationError, ConfigurationError
 from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
@@ -82,6 +83,11 @@ class FaultInjector:
             self.ias.fail_next(event.magnitude)
         else:  # pragma: no cover - enum is closed
             raise ConfigurationError(f"unknown fault kind {event.kind!r}")
+        obs.get_registry().counter(
+            "vif_faults_injected_total",
+            help="Fault events applied to a fleet, by kind",
+            kind=event.kind.value,
+        ).inc()
         self.applied.append(event)
 
     def apply_round(

@@ -1,0 +1,65 @@
+"""``repro.obs`` — the fleet-wide observability layer.
+
+One registry of typed instruments (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`) that the per-component stats facades store their values
+in, plus lightweight trace spans that record wall-time trees of a pipeline
+round and serialize to Chrome-trace JSON.  See ``docs/OBSERVABILITY.md``
+for the instrument catalogue and naming conventions.
+
+Quick start::
+
+    from repro import obs
+
+    obs.set_timing(True)          # opt into latency histograms
+    obs.set_tracing(True)         # opt into span recording
+    ... run a round ...
+    print(obs.get_registry().render_prometheus())
+    obs.get_registry().write_json("BENCH_round.json")
+    obs.get_tracer().write_chrome_trace("round.trace.json")
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RECOVERY_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    get_registry,
+    next_instance_label,
+    set_registry,
+    set_timing,
+    timing_enabled,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RECOVERY_BUCKETS",
+    "SNAPSHOT_SCHEMA",
+    "get_registry",
+    "get_tracer",
+    "next_instance_label",
+    "set_registry",
+    "set_timing",
+    "set_tracer",
+    "set_tracing",
+    "span",
+    "timing_enabled",
+    "tracing_enabled",
+]

@@ -1,0 +1,440 @@
+"""Typed metric instruments and the fleet-wide metrics registry.
+
+VIF's value proposition is *measurement you can trust*: bypass detection is
+nothing but comparing counters kept in different trust domains (paper §IV).
+This module gives the reproduction the same discipline about itself — one
+registry of typed instruments, one naming convention, one exposition path —
+instead of ad-hoc ``stats()`` dicts scattered across the data plane.
+
+Design points:
+
+* **Counters are the books, not an optional extra.**  The per-component
+  stats objects (:class:`~repro.dataplane.pipeline.PipelineStats`,
+  :class:`~repro.core.fleet.FleetCounters`, ...) store their values *in*
+  registry counters, so the packet-conservation checks and the exposition
+  read the same memory — there is no second set of numbers to drift.
+  Counter increments are plain attribute arithmetic and stay on regardless
+  of the enable flag.
+* **Timing is the overhead, and it is opt-in.**  Histogram *observations of
+  wall time* (ECall latency, sketch update cost, burst filter cost) require
+  clock reads in the hot path; call sites gate them on
+  :func:`timing_enabled`, which defaults to off.  With timing off the data
+  path pays only the counter increments it always paid.
+* **Conservation checks are registry invariants.**  Components register
+  named predicate callables (``fn() -> Optional[str]``); the CLI and the
+  harnesses can ask the registry to evaluate any or all of them.
+
+Naming convention: ``vif_<subsystem>_<name>`` with Prometheus-style
+``_total`` suffixes for counters and ``_seconds``/``_bytes`` units, e.g.
+``vif_pipeline_received_total``, ``vif_tee_ecall_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Schema tag stamped into every JSON snapshot (``BENCH_*.json`` consumers
+#: key off this).
+SNAPSHOT_SCHEMA = "vif-metrics-v1"
+
+#: Default latency buckets (seconds): 1 µs .. 10 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for *simulated* recovery times (seconds): failovers are
+#: dominated by attestation round trips and backoff waits, so the range is
+#: coarser than the data-path latency buckets.
+RECOVERY_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+LabelValue = Union[str, int]
+
+
+def _label_key(labels: Mapping[str, LabelValue]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, float):
+        if value == math.inf:
+            return "+Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+class Counter:
+    """A monotonically *used* cumulative value.
+
+    ``set`` exists because the stats facades expose counters as assignable
+    attributes (tests cook the books on purpose to prove the conservation
+    check fires); the exposition layer does not care how the value got
+    there.
+    """
+
+    kind = "counter"
+    __slots__ = ("name", "label_key", "value")
+
+    def __init__(self, name: str, label_key: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.label_key = label_key
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Gauge:
+    """A value that goes up and down (ring occupancy, EPC bytes in use)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "label_key", "value")
+
+    def __init__(self, name: str, label_key: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.label_key = label_key
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the final
+    slot is the implicit ``+Inf`` bucket.  Buckets are fixed at creation —
+    no allocation on the observe path.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "label_key", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        label_key: Tuple[Tuple[str, str], ...],
+        buckets: Tuple[float, ...],
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.label_key = label_key
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(buckets) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative per-bucket counts (ends at ``count``)."""
+        out: List[int] = []
+        running = 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """All children (label sets) of one metric name."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: Dict[Tuple[Tuple[str, str], ...], Instrument] = {}
+
+
+class MetricsRegistry:
+    """A namespace of metric families plus named conservation invariants."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._invariants: Dict[str, Callable[[], Optional[str]]] = {}
+
+    # -- instrument creation -------------------------------------------------
+
+    def _child(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Mapping[str, LabelValue],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Instrument:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.kind}, "
+                f"not a {kind}"
+            )
+        if help_text and not family.help:
+            family.help = help_text
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            if kind == "counter":
+                child = Counter(name, key)
+            elif kind == "gauge":
+                child = Gauge(name, key)
+            else:
+                child = Histogram(
+                    name, key, family.buckets or DEFAULT_LATENCY_BUCKETS
+                )
+            family.children[key] = child
+        return child
+
+    def counter(
+        self, name: str, help: str = "", **labels: LabelValue
+    ) -> Counter:
+        """Get or create the counter ``name`` with the given label set."""
+        return self._child(name, "counter", help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: LabelValue) -> Gauge:
+        """Get or create the gauge ``name`` with the given label set."""
+        return self._child(name, "gauge", help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: LabelValue,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with the given label set.
+
+        The first creation of a family fixes its buckets; later callers get
+        the family's buckets regardless of what they pass (one family, one
+        bucket layout — Prometheus semantics).
+        """
+        return self._child(  # type: ignore[return-value]
+            name, "histogram", help, labels, buckets=tuple(buckets)
+        )
+
+    # -- invariants -----------------------------------------------------------
+
+    def register_invariant(
+        self, name: str, check: Callable[[], Optional[str]]
+    ) -> None:
+        """Register a named conservation check.
+
+        ``check`` returns ``None`` when the invariant holds, else a
+        human-readable violation message.  Re-registering a name replaces
+        the previous check.
+        """
+        self._invariants[name] = check
+
+    def unregister_invariant(self, name: str) -> None:
+        self._invariants.pop(name, None)
+
+    def check_invariants(
+        self, names: Optional[Iterable[str]] = None
+    ) -> List[str]:
+        """Evaluate invariants; returns the violation messages (empty == ok)."""
+        selected = list(names) if names is not None else sorted(self._invariants)
+        violations: List[str] = []
+        for name in selected:
+            check = self._invariants.get(name)
+            if check is None:
+                violations.append(f"unknown invariant {name!r}")
+                continue
+            message = check()
+            if message is not None:
+                violations.append(f"{name}: {message}")
+        return violations
+
+    @property
+    def invariant_names(self) -> List[str]:
+        return sorted(self._invariants)
+
+    # -- introspection ---------------------------------------------------------
+
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def get(
+        self, name: str, **labels: LabelValue
+    ) -> Optional[Instrument]:
+        """Look up an existing child without creating it."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.children.get(_label_key(labels))
+
+    def total(self, name: str) -> Number:
+        """Sum of a counter/gauge family across all label sets (0 if absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0
+        if family.kind == "histogram":
+            return sum(child.count for child in family.children.values())  # type: ignore[union-attr]
+        return sum(child.value for child in family.children.values())  # type: ignore[union-attr]
+
+    # -- exposition ------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The classic ``# HELP`` / ``# TYPE`` text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                if family.kind == "histogram":
+                    hist = child
+                    cumulative = hist.cumulative_counts()  # type: ignore[union-attr]
+                    for bound, count in zip(
+                        list(hist.buckets) + [math.inf], cumulative  # type: ignore[union-attr]
+                    ):
+                        bucket_key = key + (("le", _format_value(float(bound))),)
+                        lines.append(
+                            f"{name}_bucket{_format_labels(tuple(sorted(bucket_key)))} {count}"
+                        )
+                    lines.append(f"{name}_sum{_format_labels(key)} {hist.sum!r}")  # type: ignore[union-attr]
+                    lines.append(f"{name}_count{_format_labels(key)} {hist.count}")  # type: ignore[union-attr]
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(key)} {_format_value(child.value)}"  # type: ignore[union-attr]
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot: per-series values plus per-family totals.
+
+        This is the ``BENCH_*.json`` payload format: benchmarks attach a
+        ``bench`` block and write it next to their tables, so every future
+        perf PR reports against the same counters.
+        """
+        series: Dict[str, Dict[str, object]] = {}
+        totals: Dict[str, Number] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family.children):
+                child = family.children[key]
+                series_name = f"{name}{_format_labels(key)}"
+                if family.kind == "histogram":
+                    hist = child
+                    histograms[series_name] = {
+                        "buckets": list(hist.buckets),  # type: ignore[union-attr]
+                        "counts": list(hist.bucket_counts),  # type: ignore[union-attr]
+                        "sum": hist.sum,  # type: ignore[union-attr]
+                        "count": hist.count,  # type: ignore[union-attr]
+                    }
+                    totals[name] = totals.get(name, 0) + hist.count  # type: ignore[union-attr]
+                else:
+                    series[series_name] = {
+                        "kind": family.kind,
+                        "value": child.value,  # type: ignore[union-attr]
+                    }
+                    totals[name] = totals.get(name, 0) + child.value  # type: ignore[union-attr]
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "series": series,
+            "histograms": histograms,
+            "totals": totals,
+        }
+
+    def write_json(self, path: str, extra: Optional[Mapping[str, object]] = None) -> None:
+        """Write :meth:`snapshot` (plus optional ``extra`` keys) to ``path``."""
+        payload = dict(self.snapshot())
+        if extra:
+            payload.update(extra)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+# -- the process-wide default registry and the timing switch -------------------
+
+_default_registry = MetricsRegistry()
+_timing = False
+_instance_counters: Dict[str, int] = {}
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every component instruments into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def timing_enabled() -> bool:
+    """Whether hot paths should pay for clock reads and histogram updates."""
+    return _timing
+
+
+def set_timing(enabled: bool) -> bool:
+    """Toggle timing instrumentation; returns the previous setting."""
+    global _timing
+    previous = _timing
+    _timing = bool(enabled)
+    return previous
+
+
+def next_instance_label(prefix: str) -> str:
+    """A process-unique label value (``pipeline-3``) for per-object series.
+
+    Stats facades label their series per owning object so every object's
+    counters start from zero (test isolation) while the registry can still
+    aggregate across them via :meth:`MetricsRegistry.total`.
+    """
+    n = _instance_counters.get(prefix, 0) + 1
+    _instance_counters[prefix] = n
+    return f"{prefix}-{n}"

@@ -1,0 +1,225 @@
+"""Lightweight trace spans with Chrome-trace serialization.
+
+A span is a named wall-time interval with attributes, nested by dynamic
+scope: ``with span("fleet.round"):`` opens a parent, any span entered before
+it exits becomes a child.  One round of the pipeline therefore records a
+tree — ``fleet.round`` over ``fleet.probe`` / ``fleet.recover`` /
+``fleet.carry``, with the individual ``ecall.process_burst`` transitions as
+leaves — which serializes to the Chrome trace event format
+(``chrome://tracing`` / Perfetto ``traceEvents`` with ``ph: "X"`` complete
+events).
+
+Tracing is **off by default** and costs one predicate check per
+instrumented site when off.  The time source is injectable so tests can
+record deterministic traces (see the golden-trace regression test).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+Attr = Union[str, int, float, bool]
+
+
+class SpanRecord:
+    """One closed (or still-open) span."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start_s", "end_s", "args")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start_s: float,
+        args: Dict[str, Attr],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.args = args
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self._record
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close(self._record)
+        return False
+
+
+class Tracer:
+    """Records span trees; serializes to Chrome trace JSON.
+
+    ``time_source`` defaults to :func:`time.perf_counter`; inject a
+    deterministic callable (e.g. a fixed-step fake clock) to make recorded
+    traces byte-stable across machines.
+    """
+
+    def __init__(
+        self,
+        time_source: Optional[Callable[[], float]] = None,
+        enabled: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        self._time = time_source or time.perf_counter
+        self._records: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+        self._next_id = 1
+        self._epoch: Optional[float] = None
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **args: Attr):
+        """Open a span; returns a context manager (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        now = self._time()
+        if self._epoch is None:
+            self._epoch = now
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start_s=now,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self._records.append(record)
+        self._stack.append(record)
+        return _Span(self, record)
+
+    def _close(self, record: SpanRecord) -> None:
+        record.end_s = self._time()
+        # Pop back to (and including) the record; tolerates exceptions that
+        # unwound children without closing them.
+        while self._stack:
+            if self._stack.pop() is record:
+                break
+
+    def clear(self) -> None:
+        self._records = []
+        self._stack = []
+        self._next_id = 1
+        self._epoch = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def records(self) -> List[SpanRecord]:
+        return list(self._records)
+
+    def tree(self) -> List[Dict[str, object]]:
+        """Nested ``{"name": ..., "children": [...]}`` view (record order)."""
+        nodes: Dict[int, Dict[str, object]] = {}
+        roots: List[Dict[str, object]] = []
+        for record in self._records:
+            node: Dict[str, object] = {"name": record.name, "children": []}
+            nodes[record.span_id] = node
+            parent = nodes.get(record.parent_id) if record.parent_id else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)  # type: ignore[union-attr]
+        return roots
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The ``traceEvents`` document Chrome/Perfetto load directly.
+
+        Spans become ``ph: "X"`` complete events with microsecond ``ts`` and
+        ``dur`` relative to the first span.  Span and parent ids ride along
+        in ``args`` so tools (and the golden regression test) can recover
+        the exact tree without relying on interval containment.
+        """
+        epoch = self._epoch or 0.0
+        events: List[Dict[str, object]] = []
+        for record in self._records:
+            end_s = record.end_s if record.end_s is not None else record.start_s
+            args: Dict[str, object] = dict(record.args)
+            args["span_id"] = record.span_id
+            if record.parent_id is not None:
+                args["parent_id"] = record.parent_id
+            events.append(
+                {
+                    "name": record.name,
+                    "ph": "X",
+                    "ts": round((record.start_s - epoch) * 1e6, 3),
+                    "dur": round((end_s - record.start_s) * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` to ``path`` (load in Perfetto)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+# -- the process-wide default tracer --------------------------------------------
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (tests); returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def tracing_enabled() -> bool:
+    return _default_tracer.enabled
+
+
+def set_tracing(enabled: bool) -> bool:
+    """Toggle the default tracer; returns the previous setting."""
+    previous = _default_tracer.enabled
+    _default_tracer.enabled = bool(enabled)
+    return previous
+
+
+def span(name: str, **args: Attr):
+    """Open a span on the default tracer (shared no-op when disabled)."""
+    tracer = _default_tracer
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, **args)

@@ -14,9 +14,11 @@ the secure channel), and exact bin-wise access for discrepancy detection.
 from __future__ import annotations
 
 import sys
+import time
 from array import array
 from typing import Dict, Iterable, List, Tuple, Union
 
+from repro import obs
 from repro.sketch.hashing import HashFamily
 
 Key = Union[str, bytes]
@@ -56,6 +58,13 @@ class CountMinSketch:
         self.family = HashFamily(depth, width, family_seed)
         self._rows: List[array] = [_zero_row(width) for _ in range(depth)]
         self._total = 0
+        # One cumulative counter for all sketches (no per-instance label:
+        # sketches are created per round and a label per instance would
+        # leak series).  Cached so the hot path pays two attribute loads.
+        self._updates_c = obs.get_registry().counter(
+            "vif_sketch_updates_total",
+            help="Key updates applied across all count-min sketches",
+        )
 
     # -- core operations ---------------------------------------------------
 
@@ -67,6 +76,7 @@ class CountMinSketch:
             value = row[idx] + count
             row[idx] = value if value <= _COUNTER_MAX else _COUNTER_MAX
         self._total += count
+        self._updates_c.inc()
 
     def update_many(self, keys: Iterable[Key], count: int = 1) -> int:
         """Bulk update: add ``count`` occurrences of every key in ``keys``.
@@ -82,11 +92,19 @@ class CountMinSketch:
         keys = list(keys)
         if not keys:
             return 0
+        timed = obs.timing_enabled()
+        start = time.perf_counter() if timed else 0.0
         for row, indexes in zip(self._rows, self.family.index_vectors(keys)):
             for idx in indexes:
                 value = row[idx] + count
                 row[idx] = value if value <= _COUNTER_MAX else _COUNTER_MAX
         self._total += count * len(keys)
+        self._updates_c.inc(len(keys))
+        if timed:
+            obs.get_registry().histogram(
+                "vif_sketch_update_many_seconds",
+                help="Bulk sketch update cost per batch (timing-enabled only)",
+            ).observe(time.perf_counter() - start)
         return len(keys)
 
     def estimate(self, key: Key) -> int:

@@ -17,8 +17,10 @@ can launch enclaves.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Any, Callable, Dict, Optional
 
+from repro import obs
 from repro.errors import EnclaveError, EnclaveSealedError
 from repro.tee.clock import HostClock, UntrustedClock
 from repro.tee.epc import EPCAccounting
@@ -85,13 +87,57 @@ class Enclave:
         self.enclave_id = enclave_id
         self.epc = epc or EPCAccounting()
         self.clock = UntrustedClock(platform.host_clock)
-        self.ecall_count = 0
-        self.ocall_count = 0
         self._destroyed = False
         self._ocall_handlers: Dict[str, Callable[..., Any]] = {}
+        #: Simulated cost of one enclave transition, charged to the host
+        #: clock per ECall/OCall when non-zero.  Benchmarks set this to make
+        #: context-switch comparisons deterministic instead of wall-clock.
+        self.transition_cost_s: float = 0.0
+        registry = obs.get_registry()
+        label = obs.next_instance_label(f"enclave/{enclave_id}")
+        self._ecalls_c = registry.counter(
+            "vif_tee_ecalls_total",
+            help="Enclave entries (EENTER/EEXIT round trips)",
+            enclave=label,
+        )
+        self._ocalls_c = registry.counter(
+            "vif_tee_ocalls_total",
+            help="Untrusted host calls made from inside the enclave",
+            enclave=label,
+        )
+        self._ecall_hists: Dict[str, obs.Histogram] = {}
         program.on_load(self)
 
     # -- the host-facing surface -------------------------------------------------
+
+    @property
+    def ecall_count(self) -> int:
+        """Total ECalls into this enclave (stored in the metrics registry)."""
+        return self._ecalls_c.value
+
+    @ecall_count.setter
+    def ecall_count(self, value: int) -> None:
+        self._ecalls_c.set(value)
+
+    @property
+    def ocall_count(self) -> int:
+        """Total OCalls out of this enclave (stored in the metrics registry)."""
+        return self._ocalls_c.value
+
+    @ocall_count.setter
+    def ocall_count(self, value: int) -> None:
+        self._ocalls_c.set(value)
+
+    def _ecall_hist(self, name: str) -> "obs.Histogram":
+        hist = self._ecall_hists.get(name)
+        if hist is None:
+            hist = obs.get_registry().histogram(
+                "vif_tee_ecall_seconds",
+                help="ECall wall-time by entry point (timing-enabled only)",
+                ecall=name,
+            )
+            self._ecall_hists[name] = hist
+        return hist
 
     def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Enter the enclave through a registered entry point."""
@@ -100,8 +146,19 @@ class Enclave:
         fn = self._program._ecalls.get(name)
         if fn is None:
             raise EnclaveError(f"unknown ECall {name!r}")
-        self.ecall_count += 1
-        return fn(*args, **kwargs)
+        self._ecalls_c.inc()
+        if self.transition_cost_s:
+            self.platform.host_clock.advance(self.transition_cost_s)
+        if not (obs.timing_enabled() or obs.tracing_enabled()):
+            return fn(*args, **kwargs)
+        with obs.span(f"ecall.{name}", enclave=self.enclave_id):
+            if not obs.timing_enabled():
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._ecall_hist(name).observe(time.perf_counter() - start)
 
     def register_ocall_handler(self, name: str, fn: Callable[..., Any]) -> None:
         """Host registers an untrusted function the program may OCall."""
@@ -141,7 +198,9 @@ class Enclave:
     def _dispatch_ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         if self._destroyed:
             raise EnclaveSealedError(self._sealed_message(f"OCall {name!r}"))
-        self.ocall_count += 1
+        self._ocalls_c.inc()
+        if self.transition_cost_s:
+            self.platform.host_clock.advance(self.transition_cost_s)
         handler = self._ocall_handlers.get(name)
         if handler is None:
             raise EnclaveError(f"no OCall handler registered for {name!r}")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro import obs
 from repro.errors import EnclaveMemoryError
 from repro.util.units import MB
 
@@ -39,6 +40,30 @@ class EPCAccounting:
         self.hard_limit_bytes = hard_limit_bytes
         self._allocations: Dict[str, int] = {}
         self._peak = 0
+        registry = obs.get_registry()
+        label = obs.next_instance_label("epc")
+        self._paging_events = registry.counter(
+            "vif_tee_epc_paging_events_total",
+            help="Transitions from in-EPC to paging (working set crossed the limit)",
+            epc=label,
+        )
+        self._used_gauge = registry.gauge(
+            "vif_tee_epc_used_bytes",
+            help="Bytes currently allocated inside the enclave",
+            epc=label,
+        )
+
+    @property
+    def paging_events(self) -> int:
+        """How many times the working set has crossed into paging territory."""
+        return self._paging_events.value
+
+    def _account(self, was_paging: bool) -> None:
+        """Update the registry after an allocation change."""
+        self._peak = max(self._peak, self.used)
+        self._used_gauge.set(self.used)
+        if self.paging and not was_paging:
+            self._paging_events.inc()
 
     def allocate(self, label: str, num_bytes: int) -> None:
         """Charge ``num_bytes`` under ``label`` (labels accumulate)."""
@@ -50,8 +75,9 @@ class EPCAccounting:
                 f"({self.used} B already in use, "
                 f"hard limit {self.hard_limit_bytes} B)"
             )
+        was_paging = self.paging
         self._allocations[label] = self._allocations.get(label, 0) + num_bytes
-        self._peak = max(self._peak, self.used)
+        self._account(was_paging)
 
     def resize(self, label: str, num_bytes: int) -> None:
         """Set the allocation under ``label`` to exactly ``num_bytes``."""
@@ -62,12 +88,14 @@ class EPCAccounting:
             raise EnclaveMemoryError(
                 f"resize of {label!r} to {num_bytes} B exceeds the hard limit"
             )
+        was_paging = self.paging
         self._allocations[label] = num_bytes
-        self._peak = max(self._peak, self.used)
+        self._account(was_paging)
 
     def free(self, label: str) -> None:
         """Release everything charged under ``label``."""
         self._allocations.pop(label, None)
+        self._used_gauge.set(self.used)
 
     @property
     def used(self) -> int:

@@ -80,6 +80,58 @@ def test_cli_fleet_sim_rejects_bad_sizes(capsys):
     assert "must be positive" in capsys.readouterr().err
 
 
+def test_cli_metrics(capsys, tmp_path):
+    json_path = tmp_path / "metrics.json"
+    trace_path = tmp_path / "round.trace.json"
+    assert main([
+        "metrics", "--fleet-size", "2", "--rules", "4", "--rounds", "3",
+        "--seed", "cli-metrics",
+        "--json", str(json_path), "--trace", str(trace_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    # Prometheus exposition for the core families.
+    assert "# TYPE vif_pipeline_received_total counter" in out
+    assert "# TYPE vif_tee_ecalls_total counter" in out
+    assert "# TYPE vif_fleet_failovers_total counter" in out
+    assert "# TYPE vif_tee_ecall_seconds histogram" in out
+    assert 'vif_tee_ecall_seconds_bucket' in out
+
+    import json
+
+    snapshot = json.loads(json_path.read_text())
+    assert snapshot["schema"] == "vif-metrics-v1"
+    assert snapshot["command"] == "metrics"
+    assert snapshot["totals"]["vif_fleet_failovers_total"] >= 1
+    assert any(
+        k.startswith("vif_tee_ecall_seconds") for k in snapshot["histograms"]
+    )
+
+    trace = json.loads(trace_path.read_text())
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert "fleet.round" in names and "ecall.process_burst" in names
+
+
+def test_cli_metrics_rejects_bad_sizes(capsys):
+    assert main(["metrics", "--fleet-size", "0"]) == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+def test_cli_fleet_sim_metrics_json(capsys, tmp_path):
+    path = tmp_path / "fleet.metrics.json"
+    assert main([
+        "fleet-sim", "--fleet-size", "3", "--rules", "6", "--rounds", "3",
+        "--seed", "cli-snap", "--metrics-json", str(path),
+    ]) == 0
+    capsys.readouterr()
+
+    import json
+
+    snapshot = json.loads(path.read_text())
+    assert snapshot["schema"] == "vif-metrics-v1"
+    assert snapshot["command"] == "fleet-sim"
+    assert snapshot["summary"]["fleet_unfiltered_packets"] == 0
+
+
 def test_cli_fast_experiments_run(capsys):
     # The sub-second experiments, end to end through the CLI.
     for key in ("fig3", "fig8", "latency", "fig14", "table3"):

@@ -1,0 +1,182 @@
+"""Unit tests for the observability core: instruments, registry, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry installed as the process default, restored after."""
+    fresh = MetricsRegistry()
+    previous = obs.set_registry(fresh)
+    yield fresh
+    obs.set_registry(previous)
+
+
+# -- instruments ------------------------------------------------------------
+
+
+def test_counter_inc_and_set(registry):
+    c = registry.counter("vif_test_things_total", help="things")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    c.set(2)
+    assert c.value == 2
+
+
+def test_counter_is_get_or_create(registry):
+    a = registry.counter("vif_test_things_total", x="1")
+    b = registry.counter("vif_test_things_total", x="1")
+    other = registry.counter("vif_test_things_total", x="2")
+    assert a is b
+    assert a is not other
+
+
+def test_gauge_moves_both_ways(registry):
+    g = registry.gauge("vif_test_depth")
+    g.set(10)
+    g.dec(3)
+    g.inc()
+    assert g.value == 8
+
+
+def test_histogram_buckets_and_observe(registry):
+    h = registry.histogram("vif_test_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(55.55)
+    assert h.bucket_counts == [1, 1, 1, 1]  # last slot is +Inf
+    assert h.cumulative_counts() == [1, 2, 3, 4]
+
+
+def test_histogram_family_buckets_fixed_at_creation(registry):
+    first = registry.histogram("vif_test_seconds", buckets=(1.0, 2.0))
+    second = registry.histogram(
+        "vif_test_seconds", buckets=(9.0, 99.0), kind="other"
+    )
+    assert second.buckets == first.buckets == (1.0, 2.0)
+
+
+def test_histogram_rejects_unsorted_buckets(registry):
+    with pytest.raises(ValueError, match="sorted"):
+        registry.histogram("vif_test_bad_seconds", buckets=(2.0, 1.0))
+
+
+def test_kind_conflict_rejected(registry):
+    registry.counter("vif_test_things_total")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("vif_test_things_total")
+
+
+# -- registry aggregation -----------------------------------------------------
+
+
+def test_total_sums_across_label_sets(registry):
+    registry.counter("vif_test_things_total", x="1").inc(3)
+    registry.counter("vif_test_things_total", x="2").inc(4)
+    assert registry.total("vif_test_things_total") == 7
+    assert registry.total("vif_absent_total") == 0
+
+
+def test_get_does_not_create(registry):
+    assert registry.get("vif_test_things_total") is None
+    registry.counter("vif_test_things_total", x="1")
+    assert registry.get("vif_test_things_total", x="1") is not None
+    assert registry.get("vif_test_things_total", x="2") is None
+    assert "vif_test_things_total" in registry.families()
+
+
+# -- invariants ---------------------------------------------------------------
+
+
+def test_invariants_report_violations(registry):
+    state = {"ok": True}
+    registry.register_invariant(
+        "books", lambda: None if state["ok"] else "books cooked"
+    )
+    assert registry.check_invariants() == []
+    state["ok"] = False
+    violations = registry.check_invariants()
+    assert violations == ["books: books cooked"]
+    assert registry.check_invariants(["missing"]) == [
+        "unknown invariant 'missing'"
+    ]
+    registry.unregister_invariant("books")
+    assert registry.invariant_names == []
+
+
+# -- exposition ---------------------------------------------------------------
+
+
+def test_render_prometheus_format(registry):
+    registry.counter(
+        "vif_test_things_total", help="things seen", site="a"
+    ).inc(3)
+    registry.gauge("vif_test_depth").set(2)
+    h = registry.histogram("vif_test_seconds", buckets=(0.5, 1.0))
+    h.observe(0.25)
+    h.observe(2.0)
+    text = registry.render_prometheus()
+    assert "# HELP vif_test_things_total things seen" in text
+    assert "# TYPE vif_test_things_total counter" in text
+    assert 'vif_test_things_total{site="a"} 3' in text
+    assert "# TYPE vif_test_depth gauge" in text
+    assert "vif_test_depth 2" in text
+    assert "# TYPE vif_test_seconds histogram" in text
+    assert 'vif_test_seconds_bucket{le="0.5"} 1' in text
+    assert 'vif_test_seconds_bucket{le="1"} 1' in text
+    assert 'vif_test_seconds_bucket{le="+Inf"} 2' in text
+    assert "vif_test_seconds_count 2" in text
+
+
+def test_snapshot_and_write_json(registry, tmp_path):
+    registry.counter("vif_test_things_total", x="1").inc(3)
+    registry.histogram("vif_test_seconds", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["schema"] == obs.SNAPSHOT_SCHEMA
+    assert snap["series"]['vif_test_things_total{x="1"}']["value"] == 3
+    assert snap["totals"]["vif_test_things_total"] == 3
+    assert snap["histograms"]["vif_test_seconds"]["count"] == 1
+
+    path = tmp_path / "snap.json"
+    registry.write_json(str(path), extra={"bench": "unit"})
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == obs.SNAPSHOT_SCHEMA
+    assert payload["bench"] == "unit"
+
+
+# -- module-level switches -----------------------------------------------------
+
+
+def test_set_timing_round_trips():
+    previous = obs.set_timing(True)
+    try:
+        assert obs.timing_enabled()
+    finally:
+        obs.set_timing(previous)
+    assert obs.timing_enabled() == previous
+
+
+def test_next_instance_label_is_unique():
+    a = obs.next_instance_label("unit-test")
+    b = obs.next_instance_label("unit-test")
+    assert a != b
+    assert a.startswith("unit-test-")
+
+
+def test_span_noop_when_disabled():
+    assert not obs.tracing_enabled()
+    with obs.span("never.recorded") as record:
+        assert record is None
+    assert all(
+        r.name != "never.recorded" for r in obs.get_tracer().records
+    )

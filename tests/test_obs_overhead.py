@@ -1,0 +1,120 @@
+"""Overhead guard: metrics must be observably free when disabled.
+
+Two guarantees, per the observability design:
+
+* enabling timing + tracing changes **no packet-level outcome** — every
+  counter and every delivered packet is identical to the disabled run;
+* the disabled-path cost is near zero — throughput with full
+  instrumentation enabled stays within 10% of the disabled run (both sides
+  measured as best-of-N, which is the robust estimator under scheduler
+  noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.enclave_filter import EnclaveBurstFilter, EnclaveFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.nic import NIC
+from repro.dataplane.pipeline import FilterPipeline
+from repro.dataplane.pktgen import PacketGenerator
+from repro.obs.trace import Tracer
+from repro.tee.enclave import Platform
+
+N_PACKETS = 4_000
+REPEATS = 3
+
+
+def _packets():
+    flows = PacketGenerator(13).uniform_flows(64, dst_ip="10.1.0.9")
+    return [flows[i % len(flows)].make_packet() for i in range(N_PACKETS)]
+
+
+def _build_pipeline():
+    enclave = Platform("overhead").launch(EnclaveFilter(secret="overhead"))
+    enclave.ecall(
+        "install_rules",
+        [
+            FilterRule(
+                rule_id=i,
+                pattern=FlowPattern(dst_prefix=f"10.{i}.0.0/16"),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+            )
+            for i in range(1, 33)
+        ],
+    )
+    return FilterPipeline(
+        EnclaveBurstFilter(enclave),
+        nic_in=NIC("overhead-in", rx_queue_size=N_PACKETS),
+    )
+
+
+def _run(instrumented: bool):
+    """Run the workload; return (best seconds, stats dict, delivered)."""
+    prev_timing = obs.set_timing(instrumented)
+    prev_tracer = obs.set_tracer(Tracer(enabled=instrumented))
+    try:
+        best = float("inf")
+        stats = None
+        delivered = None
+        for _ in range(REPEATS):
+            pipeline = _build_pipeline()
+            packets = _packets()
+            start = time.perf_counter()
+            out = pipeline.process(packets)
+            best = min(best, time.perf_counter() - start)
+            stats = pipeline.stats.as_dict()
+            delivered = [p.five_tuple for p in out]
+        return best, stats, delivered
+    finally:
+        obs.set_timing(prev_timing)
+        obs.set_tracer(prev_tracer)
+
+
+def test_metrics_change_no_packet_outcome():
+    """Instrumentation observes the data path; it must never touch it."""
+    _, stats_off, delivered_off = _run(instrumented=False)
+    _, stats_on, delivered_on = _run(instrumented=True)
+    assert stats_on == stats_off
+    assert delivered_on == delivered_off
+    assert stats_on["received"] == N_PACKETS
+
+
+def test_enabled_overhead_within_ten_percent():
+    best_off, _, _ = _run(instrumented=False)
+    best_on, _, _ = _run(instrumented=True)
+    pps_off = N_PACKETS / best_off
+    pps_on = N_PACKETS / best_on
+    assert pps_on >= 0.9 * pps_off, (
+        f"metrics overhead too high: {pps_on:.0f} pps enabled vs "
+        f"{pps_off:.0f} pps disabled"
+    )
+
+
+def test_timing_off_records_no_latency_observations():
+    """With timing off the histograms must not even exist as observations —
+    proof the hot path skipped the clock reads entirely."""
+    registry = obs.get_registry()
+    before = registry.total("vif_pipeline_filter_burst_seconds")
+    assert not obs.timing_enabled()
+    pipeline = _build_pipeline()
+    pipeline.process(_packets())
+    assert registry.total("vif_pipeline_filter_burst_seconds") == before
+
+
+def test_timing_on_records_latency_observations():
+    registry = obs.get_registry()
+    before_bursts = registry.total("vif_pipeline_filter_burst_seconds")
+    before_ecalls = registry.total("vif_tee_ecall_seconds")
+    prev = obs.set_timing(True)
+    try:
+        pipeline = _build_pipeline()
+        pipeline.process(_packets())
+    finally:
+        obs.set_timing(prev)
+    assert registry.total("vif_pipeline_filter_burst_seconds") > before_bursts
+    assert registry.total("vif_tee_ecall_seconds") > before_ecalls
