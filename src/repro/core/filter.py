@@ -28,16 +28,26 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.rules import Action, FilterRule
 from repro.dataplane.packet import FiveTuple, Packet
 from repro.errors import ConfigurationError
 from repro.lookup.flowtable import ExactMatchFlowTable
 from repro.lookup.multibit_trie import MultiBitTrie
+from repro.obs import LazyCounter
 from repro.util.rng import stable_hash64
 
 _HASH_SPACE = float(2**64)
+
+_CACHE_HITS = LazyCounter(
+    "vif_fastpath_decision_cache_hits_total",
+    help="Per-flow decision cache hits in StatelessFilter.decide_flow",
+)
+_CACHE_MISSES = LazyCounter(
+    "vif_fastpath_decision_cache_misses_total",
+    help="Per-flow decision cache misses in StatelessFilter.decide_flow",
+)
 
 
 class ConnectionPreservingMode(enum.Enum):
@@ -70,9 +80,12 @@ class StatelessFilter:
         mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
         default_action: Action = Action.ALLOW,
         stride_bits: int = 8,
+        decision_cache_size: int = 0,
     ) -> None:
         if not secret:
             raise ConfigurationError("the filter needs a non-empty enclave secret")
+        if decision_cache_size < 0:
+            raise ConfigurationError("decision_cache_size must be >= 0")
         self._secret = secret
         self.mode = mode
         self.default_action = default_action
@@ -80,18 +93,36 @@ class StatelessFilter:
         self.flow_table = ExactMatchFlowTable()
         self.hash_evaluations = 0
         self.table_hits = 0
+        # Pure memoization of decide_flow: because f(p) is stateless, the
+        # verdict for a five-tuple cannot change between rule updates, so a
+        # bounded FIFO cache is semantically invisible (it only skips
+        # recomputation).  Disabled (size 0) by default so instrumentation
+        # counters like hash_evaluations keep their historical meaning.
+        self._decision_cache_size = decision_cache_size
+        self._decision_cache: Dict[FiveTuple, FilterDecision] = {}
 
     # -- rule management -----------------------------------------------------
 
     def install_rule(self, rule: FilterRule) -> None:
-        self.trie.insert(rule)
+        try:
+            self.trie.insert(rule)
+        finally:
+            self._decision_cache.clear()
 
     def install_rules(self, rules) -> int:
         """Install many rules; returns how many were inserted."""
-        return self.trie.insert_batch(rules)
+        try:
+            return self.trie.insert_batch(rules)
+        finally:
+            # insert_batch may have applied a prefix of the batch before
+            # failing; invalidate unconditionally.
+            self._decision_cache.clear()
 
     def remove_rule(self, rule: FilterRule) -> None:
-        self.trie.remove(rule)
+        try:
+            self.trie.remove(rule)
+        finally:
+            self._decision_cache.clear()
 
     @property
     def num_rules(self) -> int:
@@ -105,6 +136,21 @@ class StatelessFilter:
 
     def decide_flow(self, flow: FiveTuple) -> FilterDecision:
         """Verdict for a five-tuple (all packets of the flow agree)."""
+        if self._decision_cache_size:
+            cached = self._decision_cache.get(flow)
+            if cached is not None:
+                _CACHE_HITS.inc()
+                return cached
+            _CACHE_MISSES.inc()
+            decision = self._decide_flow_uncached(flow)
+            cache = self._decision_cache
+            if len(cache) >= self._decision_cache_size:
+                cache.pop(next(iter(cache)))  # FIFO eviction
+            cache[flow] = decision
+            return decision
+        return self._decide_flow_uncached(flow)
+
+    def _decide_flow_uncached(self, flow: FiveTuple) -> FilterDecision:
         rule = self.trie.lookup(flow)
         if rule is None:
             return FilterDecision(

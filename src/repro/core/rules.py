@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.dataplane.packet import FiveTuple, Protocol
 from repro.errors import RuleError, RuleValidationError
+from repro.util.addrs import parse_network
 
 
 class Action(enum.Enum):
@@ -41,6 +42,13 @@ class FlowPattern:
     Examples from the paper: an exact-match five-tuple flow ("a specific TCP
     flow between two hosts") or a coarse-grained specification ("HTTP
     connections from hosts in a /24 prefix").
+
+    Construction *compiles* both prefixes to ``(network_int, netmask_int)``
+    pairs (plus version and prefix length), so :meth:`matches` is pure
+    integer mask-and-compare with zero :mod:`ipaddress` calls per packet.
+    The specificity score and the exact-match flag are precomputed for the
+    same reason — the trie's most-specific tiebreak reads them per candidate
+    rule on every lookup.
     """
 
     src_prefix: str = "0.0.0.0/0"
@@ -50,54 +58,81 @@ class FlowPattern:
     protocol: Optional[Protocol] = None
 
     def __post_init__(self) -> None:
-        for prefix in (self.src_prefix, self.dst_prefix):
-            try:
-                ipaddress.ip_network(prefix, strict=False)
-            except ValueError as exc:
-                raise RuleError(f"bad prefix {prefix!r}: {exc}") from exc
+        try:
+            src_version, src_net, src_len, src_mask = parse_network(self.src_prefix)
+        except ValueError as exc:
+            raise RuleError(f"bad prefix {self.src_prefix!r}: {exc}") from exc
+        try:
+            dst_version, dst_net, dst_len, dst_mask = parse_network(self.dst_prefix)
+        except ValueError as exc:
+            raise RuleError(f"bad prefix {self.dst_prefix!r}: {exc}") from exc
         for ports in (self.src_ports, self.dst_ports):
             if ports is None:
                 continue
             lo, hi = ports
             if not (0 <= lo <= hi <= 0xFFFF):
                 raise RuleError(f"bad port range {ports}")
-
-    # -- matching ------------------------------------------------------------
-
-    def matches(self, flow: FiveTuple) -> bool:
-        """True when ``flow`` falls inside this pattern."""
-        src_net = ipaddress.ip_network(self.src_prefix, strict=False)
-        dst_net = ipaddress.ip_network(self.dst_prefix, strict=False)
-        if ipaddress.ip_address(flow.src_ip) not in src_net:
-            return False
-        if ipaddress.ip_address(flow.dst_ip) not in dst_net:
-            return False
-        if self.src_ports is not None:
-            lo, hi = self.src_ports
-            if not lo <= flow.src_port <= hi:
-                return False
-        if self.dst_ports is not None:
-            lo, hi = self.dst_ports
-            if not lo <= flow.dst_port <= hi:
-                return False
-        if self.protocol is not None and flow.protocol != self.protocol:
-            return False
-        return True
-
-    @property
-    def is_exact_match(self) -> bool:
-        """True when the pattern pins a single five-tuple."""
-        src = ipaddress.ip_network(self.src_prefix, strict=False)
-        dst = ipaddress.ip_network(self.dst_prefix, strict=False)
-        return (
-            src.num_addresses == 1
-            and dst.num_addresses == 1
+        set_ = object.__setattr__  # frozen dataclass: bypass the guard
+        set_(self, "src_version", src_version)
+        set_(self, "src_net_int", src_net)
+        set_(self, "src_prefix_len", src_len)
+        set_(self, "src_mask", src_mask)
+        set_(self, "dst_version", dst_version)
+        set_(self, "dst_net_int", dst_net)
+        set_(self, "dst_prefix_len", dst_len)
+        set_(self, "dst_mask", dst_mask)
+        host_bits = {4: 32, 6: 128}
+        set_(
+            self,
+            "_is_exact",
+            src_len == host_bits[src_version]
+            and dst_len == host_bits[dst_version]
             and self.src_ports is not None
             and self.src_ports[0] == self.src_ports[1]
             and self.dst_ports is not None
             and self.dst_ports[0] == self.dst_ports[1]
-            and self.protocol is not None
+            and self.protocol is not None,
         )
+        score = src_len + dst_len
+        if self.src_ports is not None:
+            score += 8 if self.src_ports[0] != self.src_ports[1] else 16
+        if self.dst_ports is not None:
+            score += 8 if self.dst_ports[0] != self.dst_ports[1] else 16
+        if self.protocol is not None:
+            score += 8
+        set_(self, "_specificity", score)
+
+    # -- matching ------------------------------------------------------------
+
+    def matches(self, flow: FiveTuple) -> bool:
+        """True when ``flow`` falls inside this pattern.
+
+        Compiled form: integer mask comparisons against the five-tuple's
+        cached address integers.  Version mismatches fail the match, exactly
+        as ``ip_address(x) in ip_network(y)`` answered False across families.
+        """
+        if (
+            flow.src_ip_version != self.src_version  # type: ignore[attr-defined]
+            or (flow.src_ip_int & self.src_mask) != self.src_net_int  # type: ignore[attr-defined]
+        ):
+            return False
+        if (
+            flow.dst_ip_version != self.dst_version  # type: ignore[attr-defined]
+            or (flow.dst_ip_int & self.dst_mask) != self.dst_net_int  # type: ignore[attr-defined]
+        ):
+            return False
+        ports = self.src_ports
+        if ports is not None and not ports[0] <= flow.src_port <= ports[1]:
+            return False
+        ports = self.dst_ports
+        if ports is not None and not ports[0] <= flow.dst_port <= ports[1]:
+            return False
+        return self.protocol is None or flow.protocol == self.protocol
+
+    @property
+    def is_exact_match(self) -> bool:
+        """True when the pattern pins a single five-tuple."""
+        return self._is_exact  # type: ignore[attr-defined]
 
     @property
     def specificity(self) -> int:
@@ -105,17 +140,9 @@ class FlowPattern:
 
         Counts matched bits across both prefixes plus bonuses for pinned
         ports/protocol, so an exact-match rule always beats a coarse one.
+        Precomputed at construction.
         """
-        src = ipaddress.ip_network(self.src_prefix, strict=False)
-        dst = ipaddress.ip_network(self.dst_prefix, strict=False)
-        score = src.prefixlen + dst.prefixlen
-        if self.src_ports is not None:
-            score += 8 if self.src_ports[0] != self.src_ports[1] else 16
-        if self.dst_ports is not None:
-            score += 8 if self.dst_ports[0] != self.dst_ports[1] else 16
-        if self.protocol is not None:
-            score += 8
-        return score
+        return self._specificity  # type: ignore[attr-defined]
 
     @classmethod
     def exact(cls, flow: FiveTuple) -> "FlowPattern":

@@ -29,13 +29,13 @@ channels the host controls are.*  Any extension whose verdict reads only
 
 from __future__ import annotations
 
-import ipaddress
 from dataclasses import dataclass
 from typing import Dict
 
 from repro.dataplane.packet import FiveTuple, Packet, Protocol
 from repro.errors import ConfigurationError
 from repro.tee.clock import UntrustedClock
+from repro.util.addrs import parse_network
 from repro.util.rng import stable_hash64
 
 _HASH_SPACE = float(2**64)
@@ -138,16 +138,23 @@ class SourceGroupQuota:
 
     def __post_init__(self) -> None:
         try:
-            ipaddress.ip_network(self.group_prefix, strict=False)
+            version, net_int, _prefix_len, mask = parse_network(self.group_prefix)
         except ValueError as exc:
             raise ConfigurationError(f"bad group prefix: {exc}") from exc
         if not 0.0 <= self.admit_fraction <= 1.0:
             raise ConfigurationError("admit_fraction must be in [0, 1]")
+        # Compiled containment test (frozen dataclass → object.__setattr__):
+        # covers() runs per flow on the data path and must not re-parse.
+        object.__setattr__(self, "_group_version", version)
+        object.__setattr__(self, "_group_net_int", net_int)
+        object.__setattr__(self, "_group_mask", mask)
 
     def covers(self, flow: FiveTuple) -> bool:
         """True when ``flow``'s source falls inside this quota's group."""
-        network = ipaddress.ip_network(self.group_prefix, strict=False)
-        return ipaddress.ip_address(flow.src_ip) in network
+        return (
+            flow.src_ip_version == self._group_version
+            and (flow.src_ip_int & self._group_mask) == self._group_net_int
+        )
 
 
 class AuditableRateLimitFilter:

@@ -6,15 +6,23 @@ five-tuple ``(srcIP, dstIP, srcPort, dstPort, protocol)``.  The near
 zero-copy optimization copies exactly ``<5T, size>`` plus a memory reference
 into the enclave; :class:`Packet` mirrors that split — the five-tuple and
 size are the "copied" part, the payload stays outside.
+
+The five-tuple is the unit of all per-packet work (trie walk, sketch hash,
+flow-table probe), so everything derivable from it is computed exactly once
+at construction: the integer address values the compiled rule matcher
+compares against, the canonical byte encodings the sketches hash, and the
+tuple hash the flow table buckets by.  No per-packet code path re-parses an
+address string.
 """
 
 from __future__ import annotations
 
 import enum
-import ipaddress
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Optional
+
+from repro.util.addrs import parse_ip
 
 
 class Protocol(enum.IntEnum):
@@ -27,7 +35,16 @@ class Protocol(enum.IntEnum):
 
 @dataclass(frozen=True, order=True)
 class FiveTuple:
-    """An immutable flow identifier (the ``5T`` of the paper's Fig 7)."""
+    """An immutable flow identifier (the ``5T`` of the paper's Fig 7).
+
+    Beyond the five declared fields, construction caches (as non-field
+    attributes, invisible to equality/ordering):
+
+    * ``src_ip_int`` / ``dst_ip_int`` — integer address values;
+    * ``src_ip_version`` / ``dst_ip_version`` — IP version numbers;
+    * the canonical :meth:`key` / :meth:`src_ip_key` byte encodings;
+    * the tuple hash (:meth:`__hash__` is O(1) after construction).
+    """
 
     src_ip: str
     dst_ip: str
@@ -37,19 +54,50 @@ class FiveTuple:
 
     def __post_init__(self) -> None:
         # Validate addresses eagerly so malformed tuples fail at creation,
-        # not deep inside a sketch update.
-        ipaddress.ip_address(self.src_ip)
-        ipaddress.ip_address(self.dst_ip)
+        # not deep inside a sketch update.  parse_ip never constructs an
+        # ipaddress object for dotted-quad IPv4.
+        src_version, src_int = parse_ip(self.src_ip)
+        dst_version, dst_int = parse_ip(self.dst_ip)
         for port in (self.src_port, self.dst_port):
             if not 0 <= port <= 0xFFFF:
                 raise ValueError(f"port {port} out of range")
+        set_ = object.__setattr__  # frozen dataclass: bypass the guard
+        set_(self, "src_ip_version", src_version)
+        set_(self, "src_ip_int", src_int)
+        set_(self, "dst_ip_version", dst_version)
+        set_(self, "dst_ip_int", dst_int)
+        set_(
+            self,
+            "_key",
+            (
+                f"{self.src_ip}|{self.dst_ip}|{self.src_port}|"
+                f"{self.dst_port}|{int(self.protocol)}"
+            ).encode("ascii"),
+        )
+        set_(self, "_src_key", self.src_ip.encode("ascii"))
+        set_(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.src_ip,
+                    self.dst_ip,
+                    self.src_port,
+                    self.dst_port,
+                    self.protocol,
+                )
+            ),
+        )
+
+    # Explicit __hash__ (the dataclass machinery keeps a user-defined one):
+    # serves the precomputed field-tuple hash, so dict-heavy paths (flow
+    # table, decision cache, burst coalescing) never re-hash two strings.
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def key(self) -> bytes:
         """Canonical byte encoding used for hashing (sketches, hash filters)."""
-        return (
-            f"{self.src_ip}|{self.dst_ip}|{self.src_port}|"
-            f"{self.dst_port}|{int(self.protocol)}"
-        ).encode("ascii")
+        return self._key  # type: ignore[attr-defined]
 
     def reversed(self) -> "FiveTuple":
         """The reverse direction of this flow (used by tests/examples)."""
@@ -63,14 +111,17 @@ class FiveTuple:
 
     def src_ip_key(self) -> bytes:
         """Key for the per-source-IP incoming log."""
-        return self.src_ip.encode("ascii")
+        return self._src_key  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
-        proto = self.protocol.name
-        return (
-            f"{proto} {self.src_ip}:{self.src_port} -> "
-            f"{self.dst_ip}:{self.dst_port}"
-        )
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            cached = (
+                f"{self.protocol.name} {self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port}"
+            )
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
 _packet_ids = count()

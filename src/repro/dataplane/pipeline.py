@@ -216,24 +216,36 @@ class FilterPipeline:
             verdicts = [self.filter_fn(packet) for packet in burst]
         if timed:
             self._burst_hist.observe(time.perf_counter() - start)
+        forwards: List[Packet] = []
+        forward_verdicts: List[Verdict] = []
+        drops: List[Packet] = []
         for packet, allowed in zip(burst, verdicts):
             if allowed:
-                if self.tx_ring.enqueue(packet):
-                    if allowed is UNROUTED:
-                        self.stats.unrouted += 1
-                    else:
-                        self.stats.allowed += 1
-                else:
-                    # The filter's verdict stands (and the enclave already
-                    # logged the packet as forwarded); the loss is the
-                    # pipeline's, and must be visible as such or the
-                    # outgoing-log audit reads as a bypass.
-                    self.stats.tx_overflow_drops += 1
+                forwards.append(packet)
+                forward_verdicts.append(allowed)
             else:
-                self.stats.dropped += 1
-                # The DROP ring recycles buffers; overflow there only loses
-                # accounting fidelity, never packets, so use best-effort.
-                self.drop_ring.enqueue(packet)
+                drops.append(packet)
+        stats = self.stats
+        if forwards:
+            # Bulk-enqueue the forwarded sub-burst: the ring is FIFO and
+            # stays full once full, so exactly the first ``moved`` packets
+            # were accepted; classify those by verdict and account the rest
+            # as TX overflow.  The filter's verdict stands for overflowed
+            # packets (the enclave already logged them as forwarded) — the
+            # loss is the pipeline's, and must be visible as such or the
+            # outgoing-log audit reads as a bypass.
+            moved = self.tx_ring.enqueue_bulk(forwards)
+            unrouted = sum(1 for v in forward_verdicts[:moved] if v is UNROUTED)
+            if unrouted:
+                stats.unrouted += unrouted
+            stats.allowed += moved - unrouted
+            if moved < len(forwards):
+                stats.tx_overflow_drops += len(forwards) - moved
+        if drops:
+            stats.dropped += len(drops)
+            # The DROP ring recycles buffers; overflow there only loses
+            # accounting fidelity, never packets, so use best-effort.
+            self.drop_ring.enqueue_bulk(drops)
         return len(burst)
 
     def tx_stage(self) -> int:

@@ -15,6 +15,12 @@ if TYPE_CHECKING:  # annotations only — avoids a core<->lookup cycle
     from repro.core.rules import Action
     from repro.dataplane.packet import FiveTuple
 
+# One table slot: [decision, last-seen epoch].  A single dict keyed by the
+# five-tuple replaces the previous parallel (_entries, _last_seen) pair, so
+# the hot lookup path pays one hash probe instead of two and the two views
+# can never drift apart.
+_Slot = list
+
 
 class ExactMatchFlowTable:
     """A hash table of per-connection decisions with batch insertion.
@@ -34,29 +40,27 @@ class ExactMatchFlowTable:
     BYTES_PER_ENTRY = 64
 
     def __init__(self) -> None:
-        self._entries: Dict[FiveTuple, Action] = {}
+        self._slots: Dict[FiveTuple, _Slot] = {}
         self._pending: List[Tuple[FiveTuple, Action]] = []
         self._epoch = 0
-        self._last_seen: Dict[FiveTuple, int] = {}
 
     # -- direct entries --------------------------------------------------------
 
     def lookup(self, flow: FiveTuple) -> Optional[Action]:
         """The installed decision for ``flow``, or None if absent."""
-        decision = self._entries.get(flow)
-        if decision is not None:
-            self._last_seen[flow] = self._epoch
-        return decision
+        slot = self._slots.get(flow)
+        if slot is None:
+            return None
+        slot[1] = self._epoch
+        return slot[0]
 
     def install(self, flow: FiveTuple, decision: Action) -> None:
         """Install (or overwrite) a per-connection decision immediately."""
-        self._entries[flow] = decision
-        self._last_seen[flow] = self._epoch
+        self._slots[flow] = [decision, self._epoch]
 
     def remove(self, flow: FiveTuple) -> None:
         """Drop a per-connection entry (e.g. connection timed out)."""
-        self._entries.pop(flow, None)
-        self._last_seen.pop(flow, None)
+        self._slots.pop(flow, None)
 
     # -- aging ------------------------------------------------------------------
 
@@ -76,13 +80,14 @@ class ExactMatchFlowTable:
         """
         if max_idle_epochs < 0:
             raise ValueError("max_idle_epochs must be non-negative")
+        epoch = self._epoch
         stale = [
             flow
-            for flow, seen in self._last_seen.items()
-            if self._epoch - seen > max_idle_epochs and flow in self._entries
+            for flow, slot in self._slots.items()
+            if epoch - slot[1] > max_idle_epochs
         ]
         for flow in stale:
-            self.remove(flow)
+            del self._slots[flow]
         return len(stale)
 
     # -- hybrid design: queue now, install at the next update period ------------
@@ -99,10 +104,10 @@ class ExactMatchFlowTable:
         or dropped together".
         """
         installed = 0
+        slots = self._slots
         for flow, decision in self._pending:
-            if flow not in self._entries:
-                self._entries[flow] = decision
-                self._last_seen[flow] = self._epoch
+            if flow not in slots:
+                slots[flow] = [decision, self._epoch]
                 installed += 1
         self._pending.clear()
         return installed
@@ -112,15 +117,18 @@ class ExactMatchFlowTable:
         return len(self._pending)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._slots)
 
     def __contains__(self, flow: FiveTuple) -> bool:
-        return flow in self._entries
+        return flow in self._slots
 
     def entries(self) -> Iterable[Tuple[FiveTuple, Action]]:
         """All installed entries (deterministic order for tests)."""
-        return sorted(self._entries.items(), key=lambda kv: kv[0])
+        return sorted(
+            ((flow, slot[0]) for flow, slot in self._slots.items()),
+            key=lambda kv: kv[0],
+        )
 
     def memory_bytes(self) -> int:
         """Enclave footprint of installed + queued entries."""
-        return (len(self._entries) + len(self._pending)) * self.BYTES_PER_ENTRY
+        return (len(self._slots) + len(self._pending)) * self.BYTES_PER_ENTRY

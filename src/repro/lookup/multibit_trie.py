@@ -16,7 +16,6 @@ batch per update period (Table II measures this cost).
 
 from __future__ import annotations
 
-import ipaddress
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
@@ -53,6 +52,7 @@ class MultiBitTrie:
         if stride_bits not in (1, 2, 4, 8, 16):
             raise ValueError("stride_bits must divide 32 and be one of 1,2,4,8,16")
         self.stride_bits = stride_bits
+        self._chunk_mask = (1 << stride_bits) - 1
         self._root = _TrieNode()
         self._num_rules = 0
         self._num_nodes = 1
@@ -61,9 +61,19 @@ class MultiBitTrie:
     # -- insertion -----------------------------------------------------------
 
     def insert(self, rule: FilterRule) -> None:
-        """Insert one rule keyed by its destination prefix."""
+        """Insert one rule keyed by its destination prefix.
+
+        All validation happens *before* :meth:`_walk_to` allocates interior
+        nodes, so a rejected insert can never leave orphan nodes behind (or
+        leave ``_num_nodes`` counting nodes that hold no rule path) — the
+        ``stats()`` walk and the incremental counter always agree.
+        """
         if rule.rule_id in self._rule_ids:
             raise LookupError_(f"rule {rule.rule_id} already installed")
+        # Touch the compiled prefix fields up front: a malformed pattern
+        # fails here, before any node is created.
+        pattern = rule.pattern
+        _ = pattern.dst_net_int, pattern.dst_prefix_len
         node = self._walk_to(rule, create=True)
         node.rules.append(rule)
         self._rule_ids.add(rule.rule_id)
@@ -99,7 +109,9 @@ class MultiBitTrie:
         examines rules stored on the trie path of the destination address.
         """
         best: Optional[FilterRule] = None
-        address = int(ipaddress.ip_address(flow.dst_ip))
+        address = flow.dst_ip_int  # cached at FiveTuple construction
+        stride = self.stride_bits
+        chunk_mask = self._chunk_mask
         node = self._root
         depth = 0
         while True:
@@ -110,12 +122,12 @@ class MultiBitTrie:
                     best = rule
             if depth >= 32:
                 break
-            chunk = self._chunk(address, depth)
+            chunk = (address >> (32 - depth - stride)) & chunk_mask
             child = node.children.get(chunk)
             if child is None:
                 break
             node = child
-            depth += self.stride_bits
+            depth += stride
         return best
 
     # -- accounting --------------------------------------------------------------
@@ -155,9 +167,8 @@ class MultiBitTrie:
 
     def _walk_to(self, rule: FilterRule, create: bool) -> Optional[_TrieNode]:
         """Walk (creating nodes if asked) to where ``rule``'s prefix ends."""
-        net = ipaddress.ip_network(rule.pattern.dst_prefix, strict=False)
-        address = int(net.network_address)
-        prefix_len = net.prefixlen
+        address = rule.pattern.dst_net_int  # compiled at pattern construction
+        prefix_len = rule.pattern.dst_prefix_len
         node = self._root
         depth = 0
         # Rules whose prefix length is not a stride multiple live at the last

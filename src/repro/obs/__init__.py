@@ -23,6 +23,7 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Gauge,
     Histogram,
+    LazyCounter,
     MetricsRegistry,
     RECOVERY_BUCKETS,
     SNAPSHOT_SCHEMA,
@@ -46,6 +47,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LazyCounter",
     "MetricsRegistry",
     "SpanRecord",
     "Tracer",

@@ -415,6 +415,39 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     return previous
 
 
+class LazyCounter:
+    """A module-level counter handle that follows registry swaps.
+
+    Free functions on the data path (address parsing, ``stable_hash64``)
+    cannot cache a :class:`Counter` at import time — tests swap the default
+    registry under them via :func:`set_registry`.  This handle re-resolves
+    its counter only when the registry identity changes, so the steady-state
+    cost stays one identity check plus the increment.
+    """
+
+    __slots__ = ("name", "help", "_registry", "_counter")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._registry: Optional[MetricsRegistry] = None
+        self._counter: Optional[Counter] = None
+
+    def _resolve(self) -> Counter:
+        registry = get_registry()
+        if registry is not self._registry:
+            self._registry = registry
+            self._counter = registry.counter(self.name, help=self.help)
+        return self._counter  # type: ignore[return-value]
+
+    def inc(self, amount: Number = 1) -> None:
+        self._resolve().inc(amount)
+
+    @property
+    def value(self) -> Number:
+        return self._resolve().value
+
+
 def timing_enabled() -> bool:
     """Whether hot paths should pay for clock reads and histogram updates."""
     return _timing

@@ -16,10 +16,10 @@ from __future__ import annotations
 import sys
 import time
 from array import array
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
 
 from repro import obs
-from repro.sketch.hashing import HashFamily
+from repro.sketch.hashing import FAMILY_VERSION, HashFamily
 
 Key = Union[str, bytes]
 
@@ -32,7 +32,10 @@ _COUNTER_MAX = 2**64 - 1
 #: Serialized-blob format version.  Version 2 added the leading version byte
 #: and the exact update total (version-1 blobs reconstructed the total as
 #: the max row sum, which silently diverges once any counter saturates).
-BLOB_VERSION = 2
+#: Version 3 added the hash-family derivation version byte: counters hashed
+#: under a different key → bin derivation must fail at deserialization, not
+#: compare garbage bins during a bypass audit.
+BLOB_VERSION = 3
 
 
 def _zero_row(width: int) -> array:
@@ -107,6 +110,30 @@ class CountMinSketch:
             ).observe(time.perf_counter() - start)
         return len(keys)
 
+    def update_weighted(self, counts: Mapping[Key, int]) -> int:
+        """Bulk update with a per-key multiplicity: ``{key: count}``.
+
+        The flow-coalesced burst path: a burst's keys are pre-aggregated by
+        the caller, so each *unique* key is hashed once and its counter bins
+        advance by the full multiplicity.  Bit-identical to calling
+        :meth:`update` once per occurrence (counter addition commutes, and
+        saturation clamps at the same ceiling either way).  Returns the
+        number of occurrences applied.
+        """
+        total = 0
+        rows = self._rows
+        family_indexes = self.family.indexes
+        for key, count in counts.items():
+            if count <= 0:
+                raise ValueError("count must be positive")
+            for row, idx in zip(rows, family_indexes(key)):
+                value = row[idx] + count
+                row[idx] = value if value <= _COUNTER_MAX else _COUNTER_MAX
+            total += count
+        self._total += total
+        self._updates_c.inc(total)
+        return total
+
     def estimate(self, key: Key) -> int:
         """Upper-bounded frequency estimate of ``key`` (never underestimates)."""
         return min(
@@ -177,14 +204,17 @@ class CountMinSketch:
     def serialize(self) -> bytes:
         """Serialize counters for transport over the secure channel.
 
-        Blob layout (version :data:`BLOB_VERSION`): 1-byte version, 4-byte
-        depth, 4-byte width, 4-byte seed length, the seed, 4-byte total
-        length plus the exact update total (big-endian, arbitrary
-        precision — the total is exact even past counter saturation), then
-        the counter rows as little-endian 64-bit words.
+        Blob layout (version :data:`BLOB_VERSION`): 1-byte blob version,
+        1-byte hash-family derivation version
+        (:data:`~repro.sketch.hashing.FAMILY_VERSION`), 4-byte depth, 4-byte
+        width, 4-byte seed length, the seed, 4-byte total length plus the
+        exact update total (big-endian, arbitrary precision — the total is
+        exact even past counter saturation), then the counter rows as
+        little-endian 64-bit words.
         """
         out = bytearray()
         out += BLOB_VERSION.to_bytes(1, "big")
+        out += self.family.version.to_bytes(1, "big")
         out += self.depth.to_bytes(4, "big")
         out += self.width.to_bytes(4, "big")
         seed = self.family.family_seed.encode("utf-8")
@@ -203,7 +233,7 @@ class CountMinSketch:
     @classmethod
     def deserialize(cls, blob: bytes) -> "CountMinSketch":
         """Inverse of :meth:`serialize`; rejects unknown format versions."""
-        if len(blob) < 17:
+        if len(blob) < 18:
             raise ValueError("sketch blob too short")
         version = blob[0]
         if version != BLOB_VERSION:
@@ -211,10 +241,17 @@ class CountMinSketch:
                 f"unsupported sketch blob version {version} "
                 f"(expected {BLOB_VERSION})"
             )
-        depth = int.from_bytes(blob[1:5], "big")
-        width = int.from_bytes(blob[5:9], "big")
-        seed_len = int.from_bytes(blob[9:13], "big")
-        offset = 13
+        family_version = blob[1]
+        if family_version != FAMILY_VERSION:
+            raise ValueError(
+                f"sketch hashed under family derivation v{family_version}; "
+                f"this process derives v{FAMILY_VERSION} — bins are not "
+                "comparable"
+            )
+        depth = int.from_bytes(blob[2:6], "big")
+        width = int.from_bytes(blob[6:10], "big")
+        seed_len = int.from_bytes(blob[10:14], "big")
+        offset = 14
         seed = blob[offset : offset + seed_len].decode("utf-8")
         offset += seed_len
         if len(blob) < offset + 4:

@@ -1,28 +1,55 @@
 """Hash families for sketching.
 
 The paper uses "2 independent linear hash functions" per sketch.  We derive
-each row's hash from SHA-256 with a distinct salt (see
-:func:`repro.util.rng.stable_hash64`), which is stable across processes —
-required because the victim and the enclave each build sketches locally and
-then compare them bin by bin.
+*all* of a key's row indexes from a **single SHA-256 digest**: the digest is
+cut into 8-byte big-endian slices, one per row, and extended by counter-mode
+rehashing when the family is deeper than four rows (32 bytes / 8).  That
+costs ``ceil(depth / 4)`` digests per key — one at the paper's depth-2
+configuration — instead of the one-digest-per-row scheme this replaced,
+while staying stable across processes, which is required because the victim
+and the enclave each build sketches locally and then compare them bin by
+bin.
+
+The derivation is **version-tagged** (:data:`FAMILY_VERSION`).  Two parties
+can only compare sketches built under the same derivation, so the version
+participates in :meth:`HashFamily.compatible_with` and travels inside the
+serialized sketch blob — a blob hashed under a different derivation fails
+loudly at deserialization instead of comparing garbage bins.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, List, Sequence, Union
 
-from repro.util.rng import stable_hash64
+from repro.obs import LazyCounter
 
 Key = Union[str, bytes]
+
+#: Version of the index derivation scheme.  Version 1 was one salted SHA-256
+#: per row (``"<seed>/row-<r>"`` salts); version 2 is the single-digest
+#: slicing above.  Bump whenever the key → indexes mapping changes.
+FAMILY_VERSION = 2
+
+_DIGESTS = LazyCounter(
+    "vif_fastpath_sha256_digests_total",
+    help="SHA-256 digests computed by data-path hashing",
+)
+
+#: Rows served by one SHA-256 digest (32 bytes / 8 bytes per row).
+_ROWS_PER_DIGEST = 4
 
 
 class HashFamily:
     """A family of ``depth`` independent hash functions onto ``width`` bins.
 
     Two parties comparing sketches must construct them with the same
-    ``family_seed`` — in VIF this seed is part of the filtering contract the
-    victim negotiates over the secure channel.
+    ``family_seed`` *and derivation version* — in VIF the seed is part of
+    the filtering contract the victim negotiates over the secure channel,
+    and the version rides in the serialized blob.
     """
+
+    version = FAMILY_VERSION
 
     def __init__(self, depth: int, width: int, family_seed: str = "vif") -> None:
         if depth <= 0:
@@ -32,36 +59,56 @@ class HashFamily:
         self.depth = depth
         self.width = width
         self.family_seed = family_seed
-        self._salts: List[bytes] = [
-            f"{family_seed}/row-{row}".encode("utf-8") for row in range(depth)
+        # One precomputed prefix per digest block: seed, a one-byte domain
+        # tag, the 4-byte block counter, and a separator before the key.
+        blocks = (depth + _ROWS_PER_DIGEST - 1) // _ROWS_PER_DIGEST
+        self._block_prefixes: List[bytes] = [
+            family_seed.encode("utf-8") + b"\x02" + block.to_bytes(4, "big") + b"\x00"
+            for block in range(blocks)
         ]
+        self._sha256 = hashlib.sha256  # bound once; the hot path calls this
+
+    # -- derivation ---------------------------------------------------------
+
+    def _digest_bytes(self, key: bytes) -> bytes:
+        """Concatenated counter-mode digests covering all ``depth`` rows."""
+        prefixes = self._block_prefixes
+        _DIGESTS.inc(len(prefixes))
+        sha256 = self._sha256
+        if len(prefixes) == 1:  # the common (depth <= 4) single-digest case
+            return sha256(prefixes[0] + key).digest()
+        return b"".join(sha256(prefix + key).digest() for prefix in prefixes)
 
     def indexes(self, key: Key) -> Sequence[int]:
         """Return the bin index of ``key`` in each of the ``depth`` rows."""
         if isinstance(key, str):
             key = key.encode("utf-8")
-        return [stable_hash64(key, salt) % self.width for salt in self._salts]
+        buf = self._digest_bytes(key)
+        width = self.width
+        from_bytes = int.from_bytes
+        return [
+            from_bytes(buf[8 * row : 8 * row + 8], "big") % width
+            for row in range(self.depth)
+        ]
 
     def index_vectors(self, keys: Iterable[Key]) -> List[List[int]]:
         """Per-row index vectors for a batch of keys (bulk sketch updates).
 
         ``result[row][k]`` is the bin of ``keys[k]`` in ``row`` — the same
-        values ``indexes`` yields key by key, but laid out so a caller can
-        walk one counter row at a time.
+        values :meth:`indexes` yields key by key (it is literally a
+        transpose of per-key :meth:`indexes` calls), but laid out so a
+        caller can walk one counter row at a time.
         """
-        encoded = [
-            key.encode("utf-8") if isinstance(key, str) else key for key in keys
-        ]
-        width = self.width
-        return [
-            [stable_hash64(key, salt) % width for key in encoded]
-            for salt in self._salts
-        ]
+        per_key = [self.indexes(key) for key in keys]
+        if not per_key:
+            return [[] for _ in range(self.depth)]
+        return [list(row) for row in zip(*per_key)]
 
     def compatible_with(self, other: "HashFamily") -> bool:
-        """True when two families hash identically (same seed/shape)."""
+        """True when two families hash identically (same derivation/seed/shape)."""
         return (
-            self.depth == other.depth
+            self.version == other.version
+            and self.depth == other.depth
             and self.width == other.width
             and self.family_seed == other.family_seed
         )

@@ -16,6 +16,7 @@ different fields.
 
 from __future__ import annotations
 
+from collections import Counter as _Multiset
 from typing import Sequence
 
 from repro.dataplane.packet import FiveTuple, Packet
@@ -38,9 +39,13 @@ class SourceIPLog:
         self.sketch.update(packet.five_tuple.src_ip_key())
 
     def record_burst(self, packets: Sequence[Packet]) -> None:
-        """Log a whole burst in one bulk sketch update."""
-        self.sketch.update_many(
-            [packet.five_tuple.src_ip_key() for packet in packets]
+        """Log a whole burst in one bulk sketch update.
+
+        Keys are coalesced first, so a burst dominated by few sources pays
+        one hash per *unique* source while every packet still counts.
+        """
+        self.sketch.update_weighted(
+            _Multiset(packet.five_tuple.src_ip_key() for packet in packets)
         )
 
     def estimate(self, src_ip: str) -> int:
@@ -71,8 +76,14 @@ class FiveTupleLog:
         self.sketch.update(packet.five_tuple.key())
 
     def record_burst(self, packets: Sequence[Packet]) -> None:
-        """Log a whole burst in one bulk sketch update."""
-        self.sketch.update_many([packet.five_tuple.key() for packet in packets])
+        """Log a whole burst in one bulk sketch update.
+
+        Keys are coalesced first, so repeated packets of one flow pay a
+        single hash while every packet still counts.
+        """
+        self.sketch.update_weighted(
+            _Multiset(packet.five_tuple.key() for packet in packets)
+        )
 
     def estimate(self, flow: FiveTuple) -> int:
         """Estimated number of packets logged for ``flow``."""

@@ -19,6 +19,7 @@ from repro.util.stats import (
     percentile,
     stdev,
 )
+from repro.util.addrs import int_to_ipv4, ipv4_to_int, parse_ip, parse_network
 from repro.util.rng import deterministic_rng, stable_hash64
 from repro.util.tables import format_table
 
@@ -34,9 +35,13 @@ __all__ = [
     "ethernet_frame_overhead_bytes",
     "format_table",
     "gbps_to_pps",
+    "int_to_ipv4",
+    "ipv4_to_int",
     "line_rate_pps",
     "lognormal_bandwidths",
     "mean",
+    "parse_ip",
+    "parse_network",
     "percentile",
     "pps_to_gbps",
     "stable_hash64",

@@ -13,7 +13,17 @@ import hashlib
 import random
 from typing import Union
 
+from repro.obs import LazyCounter
+
 Seedable = Union[int, str, bytes]
+
+#: Every SHA-256 digest computed on the data path (sketch hashing, hash-based
+#: filtering decisions) counts here; the micro-benchmark gate bounds the
+#: per-packet delta.
+SHA_DIGESTS = LazyCounter(
+    "vif_fastpath_sha256_digests_total",
+    help="SHA-256 digests computed by data-path hashing",
+)
 
 
 def deterministic_rng(seed: Seedable) -> random.Random:
@@ -36,5 +46,6 @@ def stable_hash64(data: Union[str, bytes], salt: Union[str, bytes] = b"") -> int
         data = data.encode("utf-8")
     if isinstance(salt, str):
         salt = salt.encode("utf-8")
+    SHA_DIGESTS.inc()
     digest = hashlib.sha256(salt + b"\x00" + data).digest()
     return int.from_bytes(digest[:8], "big")

@@ -137,3 +137,46 @@ def test_trie_agrees_with_linear_scan(prefixes, probe_octets):
         assert actual is None
     else:
         assert actual is not None and actual.rule_id == expected.rule_id
+
+
+class TestFailedInsertLeavesNoOrphans:
+    """A rejected insert must not allocate interior nodes or skew counters."""
+
+    def test_duplicate_insert_allocates_no_nodes(self):
+        trie = MultiBitTrie()
+        trie.insert(rule(1, "203.0.113.0/24"))
+        before = trie.stats()
+        # Same id, different (deeper) prefix: the walk for this prefix would
+        # allocate fresh interior nodes if validation ran after it.
+        with pytest.raises(LookupError_):
+            trie.insert(rule(1, "198.51.100.0/24"))
+        after = trie.stats()
+        assert after == before
+        assert trie._num_nodes == after.num_nodes
+        assert len(trie) == 1
+
+    def test_batch_with_internal_duplicate_allocates_no_orphan_path(self):
+        trie = MultiBitTrie()
+        batch = [
+            rule(1, "203.0.113.0/24"),
+            rule(2, "198.51.100.0/24"),
+            rule(2, "192.0.2.0/24"),  # duplicate id, distinct prefix
+        ]
+        with pytest.raises(LookupError_):
+            trie.insert_batch(batch)
+        stats = trie.stats()
+        # The failed third insert must not have materialized 192.0.2.0/24's
+        # path: incremental counter and walked count agree, and the node
+        # count is exactly the two inserted /24 paths plus the root.
+        assert trie._num_nodes == stats.num_nodes == 7
+        assert len(trie) == 2
+        assert trie.lookup(flow(dst_ip="192.0.2.5")) is None
+
+    def test_counters_stay_consistent_after_many_failed_inserts(self):
+        trie = MultiBitTrie(stride_bits=4)
+        trie.insert(rule(1, "10.0.0.0/8"))
+        for i in range(20):
+            with pytest.raises(LookupError_):
+                trie.insert(rule(1, f"10.{i}.{i}.0/28"))
+        assert trie._num_nodes == trie.stats().num_nodes
+        assert len(trie) == 1
