@@ -6,7 +6,9 @@ Usage::
     python -m repro.cli run fig8
     python -m repro.cli run all
     python -m repro.cli fleet-sim --fleet-size 10 --rounds 8 --kill 0.2
+    python -m repro.cli fleet-sim --rounds 8 --journal fleet.journal.jsonl
     python -m repro.cli metrics --json metrics.json --trace round.trace.json
+    python -m repro.cli audit fleet.journal.jsonl
 """
 
 from __future__ import annotations
@@ -60,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spare platforms available for failover (default 2)")
     fleet.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write a registry snapshot (JSON) after the run")
+    fleet.add_argument("--journal", metavar="PATH", default=None,
+                       help="enable the audit event journal (and flight "
+                            "recorder) and write it as JSONL after the run")
+    audit = sub.add_parser(
+        "audit",
+        help="render a per-round report from an audit journal (JSONL)",
+        description=(
+            "Parse a vif-events-v1 journal written by 'fleet-sim --journal' "
+            "(or obs.get_journal().write_jsonl) and render a deterministic "
+            "per-round timeline: divergence scores, faults, failovers, "
+            "alerts, and the flight-recorder excerpt attached to the most "
+            "recent bypass-evidence or invariant-failure event.  Exits "
+            "non-zero when the journal contains any alert."
+        ),
+    )
+    audit.add_argument("journal", help="path to a .jsonl journal file")
+    audit.add_argument("--flight-limit", type=int, default=10, metavar="N",
+                       help="flight-recorder rows shown per dump (default 10)")
     metrics = sub.add_parser(
         "metrics",
         help="run a small instrumented round and dump the metrics registry",
@@ -151,8 +171,129 @@ def run_metrics(args: argparse.Namespace) -> int:
         obs.set_tracing(prev_tracing)
 
 
+def run_audit(args: argparse.Namespace) -> int:
+    """The ``audit`` subcommand: render a journal as a per-round report.
+
+    Output is a pure function of the journal file (no clocks, no registry
+    state), so two same-seed runs render byte-identically — the golden e2e
+    test pins exactly that.
+    """
+    from repro.obs import read_jsonl
+
+    try:
+        events = read_jsonl(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read journal: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"audit report: {len(events)} events")
+    sessions = sorted({e["session"] for e in events if e.get("session")})
+    if sessions:
+        print(f"sessions: {', '.join(sessions)}")
+
+    by_round = {}
+    unrounded = []
+    for event in events:
+        if event.get("round") is None:
+            unrounded.append(event)
+        else:
+            by_round.setdefault(event["round"], []).append(event)
+
+    alerts = []
+    last_dump = None
+    for round_id in sorted(by_round):
+        print(f"round {round_id}:")
+        for event in by_round[round_id]:
+            payload = event.get("payload", {})
+            kind = event["type"]
+            if kind == "round_start":
+                print(f"  seq {event['seq']:>4} round_start")
+            elif kind == "sketch_audit":
+                print(
+                    f"  seq {event['seq']:>4} sketch_audit "
+                    f"bins={payload.get('bins_flagged', 0)} "
+                    f"l1={payload.get('l1', 0)} "
+                    f"linf={payload.get('l_inf', 0)} "
+                    f"ratio={payload.get('normalized_l1', 0.0):.3f}"
+                )
+            elif kind == "alert":
+                alerts.append(event)
+                print(
+                    f"  seq {event['seq']:>4} ALERT {payload.get('kind')} "
+                    f"({payload.get('observer', '')}): "
+                    f"{payload.get('detail', '')}"
+                )
+            elif kind in ("bypass_evidence", "invariant_failure"):
+                flight = payload.get("flight", [])
+                last_dump = (round_id, kind, flight)
+                detail = (
+                    f"suspected={','.join(payload.get('suspected_attacks', []))}"
+                    if kind == "bypass_evidence"
+                    else f"violations={payload.get('violations', 0)}"
+                )
+                print(
+                    f"  seq {event['seq']:>4} {kind.upper()} {detail} "
+                    f"flight_rows={len(flight)}"
+                )
+            elif kind == "fault_injected":
+                print(
+                    f"  seq {event['seq']:>4} fault_injected "
+                    f"kind={payload.get('kind')} target={payload.get('target')}"
+                )
+            elif kind == "failover":
+                print(
+                    f"  seq {event['seq']:>4} failover "
+                    f"relaunched={payload.get('relaunched_slots', [])} "
+                    f"orphaned={payload.get('orphaned_slots', [])} "
+                    f"shed={payload.get('shed_rule_ids', [])}"
+                )
+            else:
+                print(f"  seq {event['seq']:>4} {kind}")
+    for event in unrounded:
+        print(f"pre-round seq {event['seq']:>4} {event['type']}")
+
+    print(f"alerts: {len(alerts)}")
+    if last_dump is not None:
+        round_id, kind, flight = last_dump
+        shown = flight[: max(args.flight_limit, 0)]
+        print(f"flight excerpt ({kind}, round {round_id}, "
+              f"{len(flight)} rows, showing {len(shown)}):")
+        for row in shown:
+            print(
+                f"  round={row.get('round')} rule={row.get('rule')} "
+                f"verdict={row.get('verdict')} flow={row.get('flow')}"
+            )
+    return 1 if alerts else 0
+
+
 def run_fleet_sim(args: argparse.Namespace) -> int:
     """The ``fleet-sim`` subcommand (imports deferred: keep ``list`` fast)."""
+    if args.fleet_size < 1 or args.rules < 1 or args.rounds < 1:
+        print("fleet-size, rules and rounds must be positive", file=sys.stderr)
+        return 2
+
+    prev_journal = None
+    prev_recorder = None
+    if args.journal:
+        # Fresh journal + flight ring per invocation: the artifact depends
+        # only on the seed, never on whatever ran earlier in this process.
+        from repro import obs
+
+        prev_journal = obs.set_journal(obs.EventJournal(enabled=True))
+        prev_recorder = obs.set_flight_recorder(obs.FlightRecorder(enabled=True))
+    try:
+        return _run_fleet_sim_body(args)
+    finally:
+        if args.journal:
+            from repro import obs
+
+            obs.get_journal().write_jsonl(args.journal)
+            print(f"wrote audit journal to {args.journal}", file=sys.stderr)
+            obs.set_journal(prev_journal)
+            obs.set_flight_recorder(prev_recorder)
+
+
+def _run_fleet_sim_body(args: argparse.Namespace) -> int:
     from repro.core.controller import IXPController
     from repro.core.fleet import FleetConfig, FleetManager
     from repro.core.rules import (
@@ -171,10 +312,6 @@ def run_fleet_sim(args: argparse.Namespace) -> int:
         FlakyIAS,
     )
     from repro.util.units import GBPS
-
-    if args.fleet_size < 1 or args.rules < 1 or args.rounds < 1:
-        print("fleet-size, rules and rounds must be positive", file=sys.stderr)
-        return 2
 
     ias = FlakyIAS()
     controller = IXPController(ias)
@@ -269,6 +406,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "fleet-sim":
         return run_fleet_sim(args)
+    if args.command == "audit":
+        return run_audit(args)
     if args.command == "metrics":
         return run_metrics(args)
     if args.command == "list":

@@ -58,6 +58,17 @@ class BypassEvidence:
             f"extra={self.comparison.total_extra})"
         )
 
+    def to_payload(self) -> dict:
+        """JSON-safe summary for the audit event journal."""
+        return {
+            "observer": self.observer,
+            "clean": self.clean,
+            "suspected_attacks": list(self.suspected_attacks),
+            "bins_flagged": len(self.comparison.discrepancies),
+            "missing": self.comparison.total_missing,
+            "extra": self.comparison.total_extra,
+        }
+
 
 class VictimAuditor:
     """Victim-side log of received packets and the audit against the enclave.

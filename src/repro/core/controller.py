@@ -334,6 +334,22 @@ class IXPController:
             if burst_enclave is None:
                 return
             verdicts = self.enclaves[burst_enclave].ecall("process_burst", burst)
+            recorder = obs.get_flight_recorder()
+            if recorder.enabled:
+                round_id = obs.get_journal().current_round
+                rules = self.state.rules
+                entries = []
+                for packet, ok in zip(burst, verdicts):
+                    rule = rules.match(packet.five_tuple)
+                    entries.append(
+                        (
+                            packet.five_tuple.key().decode(),
+                            rule.rule_id if rule is not None else None,
+                            "allowed" if ok else "dropped",
+                            round_id,
+                        )
+                    )
+                recorder.record_batch(entries)
             forwarded.extend(
                 packet for packet, ok in zip(burst, verdicts) if ok
             )

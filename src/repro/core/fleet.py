@@ -471,6 +471,18 @@ class FleetManager:
             self._recovery_hist.observe(
                 self.counters.recovery_time_s - recovery_start_s
             )
+            journal = obs.get_journal()
+            if journal.enabled:
+                journal.emit(
+                    "failover",
+                    relaunched_slots=list(report.relaunched_slots),
+                    orphaned_slots=list(report.orphaned_slots),
+                    repaired=report.repaired,
+                    full_resolve=report.full_resolve,
+                    rules_rehomed=report.rules_rehomed,
+                    shed_rule_ids=list(report.shed_rule_ids),
+                    shed_bandwidth_bps=report.shed_bandwidth_bps,
+                )
         return report
 
     def run_round(self, packets: Sequence[Packet]) -> RoundResult:
@@ -496,6 +508,7 @@ class FleetManager:
         """
         packets = list(packets)
         tags = self._adjudicate(packets)
+        self._record_flight(packets, tags)
         result = CarryResult()
         for packet, tag in zip(packets, tags):
             if tag == _ALLOWED:
@@ -592,6 +605,29 @@ class FleetManager:
             burst_positions.append(idx)
         flush()
         return [tag if tag is not None else _FAILCLOSED for tag in tags]
+
+    def _record_flight(self, packets: Sequence[Packet], tags: Sequence[str]) -> None:
+        """Batch the burst's verdicts into the flight recorder ring.
+
+        One boolean check when recording is off; the per-packet rule lookup
+        happens only when someone has opted into forensic capture.
+        """
+        recorder = obs.get_flight_recorder()
+        if not recorder.enabled:
+            return
+        round_id = obs.get_journal().current_round
+        entries = []
+        for packet, tag in zip(packets, tags):
+            rule = self._rules.match(packet.five_tuple)
+            entries.append(
+                (
+                    packet.five_tuple.key().decode(),
+                    rule.rule_id if rule is not None else None,
+                    tag,
+                    round_id,
+                )
+            )
+        recorder.record_batch(entries)
 
     def _mark_dead(self, slot: int) -> None:
         self._sync_health()
@@ -878,6 +914,10 @@ class FleetBurstFilter:
     default path, counted separately in pipeline stats).
     """
 
+    #: The fleet records its own flight-recorder entries (with rule ids),
+    #: so the pipeline must not double-record bursts filtered through here.
+    records_flight = True
+
     def __init__(self, fleet: FleetManager) -> None:
         self.fleet = fleet
 
@@ -885,7 +925,9 @@ class FleetBurstFilter:
         return self.process_burst([packet])[0]
 
     def process_burst(self, packets: Sequence[Packet]) -> List[object]:
-        tags = self.fleet._adjudicate(list(packets))
+        packets = list(packets)
+        tags = self.fleet._adjudicate(packets)
+        self.fleet._record_flight(packets, tags)
         verdicts: List[object] = []
         for tag in tags:
             if tag == _ALLOWED:

@@ -10,11 +10,16 @@ redistributes rules between rounds when an enclave nears its caps.
 1. carry the round's traffic;
 2. at the boundary: collect measured per-rule rates, redistribute if any
    enclave is under pressure (attesting anything newly launched);
-3. run the victim's sketch audit; on evidence, the session aborts and the
-   loop stops.
+3. run the victim's sketch audit; the round's comparison is scored on the
+   :class:`~repro.obs.audit.AuditTimeline`, and a (debounced) alert aborts
+   the session.
 
 The scheduler is deliberately victim-perspective: it owns no data-plane
-state and everything it does is observable/repeatable.
+state and everything it does is observable/repeatable.  With journaling
+enabled (:func:`repro.obs.set_journaling`) every round emits
+``round_start`` / ``redistribution`` / ``sketch_audit`` events — and
+``bypass_evidence`` with a flight-recorder excerpt on alert — keyed by the
+round number, so the whole session replays from the journal artifact.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from repro.core.distribution import RuleDistributionProtocol
 from repro.core.session import SessionState, VIFSession
 from repro.dataplane.packet import Packet
 from repro.errors import ConfigurationError
+from repro.obs.audit import AuditAlert, AuditTimeline, DivergenceScore
+from repro.obs.events import get_journal
 from repro.tee.clock import HostClock
 
 #: "a few minutes" — the paper's suggested round duration.
@@ -47,10 +54,13 @@ class RoundOutcome:
     redistributed: bool
     enclaves_after: int
     audit: Optional[BypassEvidence] = None
+    divergence: Optional[DivergenceScore] = None
+    alerts: List[AuditAlert] = field(default_factory=list)
 
     @property
     def aborted(self) -> bool:
-        return self.audit is not None and not self.audit.clean
+        """True when this round's (debounced) alerts aborted the session."""
+        return bool(self.alerts)
 
 
 @dataclass
@@ -64,6 +74,9 @@ class RoundScheduler:
     #: Delivery path — override to interpose a (possibly malicious)
     #: filtering network; defaults to the honest controller path.
     deliver: Optional[DeliveryFn] = None
+    #: Divergence scoring + alert debounce.  The default (``debounce=1``)
+    #: keeps the paper's behavior: evidence in any single round aborts.
+    timeline: Optional[AuditTimeline] = None
     outcomes: List[RoundOutcome] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -71,6 +84,10 @@ class RoundScheduler:
             raise ConfigurationError("round duration must be positive")
         if self.deliver is None:
             self.deliver = self.session.controller.carry
+        if self.timeline is None:
+            self.timeline = AuditTimeline(
+                session_id=self.session.victim_name
+            )
 
     def run_round(self, traffic: Iterable[Packet]) -> RoundOutcome:
         """Run one full round with the given traffic."""
@@ -80,6 +97,19 @@ class RoundScheduler:
             )
         round_number = len(self.outcomes) + 1
         started = self.clock.now()
+        journal = get_journal()
+        if journal.enabled:
+            # The ambient round key: everything emitted below this point —
+            # attestation, failover, flight-recorder entries — correlates
+            # to this round without explicit plumbing.
+            journal.set_round(round_number)
+            journal.emit(
+                "round_start",
+                round_id=round_number,
+                session_id=self.session.victim_name,
+                started_at_s=started,
+                round_duration_s=self.round_duration_s,
+            )
 
         packets = list(traffic)
         delivered = self.deliver(packets)
@@ -90,8 +120,29 @@ class RoundScheduler:
         if self.protocol.needs_redistribution(window_s=self.round_duration_s):
             self.session.scale_out(self.protocol, window_s=self.round_duration_s)
             redistributed = True
+            if journal.enabled:
+                journal.emit(
+                    "redistribution",
+                    round_id=round_number,
+                    session_id=self.session.victim_name,
+                    enclaves_after=len(self.session.controller.enclaves),
+                )
 
-        audit = self.session.audit_round()
+        try:
+            audit = self.session.audit_round(abort_on_evidence=False)
+        except ValueError as exc:
+            # Structural comparison failure (hash-family derivation or blob
+            # version mismatch): journal the typed alert, then fail loudly —
+            # an incomparable audit must never read as a clean one.
+            self.timeline.record_family_mismatch(
+                round_number, exc, observer=f"victim:{self.session.victim_name}"
+            )
+            raise
+        divergence, alerts = self.timeline.record(round_number, audit)
+        if alerts:
+            # The paper's remedy, now debounced: the victim "can decide to
+            # abort the ongoing filtering request".
+            self.session.abort()
         outcome = RoundOutcome(
             round_number=round_number,
             started_at_s=started,
@@ -100,6 +151,8 @@ class RoundScheduler:
             redistributed=redistributed,
             enclaves_after=len(self.session.controller.enclaves),
             audit=audit,
+            divergence=divergence,
+            alerts=alerts,
         )
         self.outcomes.append(outcome)
         return outcome

@@ -31,6 +31,7 @@ from repro.core.enclave_filter import EnclaveFilter
 from repro.core.rules import FilterRule, RPKIRegistry, RuleSet
 from repro.dataplane.packet import Packet
 from repro.errors import SessionAborted, SessionError
+from repro.obs.events import get_journal
 from repro.sketch.countmin import CountMinSketch
 from repro.tee.attestation import AttestationReport, IASService, RemoteAttestationVerifier
 from repro.tee.secure_channel import ChannelEndpoint, SecureChannel
@@ -116,6 +117,14 @@ class VIFSession:
             self._endpoints[index] = endpoint
             self._channels[index] = channel
             attested += 1
+            journal = get_journal()
+            if journal.enabled:
+                journal.emit(
+                    "attestation",
+                    session_id=self.victim_name,
+                    enclave=enclave.enclave_id,
+                    slot=index,
+                )
         if self.state is SessionState.CREATED:
             self.state = SessionState.ATTESTED
         return attested

@@ -168,6 +168,11 @@ class FilterPipeline:
         self.burst_fn: Optional[BurstFilterFn] = getattr(
             filter_fn, "process_burst", None
         )
+        # Routed filters (FleetBurstFilter) flight-record their own bursts
+        # with rule ids; recording here too would double every entry.
+        self._filter_records_flight = bool(
+            getattr(filter_fn, "records_flight", False)
+        )
         self.nic_in = nic_in or NIC("in")
         self.nic_out = nic_out or NIC("out")
         self.burst_size = burst_size
@@ -216,6 +221,21 @@ class FilterPipeline:
             verdicts = [self.filter_fn(packet) for packet in burst]
         if timed:
             self._burst_hist.observe(time.perf_counter() - start)
+        if not self._filter_records_flight:
+            recorder = obs.get_flight_recorder()
+            if recorder.enabled:
+                round_id = obs.get_journal().current_round
+                recorder.record_batch(
+                    (
+                        packet.five_tuple.key().decode(),
+                        None,
+                        UNROUTED
+                        if verdict is UNROUTED
+                        else ("allowed" if verdict else "dropped"),
+                        round_id,
+                    )
+                    for packet, verdict in zip(burst, verdicts)
+                )
         forwards: List[Packet] = []
         forward_verdicts: List[Verdict] = []
         drops: List[Packet] = []

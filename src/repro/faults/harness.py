@@ -187,8 +187,22 @@ class FaultInjectionHarness:
             "vif_harness_invariant_violations_total",
             help="Independently re-derived fail-closed violations (must stay 0)",
         )
+        journal = obs.get_journal()
+        session_id = (
+            self.fleet.session.victim_name
+            if self.fleet.session is not None
+            else ""
+        )
         for r in range(self.schedule.rounds):
             with obs.span("harness.round", round=r):
+                if journal.enabled:
+                    journal.set_round(r)
+                    journal.emit(
+                        "round_start",
+                        round_id=r,
+                        session_id=session_id,
+                        scheduled_faults=len(self.schedule.for_round(r)),
+                    )
                 events = self.injector.apply_round(self.schedule, r)
                 health = self.fleet.probe()
                 recovery_failed = False
@@ -213,6 +227,18 @@ class FaultInjectionHarness:
             rounds_c.inc()
             if record.invariant_violations:
                 violations_c.inc(record.invariant_violations)
+                if journal.enabled:
+                    # The forensic moment: dump the flight-recorder ring
+                    # (confined to this round and earlier) alongside the
+                    # violation so the offending flows are in the artifact.
+                    journal.emit(
+                        "invariant_failure",
+                        round_id=r,
+                        session_id=session_id,
+                        violations=record.invariant_violations,
+                        recovery_failed=record.recovery_failed,
+                        flight=obs.get_flight_recorder().dump(max_round=r),
+                    )
             result.records.append(record)
         result.counters = self.fleet.counters.as_dict()
         if self.fleet.allocation is not None:

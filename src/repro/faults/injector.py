@@ -88,6 +88,15 @@ class FaultInjector:
             help="Fault events applied to a fleet, by kind",
             kind=event.kind.value,
         ).inc()
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.emit(
+                "fault_injected",
+                round_id=event.round_index,
+                kind=event.kind.value,
+                target=event.target,
+                magnitude=event.magnitude,
+            )
         self.applied.append(event)
 
     def apply_round(

@@ -6,18 +6,46 @@ in, plus lightweight trace spans that record wall-time trees of a pipeline
 round and serialize to Chrome-trace JSON.  See ``docs/OBSERVABILITY.md``
 for the instrument catalogue and naming conventions.
 
+On top of the registry and tracer sit the audit-observability layer
+(PR 5): a typed, schema-versioned **event journal** (:mod:`repro.obs.events`),
+the per-round **audit timeline** turning sketch comparisons into scored
+divergence series with debounced alerts (:mod:`repro.obs.audit`), and the
+**flight recorder** ring of recent per-flow verdicts for forensic
+drill-down (:mod:`repro.obs.flight`).
+
 Quick start::
 
     from repro import obs
 
     obs.set_timing(True)          # opt into latency histograms
     obs.set_tracing(True)         # opt into span recording
+    obs.set_journaling(True)      # opt into the audit event journal
+    obs.set_flight_recording(True)  # opt into per-flow verdict recording
     ... run a round ...
     print(obs.get_registry().render_prometheus())
     obs.get_registry().write_json("BENCH_round.json")
     obs.get_tracer().write_chrome_trace("round.trace.json")
+    obs.get_journal().write_jsonl("round.journal.jsonl")
 """
 
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    Event,
+    EventJournal,
+    get_journal,
+    journaling_enabled,
+    read_jsonl,
+    set_journal,
+    set_journaling,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    flight_recording_enabled,
+    get_flight_recorder,
+    set_flight_recorder,
+    set_flight_recording,
+)
 from repro.obs.metrics import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
@@ -33,6 +61,14 @@ from repro.obs.metrics import (
     set_timing,
     timing_enabled,
 )
+from repro.obs.audit import (
+    ALERT_BYPASS,
+    ALERT_FAMILY_MISMATCH,
+    ALERT_INJECTION,
+    AuditAlert,
+    AuditTimeline,
+    DivergenceScore,
+)
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -44,7 +80,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ALERT_BYPASS",
+    "ALERT_FAMILY_MISMATCH",
+    "ALERT_INJECTION",
+    "AuditAlert",
+    "AuditTimeline",
     "Counter",
+    "DivergenceScore",
+    "Event",
+    "EventJournal",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LazyCounter",
@@ -52,11 +97,22 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "DEFAULT_LATENCY_BUCKETS",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
     "RECOVERY_BUCKETS",
     "SNAPSHOT_SCHEMA",
+    "flight_recording_enabled",
+    "get_flight_recorder",
+    "get_journal",
     "get_registry",
     "get_tracer",
+    "journaling_enabled",
     "next_instance_label",
+    "read_jsonl",
+    "set_flight_recorder",
+    "set_flight_recording",
+    "set_journal",
+    "set_journaling",
     "set_registry",
     "set_timing",
     "set_tracer",

@@ -1,0 +1,288 @@
+"""The audit timeline: per-round divergence scoring, alerts, debounce.
+
+Each filtering round's ``compare_sketches`` output is reduced to a scored
+point on a time series:
+
+* **L∞ divergence** — the worst single flagged bin, ``max |enclave - observer|``;
+* **L1 divergence** — flagged-bin differences summed within each hash row,
+  maximum row total (every packet lands once per row, so each row's sum
+  independently estimates the packets affected);
+* both **normalized by the count-min error budget** ``ε·N`` from
+  :class:`repro.sketch.bounds.ErrorBound` (``N`` = updates observed), so a
+  ratio ≪ 1 is within sketch noise and a ratio ≫ 1 is traffic that really
+  diverged — the same normalization whatever the sketch geometry.
+
+Scores feed ``vif_audit_*`` gauges/histograms and the event journal
+(``sketch_audit`` events).  Sustained suspicion becomes a **typed alert**
+(:data:`ALERT_BYPASS`, :data:`ALERT_INJECTION`,
+:data:`ALERT_FAMILY_MISMATCH`) after ``debounce`` consecutive suspect
+rounds — one noisy round does not abort a session unless the operator sets
+``debounce=1`` (the default, which preserves the paper's abort-on-evidence
+behavior).  Every fired alert journals a ``bypass_evidence`` event with a
+flight-recorder excerpt confined to rounds at or before the alert's round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.obs.events import get_journal
+from repro.obs.flight import get_flight_recorder
+from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.core.bypass import BypassEvidence
+
+#: Alert kinds (the ``kind`` label on ``vif_audit_alerts_total`` and the
+#: ``kind`` payload field of ``alert`` events).
+ALERT_BYPASS = "bypass-suspected"
+ALERT_INJECTION = "injection-suspected"
+ALERT_FAMILY_MISMATCH = "family-version-mismatch"
+
+#: Histogram buckets for the normalized divergence ratio (L1 / ε·N): below
+#: 1.0 is within the sketch's own error budget, above is real divergence.
+DIVERGENCE_RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0,
+)
+
+
+@dataclass(frozen=True)
+class DivergenceScore:
+    """One round's scored sketch comparison."""
+
+    round_id: int
+    observer: str
+    bins_flagged: int
+    l1: int
+    l_inf: int
+    missing: int
+    extra: int
+    #: The CM error budget ε·N the divergence is normalized by (≥ 1 packet).
+    error_budget: float
+    normalized_l1: float
+    normalized_l_inf: float
+
+    @property
+    def suspicious(self) -> bool:
+        return self.bins_flagged > 0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "observer": self.observer,
+            "bins_flagged": self.bins_flagged,
+            "l1": self.l1,
+            "l_inf": self.l_inf,
+            "missing": self.missing,
+            "extra": self.extra,
+            "error_budget": round(self.error_budget, 6),
+            "normalized_l1": round(self.normalized_l1, 6),
+            "normalized_l_inf": round(self.normalized_l_inf, 6),
+        }
+
+
+@dataclass(frozen=True)
+class AuditAlert:
+    """A typed, debounced audit alert."""
+
+    kind: str
+    round_id: int
+    observer: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"r{self.round_id} {self.kind} ({self.observer}): {self.detail}"
+
+
+class AuditTimeline:
+    """Scores audit rounds, journals them, and debounces alerts.
+
+    ``debounce`` is the number of *consecutive* suspect rounds (per alert
+    kind) required before an alert fires; the streak re-arms after firing.
+    Family-version mismatches bypass the debounce — a derivation mismatch
+    is structural, not noise.
+    """
+
+    def __init__(self, debounce: int = 1, session_id: str = "") -> None:
+        if debounce < 1:
+            raise ValueError("debounce must be >= 1")
+        self.debounce = debounce
+        self.session_id = session_id
+        self.scores: List[DivergenceScore] = []
+        self.alerts: List[AuditAlert] = []
+        self._streaks: Dict[str, int] = {ALERT_BYPASS: 0, ALERT_INJECTION: 0}
+
+    # -- scoring ----------------------------------------------------------------
+
+    def score(self, round_id: int, evidence: "BypassEvidence") -> DivergenceScore:
+        """Reduce one comparison to a normalized divergence point."""
+        comparison = evidence.comparison
+        row_l1: Dict[int, int] = {}
+        l_inf = 0
+        for disc in comparison.discrepancies:
+            diff = abs(disc.enclave_count - disc.observer_count)
+            row_l1[disc.row] = row_l1.get(disc.row, 0) + diff
+            if diff > l_inf:
+                l_inf = diff
+        l1 = max(row_l1.values()) if row_l1 else 0
+        # Deferred import: repro.sketch's package init reaches back into
+        # repro.obs (hashing instruments a LazyCounter), so importing it at
+        # module load would cycle.  By first call the packages are settled.
+        from repro.sketch.bounds import ErrorBound
+
+        bound = ErrorBound(
+            width=max(comparison.width, 1), depth=max(comparison.depth, 1)
+        )
+        n = max(comparison.enclave_total, comparison.observer_total)
+        budget = max(bound.max_overcount(n), 1.0)
+        return DivergenceScore(
+            round_id=round_id,
+            observer=evidence.observer,
+            bins_flagged=len(comparison.discrepancies),
+            l1=l1,
+            l_inf=l_inf,
+            missing=comparison.total_missing,
+            extra=comparison.total_extra,
+            error_budget=budget,
+            normalized_l1=l1 / budget,
+            normalized_l_inf=l_inf / budget,
+        )
+
+    # -- recording --------------------------------------------------------------
+
+    def record(
+        self, round_id: int, evidence: "BypassEvidence"
+    ) -> Tuple[DivergenceScore, List[AuditAlert]]:
+        """Score one audit round; returns the score and any alerts fired.
+
+        Emits a ``sketch_audit`` journal event per round and, when a
+        debounced alert fires, an ``alert`` event per kind plus one
+        ``bypass_evidence`` event embedding the evidence and a
+        flight-recorder excerpt confined to rounds ≤ ``round_id``.
+        """
+        score = self.score(round_id, evidence)
+        self.scores.append(score)
+        self._export_metrics(score)
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "sketch_audit",
+                round_id=round_id,
+                session_id=self.session_id or None,
+                **score.to_payload(),
+            )
+
+        comparison = evidence.comparison
+        fired: List[AuditAlert] = []
+        suspected = {
+            ALERT_BYPASS: comparison.drop_suspected,
+            ALERT_INJECTION: comparison.injection_suspected,
+        }
+        for kind, is_suspect in suspected.items():
+            if not is_suspect:
+                self._streaks[kind] = 0
+                continue
+            self._streaks[kind] += 1
+            if self._streaks[kind] >= self.debounce:
+                self._streaks[kind] = 0
+                fired.append(
+                    self._fire(
+                        kind,
+                        round_id,
+                        evidence.observer,
+                        detail=(
+                            f"missing={comparison.total_missing}, "
+                            f"extra={comparison.total_extra}, "
+                            f"normalized_l1={score.normalized_l1:.3f}"
+                        ),
+                    )
+                )
+        if fired and journal.enabled:
+            journal.emit(
+                "bypass_evidence",
+                round_id=round_id,
+                session_id=self.session_id or None,
+                observer=evidence.observer,
+                suspected_attacks=list(evidence.suspected_attacks),
+                alerts=[alert.kind for alert in fired],
+                score=score.to_payload(),
+                flight=get_flight_recorder().dump(max_round=round_id),
+            )
+        return score, fired
+
+    def record_family_mismatch(
+        self, round_id: int, error: Exception, observer: str = ""
+    ) -> AuditAlert:
+        """An attempted comparison failed structurally (derivation mismatch).
+
+        Fires immediately (no debounce): two parties hashing under
+        different derivations can *never* produce a comparable audit, so
+        every round until reconfiguration would be blind.
+        """
+        return self._fire(
+            ALERT_FAMILY_MISMATCH, round_id, observer, detail=str(error)
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _fire(
+        self, kind: str, round_id: int, observer: str, detail: str
+    ) -> AuditAlert:
+        alert = AuditAlert(
+            kind=kind, round_id=round_id, observer=observer, detail=detail
+        )
+        self.alerts.append(alert)
+        registry = get_registry()
+        registry.counter(
+            "vif_audit_alerts_total",
+            help="Debounced audit alerts fired, by kind",
+            kind=kind,
+        ).inc()
+        registry.gauge(
+            "vif_audit_last_alert_round",
+            help="Round id of the most recent alert, by kind",
+            kind=kind,
+        ).set(round_id)
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "alert",
+                round_id=round_id,
+                session_id=self.session_id or None,
+                kind=kind,
+                observer=observer,
+                detail=detail,
+            )
+        return alert
+
+    def _export_metrics(self, score: DivergenceScore) -> None:
+        registry = get_registry()
+        labels = {"observer": score.observer}
+        if self.session_id:
+            labels["session"] = self.session_id
+        registry.counter(
+            "vif_audit_rounds_total",
+            help="Audit rounds scored by the timeline",
+            **labels,
+        ).inc()
+        registry.gauge(
+            "vif_audit_divergence_l1",
+            help="Last round's L1 sketch divergence (max row sum, packets)",
+            **labels,
+        ).set(score.l1)
+        registry.gauge(
+            "vif_audit_divergence_linf",
+            help="Last round's L-infinity sketch divergence (worst bin, packets)",
+            **labels,
+        ).set(score.l_inf)
+        registry.gauge(
+            "vif_audit_divergence_ratio_last",
+            help="Last round's L1 divergence over the CM error budget",
+            **labels,
+        ).set(score.normalized_l1)
+        registry.histogram(
+            "vif_audit_divergence_ratio",
+            help="Per-round L1 divergence over the CM error budget",
+            buckets=DIVERGENCE_RATIO_BUCKETS,
+            **labels,
+        ).observe(score.normalized_l1)

@@ -1,0 +1,239 @@
+"""The structured audit-event journal.
+
+VIF's headline property is that the victim can *verify* the filtering
+network; this module makes that verification an inspectable artifact
+instead of a transient boolean.  Control-plane code emits **typed,
+schema-versioned events** (``round_start``, ``sketch_audit``,
+``bypass_evidence``, ``failover``, ``attestation``, ...) into a journal
+that serializes to JSONL.  Every event carries:
+
+* a **monotonic sequence number** (``seq``) — total order within the run;
+* a **timestamp** from an injectable clock — with no clock injected the
+  journal uses a deterministic logical clock (``ts == seq``), so golden
+  tests and CI artifacts are byte-stable by default;
+* the shared **correlation keys** ``session``/``round`` that also ride on
+  trace-span args and audit metric labels, so "what did the enclave see in
+  round 7" is answerable by joining journal, trace, and metrics on the
+  same key.
+
+Journaling is **off by default** and costs one boolean check per emit site
+when off — same discipline as tracing.  Unknown event types are rejected
+loudly: the journal is the schema the rest of the system emits into, not a
+free-form log.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+#: Schema tag stamped into every serialized event (consumers key off this).
+EVENT_SCHEMA = "vif-events-v1"
+
+#: The closed set of event types.  Extending the taxonomy means adding a
+#: name here (and documenting it in docs/OBSERVABILITY.md) — emitting an
+#: unknown type raises instead of silently minting new schema.
+EVENT_TYPES = frozenset(
+    {
+        "round_start",       # a filtering/harness round began
+        "redistribution",    # rules were re-spread across the fleet
+        "sketch_audit",      # per-round divergence score (repro.obs.audit)
+        "bypass_evidence",   # debounced audit alert with evidence + flight dump
+        "failover",          # FleetManager.recover() acted on dead slots
+        "attestation",       # one enclave passed remote attestation
+        "fault_injected",    # the fault harness fired a scheduled fault
+        "invariant_failure", # an independent invariant audit failed
+        "alert",             # a typed audit alert (kind in payload)
+    }
+)
+
+PayloadValue = Union[str, int, float, bool, None, list, dict]
+
+
+class Event:
+    """One journaled event (immutable once emitted)."""
+
+    __slots__ = ("seq", "ts", "type", "session_id", "round_id", "payload")
+
+    def __init__(
+        self,
+        seq: int,
+        ts: float,
+        type: str,
+        session_id: str,
+        round_id: Optional[int],
+        payload: Dict[str, PayloadValue],
+    ) -> None:
+        self.seq = seq
+        self.ts = ts
+        self.type = type
+        self.session_id = session_id
+        self.round_id = round_id
+        self.payload = payload
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": EVENT_SCHEMA,
+            "seq": self.seq,
+            "ts": self.ts,
+            "type": self.type,
+            "session": self.session_id,
+            "round": self.round_id,
+            "payload": self.payload,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(seq={self.seq}, type={self.type!r}, "
+            f"round={self.round_id}, session={self.session_id!r})"
+        )
+
+
+class EventJournal:
+    """An append-only journal of typed events with JSONL serialization.
+
+    ``time_source`` defaults to the logical clock (``ts == seq``) so the
+    journal is deterministic unless the operator explicitly injects wall
+    time.  ``current_round`` is ambient context: round drivers set it once
+    per round and every event emitted without an explicit ``round_id``
+    inherits it (so deep components — the fleet manager, the fault
+    injector — need no round plumbing).
+    """
+
+    def __init__(
+        self,
+        time_source: Optional[Callable[[], float]] = None,
+        enabled: bool = False,
+        session_id: str = "",
+    ) -> None:
+        self.enabled = enabled
+        self.session_id = session_id
+        self.current_round: Optional[int] = None
+        self._time = time_source
+        self._events: List[Event] = []
+        self._next_seq = 1
+
+    # -- recording -------------------------------------------------------------
+
+    def emit(
+        self,
+        type: str,
+        round_id: Optional[int] = None,
+        session_id: Optional[str] = None,
+        **payload: PayloadValue,
+    ) -> Optional[Event]:
+        """Append one event; returns it (or None while disabled).
+
+        Callers guard hot paths with ``journal.enabled`` themselves; this
+        re-check makes direct calls safe regardless.
+        """
+        if not self.enabled:
+            return None
+        if type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {type!r}; known: {sorted(EVENT_TYPES)}"
+            )
+        seq = self._next_seq
+        self._next_seq += 1
+        event = Event(
+            seq=seq,
+            ts=self._time() if self._time is not None else float(seq),
+            type=type,
+            session_id=self.session_id if session_id is None else session_id,
+            round_id=self.current_round if round_id is None else round_id,
+            payload=dict(payload),
+        )
+        self._events.append(event)
+        return event
+
+    def set_round(self, round_id: Optional[int]) -> None:
+        """Set the ambient round correlation key for subsequent events."""
+        self.current_round = round_id
+
+    def clear(self) -> None:
+        self._events = []
+        self._next_seq = 1
+        self.current_round = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_type(self, type: str) -> List[Event]:
+        """Events of one type, in emission order."""
+        return [e for e in self._events if e.type == type]
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One compact, key-sorted JSON object per line (byte-stable)."""
+        return "".join(
+            json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+            for e in self._events
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+def read_jsonl(source: Union[str, Iterable[str]]) -> List[Dict[str, object]]:
+    """Parse a journal file (path) or iterable of JSONL lines.
+
+    Validates the schema tag on every line; raises ``ValueError`` on a
+    foreign or mangled journal rather than rendering garbage.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events: List[Dict[str, object]] = []
+    for n, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"journal line {n} is not JSON: {exc}") from exc
+        if doc.get("schema") != EVENT_SCHEMA:
+            raise ValueError(
+                f"journal line {n} has schema {doc.get('schema')!r}, "
+                f"expected {EVENT_SCHEMA!r}"
+            )
+        events.append(doc)
+    return events
+
+
+# -- the process-wide default journal -------------------------------------------
+
+_default_journal = EventJournal()
+
+
+def get_journal() -> EventJournal:
+    return _default_journal
+
+
+def set_journal(journal: EventJournal) -> EventJournal:
+    """Swap the default journal (tests); returns the previous one."""
+    global _default_journal
+    previous = _default_journal
+    _default_journal = journal
+    return previous
+
+
+def journaling_enabled() -> bool:
+    return _default_journal.enabled
+
+
+def set_journaling(enabled: bool) -> bool:
+    """Toggle the default journal; returns the previous setting."""
+    previous = _default_journal.enabled
+    _default_journal.enabled = bool(enabled)
+    return previous

@@ -1,0 +1,116 @@
+"""The flight recorder: a bounded ring of recent per-flow verdicts.
+
+When a bypass alert or an invariant failure fires, the operator's first
+question is *which flows* — the sketch comparison localizes divergence to
+hash bins, not to traffic.  The flight recorder answers it: a fixed-size
+ring buffer of the most recent ``(flow, rule, verdict, round)`` entries,
+recorded **outside the hot path** from the existing burst-coalesced stats
+batching (one boolean check per burst when disabled, one batched append
+pass per burst when enabled), and dumped into the journal automatically on
+any alert or fault-harness invariant failure.
+
+The ring is bounded by construction — forensics cost is O(capacity) memory
+regardless of traffic volume — and dumps can be confined to rounds at or
+before the alert's round so an excerpt never contains post-alert entries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+DEFAULT_CAPACITY = 256
+
+#: One recorded verdict: (flow key, rule id or None, verdict tag, round id).
+FlightEntry = Tuple[str, Optional[int], str, Optional[int]]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of per-flow verdicts for forensic drill-down."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._ring: Deque[FlightEntry] = deque(maxlen=capacity)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(
+        self,
+        flow: str,
+        rule_id: Optional[int],
+        verdict: str,
+        round_id: Optional[int],
+    ) -> None:
+        self._ring.append((flow, rule_id, verdict, round_id))
+
+    def record_batch(self, entries: Iterable[FlightEntry]) -> None:
+        """Append a whole burst's entries (the batched call sites use this)."""
+        self._ring.extend(entries)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def entries(self) -> List[FlightEntry]:
+        return list(self._ring)
+
+    def dump(self, max_round: Optional[int] = None) -> List[Dict[str, object]]:
+        """JSON-ready excerpt, oldest first.
+
+        ``max_round`` confines the excerpt to rounds at or before the
+        alert's round (entries with no round survive the filter — they
+        predate round tracking and carry no post-alert information).
+        """
+        out: List[Dict[str, object]] = []
+        for flow, rule_id, verdict, round_id in self._ring:
+            if (
+                max_round is not None
+                and round_id is not None
+                and round_id > max_round
+            ):
+                continue
+            out.append(
+                {
+                    "flow": flow,
+                    "rule": rule_id,
+                    "verdict": verdict,
+                    "round": round_id,
+                }
+            )
+        return out
+
+
+# -- the process-wide default recorder ------------------------------------------
+
+_default_recorder = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    return _default_recorder
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the default recorder (tests); returns the previous one."""
+    global _default_recorder
+    previous = _default_recorder
+    _default_recorder = recorder
+    return previous
+
+
+def flight_recording_enabled() -> bool:
+    return _default_recorder.enabled
+
+
+def set_flight_recording(enabled: bool) -> bool:
+    """Toggle the default recorder; returns the previous setting."""
+    previous = _default_recorder.enabled
+    _default_recorder.enabled = bool(enabled)
+    return previous

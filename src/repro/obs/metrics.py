@@ -61,10 +61,24 @@ def _label_key(labels: Mapping[str, LabelValue]) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-exposition spec.
+
+    Inside label values, backslash, double-quote and newline must be
+    written as ``\\\\``, ``\\"`` and ``\\n`` respectively — anything else
+    produces unparseable exposition.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
@@ -340,7 +354,9 @@ class MetricsRegistry:
                         lines.append(
                             f"{name}_bucket{_format_labels(tuple(sorted(bucket_key)))} {count}"
                         )
-                    lines.append(f"{name}_sum{_format_labels(key)} {hist.sum!r}")  # type: ignore[union-attr]
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {_format_value(hist.sum)}"  # type: ignore[union-attr]
+                    )
                     lines.append(f"{name}_count{_format_labels(key)} {hist.count}")  # type: ignore[union-attr]
                 else:
                     lines.append(

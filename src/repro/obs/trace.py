@@ -71,7 +71,12 @@ class _Span:
     def __enter__(self) -> SpanRecord:
         return self._record
 
-    def __exit__(self, *exc: object) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Preserve the exception's identity on the span: a trace that shows
+        # a short `ecall.process_burst` is indistinguishable from a crashed
+        # one without this tag.  The exception itself still propagates.
+        if exc_type is not None:
+            self._record.args["error"] = exc_type.__name__
         self._tracer._close(self._record)
         return False
 

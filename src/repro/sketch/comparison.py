@@ -52,11 +52,20 @@ class SketchComparison:
     affected: per-bin differences are summed within each hash row and the
     maximum row total is reported (every packet lands once per row, so each
     row's sum independently estimates the same quantity).
+
+    The sketch geometry (``depth``/``width``) and the exact update totals
+    of both sides ride along so downstream scoring (the audit timeline)
+    can normalize divergence by the count-min error budget ``ε·N`` without
+    holding references to the sketches themselves.
     """
 
     discrepancies: List[Discrepancy] = field(default_factory=list)
     total_missing: int = 0
     total_extra: int = 0
+    depth: int = 0
+    width: int = 0
+    enclave_total: int = 0
+    observer_total: int = 0
 
     @property
     def clean(self) -> bool:
@@ -89,7 +98,12 @@ def compare_sketches(
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
 
-    result = SketchComparison()
+    result = SketchComparison(
+        depth=enclave_sketch.depth,
+        width=enclave_sketch.width,
+        enclave_total=enclave_sketch.total,
+        observer_total=observer_sketch.total,
+    )
     enclave_rows = enclave_sketch.bins()
     observer_rows = observer_sketch.bins()
     for r, (erow, orow) in enumerate(zip(enclave_rows, observer_rows)):

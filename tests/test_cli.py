@@ -132,6 +132,46 @@ def test_cli_fleet_sim_metrics_json(capsys, tmp_path):
     assert snapshot["summary"]["fleet_unfiltered_packets"] == 0
 
 
+def test_cli_fleet_sim_journal_and_audit(capsys, tmp_path):
+    path = tmp_path / "fleet.journal.jsonl"
+    args = ["fleet-sim", "--fleet-size", "4", "--rules", "8", "--rounds", "4",
+            "--kill", "0.25", "--seed", "cli-journal",
+            "--journal", str(path)]
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "wrote audit journal" in err
+
+    lines = path.read_text()
+    assert '"schema":"vif-events-v1"' in lines
+    assert '"type":"fault_injected"' in lines
+    assert '"type":"failover"' in lines
+
+    # Same seed twice: byte-identical journal artifact.
+    path2 = tmp_path / "fleet2.journal.jsonl"
+    assert main(args[:-1] + [str(path2)]) == 0
+    capsys.readouterr()
+    assert path2.read_bytes() == path.read_bytes()
+
+    # The report renders (no alerts in a fault-only run: exit 0) and is
+    # itself deterministic.
+    assert main(["audit", str(path)]) == 0
+    first = capsys.readouterr().out
+    assert "fault_injected kind=crash" in first
+    assert "failover relaunched=" in first
+    assert "alerts: 0" in first
+    assert main(["audit", str(path)]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_audit_rejects_bad_journal(capsys, tmp_path):
+    assert main(["audit", str(tmp_path / "missing.jsonl")]) == 2
+    assert "cannot read journal" in capsys.readouterr().err
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"schema":"other"}\n')
+    assert main(["audit", str(bad)]) == 2
+    assert "schema" in capsys.readouterr().err
+
+
 def test_cli_fast_experiments_run(capsys):
     # The sub-second experiments, end to end through the CLI.
     for key in ("fig3", "fig8", "latency", "fig14", "table3"):

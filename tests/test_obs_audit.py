@@ -1,0 +1,179 @@
+"""The audit timeline: divergence scoring, normalization, debounce, flight."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.bypass import VictimAuditor
+from repro.obs.audit import (
+    ALERT_BYPASS,
+    ALERT_FAMILY_MISMATCH,
+    ALERT_INJECTION,
+    AuditTimeline,
+)
+from repro.obs.events import EventJournal
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.sketch.bounds import ErrorBound
+from repro.sketch.countmin import CountMinSketch
+from tests.conftest import make_packet
+
+
+@pytest.fixture
+def obs_env():
+    """Fresh registry + enabled journal + enabled flight ring, restored."""
+    prev_registry = obs.set_registry(MetricsRegistry())
+    prev_journal = obs.set_journal(EventJournal(enabled=True))
+    prev_recorder = obs.set_flight_recorder(FlightRecorder(capacity=8, enabled=True))
+    yield
+    obs.set_registry(prev_registry)
+    obs.set_journal(prev_journal)
+    obs.set_flight_recorder(prev_recorder)
+
+
+def evidence(missing=0, extra=0):
+    """Synthesize BypassEvidence via a real auditor over real sketches."""
+    auditor = VictimAuditor("victim.example")
+    local = auditor.local_log.sketch
+    enclave = CountMinSketch(local.depth, local.width, "vif/out")
+    # Shared traffic both sides saw.
+    for i in range(10):
+        packet = make_packet(src_port=7000 + i)
+        enclave.update(packet.five_tuple.key())
+        auditor.observe(packet)
+    dropped = make_packet(src_port=6000)
+    if missing:
+        enclave.update(dropped.five_tuple.key(), missing)  # never delivered
+    if extra:
+        injected = make_packet(src_port=5000)
+        for _ in range(extra):
+            auditor.observe(injected)  # enclave never logged it
+    return auditor.audit(enclave)
+
+
+def test_clean_round_scores_zero(obs_env):
+    timeline = AuditTimeline()
+    score, alerts = timeline.record(1, evidence())
+    assert alerts == []
+    assert not score.suspicious
+    assert score.l1 == score.l_inf == 0
+    assert score.normalized_l1 == 0.0
+
+
+def test_divergence_normalized_by_cm_error_budget(obs_env):
+    timeline = AuditTimeline()
+    score, _ = timeline.record(1, evidence(missing=6))
+    ev = evidence(missing=6)
+    bound = ErrorBound(width=ev.comparison.width, depth=ev.comparison.depth)
+    n = max(ev.comparison.enclave_total, ev.comparison.observer_total)
+    expected_budget = max(bound.max_overcount(n), 1.0)
+    assert score.error_budget == pytest.approx(expected_budget)
+    assert score.normalized_l1 == pytest.approx(score.l1 / expected_budget)
+    assert score.l_inf >= 6  # the dropped flow's bins disagree by >= 6
+    assert score.missing == 6
+
+
+def test_default_debounce_fires_on_first_suspect_round(obs_env):
+    timeline = AuditTimeline()
+    _, alerts = timeline.record(1, evidence(missing=4))
+    assert [a.kind for a in alerts] == [ALERT_BYPASS]
+    assert alerts[0].round_id == 1
+
+
+def test_debounce_two_requires_consecutive_suspect_rounds(obs_env):
+    timeline = AuditTimeline(debounce=2)
+    # One noisy round: no alert.
+    _, alerts = timeline.record(1, evidence(missing=4))
+    assert alerts == []
+    # A clean round resets the streak.
+    timeline.record(2, evidence())
+    _, alerts = timeline.record(3, evidence(missing=4))
+    assert alerts == []
+    # Two consecutive suspect rounds: alert on the second.
+    _, alerts = timeline.record(4, evidence(missing=4))
+    assert [a.kind for a in alerts] == [ALERT_BYPASS]
+    assert alerts[0].round_id == 4
+
+
+def test_injection_and_drop_alert_independently(obs_env):
+    timeline = AuditTimeline()
+    _, alerts = timeline.record(1, evidence(missing=3, extra=5))
+    assert {a.kind for a in alerts} == {ALERT_BYPASS, ALERT_INJECTION}
+
+
+def test_metrics_exported_per_round(obs_env):
+    timeline = AuditTimeline(session_id="victim.example")
+    timeline.record(1, evidence())
+    timeline.record(2, evidence(missing=4))
+    registry = obs.get_registry()
+    assert registry.total("vif_audit_rounds_total") == 2
+    assert registry.total("vif_audit_alerts_total") == 1
+    labels = {"observer": "victim:victim.example", "session": "victim.example"}
+    assert registry.get("vif_audit_divergence_l1", **labels).value >= 4
+    hist = registry.get("vif_audit_divergence_ratio", **labels)
+    assert hist.count == 2
+
+
+def test_journal_gets_audit_alert_and_evidence_events(obs_env):
+    timeline = AuditTimeline(session_id="victim.example")
+    timeline.record(1, evidence())
+    timeline.record(2, evidence(missing=4))
+    journal = obs.get_journal()
+    audits = journal.of_type("sketch_audit")
+    assert [e.round_id for e in audits] == [1, 2]
+    assert audits[0].payload["bins_flagged"] == 0
+    assert audits[1].payload["missing"] == 4
+    alerts = journal.of_type("alert")
+    assert len(alerts) == 1 and alerts[0].payload["kind"] == ALERT_BYPASS
+    bypass = journal.of_type("bypass_evidence")
+    assert len(bypass) == 1
+    assert bypass[0].round_id == 2
+    assert bypass[0].payload["alerts"] == [ALERT_BYPASS]
+    assert bypass[0].payload["suspected_attacks"] == ["drop-after-filtering"]
+
+
+def test_bypass_evidence_embeds_confined_flight_dump(obs_env):
+    recorder = obs.get_flight_recorder()
+    # Ring capacity is 8; write 12 entries across rounds 1..3 — including
+    # round-3 entries that postdate the alert and must not appear.
+    for i in range(6):
+        recorder.record(f"flow-{i}", 1, "allowed", 1)
+    for i in range(3):
+        recorder.record(f"flow-late-{i}", 2, "dropped", 2)
+    for i in range(3):
+        recorder.record(f"flow-future-{i}", 3, "allowed", 3)
+
+    timeline = AuditTimeline()
+    timeline.record(2, evidence(missing=4))
+    dump = obs.get_journal().of_type("bypass_evidence")[0].payload["flight"]
+    assert 0 < len(dump) <= recorder.capacity
+    assert all(row["round"] <= 2 for row in dump)
+    assert not any(row["flow"].startswith("flow-future") for row in dump)
+
+
+def test_family_mismatch_fires_immediately_even_with_debounce(obs_env):
+    timeline = AuditTimeline(debounce=5)
+    alert = timeline.record_family_mismatch(
+        3, ValueError("derivation v1 vs v2"), observer="victim:v"
+    )
+    assert alert.kind == ALERT_FAMILY_MISMATCH
+    assert timeline.alerts == [alert]
+    assert obs.get_registry().total("vif_audit_alerts_total") == 1
+
+
+def test_debounce_validation():
+    with pytest.raises(ValueError, match="debounce"):
+        AuditTimeline(debounce=0)
+
+
+def test_flight_recorder_ring_is_bounded():
+    recorder = FlightRecorder(capacity=4, enabled=True)
+    for i in range(10):
+        recorder.record(f"flow-{i}", None, "allowed", i)
+    assert len(recorder) == 4
+    assert [row["flow"] for row in recorder.dump()] == [
+        "flow-6", "flow-7", "flow-8", "flow-9"
+    ]
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)

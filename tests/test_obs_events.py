@@ -1,0 +1,116 @@
+"""The structured audit-event journal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, EventJournal, read_jsonl
+
+
+@pytest.fixture
+def journal():
+    """A fresh enabled journal installed as the process default."""
+    fresh = EventJournal(enabled=True, session_id="victim.example")
+    previous = obs.set_journal(fresh)
+    yield fresh
+    obs.set_journal(previous)
+
+
+def test_emit_assigns_monotonic_seq_and_logical_ts(journal):
+    a = journal.emit("round_start", round_id=1)
+    b = journal.emit("sketch_audit", round_id=1, bins_flagged=0)
+    assert (a.seq, b.seq) == (1, 2)
+    # No clock injected: the logical clock makes ts deterministic (ts == seq).
+    assert (a.ts, b.ts) == (1.0, 2.0)
+    assert a.session_id == "victim.example"
+
+
+def test_injectable_clock_overrides_logical_ts():
+    ticks = iter([10.5, 11.5])
+    j = EventJournal(time_source=lambda: next(ticks), enabled=True)
+    assert j.emit("round_start").ts == 10.5
+    assert j.emit("round_start").ts == 11.5
+
+
+def test_unknown_event_type_rejected(journal):
+    with pytest.raises(ValueError, match="unknown event type"):
+        journal.emit("made_up_type")
+    assert "made_up_type" not in EVENT_TYPES
+
+
+def test_disabled_journal_is_a_noop():
+    j = EventJournal(enabled=False)
+    assert j.emit("round_start") is None
+    assert len(j) == 0
+
+
+def test_ambient_round_inherited_and_overridable(journal):
+    journal.set_round(4)
+    ambient = journal.emit("failover", relaunched_slots=[0])
+    explicit = journal.emit("fault_injected", round_id=9, kind="crash")
+    assert ambient.round_id == 4
+    assert explicit.round_id == 9
+
+
+def test_of_type_filters_in_order(journal):
+    journal.emit("round_start", round_id=1)
+    journal.emit("sketch_audit", round_id=1)
+    journal.emit("round_start", round_id=2)
+    assert [e.round_id for e in journal.of_type("round_start")] == [1, 2]
+
+
+def test_jsonl_round_trip(journal, tmp_path):
+    journal.set_round(3)
+    journal.emit("round_start", started_at_s=0.0)
+    journal.emit("alert", kind="bypass-suspected", detail="missing=4")
+    path = tmp_path / "run.journal.jsonl"
+    journal.write_jsonl(str(path))
+
+    docs = read_jsonl(str(path))
+    assert len(docs) == 2
+    assert all(d["schema"] == EVENT_SCHEMA for d in docs)
+    assert docs[0]["type"] == "round_start"
+    assert docs[1]["payload"]["kind"] == "bypass-suspected"
+    assert docs[1]["round"] == 3
+    # read_jsonl also accepts an iterable of lines.
+    assert read_jsonl(journal.to_jsonl().splitlines()) == docs
+
+
+def test_jsonl_is_byte_stable(journal):
+    journal.emit("round_start", round_id=1, z_last=1, a_first=2)
+    line = journal.to_jsonl()
+    # Compact separators, keys sorted — byte-stable across runs.
+    assert line == (
+        '{"payload":{"a_first":2,"z_last":1},"round":1,'
+        '"schema":"vif-events-v1","seq":1,"session":"victim.example",'
+        '"ts":1.0,"type":"round_start"}\n'
+    )
+
+
+def test_read_jsonl_rejects_foreign_schema(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"schema":"not-vif","seq":1}\n')
+    with pytest.raises(ValueError, match="schema"):
+        read_jsonl(str(path))
+    path.write_text("not json at all\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        read_jsonl(str(path))
+
+
+def test_clear_resets_seq_and_round(journal):
+    journal.set_round(2)
+    journal.emit("round_start")
+    journal.clear()
+    assert len(journal) == 0
+    assert journal.current_round is None
+    assert journal.emit("round_start").seq == 1
+
+
+def test_module_level_toggle_round_trips():
+    previous = obs.set_journaling(True)
+    try:
+        assert obs.journaling_enabled()
+    finally:
+        obs.set_journaling(previous)
+    assert obs.journaling_enabled() == previous

@@ -138,6 +138,30 @@ def test_render_prometheus_format(registry):
     assert "vif_test_seconds_count 2" in text
 
 
+def test_label_values_escaped_per_prometheus_spec(registry):
+    # Backslash, double-quote and newline in a label value must come out as
+    # \\, \" and \n or the exposition is unparseable (regression: values
+    # used to be interpolated raw).
+    registry.counter(
+        "vif_test_things_total", help="things", path='C:\\tmp\n"x"'
+    ).inc()
+    text = registry.render_prometheus()
+    assert 'vif_test_things_total{path="C:\\\\tmp\\n\\"x\\""} 1' in text
+    assert '\n"x"' not in text  # no raw newline mid-label
+
+
+def test_histogram_sum_uses_canonical_value_formatting(registry):
+    # Regression: _sum was rendered with !r ("2.0", "inf") instead of the
+    # canonical _format_value used by every other sample line.
+    h = registry.histogram("vif_test_seconds", buckets=(1.0,))
+    h.observe(1.5)
+    h.observe(0.5)
+    text = registry.render_prometheus()
+    assert "vif_test_seconds_sum 2\n" in text
+    h.observe(float("inf"))
+    assert "vif_test_seconds_sum +Inf\n" in registry.render_prometheus()
+
+
 def test_snapshot_and_write_json(registry, tmp_path):
     registry.counter("vif_test_things_total", x="1").inc(3)
     registry.histogram("vif_test_seconds", buckets=(1.0,)).observe(0.5)

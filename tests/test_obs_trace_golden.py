@@ -164,6 +164,32 @@ def test_round_trace_serialization_is_stable(golden_env, tmp_path):
     ] * 10
 
 
+def test_raising_span_tagged_with_error_type(golden_env):
+    """A span unwound by an exception carries error=<ExceptionType> in its
+    args (and therefore in the Chrome-trace serialization); the exception
+    still propagates."""
+    with pytest.raises(RuntimeError, match="boom"):
+        with golden_env.span("unit.crash", site="test"):
+            raise RuntimeError("boom")
+    record = next(r for r in golden_env.records if r.name == "unit.crash")
+    assert record.args["error"] == "RuntimeError"
+    assert record.end_s is not None  # still closed cleanly
+    event = next(
+        e
+        for e in golden_env.to_chrome_trace()["traceEvents"]
+        if e["name"] == "unit.crash"
+    )
+    assert event["args"]["error"] == "RuntimeError"
+    assert event["args"]["site"] == "test"
+
+
+def test_clean_span_has_no_error_tag(golden_env):
+    with golden_env.span("unit.clean"):
+        pass
+    record = next(r for r in golden_env.records if r.name == "unit.clean")
+    assert "error" not in record.args
+
+
 def test_span_args_carry_identity(golden_env):
     _run_round()
     round_record = next(

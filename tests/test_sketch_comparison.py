@@ -65,6 +65,67 @@ def test_family_mismatch_rejected():
         compare_sketches(a, b)
 
 
+def test_mixed_derivation_versions_fail_loudly():
+    """Same seed and shape, different derivation version: never comparable.
+
+    A v1-derivation observer sketch against a v2 enclave sketch would
+    compare garbage bins bin-by-bin; the version check must refuse before
+    any bin is read.
+    """
+    from repro.sketch.hashing import FAMILY_VERSION, HashFamily
+
+    class LegacyFamily(HashFamily):
+        version = FAMILY_VERSION - 1
+
+    enclave = CountMinSketch(2, 256, "cmp")
+    observer = CountMinSketch(2, 256, "cmp")
+    observer.family.__class__ = LegacyFamily
+    assert not enclave.family.compatible_with(observer.family)
+    with pytest.raises(ValueError, match="different hash families"):
+        compare_sketches(enclave, observer)
+
+
+def test_mixed_version_blob_rejected_and_mismatch_journaled():
+    """A serialized blob carrying a foreign derivation version is refused at
+    deserialization, and the audit timeline journals the structural failure
+    as a family-version-mismatch alert."""
+    from repro import obs
+    from repro.obs.audit import ALERT_FAMILY_MISMATCH, AuditTimeline
+
+    sketch = CountMinSketch(2, 64, "cmp")
+    sketch.update(b"flow", 3)
+    blob = bytearray(sketch.serialize())
+    blob[1] += 1  # the family-derivation version byte
+    with pytest.raises(ValueError, match="derivation") as excinfo:
+        CountMinSketch.deserialize(bytes(blob))
+
+    prev = obs.set_journal(obs.EventJournal(enabled=True))
+    try:
+        timeline = AuditTimeline(session_id="victim.example")
+        alert = timeline.record_family_mismatch(
+            7, excinfo.value, observer="victim:victim.example"
+        )
+        assert alert.kind == ALERT_FAMILY_MISMATCH
+        assert alert.round_id == 7
+        events = obs.get_journal().of_type("alert")
+        assert len(events) == 1
+        assert events[0].round_id == 7
+        assert events[0].payload["kind"] == ALERT_FAMILY_MISMATCH
+        assert "derivation" in events[0].payload["detail"]
+    finally:
+        obs.set_journal(prev)
+
+
+def test_comparison_carries_geometry_and_totals():
+    enclave, observer = pair(width=64)
+    enclave.update(b"x", 5)
+    observer.update(b"x", 2)
+    result = compare_sketches(enclave, observer)
+    assert (result.depth, result.width) == (2, 64)
+    assert result.enclave_total == 5
+    assert result.observer_total == 2
+
+
 def test_discrepancy_fields():
     enclave, observer = pair(width=64)
     enclave.update(b"x", 5)
