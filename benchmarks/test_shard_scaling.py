@@ -1,0 +1,191 @@
+"""Multi-core sharded data plane: equivalence gate + scaling report.
+
+PR convention: CI asserts *deterministic* properties — here, that the
+sharded plane's verdicts and centrally merged sketch logs are bit-identical
+to one single-process filter over the same trace, for every worker count.
+The throughput numbers are CPU-time based (each worker measures its own
+``time.process_time``), so the bottleneck-stage packets/sec — the
+multi-queue projection of what the plane sustains with one core per
+worker — is meaningful even on a single-core CI host, and the 4-worker
+speedup gate holds without trusting wall clock.  Wall-clock rates are
+emitted alongside for honesty about the host actually running this.
+
+Everything lands in ``BENCH_shard_scaling.json`` (uploaded from CI's
+``bench-out/`` artifact directory).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit, emit_metrics_snapshot, full_scale
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.dataplane.shard import ShardedDataPlane, run_single_process_reference
+
+WORKER_COUNTS = (1, 2, 4)
+#: Minimum bottleneck-pps speedup required at 4 workers vs 1.
+MIN_SPEEDUP_AT_4 = 1.5
+#: Runs per worker count; best-of filters scheduler noise on shared hosts.
+REPEATS = 2
+
+
+def _mixed_rules(n=200):
+    """Deterministic + probabilistic rules over nested, non-stride prefixes."""
+    rules = []
+    for i in range(n):
+        variant = i % 3
+        if variant == 0:
+            pattern = FlowPattern(dst_prefix=f"10.{i % 200}.0.0/16")
+        elif variant == 1:
+            pattern = FlowPattern(
+                dst_prefix=f"10.{i % 200}.{(i // 200) % 250}.0/24",
+                dst_ports=(80, 80),
+            )
+        else:
+            pattern = FlowPattern(
+                dst_prefix=f"10.{i % 200}.{(i // 200) % 250}.128/26"
+            )
+        if i % 2:
+            rules.append(
+                FilterRule(rule_id=i + 1, pattern=pattern, action=Action.DROP)
+                if i % 4 == 1
+                else FilterRule(rule_id=i + 1, pattern=pattern, action=Action.ALLOW)
+            )
+        else:
+            rules.append(FilterRule(rule_id=i + 1, pattern=pattern, p_allow=0.5))
+    return rules
+
+
+def _heavy_tailed_trace(num_flows=512, num_packets=24_000, seed=7):
+    """A bounded flow population with heavy-tailed popularity.
+
+    Attack traffic concentrates on a few flows, so batches contain heavy
+    flow reuse for the coalescer to fold — and enough distinct flows that
+    RSS hashing spreads work evenly across four shards.
+    """
+    rng = random.Random(seed)
+    flows = [
+        FiveTuple(
+            src_ip=f"172.16.{rng.randrange(256)}.{rng.randrange(256)}",
+            dst_ip=f"10.{rng.randrange(200)}.{rng.randrange(250)}."
+            f"{rng.randrange(256)}",
+            src_port=rng.randrange(1024, 65536),
+            dst_port=rng.choice([80, 80, 443, 53]),
+            protocol=Protocol.TCP,
+        )
+        for _ in range(num_flows)
+    ]
+    return [
+        Packet(
+            five_tuple=flows[int(len(flows) * rng.random() ** 3)],
+            size=rng.choice([64, 600, 1500]),
+        )
+        for _ in range(num_packets)
+    ]
+
+
+def _assert_equivalent(label, sharded, verdicts, reference):
+    mismatches = sum(
+        1 for got, want in zip(verdicts, reference.verdicts) if got != want
+    )
+    assert mismatches == 0, f"{label}: {mismatches} verdict mismatches"
+    assert len(verdicts) == len(reference.verdicts)
+    assert sharded.incoming.bins() == reference.incoming.bins(), (
+        f"{label}: merged incoming sketch differs from single-process log"
+    )
+    assert sharded.outgoing.bins() == reference.outgoing.bins(), (
+        f"{label}: merged outgoing sketch differs from single-process log"
+    )
+    assert sharded.incoming.total == reference.incoming.total
+    assert sharded.outgoing.total == reference.outgoing.total
+    assert sharded.packets_allowed == reference.packets_allowed
+    assert sharded.packets_dropped == reference.packets_dropped
+
+
+def test_shard_scaling_equivalence_and_throughput():
+    num_packets = 48_000 if full_scale() else 24_000
+    rules = _mixed_rules()
+    packets = _heavy_tailed_trace(num_packets=num_packets)
+
+    reference = run_single_process_reference(rules, packets)
+
+    rows = []
+    by_workers = {}
+    for workers in WORKER_COUNTS:
+        # Best-of-REPEATS: equivalence must hold on *every* run; the
+        # throughput row keeps the least scheduler-disturbed one.
+        sharded = None
+        for _ in range(REPEATS):
+            plane = ShardedDataPlane(rules, num_workers=workers)
+            with plane:
+                verdicts = plane.process(packets)
+                attempt = plane.finish()
+            _assert_equivalent(
+                f"workers={workers}", attempt, verdicts, reference
+            )
+            if sharded is None or attempt.bottleneck_pps > sharded.bottleneck_pps:
+                sharded = attempt
+        by_workers[workers] = sharded
+        rows.append(
+            {
+                "workers": workers,
+                "packets": sharded.packets,
+                "allowed": sharded.packets_allowed,
+                "dropped": sharded.packets_dropped,
+                "bottleneck_pps": sharded.bottleneck_pps,
+                "wall_pps": sharded.wall_pps,
+                "worker_busy_seconds": sharded.worker_busy_seconds,
+                "coordinator_busy_seconds": sharded.coordinator_busy_seconds,
+                "worker_packets": sharded.worker_packets,
+            }
+        )
+
+    speedup_at_4 = (
+        by_workers[4].bottleneck_pps / by_workers[1].bottleneck_pps
+    )
+    for row in rows:
+        row["speedup_vs_1"] = (
+            row["bottleneck_pps"] / by_workers[1].bottleneck_pps
+        )
+
+    lines = [
+        "sharded data plane scaling "
+        f"({len(packets)} packets, {len(rules)} rules, "
+        f"ref {reference.bottleneck_pps:,.0f} pps single-process):",
+        f"  {'workers':>7s} {'bottleneck pps':>15s} {'speedup':>8s} "
+        f"{'wall pps':>12s} {'balance':>18s}",
+    ]
+    for row in rows:
+        counts = row["worker_packets"]
+        balance = f"{min(counts)}..{max(counts)}"
+        lines.append(
+            f"  {row['workers']:>7d} {row['bottleneck_pps']:>15,.0f} "
+            f"{row['speedup_vs_1']:>7.2f}x {row['wall_pps']:>12,.0f} "
+            f"{balance:>18s}"
+        )
+    lines.append(
+        "  equivalence: verdicts + merged sketches bit-identical to the "
+        "single-process filter at every worker count"
+    )
+    emit("\n".join(lines))
+
+    path = emit_metrics_snapshot(
+        "shard_scaling",
+        extra={
+            "packets": len(packets),
+            "rules": len(rules),
+            "reference_bottleneck_pps": reference.bottleneck_pps,
+            "reference_wall_pps": reference.wall_pps,
+            "runs": rows,
+            "speedup_at_4_workers": speedup_at_4,
+            "equivalent": True,
+        },
+    )
+    emit(f"wrote {path} (speedup@4={speedup_at_4:.2f}x)")
+
+    assert speedup_at_4 >= MIN_SPEEDUP_AT_4, (
+        f"4-worker bottleneck-pps speedup {speedup_at_4:.2f}x is below the "
+        f"{MIN_SPEEDUP_AT_4}x gate (per-worker CPU-time based, so this "
+        "should hold even on a one-core host)"
+    )

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail K IAS verifications in the kill round")
     fleet.add_argument("--spares", type=int, default=2, metavar="S",
                        help="spare platforms available for failover (default 2)")
+    fleet.add_argument("--workers", type=int, default=0, metavar="W",
+                       help="after the fault run, replay the rule traffic "
+                            "through a W-worker sharded data plane and check "
+                            "it is verdict- and sketch-identical to the "
+                            "single-process filter (default: skip)")
     fleet.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write a registry snapshot (JSON) after the run")
     fleet.add_argument("--journal", metavar="PATH", default=None,
@@ -369,6 +374,12 @@ def _run_fleet_sim_body(args: argparse.Namespace) -> int:
     harness = FaultInjectionHarness(fleet, schedule, ias=ias)
     result = harness.run()
 
+    shard_failed = False
+    if args.workers:
+        # Run *before* the metrics snapshot so the merged worker series are
+        # part of the --metrics-json artifact.
+        shard_failed = _run_fleet_sim_shard_phase(args, fleet, rules) != 0
+
     if args.metrics_json:
         from repro import obs
 
@@ -399,6 +410,64 @@ def _run_fleet_sim_body(args: argparse.Namespace) -> int:
     if result.invariant_violations:
         print("  FAIL-CLOSED INVARIANT VIOLATED", file=sys.stderr)
         return 1
+    if shard_failed:
+        return 1
+    return 0
+
+
+def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
+    """``fleet-sim --workers W``: sharded replay + equivalence check.
+
+    Replays the rule traffic through a W-worker sharded data plane built
+    from the fleet's own rules/secrets, then checks the verdicts and the
+    centrally merged sketch logs are bit-identical to one single-process
+    filter over the same trace.  Returns non-zero on any mismatch.
+    """
+    from repro.dataplane.shard import run_single_process_reference
+    from repro.faults.harness import rule_traffic
+
+    if args.workers < 1:
+        print("workers must be positive", file=sys.stderr)
+        return 2
+
+    traffic = rule_traffic(rules, seed=f"{args.seed}/shard")
+    packets = []
+    for round_index in range(args.rounds):
+        packets.extend(traffic(round_index))
+
+    controller = fleet.controller
+    plane = fleet.sharded_data_plane(args.workers)
+    with plane:
+        verdicts = plane.process(packets)
+        sharded = plane.finish()
+    reference = run_single_process_reference(
+        rules.rules(),
+        packets,
+        decision_secret=f"{controller.enclave_secret_seed}/fleet",
+        mode=controller.mode,
+        sketch_seed=controller.sketch_seed,
+    )
+
+    verdict_mismatches = sum(
+        1 for got, want in zip(verdicts, reference.verdicts) if got != want
+    )
+    sketch_identical = (
+        sharded.incoming.bins() == reference.incoming.bins()
+        and sharded.outgoing.bins() == reference.outgoing.bins()
+        and sharded.incoming.total == reference.incoming.total
+        and sharded.outgoing.total == reference.outgoing.total
+    )
+    print(f"  shard replay: {args.workers} workers, {len(packets)} packets, "
+          f"{sharded.packets_allowed} allowed / {sharded.packets_dropped} dropped")
+    print(f"  shard throughput: bottleneck {sharded.bottleneck_pps:,.0f} pps, "
+          f"wall {sharded.wall_pps:,.0f} pps "
+          f"(reference {reference.bottleneck_pps:,.0f} pps)")
+    if verdict_mismatches or not sketch_identical:
+        print(f"  SHARD EQUIVALENCE FAILED: {verdict_mismatches} verdict "
+              f"mismatches, sketches identical={sketch_identical}",
+              file=sys.stderr)
+        return 1
+    print("  shard equivalence: verdicts and merged sketches bit-identical")
     return 0
 
 

@@ -19,6 +19,7 @@ The honest implementations live here; adversarial variants subclass
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
@@ -26,7 +27,7 @@ from repro import obs
 from repro.core.enclave_filter import EnclaveFilter
 from repro.core.filter import ConnectionPreservingMode
 from repro.core.rules import RuleSet
-from repro.dataplane.packet import Packet
+from repro.dataplane.packet import FiveTuple, Packet
 from repro.errors import ConfigurationError, DistributionError
 from repro.optim.problem import Allocation
 from repro.sketch.countmin import CountMinSketch
@@ -101,6 +102,12 @@ class LoadBalancer:
                 raise ConfigurationError(f"route for unknown rule {rule_id}")
             if not replicas:
                 raise ConfigurationError(f"rule {rule_id} has no replicas")
+            # A NaN weight passes ``w < 0`` (every NaN comparison is False),
+            # poisons ``total`` in route(), and silently lands all of the
+            # rule's traffic on the last replica; infinities skew the split
+            # just as silently.  Reject anything non-finite loudly.
+            if any(not math.isfinite(w) for _, w in replicas):
+                raise ConfigurationError(f"rule {rule_id} has a non-finite weight")
             if any(w < 0 for _, w in replicas):
                 raise ConfigurationError(f"rule {rule_id} has a negative weight")
         self._rules = rules
@@ -116,6 +123,29 @@ class LoadBalancer:
     @property
     def blackholed_rule_ids(self) -> Set[int]:
         return set(self._blackholed)
+
+    @staticmethod
+    def shard_for_flow(
+        flow: "FiveTuple", num_shards: int, salt: str = "rss"
+    ) -> int:
+        """RSS-style deterministic shard assignment for a flow.
+
+        The multi-core data plane (:mod:`repro.dataplane.shard`) splits
+        traffic across worker processes the way a NIC's receive-side scaling
+        splits it across cores: a flow hash over the five-tuple, modulo the
+        worker count.  Built on :func:`~repro.util.rng.stable_hash64`, so the
+        assignment is identical in every process — the coordinator, a
+        worker, and a victim replaying the trace all agree which worker owned
+        which flow, which is what makes per-worker sketch logs auditable
+        after a central merge.  Flow-granular by construction: every packet
+        of a flow lands on the same worker, so per-flow state (connection
+        preservation, exact-match entries) never straddles shards.
+        """
+        if num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if num_shards == 1:
+            return 0
+        return stable_hash64(flow.key(), salt=f"rss/{salt}") % num_shards
 
     def route(self, packet: Packet) -> Union[int, str, None]:
         """The enclave index for ``packet``, or a non-routing verdict.

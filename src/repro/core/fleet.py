@@ -407,6 +407,31 @@ class FleetManager:
     def active_rule_ids(self) -> List[int]:
         return list(self._rule_order)
 
+    # -- multi-core sharded data plane ---------------------------------------------
+
+    def sharded_data_plane(self, num_workers: int, **kwargs):
+        """A :class:`~repro.dataplane.shard.ShardedDataPlane` over this fleet's rules.
+
+        The workers are filter replicas of this deployment: same rule set,
+        same connection-preserving mode, same sketch families, and the
+        *shared fleet decision secret* — so every hash-based verdict matches
+        what the fleet's enclaves would decide, and the centrally merged
+        worker sketches are directly comparable with the fleet's audit logs.
+        The caller owns the returned plane's lifecycle (use it as a context
+        manager, call ``finish()`` for the merged result).
+        """
+        from repro.dataplane.shard import ShardedDataPlane
+
+        controller = self.controller
+        return ShardedDataPlane(
+            rules=controller.state.rules.rules(),
+            num_workers=num_workers,
+            decision_secret=f"{controller.enclave_secret_seed}/fleet",
+            mode=controller.mode,
+            sketch_seed=controller.sketch_seed,
+            **kwargs,
+        )
+
     # -- fault entry points (used by repro.faults and tests) ----------------------
 
     def inject_crash(self, slot: int, platform_lost: bool = False) -> None:

@@ -65,11 +65,26 @@ class Ring(Generic[T]):
             raise RingOverflow(f"ring {self.name!r} full at {self.capacity}")
 
     def enqueue_bulk(self, items: Iterable[T]) -> int:
-        """Enqueue many; returns how many were accepted."""
-        accepted = 0
-        for item in items:
-            if self.enqueue(item):
-                accepted += 1
+        """Enqueue many; returns how many were accepted.
+
+        Accepts up to the free capacity, then stops: once the ring is full
+        every remaining item is dropped in one batched counter increment
+        instead of paying a per-item :meth:`enqueue` call plus a per-item
+        drop increment.  ``dropped`` totals are identical to the per-item
+        path — only the call count changes.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        free = self.capacity - len(self._items)
+        if free >= len(items):
+            self._items.extend(items)
+            accepted = len(items)
+        else:
+            accepted = max(free, 0)
+            if accepted:
+                self._items.extend(items[:accepted])
+            self._dropped.inc(len(items) - accepted)
+        self.enqueued += accepted
         return accepted
 
     def dequeue_burst(self, max_items: int = 32) -> List[T]:

@@ -1,0 +1,598 @@
+"""The multi-core sharded data plane (OctoSketch-style sketch sharding).
+
+The compiled fast path is single-process; this module is the parallelism
+layer ROADMAP item 1 calls for, modeled on the per-core-sketch-plus-merge
+design of OctoSketch-style DPDK pipelines:
+
+* **RSS-style flow-hash sharding.**  The coordinator assigns every flow to a
+  worker with :meth:`~repro.core.controller.LoadBalancer.shard_for_flow`
+  (``stable_hash64`` over the five-tuple, modulo worker count) — the same
+  split a NIC's receive-side scaling performs across cores.  The assignment
+  is deterministic across processes, and flow-granular, so per-flow state
+  (connection preservation, exact-match entries) never straddles shards.
+
+* **Per-worker filter processes.**  Each worker is a separate OS process
+  running a full :class:`~repro.core.enclave_filter.EnclaveFilter` replica
+  (every rule installed everywhere; the *flows* are what's partitioned).
+  Work travels as pickled flow-coalesced burst batches: each batch carries
+  one entry per unique flow (five-tuple fields plus the per-packet frame
+  sizes), so the wire cost scales with flows, not packets, and the worker
+  re-expands to packets on its side of the fork.
+
+* **Per-worker sketches, merged centrally.**  Every worker keeps its own
+  :class:`~repro.sketch.countmin.CountMinSketch` log pair and ships the
+  serialized blobs back at shutdown; the coordinator folds them with the
+  word-wise accounted :meth:`~repro.sketch.countmin.CountMinSketch.merge`.
+  Because every packet is applied to exactly one worker sketch and counter
+  addition commutes, the merged bins and totals are **bit-identical** to a
+  single filter processing the whole trace — the existing audit/journal
+  stack consumes merged logs unchanged.
+
+* **Per-worker metrics, merged centrally.**  Workers run private metric
+  registries under a process-qualified instance namespace (``shard-w<i>``)
+  and export them via :meth:`~repro.obs.MetricsRegistry.export_state`; the
+  coordinator folds them into its registry with ``merge_state`` — one
+  fleet-wide view, no label collisions.
+
+* **Bounded in-flight batches.**  Worker task queues are bounded; the
+  coordinator drains verdicts while it waits for queue space, so memory is
+  capped by ``max_inflight`` batches per worker and the dispatch loop cannot
+  deadlock against a full result queue (back-pressure, not buffering).
+
+Throughput accounting: every worker measures its own CPU time
+(``time.process_time``), immune to core-count and scheduler interference.
+The headline throughput of a shard run is the *bottleneck-stage* rate
+(packets / slowest worker's CPU seconds) — the standard multi-queue
+projection of what the plane sustains with one core per worker — reported
+alongside the honest single-machine wall rate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.controller import LoadBalancer
+from repro.core.enclave_filter import EnclaveFilter
+from repro.core.filter import ConnectionPreservingMode
+from repro.core.rules import FilterRule
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import ConfigurationError
+from repro.sketch.countmin import CountMinSketch
+
+#: Wire form of one flow: the five-tuple fields the worker rebuilds a
+#: :class:`FiveTuple` from.
+FlowWire = Tuple[str, str, int, int, int]
+
+#: Wire form of one batch: per unique flow, its five-tuple fields and the
+#: frame size of each of its packets (in shard-arrival order).
+BatchWire = List[Tuple[FlowWire, List[int]]]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker needs to build its filter replica."""
+
+    rules: Tuple[Dict[str, object], ...]  # FilterRule.to_dict() forms
+    decision_secret: str
+    mode: ConnectionPreservingMode
+    sketch_seed: str
+    burst_size: int
+
+
+def _worker_main(
+    worker_id: int,
+    config: ShardConfig,
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+) -> None:
+    """Worker process body: filter batches until the ``None`` sentinel.
+
+    The worker runs a *private* metrics registry under a process-qualified
+    instance namespace so its series merge collision-free at the
+    coordinator, and a fresh :class:`EnclaveFilter` seeded with the shared
+    fleet decision secret so hash-based verdicts are identical to every
+    other replica's (and to the single-process reference).
+    """
+    obs.set_registry(obs.MetricsRegistry())
+    obs.set_instance_namespace(f"shard-w{worker_id}")
+    program = EnclaveFilter(
+        secret=f"{config.decision_secret}/shard-worker-{worker_id}",
+        mode=config.mode,
+        sketch_seed=config.sketch_seed,
+        decision_secret=config.decision_secret,
+    )
+    program.install_rules([FilterRule.from_dict(d) for d in config.rules])
+    busy_seconds = 0.0
+    burst_size = config.burst_size
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        batch_id, flows = item
+        started = time.process_time()
+        packets: List[Packet] = []
+        first_packet_index: List[int] = []
+        for (src_ip, dst_ip, src_port, dst_port, proto), sizes in flows:
+            five_tuple = FiveTuple(
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                protocol=Protocol(proto),
+            )
+            first_packet_index.append(len(packets))
+            for size in sizes:
+                packets.append(Packet(five_tuple=five_tuple, size=size))
+        verdicts: List[bool] = []
+        for start in range(0, len(packets), burst_size):
+            verdicts.extend(
+                program.process_burst(packets[start : start + burst_size])
+            )
+        # One verdict per *flow* goes back on the wire (f(p) is stateless:
+        # every packet of the flow shares it); the coordinator re-expands.
+        flow_verdicts = [verdicts[i] for i in first_packet_index]
+        busy_seconds += time.process_time() - started
+        result_queue.put(("verdicts", worker_id, batch_id, flow_verdicts))
+    report = program.report()
+    result_queue.put(
+        (
+            "summary",
+            worker_id,
+            None,
+            {
+                "incoming": program._logs.incoming.sketch.serialize(),
+                "outgoing": program._logs.outgoing.sketch.serialize(),
+                "packets_processed": report.packets_processed,
+                "packets_allowed": report.packets_allowed,
+                "packets_dropped": report.packets_dropped,
+                "busy_seconds": busy_seconds,
+                "metrics": obs.get_registry().export_state(),
+            },
+        )
+    )
+
+
+@dataclass
+class ShardRunResult:
+    """What a finished sharded run hands back to the caller."""
+
+    num_workers: int
+    packets: int
+    packets_allowed: int
+    packets_dropped: int
+    incoming: Optional[CountMinSketch]
+    outgoing: Optional[CountMinSketch]
+    worker_busy_seconds: List[float]
+    worker_packets: List[int]
+    coordinator_busy_seconds: float
+    wall_seconds: float
+    per_worker: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-packet verdicts in input order (filled by the reference runner;
+    #: the sharded plane returns verdicts from :meth:`ShardedDataPlane.process`).
+    verdicts: List[object] = field(default_factory=list)
+
+    @property
+    def bottleneck_pps(self) -> float:
+        """Packets/sec of the slowest stage — the multi-core projection.
+
+        ``packets / max(worker CPU time, coordinator CPU time)``: with one
+        core per worker plus one for the coordinator, the plane sustains the
+        rate of whichever stage is busiest.  CPU-time based, so the number
+        is meaningful even when the benchmark host timeshares every worker
+        onto one core.
+        """
+        bottleneck = max(
+            [self.coordinator_busy_seconds] + self.worker_busy_seconds
+        )
+        if bottleneck <= 0:
+            return 0.0
+        return self.packets / bottleneck
+
+    @property
+    def wall_pps(self) -> float:
+        """Packets/sec by wall clock on *this* machine (all stages timeshared)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.packets / self.wall_seconds
+
+
+class ShardedDataPlane:
+    """Coordinator for N filter-worker processes behind RSS flow sharding.
+
+    Usage::
+
+        plane = ShardedDataPlane(rules, num_workers=4)
+        with plane:
+            verdicts = plane.process(packets)   # repeatable
+            result = plane.finish()             # merge sketches + metrics
+
+    ``process`` returns one boolean verdict per packet in input order,
+    identical to a single :class:`EnclaveFilter` over the same trace;
+    ``finish`` stops the workers and returns the centrally merged sketch
+    logs and accounting.  The context manager guarantees worker teardown
+    even on error.
+    """
+
+    #: Default packets per pickled batch (flow-coalesced on the wire).
+    DEFAULT_BATCH_SIZE = 512
+
+    def __init__(
+        self,
+        rules: Sequence[FilterRule],
+        num_workers: int,
+        decision_secret: str = "vif-ixp/fleet",
+        mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
+        sketch_seed: str = "vif",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        burst_size: int = 256,
+        max_inflight: int = 8,
+        shard_salt: str = "rss",
+        start_method: Optional[str] = None,
+        merge_worker_metrics: bool = True,
+        result_timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be positive")
+        if batch_size < 1 or burst_size < 1:
+            raise ConfigurationError("batch_size and burst_size must be positive")
+        if burst_size > EnclaveFilter.MAX_BURST:
+            raise ConfigurationError(
+                f"burst_size {burst_size} exceeds the enclave staging buffer "
+                f"({EnclaveFilter.MAX_BURST})"
+            )
+        if max_inflight < 1:
+            raise ConfigurationError("max_inflight must be positive")
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self.shard_salt = shard_salt
+        self.merge_worker_metrics = merge_worker_metrics
+        self.result_timeout = result_timeout
+        self._config = ShardConfig(
+            rules=tuple(rule.to_dict() for rule in rules),
+            decision_secret=decision_secret,
+            mode=mode,
+            sketch_seed=sketch_seed,
+            burst_size=burst_size,
+        )
+        if start_method is None:
+            # fork keeps worker start cheap (no re-import of the scientific
+            # stack); fall back to the platform default where unavailable.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._max_inflight = max_inflight
+        self._workers: List[multiprocessing.Process] = []
+        self._task_queues: List["multiprocessing.Queue"] = []
+        self._result_queue: Optional["multiprocessing.Queue"] = None
+        self._shard_cache: Dict[FiveTuple, int] = {}
+        self._next_batch_id = 0
+        #: batch_id -> (verdict sink list, per-flow original packet indexes)
+        self._pending: Dict[int, Tuple[List[object], List[List[int]]]] = {}
+        self._summaries: Dict[int, Dict[str, object]] = {}
+        self._packets_dispatched = 0
+        self._coordinator_busy = 0.0
+        self._wall_seconds = 0.0
+        self._started = False
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ShardedDataPlane":
+        if self._started:
+            raise ConfigurationError("sharded data plane already started")
+        self._result_queue = self._ctx.Queue()
+        for worker_id in range(self.num_workers):
+            task_queue = self._ctx.Queue(maxsize=self._max_inflight)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self._config, task_queue, self._result_queue),
+                daemon=True,
+                name=f"vif-shard-w{worker_id}",
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._workers.append(process)
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ShardedDataPlane":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _shard_for(self, flow: FiveTuple) -> int:
+        """Memoized RSS shard lookup (one stable hash per unique flow)."""
+        shard = self._shard_cache.get(flow)
+        if shard is None:
+            shard = LoadBalancer.shard_for_flow(
+                flow, self.num_workers, salt=self.shard_salt
+            )
+            self._shard_cache[flow] = shard
+        return shard
+
+    def _collect_one(self, timeout: float) -> bool:
+        """Pop one message off the result queue; returns False on timeout."""
+        assert self._result_queue is not None
+        try:
+            kind, worker_id, batch_id, payload = self._result_queue.get(
+                timeout=timeout
+            )
+        except queue_module.Empty:
+            return False
+        if kind == "verdicts":
+            sink, flow_indexes = self._pending.pop(batch_id)
+            for verdict, packet_indexes in zip(payload, flow_indexes):
+                for index in packet_indexes:
+                    sink[index] = verdict
+        else:  # summary
+            self._summaries[worker_id] = payload
+        return True
+
+    def _check_workers_alive(self) -> None:
+        dead = [p.name for p in self._workers if not p.is_alive()]
+        if dead and (self._pending or len(self._summaries) < self.num_workers):
+            raise RuntimeError(
+                f"sharded data plane worker(s) died: {', '.join(dead)}"
+            )
+
+    def _dispatch(
+        self,
+        worker_id: int,
+        wire: BatchWire,
+        sink: List[object],
+        flow_indexes: List[List[int]],
+    ) -> None:
+        """Send one batch, draining verdicts while the task queue is full."""
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self._pending[batch_id] = (sink, flow_indexes)
+        task_queue = self._task_queues[worker_id]
+        item = (batch_id, wire)
+        while True:
+            try:
+                task_queue.put(item, timeout=0.05)
+                return
+            except queue_module.Full:
+                # Back-pressure: make room by consuming finished verdicts
+                # instead of buffering unboundedly (and avoid the classic
+                # full-task-queue/full-result-queue deadlock).
+                self._collect_one(timeout=0.05)
+                self._check_workers_alive()
+
+    def process(self, packets: Iterable[Packet]) -> List[object]:
+        """Shard ``packets`` across the workers; returns per-packet verdicts.
+
+        Verdicts come back in input order and are identical to what one
+        :class:`EnclaveFilter` holding the same rules would return.  Blocks
+        until every packet of this call is adjudicated.
+        """
+        if not self._started or self._finished:
+            raise ConfigurationError("sharded data plane is not running")
+        wall_started = time.perf_counter()
+        cpu_started = time.process_time()
+        packets = list(packets)
+        sink: List[object] = [None] * len(packets)
+        # Per-worker open batch: flow -> (wire row, original packet indexes).
+        open_batches: List[Dict[FiveTuple, Tuple[Tuple[FlowWire, List[int]], List[int]]]] = [
+            {} for _ in range(self.num_workers)
+        ]
+        open_counts = [0] * self.num_workers
+        for index, packet in enumerate(packets):
+            flow = packet.five_tuple
+            worker_id = self._shard_for(flow)
+            batch = open_batches[worker_id]
+            entry = batch.get(flow)
+            if entry is None:
+                wire_row = (
+                    (
+                        flow.src_ip,
+                        flow.dst_ip,
+                        flow.src_port,
+                        flow.dst_port,
+                        int(flow.protocol),
+                    ),
+                    [],
+                )
+                entry = (wire_row, [])
+                batch[flow] = entry
+            entry[0][1].append(packet.size)
+            entry[1].append(index)
+            open_counts[worker_id] += 1
+            if open_counts[worker_id] >= self.batch_size:
+                self._flush_batch(worker_id, open_batches, open_counts, sink)
+        for worker_id in range(self.num_workers):
+            if open_counts[worker_id]:
+                self._flush_batch(worker_id, open_batches, open_counts, sink)
+        self._packets_dispatched += len(packets)
+        waited = 0.0
+        misses = 0
+        while self._pending:
+            if self._collect_one(timeout=0.1):
+                misses = 0
+                continue
+            waited += 0.1
+            misses += 1
+            if misses >= 5:
+                # Tolerate a few empty polls before declaring a worker dead:
+                # a worker's last message can still be in the pipe when its
+                # process has already exited.
+                self._check_workers_alive()
+            if waited > self.result_timeout:
+                raise RuntimeError(
+                    f"timed out waiting for {len(self._pending)} "
+                    "outstanding shard batches"
+                )
+        # CPU time over the whole call (sharding, coalescing, and verdict
+        # scatter wherever it happened to run); time blocked on the result
+        # queue burns no CPU, so this is the complete coordinator cost
+        # without charging for idle waiting.
+        self._coordinator_busy += time.process_time() - cpu_started
+        self._wall_seconds += time.perf_counter() - wall_started
+        return sink
+
+    def _flush_batch(
+        self,
+        worker_id: int,
+        open_batches: List[Dict[FiveTuple, Tuple[Tuple[FlowWire, List[int]], List[int]]]],
+        open_counts: List[int],
+        sink: List[object],
+    ) -> None:
+        batch = open_batches[worker_id]
+        wire: BatchWire = [entry[0] for entry in batch.values()]
+        flow_indexes = [entry[1] for entry in batch.values()]
+        open_batches[worker_id] = {}
+        open_counts[worker_id] = 0
+        self._dispatch(worker_id, wire, sink, flow_indexes)
+
+    # -- teardown / merge ------------------------------------------------------
+
+    def finish(self) -> ShardRunResult:
+        """Stop the workers and centrally merge sketches, counts and metrics."""
+        if not self._started:
+            raise ConfigurationError("sharded data plane was never started")
+        if self._finished:
+            raise ConfigurationError("sharded data plane already finished")
+        self._finished = True
+        for task_queue in self._task_queues:
+            task_queue.put(None)
+        waited = 0.0
+        misses = 0
+        while self._pending or len(self._summaries) < self.num_workers:
+            if self._collect_one(timeout=0.1):
+                misses = 0
+                continue
+            waited += 0.1
+            misses += 1
+            if misses >= 5:
+                self._check_workers_alive()
+            if waited > self.result_timeout:
+                raise RuntimeError("timed out waiting for worker summaries")
+        for process in self._workers:
+            process.join(timeout=self.result_timeout)
+
+        incoming: Optional[CountMinSketch] = None
+        outgoing: Optional[CountMinSketch] = None
+        allowed = dropped = 0
+        busy: List[float] = []
+        counts: List[int] = []
+        per_worker: List[Dict[str, object]] = []
+        registry = obs.get_registry()
+        for worker_id in range(self.num_workers):
+            summary = self._summaries[worker_id]
+            worker_in = CountMinSketch.deserialize(summary["incoming"])
+            worker_out = CountMinSketch.deserialize(summary["outgoing"])
+            if incoming is None:
+                incoming, outgoing = worker_in, worker_out
+            else:
+                # The hardened word-wise merge: accounted, bit-identical to
+                # one sketch having seen the union stream.
+                incoming.merge(worker_in)
+                outgoing.merge(worker_out)  # type: ignore[union-attr]
+            allowed += summary["packets_allowed"]
+            dropped += summary["packets_dropped"]
+            busy.append(summary["busy_seconds"])
+            counts.append(summary["packets_processed"])
+            per_worker.append(
+                {
+                    "worker": worker_id,
+                    "packets": summary["packets_processed"],
+                    "allowed": summary["packets_allowed"],
+                    "dropped": summary["packets_dropped"],
+                    "busy_seconds": summary["busy_seconds"],
+                }
+            )
+            if self.merge_worker_metrics:
+                registry.merge_state(summary["metrics"])
+        return ShardRunResult(
+            num_workers=self.num_workers,
+            packets=self._packets_dispatched,
+            packets_allowed=allowed,
+            packets_dropped=dropped,
+            incoming=incoming,
+            outgoing=outgoing,
+            worker_busy_seconds=busy,
+            worker_packets=counts,
+            coordinator_busy_seconds=self._coordinator_busy,
+            wall_seconds=self._wall_seconds,
+            per_worker=per_worker,
+        )
+
+    def close(self) -> None:
+        """Tear the workers down unconditionally (idempotent)."""
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+        for process in self._workers:
+            process.join(timeout=5.0)
+        for q in self._task_queues + ([self._result_queue] if self._result_queue else []):
+            q.cancel_join_thread()
+            q.close()
+        self._task_queues = []
+        self._workers = []
+        self._result_queue = None
+
+
+def run_single_process_reference(
+    rules: Sequence[FilterRule],
+    packets: Sequence[Packet],
+    decision_secret: str = "vif-ixp/fleet",
+    mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
+    sketch_seed: str = "vif",
+    burst_size: int = 256,
+) -> ShardRunResult:
+    """The equivalence baseline: one in-process filter over the whole trace.
+
+    Same burst semantics, same decision secret, same sketch families as the
+    sharded workers — the sharded path must match this bit for bit (verdicts,
+    merged bins, totals).  Busy time is CPU time, so ``bottleneck_pps`` is
+    comparable with the sharded runs' (a 1-worker plane ≈ this, plus IPC).
+    """
+    program = EnclaveFilter(
+        secret=f"{decision_secret}/single",
+        mode=mode,
+        sketch_seed=sketch_seed,
+        decision_secret=decision_secret,
+    )
+    program.install_rules(list(rules))
+    packets = list(packets)
+    verdicts: List[object] = []
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    for start in range(0, len(packets), burst_size):
+        verdicts.extend(program.process_burst(packets[start : start + burst_size]))
+    busy = time.process_time() - cpu_started
+    wall = time.perf_counter() - wall_started
+    report = program.report()
+    result = ShardRunResult(
+        num_workers=1,
+        packets=len(packets),
+        packets_allowed=report.packets_allowed,
+        packets_dropped=report.packets_dropped,
+        incoming=program._logs.incoming.sketch.copy(),
+        outgoing=program._logs.outgoing.sketch.copy(),
+        worker_busy_seconds=[busy],
+        worker_packets=[len(packets)],
+        coordinator_busy_seconds=0.0,
+        wall_seconds=wall,
+        per_worker=[
+            {
+                "worker": 0,
+                "packets": report.packets_processed,
+                "allowed": report.packets_allowed,
+                "dropped": report.packets_dropped,
+                "busy_seconds": busy,
+            }
+        ],
+        verdicts=verdicts,
+    )
+    return result

@@ -55,8 +55,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     RECOVERY_BUCKETS,
     SNAPSHOT_SCHEMA,
+    STATE_SCHEMA,
+    get_instance_namespace,
     get_registry,
     next_instance_label,
+    set_instance_namespace,
     set_registry,
     set_timing,
     timing_enabled,
@@ -101,8 +104,10 @@ __all__ = [
     "EVENT_TYPES",
     "RECOVERY_BUCKETS",
     "SNAPSHOT_SCHEMA",
+    "STATE_SCHEMA",
     "flight_recording_enabled",
     "get_flight_recorder",
+    "get_instance_namespace",
     "get_journal",
     "get_registry",
     "get_tracer",
@@ -111,6 +116,7 @@ __all__ = [
     "read_jsonl",
     "set_flight_recorder",
     "set_flight_recording",
+    "set_instance_namespace",
     "set_journal",
     "set_journaling",
     "set_registry",

@@ -41,6 +41,14 @@ Number = Union[int, float]
 #: key off this).
 SNAPSHOT_SCHEMA = "vif-metrics-v1"
 
+#: Schema tag for the structured registry state used for cross-process
+#: merging (:meth:`MetricsRegistry.export_state` /
+#: :meth:`MetricsRegistry.merge_state`).  Unlike :data:`SNAPSHOT_SCHEMA`
+#: payloads (whose series names are pre-formatted exposition strings), the
+#: state format keeps labels structured so a receiving registry can rebuild
+#: the exact instruments.
+STATE_SCHEMA = "vif-metrics-state-v1"
+
 #: Default latency buckets (seconds): 1 µs .. 10 s, roughly log-spaced.
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
@@ -401,6 +409,94 @@ class MetricsRegistry:
             "totals": totals,
         }
 
+    # -- cross-process merging ---------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Structured, pickle/JSON-safe dump of every instrument in this registry.
+
+        The sharded data plane's worker processes export their (private)
+        registries through this and ship them to the coordinator, which folds
+        them into its own registry via :meth:`merge_state` — one fleet-wide
+        view without a shared-memory registry.  Labels stay structured (not
+        pre-formatted exposition strings), so the receiving side rebuilds the
+        exact same instruments.
+        """
+        families: List[Dict[str, object]] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            children: List[Dict[str, object]] = []
+            for key in sorted(family.children):
+                child = family.children[key]
+                entry: Dict[str, object] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry["buckets"] = list(child.buckets)  # type: ignore[union-attr]
+                    entry["counts"] = list(child.bucket_counts)  # type: ignore[union-attr]
+                    entry["sum"] = child.sum  # type: ignore[union-attr]
+                    entry["count"] = child.count  # type: ignore[union-attr]
+                else:
+                    entry["value"] = child.value  # type: ignore[union-attr]
+                children.append(entry)
+            families.append(
+                {
+                    "name": name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "children": children,
+                }
+            )
+        return {"schema": STATE_SCHEMA, "families": families}
+
+    def merge_state(self, state: Mapping[str, object]) -> int:
+        """Fold an :meth:`export_state` payload into this registry; returns
+        the number of series merged.
+
+        Merging is *additive*: counters and gauges are incremented by the
+        incoming value, histograms add bucket counts, sums and totals
+        (bucket layouts must match).  A series that already exists under the
+        same name and labels therefore accumulates — which is exactly right
+        for the unlabeled global counters (``vif_sketch_updates_total``) and
+        exactly wrong for per-instance series, so exporting processes must
+        qualify their instance labels (:func:`set_instance_namespace`) to
+        keep worker series from colliding with each other's or the
+        coordinator's.
+        """
+        if state.get("schema") != STATE_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics state with schema {state.get('schema')!r} "
+                f"(expected {STATE_SCHEMA!r})"
+            )
+        merged = 0
+        for family in state["families"]:  # type: ignore[index]
+            name = family["name"]
+            kind = family["kind"]
+            help_text = family.get("help", "")
+            for child in family["children"]:
+                labels = child["labels"]
+                if kind == "counter":
+                    self.counter(name, help=help_text, **labels).inc(child["value"])
+                elif kind == "gauge":
+                    self.gauge(name, help=help_text, **labels).inc(child["value"])
+                elif kind == "histogram":
+                    hist = self.histogram(
+                        name,
+                        help=help_text,
+                        buckets=tuple(child["buckets"]),
+                        **labels,
+                    )
+                    if list(hist.buckets) != [float(b) for b in child["buckets"]]:
+                        raise ValueError(
+                            f"histogram {name!r} bucket layout differs from the "
+                            "incoming state; cannot merge"
+                        )
+                    for i, count in enumerate(child["counts"]):
+                        hist.bucket_counts[i] += count
+                    hist.sum += child["sum"]
+                    hist.count += child["count"]
+                else:
+                    raise ValueError(f"unknown instrument kind {kind!r}")
+                merged += 1
+        return merged
+
     def write_json(self, path: str, extra: Optional[Mapping[str, object]] = None) -> None:
         """Write :meth:`snapshot` (plus optional ``extra`` keys) to ``path``."""
         payload = dict(self.snapshot())
@@ -416,6 +512,7 @@ class MetricsRegistry:
 _default_registry = MetricsRegistry()
 _timing = False
 _instance_counters: Dict[str, int] = {}
+_instance_namespace = ""
 
 
 def get_registry() -> MetricsRegistry:
@@ -477,13 +574,40 @@ def set_timing(enabled: bool) -> bool:
     return previous
 
 
+def set_instance_namespace(namespace: str) -> str:
+    """Qualify every future instance label with ``namespace``; returns the
+    previous namespace.
+
+    Instance labels (:func:`next_instance_label`) are only unique *within* a
+    process: worker 0 and worker 1 of the sharded data plane both mint
+    ``pipeline-1``.  A worker process sets a namespace (``shard-w0``) right
+    after fork, so its labels become ``shard-w0/pipeline-1`` and a central
+    :meth:`MetricsRegistry.merge_state` cannot collide one worker's series
+    with another's or with the coordinator's.  The default namespace is
+    empty, which keeps single-process label values unchanged.
+    """
+    global _instance_namespace
+    previous = _instance_namespace
+    _instance_namespace = namespace
+    return previous
+
+
+def get_instance_namespace() -> str:
+    """The current instance-label namespace ("" in the main process)."""
+    return _instance_namespace
+
+
 def next_instance_label(prefix: str) -> str:
     """A process-unique label value (``pipeline-3``) for per-object series.
 
     Stats facades label their series per owning object so every object's
     counters start from zero (test isolation) while the registry can still
-    aggregate across them via :meth:`MetricsRegistry.total`.
+    aggregate across them via :meth:`MetricsRegistry.total`.  When an
+    instance namespace is set (worker processes), the label is qualified as
+    ``<namespace>/<prefix>-<n>`` so cross-process merges stay collision-free.
     """
     n = _instance_counters.get(prefix, 0) + 1
     _instance_counters[prefix] = n
+    if _instance_namespace:
+        return f"{_instance_namespace}/{prefix}-{n}"
     return f"{prefix}-{n}"

@@ -159,16 +159,52 @@ class CountMinSketch:
         """Add ``other``'s counters into this sketch (same family required).
 
         Used when the victim aggregates the outgoing logs of several parallel
-        enclaves into a single comparable log.
+        enclaves — or the coordinator the per-worker sketches of the sharded
+        data plane — into a single comparable log.
+
+        The merged occurrences are accounted into ``vif_sketch_updates_total``
+        exactly like :meth:`update_weighted` would account them (``other``'s
+        exact total), so the registry's books balance against the counts
+        *applied to this instance* even when the updates originally happened
+        in another process whose registry this one never saw.
+
+        Rows are added word-wise: each 64-bit counter row is reinterpreted as
+        one little-endian big integer and the two integers are summed — lane
+        sums below 2**64 cannot carry across lanes, so a single bignum add is
+        exactly bin-wise addition without a Python-level loop over 64 K bins.
+        Rows where saturation is possible (``max(a) + max(b)`` would
+        overflow a lane) fall back to the per-bin saturating loop.
         """
         if not self.family.compatible_with(other.family):
             raise ValueError("cannot merge sketches with different hash families")
-        for mine, theirs in zip(self._rows, other._rows):
-            for i, value in enumerate(theirs):
-                if value:
-                    merged = mine[i] + value
-                    mine[i] = merged if merged <= _COUNTER_MAX else _COUNTER_MAX
+        nbytes = 8 * self.width
+        for r, theirs in enumerate(other._rows):
+            their_max = max(theirs)
+            if not their_max:
+                continue  # all-zero row: nothing to add
+            mine = self._rows[r]
+            if max(mine) + their_max <= _COUNTER_MAX:
+                a, b = mine, theirs
+                if sys.byteorder != "little":
+                    a, b = a[:], b[:]
+                    a.byteswap()
+                    b.byteswap()
+                summed = int.from_bytes(a.tobytes(), "little") + int.from_bytes(
+                    b.tobytes(), "little"
+                )
+                merged = array("Q")
+                merged.frombytes(summed.to_bytes(nbytes, "little"))
+                if sys.byteorder != "little":
+                    merged.byteswap()
+                self._rows[r] = merged
+            else:  # saturation possible: clamp bin by bin
+                for i, value in enumerate(theirs):
+                    if value:
+                        total = mine[i] + value
+                        mine[i] = total if total <= _COUNTER_MAX else _COUNTER_MAX
         self._total += other._total
+        if other._total:
+            self._updates_c.inc(other._total)
 
     def copy(self) -> "CountMinSketch":
         """Deep copy, preserving the hash family."""
@@ -258,6 +294,11 @@ class CountMinSketch:
             raise ValueError("sketch blob truncated before total")
         total_len = int.from_bytes(blob[offset : offset + 4], "big")
         offset += 4
+        if len(blob) < offset + total_len:
+            # Without this check a blob cut inside the total silently parses
+            # a short (garbage) total and fails later with a misleading
+            # trailing-length mismatch.
+            raise ValueError("sketch blob truncated before total")
         total = int.from_bytes(blob[offset : offset + total_len], "big")
         offset += total_len
         expected = offset + depth * width * 8

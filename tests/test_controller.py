@@ -70,6 +70,34 @@ def test_lb_zero_weight_single_replica():
     assert lb.route(make_packet()) == 0
 
 
+def test_lb_configure_rejects_nonfinite_weights():
+    # Regression: a NaN weight passes the `w < 0` check (every NaN
+    # comparison is False), poisons the running total in route(), and
+    # silently lands all of the rule's traffic on the last replica.
+    lb = LoadBalancer()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ConfigurationError):
+            lb.configure(RuleSet([rule(1)]), {1: [(0, 0.5), (1, bad)]})
+
+
+def test_lb_shard_for_flow_stable_and_uniform():
+    packet = make_packet()
+    flow = packet.five_tuple
+    shard = LoadBalancer.shard_for_flow(flow, 4)
+    assert shard == LoadBalancer.shard_for_flow(flow, 4)
+    assert LoadBalancer.shard_for_flow(flow, 1) == 0
+    with pytest.raises(ConfigurationError):
+        LoadBalancer.shard_for_flow(flow, 0)
+    # Different salts reshuffle; many flows spread over all shards.
+    shards = {
+        LoadBalancer.shard_for_flow(
+            make_packet(src_port=1024 + i).five_tuple, 4
+        )
+        for i in range(64)
+    }
+    assert shards == {0, 1, 2, 3}
+
+
 # -- IXPController --------------------------------------------------------------
 
 

@@ -197,6 +197,60 @@ def test_next_instance_label_is_unique():
     assert a.startswith("unit-test-")
 
 
+def test_instance_namespace_qualifies_labels():
+    previous = obs.set_instance_namespace("shard-w7")
+    try:
+        label = obs.next_instance_label("unit-ns")
+        assert label.startswith("shard-w7/unit-ns-")
+    finally:
+        obs.set_instance_namespace(previous)
+    assert obs.get_instance_namespace() == previous
+    assert "/" not in obs.next_instance_label("unit-ns")
+
+
+# -- cross-process state export / merge ---------------------------------------
+
+
+def test_export_state_merge_state_roundtrip():
+    source = MetricsRegistry()
+    source.counter("unit_merge_total", help="h", who="w0").inc(5)
+    source.gauge("unit_merge_gauge", who="w0").set(3)
+    hist = source.histogram("unit_merge_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+
+    state = source.export_state()
+    assert state["schema"] == obs.STATE_SCHEMA
+
+    target = MetricsRegistry()
+    target.counter("unit_merge_total", help="h", who="w0").inc(2)
+    merged = target.merge_state(state)
+    assert merged == 3
+    # Additive on the shared series, created fresh otherwise.
+    assert target.counter("unit_merge_total", who="w0").value == 7
+    assert target.gauge("unit_merge_gauge", who="w0").value == 3
+    merged_hist = target.histogram("unit_merge_seconds", buckets=(0.1, 1.0))
+    assert merged_hist.count == 2
+    assert merged_hist.sum == pytest.approx(0.55)
+
+    # Merging the same state again keeps accumulating (callers dedupe).
+    target.merge_state(state)
+    assert target.counter("unit_merge_total", who="w0").value == 12
+
+
+def test_merge_state_rejects_wrong_schema_and_bucket_layout():
+    source = MetricsRegistry()
+    source.histogram("unit_layout_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    state = source.export_state()
+
+    target = MetricsRegistry()
+    with pytest.raises(ValueError, match="schema"):
+        target.merge_state({"schema": "bogus", "families": []})
+    target.histogram("unit_layout_seconds", buckets=(0.2, 2.0))
+    with pytest.raises(ValueError, match="bucket layout"):
+        target.merge_state(state)
+
+
 def test_span_noop_when_disabled():
     assert not obs.tracing_enabled()
     with obs.span("never.recorded") as record:

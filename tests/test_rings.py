@@ -35,6 +35,47 @@ def test_bulk_enqueue_partial():
     assert ring.dropped == 2
 
 
+def test_bulk_enqueue_full_ring_short_circuits():
+    """Regression: enqueue_bulk kept calling enqueue() per item after the
+    ring filled, paying a drop-counter increment per rejected item.  The
+    overflow must be booked as ONE batched increment — with identical
+    dropped/enqueued totals and ring contents."""
+
+    class SpyCounter:
+        def __init__(self, real):
+            self.real = real
+            self.calls = 0
+
+        def inc(self, amount=1):
+            self.calls += 1
+            self.real.inc(amount)
+
+        @property
+        def value(self):
+            return self.real.value
+
+    ring = Ring("r", capacity=3)
+    ring.enqueue_bulk([0, 1, 2])  # fill to capacity
+    spy = SpyCounter(ring._dropped)
+    ring._dropped = spy
+    assert ring.enqueue_bulk(range(100, 150)) == 0
+    assert spy.calls == 1  # one batched increment, not 50
+    assert ring.dropped == 50
+    assert ring.enqueued == 3
+    assert ring.dequeue_burst(10) == [0, 1, 2]
+
+    # Partial fit: accepted head preserved, tail dropped in the same
+    # single increment.
+    ring = Ring("r", capacity=4)
+    ring.enqueue(0)
+    spy = SpyCounter(ring._dropped)
+    ring._dropped = spy
+    assert ring.enqueue_bulk([1, 2, 3, 4, 5]) == 3
+    assert spy.calls == 1
+    assert ring.dropped == 2
+    assert ring.dequeue_burst(10) == [0, 1, 2, 3]
+
+
 def test_counters():
     ring = Ring("r", capacity=10)
     ring.enqueue_bulk(range(4))

@@ -1,0 +1,162 @@
+"""Shard-then-merge equivalence properties of the multi-core data plane.
+
+The load-bearing invariant of :mod:`repro.dataplane.shard`: for any trace
+and any worker count, RSS-sharding the flows across worker processes and
+centrally merging the per-worker sketch logs is **bit-identical** to one
+single-process filter over the same trace — same per-packet verdicts, same
+sketch bins, same exact totals.  Runs over seeded random traces (process
+spawning makes hypothesis shrinking impractical here, so this is a seeded
+property loop, like the system-level property suites).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.dataplane.shard import ShardedDataPlane, run_single_process_reference
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _random_rules(rng: random.Random, n: int):
+    rules = []
+    for i in range(n):
+        prefix = f"10.{rng.randrange(32)}.{rng.randrange(8)}.0/24"
+        if rng.random() < 0.5:
+            rules.append(
+                FilterRule(
+                    rule_id=i + 1,
+                    pattern=FlowPattern(dst_prefix=prefix),
+                    action=rng.choice([Action.DROP, Action.ALLOW]),
+                )
+            )
+        else:
+            rules.append(
+                FilterRule(
+                    rule_id=i + 1,
+                    pattern=FlowPattern(dst_prefix=prefix),
+                    p_allow=rng.choice([0.25, 0.5, 0.75]),
+                )
+            )
+    return rules
+
+
+def _random_trace(rng: random.Random, num_flows: int, num_packets: int):
+    flows = [
+        FiveTuple(
+            src_ip=f"172.16.{rng.randrange(16)}.{rng.randrange(256)}",
+            dst_ip=f"10.{rng.randrange(32)}.{rng.randrange(8)}."
+            f"{rng.randrange(256)}",
+            src_port=rng.randrange(1024, 65536),
+            dst_port=rng.choice([80, 443, 53]),
+            protocol=rng.choice([Protocol.TCP, Protocol.UDP]),
+        )
+        for _ in range(num_flows)
+    ]
+    return [
+        Packet(five_tuple=rng.choice(flows), size=rng.choice([64, 600, 1500]))
+        for _ in range(num_packets)
+    ]
+
+
+@pytest.mark.parametrize("seed", ["alpha", "beta", "gamma"])
+def test_shard_then_merge_equals_single_sketch(seed):
+    rng = random.Random(seed)
+    rules = _random_rules(rng, rng.randrange(8, 24))
+    packets = _random_trace(
+        rng, num_flows=rng.randrange(16, 48), num_packets=1200
+    )
+    reference = run_single_process_reference(rules, packets)
+
+    for workers in WORKER_COUNTS:
+        plane = ShardedDataPlane(rules, num_workers=workers, batch_size=128)
+        with plane:
+            verdicts = plane.process(packets)
+            result = plane.finish()
+        assert verdicts == reference.verdicts, f"workers={workers}"
+        assert result.incoming.bins() == reference.incoming.bins()
+        assert result.outgoing.bins() == reference.outgoing.bins()
+        assert result.incoming.total == reference.incoming.total
+        assert result.outgoing.total == reference.outgoing.total
+        assert result.packets == len(packets)
+        assert result.packets_allowed == reference.packets_allowed
+        assert result.packets_dropped == reference.packets_dropped
+        assert sum(result.worker_packets) == len(packets)
+
+
+def test_process_is_repeatable_across_calls():
+    """Two process() calls on the same plane accumulate one merged log."""
+    rng = random.Random("repeat")
+    rules = _random_rules(rng, 12)
+    first = _random_trace(rng, num_flows=24, num_packets=600)
+    second = _random_trace(rng, num_flows=24, num_packets=600)
+    reference = run_single_process_reference(rules, first + second)
+
+    plane = ShardedDataPlane(rules, num_workers=2, batch_size=128)
+    with plane:
+        verdicts = plane.process(first) + plane.process(second)
+        result = plane.finish()
+    assert verdicts == reference.verdicts
+    assert result.incoming.bins() == reference.incoming.bins()
+    assert result.outgoing.bins() == reference.outgoing.bins()
+
+
+def test_central_merge_conserves_update_accounting():
+    """The coordinator's ``vif_sketch_updates_total`` books (a) every
+    worker-side application folded in via metrics merge and (b) every
+    occurrence the central sketch merges apply — nothing more, nothing
+    less.  This is the accounting the un-instrumented merge used to lose."""
+    rng = random.Random("books")
+    rules = _random_rules(rng, 12)
+    packets = _random_trace(rng, num_flows=24, num_packets=900)
+
+    counter = obs.get_registry().counter("vif_sketch_updates_total")
+    plane = ShardedDataPlane(rules, num_workers=4, batch_size=128)
+    with plane:
+        plane.process(packets)
+        before = counter.value
+        result = plane.finish()
+    delta = counter.value - before
+
+    # Worker-side bookings: every packet hits the incoming log, every
+    # allowed packet the outgoing log.  Central merges re-apply every
+    # worker's totals except worker 0's (whose deserialized sketches are
+    # the merge base).
+    worker_side = result.packets + result.packets_allowed
+    base = result.per_worker[0]
+    central = (result.packets - base["packets"]) + (
+        result.packets_allowed - base["allowed"]
+    )
+    assert delta == worker_side + central
+
+
+def test_rss_sharding_is_flow_granular():
+    """Every packet of a flow lands on the same worker (per-flow state
+    never straddles shards), and the workers together see each packet
+    exactly once."""
+    rng = random.Random("granular")
+    rules = _random_rules(rng, 8)
+    packets = _random_trace(rng, num_flows=12, num_packets=400)
+    plane = ShardedDataPlane(rules, num_workers=4, batch_size=64)
+    flow_to_shard = {}
+    for packet in packets:
+        shard = plane._shard_for(packet.five_tuple)
+        existing = flow_to_shard.setdefault(packet.five_tuple, shard)
+        assert existing == shard
+    with plane:
+        plane.process(packets)
+        result = plane.finish()
+    assert sum(result.worker_packets) == len(packets)
+    from collections import Counter as TallyCounter
+
+    expected = TallyCounter(
+        flow_to_shard[p.five_tuple] for p in packets
+    )
+    assert result.worker_packets == [
+        expected.get(w, 0) for w in range(plane.num_workers)
+    ]

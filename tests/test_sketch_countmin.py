@@ -218,3 +218,80 @@ def test_merge_equals_union_stream(stream_a, stream_b):
         union.update(key)
     a.merge(b)
     assert a.bins() == union.bins()
+
+
+# -- merge hardening (shard-merge accounting regressions) ---------------------
+
+
+def test_merge_accounts_updates_counter():
+    """Regression: merge must book the merged occurrences into
+    ``vif_sketch_updates_total`` exactly like update_weighted would — the
+    old merge advanced the bins and total but never the registry, so the
+    coordinator's books went short by every centrally merged packet."""
+    from repro import obs
+
+    counter = obs.get_registry().counter("vif_sketch_updates_total")
+    a = small_sketch()
+    b = small_sketch()
+    b.update(b"k", 3)
+    b.update(b"j", 4)
+    before = counter.value
+    a.merge(b)
+    assert counter.value == before + 7  # b.total occurrences applied to a
+
+    empty = small_sketch()
+    a.merge(empty)
+    assert counter.value == before + 7  # merging nothing books nothing
+
+
+def test_merge_wordwise_matches_per_bin_addition():
+    """Large (but unsaturated) neighbouring counters: the word-wise bignum
+    add must be exactly bin-wise — no carry may cross a 64-bit lane."""
+    big = 2**63  # half the lane: sum fits, high bit set in both operands
+    a = small_sketch(width=8)
+    b = small_sketch(width=8)
+    for r in range(a.depth):
+        for i in range(8):
+            a._rows[r][i] = big - 1 - i
+            b._rows[r][i] = big - 100 + i
+    a._total = b._total = 1
+    expected = [
+        tuple((big - 1 - i) + (big - 100 + i) for i in range(8))
+        for _ in range(a.depth)
+    ]
+    a.merge(b)
+    assert a.bins() == expected
+
+
+def test_merge_saturating_fallback_clamps_per_bin():
+    a = small_sketch(width=8)
+    b = small_sketch(width=8)
+    near_max = 2**64 - 10
+    for r in range(a.depth):
+        a._rows[r][0] = near_max  # this bin saturates
+        a._rows[r][1] = 50  # this one must still add exactly
+        b._rows[r][0] = 100
+        b._rows[r][1] = 7
+    a._total = 5
+    b._total = 9
+    a.merge(b)
+    for row in a.bins():
+        assert row[0] == 2**64 - 1  # clamped, not wrapped
+        assert row[1] == 57
+    assert a.total == 14  # the exact total ignores bin saturation
+
+
+def test_deserialize_rejects_blob_truncated_inside_total():
+    """Regression: a blob cut inside the total bytes used to parse a short
+    (garbage) total and fail later with a misleading length error — or,
+    for a zero-length tail, not at all."""
+    sketch = small_sketch(seed="truncation-test")
+    sketch.update(b"k", 300)  # 2-byte total on the wire
+    blob = sketch.serialize()
+    seed_len = len(sketch.family.family_seed.encode())
+    total_start = 14 + seed_len + 4
+    with pytest.raises(ValueError, match="truncated before total"):
+        CountMinSketch.deserialize(blob[: total_start + 1])
+    # Cut before the total length field is also caught.
+    with pytest.raises(ValueError, match="truncated before total"):
+        CountMinSketch.deserialize(blob[: total_start - 2])
