@@ -1,0 +1,125 @@
+"""Serve runtime steady state: sustained throughput + drain latency gates.
+
+PR convention: CI asserts conservative *floors* — the asyncio serve loop
+(ingest → filter → audit over bounded queues, LocalBackend) must sustain a
+modest packets/sec rate end to end, and a graceful drain of a loaded
+service must settle its books quickly and losslessly.  Absolute rates on a
+shared CI host are noisy, so the floors are far below what any dev
+machine measures; the real numbers are emitted for trend tracking.
+
+Everything lands in ``BENCH_serve.json`` (uploaded from CI's
+``bench-out/`` artifact directory).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from benchmarks.conftest import emit, emit_metrics_snapshot, full_scale
+from repro.core.filter import StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.serve import (
+    LocalBackend,
+    PktgenSource,
+    ServeConfig,
+    ServeService,
+    ServeState,
+)
+
+#: Conservative end-to-end floor for the asyncio loop on a shared CI host.
+#: The loop's per-burst overhead dominates at small bursts; dev machines
+#: measure two orders of magnitude above this.
+MIN_SUSTAINED_PPS = 2_000.0
+#: A drain of a fully loaded service must settle within this bound (the
+#: config's drain_timeout_s is 30 s; steady state should be nowhere near).
+MAX_DRAIN_SECONDS = 5.0
+
+
+def _rules(count: int):
+    rules = []
+    for i in range(count):
+        rules.append(
+            FilterRule(
+                rule_id=i + 1,
+                pattern=FlowPattern(dst_prefix=f"203.0.{i % 200}.0/24"),
+                action=Action.DROP if i % 2 else Action.ALLOW,
+                requested_by="victim.example",
+            )
+        )
+    return rules
+
+
+def _backend(rules):
+    filter_ = StatelessFilter(secret="vif-serve-bench")
+    backend = LocalBackend(filter_)
+    backend.install_rules(rules)
+    return backend
+
+
+def test_serve_steady_state_throughput_and_drain_latency():
+    rules = _rules(64 if full_scale() else 16)
+    bursts = 400 if full_scale() else 120
+    source = PktgenSource(
+        rules,
+        packets_per_rule=4,
+        background_packets=16,
+        total_bursts=bursts,
+    )
+    packets_per_burst = len(rules) * 4 + 16
+
+    async def scenario():
+        service = ServeService(
+            source, _backend(rules), ServeConfig(queue_depth=16)
+        )
+        await service.start()
+        started = time.perf_counter()
+        while not service._source_exhausted:
+            assert service.state is ServeState.SERVING
+            await asyncio.sleep(0.002)
+        serving_seconds = time.perf_counter() - started
+        report = await service.drain()
+        return service, report, serving_seconds
+
+    service, report, serving_seconds = asyncio.run(scenario())
+
+    assert report.state == "drained"
+    assert report.unaccounted == 0
+    assert report.shed == 0
+    assert report.ingested == bursts * packets_per_burst
+    assert service.counters()["audited"] == report.ingested
+
+    sustained_pps = report.ingested / serving_seconds
+    assert sustained_pps >= MIN_SUSTAINED_PPS, (
+        f"serve loop sustained only {sustained_pps:.0f} pps "
+        f"(floor {MIN_SUSTAINED_PPS:.0f})"
+    )
+    assert report.drain_seconds <= MAX_DRAIN_SECONDS, (
+        f"drain took {report.drain_seconds:.2f}s "
+        f"(bound {MAX_DRAIN_SECONDS:.1f}s)"
+    )
+
+    emit(
+        "serve steady state (LocalBackend, asyncio loop)\n"
+        f"  bursts            {bursts}\n"
+        f"  packets/burst     {packets_per_burst}\n"
+        f"  ingested          {report.ingested}\n"
+        f"  sustained pps     {sustained_pps:,.0f}  (floor {MIN_SUSTAINED_PPS:,.0f})\n"
+        f"  drain seconds     {report.drain_seconds:.4f}  (bound {MAX_DRAIN_SECONDS})\n"
+        f"  shed / unaccounted  {report.shed} / {report.unaccounted}"
+    )
+    emit_metrics_snapshot(
+        "serve",
+        extra={
+            "bursts": bursts,
+            "packets_per_burst": packets_per_burst,
+            "sustained_pps": sustained_pps,
+            "serving_seconds": serving_seconds,
+            "drain_seconds": report.drain_seconds,
+            "report": report.as_dict(),
+            "floors": {
+                "min_sustained_pps": MIN_SUSTAINED_PPS,
+                "max_drain_seconds": MAX_DRAIN_SECONDS,
+            },
+        },
+    )

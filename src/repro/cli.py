@@ -107,6 +107,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a JSON snapshot of the registry")
     metrics.add_argument("--trace", metavar="PATH", default=None,
                          help="also write the recorded spans as Chrome-trace JSON")
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on serve runtime (bounded with --smoke)",
+        description=(
+            "Start the asyncio serve runtime: continuous pktgen ingest "
+            "through bounded queues into a fleet-backed filter stage, hot "
+            "rule churn on the control plane, watchdog supervision, and a "
+            "graceful drain that exits with zero unaccounted packets.  "
+            "--smoke runs a finite, seeded session (with a rule-churn "
+            "storm and an injected stage hang) and writes the rotated "
+            "journal + a metrics snapshot — the CI liveness gate."
+        ),
+    )
+    serve.add_argument("--seed", default="vif-serve", help="traffic/chaos seed")
+    serve.add_argument("--fleet-size", type=int, default=4, metavar="N",
+                       help="enclaves to deploy (default 4)")
+    serve.add_argument("--rules", type=int, default=8, metavar="K",
+                       help="filter rules to install (default 8)")
+    serve.add_argument("--bursts", type=int, default=0, metavar="B",
+                       help="stop after B ingest bursts (0 = run forever)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="finite smoke session: bounded ingest, rule "
+                            "churn, one injected stage hang, then drain")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="stream the audit journal to this JSONL path "
+                            "(size-rotated)")
+    serve.add_argument("--journal-max-bytes", type=int, default=64 * 1024,
+                       metavar="BYTES",
+                       help="rotate the journal past this size (default 64KiB)")
+    serve.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write a registry snapshot (JSON) after drain")
     return parser
 
 
@@ -471,10 +502,169 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: the always-on runtime (or a smoke session)."""
+    import asyncio
+
+    from repro import obs
+    from repro.core.controller import IXPController
+    from repro.core.fleet import FleetConfig, FleetManager
+    from repro.core.rules import (
+        Action,
+        FilterRule,
+        FlowPattern,
+        RPKIRegistry,
+        RuleSet,
+    )
+    from repro.core.session import VIFSession
+    from repro.faults import FaultEvent, FaultKind, FaultSchedule, FlakyIAS
+    from repro.serve import (
+        FleetBackend,
+        PktgenSource,
+        ServeChaosDriver,
+        ServeConfig,
+        ServeService,
+        ServeState,
+    )
+    from repro.util.units import GBPS
+
+    if args.fleet_size < 1 or args.rules < 1:
+        print("fleet-size and rules must be positive", file=sys.stderr)
+        return 2
+    bursts = args.bursts
+    if args.smoke and bursts <= 0:
+        bursts = 40
+
+    sink = None
+    if args.journal:
+        sink = obs.JsonlSink(args.journal, max_bytes=args.journal_max_bytes)
+    prev_journal = obs.set_journal(
+        obs.EventJournal(enabled=True, max_events=10_000, sink=sink)
+    )
+    try:
+        ias = FlakyIAS()
+        controller = IXPController(ias)
+        fleet = FleetManager(controller, config=FleetConfig(seed=args.seed))
+        rules = RuleSet()
+        rate = 0.6 * args.fleet_size * 10 * GBPS / args.rules
+        for i in range(args.rules):
+            rules.add(
+                FilterRule(
+                    rule_id=i + 1,
+                    pattern=FlowPattern(
+                        dst_prefix=f"10.{(i // 256) % 256}.{i % 256}.0/24"
+                    ),
+                    action=Action.DROP if i % 2 else Action.ALLOW,
+                    requested_by="victim.example",
+                    rate_bps=rate,
+                )
+            )
+        fleet.deploy(rules, enclaves_override=args.fleet_size)
+        rpki = RPKIRegistry()
+        rpki.authorize("victim.example", "10.0.0.0/8")
+        session = VIFSession("victim.example", rpki, ias, controller)
+        session.attest_filters()
+        fleet.session = session
+
+        source = PktgenSource.from_ruleset(
+            rules, seed=args.seed, total_bursts=bursts if bursts > 0 else None
+        )
+        backend = FleetBackend(fleet)
+        chaos = None
+        if args.smoke:
+            schedule = FaultSchedule(
+                rounds=bursts,
+                events=(
+                    FaultEvent(
+                        round_index=max(bursts // 4, 1),
+                        kind=FaultKind.STAGE_HANG,
+                        target=1,  # the filter stage
+                        magnitude=1,
+                    ),
+                    FaultEvent(
+                        round_index=max(bursts // 2, 2),
+                        kind=FaultKind.RULE_CHURN,
+                        magnitude=4,
+                    ),
+                ),
+                seed=args.seed,
+            )
+            chaos = ServeChaosDriver(
+                schedule, ias=ias, churn_requester="victim.example",
+            )
+            # Churn rules must clear RPKI for the fleet path; authorize the
+            # chaos prefix range too.
+            rpki.authorize("victim.example", "203.0.0.0/16")
+
+        async def _run() -> int:
+            config = ServeConfig(
+                heartbeat_deadline_s=0.5,
+                watchdog_interval_s=0.02,
+                shed_timeout_s=0.25,
+            )
+            service = ServeService(source, backend, config=config, chaos=chaos)
+            if chaos is not None:
+                chaos.bind(service)
+            await service.start()
+            while (
+                not service._source_exhausted
+                and service.state is ServeState.SERVING
+            ):
+                await asyncio.sleep(0.01)
+            report = await service.drain()
+            print(f"serve seed={args.seed!r}: {args.fleet_size} enclaves, "
+                  f"{args.rules} rules, {report.ingested} packets")
+            for key, value in sorted(report.as_dict().items()):
+                if isinstance(value, float):
+                    print(f"  {key:20s} {value:.3f}")
+                else:
+                    print(f"  {key:20s} {value}")
+            violations = obs.get_registry().check_invariants()
+            if args.metrics_json:
+                obs.get_registry().write_json(
+                    args.metrics_json,
+                    extra={
+                        "command": "serve",
+                        "seed": args.seed,
+                        "report": report.as_dict(),
+                    },
+                )
+                print(f"wrote metrics snapshot to {args.metrics_json}",
+                      file=sys.stderr)
+            if violations:
+                for violation in violations:
+                    print(f"invariant violated: {violation}", file=sys.stderr)
+                return 1
+            if report.state != "drained" or report.unaccounted != 0:
+                print(f"serve did not drain cleanly: state={report.state}, "
+                      f"unaccounted={report.unaccounted}", file=sys.stderr)
+                return 1
+            if args.smoke and report.rule_updates < 8:
+                print("smoke churn storm did not apply", file=sys.stderr)
+                return 1
+            return 0
+
+        return asyncio.run(_run())
+    finally:
+        journal = obs.get_journal()
+        if sink is not None:
+            sink.flush()
+            sink.close()
+            print(
+                f"journal: {journal.sink.lines_written} events -> "
+                f"{', '.join(sink.files())} "
+                f"({sink.rotations} rotations)",
+                file=sys.stderr,
+            )
+        obs.set_journal(prev_journal)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "fleet-sim":
         return run_fleet_sim(args)
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "audit":
         return run_audit(args)
     if args.command == "metrics":

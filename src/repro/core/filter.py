@@ -93,6 +93,11 @@ class StatelessFilter:
         self.flow_table = ExactMatchFlowTable()
         self.hash_evaluations = 0
         self.table_hits = 0
+        #: Bumped on every rule install/remove.  Live-update machinery (the
+        #: serve control plane, the sharded workers) uses it to correlate a
+        #: verdict with the rule set it was decided under; any bump implies
+        #: the decision memo was invalidated.
+        self.ruleset_version = 0
         # Pure memoization of decide_flow: because f(p) is stateless, the
         # verdict for a five-tuple cannot change between rule updates, so a
         # bounded FIFO cache is semantically invisible (it only skips
@@ -107,6 +112,7 @@ class StatelessFilter:
         try:
             self.trie.insert(rule)
         finally:
+            self.ruleset_version += 1
             self._decision_cache.clear()
 
     def install_rules(self, rules) -> int:
@@ -116,12 +122,14 @@ class StatelessFilter:
         finally:
             # insert_batch may have applied a prefix of the batch before
             # failing; invalidate unconditionally.
+            self.ruleset_version += 1
             self._decision_cache.clear()
 
     def remove_rule(self, rule: FilterRule) -> None:
         try:
             self.trie.remove(rule)
         finally:
+            self.ruleset_version += 1
             self._decision_cache.clear()
 
     @property

@@ -432,6 +432,187 @@ class FleetManager:
             **kwargs,
         )
 
+    # -- hot rule updates (the serve control plane) ---------------------------------
+
+    def _wanted_by_slot(self) -> List[Set[int]]:
+        """Per-slot rule-id sets under the current allocation."""
+        wanted: List[Set[int]] = [
+            set() for _ in range(len(self.controller.enclaves))
+        ]
+        if self._allocation is None:
+            return wanted
+        for j, share_map in enumerate(self._allocation.assignments):
+            if j < len(wanted):
+                wanted[j] = {self._rule_order[i] for i in share_map}
+        return wanted
+
+    def install_rule(
+        self,
+        rule,
+        bandwidth: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> List[int]:
+        """Hot-install one rule into the serving fleet, without redeploy.
+
+        Re-solves the distribution over the live slots, diff-installs only
+        the deltas (surviving enclaves keep their rule sets wherever the
+        solver allows), rebuilds the load-balancer routes, and — when a
+        victim session is attached — re-attests every enclave whose rule
+        set changed, through the same bounded retry/backoff machinery that
+        failover uses.  If no feasible allocation admits the new rule, it
+        is installed *shed*: blackholed at the load balancer (fail-closed)
+        rather than rejected, so its traffic never passes unfiltered.
+        Returns the slots whose rule sets changed.
+        """
+        if self._allocation is None and self._rule_order:
+            raise FleetError("deploy() the fleet before hot rule updates")
+        self._rules.add(rule)
+        if priority is not None:
+            self._priorities[rule.rule_id] = priority
+        bw = rule.rate_bps if bandwidth is None else float(bandwidth)
+        changed = self._resolve_live(
+            add=(rule.rule_id, bw), action="install", rule_id=rule.rule_id
+        )
+        return changed
+
+    def remove_rule(self, rule_id: int) -> List[int]:
+        """Hot-retract one rule from the serving fleet, without redeploy.
+
+        The inverse of :meth:`install_rule`: books are updated, the
+        allocation is re-solved over the remaining active rules (always
+        feasible — demand only shrinks), deltas are diff-installed, and
+        changed enclaves are re-attested.  Removing a shed rule simply
+        lifts its blackhole.  Returns the slots whose rule sets changed.
+        """
+        self._rules.remove(rule_id)  # raises RuleError on unknown id
+        self._priorities.pop(rule_id, None)
+        if rule_id in self._shed:
+            self._shed.discard(rule_id)
+            self.controller.load_balancer.configure(
+                self._rules, self._current_routes()
+            )
+            if self._shed:
+                self.controller.load_balancer.blackhole(self._shed)
+            self._journal_rule_update("remove", rule_id, [], shed=True)
+            return []
+        return self._resolve_live(
+            drop=rule_id, action="remove", rule_id=rule_id
+        )
+
+    def _current_routes(self) -> Dict[int, List[Tuple[int, float]]]:
+        """LB routes implied by the current allocation (for rebuilds)."""
+        routes: Dict[int, List[Tuple[int, float]]] = {}
+        if self._allocation is None:
+            return routes
+        for j, share_map in enumerate(self._allocation.assignments):
+            for i, share in share_map.items():
+                routes.setdefault(self._rule_order[i], []).append((j, share))
+        return routes
+
+    def _resolve_live(
+        self,
+        action: str,
+        rule_id: int,
+        add: Optional[Tuple[int, float]] = None,
+        drop: Optional[int] = None,
+    ) -> List[int]:
+        """Re-solve over live slots after a rule delta and install the diff."""
+        before = self._wanted_by_slot()
+        active = [
+            (rid, bw)
+            for rid, bw in zip(self._rule_order, self._bandwidths)
+            if rid != drop
+        ]
+        if add is not None:
+            active.append(add)
+        live_slots = [
+            j
+            for j in range(len(self.controller.enclaves))
+            if not self.controller.enclaves[j].destroyed
+            and not (
+                j < len(self._health)
+                and self._health[j] is EnclaveHealth.DEAD
+            )
+        ]
+        allocation: Optional[Allocation] = None
+        if active and live_slots:
+            problem = RuleDistributionProblem(
+                bandwidths=[bw for _, bw in active],
+                enclaves_override=len(live_slots),
+                **self._problem_params,  # type: ignore[arg-type]
+            )
+            try:
+                allocation = greedy_solve(problem)
+            except InfeasibleError:
+                if add is not None:
+                    # No capacity for the new rule: fail closed — install
+                    # it blackholed instead of letting its traffic pass.
+                    self._shed.add(add[0])
+                    self.counters.rules_shed += 1
+                    self.counters.shed_bandwidth_bps += add[1]
+                    self.controller.load_balancer.blackhole({add[0]})
+                    self._journal_rule_update(action, rule_id, [], shed=True)
+                    return []
+                raise
+        self._rule_order = [rid for rid, _ in active]
+        self._bandwidths = [bw for _, bw in active]
+
+        if allocation is None:
+            self._allocation = None
+            self._install_assignments([])
+            self._journal_rule_update(action, rule_id, [], shed=False)
+            return []
+
+        # Map solver enclave indices back onto the physical live slots.
+        slot_assignments: List[Dict[int, float]] = [
+            {} for _ in range(len(self.controller.enclaves))
+        ]
+        for solver_j, share_map in enumerate(allocation.assignments):
+            if solver_j < len(live_slots):
+                slot_assignments[live_slots[solver_j]] = dict(share_map)
+            elif share_map:
+                slot_assignments[live_slots[-1]].update(share_map)
+        self._allocation = Allocation(
+            problem=allocation.problem, assignments=slot_assignments
+        )
+        self._install_assignments(slot_assignments)
+
+        after = self._wanted_by_slot()
+        changed = [
+            j
+            for j in range(len(self.controller.enclaves))
+            if before[j] != after[j]
+            and not self.controller.enclaves[j].destroyed
+        ]
+        if changed and self.session is not None:
+            # A rule change alters the enclave's trusted state; re-attest
+            # the touched enclaves through the failover retry/backoff path.
+            for j in changed:
+                self.session.invalidate_attestation(j)
+            self._attest_with_retry()
+        self._journal_rule_update(action, rule_id, changed, shed=False)
+        return changed
+
+    def _journal_rule_update(
+        self, action: str, rule_id: int, changed: List[int], shed: bool
+    ) -> None:
+        obs.get_registry().counter(
+            "vif_fleet_rule_updates_total",
+            help="Hot rule deltas applied to a serving fleet, by action",
+            fleet=self.counters.fleet_label,
+            action=action,
+        ).inc()
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.emit(
+                "rule_update",
+                action=action,
+                rule_id=rule_id,
+                changed_slots=list(changed),
+                shed=shed,
+                active_rules=len(self._rule_order),
+            )
+
     # -- fault entry points (used by repro.faults and tests) ----------------------
 
     def inject_crash(self, slot: int, platform_lost: bool = False) -> None:

@@ -340,3 +340,19 @@ class FilterPipeline:
         self.nic_in.receive_from_wire(packets)
         self.run_until_drained()
         return self.nic_out.drain_to_wire()
+
+    def drain(self, max_iterations: int = 1_000_000) -> dict:
+        """Graceful drain: flush every in-flight packet and settle the books.
+
+        Serve mode calls this on shutdown — no new intake happens here, the
+        stages just iterate until the inbound NIC queue and both rings are
+        empty, then the conservation invariant is enforced.  Returns a drain
+        report: the final stats plus the in-flight count (always 0 on
+        success), so the caller can journal a lossless-shutdown record.
+        """
+        self.run_until_drained(max_iterations=max_iterations)
+        return {
+            "in_flight": len(self.rx_ring) + len(self.tx_ring),
+            "forwarded_pending": len(self.nic_out.tx_queue),
+            **self.stats.as_dict(),
+        }

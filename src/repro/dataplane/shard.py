@@ -53,7 +53,7 @@ import multiprocessing
 import queue as queue_module
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.core.controller import LoadBalancer
@@ -90,7 +90,17 @@ def _worker_main(
     task_queue: "multiprocessing.Queue",
     result_queue: "multiprocessing.Queue",
 ) -> None:
-    """Worker process body: filter batches until the ``None`` sentinel.
+    """Worker process body: serve tagged tasks until the ``None`` sentinel.
+
+    Tasks are ``("batch", batch_id, flows)`` filter work,
+    ``("install", delta_id, rule_dicts)`` / ``("remove", delta_id,
+    rule_ids)`` hot rule deltas (acked back so the coordinator can order
+    them against batches), or ``None`` to finish.  Because the task queue
+    is FIFO, a rule delta takes effect after every batch dispatched before
+    it and before every batch dispatched after it — exactly the
+    between-bursts semantics the serve control plane needs.  Rule deltas
+    go through :class:`EnclaveFilter`'s install/remove paths, which clear
+    the per-flow decision memo, so no stale verdict survives a delta.
 
     The worker runs a *private* metrics registry under a process-qualified
     instance namespace so its series merge collision-free at the
@@ -113,7 +123,20 @@ def _worker_main(
         item = task_queue.get()
         if item is None:
             break
-        batch_id, flows = item
+        kind = item[0]
+        if kind == "install":
+            _, delta_id, rule_dicts = item
+            program.install_rules(
+                [FilterRule.from_dict(d) for d in rule_dicts]
+            )
+            result_queue.put(("rule_ack", worker_id, delta_id, None))
+            continue
+        if kind == "remove":
+            _, delta_id, rule_ids = item
+            program.remove_rules(list(rule_ids))
+            result_queue.put(("rule_ack", worker_id, delta_id, None))
+            continue
+        _, batch_id, flows = item
         started = time.process_time()
         packets: List[Packet] = []
         first_packet_index: List[int] = []
@@ -235,6 +258,8 @@ class ShardedDataPlane:
         start_method: Optional[str] = None,
         merge_worker_metrics: bool = True,
         result_timeout: float = 120.0,
+        restart_dead_workers: bool = False,
+        max_worker_restarts: int = 3,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -247,18 +272,32 @@ class ShardedDataPlane:
             )
         if max_inflight < 1:
             raise ConfigurationError("max_inflight must be positive")
+        if max_worker_restarts < 0:
+            raise ConfigurationError("max_worker_restarts must be >= 0")
         self.num_workers = num_workers
         self.batch_size = batch_size
         self.shard_salt = shard_salt
         self.merge_worker_metrics = merge_worker_metrics
         self.result_timeout = result_timeout
-        self._config = ShardConfig(
-            rules=tuple(rule.to_dict() for rule in rules),
+        self.restart_dead_workers = restart_dead_workers
+        self.max_worker_restarts = max_worker_restarts
+        #: The live rule set (rule_id -> wire dict): seeds every worker at
+        #: spawn *and* respawn, and is kept current by install_rule /
+        #: remove_rule so a restarted worker always carries the post-churn
+        #: rules.
+        self._live_rules: Dict[int, Dict[str, object]] = {
+            rule.rule_id: rule.to_dict() for rule in rules
+        }
+        self._base_config = ShardConfig(
+            rules=(),
             decision_secret=decision_secret,
             mode=mode,
             sketch_seed=sketch_seed,
             burst_size=burst_size,
         )
+        #: Bumped on every applied rule delta (mirrors the filter-side memo
+        #: invalidation; lets operators correlate verdict changes).
+        self.ruleset_version = 0
         if start_method is None:
             # fork keeps worker start cheap (no re-import of the scientific
             # stack); fall back to the platform default where unavailable.
@@ -271,34 +310,67 @@ class ShardedDataPlane:
         self._result_queue: Optional["multiprocessing.Queue"] = None
         self._shard_cache: Dict[FiveTuple, int] = {}
         self._next_batch_id = 0
-        #: batch_id -> (verdict sink list, per-flow original packet indexes)
-        self._pending: Dict[int, Tuple[List[object], List[List[int]]]] = {}
+        self._next_delta_id = 0
+        #: batch_id -> (verdict sink, per-flow packet indexes, worker, wire).
+        #: Worker and wire are retained so a batch lost to a worker death can
+        #: be re-dispatched to the replacement.
+        self._pending: Dict[
+            int, Tuple[List[object], List[List[int]], int, BatchWire]
+        ] = {}
         self._summaries: Dict[int, Dict[str, object]] = {}
+        #: delta_id -> worker ids that have acknowledged the rule delta.
+        self._acked_deltas: Dict[int, Set[int]] = {}
+        self._worker_restarts: List[int] = [0] * num_workers
         self._packets_dispatched = 0
         self._coordinator_busy = 0.0
         self._wall_seconds = 0.0
         self._started = False
         self._finished = False
+        self._closed = False
+
+    def _worker_config(self) -> ShardConfig:
+        """The spawn config carrying the *current* rule set."""
+        return ShardConfig(
+            rules=tuple(
+                self._live_rules[rid] for rid in sorted(self._live_rules)
+            ),
+            decision_secret=self._base_config.decision_secret,
+            mode=self._base_config.mode,
+            sketch_seed=self._base_config.sketch_seed,
+            burst_size=self._base_config.burst_size,
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "ShardedDataPlane":
+        if self._closed:
+            raise ConfigurationError("sharded data plane was closed")
         if self._started:
             raise ConfigurationError("sharded data plane already started")
         self._result_queue = self._ctx.Queue()
         for worker_id in range(self.num_workers):
             task_queue = self._ctx.Queue(maxsize=self._max_inflight)
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(worker_id, self._config, task_queue, self._result_queue),
-                daemon=True,
-                name=f"vif-shard-w{worker_id}",
-            )
-            process.start()
             self._task_queues.append(task_queue)
-            self._workers.append(process)
+            self._workers.append(self._spawn_worker(worker_id, task_queue))
         self._started = True
         return self
+
+    def _spawn_worker(
+        self, worker_id: int, task_queue: "multiprocessing.Queue"
+    ) -> "multiprocessing.Process":
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._worker_config(),
+                task_queue,
+                self._result_queue,
+            ),
+            daemon=True,
+            name=f"vif-shard-w{worker_id}",
+        )
+        process.start()
+        return process
 
     def __enter__(self) -> "ShardedDataPlane":
         if not self._started:
@@ -330,20 +402,123 @@ class ShardedDataPlane:
         except queue_module.Empty:
             return False
         if kind == "verdicts":
-            sink, flow_indexes = self._pending.pop(batch_id)
+            entry = self._pending.pop(batch_id, None)
+            if entry is None:
+                # A batch re-dispatched after a worker death can, in a
+                # narrow race, be answered twice; the first answer wins.
+                return True
+            sink, flow_indexes, _, _ = entry
             for verdict, packet_indexes in zip(payload, flow_indexes):
                 for index in packet_indexes:
                     sink[index] = verdict
+        elif kind == "rule_ack":
+            self._acked_deltas.setdefault(batch_id, set()).add(worker_id)
         else:  # summary
             self._summaries[worker_id] = payload
         return True
 
-    def _check_workers_alive(self) -> None:
-        dead = [p.name for p in self._workers if not p.is_alive()]
-        if dead and (self._pending or len(self._summaries) < self.num_workers):
-            raise RuntimeError(
-                f"sharded data plane worker(s) died: {', '.join(dead)}"
-            )
+    def dead_workers(self) -> List[int]:
+        """Worker ids whose processes are no longer alive."""
+        return [
+            worker_id
+            for worker_id, process in enumerate(self._workers)
+            if not process.is_alive()
+        ]
+
+    def heal(self) -> List[int]:
+        """Restart every dead worker (within the restart budget).
+
+        Returns the restarted worker ids.  Raises :class:`RuntimeError`
+        when a worker has exhausted ``max_worker_restarts`` — the caller
+        must then fail closed (the serve watchdog sheds and drains).
+        """
+        if not self._started or self._closed:
+            return []
+        restarted = []
+        for worker_id in self.dead_workers():
+            if len(self._summaries) >= self.num_workers:
+                break  # normal shutdown: workers exited after summarizing
+            if worker_id in self._summaries:
+                continue
+            if self._worker_restarts[worker_id] >= self.max_worker_restarts:
+                raise RuntimeError(
+                    f"shard worker {worker_id} exceeded its restart budget "
+                    f"({self.max_worker_restarts})"
+                )
+            self.restart_worker(worker_id)
+            restarted.append(worker_id)
+        return restarted
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Replace one worker process and re-dispatch its pending batches.
+
+        The replacement is spawned from the *live* rule set (post-churn) on
+        a fresh task queue; every batch still awaiting verdicts from the
+        dead worker is re-sent, so no packet loses its verdict to a worker
+        death.  The dead worker's sketch log dies with it — re-dispatched
+        batches are re-counted by the replacement, and batches it had
+        already answered are absent from the merged sketch, which the audit
+        layer reports as divergence rather than hiding.
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise ConfigurationError(f"no shard worker {worker_id}")
+        old = self._workers[worker_id]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5.0)
+        old_queue = self._task_queues[worker_id]
+        old_queue.cancel_join_thread()
+        old_queue.close()
+        task_queue = self._ctx.Queue(maxsize=self._max_inflight)
+        self._task_queues[worker_id] = task_queue
+        self._worker_restarts[worker_id] += 1
+        self._workers[worker_id] = self._spawn_worker(worker_id, task_queue)
+        # A delta broadcast the dead worker never acked is already baked
+        # into the replacement's spawn config.
+        for delta_id, acked in self._acked_deltas.items():
+            acked.add(worker_id)
+        for batch_id, (sink, flow_indexes, owner, wire) in list(
+            self._pending.items()
+        ):
+            if owner == worker_id:
+                self._enqueue_task(worker_id, ("batch", batch_id, wire))
+
+    def _on_worker_death(self) -> None:
+        """Dead-worker policy hook for the wait loops.
+
+        A worker that already delivered its summary exited *cleanly*; only
+        workers that died with work (or their summary) outstanding count.
+        """
+        dead = [
+            worker_id
+            for worker_id in self.dead_workers()
+            if worker_id not in self._summaries
+        ]
+        if not dead:
+            return
+        if self._pending or len(self._summaries) < self.num_workers:
+            if self.restart_dead_workers:
+                self.heal()
+            else:
+                names = ", ".join(
+                    self._workers[worker_id].name for worker_id in dead
+                )
+                raise RuntimeError(
+                    f"sharded data plane worker(s) died: {names}"
+                )
+
+    def _enqueue_task(self, worker_id: int, item: Tuple) -> None:
+        """Put one task, draining results while the task queue is full."""
+        while True:
+            try:
+                self._task_queues[worker_id].put(item, timeout=0.05)
+                return
+            except queue_module.Full:
+                # Back-pressure: make room by consuming finished verdicts
+                # instead of buffering unboundedly (and avoid the classic
+                # full-task-queue/full-result-queue deadlock).
+                self._collect_one(timeout=0.05)
+                self._on_worker_death()
 
     def _dispatch(
         self,
@@ -355,19 +530,51 @@ class ShardedDataPlane:
         """Send one batch, draining verdicts while the task queue is full."""
         batch_id = self._next_batch_id
         self._next_batch_id += 1
-        self._pending[batch_id] = (sink, flow_indexes)
-        task_queue = self._task_queues[worker_id]
-        item = (batch_id, wire)
-        while True:
-            try:
-                task_queue.put(item, timeout=0.05)
-                return
-            except queue_module.Full:
-                # Back-pressure: make room by consuming finished verdicts
-                # instead of buffering unboundedly (and avoid the classic
-                # full-task-queue/full-result-queue deadlock).
-                self._collect_one(timeout=0.05)
-                self._check_workers_alive()
+        self._pending[batch_id] = (sink, flow_indexes, worker_id, wire)
+        self._enqueue_task(worker_id, ("batch", batch_id, wire))
+
+    # -- hot rule updates ------------------------------------------------------
+
+    def install_rule(self, rule: FilterRule) -> None:
+        """Install one rule on every worker, between batches, without restart."""
+        self._apply_delta("install", [rule.to_dict()])
+        self._live_rules[rule.rule_id] = rule.to_dict()
+        self.ruleset_version += 1
+
+    def remove_rule(self, rule_id: int) -> None:
+        """Remove one rule from every worker, between batches, without restart."""
+        self._apply_delta("remove", [rule_id])
+        self._live_rules.pop(rule_id, None)
+        self.ruleset_version += 1
+
+    def _apply_delta(self, action: str, payload: List[object]) -> None:
+        """Broadcast one rule delta and wait for every worker's ack.
+
+        The task queues are FIFO, so the delta is ordered after every batch
+        dispatched before this call and before every batch dispatched after
+        it; waiting for the acks makes the call synchronous (on return, the
+        delta is live on every worker) and surfaces worker deaths.
+        """
+        if not self._started or self._finished or self._closed:
+            raise ConfigurationError("sharded data plane is not running")
+        delta_id = self._next_delta_id
+        self._next_delta_id += 1
+        self._acked_deltas[delta_id] = set()
+        for worker_id in range(self.num_workers):
+            self._enqueue_task(worker_id, (action, delta_id, payload))
+        waited = 0.0
+        while len(self._acked_deltas[delta_id]) < self.num_workers:
+            if self._collect_one(timeout=0.1):
+                continue
+            waited += 0.1
+            self._on_worker_death()
+            if waited > self.result_timeout:
+                self.close()
+                raise RuntimeError(
+                    f"timed out waiting for rule-delta acks "
+                    f"({len(self._acked_deltas[delta_id])}/{self.num_workers})"
+                )
+        del self._acked_deltas[delta_id]
 
     def process(self, packets: Iterable[Packet]) -> List[object]:
         """Shard ``packets`` across the workers; returns per-packet verdicts.
@@ -376,7 +583,7 @@ class ShardedDataPlane:
         :class:`EnclaveFilter` holding the same rules would return.  Blocks
         until every packet of this call is adjudicated.
         """
-        if not self._started or self._finished:
+        if not self._started or self._finished or self._closed:
             raise ConfigurationError("sharded data plane is not running")
         wall_started = time.perf_counter()
         cpu_started = time.process_time()
@@ -426,8 +633,9 @@ class ShardedDataPlane:
                 # Tolerate a few empty polls before declaring a worker dead:
                 # a worker's last message can still be in the pipe when its
                 # process has already exited.
-                self._check_workers_alive()
+                self._on_worker_death()
             if waited > self.result_timeout:
+                self.close()
                 raise RuntimeError(
                     f"timed out waiting for {len(self._pending)} "
                     "outstanding shard batches"
@@ -457,12 +665,31 @@ class ShardedDataPlane:
     # -- teardown / merge ------------------------------------------------------
 
     def finish(self) -> ShardRunResult:
-        """Stop the workers and centrally merge sketches, counts and metrics."""
+        """Stop the workers and centrally merge sketches, counts and metrics.
+
+        Every failure path (worker death, timeout, merge error) tears the
+        workers down through :meth:`close` before re-raising, so a failed
+        finish never leaves orphaned worker processes behind.  Calling
+        ``finish`` after ``close`` (or twice) fails immediately with a
+        clear error instead of hanging on dead queues.
+        """
         if not self._started:
             raise ConfigurationError("sharded data plane was never started")
+        if self._closed:
+            raise ConfigurationError(
+                "sharded data plane was closed; finish() has no workers "
+                "left to merge — call finish() before close()"
+            )
         if self._finished:
             raise ConfigurationError("sharded data plane already finished")
         self._finished = True
+        try:
+            return self._finish_inner()
+        except BaseException:
+            self.close()
+            raise
+
+    def _finish_inner(self) -> ShardRunResult:
         for task_queue in self._task_queues:
             task_queue.put(None)
         waited = 0.0
@@ -474,7 +701,7 @@ class ShardedDataPlane:
             waited += 0.1
             misses += 1
             if misses >= 5:
-                self._check_workers_alive()
+                self._on_worker_death()
             if waited > self.result_timeout:
                 raise RuntimeError("timed out waiting for worker summaries")
         for process in self._workers:
@@ -529,6 +756,7 @@ class ShardedDataPlane:
 
     def close(self) -> None:
         """Tear the workers down unconditionally (idempotent)."""
+        self._closed = True
         for process in self._workers:
             if process.is_alive():
                 process.terminate()
@@ -540,6 +768,8 @@ class ShardedDataPlane:
         self._task_queues = []
         self._workers = []
         self._result_queue = None
+        self._pending = {}
+        self._acked_deltas = {}
 
 
 def run_single_process_reference(

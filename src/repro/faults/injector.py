@@ -81,6 +81,16 @@ class FaultInjector:
                     "IAS_OUTAGE event needs a FlakyIAS injector target"
                 )
             self.ias.fail_next(event.magnitude)
+        elif event.kind in (
+            FaultKind.WORKER_KILL,
+            FaultKind.STAGE_HANG,
+            FaultKind.RULE_CHURN,
+        ):
+            raise ConfigurationError(
+                f"{event.kind.value} is a serve-scoped fault; replay it "
+                "through repro.serve.chaos.ServeChaosDriver, not the "
+                "per-round FaultInjector"
+            )
         else:  # pragma: no cover - enum is closed
             raise ConfigurationError(f"unknown fault kind {event.kind!r}")
         obs.get_registry().counter(

@@ -28,6 +28,18 @@ class FaultKind(enum.Enum):
     #: The attestation service fails the next ``magnitude`` verifications
     #: (transient outage); recovery must ride it out with retry/backoff.
     IAS_OUTAGE = "ias-outage"
+    # -- serve-scoped kinds (handled by repro.serve.chaos, not the round
+    # -- injector; ``round_index`` means "burst index" for these) -----------
+    #: A sharded data-plane worker process is killed outright; the serve
+    #: watchdog must restart it and re-dispatch its in-flight batches.
+    WORKER_KILL = "worker-kill"
+    #: A service stage (``target`` picks ingest/filter/audit) hangs for
+    #: ``magnitude`` heartbeat deadlines; the watchdog must cancel and
+    #: restart it without losing the in-flight burst.
+    STAGE_HANG = "stage-hang"
+    #: A burst of ``magnitude`` hot rule installs immediately followed by
+    #: their removals — the control-plane churn storm.
+    RULE_CHURN = "rule-churn"
 
 
 @dataclass(frozen=True)
@@ -122,6 +134,67 @@ class FaultSchedule:
                     )
                 )
         return cls(rounds=rounds, events=tuple(events), seed=seed)
+
+    @classmethod
+    def generate_serve(
+        cls,
+        seed: str,
+        bursts: int,
+        workers: int,
+        worker_kill_prob: float = 0.01,
+        stage_hang_prob: float = 0.01,
+        rule_churn_prob: float = 0.02,
+        ias_outage_prob: float = 0.0,
+        churn_size: int = 4,
+        hang_deadlines: int = 2,
+        ias_outage_length: int = 2,
+    ) -> "FaultSchedule":
+        """Draw a serve-mode chaos schedule over ``bursts`` ingest bursts.
+
+        Serve-scoped kinds ride the same :class:`FaultEvent` shape with
+        ``round_index`` reinterpreted as the burst index; the schedule is
+        replayed by :class:`repro.serve.chaos.ServeChaosDriver` rather than
+        the per-round :class:`~repro.faults.injector.FaultInjector`.
+        """
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        rng = deterministic_rng(f"{seed}/serve-chaos")
+        events: List[FaultEvent] = []
+        for b in range(bursts):
+            if rng.random() < worker_kill_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=b,
+                        kind=FaultKind.WORKER_KILL,
+                        target=rng.randrange(workers),
+                    )
+                )
+            if rng.random() < stage_hang_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=b,
+                        kind=FaultKind.STAGE_HANG,
+                        target=rng.randrange(3),
+                        magnitude=hang_deadlines,
+                    )
+                )
+            if rng.random() < rule_churn_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=b,
+                        kind=FaultKind.RULE_CHURN,
+                        magnitude=churn_size,
+                    )
+                )
+            if rng.random() < ias_outage_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=b,
+                        kind=FaultKind.IAS_OUTAGE,
+                        magnitude=ias_outage_length,
+                    )
+                )
+        return cls(rounds=bursts, events=tuple(events), seed=seed)
 
     @classmethod
     def kill_fraction(

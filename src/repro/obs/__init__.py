@@ -33,6 +33,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     Event,
     EventJournal,
+    JsonlSink,
     get_journal,
     journaling_enabled,
     read_jsonl,
@@ -95,6 +96,7 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "LazyCounter",
     "MetricsRegistry",
     "SpanRecord",

@@ -25,6 +25,7 @@ free-form log.
 from __future__ import annotations
 
 import json
+import os
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
 #: Schema tag stamped into every serialized event (consumers key off this).
@@ -44,10 +45,96 @@ EVENT_TYPES = frozenset(
         "fault_injected",    # the fault harness fired a scheduled fault
         "invariant_failure", # an independent invariant audit failed
         "alert",             # a typed audit alert (kind in payload)
+        "rule_update",       # a hot rule delta was applied while serving
+        "stage_restart",     # the serve watchdog restarted a stage/worker
+        "serve_state",       # the serve runtime changed lifecycle state
     }
 )
 
 PayloadValue = Union[str, int, float, bool, None, list, dict]
+
+
+class JsonlSink:
+    """A streaming JSONL file sink with size-based rotation.
+
+    Serve mode emits events indefinitely; holding them all in memory (or in
+    one ever-growing file) is an outage waiting to happen.  The sink appends
+    one line per event and rotates when the current file would exceed
+    ``max_bytes``: ``path`` becomes ``path.1``, the old ``path.1`` becomes
+    ``path.2``, and anything past ``max_files`` rotated generations is
+    deleted.  Rotation happens *between* lines, so every file is valid JSONL
+    on its own and :func:`read_jsonl` accepts each one directly.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 16 * 1024 * 1024,
+        max_files: int = 3,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if max_files < 0:
+            raise ValueError("max_files must be >= 0")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.lines_written = 0
+        self.rotations = 0
+        self._fh = None
+        self._size = 0
+
+    def _open(self) -> None:
+        self._size = (
+            os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        )
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, line: str) -> None:
+        """Append one JSONL line (must already end with a newline)."""
+        if self._fh is None:
+            self._open()
+        encoded = len(line.encode("utf-8"))
+        if self._size > 0 and self._size + encoded > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._size += encoded
+        self.lines_written += 1
+
+    def _rotate(self) -> None:
+        assert self._fh is not None
+        self._fh.close()
+        self._fh = None
+        # Shift generations oldest-first: path.N-1 -> path.N, ..., path -> path.1.
+        oldest = f"{self.path}.{self.max_files}"
+        if self.max_files == 0:
+            os.remove(self.path)
+        else:
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for n in range(self.max_files - 1, 0, -1):
+                src = f"{self.path}.{n}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{n + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self.rotations += 1
+        self._open()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def files(self) -> List[str]:
+        """Every file the sink currently owns, newest first."""
+        paths = [self.path]
+        for n in range(1, self.max_files + 1):
+            paths.append(f"{self.path}.{n}")
+        return [p for p in paths if os.path.exists(p)]
 
 
 class Event:
@@ -89,6 +176,14 @@ class Event:
         )
 
 
+def _serialize_event(event: Event) -> str:
+    """The canonical byte-stable JSONL line for one event."""
+    return (
+        json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+
+
 class EventJournal:
     """An append-only journal of typed events with JSONL serialization.
 
@@ -105,10 +200,23 @@ class EventJournal:
         time_source: Optional[Callable[[], float]] = None,
         enabled: bool = False,
         session_id: str = "",
+        max_events: Optional[int] = None,
+        sink: Optional[JsonlSink] = None,
     ) -> None:
+        """``max_events`` bounds the in-memory list (oldest events are
+        evicted past the cap; ``evicted_events`` counts them) and ``sink``
+        optionally streams every event to a rotating JSONL file at emit
+        time, so an always-on service keeps a durable journal without
+        unbounded process growth.  Both default off: batch runs behave
+        exactly as before (byte-identical golden journals)."""
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be positive (or None)")
         self.enabled = enabled
         self.session_id = session_id
         self.current_round: Optional[int] = None
+        self.max_events = max_events
+        self.evicted_events = 0
+        self.sink = sink
         self._time = time_source
         self._events: List[Event] = []
         self._next_seq = 1
@@ -144,6 +252,12 @@ class EventJournal:
             payload=dict(payload),
         )
         self._events.append(event)
+        if self.max_events is not None and len(self._events) > self.max_events:
+            evict = len(self._events) - self.max_events
+            del self._events[:evict]
+            self.evicted_events += evict
+        if self.sink is not None:
+            self.sink.write(_serialize_event(event))
         return event
 
     def set_round(self, round_id: Optional[int]) -> None:
@@ -154,6 +268,7 @@ class EventJournal:
         self._events = []
         self._next_seq = 1
         self.current_round = None
+        self.evicted_events = 0
 
     # -- introspection ----------------------------------------------------------
 
@@ -171,11 +286,13 @@ class EventJournal:
     # -- serialization -----------------------------------------------------------
 
     def to_jsonl(self) -> str:
-        """One compact, key-sorted JSON object per line (byte-stable)."""
-        return "".join(
-            json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
-            for e in self._events
-        )
+        """One compact, key-sorted JSON object per line (byte-stable).
+
+        Serializes the *retained* events; with a ``max_events`` cap in
+        place, evicted history is only available through the streaming
+        :class:`JsonlSink` (which saw every event at emit time).
+        """
+        return "".join(_serialize_event(e) for e in self._events)
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the always-on service runtime (PR 7).
+
+Turns the batch-oriented fleet/pipeline/shard stack into an operable
+long-running process: continuous ingest through bounded queues with
+explicit backpressure and shed accounting, hot rule install/remove
+without restart, a watchdog supervisor with capped-backoff restarts that
+fails closed when the budget is exhausted, and a graceful drain that
+exits with zero unaccounted packets.  See ``docs/OPERATIONS.md`` for the
+runbook.
+"""
+
+from repro.serve.backends import (
+    FleetBackend,
+    LocalBackend,
+    RuleDelta,
+    ShardBackend,
+)
+from repro.serve.chaos import ServeChaosDriver
+from repro.serve.ingest import IngestSource, PktgenSource, TraceReplaySource
+from repro.serve.service import (
+    DrainReport,
+    ServeConfig,
+    ServeService,
+    ServeState,
+    serve_bounded,
+)
+
+__all__ = [
+    "DrainReport",
+    "FleetBackend",
+    "IngestSource",
+    "LocalBackend",
+    "PktgenSource",
+    "RuleDelta",
+    "ServeChaosDriver",
+    "ServeConfig",
+    "ServeService",
+    "ServeState",
+    "ShardBackend",
+    "TraceReplaySource",
+    "serve_bounded",
+]

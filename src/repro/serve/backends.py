@@ -1,0 +1,212 @@
+"""Filter backends for the serve runtime.
+
+The service's filter stage is backend-agnostic: anything with
+``process_burst(packets) -> verdicts`` and ``apply_delta(delta)`` can sit
+behind it.  Three adapters cover the stack the repo already has:
+
+* :class:`LocalBackend` — one in-process :class:`StatelessFilter` (unit
+  tests, single-core deployments).
+* :class:`FleetBackend` — a :class:`~repro.core.fleet.FleetManager` behind
+  :class:`~repro.core.fleet.FleetBurstFilter`; hot deltas re-solve the rule
+  distribution, diff-install, and re-attest the touched enclaves through
+  the fleet's bounded retry/backoff machinery.
+* :class:`ShardBackend` — the multiprocessing
+  :class:`~repro.dataplane.shard.ShardedDataPlane` with dead-worker
+  restart enabled; the watchdog polls :meth:`ShardBackend.heal`.
+
+``fail_closed()`` is the end-of-the-line action: when the watchdog's
+restart budget is exhausted, the backend must stop passing traffic rather
+than pass it unfiltered (the AITF partial-filtering stance the fleet
+already takes for shed rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.filter import StatelessFilter
+from repro.core.fleet import FleetBurstFilter, FleetManager
+from repro.core.rules import FilterRule
+from repro.dataplane.packet import Packet
+from repro.dataplane.shard import ShardedDataPlane
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RuleDelta:
+    """One hot rule-set change, queued on the serve control plane."""
+
+    action: str  # "install" | "remove"
+    rule: Optional[FilterRule] = None
+    rule_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action == "install":
+            if self.rule is None:
+                raise ConfigurationError("install delta needs a rule")
+        elif self.action == "remove":
+            rid = self.rule_id if self.rule_id is not None else (
+                self.rule.rule_id if self.rule is not None else None
+            )
+            if rid is None:
+                raise ConfigurationError("remove delta needs a rule_id")
+        else:
+            raise ConfigurationError(
+                f"unknown delta action {self.action!r} "
+                "(expected 'install' or 'remove')"
+            )
+
+    @property
+    def target_rule_id(self) -> int:
+        if self.action == "install":
+            assert self.rule is not None
+            return self.rule.rule_id
+        return self.rule_id if self.rule_id is not None else self.rule.rule_id
+
+
+class LocalBackend:
+    """One in-process :class:`StatelessFilter` behind the backend protocol."""
+
+    def __init__(self, filter_: StatelessFilter) -> None:
+        self.filter = filter_
+        # remove_rule needs the FilterRule object; keep the live set by id.
+        self._rules: Dict[int, FilterRule] = {
+            rule.rule_id: rule for rule in filter_.trie.rules()
+        }
+
+    @property
+    def ruleset_version(self) -> int:
+        return self.filter.ruleset_version
+
+    def install_rules(self, rules: Sequence[FilterRule]) -> None:
+        for rule in rules:
+            self.filter.install_rule(rule)
+            self._rules[rule.rule_id] = rule
+
+    def process_burst(self, packets: Sequence[Packet]) -> List[object]:
+        return [self.filter(packet) for packet in packets]
+
+    def apply_delta(self, delta: RuleDelta) -> None:
+        if delta.action == "install":
+            self.filter.install_rule(delta.rule)
+            self._rules[delta.rule.rule_id] = delta.rule
+        else:
+            rule = self._rules.pop(delta.target_rule_id, None)
+            if rule is None:
+                raise ConfigurationError(
+                    f"cannot remove unknown rule {delta.target_rule_id}"
+                )
+            self.filter.remove_rule(rule)
+
+    def fail_closed(self) -> None:
+        # A local filter has no load balancer to blackhole at; the service
+        # stops feeding it, which is the whole fail-closed story here.
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class FleetBackend:
+    """A deployed fleet behind the backend protocol.
+
+    Hot deltas go through :meth:`FleetManager.install_rule` /
+    :meth:`FleetManager.remove_rule`: re-solve over the live slots,
+    diff-install, rebuild load-balancer routes, and re-attest every
+    enclave whose rule set changed (bounded retry + backoff).  ``heal()``
+    runs one probe/recover round so the watchdog also covers enclave
+    deaths, not just service-stage hangs.
+    """
+
+    def __init__(self, fleet: FleetManager) -> None:
+        self.fleet = fleet
+        self._burst = FleetBurstFilter(fleet)
+
+    @property
+    def ruleset_version(self) -> int:
+        return len(self.fleet.active_rule_ids)
+
+    def process_burst(self, packets: Sequence[Packet]) -> List[object]:
+        return self._burst.process_burst(packets)
+
+    def apply_delta(self, delta: RuleDelta) -> None:
+        if delta.action == "install":
+            self.fleet.install_rule(delta.rule)
+        else:
+            self.fleet.remove_rule(delta.target_rule_id)
+
+    def heal(self) -> List[int]:
+        """One probe round; recover any dead slots.  Returns them."""
+        self.fleet.probe()
+        dead = [
+            j
+            for j, health in enumerate(self.fleet.health)
+            if health.value == "dead"
+        ]
+        if dead:
+            self.fleet.recover()
+        return dead
+
+    def fail_closed(self) -> None:
+        """Blackhole every active rule at the load balancer."""
+        active = set(self.fleet.active_rule_ids)
+        if active:
+            self.fleet.controller.load_balancer.blackhole(active)
+
+    def close(self) -> None:
+        pass
+
+
+class ShardBackend:
+    """The multiprocessing sharded data plane behind the backend protocol."""
+
+    def __init__(self, plane: ShardedDataPlane) -> None:
+        if not plane.restart_dead_workers:
+            raise ConfigurationError(
+                "serve mode needs restart_dead_workers=True on the plane "
+                "(the watchdog owns the restart budget)"
+            )
+        self.plane = plane
+        self._result = None
+
+    @property
+    def ruleset_version(self) -> int:
+        return self.plane.ruleset_version
+
+    def start(self) -> None:
+        if not self.plane._started:
+            self.plane.start()
+
+    def process_burst(self, packets: Sequence[Packet]) -> List[object]:
+        return self.plane.process(packets)
+
+    def apply_delta(self, delta: RuleDelta) -> None:
+        if delta.action == "install":
+            self.plane.install_rule(delta.rule)
+        else:
+            self.plane.remove_rule(delta.target_rule_id)
+
+    def heal(self) -> List[int]:
+        """Restart dead workers (within budget); returns restarted ids."""
+        return self.plane.heal()
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Chaos hook: terminate one worker process outright."""
+        worker = self.plane._workers[worker_id % self.plane.num_workers]
+        worker.terminate()
+        worker.join(timeout=5.0)
+
+    def fail_closed(self) -> None:
+        # Tearing the plane down guarantees no further verdicts; the
+        # service stops feeding it and sheds everything still queued.
+        self.plane.close()
+
+    def finish(self):
+        """Merge worker sketches/metrics (once, before close)."""
+        if self._result is None and not self.plane._closed:
+            self._result = self.plane.finish()
+        return self._result
+
+    def close(self) -> None:
+        self.plane.close()

@@ -1,0 +1,151 @@
+"""Replaying seeded fault schedules against a live serve runtime.
+
+:class:`ServeChaosDriver` is the serve-mode counterpart of
+:class:`~repro.faults.injector.FaultInjector`: it takes a
+:class:`~repro.faults.schedule.FaultSchedule` whose ``round_index`` is
+reinterpreted as the **ingest burst index** and fires each event exactly
+once when the service reaches that burst.  It plugs into the service as
+the chaos hook (an await point inside every stage), so:
+
+* ``STAGE_HANG`` events block the targeted stage *inside* its hook —
+  which is precisely what a cancellable hang looks like to the watchdog;
+* ``WORKER_KILL`` events terminate a sharded-plane worker process (the
+  watchdog's ``heal()`` poll must bring it back);
+* ``RULE_CHURN`` events enqueue a storm of hot installs followed by their
+  removals on the control queue;
+* ``IAS_OUTAGE`` events arm a :class:`~repro.faults.FlakyIAS`, so the
+  next re-attestation (e.g. after a churn delta) rides the retry path.
+
+Everything is deterministic given the schedule's seed: the same seed
+replays the same kills, hangs and storms at the same burst indexes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import obs
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.errors import ConfigurationError
+from repro.faults.injector import FlakyIAS
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+STAGE_BY_INDEX = ("ingest", "filter", "audit")
+
+#: Rule ids minted by churn storms start here — far above any test fixture.
+CHURN_RULE_ID_BASE = 900_000
+
+
+class ServeChaosDriver:
+    """Fires schedule events as the service crosses their burst index."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        service=None,
+        ias: Optional[FlakyIAS] = None,
+        churn_requester: str = "victim.example",
+        churn_prefix_octet: int = 240,
+    ) -> None:
+        self.schedule = schedule
+        self.service = service
+        self.ias = ias
+        self.churn_requester = churn_requester
+        self.churn_prefix_octet = churn_prefix_octet
+        self.applied: List[FaultEvent] = []
+        self._fired: set = set()
+        self._next_churn_id = CHURN_RULE_ID_BASE
+
+    def bind(self, service) -> "ServeChaosDriver":
+        """Attach the service after construction (hook-before-service)."""
+        self.service = service
+        return self
+
+    async def __call__(self, stage: str, burst_index: int) -> None:
+        """The service's chaos hook: fire this burst's events, once each."""
+        if self.service is None:
+            raise ConfigurationError("chaos driver is not bound to a service")
+        # Fire everything due by now (<= burst_index): stages observe the
+        # ingest counter with a lag, so an exact-index match would let
+        # events fall through the cracks between two hook calls.
+        for event in self.schedule.events:
+            if event.round_index > burst_index:
+                continue
+            key = (event.round_index, event.kind, event.target, event.magnitude)
+            if key in self._fired:
+                continue
+            # Hangs block the *targeted* stage from inside its own hook;
+            # every other kind can fire from whichever stage got here first.
+            if (
+                event.kind is FaultKind.STAGE_HANG
+                and STAGE_BY_INDEX[event.target % len(STAGE_BY_INDEX)] != stage
+            ):
+                continue
+            self._fired.add(key)
+            await self._fire(event, stage)
+
+    async def _fire(self, event: FaultEvent, stage: str) -> None:
+        self.applied.append(event)
+        obs.get_registry().counter(
+            "vif_faults_injected_total",
+            help="Fault events applied to a fleet, by kind",
+            kind=event.kind.value,
+        ).inc()
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.emit(
+                "fault_injected",
+                kind=event.kind.value,
+                target=event.target,
+                magnitude=event.magnitude,
+                burst=event.round_index,
+                stage=stage,
+            )
+        if event.kind is FaultKind.WORKER_KILL:
+            backend = self.service.backend
+            if not hasattr(backend, "kill_worker"):
+                raise ConfigurationError(
+                    "WORKER_KILL needs a sharded backend (kill_worker)"
+                )
+            backend.kill_worker(event.target)
+        elif event.kind is FaultKind.STAGE_HANG:
+            import asyncio
+
+            # Sleep past `magnitude` heartbeat deadlines; the watchdog
+            # cancels this (it runs inside the stage task), which is the
+            # restart we are provoking.
+            deadline = self.service.config.heartbeat_deadline_s
+            await asyncio.sleep(deadline * (event.magnitude + 1))
+        elif event.kind is FaultKind.RULE_CHURN:
+            await self._churn(event.magnitude)
+        elif event.kind is FaultKind.IAS_OUTAGE:
+            if self.ias is None:
+                raise ConfigurationError(
+                    "IAS_OUTAGE event needs a FlakyIAS bound to the driver"
+                )
+            self.ias.fail_next(event.magnitude)
+        else:
+            raise ConfigurationError(
+                f"{event.kind.value} is a round-scoped fault; replay it "
+                "through repro.faults.injector.FaultInjector"
+            )
+
+    async def _churn(self, size: int) -> None:
+        """A storm of hot installs immediately followed by their removals."""
+        installed: List[int] = []
+        for _ in range(max(1, size)):
+            rule_id = self._next_churn_id
+            self._next_churn_id += 1
+            octet = (rule_id - CHURN_RULE_ID_BASE) % 250
+            rule = FilterRule(
+                rule_id=rule_id,
+                pattern=FlowPattern(
+                    dst_prefix=f"203.0.{self.churn_prefix_octet}.{octet}/32"
+                ),
+                action=Action.DROP,
+                requested_by=self.churn_requester,
+            )
+            await self.service.install_rule(rule)
+            installed.append(rule_id)
+        for rule_id in installed:
+            await self.service.remove_rule(rule_id)

@@ -1,0 +1,127 @@
+"""Ingest sources for the always-on serve runtime.
+
+A source is anything iterable over **bursts** (lists of packets): the
+service pulls one burst per loop iteration and applies backpressure by
+simply not pulling the next one while the filter queue is full.  Two
+concrete sources cover the operational cases:
+
+* :class:`PktgenSource` — deterministic synthetic traffic derived from the
+  installed rule set (the serve-mode analogue of
+  :func:`repro.faults.harness.rule_traffic`): every burst carries packets
+  into each rule's destination prefix plus background traffic on the
+  default path, all seeded, so chaos runs replay bit-for-bit.
+* :class:`TraceReplaySource` — replays a recorded packet list in
+  fixed-size bursts (e.g. a pcap-derived trace loaded elsewhere).
+
+Both are plain synchronous iterables; the service's ingest stage owns the
+async pacing.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterable, Iterator, List, Optional, Protocol as TypingProtocol, Sequence
+
+from repro.core.rules import FilterRule, RuleSet
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import ConfigurationError
+from repro.util.rng import deterministic_rng
+
+
+class IngestSource(TypingProtocol):
+    """Anything that yields bursts of packets (duck-typed)."""
+
+    def bursts(self) -> Iterator[List[Packet]]:  # pragma: no cover - protocol
+        ...
+
+
+class PktgenSource:
+    """Seeded synthetic bursts exercising every installed rule.
+
+    ``total_bursts=None`` streams forever (the always-on case); a finite
+    count makes smoke tests and benchmarks terminate on their own.  The
+    per-burst mix is ``packets_per_rule`` packets into each rule's
+    destination prefix (varying sources, so split rules exercise several
+    replicas) plus ``background_packets`` packets to ``background_dst``
+    that must ride the default path.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FilterRule],
+        seed: str = "vif-serve",
+        packets_per_rule: int = 4,
+        background_packets: int = 4,
+        background_dst: str = "198.18.0.0/15",
+        total_bursts: Optional[int] = None,
+    ) -> None:
+        if packets_per_rule < 0 or background_packets < 0:
+            raise ConfigurationError("packet counts must be >= 0")
+        if total_bursts is not None and total_bursts < 0:
+            raise ConfigurationError("total_bursts must be >= 0 (or None)")
+        self.rules = list(rules)
+        self.seed = seed
+        self.packets_per_rule = packets_per_rule
+        self.background_packets = background_packets
+        self.background_dst = background_dst
+        self.total_bursts = total_bursts
+
+    @classmethod
+    def from_ruleset(cls, rules: RuleSet, **kwargs) -> "PktgenSource":
+        return cls(rules.rules(), **kwargs)
+
+    @staticmethod
+    def _host_in(prefix: str, offset: int) -> str:
+        net = ipaddress.ip_network(prefix, strict=False)
+        return str(net.network_address + (offset % max(net.num_addresses, 1)))
+
+    def burst(self, index: int) -> List[Packet]:
+        """The (deterministic) burst at position ``index``."""
+        rng = deterministic_rng(f"{self.seed}/burst-{index}")
+        packets: List[Packet] = []
+        for rule in self.rules:
+            for k in range(self.packets_per_rule):
+                flow = FiveTuple(
+                    src_ip=(
+                        f"198.51.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+                    ),
+                    dst_ip=self._host_in(rule.pattern.dst_prefix, k + 1),
+                    src_port=rng.randrange(1024, 65535),
+                    dst_port=(
+                        rule.pattern.dst_ports[0]
+                        if rule.pattern.dst_ports
+                        else 80
+                    ),
+                    protocol=rule.pattern.protocol or Protocol.TCP,
+                )
+                packets.append(Packet(five_tuple=flow))
+        for k in range(self.background_packets):
+            flow = FiveTuple(
+                src_ip=f"198.51.{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                dst_ip=self._host_in(self.background_dst, rng.randrange(512)),
+                src_port=rng.randrange(1024, 65535),
+                dst_port=443,
+                protocol=Protocol.TCP,
+            )
+            packets.append(Packet(five_tuple=flow))
+        return packets
+
+    def bursts(self) -> Iterator[List[Packet]]:
+        index = 0
+        while self.total_bursts is None or index < self.total_bursts:
+            yield self.burst(index)
+            index += 1
+
+
+class TraceReplaySource:
+    """Replays a recorded packet sequence in fixed-size bursts."""
+
+    def __init__(self, packets: Iterable[Packet], burst_size: int = 64) -> None:
+        if burst_size < 1:
+            raise ConfigurationError("burst_size must be positive")
+        self.packets = list(packets)
+        self.burst_size = burst_size
+
+    def bursts(self) -> Iterator[List[Packet]]:
+        for start in range(0, len(self.packets), self.burst_size):
+            yield self.packets[start : start + self.burst_size]

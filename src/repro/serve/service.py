@@ -1,0 +1,748 @@
+"""The always-on serve runtime (asyncio).
+
+Turns the batch-oriented fleet/pipeline/shard stack into an operable
+long-running process with four cooperating stage tasks over **bounded**
+queues:
+
+.. code-block:: text
+
+    ingest ──rx_q──> filter ──audit_q──> audit
+       ▲                │
+       │            control_q  (rule deltas, applied between bursts)
+    watchdog  (heartbeats, restarts, fail-closed)
+
+Design rules the tests enforce:
+
+* **Backpressure, never buffering.**  Every inter-stage queue is bounded.
+  When the filter stage falls behind, ``rx_q.put`` blocks and ingest
+  simply stops pulling bursts; if a burst cannot be enqueued within
+  ``shed_timeout_s`` it is **shed** — counted, never silently dropped —
+  and the conservation invariant still balances.
+* **Hot rule updates.**  ``install_rule``/``remove_rule`` enqueue deltas
+  on the control queue; a dedicated task applies them through the backend
+  (re-solve + diff-install + re-attest for fleets, acked broadcast for
+  shards, memo invalidation everywhere) strictly *between* bursts —
+  asyncio's cooperative scheduling guarantees a synchronous
+  ``process_burst`` is never interleaved with a delta.
+* **Supervision.**  Every stage beats a heartbeat each loop iteration;
+  the watchdog cancels and restarts a stage whose heartbeat goes stale
+  (capped exponential backoff) and fails closed once a stage exhausts its
+  restart budget.  A restarted filter stage resumes its in-flight burst:
+  the burst rides in ``self._filter_pending`` from dequeue to hand-off,
+  so a restart re-processes instead of losing it.
+* **Graceful drain.**  ``drain()`` stops ingest, flushes both queues
+  through filter and audit, emits the final journal/metrics snapshot,
+  and returns a report with **zero** unaccounted packets:
+  ``ingested == allowed + dropped + unrouted + shed`` exactly.
+
+The conservation predicate is registered as a metrics-registry invariant
+(``serve_conservation/<label>``), so ``repro metrics`` audits every live
+service the same way it audits pipelines and fleets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Optional, Sequence
+
+from repro import obs
+from repro.core.rules import FilterRule
+from repro.dataplane.pipeline import UNROUTED
+from repro.errors import ConfigurationError
+from repro.serve.backends import RuleDelta
+
+STAGES = ("ingest", "filter", "audit")
+
+#: Chaos hook signature: ``await hook(stage_name, burst_index)``; hooks are
+#: await points, so a hanging hook is cancellable by the watchdog.
+ChaosHook = Callable[[str, int], Awaitable[None]]
+
+
+class ServeState(enum.Enum):
+    STARTING = "starting"
+    SERVING = "serving"
+    DRAINING = "draining"
+    DRAINED = "drained"
+    FAILED = "failed"
+
+
+_STATE_CODES = {state: i for i, state in enumerate(ServeState)}
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for the serve runtime (see docs/OPERATIONS.md)."""
+
+    #: Bursts each bounded inter-stage queue holds before backpressure.
+    queue_depth: int = 8
+    #: How long ingest waits on a full filter queue before shedding the
+    #: burst.  Backpressure below this bound is free; beyond it, shedding
+    #: keeps memory bounded and the books honest.
+    shed_timeout_s: float = 0.25
+    #: A stage whose heartbeat is older than this is presumed hung.
+    heartbeat_deadline_s: float = 2.0
+    #: Watchdog poll interval.
+    watchdog_interval_s: float = 0.05
+    #: Stage restarts before the watchdog fails closed.
+    max_stage_restarts: int = 3
+    #: Capped exponential backoff between restarts of the same stage.
+    restart_backoff_base_s: float = 0.05
+    restart_backoff_factor: float = 2.0
+    restart_backoff_cap_s: float = 1.0
+    #: Drain gives in-flight bursts this long to flush before giving up.
+    drain_timeout_s: float = 30.0
+    #: Pause between ingest bursts (0 = as fast as backpressure allows).
+    ingest_interval_s: float = 0.0
+    #: Metrics label; auto-assigned when empty.
+    label: str = ""
+
+
+@dataclass
+class DrainReport:
+    """What ``drain()`` returns — the lossless-shutdown receipt."""
+
+    state: str = ServeState.DRAINED.value
+    ingested: int = 0
+    allowed: int = 0
+    dropped: int = 0
+    unrouted: int = 0
+    shed: int = 0
+    rule_updates: int = 0
+    stage_restarts: int = 0
+    unaccounted: int = 0
+    drain_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "ingested": self.ingested,
+            "allowed": self.allowed,
+            "dropped": self.dropped,
+            "unrouted": self.unrouted,
+            "shed": self.shed,
+            "rule_updates": self.rule_updates,
+            "stage_restarts": self.stage_restarts,
+            "unaccounted": self.unaccounted,
+            "drain_seconds": self.drain_seconds,
+        }
+
+
+class ServeService:
+    """The supervisor object owning the stage tasks and the books.
+
+    Usage (all inside one event loop)::
+
+        service = ServeService(source, backend)
+        await service.start()
+        await service.install_rule(rule)      # hot, between bursts
+        ...
+        report = await service.drain()        # lossless shutdown
+    """
+
+    def __init__(
+        self,
+        source,
+        backend,
+        config: Optional[ServeConfig] = None,
+        chaos: Optional[ChaosHook] = None,
+    ) -> None:
+        self.source = source
+        self.backend = backend
+        self.config = config or ServeConfig()
+        self.chaos = chaos
+        self.state = ServeState.STARTING
+        cfg = self.config
+        if cfg.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be positive")
+        if cfg.max_stage_restarts < 0:
+            raise ConfigurationError("max_stage_restarts must be >= 0")
+        if cfg.heartbeat_deadline_s <= cfg.shed_timeout_s:
+            # Ingest legitimately blocks up to shed_timeout_s per burst on
+            # a full queue; a deadline inside that window turns ordinary
+            # backpressure into false hang verdicts.
+            raise ConfigurationError(
+                "heartbeat_deadline_s must exceed shed_timeout_s "
+                "(backpressure waits would read as hangs)"
+            )
+        self.label = cfg.label or obs.next_instance_label("serve")
+
+        registry = obs.get_registry()
+        self._counters: Dict[str, obs.Counter] = {
+            name: registry.counter(
+                f"vif_serve_{name}_total", help=help_, serve=self.label
+            )
+            for name, help_ in (
+                ("ingested", "Packets pulled from the ingest source"),
+                ("allowed", "Packets the filter approved"),
+                ("dropped", "Packets the filter rejected"),
+                ("unrouted", "Packets forwarded on the default path"),
+                ("shed", "Packets shed under backpressure or fail-closed"),
+                ("audited", "Packets the audit stage accounted"),
+                ("rule_updates", "Hot rule deltas applied while serving"),
+                ("bursts", "Ingest bursts pulled from the source"),
+            )
+        }
+        self._restart_counters: Dict[str, obs.Counter] = {
+            stage: registry.counter(
+                "vif_serve_stage_restarts_total",
+                help="Watchdog-initiated stage restarts",
+                serve=self.label,
+                stage=stage,
+            )
+            for stage in STAGES
+        }
+        self._state_gauge = registry.gauge(
+            "vif_serve_state",
+            help="Serve lifecycle state (0=starting..4=failed)",
+            serve=self.label,
+        )
+        self._state_gauge.set(_STATE_CODES[self.state])
+        registry.register_invariant(
+            f"serve_conservation/{self.label}", self._conservation_violation
+        )
+
+        self._rx_q: Optional[asyncio.Queue] = None
+        self._audit_q: Optional[asyncio.Queue] = None
+        self._control_q: Optional[asyncio.Queue] = None
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._control_task: Optional[asyncio.Task] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._heartbeats: Dict[str, float] = {}
+        self._restarts: Dict[str, int] = {stage: 0 for stage in STAGES}
+        #: Packets accepted onto rx_q but not yet booked by the filter
+        #: stage (the conservation invariant's in-flight term).
+        self._inflight = 0
+        #: The ingest stage's resume cell: the pulled-but-unqueued burst.
+        self._ingest_pending: Optional[list] = None
+        #: The filter stage's resume cell: [burst, verdicts-or-None].
+        self._filter_pending: Optional[list] = None
+        #: The audit stage's resume cell: (burst, verdicts).
+        self._audit_pending: Optional[tuple] = None
+        self._burst_index = 0
+        self._source_exhausted = False
+        self._started_at = 0.0
+        #: Set once fail-closed shedding finished; drain() awaits it so a
+        #: report taken on the failure path never snapshots mid-shed books.
+        self._fail_closed_complete: Optional[asyncio.Event] = None
+
+    # -- accounting -------------------------------------------------------------
+
+    def _conservation_violation(self) -> Optional[str]:
+        c = self._counters
+        accounted = (
+            c["allowed"].value
+            + c["dropped"].value
+            + c["unrouted"].value
+            + c["shed"].value
+        )
+        if c["ingested"].value == accounted + self._inflight:
+            return None
+        return (
+            f"serve lost packets untracked: ingested={c['ingested'].value}, "
+            f"allowed={c['allowed'].value}, dropped={c['dropped'].value}, "
+            f"unrouted={c['unrouted'].value}, shed={c['shed'].value}, "
+            f"in_flight={self._inflight}"
+        )
+
+    def check_conservation(self) -> None:
+        violation = self._conservation_violation()
+        if violation is not None:
+            raise RuntimeError(violation)
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _set_state(self, state: ServeState, **payload) -> None:
+        previous, self.state = self.state, state
+        self._state_gauge.set(_STATE_CODES[state])
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.emit(
+                "serve_state",
+                serve=self.label,
+                state=state.value,
+                previous=previous.value,
+                **payload,
+            )
+
+    async def start(self) -> "ServeService":
+        if self._tasks:
+            raise ConfigurationError("service already started")
+        cfg = self.config
+        self._rx_q = asyncio.Queue(maxsize=cfg.queue_depth)
+        self._audit_q = asyncio.Queue(maxsize=cfg.queue_depth)
+        self._control_q = asyncio.Queue()
+        self._source_iter = iter(self.source.bursts())
+        self._started_at = time.perf_counter()
+        if hasattr(self.backend, "start"):
+            self.backend.start()
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for stage in STAGES:
+            self._heartbeats[stage] = now
+            self._tasks[stage] = asyncio.create_task(
+                self._run_stage(stage), name=f"serve-{self.label}-{stage}"
+            )
+        self._control_task = asyncio.create_task(
+            self._control_stage(), name=f"serve-{self.label}-control"
+        )
+        self._watchdog_task = asyncio.create_task(
+            self._watchdog(), name=f"serve-{self.label}-watchdog"
+        )
+        self._set_state(ServeState.SERVING)
+        return self
+
+    def _beat(self, stage: str) -> None:
+        self._heartbeats[stage] = asyncio.get_running_loop().time()
+
+    async def _maybe_chaos(self, stage: str) -> None:
+        if self.chaos is not None:
+            await self.chaos(stage, self._burst_index)
+
+    # -- stages -----------------------------------------------------------------
+
+    def _stage_body(self, stage: str):
+        return {
+            "ingest": self._ingest_once,
+            "filter": self._filter_once,
+            "audit": self._audit_once,
+        }[stage]
+
+    async def _run_stage(self, stage: str) -> None:
+        body = self._stage_body(stage)
+        while True:
+            self._beat(stage)
+            idle = await body()
+            if idle:
+                await asyncio.sleep(0.005)
+
+    async def _ingest_once(self) -> bool:
+        """Pull one burst and enqueue it (or shed under backpressure).
+
+        The pulled burst rides in ``self._ingest_pending`` until it is
+        either queued (counted in-flight) or shed, so a cancellation at
+        any await point — chaos hook, queue put — can never leak an
+        ingested-but-unaccounted burst: a restarted stage resumes it, and
+        drain/fail-closed sheds it explicitly.
+        """
+        if self.state is not ServeState.SERVING or self._source_exhausted:
+            return True
+        if self._ingest_pending is None:
+            try:
+                burst = next(self._source_iter)
+            except StopIteration:
+                self._source_exhausted = True
+                return True
+            self._ingest_pending = burst
+            self._burst_index += 1
+            self._counters["bursts"].inc()
+            self._counters["ingested"].inc(len(burst))
+        burst = self._ingest_pending
+        await self._maybe_chaos("ingest")
+        try:
+            await asyncio.wait_for(
+                self._rx_q.put(burst), timeout=self.config.shed_timeout_s
+            )
+            self._inflight += len(burst)
+        except asyncio.TimeoutError:
+            # The filter queue stayed full past the bound: shed the burst
+            # (counted, conservation-visible) instead of buffering it.
+            self._counters["shed"].inc(len(burst))
+        self._ingest_pending = None
+        if self.config.ingest_interval_s:
+            await asyncio.sleep(self.config.ingest_interval_s)
+        return False
+
+    async def _filter_once(self) -> bool:
+        """Adjudicate one burst; resumes the in-flight burst after restart."""
+        if self._filter_pending is None:
+            try:
+                burst = await asyncio.wait_for(
+                    self._rx_q.get(), timeout=0.05
+                )
+            except asyncio.TimeoutError:
+                return True
+            self._filter_pending = [burst, None]
+        burst, verdicts = self._filter_pending
+        await self._maybe_chaos("filter")
+        if verdicts is None:
+            # Synchronous adjudication: no await between the verdict and
+            # the booking, so a cancellation can never half-book a burst.
+            verdicts = self.backend.process_burst(burst)
+            self._filter_pending[1] = verdicts
+            allowed = dropped = unrouted = 0
+            for verdict in verdicts:
+                if verdict is UNROUTED:
+                    unrouted += 1
+                elif verdict:
+                    allowed += 1
+                else:
+                    dropped += 1
+            self._counters["allowed"].inc(allowed)
+            self._counters["dropped"].inc(dropped)
+            self._counters["unrouted"].inc(unrouted)
+            self._inflight -= len(burst)
+        await self._audit_q.put((burst, verdicts))
+        self._filter_pending = None
+        return False
+
+    async def _audit_once(self) -> bool:
+        """Account one adjudicated burst (and feed the flight recorder)."""
+        if self._audit_pending is None:
+            try:
+                self._audit_pending = await asyncio.wait_for(
+                    self._audit_q.get(), timeout=0.05
+                )
+            except asyncio.TimeoutError:
+                return True
+        burst, verdicts = self._audit_pending
+        await self._maybe_chaos("audit")
+        recorder = obs.get_flight_recorder()
+        if recorder.enabled:
+            recorder.record_batch(
+                (
+                    packet.five_tuple.key().decode(),
+                    None,
+                    UNROUTED
+                    if verdict is UNROUTED
+                    else ("allowed" if verdict else "dropped"),
+                    None,
+                )
+                for packet, verdict in zip(burst, verdicts)
+            )
+        self._counters["audited"].inc(len(burst))
+        self._audit_pending = None
+        return False
+
+    async def _control_stage(self) -> None:
+        """Apply queued rule deltas between bursts, journaling each one."""
+        while True:
+            delta, done = await self._control_q.get()
+            try:
+                self.backend.apply_delta(delta)
+            except Exception as exc:  # surface to the caller, keep serving
+                if done is not None and not done.done():
+                    done.set_exception(exc)
+                continue
+            self._counters["rule_updates"].inc()
+            journal = obs.get_journal()
+            if journal.enabled and not hasattr(self.backend, "fleet"):
+                # FleetBackend journals rule_update itself (with slots);
+                # journal here for the backends that don't.
+                journal.emit(
+                    "rule_update",
+                    serve=self.label,
+                    action=delta.action,
+                    rule_id=delta.target_rule_id,
+                    ruleset_version=getattr(
+                        self.backend, "ruleset_version", None
+                    ),
+                )
+            if done is not None and not done.done():
+                done.set_result(None)
+
+    # -- control-plane API -------------------------------------------------------
+
+    async def apply_delta(self, delta: RuleDelta) -> None:
+        """Queue one rule delta and wait until the backend applied it."""
+        if self.state not in (ServeState.SERVING, ServeState.STARTING):
+            raise ConfigurationError(
+                f"cannot apply rule deltas while {self.state.value}"
+            )
+        done: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._control_q.put((delta, done))
+        await done
+
+    async def install_rule(self, rule: FilterRule) -> None:
+        await self.apply_delta(RuleDelta(action="install", rule=rule))
+
+    async def remove_rule(self, rule_id: int) -> None:
+        await self.apply_delta(RuleDelta(action="remove", rule_id=rule_id))
+
+    # -- watchdog ----------------------------------------------------------------
+
+    async def _watchdog(self) -> None:
+        """Supervision loop; any unexpected error here fails closed —
+        a silently dead watchdog would leave hangs unsupervised."""
+        try:
+            await self._watchdog_loop()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            if self.state not in (ServeState.DRAINED, ServeState.FAILED):
+                await self._fail_closed(f"watchdog crashed: {exc!r}")
+
+    async def _watchdog_loop(self) -> None:
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        last_poll = loop.time()
+        while True:
+            await asyncio.sleep(cfg.watchdog_interval_s)
+            if self.state in (ServeState.DRAINED, ServeState.FAILED):
+                return
+            now = loop.time()
+            starved = now - last_poll > cfg.watchdog_interval_s * 4
+            last_poll = now
+            if starved:
+                # The event loop itself was blocked (a synchronous burst —
+                # e.g. sharded-plane recovery — ran long), so *every*
+                # heartbeat looks stale.  That is busyness, not a hang:
+                # re-beat and re-arm instead of mass-restarting healthy
+                # stages.  A genuinely hung stage trips the deadline again
+                # on a later (unstarved) poll.
+                for stage in STAGES:
+                    self._beat(stage)
+                continue
+            # Backend self-heal (sharded planes restart dead workers here).
+            if hasattr(self.backend, "heal"):
+                try:
+                    healed = self.backend.heal()
+                except RuntimeError as exc:
+                    await self._fail_closed(f"backend heal failed: {exc}")
+                    return
+                if healed:
+                    self._journal_restart("worker", healed)
+            now = loop.time()
+            if now - last_poll > cfg.watchdog_interval_s * 4:
+                # heal() itself ran long (worker respawn + re-dispatch);
+                # same starvation story as above.
+                last_poll = now
+                for stage in STAGES:
+                    self._beat(stage)
+                continue
+            last_poll = now
+            for stage in STAGES:
+                task = self._tasks.get(stage)
+                if task is None:
+                    continue
+                stale = (
+                    now - self._heartbeats[stage] > cfg.heartbeat_deadline_s
+                )
+                died = task.done()
+                if not (stale or died):
+                    continue
+                if self._restarts[stage] >= cfg.max_stage_restarts:
+                    await self._fail_closed(
+                        f"stage {stage!r} exhausted its restart budget "
+                        f"({cfg.max_stage_restarts})"
+                    )
+                    return
+                await self._restart_stage(stage, hung=stale and not died)
+
+    async def _restart_stage(self, stage: str, hung: bool) -> None:
+        cfg = self.config
+        task = self._tasks[stage]
+        if not task.done():
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        else:
+            # Surface (and swallow) the stage's exception so it is not an
+            # un-retrieved task error; the restart is the handling.
+            exc = task.exception() if not task.cancelled() else None
+            if exc is not None:
+                self._journal_restart(stage, error=repr(exc))
+        self._restarts[stage] += 1
+        self._restart_counters[stage].inc()
+        delay = min(
+            cfg.restart_backoff_base_s
+            * (cfg.restart_backoff_factor ** (self._restarts[stage] - 1)),
+            cfg.restart_backoff_cap_s,
+        )
+        await asyncio.sleep(delay)
+        self._beat(stage)
+        self._tasks[stage] = asyncio.create_task(
+            self._run_stage(stage), name=f"serve-{self.label}-{stage}"
+        )
+        self._journal_restart(
+            stage, hung=hung, attempt=self._restarts[stage], backoff_s=delay
+        )
+
+    def _journal_restart(self, stage, healed_workers=None, **payload) -> None:
+        journal = obs.get_journal()
+        if journal.enabled:
+            body = {"serve": self.label, "stage": str(stage)}
+            if healed_workers is not None:
+                body["workers"] = list(healed_workers)
+            body.update(payload)
+            journal.emit("stage_restart", **body)
+
+    async def _fail_closed(self, reason: str) -> None:
+        """Restart budget exhausted: stop serving, shed, blackhole."""
+        if self._fail_closed_complete is None:
+            self._fail_closed_complete = asyncio.Event()
+        self._set_state(ServeState.FAILED, reason=reason)
+        # Stop every stage; book everything still queued as shed so the
+        # conservation invariant balances on the way down.
+        await self._cancel_stages()
+        shed = 0
+        inflight_shed = 0
+        if self._ingest_pending is not None:
+            # Pulled but never queued: counted ingested, not yet in-flight.
+            shed += len(self._ingest_pending)
+            self._ingest_pending = None
+        if self._filter_pending is not None and self._filter_pending[1] is None:
+            shed += len(self._filter_pending[0])
+            inflight_shed += len(self._filter_pending[0])
+            self._filter_pending = None
+        while self._rx_q is not None and not self._rx_q.empty():
+            burst = self._rx_q.get_nowait()
+            shed += len(burst)
+            inflight_shed += len(burst)
+        if shed:
+            self._counters["shed"].inc(shed)
+            self._inflight -= inflight_shed
+        if hasattr(self.backend, "fail_closed"):
+            self.backend.fail_closed()
+        self.check_conservation()
+        self._fail_closed_complete.set()
+
+    async def _cancel_stages(self, include_control: bool = True) -> None:
+        tasks = [t for t in self._tasks.values() if not t.done()]
+        if include_control and self._control_task is not None:
+            if not self._control_task.done():
+                tasks.append(self._control_task)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        # Retrieve exceptions from already-done tasks too.
+        for task in list(self._tasks.values()):
+            if task.done() and not task.cancelled():
+                task.exception()
+
+    # -- drain -------------------------------------------------------------------
+
+    async def drain(self) -> DrainReport:
+        """Graceful shutdown: stop ingest, flush everything, settle books."""
+        if self.state is ServeState.FAILED:
+            if self._fail_closed_complete is not None:
+                await self._fail_closed_complete.wait()
+            return self._final_report(time.perf_counter())
+        started = time.perf_counter()
+        self._set_state(ServeState.DRAINING)
+        # 1. Stop ingest (state gate makes _ingest_once a no-op; cancel the
+        #    task so a burst stuck in a shed-wait is re-shed deterministically).
+        ingest = self._tasks.pop("ingest", None)
+        if ingest is not None and not ingest.done():
+            ingest.cancel()
+            try:
+                await ingest
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._ingest_pending is not None:
+            # A burst caught between pull and enqueue at shutdown is shed
+            # (counted), never silently lost.
+            self._counters["shed"].inc(len(self._ingest_pending))
+            self._ingest_pending = None
+        # 2. Flush: wait for both queues and both resume cells to empty.
+        deadline = started + self.config.drain_timeout_s
+        while (
+            not self._rx_q.empty()
+            or self._filter_pending is not None
+            or not self._audit_q.empty()
+            or self._audit_pending is not None
+        ):
+            if time.perf_counter() > deadline:
+                await self._fail_closed("drain timed out with bursts in flight")
+                return self._final_report(started)
+            if self.state is ServeState.FAILED:
+                if self._fail_closed_complete is not None:
+                    await self._fail_closed_complete.wait()
+                return self._final_report(started)
+            await asyncio.sleep(0.01)
+        # 3. Stop the remaining stages and the watchdog.
+        if self._watchdog_task is not None and not self._watchdog_task.done():
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        await self._cancel_stages()
+        self._set_state(ServeState.DRAINED)
+        self.check_conservation()
+        if hasattr(self.backend, "finish"):
+            try:
+                self.backend.finish()
+            except Exception:
+                pass
+        self.backend.close()
+        return self._final_report(started)
+
+    def _final_report(self, drain_started: float) -> DrainReport:
+        c = self.counters()
+        report = DrainReport(
+            state=self.state.value,
+            ingested=c["ingested"],
+            allowed=c["allowed"],
+            dropped=c["dropped"],
+            unrouted=c["unrouted"],
+            shed=c["shed"],
+            rule_updates=c["rule_updates"],
+            stage_restarts=sum(self._restarts.values()),
+            unaccounted=(
+                c["ingested"]
+                - c["allowed"]
+                - c["dropped"]
+                - c["unrouted"]
+                - c["shed"]
+            ),
+            drain_seconds=time.perf_counter() - drain_started,
+        )
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.emit(
+                "serve_state",
+                serve=self.label,
+                state=self.state.value,
+                previous=self.state.value,
+                **{"report": report.as_dict()},
+            )
+        if journal.sink is not None:
+            journal.sink.flush()
+        return report
+
+    @property
+    def stage_restarts(self) -> Dict[str, int]:
+        return dict(self._restarts)
+
+
+async def serve_bounded(
+    source,
+    backend,
+    config: Optional[ServeConfig] = None,
+    chaos: Optional[ChaosHook] = None,
+    deltas: Optional[Sequence[RuleDelta]] = None,
+    delta_every_bursts: int = 0,
+) -> DrainReport:
+    """Run a finite source to exhaustion, then drain (smoke/bench helper).
+
+    ``deltas`` are applied round-robin every ``delta_every_bursts`` ingest
+    bursts — the simplest way to exercise rule churn under load.
+    """
+    service = ServeService(source, backend, config=config, chaos=chaos)
+    await service.start()
+    pending = list(deltas or [])
+    applied_at = 0
+    while not service._source_exhausted:
+        if service.state is ServeState.FAILED:
+            break
+        if (
+            pending
+            and delta_every_bursts
+            and service._burst_index >= applied_at + delta_every_bursts
+        ):
+            applied_at = service._burst_index
+            await service.apply_delta(pending.pop(0))
+        await asyncio.sleep(0.005)
+    return await service.drain()

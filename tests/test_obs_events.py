@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro import obs
-from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, EventJournal, read_jsonl
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    EventJournal,
+    JsonlSink,
+    read_jsonl,
+)
 
 
 @pytest.fixture
@@ -114,3 +120,99 @@ def test_module_level_toggle_round_trips():
     finally:
         obs.set_journaling(previous)
     assert obs.journaling_enabled() == previous
+
+
+# -- retention bound (max_events) ---------------------------------------------
+
+
+class TestRetentionBound:
+    def test_oldest_events_evicted_past_cap(self):
+        j = EventJournal(enabled=True, max_events=3)
+        for r in range(5):
+            j.emit("round_start", round_id=r)
+        assert len(j) == 3
+        assert [e.round_id for e in j.events] == [2, 3, 4]
+        assert j.evicted_events == 2
+        # Sequence numbers keep counting across evictions.
+        assert j.emit("round_start").seq == 6
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_events"):
+            EventJournal(max_events=0)
+
+    def test_clear_resets_eviction_counter(self):
+        j = EventJournal(enabled=True, max_events=1)
+        j.emit("round_start")
+        j.emit("round_start")
+        assert j.evicted_events == 1
+        j.clear()
+        assert j.evicted_events == 0
+
+    def test_golden_jsonl_is_byte_identical_under_cap(self):
+        """Retained events serialize exactly as in an uncapped journal."""
+        capped = EventJournal(enabled=True, session_id="v", max_events=2)
+        plain = EventJournal(enabled=True, session_id="v")
+        for j in (capped, plain):
+            for r in range(4):
+                j.emit("round_start", round_id=r)
+        # The capped journal holds the *suffix*; those lines must be
+        # byte-identical to the same lines of the uncapped journal.
+        assert capped.to_jsonl() == "".join(
+            plain.to_jsonl().splitlines(keepends=True)[-2:]
+        )
+
+
+# -- streaming sink with rotation ---------------------------------------------
+
+
+class TestJsonlSink:
+    def test_sink_streams_every_event_despite_cap(self, tmp_path):
+        path = tmp_path / "serve.journal.jsonl"
+        sink = JsonlSink(str(path))
+        j = EventJournal(enabled=True, max_events=2, sink=sink)
+        for r in range(6):
+            j.emit("round_start", round_id=r)
+        sink.close()
+        docs = read_jsonl(str(path))
+        # In-memory kept 2; the sink saw all 6.
+        assert len(j) == 2 and len(docs) == 6
+        assert [d["round"] for d in docs] == list(range(6))
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        # Lines are ~100 bytes; force a rotation every ~2 lines.
+        sink = JsonlSink(str(path), max_bytes=250, max_files=2)
+        j = EventJournal(enabled=True, sink=sink)
+        for r in range(8):
+            j.emit("round_start", round_id=r)
+        sink.close()
+        assert sink.rotations >= 2
+        files = sink.files()
+        assert files[0] == str(path)
+        assert len(files) <= 1 + sink.max_files
+        # Every generation is independently valid JSONL, newest first.
+        rounds = []
+        for f in reversed(files):
+            rounds.extend(d["round"] for d in read_jsonl(f))
+        # Oldest generations may have been deleted; the tail must survive
+        # in order and include the most recent event.
+        assert rounds == sorted(rounds)
+        assert rounds[-1] == 7
+
+    def test_sink_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = JsonlSink(str(path))
+        j1 = EventJournal(enabled=True, sink=first)
+        j1.emit("round_start", round_id=0)
+        first.close()
+        second = JsonlSink(str(path))
+        j2 = EventJournal(enabled=True, sink=second)
+        j2.emit("round_start", round_id=1)
+        second.close()
+        assert [d["round"] for d in read_jsonl(str(path))] == [0, 1]
+
+    def test_sink_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(str(tmp_path / "x"), max_bytes=0)
+        with pytest.raises(ValueError, match="max_files"):
+            JsonlSink(str(tmp_path / "x"), max_files=-1)

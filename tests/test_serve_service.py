@@ -1,0 +1,405 @@
+"""The always-on serve runtime: lifecycle, backpressure, hot rules, watchdog.
+
+Everything here runs against :class:`LocalBackend` (one in-process
+StatelessFilter) — the chaos suite in ``test_serve_chaos.py`` covers the
+fleet and sharded backends.  All timings are generous multiples of the
+watchdog knobs so the tests stay deterministic on loaded CI hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.core.filter import StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import ConfigurationError
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    LocalBackend,
+    PktgenSource,
+    RuleDelta,
+    ServeConfig,
+    ServeService,
+    ServeState,
+    TraceReplaySource,
+    serve_bounded,
+)
+
+SECRET = "vif-serve-test"
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    """Isolated metrics registry + enabled journal per test."""
+    registry = obs.set_registry(MetricsRegistry())
+    journal = obs.set_journal(EventJournal(enabled=True))
+    yield obs.get_journal()
+    obs.set_registry(registry)
+    obs.set_journal(journal)
+
+
+def _rule(rule_id: int, octet: int, action: Action = Action.DROP) -> FilterRule:
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=f"203.0.{octet}.0/24"),
+        action=action,
+        requested_by="victim.example",
+    )
+
+
+def _packet(dst_ip: str) -> Packet:
+    return Packet(
+        five_tuple=FiveTuple(
+            src_ip="198.51.100.7",
+            dst_ip=dst_ip,
+            src_port=40000,
+            dst_port=80,
+            protocol=Protocol.TCP,
+        )
+    )
+
+
+def _backend(rules=()):
+    filter_ = StatelessFilter(secret=SECRET)
+    backend = LocalBackend(filter_)
+    backend.install_rules(list(rules))
+    return backend
+
+
+async def _run_to_exhaustion(service: ServeService, timeout: float = 30.0):
+    """Let a finite-source service consume everything, then drain."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not service._source_exhausted:
+        if service.state is ServeState.FAILED:
+            break
+        assert asyncio.get_running_loop().time() < deadline, "service stalled"
+        await asyncio.sleep(0.005)
+    return await service.drain()
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_lifecycle_start_serve_drain_lossless():
+    rules = [_rule(1, 100), _rule(2, 101)]
+    source = PktgenSource(rules, packets_per_rule=3, background_packets=2,
+                          total_bursts=12)
+
+    async def scenario():
+        service = ServeService(source, _backend(rules))
+        assert service.state is ServeState.STARTING
+        await service.start()
+        assert service.state is ServeState.SERVING
+        return service, await _run_to_exhaustion(service)
+
+    service, report = asyncio.run(scenario())
+    assert service.state is ServeState.DRAINED
+    assert report.state == "drained"
+    # 12 bursts × (2 rules × 3 + 2 background) packets, fully accounted.
+    assert report.ingested == 12 * 8
+    assert report.unaccounted == 0
+    assert report.shed == 0
+    assert report.dropped == 12 * 6      # both rules DROP
+    assert report.allowed == 12 * 2      # background on the default path
+    assert service.counters()["audited"] == report.ingested
+    assert obs.get_registry().check_invariants() == []
+
+
+def test_drain_emits_final_state_journal(fresh_obs):
+    source = PktgenSource([_rule(1, 100)], total_bursts=3)
+
+    async def scenario():
+        service = ServeService(source, _backend([_rule(1, 100)]))
+        await service.start()
+        return await _run_to_exhaustion(service)
+
+    report = asyncio.run(scenario())
+    states = [e.payload["state"] for e in fresh_obs.of_type("serve_state")]
+    assert states == ["serving", "draining", "drained", "drained"]
+    final = fresh_obs.of_type("serve_state")[-1]
+    assert final.payload["report"] == report.as_dict()
+
+
+def test_config_validation():
+    source = PktgenSource([_rule(1, 100)], total_bursts=1)
+    with pytest.raises(ConfigurationError, match="queue_depth"):
+        ServeService(source, _backend(), ServeConfig(queue_depth=0))
+    with pytest.raises(ConfigurationError, match="max_stage_restarts"):
+        ServeService(source, _backend(), ServeConfig(max_stage_restarts=-1))
+    with pytest.raises(ConfigurationError, match="heartbeat_deadline_s"):
+        ServeService(
+            source,
+            _backend(),
+            ServeConfig(heartbeat_deadline_s=0.2, shed_timeout_s=0.25),
+        )
+
+
+def test_double_start_rejected():
+    source = PktgenSource([_rule(1, 100)], total_bursts=2)
+
+    async def scenario():
+        service = ServeService(source, _backend([_rule(1, 100)]))
+        await service.start()
+        with pytest.raises(ConfigurationError, match="already started"):
+            await service.start()
+        await _run_to_exhaustion(service)
+
+    asyncio.run(scenario())
+
+
+# -- backpressure -------------------------------------------------------------
+
+
+def test_backpressure_sheds_instead_of_buffering():
+    """A slow filter behind a depth-1 queue: overflow is shed and counted."""
+    rules = [_rule(1, 100)]
+    source = PktgenSource(rules, packets_per_rule=4, background_packets=0,
+                          total_bursts=30)
+
+    async def slow_filter(stage, burst_index):
+        if stage == "filter":
+            await asyncio.sleep(0.03)
+
+    async def scenario():
+        service = ServeService(
+            source,
+            _backend(rules),
+            ServeConfig(
+                queue_depth=1,
+                shed_timeout_s=0.01,
+                heartbeat_deadline_s=2.0,
+            ),
+            chaos=slow_filter,
+        )
+        await service.start()
+        return await _run_to_exhaustion(service)
+
+    report = asyncio.run(scenario())
+    assert report.state == "drained"
+    assert report.shed > 0
+    assert report.ingested == 30 * 4
+    # Shed is *counted*, so the books still balance exactly.
+    assert report.unaccounted == 0
+    assert report.dropped + report.allowed == report.ingested - report.shed
+    assert obs.get_registry().check_invariants() == []
+
+
+# -- hot rule updates ---------------------------------------------------------
+
+
+def test_hot_install_and_remove_mid_stream(fresh_obs):
+    """Deltas applied between bursts flip live verdicts both ways."""
+    trace = [_packet(f"203.0.50.{i % 250 + 1}") for i in range(400)]
+    source = TraceReplaySource(trace, burst_size=20)
+    backend = _backend()
+    drop_rule = _rule(7, 50)
+    probe = _packet("203.0.50.9")
+    state = {"installed": False, "removed": False, "service": None}
+
+    async def hook(stage, burst_index):
+        service = state["service"]
+        if stage != "ingest" or service is None:
+            return
+        if burst_index == 8 and not state["installed"]:
+            state["installed"] = True
+            # Wait until at least one burst was adjudicated under the old
+            # rules, so allowed>0 is guaranteed, then install hot.
+            while service.counters()["audited"] == 0:
+                await asyncio.sleep(0.005)
+            await service.install_rule(drop_rule)
+            assert backend.process_burst([probe]) == [False]
+        elif burst_index == 16 and not state["removed"]:
+            state["removed"] = True
+            await service.remove_rule(drop_rule.rule_id)
+            assert backend.process_burst([probe]) == [True]
+
+    async def scenario():
+        service = ServeService(
+            source, backend, ServeConfig(ingest_interval_s=0.002), chaos=hook
+        )
+        state["service"] = service
+        await service.start()
+        return await _run_to_exhaustion(service)
+
+    report = asyncio.run(scenario())
+    assert state["installed"] and state["removed"]
+    assert report.rule_updates == 2
+    assert report.allowed > 0 and report.dropped > 0
+    assert report.unaccounted == 0
+    actions = [e.payload["action"] for e in fresh_obs.of_type("rule_update")]
+    assert actions == ["install", "remove"]
+
+
+def test_delta_error_surfaces_and_service_keeps_serving():
+    source = PktgenSource([_rule(1, 100)], total_bursts=40,
+                          packets_per_rule=1, background_packets=0)
+
+    async def scenario():
+        service = ServeService(
+            source,
+            _backend([_rule(1, 100)]),
+            ServeConfig(ingest_interval_s=0.005),
+        )
+        await service.start()
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            await service.remove_rule(999)
+        assert service.state is ServeState.SERVING
+        # The control stage survived the bad delta: a good one still works.
+        await service.install_rule(_rule(2, 101))
+        report = await _run_to_exhaustion(service)
+        return service, report
+
+    service, report = asyncio.run(scenario())
+    assert report.state == "drained"
+    assert report.rule_updates == 1  # the failed delta is not counted
+    assert report.unaccounted == 0
+
+
+def test_deltas_rejected_after_drain():
+    source = PktgenSource([_rule(1, 100)], total_bursts=2)
+
+    async def scenario():
+        service = ServeService(source, _backend([_rule(1, 100)]))
+        await service.start()
+        await _run_to_exhaustion(service)
+        with pytest.raises(ConfigurationError, match="drained"):
+            await service.install_rule(_rule(2, 101))
+
+    asyncio.run(scenario())
+
+
+def test_rule_delta_validation():
+    with pytest.raises(ConfigurationError, match="needs a rule"):
+        RuleDelta(action="install")
+    with pytest.raises(ConfigurationError, match="needs a rule_id"):
+        RuleDelta(action="remove")
+    with pytest.raises(ConfigurationError, match="unknown delta action"):
+        RuleDelta(action="upsert", rule=_rule(1, 100))
+    assert RuleDelta(action="remove", rule=_rule(3, 100)).target_rule_id == 3
+
+
+# -- watchdog -----------------------------------------------------------------
+
+
+def test_watchdog_restarts_hung_filter_stage_losslessly(fresh_obs):
+    """One transient filter hang: restarted, burst resumed, zero loss."""
+    rules = [_rule(1, 100)]
+    source = PktgenSource(rules, packets_per_rule=4, background_packets=2,
+                          total_bursts=15)
+    fired = {"hang": False}
+
+    async def hang_once(stage, burst_index):
+        if stage == "filter" and burst_index >= 5 and not fired["hang"]:
+            fired["hang"] = True
+            await asyncio.sleep(30.0)  # cancelled by the watchdog restart
+
+    async def scenario():
+        service = ServeService(
+            source,
+            _backend(rules),
+            ServeConfig(
+                shed_timeout_s=0.05,
+                heartbeat_deadline_s=0.2,
+                watchdog_interval_s=0.02,
+                restart_backoff_base_s=0.01,
+            ),
+            chaos=hang_once,
+        )
+        await service.start()
+        report = await _run_to_exhaustion(service)
+        return service, report
+
+    service, report = asyncio.run(scenario())
+    assert fired["hang"]
+    assert report.state == "drained"
+    assert service.stage_restarts["filter"] == 1
+    assert report.stage_restarts == 1
+    # The hung burst was resumed, not lost: everything is accounted and
+    # nothing needed shedding.
+    assert report.unaccounted == 0
+    assert report.ingested == 15 * 6
+    assert report.allowed + report.dropped == report.ingested - report.shed
+    restarts = fresh_obs.of_type("stage_restart")
+    assert any(
+        e.payload["stage"] == "filter" and e.payload.get("hung") is True
+        for e in restarts
+    )
+
+
+def test_restart_budget_exhaustion_fails_closed():
+    """A permanently hung filter: budget burns out, service fails closed."""
+    rules = [_rule(1, 100)]
+    source = PktgenSource(rules, packets_per_rule=2, background_packets=0,
+                          total_bursts=None)  # always-on
+
+    async def hang_always(stage, burst_index):
+        if stage == "filter":
+            await asyncio.sleep(30.0)
+
+    async def scenario():
+        service = ServeService(
+            source,
+            _backend(rules),
+            ServeConfig(
+                shed_timeout_s=0.02,
+                heartbeat_deadline_s=0.1,
+                watchdog_interval_s=0.02,
+                max_stage_restarts=1,
+                restart_backoff_base_s=0.01,
+            ),
+            chaos=hang_always,
+        )
+        await service.start()
+        deadline = asyncio.get_running_loop().time() + 30.0
+        while service.state is not ServeState.FAILED:
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.01)
+        report = await service.drain()
+        return service, report
+
+    service, report = asyncio.run(scenario())
+    assert report.state == "failed"
+    assert service.stage_restarts["filter"] == 1
+    # Fail-closed shed everything still in flight: the books balance even
+    # on the failure path.
+    assert report.ingested > 0
+    assert report.unaccounted == 0
+    assert report.shed > 0
+    assert obs.get_registry().check_invariants() == []
+
+    async def late_delta():
+        with pytest.raises(ConfigurationError, match="failed"):
+            await service.install_rule(_rule(2, 101))
+
+    asyncio.run(late_delta())
+
+
+# -- serve_bounded helper -----------------------------------------------------
+
+
+def test_serve_bounded_applies_deltas_and_drains():
+    rules = [_rule(1, 100)]
+    source = PktgenSource(rules, packets_per_rule=2, background_packets=2,
+                          total_bursts=20)
+    deltas = [
+        RuleDelta(action="install", rule=_rule(5, 105)),
+        RuleDelta(action="remove", rule_id=5),
+    ]
+    report = asyncio.run(
+        serve_bounded(
+            source,
+            _backend(rules),
+            config=ServeConfig(ingest_interval_s=0.005),
+            deltas=deltas,
+            delta_every_bursts=3,
+        )
+    )
+    assert report.state == "drained"
+    assert report.rule_updates == 2
+    assert report.unaccounted == 0
+    assert report.ingested == 20 * 4

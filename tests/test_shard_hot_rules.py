@@ -1,0 +1,206 @@
+"""Hot rule updates and lifecycle hardening on the sharded data plane.
+
+The property at stake (PR 7 satellite): interleaving ``install_rule`` /
+``remove_rule`` with ``process`` calls mid-stream must leave the plane
+serving verdicts equivalent to a *fresh* filter built from the final rule
+set — rule deltas are ordered between batches (FIFO task queues + acked
+broadcast), never splice into one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.dataplane.shard import ShardedDataPlane, run_single_process_reference
+from repro.errors import ConfigurationError
+
+REQUESTER = "victim.example"
+SECRET = "vif-hot-rules"
+
+
+def _rule(rule_id: int, octet: int, action: Action = Action.DROP) -> FilterRule:
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=f"203.0.{octet}.0/24"),
+        action=action,
+        requested_by=REQUESTER,
+    )
+
+
+def _trace(rng: random.Random, octets, packets: int):
+    out = []
+    for _ in range(packets):
+        out.append(
+            Packet(
+                five_tuple=FiveTuple(
+                    src_ip=f"198.51.{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                    dst_ip=f"203.0.{rng.choice(octets)}.{rng.randrange(1, 255)}",
+                    src_port=rng.randrange(1024, 65535),
+                    dst_port=80,
+                    protocol=Protocol.TCP,
+                )
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_interleaved_deltas_match_fresh_filter_from_final_ruleset(workers):
+    """The satellite property, at 1 and 4 shard workers.
+
+    A scripted interleave of process / install / remove; after the final
+    delta, one more trace must be adjudicated exactly as a fresh filter
+    holding only the final rule set would adjudicate it.
+    """
+    rng = random.Random("hot-rules-final")
+    initial = [_rule(1, 100), _rule(2, 101, Action.ALLOW), _rule(3, 102)]
+    octets = [100, 101, 102, 103, 104, 110]
+
+    with ShardedDataPlane(
+        initial, num_workers=workers, decision_secret=SECRET, batch_size=32
+    ) as plane:
+        plane.process(_trace(rng, octets, 120))
+        plane.install_rule(_rule(4, 103))               # new DROP rule
+        plane.process(_trace(rng, octets, 120))
+        plane.remove_rule(2)                            # retract an ALLOW
+        plane.install_rule(_rule(5, 104, Action.ALLOW))
+        plane.process(_trace(rng, octets, 120))
+        plane.remove_rule(1)
+        assert plane.ruleset_version == 4
+
+        final_trace = _trace(rng, octets, 200)
+        got = plane.process(final_trace)
+
+    final_rules = [_rule(3, 102), _rule(4, 103), _rule(5, 104, Action.ALLOW)]
+    reference = run_single_process_reference(
+        final_rules, final_trace, decision_secret=SECRET
+    )
+    assert got == reference.verdicts
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_random_delta_schedule_matches_final_ruleset(workers):
+    """Randomized interleave (seeded): same equivalence, harder schedule."""
+    rng = random.Random(f"hot-rules-random-{workers}")
+    octets = list(range(100, 112))
+    live = {}
+    next_id = 1
+
+    with ShardedDataPlane(
+        [], num_workers=workers, decision_secret=SECRET, batch_size=16
+    ) as plane:
+        for _ in range(12):
+            op = rng.random()
+            if op < 0.4 or not live:
+                action = Action.DROP if rng.random() < 0.7 else Action.ALLOW
+                rule = _rule(next_id, rng.choice(octets), action)
+                plane.install_rule(rule)
+                live[next_id] = rule
+                next_id += 1
+            elif op < 0.6:
+                victim = rng.choice(sorted(live))
+                plane.remove_rule(victim)
+                del live[victim]
+            else:
+                plane.process(_trace(rng, octets, 60))
+        final_trace = _trace(rng, octets, 150)
+        got = plane.process(final_trace)
+
+    reference = run_single_process_reference(
+        [live[rid] for rid in sorted(live)],
+        final_trace,
+        decision_secret=SECRET,
+    )
+    assert got == reference.verdicts
+
+
+def test_delta_requires_running_plane():
+    plane = ShardedDataPlane([_rule(1, 100)], num_workers=1)
+    with pytest.raises(ConfigurationError, match="not running"):
+        plane.install_rule(_rule(2, 101))
+
+
+# -- lifecycle hardening (PR 7 satellite: finish()/close() paths) -------------
+
+
+class TestFinishCloseHardening:
+    def test_finish_after_close_fails_clearly_instead_of_hanging(self):
+        plane = ShardedDataPlane([_rule(1, 100)], num_workers=2)
+        plane.start()
+        plane.process(_trace(random.Random(1), [100, 101], 40))
+        plane.close()
+        with pytest.raises(ConfigurationError, match="close"):
+            plane.finish()
+
+    def test_double_finish_fails_clearly(self):
+        plane = ShardedDataPlane([_rule(1, 100)], num_workers=1)
+        plane.start()
+        plane.process(_trace(random.Random(2), [100], 20))
+        plane.finish()
+        with pytest.raises(ConfigurationError, match="already finished"):
+            plane.finish()
+
+    def test_finish_before_start_fails_clearly(self):
+        plane = ShardedDataPlane([_rule(1, 100)], num_workers=1)
+        with pytest.raises(ConfigurationError):
+            plane.finish()
+
+    def test_close_is_idempotent_and_leaves_no_workers(self):
+        plane = ShardedDataPlane([_rule(1, 100)], num_workers=2)
+        plane.start()
+        workers = list(plane._workers)
+        plane.close()
+        plane.close()  # second close is a no-op
+        assert all(not w.is_alive() for w in workers)
+        assert plane._workers == []
+
+    def test_context_manager_exit_after_finish_is_clean(self):
+        with ShardedDataPlane([_rule(1, 100)], num_workers=2) as plane:
+            plane.process(_trace(random.Random(3), [100, 101], 40))
+            result = plane.finish()
+        assert result.packets == 40
+
+    def test_worker_restart_budget_surfaces_runtime_error(self):
+        plane = ShardedDataPlane(
+            [_rule(1, 100)],
+            num_workers=1,
+            restart_dead_workers=True,
+            max_worker_restarts=0,
+        )
+        plane.start()
+        try:
+            plane._workers[0].terminate()
+            plane._workers[0].join(timeout=5.0)
+            plane._pending[999] = ([], [], 0, [])  # simulate outstanding work
+            with pytest.raises(RuntimeError, match="restart budget"):
+                plane.heal()
+        finally:
+            plane._pending.clear()
+            plane.close()
+
+    def test_killed_worker_is_restarted_and_verdicts_survive(self):
+        rng = random.Random("kill-mid-stream")
+        octets = [100, 101, 102]
+        rules = [_rule(1, 100), _rule(2, 101, Action.ALLOW)]
+        trace_a = _trace(rng, octets, 80)
+        trace_b = _trace(rng, octets, 80)
+        with ShardedDataPlane(
+            rules,
+            num_workers=2,
+            decision_secret=SECRET,
+            restart_dead_workers=True,
+        ) as plane:
+            got_a = plane.process(trace_a)
+            plane._workers[0].terminate()
+            plane._workers[0].join(timeout=5.0)
+            got_b = plane.process(trace_b)
+            restarts = list(plane._worker_restarts)
+        reference = run_single_process_reference(
+            rules, trace_a + trace_b, decision_secret=SECRET
+        )
+        assert got_a + got_b == reference.verdicts
+        assert sum(restarts) == 1
