@@ -1,0 +1,217 @@
+"""Membership tier vs trie-only at blocklist scale: 10k → 100k → 1M → 10M.
+
+The pathology this tier exists for: a million exact ``/32`` source DROP
+rules all carry source-prefix length 32 and an unconstrained destination,
+so the multibit trie cannot discriminate by destination and every lookup
+degenerates into a scan (~126 ms/verdict at 1M on this host).  The
+Bloom-pre-filter + cuckoo-confirm membership tier answers the same
+queries in O(1): one shared SHA-256 digest, three Bloom probes, at most
+two bucket reads.
+
+CI asserts the deterministic claims — verdict agreement between both
+stores on every probe, and the throughput gate (tiered >= 3x trie-only at
+1M entries; measured headroom is ~4 orders of magnitude).  The 10M row of
+the table is *modeled* (memory from the EPC cost model, trie pps
+extrapolated linearly from the measured scan slope) and marked as such;
+a real 10M build runs under ``-m slow`` only.
+
+Results land in ``BENCH_membership.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, emit_metrics_snapshot
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Protocol
+from repro.lookup.membership import (
+    MembershipStats,
+    MembershipTier,
+    TieredRuleStore,
+    _next_power_of_two,
+)
+from repro.lookup.memory_model import EnclaveMemoryModel
+
+_BLOCK_BASE = 0x64400000  # 100.64.0.0 — a /10, room for 4M distinct sources
+#: The acceptance gate: tiered verdict throughput over trie-only at 1M.
+MIN_SPEEDUP_AT_1M = 3.0
+#: Measured sizes; 10M is modeled in the fast run (built for real under -m slow).
+SIZES = (10_000, 100_000, 1_000_000)
+
+
+def _flow(src_int: int) -> FiveTuple:
+    return FiveTuple(
+        src_ip=f"{src_int >> 24 & 255}.{src_int >> 16 & 255}."
+               f"{src_int >> 8 & 255}.{src_int & 255}",
+        dst_ip="198.18.0.9",
+        src_port=1234,
+        dst_port=80,
+        protocol=Protocol.UDP,
+    )
+
+
+def _probe_flows(size: int, n: int):
+    """Half blocked sources (spread over the range), half clean misses."""
+    step = max(1, size // (n // 2))
+    blocked = [_flow(_BLOCK_BASE + i) for i in range(0, size, step)][: n // 2]
+    clean = [_flow(0xC6336400 + i % 256) for i in range(n - len(blocked))]
+    return blocked, clean
+
+
+def _measure_pps(store, flows, repeats: int = 1) -> float:
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for flow in flows:
+            store.lookup(flow)
+    elapsed = time.perf_counter() - started
+    return len(flows) * repeats / elapsed if elapsed else float("inf")
+
+
+def _build_tiered(size: int):
+    store = TieredRuleStore(membership=MembershipTier(initial_capacity=size))
+    started = time.perf_counter()
+    store.load_blocklist(
+        ((i + 1, _BLOCK_BASE + i) for i in range(size)), requested_by="bench"
+    )
+    return store, time.perf_counter() - started
+
+
+def _build_trie_only(size: int):
+    store = TieredRuleStore(membership_enabled=False)
+    started = time.perf_counter()
+    for i in range(size):
+        store.insert(FilterRule(
+            rule_id=i + 1,
+            pattern=FlowPattern.from_src_host(_BLOCK_BASE + i),
+            action=Action.DROP,
+        ))
+    return store, time.perf_counter() - started
+
+
+def _modeled_10m_row(model: EnclaveMemoryModel, trie_ms_per_lookup_at_1m: float):
+    """The 10M row: cost-model memory + linearly extrapolated trie scan."""
+    size = 10_000_000
+    capacity = _next_power_of_two(size)
+    stats = MembershipStats(
+        entries=size,
+        bloom_bits=_next_power_of_two(
+            size * MembershipTier.BLOOM_BITS_PER_ENTRY
+        ),
+        bloom_ones=0,
+        bloom_lanes=3,
+        num_buckets=_next_power_of_two(int(capacity / (4 * 0.8))),
+        slots_per_bucket=4,
+        stash_entries=0,
+        load_factor=0.0,
+        fpr_estimate=0.0,
+        generation=1,
+        resizes=0,
+    )
+    trie_pps = 1000.0 / (trie_ms_per_lookup_at_1m * 10)  # scan is linear in N
+    return {
+        "entries": size,
+        "modeled": True,
+        "tiered_mb": model.membership_footprint_bytes(stats) / 2**20,
+        "trie_mb": (model.footprint_bytes(size) - model.base_bytes) / 2**20,
+        "trie_pps": trie_pps,
+    }
+
+
+def test_membership_scaling_and_throughput_gate():
+    model = EnclaveMemoryModel()
+    rows = []
+    trie_ms_at_1m = None
+    speedup_at_1m = None
+
+    for size in SIZES:
+        tiered, tiered_build_s = _build_tiered(size)
+        trie_only, trie_build_s = _build_trie_only(size)
+
+        # Verdict agreement on the full probe set, both directions.
+        blocked, clean = _probe_flows(size, 64)
+        for flow in blocked:
+            hit_t = tiered.lookup(flow)
+            hit_r = trie_only.lookup(flow)
+            assert hit_t is not None and hit_r is not None
+            assert hit_t.rule_id == hit_r.rule_id
+        for flow in clean:
+            assert tiered.lookup(flow) is None
+            assert trie_only.lookup(flow) is None
+
+        # Throughput: generous probe budget for the tier, an adaptive one
+        # for the trie (its per-lookup cost grows linearly with N).
+        mix = blocked + clean
+        tiered_pps = _measure_pps(tiered, mix, repeats=max(1, 2000 // len(mix)))
+        trie_probes = mix[: max(4, min(64, 2_000_000 // size))]
+        trie_pps = _measure_pps(trie_only, trie_probes)
+
+        stats = tiered.membership_stats()
+        rows.append({
+            "entries": size,
+            "modeled": False,
+            "tiered_build_s": round(tiered_build_s, 2),
+            "trie_build_s": round(trie_build_s, 2),
+            "tiered_pps": round(tiered_pps),
+            "trie_pps": round(trie_pps, 2),
+            "speedup": round(tiered_pps / trie_pps, 1),
+            "tiered_mb": round(
+                model.membership_footprint_bytes(stats) / 2**20, 1
+            ),
+            "trie_mb": round(
+                (model.footprint_bytes(size) - model.base_bytes) / 2**20, 1
+            ),
+            "fpr_estimate": round(stats.fpr_estimate, 5),
+            "load_factor": round(stats.load_factor, 3),
+        })
+        if size == 1_000_000:
+            trie_ms_at_1m = 1000.0 / trie_pps
+            speedup_at_1m = tiered_pps / trie_pps
+
+    rows.append(_modeled_10m_row(model, trie_ms_at_1m))
+
+    lines = [
+        f"{'entries':>10}  {'tiered pps':>12}  {'trie pps':>10}  "
+        f"{'speedup':>9}  {'tier MB':>8}  {'trie MB':>8}",
+    ]
+    for row in rows:
+        tag = " (modeled)" if row["modeled"] else ""
+        lines.append(
+            f"{row['entries']:>10,}  "
+            f"{row.get('tiered_pps', '-'):>12}  "
+            f"{round(row['trie_pps'], 2):>10}  "
+            f"{row.get('speedup', '-'):>9}  "
+            f"{round(row['tiered_mb'], 1):>8}  "
+            f"{round(row['trie_mb'], 1):>8}{tag}"
+        )
+    emit("\n".join(lines))
+    emit_metrics_snapshot("membership", extra={"rows": rows})
+
+    assert speedup_at_1m >= MIN_SPEEDUP_AT_1M, (
+        f"tiered/trie speedup at 1M = {speedup_at_1m:.1f}x "
+        f"< gate {MIN_SPEEDUP_AT_1M}x"
+    )
+    # The measured FPR stays under the tier's own resize trigger.
+    assert all(
+        row["fpr_estimate"] < 0.05 for row in rows if not row["modeled"]
+    )
+
+
+@pytest.mark.slow
+def test_membership_10m_real_build():
+    """The full-scale claim, built for real: 10M entries, O(1) verdicts."""
+    size = 10_000_000
+    tiered, build_s = _build_tiered(size)
+    stats = tiered.membership_stats()
+    assert stats.entries == size
+    blocked, clean = _probe_flows(size, 64)
+    for flow in blocked:
+        assert tiered.lookup(flow) is not None
+    for flow in clean:
+        assert tiered.lookup(flow) is None
+    pps = _measure_pps(tiered, blocked + clean, repeats=10)
+    emit(f"10M real build: {build_s:.1f}s, {pps:,.0f} pps, "
+         f"load {stats.load_factor:.3f}, FPR est {stats.fpr_estimate:.5f}")
+    assert pps > 10_000

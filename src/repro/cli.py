@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "through a W-worker sharded data plane and check "
                             "it is verdict- and sketch-identical to the "
                             "single-process filter (default: skip)")
+    fleet.add_argument("--blocklist-size", type=int, default=0, metavar="B",
+                       help="seed the shard-phase workers with B exact /32 "
+                            "blocked sources in the membership tier and "
+                            "probe a sample of them (requires --workers)")
     fleet.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write a registry snapshot (JSON) after the run")
     fleet.add_argument("--journal", metavar="PATH", default=None,
@@ -446,13 +450,49 @@ def _run_fleet_sim_body(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_blocklist(size: int) -> list:
+    """Deterministic ``(rule_id, src_int)`` membership entries for the shard phase.
+
+    Sources count up from 100.64.0.0 (the CGNAT range) — disjoint from the
+    198.51.x rule traffic and the 198.18/15 background destinations, so any
+    drop observed on a blocklist probe is the membership tier's doing.  Rule
+    ids start at 10,000,000 to stay clear of the fleet's own rules.
+    """
+    base = 0x64400000  # 100.64.0.0
+    return [(10_000_000 + i, base + i) for i in range(size)]
+
+
+def _blocklist_probes(blocklist, max_probes: int = 64) -> list:
+    """Packets from a spread sample of blocked sources (background dst)."""
+    import ipaddress
+
+    from repro.dataplane.packet import FiveTuple, Packet, Protocol
+
+    if not blocklist:
+        return []
+    step = max(1, len(blocklist) // max_probes)
+    probes = []
+    for _, src_int in blocklist[::step][:max_probes]:
+        probes.append(Packet(five_tuple=FiveTuple(
+            src_ip=str(ipaddress.ip_address(src_int)),
+            dst_ip="198.18.255.1",
+            src_port=40000,
+            dst_port=80,
+            protocol=Protocol.UDP,
+        )))
+    return probes
+
+
 def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     """``fleet-sim --workers W``: sharded replay + equivalence check.
 
     Replays the rule traffic through a W-worker sharded data plane built
     from the fleet's own rules/secrets, then checks the verdicts and the
     centrally merged sketch logs are bit-identical to one single-process
-    filter over the same trace.  Returns non-zero on any mismatch.
+    filter over the same trace.  With ``--blocklist-size B`` the workers are
+    additionally seeded with B exact ``/32`` blocked sources (the membership
+    tier) and probes from a sample of them must come back dropped.  Returns
+    non-zero on any mismatch or leaked probe.
     """
     from repro.dataplane.shard import run_single_process_reference
     from repro.faults.harness import rule_traffic
@@ -460,14 +500,21 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     if args.workers < 1:
         print("workers must be positive", file=sys.stderr)
         return 2
+    if getattr(args, "blocklist_size", 0) < 0:
+        print("blocklist size must be non-negative", file=sys.stderr)
+        return 2
 
     traffic = rule_traffic(rules, seed=f"{args.seed}/shard")
     packets = []
     for round_index in range(args.rounds):
         packets.extend(traffic(round_index))
 
+    blocklist = _shard_blocklist(getattr(args, "blocklist_size", 0))
+    probe_start = len(packets)
+    packets.extend(_blocklist_probes(blocklist))
+
     controller = fleet.controller
-    plane = fleet.sharded_data_plane(args.workers)
+    plane = fleet.sharded_data_plane(args.workers, blocklist=blocklist)
     with plane:
         verdicts = plane.process(packets)
         sharded = plane.finish()
@@ -477,6 +524,7 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
         decision_secret=f"{controller.enclave_secret_seed}/fleet",
         mode=controller.mode,
         sketch_seed=controller.sketch_seed,
+        blocklist=blocklist,
     )
 
     verdict_mismatches = sum(
@@ -493,9 +541,16 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     print(f"  shard throughput: bottleneck {sharded.bottleneck_pps:,.0f} pps, "
           f"wall {sharded.wall_pps:,.0f} pps "
           f"(reference {reference.bottleneck_pps:,.0f} pps)")
-    if verdict_mismatches or not sketch_identical:
+    leaked_probes = 0
+    if blocklist:
+        probe_verdicts = verdicts[probe_start:]
+        leaked_probes = sum(1 for verdict in probe_verdicts if verdict)
+        print(f"  membership tier: {len(blocklist):,} blocked /32 sources "
+              f"seeded, {len(probe_verdicts)} probes, {leaked_probes} leaked")
+    if verdict_mismatches or not sketch_identical or leaked_probes:
         print(f"  SHARD EQUIVALENCE FAILED: {verdict_mismatches} verdict "
-              f"mismatches, sketches identical={sketch_identical}",
+              f"mismatches, sketches identical={sketch_identical}, "
+              f"{leaked_probes} blocklist probes leaked",
               file=sys.stderr)
         return 1
     print("  shard equivalence: verdicts and merged sketches bit-identical")

@@ -148,6 +148,7 @@ class EnclaveFilter(EnclaveProgram):
             ("num_rules", lambda: self._filter.num_rules),
             ("installed_rules", self.installed_rules),
             ("remove_rules", self.remove_rules),
+            ("load_blocklist", self.load_blocklist),
         ]:
             self.register_ecall(name, fn)
 
@@ -164,21 +165,34 @@ class EnclaveFilter(EnclaveProgram):
     def remove_rules(self, rule_ids: Sequence[int]) -> int:
         """Remove rules by id (redistribution rounds shrink rule sets too)."""
         removed = 0
-        by_id = {rule.rule_id: rule for rule in self._filter.trie.rules()}
         for rule_id in rule_ids:
-            rule = by_id.get(rule_id)
-            if rule is None:
+            if rule_id not in self._filter.store:
                 continue
-            self._filter.remove_rule(rule)
+            self._filter.remove_rule(rule_id)
             # Byte counters survive removal: they are cumulative-since-launch
             # accounting, and redistribution must not lose measured history.
             removed += 1
         self._resize_epc()
         return removed
 
+    def load_blocklist(self, entries, requested_by: str = "") -> int:
+        """Bulk-install ``(rule_id, src_int)`` blocklist entries into the
+        membership tier; charges the membership EPC region."""
+        entries = list(entries)
+        installed = self._filter.load_blocklist(entries, requested_by=requested_by)
+        for rule_id, _src in entries:
+            self._report.rule_bytes.setdefault(rule_id, 0)
+        self._resize_epc()
+        return installed
+
     def installed_rules(self) -> List[FilterRule]:
-        """The rules currently installed (the ``R_i`` of Fig 5)."""
-        return self._filter.trie.rules()
+        """The rules currently installed (the ``R_i`` of Fig 5).
+
+        Membership-tier entries come back materialized as full
+        :class:`FilterRule` objects, so Fig 5 state uploads and plan slices
+        see one uniform rule list regardless of which tier holds a rule.
+        """
+        return self._filter.installed_rules()
 
     def set_assigned_rules(self, rule_ids: Sequence[int]) -> None:
         """Scale-out: declare which rule ids this enclave is responsible for."""
@@ -554,9 +568,21 @@ class EnclaveFilter(EnclaveProgram):
     def _resize_epc(self) -> None:
         if self._enclave is None:
             return
+        store = self._filter.store
+        # The 14 KiB/rule linear model prices the *trie* tier; membership
+        # entries are charged at their actual structure sizes below, which
+        # is the whole point of the tier — a million /32 sources must not
+        # book a 14 GB lookup table.
         self.enclave.epc.resize(
             "lookup_table",
-            self._memory_model.bytes_per_rule * self._filter.num_rules,
+            self._memory_model.bytes_per_rule * len(store.trie),
+        )
+        membership_stats = store.membership_stats()
+        if membership_stats is not None and membership_stats.entries == 0:
+            membership_stats = None  # an unused tier charges nothing
+        self.enclave.epc.resize(
+            "membership",
+            self._memory_model.membership_footprint_bytes(membership_stats),
         )
         self.enclave.epc.resize("flow_table", self._filter.flow_table.memory_bytes())
 

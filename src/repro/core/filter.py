@@ -34,6 +34,7 @@ from repro.core.rules import Action, FilterRule
 from repro.dataplane.packet import FiveTuple, Packet
 from repro.errors import ConfigurationError
 from repro.lookup.flowtable import ExactMatchFlowTable
+from repro.lookup.membership import MembershipTier, TieredRuleStore
 from repro.lookup.multibit_trie import MultiBitTrie
 from repro.obs import LazyCounter
 from repro.util.rng import stable_hash64
@@ -81,7 +82,13 @@ class StatelessFilter:
         default_action: Action = Action.ALLOW,
         stride_bits: int = 8,
         decision_cache_size: int = 0,
+        membership_tier: bool = True,
+        membership: Optional[MembershipTier] = None,
     ) -> None:
+        """``membership_tier=False`` yields the trie-only store — the
+        reference configuration the differential membership tests compare
+        against; ``membership`` injects a pre-configured tier (tests force
+        tiny capacities to cross resize boundaries cheaply)."""
         if not secret:
             raise ConfigurationError("the filter needs a non-empty enclave secret")
         if decision_cache_size < 0:
@@ -89,7 +96,15 @@ class StatelessFilter:
         self._secret = secret
         self.mode = mode
         self.default_action = default_action
-        self.trie = MultiBitTrie(stride_bits=stride_bits)
+        self.store = TieredRuleStore(
+            stride_bits=stride_bits,
+            membership=membership,
+            membership_enabled=membership_tier,
+        )
+        if self.store.membership is not None:
+            # A tier rebuild re-homes entries without changing the rule set;
+            # any memoized verdict predating it must die with it.
+            self.store.membership.add_rebuild_listener(self._on_membership_rebuild)
         self.flow_table = ExactMatchFlowTable()
         self.hash_evaluations = 0
         self.table_hits = 0
@@ -108,9 +123,18 @@ class StatelessFilter:
 
     # -- rule management -----------------------------------------------------
 
+    @property
+    def trie(self) -> MultiBitTrie:
+        """The destination-prefix trie tier (compat accessor; ``/32``-source
+        drop rules live in :attr:`store`'s membership tier instead)."""
+        return self.store.trie
+
+    def _on_membership_rebuild(self, generation: int) -> None:
+        self._decision_cache.clear()
+
     def install_rule(self, rule: FilterRule) -> None:
         try:
-            self.trie.insert(rule)
+            self.store.insert(rule)
         finally:
             self.ruleset_version += 1
             self._decision_cache.clear()
@@ -118,23 +142,50 @@ class StatelessFilter:
     def install_rules(self, rules) -> int:
         """Install many rules; returns how many were inserted."""
         try:
-            return self.trie.insert_batch(rules)
+            return self.store.insert_batch(rules)
         finally:
             # insert_batch may have applied a prefix of the batch before
             # failing; invalidate unconditionally.
             self.ruleset_version += 1
             self._decision_cache.clear()
 
-    def remove_rule(self, rule: FilterRule) -> None:
+    def remove_rule(self, rule) -> None:
+        """Remove an installed rule (accepts the rule object or its id)."""
         try:
-            self.trie.remove(rule)
+            self.store.remove(rule)
         finally:
             self.ruleset_version += 1
             self._decision_cache.clear()
 
+    def load_blocklist(self, entries, requested_by: str = "") -> int:
+        """Install ``(rule_id, src_int)`` blocklist entries into the
+        membership tier (the bulk path for million-entry blackhole lists)."""
+        try:
+            return self.store.load_blocklist(entries, requested_by=requested_by)
+        finally:
+            self.ruleset_version += 1
+            self._decision_cache.clear()
+
+    def reload_blocklist(self, entries, requested_by: str = "") -> int:
+        """Replace the membership tier's contents wholesale (one sized
+        rebuild); trie rules are untouched."""
+        try:
+            return self.store.reload_blocklist(entries, requested_by=requested_by)
+        finally:
+            self.ruleset_version += 1
+            self._decision_cache.clear()
+
+    def installed_rules(self):
+        """Every installed rule as a full FilterRule, sorted by id."""
+        return self.store.rules()
+
+    def find_rule(self, rule_id: int):
+        """The installed rule by id, or None (O(1) across both tiers)."""
+        return self.store.find_rule(rule_id)
+
     @property
     def num_rules(self) -> int:
-        return len(self.trie)
+        return len(self.store)
 
     # -- the filter function ---------------------------------------------------
 
@@ -159,7 +210,7 @@ class StatelessFilter:
         return self._decide_flow_uncached(flow)
 
     def _decide_flow_uncached(self, flow: FiveTuple) -> FilterDecision:
-        rule = self.trie.lookup(flow)
+        rule = self.store.lookup(flow)
         if rule is None:
             return FilterDecision(
                 allowed=self.default_action is Action.ALLOW,
@@ -195,6 +246,10 @@ class StatelessFilter:
         self.flow_table.advance_epoch()
         if max_idle_epochs is not None:
             self.flow_table.evict_idle(max_idle_epochs)
+        # Membership-tier upkeep rides the same periodic tick: reclaim ghost
+        # Bloom bits / overgrown tables.  A rebuild fires the listener that
+        # clears the decision memo.
+        self.store.maintenance()
         return installed
 
     # -- internals ---------------------------------------------------------------

@@ -145,6 +145,43 @@ class FlowPattern:
         return self._specificity  # type: ignore[attr-defined]
 
     @classmethod
+    def from_src_host(cls, src_int: int) -> "FlowPattern":
+        """The ``/32``-source, wildcard-everything-else pattern for one IPv4
+        host, built from its integer address.
+
+        This is the exact shape of a blocklist entry (the membership tier's
+        input), and blocklists come in the millions — the normal constructor
+        pays two :func:`~repro.util.addrs.parse_network` calls per pattern,
+        which dominates bulk installs.  Here the compiled fields are written
+        directly; the result is field-for-field identical to
+        ``FlowPattern(src_prefix=f"{dotted}/32")`` (pinned by a test).
+        """
+        if not 0 <= src_int <= 0xFFFFFFFF:
+            raise RuleError(f"src_int {src_int} outside the IPv4 address space")
+        self = object.__new__(cls)
+        set_ = object.__setattr__
+        dotted = (
+            f"{(src_int >> 24) & 0xFF}.{(src_int >> 16) & 0xFF}"
+            f".{(src_int >> 8) & 0xFF}.{src_int & 0xFF}"
+        )
+        set_(self, "src_prefix", f"{dotted}/32")
+        set_(self, "dst_prefix", "0.0.0.0/0")
+        set_(self, "src_ports", None)
+        set_(self, "dst_ports", None)
+        set_(self, "protocol", None)
+        set_(self, "src_version", 4)
+        set_(self, "src_net_int", src_int)
+        set_(self, "src_prefix_len", 32)
+        set_(self, "src_mask", 0xFFFFFFFF)
+        set_(self, "dst_version", 4)
+        set_(self, "dst_net_int", 0)
+        set_(self, "dst_prefix_len", 0)
+        set_(self, "dst_mask", 0)
+        set_(self, "_is_exact", False)
+        set_(self, "_specificity", 32)
+        return self
+
+    @classmethod
     def exact(cls, flow: FiveTuple) -> "FlowPattern":
         """The exact-match pattern for one five-tuple."""
         return cls(

@@ -82,6 +82,10 @@ class ShardConfig:
     mode: ConnectionPreservingMode
     sketch_seed: str
     burst_size: int
+    #: ``(rule_id, src_int)`` membership-tier blocklist entries, seeded via
+    #: the bulk path (no per-entry FilterRule on the wire — a million-entry
+    #: blackhole list must not cost a million pattern parses per worker).
+    blocklist: Tuple[Tuple[int, int], ...] = ()
 
 
 def _worker_main(
@@ -117,6 +121,8 @@ def _worker_main(
         decision_secret=config.decision_secret,
     )
     program.install_rules([FilterRule.from_dict(d) for d in config.rules])
+    if config.blocklist:
+        program.load_blocklist(list(config.blocklist))
     busy_seconds = 0.0
     burst_size = config.burst_size
     while True:
@@ -260,6 +266,7 @@ class ShardedDataPlane:
         result_timeout: float = 120.0,
         restart_dead_workers: bool = False,
         max_worker_restarts: int = 3,
+        blocklist: Sequence[Tuple[int, int]] = (),
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -288,6 +295,11 @@ class ShardedDataPlane:
         self._live_rules: Dict[int, Dict[str, object]] = {
             rule.rule_id: rule.to_dict() for rule in rules
         }
+        #: Membership-tier seed, frozen at construction; hot blocklist churn
+        #: goes through install_rule(s)/remove_rule(s) like any other delta.
+        self._blocklist: Tuple[Tuple[int, int], ...] = tuple(
+            (int(rule_id), int(src_int)) for rule_id, src_int in blocklist
+        )
         self._base_config = ShardConfig(
             rules=(),
             decision_secret=decision_secret,
@@ -338,6 +350,7 @@ class ShardedDataPlane:
             mode=self._base_config.mode,
             sketch_seed=self._base_config.sketch_seed,
             burst_size=self._base_config.burst_size,
+            blocklist=self._blocklist,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -537,14 +550,32 @@ class ShardedDataPlane:
 
     def install_rule(self, rule: FilterRule) -> None:
         """Install one rule on every worker, between batches, without restart."""
-        self._apply_delta("install", [rule.to_dict()])
-        self._live_rules[rule.rule_id] = rule.to_dict()
+        self.install_rules([rule])
+
+    def install_rules(self, rules: Sequence[FilterRule]) -> None:
+        """Install many rules in **one** acked broadcast (one delta, one
+        version bump) — membership-tier churn arrives thousands of ``/32``
+        rules at a time, and a per-rule broadcast would serialize on acks."""
+        rules = list(rules)
+        if not rules:
+            return
+        self._apply_delta("install", [rule.to_dict() for rule in rules])
+        for rule in rules:
+            self._live_rules[rule.rule_id] = rule.to_dict()
         self.ruleset_version += 1
 
     def remove_rule(self, rule_id: int) -> None:
         """Remove one rule from every worker, between batches, without restart."""
-        self._apply_delta("remove", [rule_id])
-        self._live_rules.pop(rule_id, None)
+        self.remove_rules([rule_id])
+
+    def remove_rules(self, rule_ids: Sequence[int]) -> None:
+        """Remove many rules in one acked broadcast (one version bump)."""
+        rule_ids = list(rule_ids)
+        if not rule_ids:
+            return
+        self._apply_delta("remove", rule_ids)
+        for rule_id in rule_ids:
+            self._live_rules.pop(rule_id, None)
         self.ruleset_version += 1
 
     def _apply_delta(self, action: str, payload: List[object]) -> None:
@@ -779,6 +810,7 @@ def run_single_process_reference(
     mode: ConnectionPreservingMode = ConnectionPreservingMode.HYBRID,
     sketch_seed: str = "vif",
     burst_size: int = 256,
+    blocklist: Sequence[Tuple[int, int]] = (),
 ) -> ShardRunResult:
     """The equivalence baseline: one in-process filter over the whole trace.
 
@@ -794,6 +826,8 @@ def run_single_process_reference(
         decision_secret=decision_secret,
     )
     program.install_rules(list(rules))
+    if blocklist:
+        program.load_blocklist(list(blocklist))
     packets = list(packets)
     verdicts: List[object] = []
     wall_started = time.perf_counter()

@@ -30,6 +30,11 @@ class LookupError_(ReproError):
     """A rule-lookup structure was used incorrectly (e.g. duplicate insert)."""
 
 
+class MembershipVersionError(LookupError_):
+    """A serialized membership-tier blob was built under an incompatible
+    hash-family derivation or blob layout and must not be loaded."""
+
+
 class EnclaveError(ReproError):
     """Base class for TEE-substrate errors."""
 

@@ -3,22 +3,42 @@
 The enclave resolves each packet against its installed rules through a
 multi-bit trie (the paper's "state-of-the-art multi-bit tries data
 structure") plus an exact-match flow table for connection-preserving
-non-deterministic rules.  :mod:`repro.lookup.memory_model` captures the
-linear memory cost ``C_j = u * rules + v`` that both Fig 3b and the
-Appendix C optimizer rely on.
+non-deterministic rules.  :mod:`repro.lookup.membership` adds the tier that
+makes million-entry ``/32``-source blocklists feasible: a Bloom pre-filter
+backed by a cuckoo exact-confirm table, composed with the trie by
+:class:`~repro.lookup.membership.TieredRuleStore`.
+:mod:`repro.lookup.memory_model` captures the linear memory cost
+``C_j = u * rules + v`` that both Fig 3b and the Appendix C optimizer rely
+on, extended with byte-accurate pricing for the membership structures.
 """
 
 from repro.lookup.multibit_trie import MultiBitTrie, TrieStats
 from repro.lookup.flowtable import ExactMatchFlowTable
+from repro.lookup.membership import (
+    BloomFilter,
+    CuckooHashTable,
+    MembershipRule,
+    MembershipStats,
+    MembershipTier,
+    TieredRuleStore,
+)
 from repro.lookup.memory_model import (
     EnclaveMemoryModel,
+    MembershipCostModel,
     PAPER_MEMORY_MODEL,
 )
 
 __all__ = [
+    "BloomFilter",
+    "CuckooHashTable",
     "EnclaveMemoryModel",
     "ExactMatchFlowTable",
+    "MembershipCostModel",
+    "MembershipRule",
+    "MembershipStats",
+    "MembershipTier",
     "MultiBitTrie",
     "PAPER_MEMORY_MODEL",
+    "TieredRuleStore",
     "TrieStats",
 ]

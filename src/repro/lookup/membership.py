@@ -1,0 +1,902 @@
+"""Tiered membership pre-filter for million-entry source-IP blocklists.
+
+A real IXP blackhole list is millions of exact ``/32`` source addresses —
+pure membership queries, not longest-prefix matches.  Feeding them to the
+destination-keyed :class:`~repro.lookup.multibit_trie.MultiBitTrie` is
+pathological: a ``/32``-source rule has a wildcard destination, so every one
+of them lands on the trie root and lookup degenerates into a linear scan.
+
+This module adds the membership tier the ROADMAP calls for (StreamBF-CH
+shape): a **Bloom pre-filter** answers "definitely not blocked" for the
+overwhelming majority of benign sources in O(k) bit probes, and a **cuckoo
+hash table** exactly confirms the Bloom positives, so the effective false
+positive rate of the *tier* is zero — a Bloom false positive costs one extra
+bounded lookup, never a wrong verdict.  Both structures hash through the
+version-tagged :class:`~repro.sketch.hashing.HashFamily`, paying **one**
+SHA-256 digest per query: the family's raw 64-bit lanes are taken once and
+reduced modulo the Bloom bit count and the cuckoo bucket count separately.
+
+:class:`TieredRuleStore` composes the tier with the trie behind the exact
+rule-store interface :class:`~repro.core.filter.StatelessFilter` uses, and
+routes rules by shape: an eligible rule (deterministic DROP, IPv4 ``/32``
+source, wildcard everything else) goes to the membership tier, everything
+else to the trie.  Verdicts are provably identical to a trie-only store —
+the differential suite in ``tests/test_membership_properties.py`` pins this.
+
+Adaptive resizing: the tier rebuilds itself when the Bloom fill ratio
+implies an estimated FPR above 5 % (removals leave ghost bits; inserts
+beyond the sized capacity saturate the array) or when the cuckoo load
+factor crosses 90 %.  Inserts are eviction-loop safe: kicks are bounded and
+overflow lands in a small stash; a full stash forces a growth rebuild
+instead of looping.  Every rebuild bumps a generation counter and notifies
+listeners — the filter's per-flow decision memo subscribes so a rebuild can
+never resurrect a stale verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import LookupError_, MembershipVersionError
+from repro.lookup.multibit_trie import MultiBitTrie, TrieStats
+from repro.obs import LazyCounter, LazyGauge
+from repro.sketch.hashing import FAMILY_VERSION, HashFamily
+
+_QUERIES = LazyCounter(
+    "vif_membership_queries_total",
+    help="Source-IP membership queries answered by the membership tier",
+)
+_BLOOM_NEGATIVES = LazyCounter(
+    "vif_membership_bloom_negatives_total",
+    help="Membership queries the Bloom pre-filter rejected (no cuckoo probe)",
+)
+_CONFIRMS = LazyCounter(
+    "vif_membership_confirms_total",
+    help="Bloom positives the cuckoo exact-confirm tier verified (true hits)",
+)
+_FALSE_POSITIVE_CONFIRMS = LazyCounter(
+    "vif_membership_false_positive_confirms_total",
+    help="Bloom positives the cuckoo exact-confirm tier rejected (Bloom FPs)",
+)
+_RESIZES = LazyCounter(
+    "vif_membership_resizes_total",
+    help="Adaptive rebuilds of the membership tier (FPR/load triggered)",
+)
+_ENTRIES = LazyGauge(
+    "vif_membership_entries",
+    help="Live rules held by the membership tier",
+)
+_LOAD_FACTOR = LazyGauge(
+    "vif_membership_load_factor",
+    help="Cuckoo table occupancy (entries / total slots)",
+)
+
+#: Hash lanes drawn per key: the first ``_BLOOM_LANES`` feed the Bloom
+#: probes, the first two double as the cuckoo's candidate buckets.  All come
+#: from one SHA-256 digest (four 8-byte slices).
+_BLOOM_LANES = 3
+_CUCKOO_LANES = 2
+
+_BLOOM_MAGIC = b"VIFM"
+_BLOOM_BLOB_VERSION = 1
+
+
+class BloomFilter:
+    """A plain bit-array Bloom filter driven by pre-computed hash lanes.
+
+    The filter never hashes anything itself — callers pass the
+    :meth:`HashFamily.lanes` slices, and the filter applies its own modulus.
+    That keeps one digest shared between this tier's Bloom and cuckoo
+    halves, and it makes the bit layout a pure function of
+    ``(family version, family seed, num_bits, num_lanes)`` — which is
+    exactly what the serialized blob pins.
+    """
+
+    __slots__ = ("num_bits", "num_lanes", "ones", "_bits")
+
+    def __init__(self, num_bits: int, num_lanes: int = _BLOOM_LANES) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_lanes <= 0:
+            raise ValueError("num_lanes must be positive")
+        self.num_bits = num_bits
+        self.num_lanes = num_lanes
+        self.ones = 0  # set bits, maintained incrementally for the FPR estimate
+        self._bits = bytearray((num_bits + 7) // 8)
+
+    def add(self, lanes: Sequence[int]) -> None:
+        bits = self._bits
+        num_bits = self.num_bits
+        for lane in lanes[: self.num_lanes]:
+            pos = lane % num_bits
+            byte, mask = pos >> 3, 1 << (pos & 7)
+            if not bits[byte] & mask:
+                bits[byte] |= mask
+                self.ones += 1
+
+    def might_contain(self, lanes: Sequence[int]) -> bool:
+        bits = self._bits
+        num_bits = self.num_bits
+        for lane in lanes[: self.num_lanes]:
+            pos = lane % num_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    @property
+    def fill_ratio(self) -> float:
+        return self.ones / self.num_bits
+
+    def fpr_estimate(self) -> float:
+        """Estimated false-positive probability at the current fill.
+
+        A query is a false positive when all ``k`` probed bits are set; with
+        a fill ratio ``f`` that happens with probability ``f^k``.  Removals
+        leave ghost bits behind (a Bloom filter cannot unset shared bits),
+        so the estimate reads the *actual* array fill, not the live entry
+        count — ghosts raise it honestly.
+        """
+        return self.fill_ratio ** self.num_lanes
+
+    # -- wire format ---------------------------------------------------------
+
+    def serialize(self, family: HashFamily) -> bytes:
+        """Self-describing blob: layout parameters + the bit array.
+
+        The blob carries the hash-family **derivation version** and seed —
+        the two inputs (besides the sizes) that determine which bits a key
+        sets.  Loading under a different derivation would silently answer
+        membership queries from garbage bits, so :meth:`deserialize` fails
+        loudly instead, exactly like sketch blobs.
+        """
+        seed = family.family_seed.encode("utf-8")
+        return b"".join(
+            (
+                _BLOOM_MAGIC,
+                bytes((_BLOOM_BLOB_VERSION, family.version, self.num_lanes)),
+                len(seed).to_bytes(2, "big"),
+                seed,
+                self.num_bits.to_bytes(8, "big"),
+                self.ones.to_bytes(8, "big"),
+                bytes(self._bits),
+            )
+        )
+
+    @classmethod
+    def deserialize(cls, blob: bytes, family: HashFamily) -> "BloomFilter":
+        """Inverse of :meth:`serialize`; validates versions before bits."""
+        if len(blob) < 23 or blob[:4] != _BLOOM_MAGIC:
+            raise MembershipVersionError("not a membership Bloom blob")
+        blob_version, family_version, num_lanes = blob[4], blob[5], blob[6]
+        if blob_version != _BLOOM_BLOB_VERSION:
+            raise MembershipVersionError(
+                f"membership blob layout v{blob_version} unsupported "
+                f"(this build reads v{_BLOOM_BLOB_VERSION})"
+            )
+        if family_version != family.version:
+            raise MembershipVersionError(
+                f"membership blob hashed under family version {family_version}, "
+                f"this family derives version {family.version} — refusing to "
+                "answer membership queries from incompatible bits"
+            )
+        seed_len = int.from_bytes(blob[7:9], "big")
+        seed = blob[9 : 9 + seed_len].decode("utf-8")
+        if seed != family.family_seed:
+            raise MembershipVersionError(
+                f"membership blob seeded with {seed!r}, family uses "
+                f"{family.family_seed!r}"
+            )
+        off = 9 + seed_len
+        num_bits = int.from_bytes(blob[off : off + 8], "big")
+        ones = int.from_bytes(blob[off + 8 : off + 16], "big")
+        bits = blob[off + 16 :]
+        bloom = cls(num_bits, num_lanes)
+        if len(bits) != len(bloom._bits):
+            raise MembershipVersionError(
+                f"membership blob truncated: {len(bits)} bit-array bytes, "
+                f"expected {len(bloom._bits)}"
+            )
+        bloom._bits = bytearray(bits)
+        bloom.ones = ones
+        return bloom
+
+
+class CuckooHashTable:
+    """A two-choice cuckoo hash table with bounded kicks and a stash.
+
+    Keys are IPv4 source addresses (integers); values are opaque.  The two
+    candidate buckets come from the first two hash lanes the caller derived
+    (one digest, shared with the Bloom filter), each holding up to
+    ``slots_per_bucket`` entries.  Insertion into two full buckets evicts a
+    resident entry and relocates it to its alternate bucket, at most
+    ``max_kicks`` times; an entry still homeless after that goes to the
+    stash.  A full stash makes :meth:`insert` return ``False`` — the tier
+    responds by growing the table, so an adversarial key set degrades into a
+    rebuild, never an eviction loop.
+    """
+
+    __slots__ = (
+        "num_buckets",
+        "slots_per_bucket",
+        "max_kicks",
+        "stash_limit",
+        "entries",
+        "_lane_fn",
+        "_buckets",
+        "_stash",
+        "_kick_rotor",
+    )
+
+    def __init__(
+        self,
+        num_buckets: int,
+        lane_fn: Callable[[int], Sequence[int]],
+        slots_per_bucket: int = 4,
+        max_kicks: int = 64,
+        stash_limit: int = 8,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.num_buckets = num_buckets
+        self.slots_per_bucket = slots_per_bucket
+        self.max_kicks = max_kicks
+        self.stash_limit = stash_limit
+        self.entries = 0
+        self._lane_fn = lane_fn
+        self._buckets: List[List[Tuple[int, object]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        self._stash: List[Tuple[int, object]] = []
+        # Deterministic victim selection: a rotating slot index instead of
+        # RNG keeps shard workers and the reference filter byte-identical.
+        self._kick_rotor = 0
+
+    def _bucket_pair(self, lanes: Sequence[int]) -> Tuple[int, int]:
+        n = self.num_buckets
+        return lanes[0] % n, lanes[1] % n
+
+    @property
+    def load_factor(self) -> float:
+        return self.entries / (self.num_buckets * self.slots_per_bucket)
+
+    @property
+    def stash_entries(self) -> int:
+        return len(self._stash)
+
+    def get(self, key: int, lanes: Sequence[int]) -> Optional[object]:
+        b1, b2 = self._bucket_pair(lanes)
+        for stored_key, value in self._buckets[b1]:
+            if stored_key == key:
+                return value
+        if b2 != b1:
+            for stored_key, value in self._buckets[b2]:
+                if stored_key == key:
+                    return value
+        for stored_key, value in self._stash:
+            if stored_key == key:
+                return value
+        return None
+
+    def insert(self, key: int, value: object, lanes: Sequence[int]) -> bool:
+        """Insert ``key`` (must not be present); False when a growth is needed."""
+        b1, b2 = self._bucket_pair(lanes)
+        slots = self.slots_per_bucket
+        buckets = self._buckets
+        if len(buckets[b1]) < slots:
+            buckets[b1].append((key, value))
+            self.entries += 1
+            return True
+        if len(buckets[b2]) < slots:
+            buckets[b2].append((key, value))
+            self.entries += 1
+            return True
+        # Both candidates full: cuckoo-kick a resident to its alternate home.
+        home = b1
+        entry = (key, value)
+        for _ in range(self.max_kicks):
+            bucket = buckets[home]
+            victim_slot = self._kick_rotor % slots
+            self._kick_rotor += 1
+            victim = bucket[victim_slot]
+            bucket[victim_slot] = entry
+            v1, v2 = self._bucket_pair(self._lane_fn(victim[0]))
+            alt = v2 if home == v1 else v1
+            if len(buckets[alt]) < slots:
+                buckets[alt].append(victim)
+                self.entries += 1
+                return True
+            entry, home = victim, alt
+        if len(self._stash) < self.stash_limit:
+            self._stash.append(entry)
+            self.entries += 1
+            return True
+        # Undo nothing: the displaced chain is still fully stored except
+        # ``entry``; re-homing it is the caller's rebuild's job.  Signal by
+        # stashing unconditionally and reporting the overflow.
+        self._stash.append(entry)
+        self.entries += 1
+        return False
+
+    def remove(self, key: int, lanes: Sequence[int]) -> Optional[object]:
+        b1, b2 = self._bucket_pair(lanes)
+        for b in (b1, b2) if b2 != b1 else (b1,):
+            bucket = self._buckets[b]
+            for i, (stored_key, value) in enumerate(bucket):
+                if stored_key == key:
+                    bucket[i] = bucket[-1]
+                    bucket.pop()
+                    self.entries -= 1
+                    return value
+        for i, (stored_key, value) in enumerate(self._stash):
+            if stored_key == key:
+                self._stash[i] = self._stash[-1]
+                self._stash.pop()
+                self.entries -= 1
+                return value
+        return None
+
+
+class MembershipRule:
+    """A compact ``/32``-source DROP rule held by the membership tier.
+
+    A million-entry blocklist cannot afford a full
+    :class:`~repro.core.rules.FilterRule` + :class:`FlowPattern` per entry
+    (~500 bytes and two prefix parses each); this carries the four fields
+    that vary and serves the rule interface the verdict path reads
+    (``rule_id``, ``action``, ``deterministic``, ``pattern.specificity``).
+    :meth:`materialize` produces the equivalent full ``FilterRule`` on
+    demand (control-plane exports, ``installed_rules`` ECalls).
+    """
+
+    __slots__ = ("rule_id", "src_int", "rate_bps", "requested_by", "_materialized")
+
+    #: Membership rules are deterministic DROPs by construction.
+    deterministic = True
+    p_allow = None
+    p_drop = 1.0
+    #: All membership patterns share one specificity: 32 source bits,
+    #: nothing else pinned (see :meth:`FlowPattern.specificity`).
+    specificity = 32
+
+    def __init__(
+        self,
+        rule_id: int,
+        src_int: int,
+        rate_bps: float = 0.0,
+        requested_by: str = "",
+    ) -> None:
+        self.rule_id = rule_id
+        self.src_int = src_int
+        self.rate_bps = rate_bps
+        self.requested_by = requested_by
+        self._materialized = None
+
+    @property
+    def action(self):
+        from repro.core.rules import Action  # deferred: no core<->lookup cycle
+
+        return Action.DROP
+
+    @property
+    def pattern(self) -> "MembershipRule":
+        # The verdict path only reads ``pattern.specificity``; serving it
+        # from the rule itself avoids one object per blocklist entry.
+        return self
+
+    def materialize(self):
+        """The equivalent full :class:`FilterRule` (built lazily, cached)."""
+        if self._materialized is None:
+            from repro.core.rules import Action, FilterRule, FlowPattern
+
+            self._materialized = FilterRule(
+                rule_id=self.rule_id,
+                pattern=FlowPattern.from_src_host(self.src_int),
+                action=Action.DROP,
+                rate_bps=self.rate_bps,
+                requested_by=self.requested_by,
+            )
+        return self._materialized
+
+    @classmethod
+    def from_rule(cls, rule) -> "MembershipRule":
+        """Compact form of an eligible :class:`FilterRule` (see
+        :meth:`TieredRuleStore.routes_to_membership`)."""
+        compact = cls(
+            rule_id=rule.rule_id,
+            src_int=rule.pattern.src_net_int,
+            rate_bps=rule.rate_bps,
+            requested_by=rule.requested_by,
+        )
+        compact._materialized = rule
+        return compact
+
+    def __repr__(self) -> str:
+        return f"MembershipRule(rule_id={self.rule_id}, src_int={self.src_int})"
+
+
+@dataclass(frozen=True)
+class MembershipStats:
+    """Size/occupancy snapshot for cost accounting and tests."""
+
+    entries: int
+    bloom_bits: int
+    bloom_ones: int
+    bloom_lanes: int
+    num_buckets: int
+    slots_per_bucket: int
+    stash_entries: int
+    load_factor: float
+    fpr_estimate: float
+    generation: int
+    resizes: int
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << max(0, n - 1).bit_length()
+
+
+class MembershipTier:
+    """Bloom pre-filter + cuckoo exact-confirm over blocked source IPs."""
+
+    #: Bloom bits provisioned per live entry at (re)build time.  With three
+    #: lanes and 16 bits/entry the steady-state estimated FPR is
+    #: ``(1 - e^(-3/16))^3 ≈ 0.4 %`` — an order of magnitude under the 5 %
+    #: rebuild trigger, so rebuilds fire on genuine growth/ghost pressure.
+    BLOOM_BITS_PER_ENTRY = 16
+
+    def __init__(
+        self,
+        initial_capacity: int = 1024,
+        slots_per_bucket: int = 4,
+        max_kicks: int = 64,
+        stash_limit: int = 8,
+        fpr_threshold: float = 0.05,
+        load_threshold: float = 0.90,
+        family_seed: str = "vif-membership",
+    ) -> None:
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        if not 0.0 < fpr_threshold < 1.0:
+            raise ValueError("fpr_threshold must be in (0, 1)")
+        if not 0.0 < load_threshold <= 1.0:
+            raise ValueError("load_threshold must be in (0, 1]")
+        self.fpr_threshold = fpr_threshold
+        self.load_threshold = load_threshold
+        self._slots_per_bucket = slots_per_bucket
+        self._max_kicks = max_kicks
+        self._stash_limit = stash_limit
+        # Width is irrelevant here — only the raw lanes are used — but the
+        # family still version-tags the derivation, which the Bloom blob pins.
+        self.family = HashFamily(depth=4, width=1 << 32, family_seed=family_seed)
+        self.generation = 0
+        self.resizes = 0
+        self._by_id: Dict[int, MembershipRule] = {}
+        self._rebuild_listeners: List[Callable[[int], None]] = []
+        self._build_structures(initial_capacity)
+
+    # -- hashing -------------------------------------------------------------
+
+    def _lanes(self, src_int: int) -> Sequence[int]:
+        return self.family.lanes(src_int.to_bytes(4, "big"))
+
+    # -- structure lifecycle -------------------------------------------------
+
+    def _build_structures(self, capacity: int) -> None:
+        capacity = max(capacity, 64)
+        self.bloom = BloomFilter(
+            _next_power_of_two(capacity * self.BLOOM_BITS_PER_ENTRY),
+            num_lanes=_BLOOM_LANES,
+        )
+        num_buckets = _next_power_of_two(
+            max(16, int(capacity / (self._slots_per_bucket * 0.8)))
+        )
+        self.cuckoo = CuckooHashTable(
+            num_buckets,
+            lane_fn=self._lanes,
+            slots_per_bucket=self._slots_per_bucket,
+            max_kicks=self._max_kicks,
+            stash_limit=self._stash_limit,
+        )
+
+    def add_rebuild_listener(self, listener: Callable[[int], None]) -> None:
+        """``listener(generation)`` fires after every rebuild/resize.
+
+        The filter's per-flow decision memo subscribes: a rebuild re-homes
+        every entry, so any cached verdict derived from the old structures
+        must be invalidated even though the *rule set* did not change.
+        """
+        self._rebuild_listeners.append(listener)
+
+    def _rebuild(self, capacity: int) -> None:
+        survivors = self._group_by_src()
+        self._build_structures(capacity)
+        while True:
+            placed_all = True
+            for src_int, rules in survivors.items():
+                lanes = self._lanes(src_int)
+                self.bloom.add(lanes)  # idempotent: safe across restarts
+                if not self.cuckoo.insert(src_int, rules, lanes):
+                    placed_all = False
+                    break
+            if placed_all:
+                break
+            # Placement overflowed even the stash — extremely unlikely at a
+            # freshly sized table, but handled by doubling and restarting
+            # rather than looping kicks (the eviction-loop safety story).
+            self.cuckoo = CuckooHashTable(
+                self.cuckoo.num_buckets * 2,
+                lane_fn=self._lanes,
+                slots_per_bucket=self._slots_per_bucket,
+                max_kicks=self._max_kicks,
+                stash_limit=self._stash_limit,
+            )
+        self.generation += 1
+        self.resizes += 1
+        _RESIZES.inc()
+        self._update_gauges()
+        for listener in self._rebuild_listeners:
+            listener(self.generation)
+
+    def _group_by_src(self) -> Dict[int, List[MembershipRule]]:
+        grouped: Dict[int, List[MembershipRule]] = {}
+        for rule in sorted(self._by_id.values(), key=lambda r: r.rule_id):
+            grouped.setdefault(rule.src_int, []).append(rule)
+        return grouped
+
+    def _update_gauges(self) -> None:
+        _ENTRIES.set(len(self._by_id))
+        _LOAD_FACTOR.set(self.cuckoo.load_factor)
+
+    def maybe_resize(self) -> bool:
+        """Apply the adaptive-resizing policy; True when a rebuild ran.
+
+        Triggers (ROADMAP item 2 / StreamBF-CH): estimated Bloom FPR above
+        ``fpr_threshold`` (growth past the sized capacity, or ghost bits
+        after heavy removal) or cuckoo load factor above ``load_threshold``.
+        The rebuild sizes both structures for the *live* entry count.
+        """
+        if (
+            self.bloom.fpr_estimate() > self.fpr_threshold
+            or self.cuckoo.load_factor > self.load_threshold
+        ):
+            self._rebuild(max(len(self._by_id) * 2, 64))
+            return True
+        return False
+
+    # -- rule management -----------------------------------------------------
+
+    def insert(self, rule: MembershipRule) -> None:
+        if rule.rule_id in self._by_id:
+            raise LookupError_(f"rule {rule.rule_id} already installed")
+        lanes = self._lanes(rule.src_int)
+        existing = self.cuckoo.get(rule.src_int, lanes)
+        if existing is not None:
+            # Same source blocked by several victims: keep one slot, a
+            # rule list sorted by id (lowest id wins ties, like the trie).
+            rules: List[MembershipRule] = existing  # type: ignore[assignment]
+            rules.append(rule)
+            rules.sort(key=lambda r: r.rule_id)
+        else:
+            while not self.cuckoo.insert(rule.src_int, [rule], lanes):
+                self._rebuild(max(len(self._by_id) * 2, 64))
+            self.bloom.add(lanes)
+        self._by_id[rule.rule_id] = rule
+        self.maybe_resize()
+        self._update_gauges()
+
+    def remove(self, rule_id: int) -> MembershipRule:
+        rule = self._by_id.get(rule_id)
+        if rule is None:
+            raise LookupError_(f"rule {rule_id} is not installed")
+        lanes = self._lanes(rule.src_int)
+        entry = self.cuckoo.get(rule.src_int, lanes)
+        assert entry is not None, "tier index and cuckoo table diverged"
+        rules: List[MembershipRule] = entry  # type: ignore[assignment]
+        rules[:] = [r for r in rules if r.rule_id != rule_id]
+        if not rules:
+            self.cuckoo.remove(rule.src_int, lanes)
+        # The Bloom bit stays set (ghost): clearing shared bits would create
+        # false negatives.  Ghost pressure shows up in fpr_estimate() and is
+        # reclaimed by the next maintenance rebuild.
+        del self._by_id[rule_id]
+        self._update_gauges()
+        return rule
+
+    def bulk_load(self, rules: Iterable[MembershipRule]) -> int:
+        """Replace the whole tier with ``rules`` in one sized build.
+
+        This is the hot blocklist-swap path: structures are provisioned for
+        the final count up front, so a 10-million-entry load performs zero
+        adaptive rebuilds on the way in.  Counts as one resize; fires the
+        rebuild listeners exactly once.
+        """
+        incoming: Dict[int, MembershipRule] = {}
+        for rule in rules:
+            if rule.rule_id in incoming:
+                raise LookupError_(f"rule {rule.rule_id} already installed")
+            incoming[rule.rule_id] = rule
+        self._by_id = incoming
+        self._rebuild(max(len(incoming) * 2, 64))
+        return len(incoming)
+
+    # -- the query path ------------------------------------------------------
+
+    def query(self, src_int: int) -> Optional[MembershipRule]:
+        """The blocking rule for ``src_int`` (lowest id), or None.
+
+        One digest; the Bloom filter turns the common benign-source case
+        into k bit probes, and the cuckoo confirm makes the tier's effective
+        false-positive rate exactly zero.
+        """
+        _QUERIES.inc()
+        lanes = self._lanes(src_int)
+        if not self.bloom.might_contain(lanes):
+            _BLOOM_NEGATIVES.inc()
+            return None
+        entry = self.cuckoo.get(src_int, lanes)
+        if entry is None:
+            _FALSE_POSITIVE_CONFIRMS.inc()
+            return None
+        _CONFIRMS.inc()
+        return entry[0]  # type: ignore[index]
+
+    def might_contain(self, src_int: int) -> bool:
+        """The Bloom tier's answer alone (no exact confirm) — test hook for
+        the never-false-negative property."""
+        return self.bloom.might_contain(self._lanes(src_int))
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, rule_id: int) -> bool:
+        return rule_id in self._by_id
+
+    def get_rule(self, rule_id: int) -> Optional[MembershipRule]:
+        return self._by_id.get(rule_id)
+
+    def rules(self) -> List[MembershipRule]:
+        return sorted(self._by_id.values(), key=lambda r: r.rule_id)
+
+    def stats(self) -> MembershipStats:
+        return MembershipStats(
+            entries=len(self._by_id),
+            bloom_bits=self.bloom.num_bits,
+            bloom_ones=self.bloom.ones,
+            bloom_lanes=self.bloom.num_lanes,
+            num_buckets=self.cuckoo.num_buckets,
+            slots_per_bucket=self.cuckoo.slots_per_bucket,
+            stash_entries=self.cuckoo.stash_entries,
+            load_factor=self.cuckoo.load_factor,
+            fpr_estimate=self.bloom.fpr_estimate(),
+            generation=self.generation,
+            resizes=self.resizes,
+        )
+
+    def serialize_bloom(self) -> bytes:
+        """The Bloom pre-filter as a version-pinned blob (checkpointing)."""
+        return self.bloom.serialize(self.family)
+
+    def load_bloom(self, blob: bytes) -> None:
+        """Restore a serialized Bloom array; fails loudly on version skew."""
+        self.bloom = BloomFilter.deserialize(blob, self.family)
+
+
+class TieredRuleStore:
+    """The trie plus the membership tier behind one rule-store interface.
+
+    Rules route by shape: :meth:`routes_to_membership` sends exact-``/32``
+    IPv4 source DROP rules to the membership tier, everything else to the
+    :class:`MultiBitTrie`.  Lookups consult both and resolve overlaps with
+    the exact most-specific-match tiebreak the trie and
+    :class:`~repro.core.rules.RuleSet` already implement, so the composed
+    store is verdict-identical to a trie holding every rule — just without
+    the root-node linear scan that makes million-entry blocklists
+    infeasible there.
+    """
+
+    def __init__(
+        self,
+        stride_bits: int = 8,
+        membership: Optional[MembershipTier] = None,
+        membership_enabled: bool = True,
+    ) -> None:
+        self.trie = MultiBitTrie(stride_bits=stride_bits)
+        # Note: an empty tier is falsy (it has __len__), so test identity.
+        self.membership: Optional[MembershipTier] = (
+            (membership if membership is not None else MembershipTier())
+            if membership_enabled
+            else None
+        )
+        self._trie_by_id: Dict[int, object] = {}
+        # Multiset of trie-rule specificities: the membership fast path may
+        # skip the trie walk only while no trie rule could out-rank a
+        # membership hit (specificity 32).
+        self._spec_counts: Dict[int, int] = {}
+        self._max_trie_spec = -1
+
+    # -- routing -------------------------------------------------------------
+
+    @staticmethod
+    def routes_to_membership(rule) -> bool:
+        """True for the blocklist shape: deterministic DROP of one IPv4
+        source host, all other fields wildcarded."""
+        pattern = rule.pattern
+        return (
+            rule.deterministic
+            and rule.p_drop == 1.0
+            and pattern.src_version == 4
+            and pattern.src_prefix_len == 32
+            and pattern.dst_version == 4
+            and pattern.dst_prefix_len == 0
+            and pattern.src_ports is None
+            and pattern.dst_ports is None
+            and pattern.protocol is None
+        )
+
+    # -- rule management -----------------------------------------------------
+
+    def insert(self, rule) -> None:
+        if rule.rule_id in self._trie_by_id or (
+            self.membership is not None and rule.rule_id in self.membership
+        ):
+            raise LookupError_(f"rule {rule.rule_id} already installed")
+        if self.membership is not None:
+            if isinstance(rule, MembershipRule):
+                self.membership.insert(rule)
+                return
+            if self.routes_to_membership(rule):
+                self.membership.insert(MembershipRule.from_rule(rule))
+                return
+        self.trie.insert(rule)
+        self._trie_by_id[rule.rule_id] = rule
+        spec = rule.pattern.specificity
+        self._spec_counts[spec] = self._spec_counts.get(spec, 0) + 1
+        if spec > self._max_trie_spec:
+            self._max_trie_spec = spec
+
+    def insert_batch(self, rules) -> int:
+        """Insert many rules; a failure leaves the applied prefix installed
+        (matching :meth:`MultiBitTrie.insert_batch` semantics)."""
+        count = 0
+        for rule in rules:
+            self.insert(rule)
+            count += 1
+        return count
+
+    def remove(self, rule_or_id) -> None:
+        rule_id = (
+            rule_or_id if isinstance(rule_or_id, int) else rule_or_id.rule_id
+        )
+        if self.membership is not None and rule_id in self.membership:
+            self.membership.remove(rule_id)
+            return
+        rule = self._trie_by_id.get(rule_id)
+        if rule is None:
+            raise LookupError_(f"rule {rule_id} is not installed")
+        self.trie.remove(rule)
+        del self._trie_by_id[rule_id]
+        spec = rule.pattern.specificity
+        remaining = self._spec_counts[spec] - 1
+        if remaining:
+            self._spec_counts[spec] = remaining
+        else:
+            del self._spec_counts[spec]
+            if spec == self._max_trie_spec:
+                self._max_trie_spec = max(self._spec_counts, default=-1)
+
+    def maintenance(self) -> bool:
+        """Periodic adaptive-resize check (the filter's update tick calls
+        this so ghost-bit pressure from removals is eventually reclaimed)."""
+        if self.membership is None:
+            return False
+        return self.membership.maybe_resize()
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, flow):
+        """Most-specific installed rule matching ``flow``, or None —
+        byte-identical to a trie holding every rule.
+
+        The membership tier only understands IPv4 sources and its patterns
+        carry an IPv4 wildcard destination, which (like any
+        :meth:`FlowPattern.matches`) does not match IPv6 destinations — so
+        the tier is consulted only for v4→v4 flows.  A membership hit may
+        skip the trie walk entirely unless some trie rule's specificity
+        could reach the membership tier's 32; then both are resolved with
+        the standard (specificity, lowest-id) tiebreak.
+        """
+        membership = self.membership
+        member = None
+        if (
+            membership is not None
+            and membership._by_id
+            and flow.src_ip_version == 4
+            and flow.dst_ip_version == 4
+        ):
+            member = membership.query(flow.src_ip_int)
+            if member is not None and self._max_trie_spec < 32:
+                return member
+        best = self.trie.lookup(flow)
+        if member is None:
+            return best
+        if best is None:
+            return member
+        best_spec = best.pattern.specificity
+        if 32 > best_spec or (32 == best_spec and member.rule_id < best.rule_id):
+            return member
+        return best
+
+    # -- blocklist bulk paths ------------------------------------------------
+
+    def load_blocklist(
+        self,
+        entries: Iterable[Union[Tuple[int, int], Sequence[int]]],
+        requested_by: str = "",
+    ) -> int:
+        """Install ``(rule_id, src_int)`` blocklist entries incrementally."""
+        if self.membership is None:
+            raise LookupError_("membership tier disabled on this store")
+        count = 0
+        for rule_id, src_int in entries:
+            if rule_id in self._trie_by_id:
+                raise LookupError_(f"rule {rule_id} already installed")
+            self.membership.insert(
+                MembershipRule(rule_id, src_int, requested_by=requested_by)
+            )
+            count += 1
+        return count
+
+    def reload_blocklist(
+        self,
+        entries: Iterable[Union[Tuple[int, int], Sequence[int]]],
+        requested_by: str = "",
+    ) -> int:
+        """Replace the whole membership tier with ``entries`` (one sized
+        build, one rebuild notification).  Trie rules are untouched."""
+        if self.membership is None:
+            raise LookupError_("membership tier disabled on this store")
+        rules = []
+        for rule_id, src_int in entries:
+            if rule_id in self._trie_by_id:
+                raise LookupError_(f"rule {rule_id} already installed")
+            rules.append(MembershipRule(rule_id, src_int, requested_by=requested_by))
+        return self.membership.bulk_load(rules)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.trie) + (
+            len(self.membership) if self.membership is not None else 0
+        )
+
+    def __contains__(self, rule_id: int) -> bool:
+        if rule_id in self._trie_by_id:
+            return True
+        return self.membership is not None and rule_id in self.membership
+
+    def find_rule(self, rule_id: int):
+        """The installed rule by id (materialized for membership entries)."""
+        rule = self._trie_by_id.get(rule_id)
+        if rule is not None:
+            return rule
+        if self.membership is not None:
+            member = self.membership.get_rule(rule_id)
+            if member is not None:
+                return member.materialize()
+        return None
+
+    def rules(self) -> List[object]:
+        """Every installed rule as a full FilterRule, sorted by id."""
+        out = list(self._trie_by_id.values())
+        if self.membership is not None:
+            out.extend(rule.materialize() for rule in self.membership.rules())
+        return sorted(out, key=lambda r: r.rule_id)
+
+    def trie_stats(self) -> TrieStats:
+        return self.trie.stats()
+
+    def membership_stats(self) -> Optional[MembershipStats]:
+        return None if self.membership is None else self.membership.stats()

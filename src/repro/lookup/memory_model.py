@@ -22,6 +22,41 @@ from repro.util.units import MB
 
 
 @dataclass(frozen=True)
+class MembershipCostModel:
+    """Byte pricing for the membership tier's structures.
+
+    The tier is priced from a :class:`~repro.lookup.membership.MembershipStats`
+    snapshot (duck-typed: any object with ``bloom_bits``, ``num_buckets``,
+    ``slots_per_bucket``, ``entries`` and ``stash_entries`` works), so the
+    model stays import-free of the lookup structures it prices:
+
+    * the Bloom filter is exactly its bit array (``bloom_bits / 8``),
+    * every cuckoo slot is charged whether occupied or not — the table is
+      pre-allocated, which is what the EPC sees,
+    * every live entry carries its compact rule object,
+    * stash entries pay a separate (pointer-chasing) premium.
+    """
+
+    #: Bytes per cuckoo slot: the 4-byte key and a value pointer, padded.
+    bucket_slot_bytes: int = 16
+
+    #: Bytes per live entry: the compact MembershipRule plus its list cell.
+    entry_bytes: int = 96
+
+    #: Bytes per stash entry (key + value pointer + list overhead).
+    stash_entry_bytes: int = 32
+
+    def footprint_bytes(self, stats) -> int:
+        """Total membership-tier bytes for a stats snapshot."""
+        return (
+            stats.bloom_bits // 8
+            + stats.num_buckets * stats.slots_per_bucket * self.bucket_slot_bytes
+            + stats.entries * self.entry_bytes
+            + stats.stash_entries * self.stash_entry_bytes
+        )
+
+
+@dataclass(frozen=True)
 class EnclaveMemoryModel:
     """Linear per-enclave memory model with EPC and performance budgets."""
 
@@ -39,6 +74,10 @@ class EnclaveMemoryModel:
     #: Memory budget the optimizer packs against, chosen so the implied rule
     #: capacity matches the ≈3,000-rule throughput knee of Fig 3a.
     performance_budget_bytes: int = 50 * MB
+
+    #: Pricing for the membership tier (Bloom bits + cuckoo buckets), which
+    #: scales per *blocked source* instead of per 14 KiB trie rule.
+    membership: MembershipCostModel = MembershipCostModel()
 
     def footprint_bytes(self, num_rules: int) -> int:
         """Total enclave footprint with ``num_rules`` installed."""
@@ -59,6 +98,29 @@ class EnclaveMemoryModel:
         if budget <= self.base_bytes:
             return 0
         return (budget - self.base_bytes) // self.bytes_per_rule
+
+    def membership_footprint_bytes(self, stats) -> int:
+        """Membership-tier bytes for a stats snapshot (0 for ``None``)."""
+        if stats is None:
+            return 0
+        return self.membership.footprint_bytes(stats)
+
+    def tiered_footprint_bytes(self, num_trie_rules: int, membership_stats) -> int:
+        """Total enclave footprint for a tiered store: base + the linear
+        14 KiB-per-rule lookup table for the *trie* rules only, plus the
+        membership structures priced at their actual byte sizes."""
+        return self.footprint_bytes(num_trie_rules) + self.membership_footprint_bytes(
+            membership_stats
+        )
+
+    def tiered_exceeds_epc(self, num_trie_rules: int, membership_stats) -> bool:
+        """True once the tiered footprint would trigger EPC paging — a
+        10M-entry blocklist outgrows the 92 MB EPC even in compact form,
+        and the cost model must say so."""
+        return (
+            self.tiered_footprint_bytes(num_trie_rules, membership_stats)
+            > self.epc_limit_bytes
+        )
 
     @property
     def u(self) -> int:

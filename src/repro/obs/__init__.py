@@ -53,6 +53,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     LazyCounter,
+    LazyGauge,
     MetricsRegistry,
     RECOVERY_BUCKETS,
     SNAPSHOT_SCHEMA,
@@ -98,6 +99,7 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "LazyCounter",
+    "LazyGauge",
     "MetricsRegistry",
     "SpanRecord",
     "Tracer",

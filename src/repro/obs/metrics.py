@@ -561,6 +561,43 @@ class LazyCounter:
         return self._resolve().value
 
 
+class LazyGauge:
+    """A module-level gauge handle that follows registry swaps.
+
+    Same contract as :class:`LazyCounter`, for values that go up and down
+    (membership-tier entry counts, load factors): the gauge is re-resolved
+    only when the default registry's identity changes.
+    """
+
+    __slots__ = ("name", "help", "_registry", "_gauge")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._registry: Optional[MetricsRegistry] = None
+        self._gauge: Optional[Gauge] = None
+
+    def _resolve(self) -> Gauge:
+        registry = get_registry()
+        if registry is not self._registry:
+            self._registry = registry
+            self._gauge = registry.gauge(self.name, help=self.help)
+        return self._gauge  # type: ignore[return-value]
+
+    def set(self, value: Number) -> None:
+        self._resolve().set(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        self._resolve().inc(amount)
+
+    def dec(self, amount: Number = 1) -> None:
+        self._resolve().dec(amount)
+
+    @property
+    def value(self) -> Number:
+        return self._resolve().value
+
+
 def timing_enabled() -> bool:
     """Whether hot paths should pay for clock reads and histogram updates."""
     return _timing

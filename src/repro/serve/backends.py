@@ -23,7 +23,7 @@ already takes for shed rules).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.filter import StatelessFilter
 from repro.core.fleet import FleetBurstFilter, FleetManager
@@ -35,22 +35,34 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class RuleDelta:
-    """One hot rule-set change, queued on the serve control plane."""
+    """One hot rule-set change, queued on the serve control plane.
+
+    A delta is either singular (``rule`` / ``rule_id``) or a batch
+    (``rules`` / ``rule_ids``) — membership-tier churn installs or retracts
+    thousands of ``/32`` source rules at once, and a batch delta reaches
+    every backend as **one** atomic change (one acked shard broadcast, one
+    version bump), applied strictly between bursts like any other delta.
+    """
 
     action: str  # "install" | "remove"
     rule: Optional[FilterRule] = None
     rule_id: Optional[int] = None
+    rules: Optional[Tuple[FilterRule, ...]] = None
+    rule_ids: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.rules is not None:
+            object.__setattr__(self, "rules", tuple(self.rules))
+        if self.rule_ids is not None:
+            object.__setattr__(self, "rule_ids", tuple(self.rule_ids))
         if self.action == "install":
-            if self.rule is None:
-                raise ConfigurationError("install delta needs a rule")
+            if self.rule is None and not self.rules:
+                raise ConfigurationError("install delta needs a rule (or rules)")
         elif self.action == "remove":
-            rid = self.rule_id if self.rule_id is not None else (
-                self.rule.rule_id if self.rule is not None else None
-            )
-            if rid is None:
-                raise ConfigurationError("remove delta needs a rule_id")
+            if not self.target_rule_ids:
+                raise ConfigurationError(
+                    "remove delta needs a rule_id (or rule_ids)"
+                )
         else:
             raise ConfigurationError(
                 f"unknown delta action {self.action!r} "
@@ -58,11 +70,31 @@ class RuleDelta:
             )
 
     @property
+    def target_rules(self) -> Tuple[FilterRule, ...]:
+        """The rules an install delta carries (singular form included)."""
+        if self.rules is not None:
+            return self.rules
+        return (self.rule,) if self.rule is not None else ()
+
+    @property
+    def target_rule_ids(self) -> Tuple[int, ...]:
+        """Every rule id this delta touches, in delta order."""
+        if self.rule_ids is not None:
+            return self.rule_ids
+        if self.rules is not None:
+            return tuple(rule.rule_id for rule in self.rules)
+        if self.rule_id is not None:
+            return (self.rule_id,)
+        return (self.rule.rule_id,) if self.rule is not None else ()
+
+    @property
+    def size(self) -> int:
+        return len(self.target_rule_ids)
+
+    @property
     def target_rule_id(self) -> int:
-        if self.action == "install":
-            assert self.rule is not None
-            return self.rule.rule_id
-        return self.rule_id if self.rule_id is not None else self.rule.rule_id
+        """The (first) rule id — journal correlation key."""
+        return self.target_rule_ids[0]
 
 
 class LocalBackend:
@@ -70,9 +102,10 @@ class LocalBackend:
 
     def __init__(self, filter_: StatelessFilter) -> None:
         self.filter = filter_
-        # remove_rule needs the FilterRule object; keep the live set by id.
+        # remove_rule needs the FilterRule object; keep the live set by id
+        # (installed_rules spans both tiers — membership entries included).
         self._rules: Dict[int, FilterRule] = {
-            rule.rule_id: rule for rule in filter_.trie.rules()
+            rule.rule_id: rule for rule in filter_.installed_rules()
         }
 
     @property
@@ -89,15 +122,17 @@ class LocalBackend:
 
     def apply_delta(self, delta: RuleDelta) -> None:
         if delta.action == "install":
-            self.filter.install_rule(delta.rule)
-            self._rules[delta.rule.rule_id] = delta.rule
+            for rule in delta.target_rules:
+                self.filter.install_rule(rule)
+                self._rules[rule.rule_id] = rule
         else:
-            rule = self._rules.pop(delta.target_rule_id, None)
-            if rule is None:
-                raise ConfigurationError(
-                    f"cannot remove unknown rule {delta.target_rule_id}"
-                )
-            self.filter.remove_rule(rule)
+            for rule_id in delta.target_rule_ids:
+                rule = self._rules.pop(rule_id, None)
+                if rule is None:
+                    raise ConfigurationError(
+                        f"cannot remove unknown rule {rule_id}"
+                    )
+                self.filter.remove_rule(rule)
 
     def fail_closed(self) -> None:
         # A local filter has no load balancer to blackhole at; the service
@@ -132,9 +167,13 @@ class FleetBackend:
 
     def apply_delta(self, delta: RuleDelta) -> None:
         if delta.action == "install":
-            self.fleet.install_rule(delta.rule)
+            # The fleet re-solves the distribution per install; a batch
+            # delta simply drives that machinery once per rule.
+            for rule in delta.target_rules:
+                self.fleet.install_rule(rule)
         else:
-            self.fleet.remove_rule(delta.target_rule_id)
+            for rule_id in delta.target_rule_ids:
+                self.fleet.remove_rule(rule_id)
 
     def heal(self) -> List[int]:
         """One probe round; recover any dead slots.  Returns them."""
@@ -183,9 +222,11 @@ class ShardBackend:
 
     def apply_delta(self, delta: RuleDelta) -> None:
         if delta.action == "install":
-            self.plane.install_rule(delta.rule)
+            # One acked broadcast for the whole batch: 10k membership rules
+            # cost one delta round-trip per worker, not 10k.
+            self.plane.install_rules(delta.target_rules)
         else:
-            self.plane.remove_rule(delta.target_rule_id)
+            self.plane.remove_rules(delta.target_rule_ids)
 
     def heal(self) -> List[int]:
         """Restart dead workers (within budget); returns restarted ids."""

@@ -464,6 +464,15 @@ class ServeService:
     async def remove_rule(self, rule_id: int) -> None:
         await self.apply_delta(RuleDelta(action="remove", rule_id=rule_id))
 
+    async def install_rules(self, rules) -> None:
+        """Install a batch of rules as **one** delta (one acked shard
+        broadcast) — the membership-tier churn path."""
+        await self.apply_delta(RuleDelta(action="install", rules=tuple(rules)))
+
+    async def remove_rules(self, rule_ids) -> None:
+        """Remove a batch of rules as one delta."""
+        await self.apply_delta(RuleDelta(action="remove", rule_ids=tuple(rule_ids)))
+
     # -- watchdog ----------------------------------------------------------------
 
     async def _watchdog(self) -> None:

@@ -91,6 +91,24 @@ class HashFamily:
             for row in range(self.depth)
         ]
 
+    def lanes(self, key: Key) -> List[int]:
+        """The raw 64-bit digest slices for ``key``, *before* the width modulus.
+
+        One slice per row, in row order — :meth:`indexes` is exactly
+        ``[lane % width for lane in lanes(key)]``.  Callers that need the
+        same key hashed into *differently sized* spaces (the membership
+        tier's Bloom bit array and cuckoo bucket array) take the lanes once
+        and apply their own moduli, paying a single digest per key.
+        """
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        buf = self._digest_bytes(key)
+        from_bytes = int.from_bytes
+        return [
+            from_bytes(buf[8 * row : 8 * row + 8], "big")
+            for row in range(self.depth)
+        ]
+
     def index_vectors(self, keys: Iterable[Key]) -> List[List[int]]:
         """Per-row index vectors for a batch of keys (bulk sketch updates).
 

@@ -1,0 +1,319 @@
+"""Edge cases of the membership tier: eviction storms, format pinning, memo.
+
+The frozen-blob tests pin the Bloom serialization *byte-for-byte* to the
+hash-family version tag (``FAMILY_VERSION``): if anyone changes
+the digest derivation or the blob layout without bumping a version, the
+fixture diverges and these tests fail — exactly the silent-corruption case
+the version tags exist to prevent.  A blob carrying a mismatched version
+must be refused loudly (:class:`MembershipVersionError`), never decoded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.filter import StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern, RuleError
+from repro.dataplane.packet import FiveTuple, Protocol
+from repro.errors import LookupError_, MembershipVersionError
+from repro.lookup.membership import (
+    BloomFilter,
+    CuckooHashTable,
+    MembershipRule,
+    MembershipTier,
+    TieredRuleStore,
+)
+from repro.sketch.hashing import FAMILY_VERSION
+
+_BLOCK_BASE = 0x64400000
+
+
+def _tier(n: int = 0, capacity: int = 16) -> MembershipTier:
+    tier = MembershipTier(initial_capacity=capacity)
+    for i in range(n):
+        tier.insert(MembershipRule(100 + i, _BLOCK_BASE + i))
+    return tier
+
+
+# -- cuckoo eviction / stash -----------------------------------------------------
+
+
+def test_cuckoo_eviction_cycle_falls_back_to_stash():
+    """Keys colliding into one bucket pair kick in a loop, then stash."""
+    table = CuckooHashTable(
+        num_buckets=4,
+        lane_fn=lambda key: (0, 1),  # every key fights over buckets 0 and 1
+        slots_per_bucket=1,
+        max_kicks=8,
+        stash_limit=2,
+    )
+    assert table.insert(1, "a", (0, 1))
+    assert table.insert(2, "b", (0, 1))
+    # Buckets full; the kick loop cycles between 0 and 1 and gives up.
+    assert table.insert(3, "c", (0, 1))
+    assert table.stash_entries == 1
+    assert table.insert(4, "d", (0, 1))
+    assert table.stash_entries == 2
+    # Stash full too: insert signals overflow (the tier rebuilds on this)
+    # but still parks the entry, so nothing is lost before the rebuild.
+    assert not table.insert(5, "e", (0, 1))
+    assert table.stash_entries == 3
+    # Everything inserted so far — stashed or not — still answers get().
+    for key, value in [(1, "a"), (2, "b"), (3, "c"), (4, "d"), (5, "e")]:
+        assert table.get(key, (0, 1)) == value
+    # Stash entries are removable like any other.
+    assert table.remove(3, (0, 1)) == "c"
+    assert table.get(3, (0, 1)) is None
+    assert table.stash_entries == 2
+
+
+def test_tier_survives_stash_overflow_by_rebuilding():
+    """A tier driven past its stash rebuilds with more buckets, loses nothing."""
+    tier = MembershipTier(initial_capacity=16, slots_per_bucket=1, stash_limit=1)
+    for i in range(400):
+        tier.insert(MembershipRule(i + 1, _BLOCK_BASE + i))
+    stats = tier.stats()
+    assert stats.entries == 400
+    assert stats.resizes >= 1
+    for i in range(400):
+        hit = tier.query(_BLOCK_BASE + i)
+        assert hit is not None and hit.rule_id == i + 1
+
+
+# -- duplicate / absent ----------------------------------------------------------
+
+
+def test_duplicate_rule_id_rejected():
+    tier = _tier(4)
+    with pytest.raises(LookupError_, match="already installed"):
+        tier.insert(MembershipRule(100, _BLOCK_BASE + 50))
+
+
+def test_duplicate_source_lowest_rule_id_wins():
+    tier = _tier()
+    tier.insert(MembershipRule(7, _BLOCK_BASE))
+    tier.insert(MembershipRule(3, _BLOCK_BASE))
+    tier.insert(MembershipRule(5, _BLOCK_BASE))
+    assert tier.query(_BLOCK_BASE).rule_id == 3
+    tier.remove(3)
+    assert tier.query(_BLOCK_BASE).rule_id == 5
+    tier.remove(5)
+    tier.remove(7)
+    assert tier.query(_BLOCK_BASE) is None
+
+
+def test_remove_of_absent_raises():
+    tier = _tier(2)
+    with pytest.raises(LookupError_, match="not installed"):
+        tier.remove(999)
+
+
+def test_store_cross_tier_duplicate_rejected():
+    """One id namespace across both tiers — no membership/trie aliasing."""
+    store = TieredRuleStore(membership=MembershipTier(initial_capacity=16))
+    store.insert(FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(src_prefix="100.64.0.1/32"),
+        action=Action.DROP,
+    ))
+    with pytest.raises(LookupError_):
+        store.insert(FilterRule(
+            rule_id=1,
+            pattern=FlowPattern(dst_prefix="203.0.113.0/24"),
+            action=Action.DROP,
+        ))
+
+
+# -- resize mid-burst ------------------------------------------------------------
+
+
+def test_resize_mid_burst_keeps_every_key():
+    """Inserts crossing several resize boundaries never drop a key."""
+    tier = MembershipTier(initial_capacity=16)
+    generations = []
+    tier.add_rebuild_listener(generations.append)
+    for i in range(2000):
+        tier.insert(MembershipRule(i + 1, _BLOCK_BASE + i))
+        if i % 97 == 0:  # interleave queries with the burst
+            assert tier.query(_BLOCK_BASE + i).rule_id == i + 1
+    assert len(generations) >= 2, "burst never crossed a resize boundary"
+    stats = tier.stats()
+    assert stats.entries == 2000
+    assert stats.load_factor <= 0.95
+    missing = [i for i in range(2000) if tier.query(_BLOCK_BASE + i) is None]
+    assert missing == []
+
+
+# -- frozen Bloom blob: format + version pinning ---------------------------------
+
+# serialize_bloom() of a capacity-16 tier holding rule ids 100..107 over
+# sources 100.64.0.0..100.64.0.7, under FAMILY_VERSION == 2 and
+# blob layout version 1.  Regenerate ONLY on a deliberate, version-bumped
+# format change:
+#   t = MembershipTier(initial_capacity=16)
+#   [t.insert(MembershipRule(100+i, 0x64400000+i)) for i in range(8)]
+#   hashlib.sha256(t.serialize_bloom()).hexdigest()
+_FROZEN_BLOB_SHA256 = (
+    "55ac9129c034e334bf8381476b9f06fc734b92c2924a4021001303f35210be89"
+)
+_FROZEN_BLOB_HEX = (
+    "5649464d010203000e7669662d6d656d62657273686970000000000000040000"
+    "0000000000001700000000010200000000000100000008000000000000100040"
+    "0000100000000000000000000005000000200400100000002080000000000000"
+    "0000000000080400000000000000000000000000000000000000020000000000"
+    "0000048000000000000000000000000102000000000000020000000000000000"
+    "10000000000000"
+)
+
+
+def test_bloom_blob_layout_frozen():
+    blob = _tier(8).serialize_bloom()
+    assert blob.hex() == _FROZEN_BLOB_HEX
+    assert hashlib.sha256(blob).hexdigest() == _FROZEN_BLOB_SHA256
+    # The layout the hex pins: magic, blob version, family version tag.
+    assert blob[:4] == b"VIFM"
+    assert blob[4] == 1  # blob layout version
+    assert blob[5] == FAMILY_VERSION
+
+
+def test_bloom_blob_roundtrip():
+    tier = _tier(8)
+    clone = MembershipTier(initial_capacity=16)
+    clone.load_bloom(tier.serialize_bloom())
+    for i in range(8):
+        assert clone.might_contain(_BLOCK_BASE + i)
+
+
+def test_mixed_family_version_refused_loudly():
+    """A blob stamped with another hash-family version must not load."""
+    blob = bytearray(_tier(8).serialize_bloom())
+    blob[5] = FAMILY_VERSION + 1
+    with pytest.raises(MembershipVersionError, match="family version"):
+        _tier(0).load_bloom(bytes(blob))
+
+
+def test_unknown_blob_version_refused():
+    blob = bytearray(_tier(8).serialize_bloom())
+    blob[4] = 99
+    with pytest.raises(MembershipVersionError):
+        _tier(0).load_bloom(bytes(blob))
+
+
+def test_wrong_seed_and_truncation_refused():
+    tier = _tier(8)
+    blob = tier.serialize_bloom()
+    other = MembershipTier(initial_capacity=16, family_seed="other-seed")
+    with pytest.raises(MembershipVersionError):
+        other.load_bloom(blob)
+    with pytest.raises(MembershipVersionError):
+        _tier(0).load_bloom(blob[: len(blob) - 3])
+    with pytest.raises(MembershipVersionError):
+        _tier(0).load_bloom(b"NOPE" + blob[4:])
+
+
+def test_bloom_deserialize_direct():
+    tier = _tier(8)
+    restored = BloomFilter.deserialize(tier.serialize_bloom(), tier.family)
+    for i in range(8):
+        assert restored.might_contain(tier._lanes(_BLOCK_BASE + i))
+
+
+# -- FlowPattern.from_src_host equivalence pin -----------------------------------
+
+
+def test_from_src_host_matches_parsed_pattern():
+    for src_int in (0, 1, _BLOCK_BASE + 77, 0xFFFFFFFF):
+        fast = FlowPattern.from_src_host(src_int)
+        import ipaddress
+        slow = FlowPattern(src_prefix=f"{ipaddress.ip_address(src_int)}/32")
+        assert fast == slow
+        assert fast.specificity == slow.specificity == 32
+        for field in ("src_net_int", "src_prefix_len", "src_mask",
+                      "dst_net_int", "dst_prefix_len", "dst_mask",
+                      "src_version", "dst_version"):
+            assert getattr(fast, field) == getattr(slow, field), field
+
+
+def test_from_src_host_rejects_out_of_range():
+    with pytest.raises(RuleError):
+        FlowPattern.from_src_host(-1)
+    with pytest.raises(RuleError):
+        FlowPattern.from_src_host(1 << 32)
+
+
+# -- decision memo across rebuilds (the latent-bug regression) -------------------
+
+
+def _blocked_flow(src_int: int) -> FiveTuple:
+    import ipaddress
+    return FiveTuple(
+        src_ip=str(ipaddress.ip_address(src_int)),
+        dst_ip="198.18.0.9",
+        src_port=4242,
+        dst_port=80,
+        protocol=Protocol.UDP,
+    )
+
+
+def test_memo_invalidated_on_membership_rebuild():
+    """A memoized verdict must not survive a tier rebuild/resize.
+
+    Regression: the decision memo was keyed only off install/remove; a
+    rebuild (resize) re-homes every entry without a ruleset_version bump,
+    so a stale memo could resurrect a pre-resize verdict.  The filter now
+    registers a rebuild listener that clears the memo.
+    """
+    f = StatelessFilter(
+        secret="memo-regress",
+        decision_cache_size=1024,
+        membership=MembershipTier(initial_capacity=16),
+    )
+    f.load_blocklist([(i + 1, _BLOCK_BASE + i) for i in range(8)])
+    flow = _blocked_flow(_BLOCK_BASE)
+    assert not f.decide_flow(flow).allowed  # memoized DROP
+    version_before = f.ruleset_version
+    # A content-neutral rebuild: no install/remove, no version bump...
+    f.store.membership._rebuild(4096)
+    assert f.ruleset_version == version_before
+    # ...but the memo must have been flushed, not answered from cache.
+    assert len(f._decision_cache) == 0
+    assert not f.decide_flow(flow).allowed
+
+
+def test_memo_cannot_resurrect_pre_reload_verdict():
+    f = StatelessFilter(
+        secret="memo-regress",
+        decision_cache_size=1024,
+        membership=MembershipTier(initial_capacity=16),
+    )
+    f.load_blocklist([(1, _BLOCK_BASE)])
+    flow = _blocked_flow(_BLOCK_BASE)
+    assert not f.decide_flow(flow).allowed
+    f.reload_blocklist([(2, _BLOCK_BASE + 9)])  # wholesale swap: src unblocked
+    assert f.decide_flow(flow).allowed
+    assert not f.decide_flow(_blocked_flow(_BLOCK_BASE + 9)).allowed
+
+
+def test_memo_resize_during_insert_burst_stays_correct():
+    """Organic resizes (insert-driven) also flush the memo."""
+    f = StatelessFilter(
+        secret="memo-regress",
+        decision_cache_size=4096,
+        membership=MembershipTier(initial_capacity=16),
+    )
+    probes = []
+    for i in range(600):
+        f.install_rule(FilterRule(
+            rule_id=i + 1,
+            pattern=FlowPattern.from_src_host(_BLOCK_BASE + i),
+            action=Action.DROP,
+        ))
+        if i % 50 == 0:
+            flow = _blocked_flow(_BLOCK_BASE + i)
+            assert not f.decide_flow(flow).allowed
+            probes.append(flow)
+    assert f.store.membership_stats().resizes >= 1
+    for flow in probes:
+        assert not f.decide_flow(flow).allowed

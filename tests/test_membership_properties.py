@@ -1,0 +1,301 @@
+"""Differential/property pinning of the tiered membership store.
+
+The membership tier (Bloom pre-filter + cuckoo exact-confirm) is an
+*optimization*: for every flow, a :class:`TieredRuleStore` must return the
+byte-identical verdict a trie-only store holding the same rules would.
+These tests drive both configurations through seeded random interleavings
+of install / remove / query — sized so the tiny injected tier crosses
+several adaptive resize boundaries mid-run — and through the sharded data
+plane at 1 and 4 workers, and reject any divergence.
+
+A second family pins the structural soundness properties the design leans
+on: the Bloom pre-filter may false-positive (cuckoo confirm absorbs it)
+but must never false-negative for a live key, and removals may leave ghost
+bits set but must never un-set a live key's bits.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+import pytest
+
+from repro.core.filter import StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Protocol
+from repro.lookup.membership import MembershipRule, MembershipTier, TieredRuleStore
+from repro.util import deterministic_rng
+
+SECRET = "vif-membership-diff"
+REQUESTER = "victim.example"
+
+# Blocked sources live in 100.64.0.0/10; clean traffic in 198.51.100.0/24.
+_BLOCK_BASE = 0x64400000
+_SEEDS = [f"membership-diff/{i}" for i in range(10)]
+
+
+def _src_rule(rule_id: int, src_int: int) -> FilterRule:
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(src_prefix=f"{ipaddress.ip_address(src_int)}/32"),
+        action=Action.DROP,
+        requested_by=REQUESTER,
+    )
+
+
+def _dst_rule(rule_id: int, octet: int) -> FilterRule:
+    return FilterRule(
+        rule_id=rule_id,
+        pattern=FlowPattern(dst_prefix=f"203.0.{octet}.0/24"),
+        action=Action.DROP,
+        requested_by=REQUESTER,
+    )
+
+
+def _flow(src_int: int, dst_ip: str = "198.18.0.9", port: int = 4242) -> FiveTuple:
+    return FiveTuple(
+        src_ip=str(ipaddress.ip_address(src_int)),
+        dst_ip=dst_ip,
+        src_port=port,
+        dst_port=80,
+        protocol=Protocol.UDP,
+    )
+
+
+def _verdict(decision):
+    """(allowed, winning rule id) — the byte-identity the tests pin."""
+    rule = decision.rule
+    return decision.allowed, (None if rule is None else rule.rule_id)
+
+
+def _pair():
+    """A tiered filter (tiny tier => frequent resizes) and its reference."""
+    tiered = StatelessFilter(
+        secret=SECRET, membership=MembershipTier(initial_capacity=16)
+    )
+    reference = StatelessFilter(secret=SECRET, membership_tier=False)
+    return tiered, reference
+
+
+def _query_mix(rng, live, removed, n=40):
+    """Five-tuples probing live keys, removed keys, and clean traffic."""
+    flows = []
+    for _ in range(n):
+        kind = rng.randrange(3)
+        if kind == 0 and live:
+            src = rng.choice(sorted(live))
+        elif kind == 1 and removed:
+            src = rng.choice(sorted(removed))
+        else:
+            src = 0xC6336400 + rng.randrange(256)  # 198.51.100.x clean
+        flows.append(_flow(src, port=rng.randrange(1024, 65535)))
+    return flows
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_differential_interleaved_churn(seed):
+    """10 seeded interleavings: tiered verdicts == trie-only verdicts.
+
+    Each run installs/removes hundreds of /32 source rules (through tier
+    resizes — the tier starts at capacity 16) interleaved with trie rules
+    and verdict queries; any divergence at any point fails.
+    """
+    rng = deterministic_rng(seed)
+    tiered, reference = _pair()
+    live: dict = {}  # src_int -> rule_id
+    removed: set = set()
+    next_id = 1
+
+    for step in range(12):
+        n_install = rng.randrange(10, 60)
+        for _ in range(n_install):
+            src = _BLOCK_BASE + rng.randrange(4096)
+            if src in live:
+                continue
+            rule = _src_rule(next_id, src)
+            tiered.install_rule(rule)
+            reference.install_rule(rule)
+            live[src] = next_id
+            removed.discard(src)
+            next_id += 1
+        # A couple of trie rules so both tiers stay exercised together.
+        if rng.random() < 0.5:
+            rule = _dst_rule(next_id, rng.randrange(256))
+            tiered.install_rule(rule)
+            reference.install_rule(rule)
+            next_id += 1
+        n_remove = rng.randrange(0, max(2, len(live) // 3))
+        for src in rng.sample(sorted(live), min(n_remove, len(live))):
+            rule_id = live.pop(src)
+            tiered.remove_rule(rule_id)
+            reference.remove_rule(rule_id)
+            removed.add(src)
+        for flow in _query_mix(rng, live, removed):
+            got = _verdict(tiered.decide_flow(flow))
+            want = _verdict(reference.decide_flow(flow))
+            assert got == want, (
+                f"seed={seed} step={step} flow={flow.src_ip}: "
+                f"tiered={got} reference={want}"
+            )
+
+    stats = tiered.store.membership_stats()
+    assert stats.resizes >= 1, "run never crossed a resize boundary"
+
+
+@pytest.mark.parametrize("seed", _SEEDS[:3])
+def test_differential_specificity_tiebreak(seed):
+    """A /32 source rule and an overlapping trie rule tie-break identically.
+
+    Trie rules more specific than the membership tier's /32 sources (an
+    exact 5-tuple rule) and less specific ones (a /24 dst) both exist, so
+    the cross-tier (specificity, rule_id) resolution is exercised from
+    both sides.
+    """
+    rng = deterministic_rng(f"tiebreak/{seed}")
+    tiered, reference = _pair()
+    next_id = 1
+    srcs = [_BLOCK_BASE + i for i in range(64)]
+    for src in srcs:
+        rule = _src_rule(next_id, src)
+        tiered.install_rule(rule)
+        reference.install_rule(rule)
+        next_id += 1
+    # Overlapping ALLOW-side trie rules: a broad dst and some exact flows.
+    broad = FilterRule(
+        rule_id=next_id,
+        pattern=FlowPattern(dst_prefix="198.18.0.0/24"),
+        action=Action.DROP,
+        requested_by=REQUESTER,
+    )
+    next_id += 1
+    tiered.install_rule(broad)
+    reference.install_rule(broad)
+    exact_flows = []
+    for src in rng.sample(srcs, 8):
+        flow = _flow(src)
+        exact = FilterRule(
+            rule_id=next_id,
+            pattern=FlowPattern.exact(flow),
+            action=Action.DROP,
+            requested_by=REQUESTER,
+        )
+        next_id += 1
+        tiered.install_rule(exact)
+        reference.install_rule(exact)
+        exact_flows.append(flow)
+    probes = exact_flows + [_flow(src) for src in srcs]
+    probes += _query_mix(rng, set(srcs), set())
+    for flow in probes:
+        assert _verdict(tiered.decide_flow(flow)) == _verdict(
+            reference.decide_flow(flow)
+        )
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_differential_shard_workers(workers):
+    """Shard workers seeded with a blocklist match the in-process reference."""
+    from repro.dataplane.packet import Packet
+    from repro.dataplane.shard import (
+        ShardedDataPlane,
+        run_single_process_reference,
+    )
+
+    rng = deterministic_rng(f"membership-shard/{workers}")
+    blocklist = [(10_000_000 + i, _BLOCK_BASE + i) for i in range(1500)]
+    rules = [_dst_rule(1, 113)]
+    packets = []
+    for _ in range(300):
+        kind = rng.randrange(3)
+        if kind == 0:
+            src = _BLOCK_BASE + rng.randrange(1500)  # blocked
+        elif kind == 1:
+            src = _BLOCK_BASE + 1500 + rng.randrange(1500)  # near-miss
+        else:
+            src = 0xC6336400 + rng.randrange(256)  # clean
+        dst = "203.0.113.7" if rng.random() < 0.3 else "198.18.0.9"
+        packets.append(Packet(five_tuple=_flow(
+            src, dst_ip=dst, port=rng.randrange(1024, 65535))))
+
+    plane = ShardedDataPlane(
+        rules=rules,
+        num_workers=workers,
+        decision_secret=SECRET,
+        blocklist=blocklist,
+    )
+    with plane:
+        verdicts = plane.process(packets)
+        sharded = plane.finish()
+    reference = run_single_process_reference(
+        rules, packets, decision_secret=SECRET, blocklist=blocklist
+    )
+    assert verdicts == reference.verdicts
+    assert sharded.incoming.bins() == reference.incoming.bins()
+    assert sharded.outgoing.bins() == reference.outgoing.bins()
+    # Sanity: the trace actually hit blocked sources.
+    assert sharded.packets_dropped > 0
+
+
+@pytest.mark.parametrize("seed", _SEEDS[:5])
+def test_bloom_never_false_negative(seed):
+    """Every live key answers True at the Bloom pre-filter, always.
+
+    Run through churn and resizes: a false positive is absorbed by the
+    cuckoo confirm, but a false negative would silently un-block a source.
+    """
+    rng = deterministic_rng(f"bloom-fn/{seed}")
+    tier = MembershipTier(initial_capacity=16)
+    live: dict = {}
+    next_id = 1
+    for _ in range(8):
+        for _ in range(rng.randrange(20, 80)):
+            src = _BLOCK_BASE + rng.randrange(8192)
+            if src in live:
+                continue
+            tier.insert(MembershipRule(next_id, src))
+            live[src] = next_id
+            next_id += 1
+        for src in rng.sample(sorted(live), rng.randrange(0, len(live) // 2 + 1)):
+            tier.remove(live.pop(src))
+        for src, rule_id in live.items():
+            assert tier.might_contain(src), (
+                f"Bloom false negative for live key {src:#x} (seed={seed})"
+            )
+            hit = tier.query(src)
+            assert hit is not None and hit.rule_id == rule_id
+
+
+def test_store_verdict_after_forced_resizes():
+    """Forcing successive rebuilds never changes a verdict (memo cleared)."""
+    tiered, reference = _pair()
+    srcs = [_BLOCK_BASE + i for i in range(500)]
+    for i, src in enumerate(srcs):
+        rule = _src_rule(i + 1, src)
+        tiered.install_rule(rule)
+        reference.install_rule(rule)
+    tier = tiered.store.membership
+    assert tier.stats().resizes >= 1  # 500 entries through capacity 16
+    before = [tiered.decide_flow(_flow(src)).allowed for src in srcs]
+    tier._rebuild(2048)  # explicit rebuild, content unchanged
+    after = [tiered.decide_flow(_flow(src)).allowed for src in srcs]
+    assert before == after == [
+        reference.decide_flow(_flow(src)).allowed for src in srcs
+    ]
+
+
+def test_tiered_store_find_and_rules_match_reference():
+    """find_rule / rules() agree across tiers (materialized /32 patterns)."""
+    store = TieredRuleStore(membership=MembershipTier(initial_capacity=16))
+    trie_only = TieredRuleStore(membership_enabled=False)
+    rules = [_src_rule(i + 1, _BLOCK_BASE + i) for i in range(40)]
+    rules.append(_dst_rule(100, 113))
+    for rule in rules:
+        store.insert(rule)
+        trie_only.insert(rule)
+    assert len(store) == len(trie_only) == len(rules)
+    got = {r.rule_id: r.pattern.src_prefix for r in store.rules()}
+    want = {r.rule_id: r.pattern.src_prefix for r in trie_only.rules()}
+    assert got == want
+    for rule in rules:
+        found = store.find_rule(rule.rule_id)
+        assert found is not None
+        assert found.pattern.src_prefix == rule.pattern.src_prefix

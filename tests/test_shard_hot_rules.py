@@ -204,3 +204,119 @@ class TestFinishCloseHardening:
         )
         assert got_a + got_b == reference.verdicts
         assert sum(restarts) == 1
+
+
+# -- membership churn over the serve control plane (PR 8 satellite) --------------
+
+
+def test_membership_churn_mid_stream_drains_lossless():
+    """10k /32 blocklist installs + partial retract mid-stream, zero loss.
+
+    Membership-tier churn rides the serve control plane as *batch* deltas:
+    one acked shard broadcast installs 10,000 exact-source DROP rules
+    between bursts, a second retracts 4,000 of them, and the drain must
+    still account for every ingested packet while verdicts flip both ways
+    live.
+    """
+    import asyncio
+
+    from repro import obs
+    from repro.core.rules import FilterRule, FlowPattern
+    from repro.obs import EventJournal, MetricsRegistry
+    from repro.serve import (
+        ServeConfig,
+        ServeService,
+        ServeState,
+        ShardBackend,
+        TraceReplaySource,
+    )
+
+    block_base = 0x64400000  # 100.64.0.0
+    churn_rules = [
+        FilterRule(
+            rule_id=1_000_000 + i,
+            pattern=FlowPattern.from_src_host(block_base + i),
+            action=Action.DROP,
+            requested_by=REQUESTER,
+        )
+        for i in range(10_000)
+    ]
+    retract_ids = tuple(rule.rule_id for rule in churn_rules[:4_000])
+
+    rng = random.Random("membership-churn")
+    trace = []
+    for _ in range(600):
+        blocked = rng.random() < 0.5
+        trace.append(Packet(five_tuple=FiveTuple(
+            src_ip=(f"100.64.{rng.randrange(40)}.{rng.randrange(256)}"
+                    if blocked else
+                    f"198.51.{rng.randrange(256)}.{rng.randrange(1, 255)}"),
+            dst_ip=f"198.18.0.{rng.randrange(1, 255)}",
+            src_port=rng.randrange(1024, 65535),
+            dst_port=80,
+            protocol=Protocol.UDP,
+        )))
+    source = TraceReplaySource(trace, burst_size=25)
+
+    # A probe inside the retracted range: DROP after install, ALLOW again
+    # after the partial retract.
+    probe = Packet(five_tuple=FiveTuple(
+        src_ip="100.64.0.5", dst_ip="198.18.0.9",
+        src_port=40000, dst_port=80, protocol=Protocol.UDP,
+    ))
+
+    plane = ShardedDataPlane(
+        [_rule(1, 100)],
+        num_workers=2,
+        decision_secret=SECRET,
+        restart_dead_workers=True,
+    )
+    backend = ShardBackend(plane)
+    state = {"installed": False, "retracted": False, "service": None}
+
+    async def hook(stage, burst_index):
+        service = state["service"]
+        if stage != "ingest" or service is None:
+            return
+        if burst_index == 5 and not state["installed"]:
+            state["installed"] = True
+            await service.install_rules(churn_rules)
+            assert backend.process_burst([probe]) == [False]
+        elif burst_index == 14 and not state["retracted"]:
+            state["retracted"] = True
+            await service.remove_rules(retract_ids)
+            assert backend.process_burst([probe]) == [True]
+
+    registry = obs.set_registry(MetricsRegistry())
+    journal = obs.set_journal(EventJournal(enabled=True))
+    try:
+        async def scenario():
+            service = ServeService(
+                source,
+                backend,
+                ServeConfig(queue_depth=30, ingest_interval_s=0.002),
+                chaos=hook,
+            )
+            state["service"] = service
+            await service.start()
+            deadline = asyncio.get_running_loop().time() + 120.0
+            while not service._source_exhausted:
+                if service.state is ServeState.FAILED:
+                    break
+                assert asyncio.get_running_loop().time() < deadline, "stalled"
+                await asyncio.sleep(0.005)
+            return await service.drain()
+
+        report = asyncio.run(scenario())
+        assert state["installed"] and state["retracted"]
+        assert report.state == "drained"
+        assert report.ingested == len(trace)
+        assert report.unaccounted == 0
+        assert report.rule_updates == 2  # two batch deltas, not 14k singles
+        assert report.dropped > 0 and report.allowed > 0
+        # Both batches bumped the plane's ruleset version exactly once each.
+        assert plane.ruleset_version == 2
+        assert obs.get_registry().check_invariants() == []
+    finally:
+        obs.set_registry(registry)
+        obs.set_journal(journal)
