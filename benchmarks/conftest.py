@@ -27,6 +27,26 @@ def scale() -> str:
     return "full" if full_scale() else "scaled"
 
 
+@pytest.fixture(autouse=True)
+def _scoped_registry():
+    """A fresh metrics registry per benchmark test.
+
+    The default registry is process-wide and accumulates series across the
+    whole pytest session, so without this every ``BENCH_<name>.json`` would
+    embed whatever unrelated series earlier tests happened to export (e.g.
+    ``vif_fleet_recovery_seconds`` histograms inside ``BENCH_fastpath.json``).
+    Scoping the registry to the test makes each snapshot contain exactly the
+    series that benchmark produced.
+    """
+    from repro import obs
+
+    previous = obs.set_registry(obs.MetricsRegistry())
+    try:
+        yield
+    finally:
+        obs.set_registry(previous)
+
+
 def emit(text: str) -> None:
     """Print a result table with spacing that survives pytest's capture."""
     print()

@@ -1,0 +1,213 @@
+"""Untrusted fast-drop offload tier vs enclave-only, end to end.
+
+The scenario ROADMAP item 4 prices: 90 % of ingress is obvious bulk (exact
+``/32`` blocked sources — the blackhole-list shape), and an untrusted
+pre-filter drops it ahead of the enclave while a verifiable sampler diverts
+``rate`` of those drop decisions back into the enclave for re-verdict.  The
+gate is **measured**: the tiered path must sustain >= 3x the end-to-end
+packet rate of the enclave-only path at a sample rate of 0.1, with verdicts
+bit-identical (the tier only short-circuits drops the enclave would have
+made anyway).
+
+The trade-off table sweeps the sample rate (1.0 / 0.1 / 0.01): rate 1.0 is
+the "free" verifiability point (every drop re-verdicted — no speedup, total
+confidence), rate 0.01 the cheap end (max speedup, wider detection bound).
+Modeled speedup and the priced audit overhead from
+:class:`~repro.dataplane.cost_model.CostModel` land next to the measured
+numbers in ``BENCH_offload.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit, emit_metrics_snapshot, full_scale
+from repro import obs
+from repro.core.enclave_filter import EnclaveFilter
+from repro.dataplane.cost_model import ImplementationVariant, PAPER_COST_MODEL
+from repro.dataplane.offload import (
+    FastDropTier,
+    OffloadAuditor,
+    OffloadEngine,
+    VerifiableSampler,
+    rounds_to_detection,
+)
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.lookup.membership import MembershipRule
+
+#: The acceptance gate: tiered end-to-end pps over enclave-only at 90%
+#: droppable traffic with a sample rate <= 0.1.
+MIN_SPEEDUP = 3.0
+DROP_FRACTION = 0.9
+GATE_RATE = 0.1
+#: Swept sample rates (the audit-cost/speedup trade-off table).
+RATES = (1.0, 0.1, 0.01)
+
+SEED = "vif-offload-bench"
+_BLOCK_BASE = 0x64400000  # 100.64.0.0 — the CGNAT range, all blocked
+_CLEAN_BASE = 0xC6336400  # 198.51.100.0 — never blocked
+BURST = 256
+
+
+def _sizes():
+    if full_scale():
+        return 100_000, 20_000
+    return 20_000, 4_000
+
+
+def _flow(src_int: int) -> FiveTuple:
+    return FiveTuple(
+        src_ip=f"{src_int >> 24 & 255}.{src_int >> 16 & 255}."
+               f"{src_int >> 8 & 255}.{src_int & 255}",
+        dst_ip="198.18.0.9",
+        src_port=1234,
+        dst_port=80,
+        protocol=Protocol.UDP,
+    )
+
+
+def _trace(blocklist_size: int, packets: int):
+    """90% blocked sources (spread over the blocklist), 10% clean."""
+    trace = []
+    step = max(1, blocklist_size * 10 // (packets * 9))
+    blocked_cursor = 0
+    for i in range(packets):
+        if i % 10 == 0:
+            src = _CLEAN_BASE + i % 256
+        else:
+            src = _BLOCK_BASE + (blocked_cursor % blocklist_size)
+            blocked_cursor += step
+        trace.append(Packet(five_tuple=_flow(src), size=64))
+    return trace
+
+
+def _fresh_enclave(blocklist) -> EnclaveFilter:
+    program = EnclaveFilter(
+        secret=f"{SEED}/enclave",
+        sketch_seed=SEED,
+        decision_secret=f"{SEED}/decisions",
+    )
+    program.load_blocklist(blocklist)
+    return program
+
+
+def _run_bursts(process_burst, trace):
+    verdicts = []
+    started = time.perf_counter()
+    for start in range(0, len(trace), BURST):
+        verdicts.extend(process_burst(trace[start : start + BURST]))
+    return time.perf_counter() - started, verdicts
+
+
+def test_offload_tier_speedup_gate():
+    blocklist_size, num_packets = _sizes()
+    blocklist = [(1_000_000 + i, _BLOCK_BASE + i) for i in range(blocklist_size)]
+    trace = _trace(blocklist_size, num_packets)
+    repeats = 3
+
+    # -- enclave-only baseline (min of repeats → best sustained rate) -------
+    enclave_s = float("inf")
+    baseline_verdicts = None
+    for _ in range(repeats):
+        program = _fresh_enclave(blocklist)
+        elapsed, verdicts = _run_bursts(program.process_burst, trace)
+        enclave_s = min(enclave_s, elapsed)
+        baseline_verdicts = verdicts
+    enclave_pps = len(trace) / enclave_s
+    dropped = sum(1 for v in baseline_verdicts if not v)
+    measured_drop_fraction = dropped / len(trace)
+    assert abs(measured_drop_fraction - DROP_FRACTION) < 0.02, (
+        f"trace is {measured_drop_fraction:.1%} droppable, "
+        f"wanted ~{DROP_FRACTION:.0%}"
+    )
+
+    model = PAPER_COST_MODEL
+    variant = ImplementationVariant.SGX_ZERO_COPY
+    rows = []
+    gate_speedup = None
+
+    for rate in RATES:
+        sampler = VerifiableSampler(rate, seed=SEED)
+        tier = FastDropTier(sampler, initial_capacity=blocklist_size)
+        tier.install_rules(
+            [MembershipRule(rule_id=rid, src_int=src) for rid, src in blocklist]
+        )
+        auditor = OffloadAuditor(sampler)
+        engine = OffloadEngine(tier, auditor)
+        tiered_s = float("inf")
+        tiered_verdicts = None
+        for _ in range(repeats):
+            engine.bind(_fresh_enclave(blocklist).process_burst)
+            elapsed, verdicts = _run_bursts(engine.process_burst, trace)
+            tiered_s = min(tiered_s, elapsed)
+            tiered_verdicts = verdicts
+        # The tier only short-circuits drops the enclave would have made:
+        # bit-identical verdicts at every sample rate, not just 1.0.
+        assert [bool(v) for v in tiered_verdicts] == [
+            bool(v) for v in baseline_verdicts
+        ], f"tiered path changed verdicts at rate {rate}"
+        report, _ = engine.close_round(1)
+        assert report.disagreed == 0, "honest tier produced disagreements"
+        assert not report.shortfall, "honest tier tripped the shortfall bound"
+
+        tiered_pps = len(trace) / tiered_s
+        speedup = tiered_pps / enclave_pps
+        sampled_share = report.sampled / (repeats * len(trace))
+        modeled_speedup = model.offload_speedup(
+            variant, 64, blocklist_size, DROP_FRACTION, rate
+        )
+        audit_cycles = model.offload_audit_overhead_cycles(
+            variant, 64, blocklist_size, DROP_FRACTION, rate
+        )
+        rows.append({
+            "sample_rate": rate,
+            "tiered_pps": round(tiered_pps),
+            "enclave_pps": round(enclave_pps),
+            "speedup": round(speedup, 2),
+            "sampled_share": round(sampled_share, 4),
+            "modeled_speedup": round(modeled_speedup, 2),
+            "modeled_audit_cycles_per_pkt": round(audit_cycles, 1),
+            "detect_rounds_at_100_misdrops": rounds_to_detection(100, rate),
+        })
+        if rate == GATE_RATE:
+            gate_speedup = speedup
+
+    lines = [
+        f"offload tier vs enclave-only: {blocklist_size:,} blocked /32s, "
+        f"{num_packets:,} packets/pass, {DROP_FRACTION:.0%} droppable, "
+        f"enclave-only {enclave_pps:,.0f} pps",
+        f"{'rate':>6}  {'tiered pps':>12}  {'speedup':>8}  "
+        f"{'sampled':>8}  {'model x':>8}  {'audit cyc/pkt':>14}  "
+        f"{'detect@100':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['sample_rate']:>6}  {row['tiered_pps']:>12,}  "
+            f"{row['speedup']:>7}x  {row['sampled_share']:>8}  "
+            f"{row['modeled_speedup']:>7}x  "
+            f"{row['modeled_audit_cycles_per_pkt']:>14}  "
+            f"{row['detect_rounds_at_100_misdrops']:>10}"
+        )
+    emit("\n".join(lines))
+    emit_metrics_snapshot("offload", extra={
+        "rows": rows,
+        "gate": {
+            "min_speedup": MIN_SPEEDUP,
+            "drop_fraction": DROP_FRACTION,
+            "sample_rate": GATE_RATE,
+            "measured_speedup": round(gate_speedup, 2),
+        },
+    })
+
+    # Conservation across every pass: the tier accounted for every packet.
+    totals = obs.get_registry().snapshot()["totals"]
+    assert totals["vif_offload_ingress_total"] == (
+        totals["vif_offload_drops_total"]
+        + totals["vif_offload_sampled_total"]
+        + totals["vif_offload_passed_total"]
+    )
+
+    assert gate_speedup >= MIN_SPEEDUP, (
+        f"tiered/enclave speedup at rate {GATE_RATE} = {gate_speedup:.2f}x "
+        f"< gate {MIN_SPEEDUP}x"
+    )

@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed the shard-phase workers with B exact /32 "
                             "blocked sources in the membership tier and "
                             "probe a sample of them (requires --workers)")
+    fleet.add_argument("--offload-sample-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="arm an untrusted fast-drop tier on every shard "
+                            "worker, auditing RATE of its drop decisions "
+                            "(requires --workers; default 0 = disabled)")
     fleet.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write a registry snapshot (JSON) after the run")
     fleet.add_argument("--journal", metavar="PATH", default=None,
@@ -134,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", action="store_true",
                        help="finite smoke session: bounded ingest, rule "
                             "churn, one injected stage hang, then drain")
+    serve.add_argument("--offload-sample-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="put an untrusted fast-drop tier in front of the "
+                            "fleet, auditing RATE of its drop decisions; "
+                            "with --smoke the chaos schedule also injects "
+                            "one OFFLOAD_LIE the auditor must catch "
+                            "(default 0 = disabled)")
     serve.add_argument("--journal", metavar="PATH", default=None,
                        help="stream the audit journal to this JSONL path "
                             "(size-rotated)")
@@ -503,6 +515,10 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     if getattr(args, "blocklist_size", 0) < 0:
         print("blocklist size must be non-negative", file=sys.stderr)
         return 2
+    offload_rate = getattr(args, "offload_sample_rate", 0.0)
+    if not 0.0 <= offload_rate <= 1.0:
+        print("offload sample rate must be within [0, 1]", file=sys.stderr)
+        return 2
 
     traffic = rule_traffic(rules, seed=f"{args.seed}/shard")
     packets = []
@@ -514,7 +530,12 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     packets.extend(_blocklist_probes(blocklist))
 
     controller = fleet.controller
-    plane = fleet.sharded_data_plane(args.workers, blocklist=blocklist)
+    plane = fleet.sharded_data_plane(
+        args.workers,
+        blocklist=blocklist,
+        offload_sample_rate=offload_rate,
+        offload_seed=f"{args.seed}/offload",
+    )
     with plane:
         verdicts = plane.process(packets)
         sharded = plane.finish()
@@ -530,7 +551,10 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
     verdict_mismatches = sum(
         1 for got, want in zip(verdicts, reference.verdicts) if got != want
     )
-    sketch_identical = (
+    # With an offload tier, tier-dropped packets never transit the workers'
+    # enclave replicas, so the merged sketch logs legitimately diverge from
+    # the all-enclave reference; only the verdicts must stay bit-identical.
+    sketch_identical = offload_rate > 0.0 or (
         sharded.incoming.bins() == reference.incoming.bins()
         and sharded.outgoing.bins() == reference.outgoing.bins()
         and sharded.incoming.total == reference.incoming.total
@@ -547,13 +571,28 @@ def _run_fleet_sim_shard_phase(args: argparse.Namespace, fleet, rules) -> int:
         leaked_probes = sum(1 for verdict in probe_verdicts if verdict)
         print(f"  membership tier: {len(blocklist):,} blocked /32 sources "
               f"seeded, {len(probe_verdicts)} probes, {leaked_probes} leaked")
+    if offload_rate > 0.0:
+        from repro import obs
+
+        totals = obs.get_registry().snapshot()["totals"]
+        print(f"  offload tier: rate {offload_rate}, "
+              f"{int(totals.get('vif_offload_drops_total', 0))} tier drops, "
+              f"{int(totals.get('vif_offload_sampled_total', 0))} sampled, "
+              f"{int(totals.get('vif_offload_disagreements_total', 0))} "
+              f"disagreements, "
+              f"{int(totals.get('vif_offload_audit_rounds_total', 0))} "
+              "audit rounds")
     if verdict_mismatches or not sketch_identical or leaked_probes:
         print(f"  SHARD EQUIVALENCE FAILED: {verdict_mismatches} verdict "
               f"mismatches, sketches identical={sketch_identical}, "
               f"{leaked_probes} blocklist probes leaked",
               file=sys.stderr)
         return 1
-    print("  shard equivalence: verdicts and merged sketches bit-identical")
+    if offload_rate > 0.0:
+        print("  shard equivalence: verdicts bit-identical "
+              "(sketch check skipped: offload tier short-circuits drops)")
+    else:
+        print("  shard equivalence: verdicts and merged sketches bit-identical")
     return 0
 
 
@@ -585,6 +624,9 @@ def run_serve(args: argparse.Namespace) -> int:
 
     if args.fleet_size < 1 or args.rules < 1:
         print("fleet-size and rules must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.offload_sample_rate <= 1.0:
+        print("offload sample rate must be within [0, 1]", file=sys.stderr)
         return 2
     bursts = args.bursts
     if args.smoke and bursts <= 0:
@@ -624,24 +666,56 @@ def run_serve(args: argparse.Namespace) -> int:
         source = PktgenSource.from_ruleset(
             rules, seed=args.seed, total_bursts=bursts if bursts > 0 else None
         )
-        backend = FleetBackend(fleet)
+        offload = None
+        offload_timeline = None
+        if args.offload_sample_rate > 0.0:
+            from repro.dataplane.offload import (
+                FastDropTier,
+                OffloadAuditor,
+                OffloadEngine,
+                VerifiableSampler,
+            )
+
+            sampler = VerifiableSampler(
+                args.offload_sample_rate, seed=f"{args.seed}/offload"
+            )
+            offload_timeline = obs.AuditTimeline(
+                session_id=f"serve/{args.seed}"
+            )
+            offload = OffloadEngine(
+                FastDropTier(sampler, label="serve"),
+                OffloadAuditor(sampler, timeline=offload_timeline),
+            )
+        backend = FleetBackend(fleet, offload=offload)
         chaos = None
         if args.smoke:
+            smoke_events = [
+                FaultEvent(
+                    round_index=max(bursts // 4, 1),
+                    kind=FaultKind.STAGE_HANG,
+                    target=1,  # the filter stage
+                    magnitude=1,
+                ),
+                FaultEvent(
+                    round_index=max(bursts // 2, 2),
+                    kind=FaultKind.RULE_CHURN,
+                    magnitude=4,
+                ),
+            ]
+            if offload is not None:
+                # One lying tier (drop-legit mode over most flows); the
+                # exit gate below demands the auditor catches it.
+                smoke_events.append(
+                    FaultEvent(
+                        round_index=max(3 * bursts // 4, 3),
+                        kind=FaultKind.OFFLOAD_LIE,
+                        target=0,
+                        magnitude=75,
+                    )
+                )
             schedule = FaultSchedule(
                 rounds=bursts,
-                events=(
-                    FaultEvent(
-                        round_index=max(bursts // 4, 1),
-                        kind=FaultKind.STAGE_HANG,
-                        target=1,  # the filter stage
-                        magnitude=1,
-                    ),
-                    FaultEvent(
-                        round_index=max(bursts // 2, 2),
-                        kind=FaultKind.RULE_CHURN,
-                        magnitude=4,
-                    ),
-                ),
+                events=tuple(smoke_events),
                 seed=args.seed,
             )
             chaos = ServeChaosDriver(
@@ -697,6 +771,18 @@ def run_serve(args: argparse.Namespace) -> int:
             if args.smoke and report.rule_updates < 8:
                 print("smoke churn storm did not apply", file=sys.stderr)
                 return 1
+            if offload_timeline is not None:
+                caught = [
+                    alert
+                    for alert in offload_timeline.alerts
+                    if alert.kind == obs.ALERT_OFFLOAD_BYPASS
+                ]
+                if args.smoke and not caught:
+                    print("offload lie was NOT caught by the sampled audit",
+                          file=sys.stderr)
+                    return 1
+                for alert in caught:
+                    print(f"  offload alert: {alert.describe()}")
             return 0
 
         return asyncio.run(_run())

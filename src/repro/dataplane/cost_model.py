@@ -109,6 +109,12 @@ class CostModel:
     #: real paging starts (full-copy runs live here permanently).
     paging_cycles_per_mb: float = 10.0
 
+    #: Untrusted fast-drop tier lookup (repro.dataplane.offload): one hash
+    #: plus Bloom bit probes and at most two cuckoo bucket reads, all in
+    #: untrusted memory — comparable to an XDP map lookup.  No enclave
+    #: transition, no EPC pricing, which is the whole point of the tier.
+    offload_lookup_cycles: float = 50.0
+
     memory_model: EnclaveMemoryModel = PAPER_MEMORY_MODEL
 
     # -- cycle accounting ---------------------------------------------------
@@ -184,6 +190,112 @@ class CostModel:
         cycles += self.transition_cycles(variant, batch_size)
         cycles += hash_ratio * self.sha256_cycles
         return cycles
+
+    # -- offload tier pricing ----------------------------------------------
+
+    @staticmethod
+    def offload_enclave_fraction(drop_fraction: float, sample_rate: float) -> float:
+        """Fraction of ingress still paying the enclave path with the tier.
+
+        Every packet pays the tier lookup; only the tier's survivors — the
+        non-droppable share plus the sampled slice of the droppable share —
+        continue into the enclave: ``(1 - f) + f·rate``.
+        """
+        if not 0.0 <= drop_fraction <= 1.0:
+            raise ValueError("drop_fraction must be within [0, 1]")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        return (1.0 - drop_fraction) + drop_fraction * sample_rate
+
+    def offload_per_packet_cycles(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        drop_fraction: float,
+        sample_rate: float,
+        hash_ratio: float = 0.0,
+        batch_size: Optional[int] = None,
+    ) -> float:
+        """Expected Filter-thread cycles per ingress packet with the tier.
+
+        ``drop_fraction`` is the share of traffic the tier's rules cover
+        (the droppable bulk); ``sample_rate`` the audited slice of its drop
+        decisions.  The audit overhead — sampled drops re-entering the
+        enclave — is priced here, not waved away.
+        """
+        enclave = self.per_packet_cycles(
+            variant, packet_size, num_rules, hash_ratio, batch_size
+        )
+        fraction = self.offload_enclave_fraction(drop_fraction, sample_rate)
+        return self.offload_lookup_cycles + fraction * enclave
+
+    def offload_audit_overhead_cycles(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        drop_fraction: float,
+        sample_rate: float,
+        hash_ratio: float = 0.0,
+        batch_size: Optional[int] = None,
+    ) -> float:
+        """Cycles per ingress packet spent re-verdicting sampled drops —
+        the verifiability premium over a blindly trusted tier."""
+        if not 0.0 <= drop_fraction <= 1.0:
+            raise ValueError("drop_fraction must be within [0, 1]")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        enclave = self.per_packet_cycles(
+            variant, packet_size, num_rules, hash_ratio, batch_size
+        )
+        return drop_fraction * sample_rate * enclave
+
+    def offload_speedup(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        drop_fraction: float,
+        sample_rate: float,
+        hash_ratio: float = 0.0,
+        batch_size: Optional[int] = None,
+    ) -> float:
+        """Modeled end-to-end pps gain of the tiered path over enclave-only."""
+        enclave = self.per_packet_cycles(
+            variant, packet_size, num_rules, hash_ratio, batch_size
+        )
+        tiered = self.offload_per_packet_cycles(
+            variant,
+            packet_size,
+            num_rules,
+            drop_fraction,
+            sample_rate,
+            hash_ratio,
+            batch_size,
+        )
+        return enclave / tiered
+
+    def offload_capacity_pps(
+        self,
+        variant: ImplementationVariant,
+        packet_size: int,
+        num_rules: int,
+        drop_fraction: float,
+        sample_rate: float,
+        hash_ratio: float = 0.0,
+        batch_size: Optional[int] = None,
+    ) -> float:
+        """CPU-bound ingress packet rate of the tiered filter stage."""
+        return self.clock_hz / self.offload_per_packet_cycles(
+            variant,
+            packet_size,
+            num_rules,
+            drop_fraction,
+            sample_rate,
+            hash_ratio,
+            batch_size,
+        )
 
     # -- throughput ---------------------------------------------------------
 

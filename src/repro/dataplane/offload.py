@@ -1,0 +1,719 @@
+"""Untrusted fast-drop offload tier with verifiable sampled auditing.
+
+The paper's enclave filter is verifiable but pays SGX transition and EPC
+costs on every packet.  Production deployments push the obvious bulk into
+an *untrusted* pre-filter (XDP, kernel, or a programmable switch) ahead of
+the trusted element — ROADMAP item 4's "biggest raw-speed lever".  The
+open question is keeping those offloaded drops **auditable**: an untrusted
+tier could silently drop legitimate traffic (censorship) or quietly skip
+the work, and the paper's sketch-based bypass detection does not cover it.
+
+This module closes that gap with three pieces:
+
+* :class:`FastDropTier` — the untrusted pre-filter.  Its control plane
+  keeps the eligible ``/32``-source DROP slice of the rule set in a
+  :class:`repro.lookup.membership.MembershipTier` (the authoritative,
+  memory-bounded store), and *compiles* it — exactly the way an XDP or
+  switch deployment compiles rules into a flat hash map — into a plain
+  ``src_int -> verdict`` dict with the sampling decision baked in per
+  source.  The data path is therefore one exact-match probe per packet:
+  no per-packet ECalls, no EPC pricing, and no per-packet digests (the
+  one SHA-256 the membership tier pays moves to rule-install time).  A
+  generation counter bumped on every applied
+  :class:`~repro.serve.backends.RuleDelta` keeps desync observable.
+* :class:`VerifiableSampler` — deterministically (seeded, flow-hash-keyed)
+  diverts a configurable fraction of the tier's *drop* decisions into the
+  enclave for re-verdict.  The tier's drop decisions are per-source (the
+  blackhole-list shape), so the flow key of a drop decision is the source
+  aggregate: every packet of a blocked source is either always or never
+  sampled.  Because the sample predicate is a pure function of that key
+  and a seed shared with the enclave, the enclave can verify *which*
+  sources must have been diverted — the tier cannot choose which drops
+  get audited.
+* :class:`OffloadAuditor` — logs every sampled decision into a dedicated
+  offload count-min sketch pair (claimed vs enclave-confirmed), scales the
+  sampled disagreement count by ``1/rate``, attaches confidence bounds
+  derived from the sampling rate, and scores each round through the
+  existing :class:`~repro.obs.audit.AuditTimeline` as the new
+  ``offload_bypass`` alert kind.  A tier that drops legitimate traffic is
+  caught by re-verdict disagreement; a tier that hides drops from the
+  sampler is caught by the sampling-shortfall bound.  Either way detection
+  lands within the round count :func:`rounds_to_detection` predicts.
+
+:class:`OffloadEngine` bundles the three behind any burst filter (the
+serve backends use it); :class:`~repro.dataplane.pipeline.FilterPipeline`
+wires the tier as a dedicated stage with conservation accounting
+(``offload_drops + sampled_redirects + passed_to_enclave == ingress``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.dataplane.packet import Packet
+from repro.errors import ConfigurationError
+from repro.lookup.membership import MembershipRule, MembershipTier, TieredRuleStore
+from repro.sketch.countmin import CountMinSketch
+from repro.util.rng import stable_hash64
+
+#: Tier verdicts for one packet (returned by :meth:`FastDropTier.classify`).
+TIER_PASS = "pass"          #: continues to the enclave on the normal path
+TIER_DROP = "offload-drop"  #: dropped by the tier, unsampled
+TIER_SAMPLE = "sampled"     #: tier would drop it; diverted for re-verdict
+
+#: Lie modes for the ``OFFLOAD_LIE`` chaos kind.
+LIE_DROP_LEGIT = "drop-legit"   #: also drop a slice of legitimate flows
+LIE_HIDE_DROPS = "hide-drops"   #: drop matching flows but never sample them
+LIE_MODES = (LIE_DROP_LEGIT, LIE_HIDE_DROPS)
+
+_U64 = 2**64
+_U32 = 2**32
+
+
+def rounds_to_detection(
+    misdrops_per_round: int, sample_rate: float, confidence: float = 0.99
+) -> int:
+    """Rounds until a lying tier is caught with probability ``confidence``.
+
+    A tier misdropping ``m`` packets per round evades one round's audit only
+    if *none* of the ``m`` flows falls in the sampled region — probability
+    ``(1 - rate)^m`` under the flow-hash model.  The smallest ``r`` with
+    ``1 - (1 - rate)^(r*m) >= confidence`` is the detection bound the chaos
+    tests assert against.
+    """
+    if misdrops_per_round < 1:
+        raise ValueError("misdrops_per_round must be >= 1")
+    if not 0.0 < sample_rate <= 1.0:
+        raise ValueError("sample_rate must be in (0, 1]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if sample_rate == 1.0:
+        return 1
+    per_round_miss = (1.0 - sample_rate) ** misdrops_per_round
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(per_round_miss)))
+
+
+@dataclass(frozen=True)
+class SamplingEstimate:
+    """The ``1/rate`` scale-up of a sampled count, with confidence bounds.
+
+    ``observed`` sampled events estimate ``observed / rate`` true events.
+    The interval treats the sampled count as Poisson: the lower bound is
+    the normal approximation (clamped at zero), the upper bound the exact
+    one-sided Poisson bound's quadratic form — non-zero even at
+    ``observed == 0``, which is what "we audited and saw nothing" is
+    actually worth (the rule-of-three: ~``z²/rate`` undetected events are
+    still consistent with a clean sample).
+    """
+
+    observed: int
+    rate: float
+    #: Two-sided z for the interval (2.576 ≈ 99%).
+    z: float = 2.576
+
+    def __post_init__(self) -> None:
+        if self.observed < 0:
+            raise ValueError("observed must be non-negative")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+
+    @property
+    def estimate(self) -> float:
+        """The unbiased ``1/rate`` scale-up of the sampled count."""
+        return self.observed / self.rate
+
+    @property
+    def ci_low(self) -> float:
+        return max(0.0, self.observed - self.z * math.sqrt(self.observed)) / self.rate
+
+    @property
+    def ci_high(self) -> float:
+        z2 = self.z * self.z
+        return (
+            self.observed + z2 / 2.0 + self.z * math.sqrt(self.observed + z2 / 4.0)
+        ) / self.rate
+
+    def to_payload(self) -> Dict[str, float]:
+        return {
+            "observed": self.observed,
+            "rate": self.rate,
+            "estimate": round(self.estimate, 3),
+            "ci_low": round(self.ci_low, 3),
+            "ci_high": round(self.ci_high, 3),
+        }
+
+
+class VerifiableSampler:
+    """Deterministic flow-hash-keyed sampling of tier drop decisions.
+
+    ``samples(key)`` is a pure function of the flow key, the seed, and the
+    rate: every packet of a flow is either always or never sampled, and any
+    party holding the seed can recompute the predicate — the enclave can
+    therefore verify the tier diverted exactly the flows it had to.  No
+    ambient RNG anywhere; the same seed replays the same sample set.
+    """
+
+    def __init__(self, rate: float, seed: str) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("sample rate must be within [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self._salt = f"{seed}/offload-sample".encode("utf-8")
+        self._threshold = int(rate * _U64)
+
+    def samples(self, flow_key: bytes) -> bool:
+        """True when this flow's drop decisions must be diverted."""
+        return stable_hash64(flow_key, salt=self._salt) < self._threshold
+
+    def samples_src(self, src_int: int) -> bool:
+        """The predicate over a source aggregate (the drop-rule flow key).
+
+        Canonical encoding: 4 big-endian bytes for IPv4 source integers,
+        16 for IPv6 — fixed per version, so both sides of the audit derive
+        the identical sample set from the identical rule.
+        """
+        width = 4 if src_int < _U32 else 16
+        return self.samples(src_int.to_bytes(width, "big"))
+
+
+@dataclass(frozen=True)
+class OffloadLie:
+    """One injected tier misbehavior (the ``OFFLOAD_LIE`` chaos kind).
+
+    ``fraction`` selects flows deterministically by hash under ``seed`` —
+    the same lie replays bit-for-bit — so detection-bound tests can count
+    exactly how many misdrops each round offered the sampler.
+    """
+
+    mode: str
+    fraction: float = 0.1
+    seed: str = "offload-lie"
+
+    def __post_init__(self) -> None:
+        if self.mode not in LIE_MODES:
+            raise ConfigurationError(
+                f"unknown offload lie mode {self.mode!r} (expected one of {LIE_MODES})"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError("lie fraction must be in (0, 1]")
+
+    def affects(self, flow_key: bytes) -> bool:
+        salt = f"{self.seed}/{self.mode}".encode("utf-8")
+        return stable_hash64(flow_key, salt=salt) < int(self.fraction * _U64)
+
+
+class FastDropTier:
+    """The untrusted pre-filter: a compiled exact-match map outside the enclave.
+
+    Holds the eligible ``/32``-source DROP slice of the rule set in a
+    :class:`MembershipTier` (Bloom + cuckoo, integer keys — the
+    authoritative, memory-bounded store) and compiles it into a flat
+    ``src_int -> TIER_DROP|TIER_SAMPLE`` map so the per-packet path is one
+    dict probe with the sampling decision precomputed — the Python analog
+    of a control plane loading rules into an XDP hash map.  The hash work
+    (one SHA-256 per source for the membership structures, one for the
+    sample predicate) is paid once per rule delta, never per packet.
+
+    ``generation`` counts applied rule deltas; the enclave compares it
+    against its own ruleset version to notice a tier that stopped taking
+    updates (the auditor catches the verdict skew either way).
+    """
+
+    def __init__(
+        self,
+        sampler: VerifiableSampler,
+        initial_capacity: int = 1024,
+        label: str = "",
+    ) -> None:
+        self.sampler = sampler
+        self.membership = MembershipTier(initial_capacity=initial_capacity)
+        #: The compiled data path: blocked source -> precomputed verdict.
+        self._compiled: Dict[int, str] = {}
+        self.generation = 0
+        self.label = label or obs.next_instance_label("offload")
+        self._lie: Optional[OffloadLie] = None
+        registry = obs.get_registry()
+        self._rules_gauge = registry.gauge(
+            "vif_offload_tier_rules",
+            help="Rules currently held by the untrusted fast-drop tier",
+            tier=self.label,
+        )
+        self._generation_gauge = registry.gauge(
+            "vif_offload_tier_generation",
+            help="Rule deltas applied to the fast-drop tier since start",
+            tier=self.label,
+        )
+
+    # -- rule management ----------------------------------------------------
+
+    @staticmethod
+    def eligible(rule) -> bool:
+        """True for rules the tier can evaluate (the blocklist shape)."""
+        if isinstance(rule, MembershipRule):
+            return True
+        return TieredRuleStore.routes_to_membership(rule)
+
+    def install_rules(self, rules: Sequence) -> int:
+        """Install the eligible subset of ``rules``; returns how many."""
+        applied = 0
+        for rule in rules:
+            if not self.eligible(rule):
+                continue
+            if rule.rule_id in self.membership:
+                continue
+            compact = (
+                rule
+                if isinstance(rule, MembershipRule)
+                else MembershipRule.from_rule(rule)
+            )
+            self.membership.insert(compact)
+            src = compact.src_int
+            if src not in self._compiled:
+                # Compile-time sampling: the predicate is a pure function
+                # of (source, seed), so the verdict can be baked into the
+                # map — the data path never hashes.
+                self._compiled[src] = (
+                    TIER_SAMPLE
+                    if self.sampler.samples_src(src)
+                    else TIER_DROP
+                )
+            applied += 1
+        if applied:
+            self._rules_gauge.set(self.membership.stats().entries)
+        return applied
+
+    def remove_rules(self, rule_ids: Sequence[int]) -> int:
+        """Remove any of ``rule_ids`` the tier holds; returns how many."""
+        applied = 0
+        for rule_id in rule_ids:
+            if rule_id in self.membership:
+                rule = self.membership.get_rule(rule_id)
+                self.membership.remove(rule_id)
+                # Several rules may block the same source; only decompile
+                # the map entry once the last of them is gone.
+                if rule is not None and self.membership.query(rule.src_int) is None:
+                    self._compiled.pop(rule.src_int, None)
+                applied += 1
+        if applied:
+            self._rules_gauge.set(self.membership.stats().entries)
+        return applied
+
+    def apply_delta(self, delta) -> int:
+        """Apply one :class:`RuleDelta`; bumps the generation regardless.
+
+        The generation counts *deltas seen*, not rules changed: a delta
+        whose rules are all trie-shaped still proves the tier's control
+        channel is live, which is what the desync check cares about.
+        """
+        if delta.action == "install":
+            applied = self.install_rules(delta.target_rules)
+        else:
+            applied = self.remove_rules(delta.target_rule_ids)
+        self.note_delta()
+        return applied
+
+    def note_delta(self) -> None:
+        """Record one applied delta (generation bump; gauge export)."""
+        self.generation += 1
+        self._generation_gauge.set(self.generation)
+
+    @property
+    def rule_count(self) -> int:
+        return self.membership.stats().entries
+
+    # -- chaos --------------------------------------------------------------
+
+    def inject_lie(self, lie: OffloadLie) -> None:
+        """Arm one misbehavior mode (chaos only); cleared with :meth:`clear_lie`."""
+        self._lie = lie
+
+    def clear_lie(self) -> None:
+        self._lie = None
+
+    @property
+    def lying(self) -> bool:
+        return self._lie is not None
+
+    # -- classification -----------------------------------------------------
+
+    def classify(self, packet: Packet) -> str:
+        """One packet's tier verdict: :data:`TIER_PASS` / ``DROP`` / ``SAMPLE``."""
+        five = packet.five_tuple
+        verdict = (
+            self._compiled.get(five.src_ip_int)
+            if five.src_ip_version == 4
+            else None
+        )
+        lie = self._lie
+        if lie is None:
+            return TIER_PASS if verdict is None else verdict
+        if verdict is None:
+            if lie.mode == LIE_DROP_LEGIT and lie.affects(five.key()):
+                # The censoring tier: drop a deterministic slice of
+                # legitimate flows while claiming they matched.  Sampling
+                # still runs over the claimed drop's source aggregate.
+                return (
+                    TIER_SAMPLE
+                    if self.sampler.samples_src(five.src_ip_int)
+                    else TIER_DROP
+                )
+            return TIER_PASS
+        if lie.mode == LIE_HIDE_DROPS:
+            # The audit-evading tier: drop, but never divert the sampled
+            # share — caught by the sampling-shortfall bound.
+            return TIER_DROP
+        return verdict
+
+    def classify_burst(self, packets: Sequence[Packet]) -> List[str]:
+        if self._lie is not None:
+            return [self.classify(packet) for packet in packets]
+        # Hot path: one dict probe per packet, locals hoisted.
+        get = self._compiled.get
+        out: List[str] = []
+        append = out.append
+        for packet in packets:
+            five = packet.five_tuple
+            verdict = get(five.src_ip_int) if five.src_ip_version == 4 else None
+            append(TIER_PASS if verdict is None else verdict)
+        return out
+
+
+@dataclass(frozen=True)
+class OffloadRoundReport:
+    """One audited round of offload activity, ready for the timeline."""
+
+    round_id: int
+    drops: int          #: unsampled tier drops (the tier's claimed bulk)
+    sampled: int        #: drop decisions diverted for re-verdict
+    confirmed: int      #: sampled drops the enclave agreed with
+    disagreed: int      #: sampled drops the enclave REFUSED to confirm
+    leaked: int         #: enclave drops among tier-passed packets
+    shortfall: bool     #: sampled *flows* fell below the binomial bound
+    drop_flows: int     #: distinct flows behind the unsampled drops
+    sampled_flows: int  #: distinct flows behind the sampled redirects
+    expected_sampled: float  #: rate x distinct drop-decision flows
+    misdrop_estimate: SamplingEstimate
+    tier_generation: int
+
+    @property
+    def suspicious(self) -> bool:
+        """True when this round is evidence of tier misbehavior."""
+        return self.disagreed > 0 or self.shortfall
+
+    @property
+    def detail(self) -> str:
+        est = self.misdrop_estimate
+        return (
+            f"disagreed={self.disagreed}/{self.sampled} sampled, "
+            f"est_misdrops={est.estimate:.1f} "
+            f"[{est.ci_low:.1f}, {est.ci_high:.1f}] @rate={est.rate}, "
+            f"shortfall={self.shortfall}"
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "drops": self.drops,
+            "sampled": self.sampled,
+            "confirmed": self.confirmed,
+            "disagreed": self.disagreed,
+            "leaked": self.leaked,
+            "shortfall": self.shortfall,
+            "drop_flows": self.drop_flows,
+            "sampled_flows": self.sampled_flows,
+            "expected_sampled": round(self.expected_sampled, 3),
+            "misdrop_estimate": self.misdrop_estimate.to_payload(),
+            "tier_generation": self.tier_generation,
+        }
+
+
+class OffloadAuditor:
+    """Re-verdicts the sampled slice and scores it against the enclave.
+
+    Per round it keeps two count-min sketches over the sampled flows —
+    what the tier *claimed* (every sampled drop) and what the enclave
+    *confirmed* — plus exact counters.  ``close_round`` reduces them to an
+    :class:`OffloadRoundReport`, feeds the
+    :class:`~repro.obs.audit.AuditTimeline` (``offload_bypass`` alert
+    kind), and resets for the next round.
+    """
+
+    def __init__(
+        self,
+        sampler: VerifiableSampler,
+        timeline=None,
+        sketch_depth: int = 2,
+        sketch_width: int = 2048,
+        family_seed: str = "vif-offload-audit",
+        shortfall_z: float = 2.576,
+        shortfall_min_expected: float = 8.0,
+    ) -> None:
+        self.sampler = sampler
+        self.timeline = timeline
+        self.shortfall_z = shortfall_z
+        #: Below this many expected samples per round the shortfall test is
+        #: statistically meaningless and stays quiet (small rounds would
+        #: false-alert on ordinary variance).
+        self.shortfall_min_expected = shortfall_min_expected
+        self._sketch_args = (sketch_depth, sketch_width, family_seed)
+        self.claimed_sketch = CountMinSketch(*self._sketch_args)
+        self.confirmed_sketch = CountMinSketch(*self._sketch_args)
+        self.reports: List[OffloadRoundReport] = []
+        self._drops = 0
+        self._sampled = 0
+        self._confirmed = 0
+        self._disagreed = 0
+        self._leaked = 0
+        self._drop_flows: set = set()
+        self._sampled_flows: set = set()
+        registry = obs.get_registry()
+        self._rounds_c = registry.counter(
+            "vif_offload_audit_rounds_total",
+            help="Offload audit rounds closed",
+        )
+        self._disagreed_c = registry.counter(
+            "vif_offload_disagreements_total",
+            help="Sampled tier drops the enclave refused to confirm",
+        )
+        self._leaked_c = registry.counter(
+            "vif_offload_leaked_drops_total",
+            help="Enclave drops among packets the tier passed (tier misses)",
+        )
+        self._shortfall_c = registry.counter(
+            "vif_offload_sample_shortfall_rounds_total",
+            help="Rounds whose sampled count fell below the binomial bound",
+        )
+        self._estimate_g = registry.gauge(
+            "vif_offload_estimated_misdrops",
+            help="Last round's 1/rate-scaled estimate of tier misdrops",
+        )
+
+    # -- per-packet observations --------------------------------------------
+
+    def observe_drops(
+        self, count: int = 1, flow_keys: Sequence = ()
+    ) -> None:
+        """Unsampled tier drops (the claimed bulk), counted exactly.
+
+        ``flow_keys`` (source integers — the drop-rule flow aggregate)
+        feeds the per-round distinct-flow set the shortfall bound runs
+        over: sampling is flow-hash-keyed, so each *distinct* flow is one
+        Bernoulli(rate) trial — a packet-level binomial would overstate
+        the confidence whenever flows repeat within a round.
+        """
+        self._drops += count
+        self._drop_flows.update(flow_keys)
+
+    def observe_sample(self, flow_key, enclave_dropped: bool) -> None:
+        """One sampled drop decision, re-verdicted by the enclave.
+
+        ``flow_key`` is the source integer (matching
+        :meth:`observe_drops`); the sketches get its canonical byte
+        encoding — the same one :meth:`VerifiableSampler.samples_src`
+        hashes.
+        """
+        self._sampled += 1
+        self._sampled_flows.add(flow_key)
+        if isinstance(flow_key, int):
+            key_bytes = flow_key.to_bytes(4 if flow_key < _U32 else 16, "big")
+        else:
+            key_bytes = flow_key
+        self.claimed_sketch.update(key_bytes)
+        if enclave_dropped:
+            self._confirmed += 1
+            self.confirmed_sketch.update(key_bytes)
+        else:
+            self._disagreed += 1
+            self._disagreed_c.inc()
+
+    def observe_leak(self, count: int = 1) -> None:
+        """Enclave drops among tier-passed packets (informational: the
+        attack still died in the enclave, but the tier missed it)."""
+        self._leaked += count
+        self._leaked_c.inc(count)
+
+    # -- round closing ------------------------------------------------------
+
+    def close_round(
+        self, round_id: int, tier_generation: int = 0
+    ) -> Tuple[OffloadRoundReport, List]:
+        """Score the round, feed the timeline, reset.  Returns the report
+        and any :class:`~repro.obs.audit.AuditAlert` objects fired."""
+        rate = self.sampler.rate
+        # Binomial lower bound over *distinct flows*: sampling is a pure
+        # function of the flow key, so each distinct drop-decision flow is
+        # one independent Bernoulli(rate) trial — a tier hiding drops from
+        # the sampler delivers far fewer sampled flows than its claimed
+        # drop-flow population demands.  (Packet counts would overstate
+        # the confidence whenever flows repeat within a round.)
+        trials = len(self._drop_flows | self._sampled_flows)
+        expected = rate * trials
+        shortfall = False
+        if expected >= self.shortfall_min_expected:
+            bound = expected - self.shortfall_z * math.sqrt(
+                trials * rate * max(0.0, 1.0 - rate)
+            )
+            shortfall = len(self._sampled_flows) < bound
+        estimate = SamplingEstimate(
+            observed=self._disagreed, rate=max(rate, 1e-12)
+        )
+        report = OffloadRoundReport(
+            round_id=round_id,
+            drops=self._drops,
+            sampled=self._sampled,
+            confirmed=self._confirmed,
+            disagreed=self._disagreed,
+            leaked=self._leaked,
+            shortfall=shortfall,
+            drop_flows=len(self._drop_flows),
+            sampled_flows=len(self._sampled_flows),
+            expected_sampled=expected,
+            misdrop_estimate=estimate,
+            tier_generation=tier_generation,
+        )
+        self.reports.append(report)
+        self._rounds_c.inc()
+        self._estimate_g.set(estimate.estimate)
+        if shortfall:
+            self._shortfall_c.inc()
+        alerts: List = []
+        if self.timeline is not None:
+            alerts = self.timeline.record_offload(round_id, report)
+        self._reset_round()
+        return report, alerts
+
+    def _reset_round(self) -> None:
+        self._drops = 0
+        self._sampled = 0
+        self._confirmed = 0
+        self._disagreed = 0
+        self._leaked = 0
+        self._drop_flows = set()
+        self._sampled_flows = set()
+        self.claimed_sketch = CountMinSketch(*self._sketch_args)
+        self.confirmed_sketch = CountMinSketch(*self._sketch_args)
+
+
+class OffloadEngine:
+    """Tier + sampler + auditor behind any burst filter (serve backends).
+
+    Bound to the inner (enclave-path) burst callable with :meth:`bind`;
+    ``process_burst`` then classifies through the tier, short-circuits the
+    unsampled drops, re-verdicts the sampled slice through the inner
+    filter, and keeps the ``vif_offload_*`` books.  Verdict alignment is
+    positional, so the caller sees exactly one verdict per packet.
+    """
+
+    def __init__(self, tier: FastDropTier, auditor: OffloadAuditor) -> None:
+        self.tier = tier
+        self.auditor = auditor
+        self._inner = None
+        self._inner_burst = None
+        registry = obs.get_registry()
+        label = tier.label
+        self._ingress_c = registry.counter(
+            "vif_offload_ingress_total",
+            help="Packets entering the fast-drop tier",
+            tier=label,
+        )
+        self._drops_c = registry.counter(
+            "vif_offload_drops_total",
+            help="Packets dropped by the untrusted tier (unsampled)",
+            tier=label,
+        )
+        self._sampled_c = registry.counter(
+            "vif_offload_sampled_total",
+            help="Tier drop decisions diverted to the enclave for re-verdict",
+            tier=label,
+        )
+        self._passed_c = registry.counter(
+            "vif_offload_passed_total",
+            help="Packets the tier passed to the enclave path",
+            tier=label,
+        )
+
+    def bind(self, inner) -> "OffloadEngine":
+        """Attach the enclave path: an object exposing ``process_burst`` or
+        a callable taking a packet sequence and returning verdicts."""
+        self._inner = inner
+        burst = getattr(inner, "process_burst", None)
+        self._inner_burst = burst if burst is not None else inner
+        return self
+
+    @property
+    def records_flight(self) -> bool:
+        return bool(getattr(self._inner, "records_flight", False))
+
+    def process_burst(self, packets: Sequence[Packet]) -> List[object]:
+        if self._inner is None:
+            raise ConfigurationError("offload engine is not bound to a filter")
+        classifications = self.tier.classify_burst(packets)
+        verdicts: List[object] = [False] * len(packets)
+        to_enclave: List[Packet] = []
+        positions: List[int] = []
+        sampled_flags: List[bool] = []
+        drop_keys: List[int] = []
+        drop_append = drop_keys.append
+        pass_append = to_enclave.append
+        pos_append = positions.append
+        flag_append = sampled_flags.append
+        sampled = 0
+        for i, (packet, cls) in enumerate(zip(packets, classifications)):
+            if cls == TIER_DROP:
+                drop_append(packet.five_tuple.src_ip_int)
+            else:
+                if cls == TIER_SAMPLE:
+                    sampled += 1
+                    flag_append(True)
+                else:
+                    flag_append(False)
+                pass_append(packet)
+                pos_append(i)
+        drops = len(drop_keys)
+        self._ingress_c.inc(len(packets))
+        self._drops_c.inc(drops)
+        self._sampled_c.inc(sampled)
+        self._passed_c.inc(len(to_enclave) - sampled)
+        if drops:
+            self.auditor.observe_drops(drops, flow_keys=drop_keys)
+        if to_enclave:
+            inner_verdicts = list(self._inner_burst(to_enclave))
+            if len(inner_verdicts) != len(to_enclave):
+                raise RuntimeError(
+                    f"inner filter returned {len(inner_verdicts)} verdicts "
+                    f"for {len(to_enclave)} packets"
+                )
+            leaks = 0
+            for pos, flagged, packet, verdict in zip(
+                positions, sampled_flags, to_enclave, inner_verdicts
+            ):
+                verdicts[pos] = verdict
+                if flagged:
+                    # UNROUTED is truthy (forwarded) — only a falsy verdict
+                    # is an enclave drop, i.e. a confirmation.
+                    self.auditor.observe_sample(
+                        packet.five_tuple.src_ip_int, enclave_dropped=not verdict
+                    )
+                elif not verdict:
+                    leaks += 1
+            if leaks:
+                self.auditor.observe_leak(leaks)
+        return verdicts
+
+    # -- control plane ------------------------------------------------------
+
+    def apply_delta(self, delta) -> int:
+        return self.tier.apply_delta(delta)
+
+    def inject_lie(self, lie: OffloadLie) -> None:
+        self.tier.inject_lie(lie)
+
+    def clear_lie(self) -> None:
+        self.tier.clear_lie()
+
+    def close_round(self, round_id: int) -> Tuple[OffloadRoundReport, List]:
+        return self.auditor.close_round(
+            round_id, tier_generation=self.tier.generation
+        )

@@ -21,9 +21,21 @@ verdict for packets matching no installed rule: they are forwarded on the
 default path but counted separately from filter-approved traffic, so
 load-balancer bypass is visible in the books.
 
+An optional **offload stage** sits between the RX ring and the filter: an
+untrusted :class:`~repro.dataplane.offload.FastDropTier` classifies each
+burst first, dropping the obvious bulk outside the enclave at near-zero
+cost.  A seeded, flow-hash-keyed fraction of its drop decisions is
+diverted ("sampled") to the enclave path for re-verdict so offloaded drops
+stay auditable; the remaining survivors continue as before.  The stage
+keeps its own conservation law — ``offload_ingress == offload_drops +
+offload_sampled + offload_passed`` — registered as a second registry
+invariant.
+
 Accounting is conservation-checked: after every drain,
-``received == allowed + dropped + unrouted + rx_overflow_drops +
-tx_overflow_drops`` holds exactly — no packet ever disappears untracked.
+``received == allowed + dropped + unrouted + offload_drops +
+rx_overflow_drops + tx_overflow_drops`` holds exactly — no packet ever
+disappears untracked (``dropped`` counts enclave verdicts, ``offload_drops``
+the untrusted tier's).
 """
 
 from __future__ import annotations
@@ -85,6 +97,10 @@ class PipelineStats:
         "unrouted",
         "rx_overflow_drops",
         "tx_overflow_drops",
+        "offload_ingress",
+        "offload_drops",
+        "offload_sampled",
+        "offload_passed",
     )
 
     _HELP = {
@@ -94,6 +110,10 @@ class PipelineStats:
         "unrouted": "Packets forwarded on the default path (no rule matched)",
         "rx_overflow_drops": "Packets lost to RX-ring back-pressure",
         "tx_overflow_drops": "Packets lost to TX-ring back-pressure",
+        "offload_ingress": "Packets entering the untrusted fast-drop tier",
+        "offload_drops": "Packets dropped by the untrusted tier (unsampled)",
+        "offload_sampled": "Tier drop decisions diverted for enclave re-verdict",
+        "offload_passed": "Packets the tier passed to the enclave path",
     }
 
     def __init__(
@@ -127,6 +147,10 @@ class PipelineStats:
     tx_overflow_drops = _registry_backed(
         "tx_overflow_drops", _HELP["tx_overflow_drops"]
     )
+    offload_ingress = _registry_backed("offload_ingress", _HELP["offload_ingress"])
+    offload_drops = _registry_backed("offload_drops", _HELP["offload_drops"])
+    offload_sampled = _registry_backed("offload_sampled", _HELP["offload_sampled"])
+    offload_passed = _registry_backed("offload_passed", _HELP["offload_passed"])
 
     @property
     def ring_overflow_drops(self) -> int:
@@ -135,8 +159,14 @@ class PipelineStats:
 
     @property
     def processed(self) -> int:
-        """Packets the filter stage reached a verdict for."""
-        return self.allowed + self.dropped + self.unrouted + self.tx_overflow_drops
+        """Packets the filter stage reached a verdict for (tier included)."""
+        return (
+            self.allowed
+            + self.dropped
+            + self.unrouted
+            + self.offload_drops
+            + self.tx_overflow_drops
+        )
 
     def as_dict(self) -> dict:
         return {field: self._counters[field].value for field in self.FIELDS}
@@ -161,10 +191,16 @@ class FilterPipeline:
         nic_out: Optional[NIC] = None,
         burst_size: int = 32,
         ring_capacity: int = 4096,
+        offload=None,
+        offload_auditor=None,
     ) -> None:
         if burst_size <= 0:
             raise ValueError("burst_size must be positive")
         self.filter_fn = filter_fn
+        #: Optional untrusted fast-drop tier (repro.dataplane.offload) and
+        #: the auditor re-verdicting its sampled drop decisions.
+        self.offload = offload
+        self.offload_auditor = offload_auditor
         self.burst_fn: Optional[BurstFilterFn] = getattr(
             filter_fn, "process_burst", None
         )
@@ -192,6 +228,12 @@ class FilterPipeline:
         registry.register_invariant(
             self._invariant_name, self._conservation_violation
         )
+        self._offload_invariant_name = (
+            f"pipeline_offload_conservation/{self.stats.pipeline_label}"
+        )
+        registry.register_invariant(
+            self._offload_invariant_name, self._offload_conservation_violation
+        )
 
     # -- stages ------------------------------------------------------------
 
@@ -203,11 +245,68 @@ class FilterPipeline:
         self.stats.rx_overflow_drops += len(burst) - moved
         return moved
 
+    def _offload_stage(self, burst: List[Packet]):
+        """Classify one burst through the untrusted tier.
+
+        Unsampled tier drops leave the pipeline here (DROP ring, counted
+        under ``offload_drops``); survivors continue to the filter with a
+        per-packet sampled flag so the auditor can re-verdict the diverted
+        slice against the enclave's ground truth.
+        """
+        from repro.dataplane.offload import TIER_DROP, TIER_SAMPLE
+
+        classifications = self.offload.classify_burst(burst)
+        kept: List[Packet] = []
+        sampled_flags: List[bool] = []
+        drops: List[Packet] = []
+        for packet, cls in zip(burst, classifications):
+            if cls == TIER_DROP:
+                drops.append(packet)
+            else:
+                kept.append(packet)
+                sampled_flags.append(cls == TIER_SAMPLE)
+        stats = self.stats
+        stats.offload_ingress += len(burst)
+        stats.offload_drops += len(drops)
+        n_sampled = sum(sampled_flags)
+        stats.offload_sampled += n_sampled
+        stats.offload_passed += len(kept) - n_sampled
+        if drops:
+            if self.offload_auditor is not None:
+                self.offload_auditor.observe_drops(
+                    len(drops),
+                    flow_keys=[packet.five_tuple.src_ip_int for packet in drops],
+                )
+            # Same recycling story as the filter's DROP ring use: overflow
+            # only loses accounting fidelity, never packets.
+            self.drop_ring.enqueue_bulk(drops)
+            if not self._filter_records_flight:
+                recorder = obs.get_flight_recorder()
+                if recorder.enabled:
+                    round_id = obs.get_journal().current_round
+                    recorder.record_batch(
+                        (
+                            packet.five_tuple.key().decode(),
+                            None,
+                            "offload-dropped",
+                            round_id,
+                        )
+                        for packet in drops
+                    )
+        return kept, sampled_flags
+
     def filter_stage(self) -> int:
-        """Run the filter over one burst; returns packets processed."""
+        """Run the offload tier (if any) and the filter over one burst;
+        returns packets processed."""
         burst = self.rx_ring.dequeue_burst(self.burst_size)
         if not burst:
             return 0
+        processed = len(burst)
+        sampled_flags: Optional[List[bool]] = None
+        if self.offload is not None:
+            burst, sampled_flags = self._offload_stage(burst)
+            if not burst:
+                return processed
         timed = obs.timing_enabled()
         start = time.perf_counter() if timed else 0.0
         if self.burst_fn is not None:
@@ -236,6 +335,20 @@ class FilterPipeline:
                     )
                     for packet, verdict in zip(burst, verdicts)
                 )
+        if sampled_flags is not None and self.offload_auditor is not None:
+            auditor = self.offload_auditor
+            leaks = 0
+            for packet, verdict, sampled in zip(burst, verdicts, sampled_flags):
+                if sampled:
+                    # UNROUTED is truthy (forwarded): only a falsy verdict
+                    # confirms the tier's drop decision.
+                    auditor.observe_sample(
+                        packet.five_tuple.src_ip_int, enclave_dropped=not verdict
+                    )
+                elif not verdict:
+                    leaks += 1
+            if leaks:
+                auditor.observe_leak(leaks)
         forwards: List[Packet] = []
         forward_verdicts: List[Verdict] = []
         drops: List[Packet] = []
@@ -266,7 +379,7 @@ class FilterPipeline:
             # The DROP ring recycles buffers; overflow there only loses
             # accounting fidelity, never packets, so use best-effort.
             self.drop_ring.enqueue_bulk(drops)
-        return len(burst)
+        return processed
 
     def tx_stage(self) -> int:
         """Drain the TX ring to the outbound NIC; returns packets moved."""
@@ -285,6 +398,7 @@ class FilterPipeline:
             s.allowed
             + s.dropped
             + s.unrouted
+            + s.offload_drops
             + s.rx_overflow_drops
             + s.tx_overflow_drops
         )
@@ -294,9 +408,22 @@ class FilterPipeline:
         return (
             f"pipeline lost packets untracked: received={s.received}, "
             f"allowed={s.allowed}, dropped={s.dropped}, "
-            f"unrouted={s.unrouted}, "
+            f"unrouted={s.unrouted}, offload_drops={s.offload_drops}, "
             f"rx_overflow={s.rx_overflow_drops}, "
             f"tx_overflow={s.tx_overflow_drops}, in_flight={in_flight}"
+        )
+
+    def _offload_conservation_violation(self) -> Optional[str]:
+        """The offload stage's own conservation law: every packet entering
+        the tier leaves as exactly one of drop / sampled redirect / pass."""
+        s = self.stats
+        accounted = s.offload_drops + s.offload_sampled + s.offload_passed
+        if s.offload_ingress == accounted:
+            return None
+        return (
+            f"offload stage lost packets untracked: "
+            f"ingress={s.offload_ingress}, drops={s.offload_drops}, "
+            f"sampled={s.offload_sampled}, passed={s.offload_passed}"
         )
 
     def check_conservation(self) -> None:
@@ -309,7 +436,9 @@ class FilterPipeline:
         is registered with the metrics registry, so ``repro metrics`` audits
         it fleet-wide.
         """
-        violation = self._conservation_violation()
+        violation = (
+            self._conservation_violation() or self._offload_conservation_violation()
+        )
         if violation is not None:
             raise PipelineAccountingError(violation)
 

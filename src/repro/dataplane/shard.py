@@ -34,6 +34,17 @@ design of OctoSketch-style DPDK pipelines:
   coordinator folds them into its registry with ``merge_state`` — one
   fleet-wide view, no label collisions.
 
+* **Per-worker offload tiers (optional).**  With ``offload_sample_rate``
+  set, every worker runs an untrusted
+  :class:`~repro.dataplane.offload.FastDropTier` ahead of its filter
+  replica: tier drops never reach the enclave replica, the sampled slice
+  is re-verdicted, and each worker's
+  :class:`~repro.dataplane.offload.OffloadAuditor` closes audit rounds
+  every ``offload_round_batches`` batches (plus a final partial round at
+  shutdown).  Counters ride the ordinary metrics merge; rule deltas reach
+  the tier inside the same acked broadcast that reaches the replica, and
+  :meth:`ShardedDataPlane.inject_offload_lie` is the acked chaos hook.
+
 * **Bounded in-flight batches.**  Worker task queues are bounded; the
   coordinator drains verdicts while it waits for queue space, so memory is
   capped by ``max_inflight`` batches per worker and the dispatch loop cannot
@@ -86,6 +97,16 @@ class ShardConfig:
     #: the bulk path (no per-entry FilterRule on the wire — a million-entry
     #: blackhole list must not cost a million pattern parses per worker).
     blocklist: Tuple[Tuple[int, int], ...] = ()
+    #: > 0 arms a per-worker untrusted fast-drop tier
+    #: (:class:`~repro.dataplane.offload.FastDropTier`) ahead of the
+    #: enclave replica, auditing this fraction of its drop decisions.
+    offload_sample_rate: float = 0.0
+    #: Sampler seed — shared by every worker so the sample predicate stays
+    #: a pure function of the flow key (flows are shard-disjoint anyway).
+    offload_seed: str = "vif-offload"
+    #: Batches between offload audit-round closes (plus one final partial
+    #: round at shutdown).
+    offload_round_batches: int = 16
 
 
 def _worker_main(
@@ -99,7 +120,8 @@ def _worker_main(
     Tasks are ``("batch", batch_id, flows)`` filter work,
     ``("install", delta_id, rule_dicts)`` / ``("remove", delta_id,
     rule_ids)`` hot rule deltas (acked back so the coordinator can order
-    them against batches), or ``None`` to finish.  Because the task queue
+    them against batches), ``("offload_lie", delta_id, lie_or_None)``
+    chaos broadcasts for the fast-drop tier, or ``None`` to finish.  Because the task queue
     is FIFO, a rule delta takes effect after every batch dispatched before
     it and before every batch dispatched after it — exactly the
     between-bursts semantics the serve control plane needs.  Rule deltas
@@ -125,6 +147,43 @@ def _worker_main(
         program.load_blocklist(list(config.blocklist))
     busy_seconds = 0.0
     burst_size = config.burst_size
+
+    def _enclave_chunked(chunk: Sequence[Packet]) -> List[bool]:
+        out: List[bool] = []
+        for start in range(0, len(chunk), burst_size):
+            out.extend(program.process_burst(chunk[start : start + burst_size]))
+        return out
+
+    offload = None
+    offload_round = 0
+    batches_seen = 0
+    if config.offload_sample_rate > 0.0:
+        # The per-worker untrusted fast-drop tier: same seed everywhere
+        # (flows are shard-disjoint, so the shared-seed sample predicate
+        # stays globally consistent), private vif_offload_* series merged
+        # at the coordinator via the worker metrics state.
+        from repro.dataplane.offload import (
+            FastDropTier,
+            OffloadAuditor,
+            OffloadEngine,
+            VerifiableSampler,
+        )
+        from repro.lookup.membership import MembershipRule
+
+        sampler = VerifiableSampler(
+            config.offload_sample_rate, seed=config.offload_seed
+        )
+        tier = FastDropTier(sampler, label=f"shard-w{worker_id}")
+        tier.install_rules([FilterRule.from_dict(d) for d in config.rules])
+        if config.blocklist:
+            tier.install_rules(
+                [
+                    MembershipRule(rule_id=rid, src_int=src)
+                    for rid, src in config.blocklist
+                ]
+            )
+        offload = OffloadEngine(tier, OffloadAuditor(sampler))
+        offload.bind(_enclave_chunked)
     while True:
         item = task_queue.get()
         if item is None:
@@ -132,14 +191,28 @@ def _worker_main(
         kind = item[0]
         if kind == "install":
             _, delta_id, rule_dicts = item
-            program.install_rules(
-                [FilterRule.from_dict(d) for d in rule_dicts]
-            )
+            rules = [FilterRule.from_dict(d) for d in rule_dicts]
+            program.install_rules(rules)
+            if offload is not None:
+                offload.tier.install_rules(rules)
+                offload.tier.note_delta()
             result_queue.put(("rule_ack", worker_id, delta_id, None))
             continue
         if kind == "remove":
             _, delta_id, rule_ids = item
             program.remove_rules(list(rule_ids))
+            if offload is not None:
+                offload.tier.remove_rules(list(rule_ids))
+                offload.tier.note_delta()
+            result_queue.put(("rule_ack", worker_id, delta_id, None))
+            continue
+        if kind == "offload_lie":
+            _, delta_id, lie = item
+            if offload is not None:
+                if lie is None:
+                    offload.clear_lie()
+                else:
+                    offload.inject_lie(lie)
             result_queue.put(("rule_ack", worker_id, delta_id, None))
             continue
         _, batch_id, flows = item
@@ -157,16 +230,24 @@ def _worker_main(
             first_packet_index.append(len(packets))
             for size in sizes:
                 packets.append(Packet(five_tuple=five_tuple, size=size))
-        verdicts: List[bool] = []
-        for start in range(0, len(packets), burst_size):
-            verdicts.extend(
-                program.process_burst(packets[start : start + burst_size])
-            )
+        if offload is not None:
+            verdicts = offload.process_burst(packets)
+            batches_seen += 1
+            if batches_seen % config.offload_round_batches == 0:
+                offload_round += 1
+                offload.close_round(offload_round)
+        else:
+            verdicts = _enclave_chunked(packets)
         # One verdict per *flow* goes back on the wire (f(p) is stateless:
         # every packet of the flow shares it); the coordinator re-expands.
         flow_verdicts = [verdicts[i] for i in first_packet_index]
         busy_seconds += time.process_time() - started
         result_queue.put(("verdicts", worker_id, batch_id, flow_verdicts))
+    if offload is not None:
+        # Score whatever the last partial round accumulated before the
+        # summary ships — a lying tier must not escape via shutdown.
+        offload_round += 1
+        offload.close_round(offload_round)
     report = program.report()
     result_queue.put(
         (
@@ -267,9 +348,18 @@ class ShardedDataPlane:
         restart_dead_workers: bool = False,
         max_worker_restarts: int = 3,
         blocklist: Sequence[Tuple[int, int]] = (),
+        offload_sample_rate: float = 0.0,
+        offload_seed: str = "vif-offload",
+        offload_round_batches: int = 16,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
+        if not 0.0 <= offload_sample_rate <= 1.0:
+            raise ConfigurationError(
+                "offload_sample_rate must be within [0, 1]"
+            )
+        if offload_round_batches < 1:
+            raise ConfigurationError("offload_round_batches must be positive")
         if batch_size < 1 or burst_size < 1:
             raise ConfigurationError("batch_size and burst_size must be positive")
         if burst_size > EnclaveFilter.MAX_BURST:
@@ -306,6 +396,9 @@ class ShardedDataPlane:
             mode=mode,
             sketch_seed=sketch_seed,
             burst_size=burst_size,
+            offload_sample_rate=offload_sample_rate,
+            offload_seed=offload_seed,
+            offload_round_batches=offload_round_batches,
         )
         #: Bumped on every applied rule delta (mirrors the filter-side memo
         #: invalidation; lets operators correlate verdict changes).
@@ -351,6 +444,9 @@ class ShardedDataPlane:
             sketch_seed=self._base_config.sketch_seed,
             burst_size=self._base_config.burst_size,
             blocklist=self._blocklist,
+            offload_sample_rate=self._base_config.offload_sample_rate,
+            offload_seed=self._base_config.offload_seed,
+            offload_round_batches=self._base_config.offload_round_batches,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -578,7 +674,28 @@ class ShardedDataPlane:
             self._live_rules.pop(rule_id, None)
         self.ruleset_version += 1
 
-    def _apply_delta(self, action: str, payload: List[object]) -> None:
+    @property
+    def offload_enabled(self) -> bool:
+        """True when every worker runs a fast-drop tier ahead of its filter."""
+        return self._base_config.offload_sample_rate > 0.0
+
+    def inject_offload_lie(self, lie) -> None:
+        """Arm one :class:`~repro.dataplane.offload.OffloadLie` on every
+        worker's tier — acked like a rule delta, so on return the lie is
+        live everywhere (the chaos driver needs between-bursts semantics)."""
+        if not self.offload_enabled:
+            raise ConfigurationError(
+                "plane has no offload tier to corrupt (offload_sample_rate=0)"
+            )
+        self._apply_delta("offload_lie", lie)
+
+    def clear_offload_lie(self) -> None:
+        """Clear any armed lie on every worker (acked broadcast)."""
+        if not self.offload_enabled:
+            return
+        self._apply_delta("offload_lie", None)
+
+    def _apply_delta(self, action: str, payload: object) -> None:
         """Broadcast one rule delta and wait for every worker's ack.
 
         The task queues are FIFO, so the delta is ordered after every batch

@@ -85,6 +85,7 @@ class FaultInjector:
             FaultKind.WORKER_KILL,
             FaultKind.STAGE_HANG,
             FaultKind.RULE_CHURN,
+            FaultKind.OFFLOAD_LIE,
         ):
             raise ConfigurationError(
                 f"{event.kind.value} is a serve-scoped fault; replay it "

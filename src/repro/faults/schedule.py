@@ -40,6 +40,11 @@ class FaultKind(enum.Enum):
     #: A burst of ``magnitude`` hot rule installs immediately followed by
     #: their removals — the control-plane churn storm.
     RULE_CHURN = "rule-churn"
+    #: The untrusted fast-drop tier starts lying: ``target`` selects the
+    #: mode (0 = drop legitimate flows, 1 = hide drops from the sampler),
+    #: ``magnitude`` the affected-flow percentage.  The offload auditor
+    #: must catch it within its confidence-bound round count.
+    OFFLOAD_LIE = "offload-lie"
 
 
 @dataclass(frozen=True)
@@ -145,9 +150,11 @@ class FaultSchedule:
         stage_hang_prob: float = 0.01,
         rule_churn_prob: float = 0.02,
         ias_outage_prob: float = 0.0,
+        offload_lie_prob: float = 0.0,
         churn_size: int = 4,
         hang_deadlines: int = 2,
         ias_outage_length: int = 2,
+        offload_lie_percent: int = 10,
     ) -> "FaultSchedule":
         """Draw a serve-mode chaos schedule over ``bursts`` ingest bursts.
 
@@ -192,6 +199,15 @@ class FaultSchedule:
                         round_index=b,
                         kind=FaultKind.IAS_OUTAGE,
                         magnitude=ias_outage_length,
+                    )
+                )
+            if rng.random() < offload_lie_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=b,
+                        kind=FaultKind.OFFLOAD_LIE,
+                        target=rng.randrange(2),
+                        magnitude=offload_lie_percent,
                     )
                 )
         return cls(rounds=bursts, events=tuple(events), seed=seed)

@@ -70,6 +70,7 @@ from repro.obs.audit import (
     ALERT_BYPASS,
     ALERT_FAMILY_MISMATCH,
     ALERT_INJECTION,
+    ALERT_OFFLOAD_BYPASS,
     AuditAlert,
     AuditTimeline,
     DivergenceScore,
@@ -88,6 +89,7 @@ __all__ = [
     "ALERT_BYPASS",
     "ALERT_FAMILY_MISMATCH",
     "ALERT_INJECTION",
+    "ALERT_OFFLOAD_BYPASS",
     "AuditAlert",
     "AuditTimeline",
     "Counter",

@@ -39,6 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 ALERT_BYPASS = "bypass-suspected"
 ALERT_INJECTION = "injection-suspected"
 ALERT_FAMILY_MISMATCH = "family-version-mismatch"
+#: The untrusted fast-drop tier misbehaved: sampled re-verdicts diverged
+#: from the enclave's ground truth (or the sampled volume fell below the
+#: binomial bound the sampling rate demands).  See repro.dataplane.offload.
+ALERT_OFFLOAD_BYPASS = "offload_bypass"
 
 #: Histogram buckets for the normalized divergence ratio (L1 / ε·N): below
 #: 1.0 is within the sketch's own error budget, above is real divergence.
@@ -110,7 +114,11 @@ class AuditTimeline:
         self.session_id = session_id
         self.scores: List[DivergenceScore] = []
         self.alerts: List[AuditAlert] = []
-        self._streaks: Dict[str, int] = {ALERT_BYPASS: 0, ALERT_INJECTION: 0}
+        self._streaks: Dict[str, int] = {
+            ALERT_BYPASS: 0,
+            ALERT_INJECTION: 0,
+            ALERT_OFFLOAD_BYPASS: 0,
+        }
 
     # -- scoring ----------------------------------------------------------------
 
@@ -222,6 +230,58 @@ class AuditTimeline:
         return self._fire(
             ALERT_FAMILY_MISMATCH, round_id, observer, detail=str(error)
         )
+
+    def record_offload(
+        self, round_id: int, report, observer: str = "offload-auditor"
+    ) -> List[AuditAlert]:
+        """Score one offload audit round (see ``repro.dataplane.offload``).
+
+        ``report`` is any object exposing ``suspicious`` / ``detail`` /
+        ``to_payload()`` (an ``OffloadRoundReport``).  Emits an
+        ``offload_audit`` journal event every round and — after
+        ``debounce`` consecutive suspicious rounds — fires the
+        :data:`ALERT_OFFLOAD_BYPASS` alert with the ``1/rate``-scaled
+        misdrop estimate and its confidence interval in the detail.
+        """
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "offload_audit",
+                round_id=round_id,
+                session_id=self.session_id or None,
+                observer=observer,
+                suspicious=report.suspicious,
+                **report.to_payload(),
+            )
+        get_registry().counter(
+            "vif_audit_rounds_total",
+            help="Audit rounds scored by the timeline",
+            observer=observer,
+        ).inc()
+        fired: List[AuditAlert] = []
+        if not report.suspicious:
+            self._streaks[ALERT_OFFLOAD_BYPASS] = 0
+            return fired
+        self._streaks[ALERT_OFFLOAD_BYPASS] += 1
+        if self._streaks[ALERT_OFFLOAD_BYPASS] >= self.debounce:
+            self._streaks[ALERT_OFFLOAD_BYPASS] = 0
+            fired.append(
+                self._fire(
+                    ALERT_OFFLOAD_BYPASS, round_id, observer, detail=report.detail
+                )
+            )
+            if journal.enabled:
+                journal.emit(
+                    "bypass_evidence",
+                    round_id=round_id,
+                    session_id=self.session_id or None,
+                    observer=observer,
+                    suspected_attacks=[],
+                    alerts=[alert.kind for alert in fired],
+                    score=report.to_payload(),
+                    flight=get_flight_recorder().dump(max_round=round_id),
+                )
+        return fired
 
     # -- internals ----------------------------------------------------------------
 

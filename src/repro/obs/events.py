@@ -45,6 +45,7 @@ EVENT_TYPES = frozenset(
         "fault_injected",    # the fault harness fired a scheduled fault
         "invariant_failure", # an independent invariant audit failed
         "alert",             # a typed audit alert (kind in payload)
+        "offload_audit",     # one sampled-audit round of the offload tier
         "rule_update",       # a hot rule delta was applied while serving
         "stage_restart",     # the serve watchdog restarted a stage/worker
         "serve_state",       # the serve runtime changed lifecycle state

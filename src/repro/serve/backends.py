@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.filter import StatelessFilter
 from repro.core.fleet import FleetBurstFilter, FleetManager
 from repro.core.rules import FilterRule
+from repro.dataplane.offload import OffloadEngine, OffloadLie
 from repro.dataplane.packet import Packet
 from repro.dataplane.shard import ShardedDataPlane
 from repro.errors import ConfigurationError
@@ -97,16 +98,56 @@ class RuleDelta:
         return self.target_rule_ids[0]
 
 
-class LocalBackend:
+class _OffloadMixin:
+    """Shared offload plumbing for backends carrying an :class:`OffloadEngine`.
+
+    The engine's tier classifies every burst first; the backend's own
+    enclave path only sees the survivors plus the sampled redirects.  Rule
+    deltas reach the tier in the same ``apply_delta`` call that reaches the
+    enclave path (generation bump per delta), and the chaos driver's
+    ``OFFLOAD_LIE`` lands through :meth:`inject_offload_lie`.
+    """
+
+    offload: Optional[OffloadEngine] = None
+
+    def _offload_delta(self, delta: RuleDelta) -> None:
+        if self.offload is not None:
+            self.offload.apply_delta(delta)
+
+    def inject_offload_lie(self, lie: OffloadLie) -> None:
+        if self.offload is None:
+            raise ConfigurationError("backend has no offload tier to corrupt")
+        self.offload.inject_lie(lie)
+
+    def clear_offload_lie(self) -> None:
+        if self.offload is not None:
+            self.offload.clear_lie()
+
+    def offload_close_round(self, round_id: int):
+        """Close one offload audit round (see OffloadAuditor.close_round)."""
+        if self.offload is None:
+            raise ConfigurationError("backend has no offload tier to audit")
+        return self.offload.close_round(round_id)
+
+
+class LocalBackend(_OffloadMixin):
     """One in-process :class:`StatelessFilter` behind the backend protocol."""
 
-    def __init__(self, filter_: StatelessFilter) -> None:
+    def __init__(
+        self,
+        filter_: StatelessFilter,
+        offload: Optional[OffloadEngine] = None,
+    ) -> None:
         self.filter = filter_
         # remove_rule needs the FilterRule object; keep the live set by id
         # (installed_rules spans both tiers — membership entries included).
         self._rules: Dict[int, FilterRule] = {
             rule.rule_id: rule for rule in filter_.installed_rules()
         }
+        self.offload = offload
+        if offload is not None:
+            offload.bind(self._enclave_burst)
+            offload.tier.install_rules(list(self._rules.values()))
 
     @property
     def ruleset_version(self) -> int:
@@ -116,9 +157,16 @@ class LocalBackend:
         for rule in rules:
             self.filter.install_rule(rule)
             self._rules[rule.rule_id] = rule
+        if self.offload is not None:
+            self.offload.tier.install_rules(list(rules))
+
+    def _enclave_burst(self, packets: Sequence[Packet]) -> List[object]:
+        return [self.filter(packet) for packet in packets]
 
     def process_burst(self, packets: Sequence[Packet]) -> List[object]:
-        return [self.filter(packet) for packet in packets]
+        if self.offload is not None:
+            return self.offload.process_burst(packets)
+        return self._enclave_burst(packets)
 
     def apply_delta(self, delta: RuleDelta) -> None:
         if delta.action == "install":
@@ -133,6 +181,7 @@ class LocalBackend:
                         f"cannot remove unknown rule {rule_id}"
                     )
                 self.filter.remove_rule(rule)
+        self._offload_delta(delta)
 
     def fail_closed(self) -> None:
         # A local filter has no load balancer to blackhole at; the service
@@ -143,7 +192,7 @@ class LocalBackend:
         pass
 
 
-class FleetBackend:
+class FleetBackend(_OffloadMixin):
     """A deployed fleet behind the backend protocol.
 
     Hot deltas go through :meth:`FleetManager.install_rule` /
@@ -154,15 +203,24 @@ class FleetBackend:
     deaths, not just service-stage hangs.
     """
 
-    def __init__(self, fleet: FleetManager) -> None:
+    def __init__(
+        self,
+        fleet: FleetManager,
+        offload: Optional[OffloadEngine] = None,
+    ) -> None:
         self.fleet = fleet
         self._burst = FleetBurstFilter(fleet)
+        self.offload = offload
+        if offload is not None:
+            offload.bind(self._burst)
 
     @property
     def ruleset_version(self) -> int:
         return len(self.fleet.active_rule_ids)
 
     def process_burst(self, packets: Sequence[Packet]) -> List[object]:
+        if self.offload is not None:
+            return self.offload.process_burst(packets)
         return self._burst.process_burst(packets)
 
     def apply_delta(self, delta: RuleDelta) -> None:
@@ -174,6 +232,7 @@ class FleetBackend:
         else:
             for rule_id in delta.target_rule_ids:
                 self.fleet.remove_rule(rule_id)
+        self._offload_delta(delta)
 
     def heal(self) -> List[int]:
         """One probe round; recover any dead slots.  Returns them."""
@@ -237,6 +296,10 @@ class ShardBackend:
         worker = self.plane._workers[worker_id % self.plane.num_workers]
         worker.terminate()
         worker.join(timeout=5.0)
+
+    def inject_offload_lie(self, lie: OffloadLie) -> None:
+        """Chaos hook: corrupt every worker's fast-drop tier (acked)."""
+        self.plane.inject_offload_lie(lie)
 
     def fail_closed(self) -> None:
         # Tearing the plane down guarantees no further verdicts; the

@@ -118,6 +118,23 @@ class ServeChaosDriver:
             await asyncio.sleep(deadline * (event.magnitude + 1))
         elif event.kind is FaultKind.RULE_CHURN:
             await self._churn(event.magnitude)
+        elif event.kind is FaultKind.OFFLOAD_LIE:
+            from repro.dataplane.offload import LIE_MODES, OffloadLie
+
+            backend = self.service.backend
+            if not hasattr(backend, "inject_offload_lie"):
+                raise ConfigurationError(
+                    "OFFLOAD_LIE needs a backend with an offload tier "
+                    "(inject_offload_lie)"
+                )
+            mode = LIE_MODES[event.target % len(LIE_MODES)]
+            backend.inject_offload_lie(
+                OffloadLie(
+                    mode=mode,
+                    fraction=max(1, event.magnitude) / 100.0,
+                    seed=f"{self.schedule.seed}/offload-lie/{event.round_index}",
+                )
+            )
         elif event.kind is FaultKind.IAS_OUTAGE:
             if self.ias is None:
                 raise ConfigurationError(

@@ -96,6 +96,10 @@ class ServeConfig:
     drain_timeout_s: float = 30.0
     #: Pause between ingest bursts (0 = as fast as backpressure allows).
     ingest_interval_s: float = 0.0
+    #: When the backend carries an offload tier, the audit stage closes one
+    #: offload audit round (sampled re-verdicts scored against the enclave,
+    #: ``offload_bypass`` alerting) every this many audited bursts.
+    offload_audit_every_bursts: int = 8
     #: Metrics label; auto-assigned when empty.
     label: str = ""
 
@@ -222,6 +226,8 @@ class ServeService:
         #: The audit stage's resume cell: (burst, verdicts).
         self._audit_pending: Optional[tuple] = None
         self._burst_index = 0
+        self._audited_bursts = 0
+        self._offload_rounds = 0
         self._source_exhausted = False
         self._started_at = 0.0
         #: Set once fail-closed shedding finished; drain() awaits it so a
@@ -417,6 +423,17 @@ class ServeService:
             )
         self._counters["audited"].inc(len(burst))
         self._audit_pending = None
+        self._audited_bursts += 1
+        every = self.config.offload_audit_every_bursts
+        if (
+            every > 0
+            and self._audited_bursts % every == 0
+            and getattr(self.backend, "offload", None) is not None
+        ):
+            # Synchronous (no awaits): a watchdog cancellation can never
+            # split a round between scoring and reset.
+            self._offload_rounds += 1
+            self.backend.offload_close_round(self._offload_rounds)
         return False
 
     async def _control_stage(self) -> None:
@@ -678,6 +695,11 @@ class ServeService:
             except (asyncio.CancelledError, Exception):
                 pass
         await self._cancel_stages()
+        if getattr(self.backend, "offload", None) is not None:
+            # Score whatever the last partial round accumulated; a lying
+            # tier must not escape by the run ending mid-round.
+            self._offload_rounds += 1
+            self.backend.offload_close_round(self._offload_rounds)
         self._set_state(ServeState.DRAINED)
         self.check_conservation()
         if hasattr(self.backend, "finish"):

@@ -1,0 +1,208 @@
+"""The verifiable sampler, the 1/rate estimator, and the detection bound.
+
+The offload tier's trust story rests on three pieces of math this module
+pins: the sample predicate is a pure seeded function of the flow key (any
+party can recompute it), the sampled disagreement count scales to a true
+misdrop estimate with honest confidence bounds, and a lying tier is caught
+within a predictable number of rounds.  Plus the zero-cost end of the
+trade-off: at ``rate == 1.0`` the tiered path is *byte-identical* to the
+full enclave path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.enclave_filter import EnclaveFilter
+from repro.dataplane.offload import (
+    FastDropTier,
+    OffloadAuditor,
+    OffloadEngine,
+    SamplingEstimate,
+    VerifiableSampler,
+    rounds_to_detection,
+)
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.errors import ConfigurationError
+from repro.lookup.membership import MembershipRule
+
+RATES = (1.0, 0.1, 0.01)
+
+
+def _packet(src_int: int, dst_ip: str = "198.18.0.9") -> Packet:
+    return Packet(
+        five_tuple=FiveTuple(
+            src_ip=f"{src_int >> 24 & 255}.{src_int >> 16 & 255}."
+                   f"{src_int >> 8 & 255}.{src_int & 255}",
+            dst_ip=dst_ip,
+            src_port=1234,
+            dst_port=80,
+            protocol=Protocol.UDP,
+        ),
+        size=64,
+    )
+
+
+# -- VerifiableSampler --------------------------------------------------------
+
+
+def test_sampler_is_deterministic_across_instances():
+    keys = [f"flow-{i}".encode() for i in range(500)]
+    a = VerifiableSampler(0.3, seed="seed-A")
+    b = VerifiableSampler(0.3, seed="seed-A")
+    assert [a.samples(k) for k in keys] == [b.samples(k) for k in keys]
+
+
+def test_sampler_seed_changes_the_sample_set():
+    keys = [f"flow-{i}".encode() for i in range(500)]
+    a = VerifiableSampler(0.3, seed="seed-A")
+    b = VerifiableSampler(0.3, seed="seed-B")
+    assert [a.samples(k) for k in keys] != [b.samples(k) for k in keys]
+
+
+def test_sampler_rate_extremes():
+    keys = [f"flow-{i}".encode() for i in range(200)]
+    never = VerifiableSampler(0.0, seed="x")
+    always = VerifiableSampler(1.0, seed="x")
+    assert not any(never.samples(k) for k in keys)
+    assert all(always.samples(k) for k in keys)
+
+
+def test_sampler_empirical_fraction_tracks_rate():
+    sampler = VerifiableSampler(0.1, seed="fraction")
+    n = 20_000
+    hit = sum(sampler.samples(i.to_bytes(4, "big")) for i in range(n))
+    assert abs(hit / n - 0.1) < 0.01
+
+
+def test_sampler_src_encoding_is_canonical():
+    sampler = VerifiableSampler(0.5, seed="enc")
+    for src in (0, 1, 0x0A010203, 2**32 - 1):
+        assert sampler.samples_src(src) == sampler.samples(src.to_bytes(4, "big"))
+    v6 = 2**32 + 7
+    assert sampler.samples_src(v6) == sampler.samples(v6.to_bytes(16, "big"))
+
+
+def test_sampler_rejects_out_of_range_rates():
+    with pytest.raises(ConfigurationError):
+        VerifiableSampler(-0.1, seed="x")
+    with pytest.raises(ConfigurationError):
+        VerifiableSampler(1.5, seed="x")
+
+
+# -- SamplingEstimate ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_estimate_scales_by_inverse_rate(rate):
+    est = SamplingEstimate(observed=17, rate=rate)
+    assert est.estimate == pytest.approx(17 / rate)
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_confidence_interval_brackets_the_estimate(rate):
+    est = SamplingEstimate(observed=25, rate=rate)
+    assert est.ci_low <= est.estimate <= est.ci_high
+    # Normal lower bound, exact Poisson-quadratic upper bound.
+    z = est.z
+    assert est.ci_low == pytest.approx(max(0.0, 25 - z * math.sqrt(25)) / rate)
+    assert est.ci_high == pytest.approx(
+        (25 + z * z / 2 + z * math.sqrt(25 + z * z / 4)) / rate
+    )
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_zero_observed_still_has_a_nonzero_upper_bound(rate):
+    """'We audited and saw nothing' is worth ~z²/rate, not zero — the
+    rule-of-three shape the runbook quotes."""
+    est = SamplingEstimate(observed=0, rate=rate)
+    assert est.estimate == 0.0
+    assert est.ci_low == 0.0
+    assert est.ci_high == pytest.approx(est.z * est.z / rate)
+
+
+def test_estimate_validation():
+    with pytest.raises(ValueError):
+        SamplingEstimate(observed=-1, rate=0.1)
+    with pytest.raises(ValueError):
+        SamplingEstimate(observed=1, rate=0.0)
+    with pytest.raises(ValueError):
+        SamplingEstimate(observed=1, rate=1.1)
+
+
+def test_estimate_payload_round_trips_the_fields():
+    payload = SamplingEstimate(observed=4, rate=0.1).to_payload()
+    assert payload["observed"] == 4
+    assert payload["rate"] == 0.1
+    assert payload["estimate"] == pytest.approx(40.0)
+
+
+# -- rounds_to_detection ------------------------------------------------------
+
+
+def test_full_sampling_detects_in_one_round():
+    assert rounds_to_detection(1, 1.0) == 1
+    assert rounds_to_detection(10_000, 1.0) == 1
+
+
+def test_detection_bound_matches_closed_form():
+    # One misdropped flow per round at rate 0.1: r rounds evade with
+    # probability 0.9^r; 0.9^44 < 0.01 <= 0.9^43.
+    assert rounds_to_detection(1, 0.1) == 44
+    # Volumetric lying is caught almost immediately even at 1% sampling.
+    assert rounds_to_detection(100, 0.1) == 1
+    assert rounds_to_detection(100, 0.01) == 5
+
+
+def test_detection_bound_is_monotone():
+    assert rounds_to_detection(1, 0.01) >= rounds_to_detection(10, 0.01)
+    assert rounds_to_detection(10, 0.01) >= rounds_to_detection(10, 0.1)
+
+
+def test_detection_bound_validation():
+    with pytest.raises(ValueError):
+        rounds_to_detection(0, 0.1)
+    with pytest.raises(ValueError):
+        rounds_to_detection(1, 0.0)
+    with pytest.raises(ValueError):
+        rounds_to_detection(1, 0.1, confidence=1.0)
+
+
+# -- rate 1.0 == the full enclave path ---------------------------------------
+
+
+def test_rate_one_verdicts_are_byte_identical_to_enclave_only():
+    """The free-verifiability point: with every drop decision re-verdicted,
+    the tiered path returns exactly the enclave's verdict objects."""
+    blocklist = [(1000 + i, 0x0A000000 + i) for i in range(64)]
+    trace = [_packet(0x0A000000 + (i % 96)) for i in range(400)]
+
+    baseline = EnclaveFilter(secret="s", sketch_seed="s", decision_secret="d")
+    baseline.load_blocklist(blocklist)
+    expected = []
+    for start in range(0, len(trace), 64):
+        expected.extend(baseline.process_burst(trace[start : start + 64]))
+
+    sampler = VerifiableSampler(1.0, seed="identity")
+    tier = FastDropTier(sampler)
+    tier.install_rules(
+        [MembershipRule(rule_id=rid, src_int=src) for rid, src in blocklist]
+    )
+    auditor = OffloadAuditor(sampler)
+    engine = OffloadEngine(tier, auditor)
+    inner = EnclaveFilter(secret="s", sketch_seed="s", decision_secret="d")
+    inner.load_blocklist(blocklist)
+    engine.bind(inner)
+    got = []
+    for start in range(0, len(trace), 64):
+        got.extend(engine.process_burst(trace[start : start + 64]))
+
+    assert got == expected
+    report, _ = engine.close_round(1)
+    # Every drop decision was diverted: nothing short-circuited the enclave.
+    assert report.drops == 0
+    assert report.sampled > 0
+    assert report.disagreed == 0
+    assert not report.shortfall

@@ -1,0 +1,298 @@
+"""End-to-end behavior of the untrusted offload tier.
+
+Four properties of the tentpole, pinned against live components (no mocked
+auditing):
+
+* **Conservation** — the pipeline's offload stage never loses a packet:
+  ``offload_ingress == offload_drops + offload_sampled + offload_passed``
+  and the whole-pipeline law extends across the new stage.
+* **Desync regression** — a tier that missed a remove delta keeps dropping
+  a now-legitimate source; the sampled re-verdicts disagree and the
+  ``offload_bypass`` alert fires within the :func:`rounds_to_detection`
+  bound.
+* **Chaos** — both ``OFFLOAD_LIE`` modes are caught: ``drop-legit`` by
+  re-verdict disagreement, ``hide-drops`` by the sampling-shortfall bound;
+  and ten seeded no-fault runs fire zero false alerts.
+* **Sharding** — per-worker tiers keep the sharded plane's verdicts
+  bit-identical to the single-process reference, and a lying worker's
+  disagreements surface in the merged metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+from repro import obs
+from repro.dataplane.offload import (
+    LIE_DROP_LEGIT,
+    LIE_HIDE_DROPS,
+    FastDropTier,
+    OffloadAuditor,
+    OffloadEngine,
+    OffloadLie,
+    VerifiableSampler,
+    rounds_to_detection,
+)
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.dataplane.pipeline import FilterPipeline
+from repro.dataplane.shard import ShardedDataPlane, run_single_process_reference
+from repro.errors import ConfigurationError
+from repro.lookup.membership import MembershipRule
+
+BLOCK_BASE = 0x64400000   # 100.64.0.0
+CLEAN_BASE = 0xC6336400   # 198.51.100.0
+
+
+def _packet(src_int: int) -> Packet:
+    return Packet(
+        five_tuple=FiveTuple(
+            src_ip=f"{src_int >> 24 & 255}.{src_int >> 16 & 255}."
+                   f"{src_int >> 8 & 255}.{src_int & 255}",
+            dst_ip="198.18.0.9",
+            src_port=4000,
+            dst_port=80,
+            protocol=Protocol.UDP,
+        ),
+        size=64,
+    )
+
+
+def _tier(rate: float, seed: str, srcs: Sequence[int]) -> FastDropTier:
+    sampler = VerifiableSampler(rate, seed=seed)
+    tier = FastDropTier(sampler)
+    tier.install_rules(
+        [MembershipRule(rule_id=1000 + i, src_int=src) for i, src in enumerate(srcs)]
+    )
+    return tier
+
+
+def _mixed_trace(blocked: Sequence[int], clean: Sequence[int], rounds: int = 3):
+    trace: List[Packet] = []
+    for _ in range(rounds):
+        for src in blocked:
+            trace.append(_packet(src))
+        for src in clean:
+            trace.append(_packet(src))
+    return trace
+
+
+# -- pipeline conservation ----------------------------------------------------
+
+
+def test_pipeline_conservation_extends_over_the_offload_stage():
+    blocked = [BLOCK_BASE + i for i in range(120)]
+    clean = [CLEAN_BASE + i for i in range(40)]
+    blocked_set = set(blocked)
+
+    tier = _tier(0.1, "pipeline-conservation", blocked)
+    auditor = OffloadAuditor(tier.sampler)
+    pipeline = FilterPipeline(
+        lambda p: p.five_tuple.src_ip_int not in blocked_set,
+        offload=tier,
+        offload_auditor=auditor,
+    )
+    trace = _mixed_trace(blocked, clean, rounds=4)
+    out = pipeline.process(trace)
+
+    s = pipeline.stats
+    assert s.offload_ingress == len(trace)
+    assert s.offload_ingress == s.offload_drops + s.offload_sampled + s.offload_passed
+    assert s.offload_drops > 0
+    assert s.offload_sampled > 0          # rate 0.1 over 120 sources
+    # Clean traffic always comes out the other end; sampled redirects are
+    # re-dropped by the filter, so the tier changed no verdict.
+    assert len(out) == len(clean) * 4
+    assert s.received == len(trace)
+    pipeline.check_conservation()
+
+    report, _ = auditor.close_round(1)
+    assert report.disagreed == 0
+    assert not report.shortfall
+
+
+def test_offload_stage_books_balance_under_full_sampling():
+    blocked = [BLOCK_BASE + i for i in range(50)]
+    tier = _tier(1.0, "pipeline-full", blocked)
+    auditor = OffloadAuditor(tier.sampler)
+    pipeline = FilterPipeline(
+        lambda p: False, offload=tier, offload_auditor=auditor
+    )
+    trace = [_packet(src) for src in blocked]
+    pipeline.process(trace)
+    s = pipeline.stats
+    assert s.offload_drops == 0           # everything diverted
+    assert s.offload_sampled == len(trace)
+    pipeline.check_conservation()
+
+
+# -- desync regression --------------------------------------------------------
+
+
+def test_desynced_tier_is_detected_within_the_bound():
+    """The tier missed a remove delta: 30 sources it still drops are now
+    legitimate.  Sampled re-verdicts disagree; the typed ``offload_bypass``
+    alert must land within rounds_to_detection(30, rate) audit rounds."""
+    rate = 0.1
+    stale = [BLOCK_BASE + i for i in range(30)]        # tier-only (desync)
+    still_blocked = [BLOCK_BASE + 1000 + i for i in range(50)]
+    enclave_blocked = set(still_blocked)               # enclave removed `stale`
+
+    sampler = VerifiableSampler(rate, seed="desync")
+    tier = FastDropTier(sampler)
+    tier.install_rules(
+        [
+            MembershipRule(rule_id=i, src_int=src)
+            for i, src in enumerate(stale + still_blocked)
+        ]
+    )
+    timeline = obs.AuditTimeline(session_id="desync-test")
+    engine = OffloadEngine(tier, OffloadAuditor(sampler, timeline=timeline))
+    engine.bind(
+        lambda burst: [
+            p.five_tuple.src_ip_int not in enclave_blocked for p in burst
+        ]
+    )
+
+    bound = rounds_to_detection(len(stale), rate)
+    caught_at = None
+    for round_id in range(1, bound + 1):
+        engine.process_burst([_packet(src) for src in stale + still_blocked])
+        report, alerts = engine.close_round(round_id)
+        if any(a.kind == obs.ALERT_OFFLOAD_BYPASS for a in alerts):
+            assert report.disagreed > 0
+            caught_at = round_id
+            break
+    assert caught_at is not None, (
+        f"desynced tier evaded {bound} audit rounds at rate {rate}"
+    )
+    assert caught_at <= bound
+    # The estimate brackets the true stale-source count somewhere sane.
+    est = engine.auditor.reports[caught_at - 1].misdrop_estimate
+    assert est.ci_high >= est.estimate > 0
+
+
+# -- chaos: both lie modes ----------------------------------------------------
+
+
+def _lying_engine(rate: float, seed: str, blocked, timeline):
+    sampler = VerifiableSampler(rate, seed=seed)
+    tier = FastDropTier(sampler)
+    tier.install_rules(
+        [MembershipRule(rule_id=i, src_int=s) for i, s in enumerate(blocked)]
+    )
+    engine = OffloadEngine(tier, OffloadAuditor(sampler, timeline=timeline))
+    blocked_set = set(blocked)
+    engine.bind(
+        lambda burst: [p.five_tuple.src_ip_int not in blocked_set for p in burst]
+    )
+    return engine
+
+
+def test_drop_legit_lie_is_caught_by_reverdict_disagreement():
+    blocked = [BLOCK_BASE + i for i in range(40)]
+    clean = [CLEAN_BASE + i for i in range(200)]
+    timeline = obs.AuditTimeline(session_id="lie-drop-legit")
+    engine = _lying_engine(0.1, "lie-drop-legit", blocked, timeline)
+    engine.inject_lie(OffloadLie(mode=LIE_DROP_LEGIT, fraction=0.5, seed="lie-1"))
+
+    bound = rounds_to_detection(int(len(clean) * 0.5), 0.1)
+    caught = False
+    for round_id in range(1, bound + 1):
+        engine.process_burst([_packet(s) for s in blocked + clean])
+        _, alerts = engine.close_round(round_id)
+        if any(a.kind == obs.ALERT_OFFLOAD_BYPASS for a in alerts):
+            caught = True
+            break
+    assert caught, f"censoring tier evaded {bound} rounds"
+
+
+def test_hide_drops_lie_is_caught_by_the_shortfall_bound():
+    blocked = [BLOCK_BASE + i for i in range(200)]
+    timeline = obs.AuditTimeline(session_id="lie-hide-drops")
+    engine = _lying_engine(0.1, "lie-hide-drops", blocked, timeline)
+    engine.inject_lie(OffloadLie(mode=LIE_HIDE_DROPS, fraction=1.0, seed="lie-2"))
+
+    engine.process_burst([_packet(s) for s in blocked])
+    report, alerts = engine.close_round(1)
+    assert report.sampled == 0
+    assert report.shortfall, "200 drop flows at rate 0.1 must trip the bound"
+    assert any(a.kind == obs.ALERT_OFFLOAD_BYPASS for a in alerts)
+
+
+@pytest.mark.parametrize("seed_index", range(10))
+def test_honest_tier_never_false_alerts(seed_index):
+    """Ten seeded no-fault runs: zero ``offload_bypass`` alerts."""
+    blocked = [BLOCK_BASE + 17 * seed_index + i for i in range(150)]
+    clean = [CLEAN_BASE + i for i in range(30)]
+    timeline = obs.AuditTimeline(session_id=f"no-fault-{seed_index}")
+    engine = _lying_engine(0.1, f"no-fault-{seed_index}", blocked, timeline)
+
+    for round_id in range(1, 6):
+        engine.process_burst([_packet(s) for s in blocked + clean])
+        report, alerts = engine.close_round(round_id)
+        assert report.disagreed == 0
+        assert not report.shortfall
+        assert alerts == []
+    assert timeline.alerts == []
+
+
+# -- sharded data plane -------------------------------------------------------
+
+
+def test_shard_offload_verdicts_match_single_process_reference():
+    blocklist = [(2000 + i, BLOCK_BASE + i) for i in range(300)]
+    trace = _mixed_trace(
+        [BLOCK_BASE + i for i in range(300)],
+        [CLEAN_BASE + i for i in range(60)],
+        rounds=2,
+    )
+    with ShardedDataPlane(
+        [],
+        num_workers=2,
+        decision_secret="shard-offload",
+        batch_size=64,
+        blocklist=blocklist,
+        offload_sample_rate=0.1,
+        offload_seed="shard-offload-seed",
+    ) as plane:
+        assert plane.offload_enabled
+        got = plane.process(trace)
+    reference = run_single_process_reference(
+        [], trace, decision_secret="shard-offload", blocklist=blocklist
+    )
+    assert [bool(v) for v in got] == [bool(v) for v in reference.verdicts]
+
+
+def test_shard_offload_lie_surfaces_in_merged_metrics():
+    blocklist = [(2000 + i, BLOCK_BASE + i) for i in range(50)]
+    clean = [CLEAN_BASE + i for i in range(200)]
+    trace = _mixed_trace([BLOCK_BASE + i for i in range(50)], clean, rounds=2)
+    with ShardedDataPlane(
+        [],
+        num_workers=2,
+        decision_secret="shard-lie",
+        batch_size=64,
+        blocklist=blocklist,
+        offload_sample_rate=0.1,
+        offload_seed="shard-lie-seed",
+        offload_round_batches=1,
+    ) as plane:
+        plane.inject_offload_lie(
+            OffloadLie(mode=LIE_DROP_LEGIT, fraction=0.5, seed="shard-lie")
+        )
+        plane.process(trace)
+    totals = obs.get_registry().snapshot()["totals"]
+    assert totals.get("vif_offload_disagreements_total", 0) > 0
+
+
+def test_shard_rejects_offload_lie_when_disabled():
+    with ShardedDataPlane(
+        [], num_workers=1, decision_secret="no-offload"
+    ) as plane:
+        assert not plane.offload_enabled
+        with pytest.raises(ConfigurationError):
+            plane.inject_offload_lie(
+                OffloadLie(mode=LIE_HIDE_DROPS, seed="nope")
+            )
