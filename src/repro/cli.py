@@ -14,6 +14,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -154,6 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rotate the journal past this size (default 64KiB)")
     serve.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write a registry snapshot (JSON) after drain")
+    serve.add_argument("--telemetry-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve /metrics /varz /healthz /readyz over HTTP "
+                            "on this port while running (0 = ephemeral; the "
+                            "resolved port is printed); with --smoke the "
+                            "endpoints are also self-scraped and gated")
+    serve.add_argument("--scrape-out", metavar="DIR", default=None,
+                       help="with --telemetry-port: scrape every endpoint "
+                            "just before drain and write the responses "
+                            "into DIR (metrics.prom, varz.json, ...)")
+    serve.add_argument("--slo-latency-threshold", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="stage iterations slower than this mark the "
+                            "burst bad for the stage-latency SLO "
+                            "(default 30; only injected spikes cross it)")
     return parser
 
 
@@ -666,8 +682,10 @@ def run_serve(args: argparse.Namespace) -> int:
         source = PktgenSource.from_ruleset(
             rules, seed=args.seed, total_bursts=bursts if bursts > 0 else None
         )
+        # One shared timeline: offload-bypass alerts and SLO-violation
+        # alerts land in the same alert stream (and the same journal).
+        timeline = obs.AuditTimeline(session_id=f"serve/{args.seed}")
         offload = None
-        offload_timeline = None
         if args.offload_sample_rate > 0.0:
             from repro.dataplane.offload import (
                 FastDropTier,
@@ -679,13 +697,15 @@ def run_serve(args: argparse.Namespace) -> int:
             sampler = VerifiableSampler(
                 args.offload_sample_rate, seed=f"{args.seed}/offload"
             )
-            offload_timeline = obs.AuditTimeline(
-                session_id=f"serve/{args.seed}"
-            )
             offload = OffloadEngine(
                 FastDropTier(sampler, label="serve"),
-                OffloadAuditor(sampler, timeline=offload_timeline),
+                OffloadAuditor(sampler, timeline=timeline),
             )
+        slo = obs.SLOEngine(
+            obs.default_serve_objectives(),
+            timeline=timeline,
+            session_id=f"serve/{args.seed}",
+        )
         backend = FleetBackend(fleet, offload=offload)
         chaos = None
         if args.smoke:
@@ -700,6 +720,17 @@ def run_serve(args: argparse.Namespace) -> int:
                     round_index=max(bursts // 2, 2),
                     kind=FaultKind.RULE_CHURN,
                     magnitude=4,
+                ),
+                # A synthetic 60s stage-latency spike, placed after the
+                # hang has recovered so the spiked burst is never one the
+                # hang's backpressure shed (shed bursts close early and
+                # would orphan the spike's SLO sample).  The exit gate
+                # below demands exactly one debounced slo_violation.
+                FaultEvent(
+                    round_index=max(2 * bursts // 3, 2),
+                    kind=FaultKind.LATENCY_SPIKE,
+                    target=1,  # the filter stage
+                    magnitude=60,
                 ),
             ]
             if offload is not None:
@@ -725,21 +756,100 @@ def run_serve(args: argparse.Namespace) -> int:
             # chaos prefix range too.
             rpki.authorize("victim.example", "203.0.0.0/16")
 
+        async def _scrape_endpoints(telemetry) -> None:
+            os.makedirs(args.scrape_out, exist_ok=True)
+            for path, fname in (
+                ("/metrics", "metrics.prom"),
+                ("/varz", "varz.json"),
+                ("/healthz", "healthz.json"),
+                ("/readyz", "readyz.json"),
+            ):
+                _, _, body = await obs.http_get(
+                    telemetry.host, telemetry.port, path
+                )
+                with open(os.path.join(args.scrape_out, fname), "wb") as fh:
+                    fh.write(body)
+            print(f"wrote telemetry scrape to {args.scrape_out}",
+                  file=sys.stderr)
+
         async def _run() -> int:
             config = ServeConfig(
                 heartbeat_deadline_s=0.5,
                 watchdog_interval_s=0.02,
                 shed_timeout_s=0.25,
+                slo_latency_threshold_s=args.slo_latency_threshold,
+                telemetry_port=args.telemetry_port,
             )
-            service = ServeService(source, backend, config=config, chaos=chaos)
+            service = ServeService(
+                source, backend, config=config, chaos=chaos, slo=slo
+            )
             if chaos is not None:
                 chaos.bind(service)
             await service.start()
+            telemetry = service.telemetry
+            ready_seen = {200: False, 503: False}
+            poller = None
+            if telemetry is not None:
+                print(
+                    f"telemetry: http://{telemetry.host}:{telemetry.port}/",
+                    file=sys.stderr,
+                )
+
+                async def _poll_ready() -> None:
+                    # Record every readiness verdict while serving; the
+                    # smoke gate demands the hang was visible as a 503.
+                    while True:
+                        try:
+                            status, _, _ = await obs.http_get(
+                                telemetry.host, telemetry.port, "/readyz"
+                            )
+                        except OSError:
+                            return
+                        ready_seen[status] = True
+                        await asyncio.sleep(0.005)
+
+                poller = asyncio.create_task(_poll_ready())
             while (
                 not service._source_exhausted
                 and service.state is ServeState.SERVING
             ):
                 await asyncio.sleep(0.01)
+            healthz_ok = True
+            ready_recovered = True
+            if telemetry is not None and service.state is ServeState.SERVING:
+                status, _, _ = await obs.http_get(
+                    telemetry.host, telemetry.port, "/healthz"
+                )
+                healthz_ok = status == 200
+                # Stages idle-beat once the source is exhausted, so waiting
+                # out the post-restart degraded hold here makes the readyz
+                # recovery deterministic.  A caught offload lie correctly
+                # pins readyz at 503 (the tier is compromised); `degraded:
+                # false` in the body is the hang-recovery signal either way.
+                import json as _json
+
+                ready_recovered = False
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while asyncio.get_running_loop().time() < deadline:
+                    status, _, body = await obs.http_get(
+                        telemetry.host, telemetry.port, "/readyz"
+                    )
+                    if status == 200:
+                        ready_seen[200] = True
+                        ready_recovered = True
+                        break
+                    if not _json.loads(body.decode()).get("degraded", True):
+                        ready_recovered = True
+                        break
+                    await asyncio.sleep(0.02)
+                if args.scrape_out:
+                    await _scrape_endpoints(telemetry)
+            if poller is not None:
+                poller.cancel()
+                try:
+                    await poller
+                except asyncio.CancelledError:
+                    pass
             report = await service.drain()
             print(f"serve seed={args.seed!r}: {args.fleet_size} enclaves, "
                   f"{args.rules} rules, {report.ingested} packets")
@@ -771,10 +881,10 @@ def run_serve(args: argparse.Namespace) -> int:
             if args.smoke and report.rule_updates < 8:
                 print("smoke churn storm did not apply", file=sys.stderr)
                 return 1
-            if offload_timeline is not None:
+            if offload is not None:
                 caught = [
                     alert
-                    for alert in offload_timeline.alerts
+                    for alert in timeline.alerts
                     if alert.kind == obs.ALERT_OFFLOAD_BYPASS
                 ]
                 if args.smoke and not caught:
@@ -783,6 +893,33 @@ def run_serve(args: argparse.Namespace) -> int:
                     return 1
                 for alert in caught:
                     print(f"  offload alert: {alert.describe()}")
+            spikes = [
+                event
+                for event in obs.get_journal().of_type("slo_violation")
+                if event.payload.get("objective") == "stage-latency"
+            ]
+            for event in spikes:
+                print(f"  slo violation: {event.payload['objective']} "
+                      f"burst={event.round_id} "
+                      f"burn_short={event.payload.get('burn_short')} "
+                      f"worst={event.payload.get('worst')}s")
+            if args.smoke and len(spikes) != 1:
+                print("expected exactly one debounced stage-latency "
+                      f"slo_violation, saw {len(spikes)}", file=sys.stderr)
+                return 1
+            if args.smoke and telemetry is not None:
+                if not healthz_ok:
+                    print("/healthz was not 200 while serving",
+                          file=sys.stderr)
+                    return 1
+                if not ready_seen[503]:
+                    print("/readyz never flipped to 503 during the injected "
+                          "stage hang", file=sys.stderr)
+                    return 1
+                if not ready_recovered:
+                    print("/readyz did not recover after the stage hang",
+                          file=sys.stderr)
+                    return 1
             return 0
 
         return asyncio.run(_run())

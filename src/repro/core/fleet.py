@@ -395,6 +395,25 @@ class FleetManager:
     def health(self) -> List[EnclaveHealth]:
         return list(self._health)
 
+    def health_summary(self) -> Dict[str, object]:
+        """JSON-safe fleet health rollup (telemetry ``/readyz``/``/varz``).
+
+        Counts the last-known per-slot states without probing — this is a
+        read, safe to call from a scrape handler at any time.
+        """
+        self._sync_health()
+        counts = {state.value: 0 for state in EnclaveHealth}
+        for state in self._health:
+            counts[state.value] += 1
+        return {
+            "slots": len(self._health),
+            "by_state": counts,
+            "all_healthy": counts[EnclaveHealth.HEALTHY.value]
+            == len(self._health),
+            "shed_rules": len(self._shed),
+            "spares_used": self._spares_used,
+        }
+
     @property
     def allocation(self) -> Optional[Allocation]:
         return self._allocation

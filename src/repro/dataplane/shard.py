@@ -107,6 +107,10 @@ class ShardConfig:
     #: Batches between offload audit-round closes (plus one final partial
     #: round at shutdown).
     offload_round_batches: int = 16
+    #: Record per-batch trace spans in the worker (private tracer, real
+    #: pid/tid) and ship the span buffer back with the summary so the
+    #: coordinator's merged Chrome trace renders one lane per worker.
+    trace: bool = False
 
 
 def _worker_main(
@@ -136,6 +140,10 @@ def _worker_main(
     """
     obs.set_registry(obs.MetricsRegistry())
     obs.set_instance_namespace(f"shard-w{worker_id}")
+    # A private tracer either way: under fork the child inherits the
+    # parent's tracer object and would otherwise record into a buffer
+    # nobody ships home.
+    obs.set_tracer(obs.Tracer(enabled=config.trace))
     program = EnclaveFilter(
         secret=f"{config.decision_secret}/shard-worker-{worker_id}",
         mode=config.mode,
@@ -217,30 +225,34 @@ def _worker_main(
             continue
         _, batch_id, flows = item
         started = time.process_time()
-        packets: List[Packet] = []
-        first_packet_index: List[int] = []
-        for (src_ip, dst_ip, src_port, dst_port, proto), sizes in flows:
-            five_tuple = FiveTuple(
-                src_ip=src_ip,
-                dst_ip=dst_ip,
-                src_port=src_port,
-                dst_port=dst_port,
-                protocol=Protocol(proto),
-            )
-            first_packet_index.append(len(packets))
-            for size in sizes:
-                packets.append(Packet(five_tuple=five_tuple, size=size))
-        if offload is not None:
-            verdicts = offload.process_burst(packets)
-            batches_seen += 1
-            if batches_seen % config.offload_round_batches == 0:
-                offload_round += 1
-                offload.close_round(offload_round)
-        else:
-            verdicts = _enclave_chunked(packets)
-        # One verdict per *flow* goes back on the wire (f(p) is stateless:
-        # every packet of the flow shares it); the coordinator re-expands.
-        flow_verdicts = [verdicts[i] for i in first_packet_index]
+        with obs.span(
+            "shard.batch", worker=worker_id, batch=batch_id, flows=len(flows)
+        ):
+            packets: List[Packet] = []
+            first_packet_index: List[int] = []
+            for (src_ip, dst_ip, src_port, dst_port, proto), sizes in flows:
+                five_tuple = FiveTuple(
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    protocol=Protocol(proto),
+                )
+                first_packet_index.append(len(packets))
+                for size in sizes:
+                    packets.append(Packet(five_tuple=five_tuple, size=size))
+            if offload is not None:
+                verdicts = offload.process_burst(packets)
+                batches_seen += 1
+                if batches_seen % config.offload_round_batches == 0:
+                    offload_round += 1
+                    offload.close_round(offload_round)
+            else:
+                verdicts = _enclave_chunked(packets)
+            # One verdict per *flow* goes back on the wire (f(p) is
+            # stateless: every packet of the flow shares it); the
+            # coordinator re-expands.
+            flow_verdicts = [verdicts[i] for i in first_packet_index]
         busy_seconds += time.process_time() - started
         result_queue.put(("verdicts", worker_id, batch_id, flow_verdicts))
     if offload is not None:
@@ -262,6 +274,9 @@ def _worker_main(
                 "packets_dropped": report.packets_dropped,
                 "busy_seconds": busy_seconds,
                 "metrics": obs.get_registry().export_state(),
+                "trace": (
+                    obs.get_tracer().export_state() if config.trace else None
+                ),
             },
         )
     )
@@ -351,6 +366,7 @@ class ShardedDataPlane:
         offload_sample_rate: float = 0.0,
         offload_seed: str = "vif-offload",
         offload_round_batches: int = 16,
+        trace_spans: Optional[bool] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -375,6 +391,10 @@ class ShardedDataPlane:
         self.batch_size = batch_size
         self.shard_salt = shard_salt
         self.merge_worker_metrics = merge_worker_metrics
+        #: None = follow the process-wide tracing toggle at construction.
+        self.trace_spans = (
+            obs.tracing_enabled() if trace_spans is None else bool(trace_spans)
+        )
         self.result_timeout = result_timeout
         self.restart_dead_workers = restart_dead_workers
         self.max_worker_restarts = max_worker_restarts
@@ -447,6 +467,7 @@ class ShardedDataPlane:
             offload_sample_rate=self._base_config.offload_sample_rate,
             offload_seed=self._base_config.offload_seed,
             offload_round_batches=self._base_config.offload_round_batches,
+            trace=self.trace_spans,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -888,6 +909,11 @@ class ShardedDataPlane:
             )
             if self.merge_worker_metrics:
                 registry.merge_state(summary["metrics"])
+            trace_state = summary.get("trace")
+            if trace_state:
+                # Worker spans carry their own pid/tid; after the merge the
+                # coordinator's Chrome trace shows one lane per worker.
+                obs.get_tracer().merge_state(trace_state)
         return ShardRunResult(
             num_workers=self.num_workers,
             packets=self._packets_dispatched,

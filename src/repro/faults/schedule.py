@@ -45,6 +45,11 @@ class FaultKind(enum.Enum):
     #: ``magnitude`` the affected-flow percentage.  The offload auditor
     #: must catch it within its confidence-bound round count.
     OFFLOAD_LIE = "offload-lie"
+    #: A synthetic latency spike on one stage (``target`` picks
+    #: ingest/filter/audit, ``magnitude`` the spike in seconds).  Recorded
+    #: through the serve loop's latency tracker so the stage-latency SLO's
+    #: burn-rate gate must catch it — the observability drill.
+    LATENCY_SPIKE = "latency-spike"
 
 
 @dataclass(frozen=True)
@@ -151,10 +156,12 @@ class FaultSchedule:
         rule_churn_prob: float = 0.02,
         ias_outage_prob: float = 0.0,
         offload_lie_prob: float = 0.0,
+        latency_spike_prob: float = 0.0,
         churn_size: int = 4,
         hang_deadlines: int = 2,
         ias_outage_length: int = 2,
         offload_lie_percent: int = 10,
+        latency_spike_seconds: int = 60,
     ) -> "FaultSchedule":
         """Draw a serve-mode chaos schedule over ``bursts`` ingest bursts.
 
@@ -208,6 +215,15 @@ class FaultSchedule:
                         kind=FaultKind.OFFLOAD_LIE,
                         target=rng.randrange(2),
                         magnitude=offload_lie_percent,
+                    )
+                )
+            if rng.random() < latency_spike_prob:
+                events.append(
+                    FaultEvent(
+                        round_index=b,
+                        kind=FaultKind.LATENCY_SPIKE,
+                        target=rng.randrange(3),
+                        magnitude=latency_spike_seconds,
                     )
                 )
         return cls(rounds=bursts, events=tuple(events), seed=seed)

@@ -71,12 +71,36 @@ from repro.obs.audit import (
     ALERT_FAMILY_MISMATCH,
     ALERT_INJECTION,
     ALERT_OFFLOAD_BYPASS,
+    ALERT_SLO,
     AuditAlert,
     AuditTimeline,
     DivergenceScore,
 )
+from repro.obs.quantile import (
+    DEFAULT_QUANTILE_BOUNDS,
+    MAX_RELATIVE_ERROR,
+    StreamingQuantile,
+    histogram_quantile,
+)
+from repro.obs.slo import (
+    SLO_CONSERVATION,
+    SLO_OFFLOAD_AUDIT,
+    SLO_SHED_RATIO,
+    SLO_STAGE_LATENCY,
+    SLOEngine,
+    SLOObjective,
+    SLOViolation,
+    default_serve_objectives,
+)
+from repro.obs.telemetry import (
+    StageLatencyTracker,
+    TelemetryServer,
+    VARZ_SCHEMA,
+    http_get,
+)
 from repro.obs.trace import (
     SpanRecord,
+    TRACE_STATE_SCHEMA,
     Tracer,
     get_tracer,
     set_tracer,
@@ -90,6 +114,7 @@ __all__ = [
     "ALERT_FAMILY_MISMATCH",
     "ALERT_INJECTION",
     "ALERT_OFFLOAD_BYPASS",
+    "ALERT_SLO",
     "AuditAlert",
     "AuditTimeline",
     "Counter",
@@ -103,14 +128,31 @@ __all__ = [
     "LazyCounter",
     "LazyGauge",
     "MetricsRegistry",
+    "SLOEngine",
+    "SLOObjective",
+    "SLOViolation",
+    "SLO_CONSERVATION",
+    "SLO_OFFLOAD_AUDIT",
+    "SLO_SHED_RATIO",
+    "SLO_STAGE_LATENCY",
+    "default_serve_objectives",
     "SpanRecord",
+    "StageLatencyTracker",
+    "StreamingQuantile",
+    "TelemetryServer",
     "Tracer",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUANTILE_BOUNDS",
     "EVENT_SCHEMA",
     "EVENT_TYPES",
+    "MAX_RELATIVE_ERROR",
     "RECOVERY_BUCKETS",
     "SNAPSHOT_SCHEMA",
     "STATE_SCHEMA",
+    "TRACE_STATE_SCHEMA",
+    "VARZ_SCHEMA",
+    "histogram_quantile",
+    "http_get",
     "flight_recording_enabled",
     "get_flight_recorder",
     "get_instance_namespace",

@@ -43,6 +43,10 @@ ALERT_FAMILY_MISMATCH = "family-version-mismatch"
 #: from the enclave's ground truth (or the sampled volume fell below the
 #: binomial bound the sampling rate demands).  See repro.dataplane.offload.
 ALERT_OFFLOAD_BYPASS = "offload_bypass"
+#: A declarative service objective's burn-rate gate tripped (p99 stage
+#: latency, shed ratio, audit alert rate, drop conservation).  Fired by
+#: :class:`repro.obs.slo.SLOEngine` through :meth:`AuditTimeline.raise_alert`.
+ALERT_SLO = "slo_violation"
 
 #: Histogram buckets for the normalized divergence ratio (L1 / ε·N): below
 #: 1.0 is within the sketch's own error budget, above is real divergence.
@@ -282,6 +286,19 @@ class AuditTimeline:
                     flight=get_flight_recorder().dump(max_round=round_id),
                 )
         return fired
+
+    def raise_alert(
+        self, kind: str, round_id: int, observer: str, detail: str
+    ) -> AuditAlert:
+        """Fire a typed alert directly (no debounce — callers like the SLO
+        engine run their own multi-window debounce before reaching here).
+
+        Routes through the same ``vif_audit_alerts_total`` /
+        ``vif_audit_last_alert_round`` metrics and ``alert`` journal event
+        as every other alert kind, so one timeline is the single audit
+        record whatever subsystem raised the flag.
+        """
+        return self._fire(kind, round_id, observer, detail)
 
     # -- internals ----------------------------------------------------------------
 

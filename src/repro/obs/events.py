@@ -49,6 +49,7 @@ EVENT_TYPES = frozenset(
         "rule_update",       # a hot rule delta was applied while serving
         "stage_restart",     # the serve watchdog restarted a stage/worker
         "serve_state",       # the serve runtime changed lifecycle state
+        "slo_violation",     # the SLO engine's burn-rate gate fired
     }
 )
 

@@ -92,12 +92,31 @@ def _format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
 
 def _format_value(value: Number) -> str:
     if isinstance(value, float):
+        # Non-finite values must not reach int(): int(nan) raises ValueError
+        # and int(-inf) raises OverflowError.  Prometheus text spells them
+        # +Inf / -Inf / NaN.
         if value == math.inf:
             return "+Inf"
+        if value == -math.inf:
+            return "-Inf"
+        if value != value:
+            return "NaN"
         if value == int(value) and abs(value) < 1e15:
             return str(int(value))
         return repr(value)
     return str(value)
+
+
+def _json_safe(value: Number) -> Number:
+    """Clamp non-finite floats for strict-JSON snapshots.
+
+    ``json.dumps`` emits bare ``Infinity``/``NaN`` tokens, which strict
+    parsers (and the telemetry endpoint's consumers) reject; snapshots spell
+    them as strings matching the Prometheus text forms instead.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return _format_value(value)  # type: ignore[return-value]
+    return value
 
 
 class Counter:
@@ -392,21 +411,21 @@ class MetricsRegistry:
                     histograms[series_name] = {
                         "buckets": list(hist.buckets),  # type: ignore[union-attr]
                         "counts": list(hist.bucket_counts),  # type: ignore[union-attr]
-                        "sum": hist.sum,  # type: ignore[union-attr]
+                        "sum": _json_safe(hist.sum),  # type: ignore[union-attr]
                         "count": hist.count,  # type: ignore[union-attr]
                     }
                     totals[name] = totals.get(name, 0) + hist.count  # type: ignore[union-attr]
                 else:
                     series[series_name] = {
                         "kind": family.kind,
-                        "value": child.value,  # type: ignore[union-attr]
+                        "value": _json_safe(child.value),  # type: ignore[union-attr]
                     }
                     totals[name] = totals.get(name, 0) + child.value  # type: ignore[union-attr]
         return {
             "schema": SNAPSHOT_SCHEMA,
             "series": series,
             "histograms": histograms,
-            "totals": totals,
+            "totals": {name: _json_safe(value) for name, value in totals.items()},
         }
 
     # -- cross-process merging ---------------------------------------------------

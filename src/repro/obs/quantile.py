@@ -1,0 +1,165 @@
+"""Streaming quantile estimation over fixed log-spaced buckets.
+
+The serve runtime needs live p50/p90/p99/p999 latency signals without
+keeping every observation: a :class:`StreamingQuantile` is a fixed array of
+log-spaced bucket counts with linear interpolation inside the bucket the
+requested rank falls in.  The layout is frozen at construction, so:
+
+* **observe() is O(log buckets)** (bisect) with zero allocation;
+* **merge is exact** — two estimators over disjoint streams merge by adding
+  bucket counts, and the merged quantiles are *identical* to one estimator
+  having seen the concatenated stream (the associativity property the
+  sharded data plane's per-worker merge relies on);
+* **the error is bounded by the bucket width**: the true empirical quantile
+  and the interpolated estimate always land in the same bucket, so for
+  values inside ``[bounds[0], bounds[-1]]`` the relative error is at most
+  ``ratio - 1`` where ``ratio`` is the geometric spacing — with the default
+  :data:`DEFAULT_QUANTILE_BOUNDS` (20 buckets per decade) that is
+  ``10**(1/20) - 1 ≈ 12.2%``.  Values below the first bound interpolate
+  down to 0; values above the last bound clamp to it.
+
+``tests/test_quantile.py`` pins the error bound against exact
+``statistics.quantiles`` on seeded uniform, log-normal and adversarial
+spike workloads, plus the merge associativity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_QUANTILE_BOUNDS",
+    "MAX_RELATIVE_ERROR",
+    "StreamingQuantile",
+    "histogram_quantile",
+    "quantile_from_counts",
+]
+
+#: Geometric bucket upper bounds: 1 µs .. 100 s, 20 buckets per decade.
+DEFAULT_QUANTILE_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** (-6.0 + i / 20.0) for i in range(8 * 20 + 1)
+)
+
+#: The documented worst-case relative error for in-range values under the
+#: default bounds: interpolation never leaves the true quantile's bucket,
+#: so the error is at most one bucket's relative width.
+MAX_RELATIVE_ERROR: float = 10.0 ** (1.0 / 20.0) - 1.0
+
+
+def quantile_from_counts(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+) -> float:
+    """Interpolated quantile ``q`` from per-bucket counts.
+
+    ``counts`` has ``len(bounds) + 1`` entries — the final slot is the
+    overflow (``> bounds[-1]``) bucket, which clamps to ``bounds[-1]``.
+    The first bucket interpolates down to 0.  Returns 0.0 on an empty
+    distribution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    # 1-based target rank; q=0 -> first observation, q=1 -> last.
+    target = q * (total - 1) + 1.0
+    running = 0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        if running + count >= target:
+            if i >= len(bounds):  # overflow bucket: clamp to the last bound
+                return float(bounds[-1])
+            lo = float(bounds[i - 1]) if i > 0 else 0.0
+            hi = float(bounds[i])
+            frac = (target - running) / count
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        running += count
+    return float(bounds[-1])
+
+
+class StreamingQuantile:
+    """Mergeable streaming quantile sketch over fixed log-spaced buckets."""
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_QUANTILE_BOUNDS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a sorted non-empty sequence")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording -------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    # -- querying --------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile (0.0 on an empty sketch)."""
+        return quantile_from_counts(self.bounds, self.counts, q)
+
+    def quantiles(
+        self, qs: Sequence[float] = (0.5, 0.9, 0.99, 0.999)
+    ) -> Dict[str, float]:
+        """The standard p50/p90/p99/p999 snapshot keyed ``p50``-style."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            key = "p" + format(q * 100, "g").replace(".", "")
+            out[key] = self.quantile(q)
+        return out
+
+    def bucket_bound(self, value: float) -> float:
+        """The upper bound of the bucket ``value`` lands in (clamped).
+
+        Deterministic quantization for journal payloads: whatever jitter
+        the raw measurement carries, every value inside one bucket reports
+        the same bound, so same-seed runs journal identical numbers.
+        """
+        i = bisect_left(self.bounds, value)
+        return float(self.bounds[min(i, len(self.bounds) - 1)])
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "StreamingQuantile") -> "StreamingQuantile":
+        """Fold ``other`` into this sketch (layouts must match)."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge quantile sketches with different bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+
+def histogram_quantile(hist, q: float) -> float:
+    """Interpolated quantile from an existing :class:`~repro.obs.Histogram`.
+
+    Uses the histogram's own (typically log-spaced) bucket layout — the
+    "fixed-log-bucket interpolation on the existing Histogram" path for
+    instruments that are already being populated for exposition.
+    """
+    return quantile_from_counts(hist.buckets, hist.bucket_counts, q)

@@ -1,0 +1,345 @@
+"""Declarative service-level objectives with multi-window burn-rate alerting.
+
+An :class:`SLOObjective` states what fraction of serve *bursts* must be good
+(``target``) for some boolean goodness predicate — p99 stage latency under a
+threshold, burst not shed, offload audit round not suspicious, drop
+conservation holding.  The :class:`SLOEngine` consumes one good/bad sample
+per burst per objective and evaluates the classic multi-window burn rate:
+
+    ``budget    = 1 - target``                 (allowed bad fraction)
+    ``burn_w    = bad_fraction(window_w) / budget``
+
+An objective is *violating* when **both** the short window (fast signal,
+catches spikes) and the long window (sustained signal, suppresses blips)
+burn at ``burn_factor`` or more.  A violation must hold for ``debounce``
+consecutive burst evaluations before the engine fires; it then disarms and
+re-arms only after a fully healthy evaluation — so one latency-spike episode
+produces **exactly one** ``slo_violation`` journal event, however many
+bursts the windows keep remembering it for.
+
+Determinism contract (the serve journal must be byte-identical across
+same-seed runs): samples are *booleans per burst*, so burn rates are ratios
+of small integers; the ``worst`` scalar callers attach to bad samples must
+already be quantized (the serve loop uses
+:meth:`repro.obs.quantile.StreamingQuantile.bucket_bound`) — never a raw
+wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.audit import ALERT_SLO, AuditTimeline
+from repro.obs.events import get_journal
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "SLOObjective",
+    "SLOViolation",
+    "SLOEngine",
+    "SLO_STAGE_LATENCY",
+    "SLO_SHED_RATIO",
+    "SLO_OFFLOAD_AUDIT",
+    "SLO_CONSERVATION",
+    "default_serve_objectives",
+]
+
+#: Objective names the serve loop feeds (see ``ServeService``); an engine
+#: may carry any subset — the loop only records into objectives that exist.
+SLO_STAGE_LATENCY = "stage-latency"
+SLO_SHED_RATIO = "shed-ratio"
+SLO_OFFLOAD_AUDIT = "offload-audit"
+SLO_CONSERVATION = "conservation"
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One declarative objective over per-burst good/bad samples."""
+
+    name: str
+    #: Required good fraction, e.g. 0.99 → a 1% bad-burst budget.
+    target: float
+    #: Fast window (bursts): catches spikes within a round or two.
+    short_window: int = 4
+    #: Slow window (bursts): demands the spike is not pure noise.
+    long_window: int = 16
+    #: Both windows must burn at >= this multiple of budget to violate.
+    burn_factor: float = 1.0
+    #: Consecutive violating evaluations required before firing.
+    debounce: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.short_window < 1 or self.long_window < self.short_window:
+            raise ValueError(
+                "windows must satisfy 1 <= short_window <= long_window, got "
+                f"{self.short_window}/{self.long_window}"
+            )
+        if self.burn_factor <= 0:
+            raise ValueError("burn_factor must be positive")
+        if self.debounce < 1:
+            raise ValueError("debounce must be >= 1")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class SLOViolation:
+    """One fired (debounced) violation."""
+
+    objective: str
+    burst: int
+    burn_short: float
+    burn_long: float
+    bad_short: int
+    len_short: int
+    bad_long: int
+    len_long: int
+    worst: float
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "objective": self.objective,
+            "burst": self.burst,
+            "burn_short": round(self.burn_short, 6),
+            "burn_long": round(self.burn_long, 6),
+            "bad_short": self.bad_short,
+            "len_short": self.len_short,
+            "bad_long": self.bad_long,
+            "len_long": self.len_long,
+            "worst": self.worst,
+        }
+
+
+class _ObjectiveState:
+    __slots__ = ("objective", "short", "long", "streak", "armed", "worst_pending")
+
+    def __init__(self, objective: SLOObjective) -> None:
+        self.objective = objective
+        self.short: Deque[int] = deque(maxlen=objective.short_window)
+        self.long: Deque[int] = deque(maxlen=objective.long_window)
+        self.streak = 0
+        self.armed = True
+        self.worst_pending = 0.0
+
+
+class SLOEngine:
+    """Evaluates objectives per closed burst; fires debounced violations.
+
+    The serve loop calls :meth:`observe` any number of times while a burst
+    is in flight (samples for one burst OR together; ``worst`` takes the
+    max) and :meth:`close_burst` exactly once when the audit stage finishes
+    that burst — which is why a latency spike injected at burst N fires its
+    violation in the same round N, regardless of pipeline lag.
+    """
+
+    def __init__(
+        self,
+        objectives: List[SLOObjective],
+        timeline: Optional[AuditTimeline] = None,
+        session_id: str = "",
+    ) -> None:
+        names = [o.name for o in objectives]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.timeline = timeline
+        self.session_id = session_id
+        self.violations: List[SLOViolation] = []
+        self._states: Dict[str, _ObjectiveState] = {
+            o.name: _ObjectiveState(o) for o in objectives
+        }
+        #: burst -> objective name -> bad flag (pending until close_burst).
+        self._pending: Dict[int, Dict[str, bool]] = {}
+        self._worst: Dict[int, Dict[str, float]] = {}
+
+    @property
+    def objectives(self) -> List[SLOObjective]:
+        return [state.objective for state in self._states.values()]
+
+    def has(self, name: str) -> bool:
+        return name in self._states
+
+    # -- recording --------------------------------------------------------------
+
+    def observe(
+        self, name: str, burst: int, bad: bool, worst: float = 0.0
+    ) -> None:
+        """Record one sample for ``burst`` (OR-ed with earlier samples).
+
+        ``worst`` is attached to the violation payload when the objective
+        fires — pass a *quantized* scalar (bucket bound), never a raw
+        measurement, or same-seed journals stop being byte-identical.
+        """
+        if name not in self._states:
+            raise ValueError(f"unknown objective {name!r}")
+        pending = self._pending.setdefault(burst, {})
+        pending[name] = pending.get(name, False) or bool(bad)
+        if bad and worst:
+            worsts = self._worst.setdefault(burst, {})
+            worsts[name] = max(worsts.get(name, 0.0), worst)
+
+    def close_burst(self, burst: int) -> List[SLOViolation]:
+        """Fold ``burst``'s samples into every objective's windows and
+        evaluate; returns any violations fired (already journaled)."""
+        pending = self._pending.pop(burst, {})
+        worsts = self._worst.pop(burst, {})
+        fired: List[SLOViolation] = []
+        registry = get_registry()
+        for name, state in self._states.items():
+            bad = pending.get(name, False)
+            state.short.append(1 if bad else 0)
+            state.long.append(1 if bad else 0)
+            obj = state.objective
+            bad_short, len_short = sum(state.short), len(state.short)
+            bad_long, len_long = sum(state.long), len(state.long)
+            burn_short = (bad_short / len_short) / obj.budget
+            burn_long = (bad_long / len_long) / obj.budget
+            registry.gauge(
+                "vif_slo_burn_rate",
+                help="Current error-budget burn rate, by objective and window",
+                objective=name,
+                window="short",
+            ).set(round(burn_short, 6))
+            registry.gauge(
+                "vif_slo_burn_rate",
+                help="Current error-budget burn rate, by objective and window",
+                objective=name,
+                window="long",
+            ).set(round(burn_long, 6))
+            registry.counter(
+                "vif_slo_bursts_total",
+                help="Bursts evaluated against SLOs, by objective and outcome",
+                objective=name,
+                outcome="bad" if bad else "good",
+            ).inc()
+
+            violating = (
+                burn_short >= obj.burn_factor and burn_long >= obj.burn_factor
+            )
+            if not violating:
+                state.streak = 0
+                state.armed = True
+                continue
+            state.streak += 1
+            if not state.armed or state.streak < obj.debounce:
+                continue
+            state.armed = False
+            state.streak = 0
+            violation = SLOViolation(
+                objective=name,
+                burst=burst,
+                burn_short=burn_short,
+                burn_long=burn_long,
+                bad_short=bad_short,
+                len_short=len_short,
+                bad_long=bad_long,
+                len_long=len_long,
+                worst=worsts.get(name, 0.0),
+            )
+            fired.append(violation)
+            self.violations.append(violation)
+            self._emit(violation, registry)
+        return fired
+
+    # -- introspection ----------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """JSON-safe live view for the ``/varz`` endpoint."""
+        out: Dict[str, object] = {}
+        for name, state in self._states.items():
+            obj = state.objective
+            len_short = max(len(state.short), 1)
+            len_long = max(len(state.long), 1)
+            out[name] = {
+                "target": obj.target,
+                "burn_short": round((sum(state.short) / len_short) / obj.budget, 6),
+                "burn_long": round((sum(state.long) / len_long) / obj.budget, 6),
+                "armed": state.armed,
+                "violations": sum(
+                    1 for v in self.violations if v.objective == name
+                ),
+            }
+        return out
+
+    # -- internals ---------------------------------------------------------------
+
+    def _emit(self, violation: SLOViolation, registry) -> None:
+        registry.counter(
+            "vif_slo_violations_total",
+            help="Debounced SLO violations fired, by objective",
+            objective=violation.objective,
+        ).inc()
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "slo_violation",
+                round_id=violation.burst,
+                session_id=self.session_id or None,
+                **violation.to_payload(),
+            )
+        if self.timeline is not None:
+            self.timeline.raise_alert(
+                ALERT_SLO,
+                round_id=violation.burst,
+                observer=f"slo:{violation.objective}",
+                detail=(
+                    f"burn_short={violation.burn_short:.3f}, "
+                    f"burn_long={violation.burn_long:.3f}, "
+                    f"worst={violation.worst}"
+                ),
+            )
+
+
+def default_serve_objectives(
+    short_window: int = 4,
+    long_window: int = 16,
+    burn_factor: float = 2.0,
+) -> List[SLOObjective]:
+    """The standard objective set for `repro serve` (see docs/OBSERVABILITY.md).
+
+    Targets are per-burst good fractions; the serve loop supplies the
+    goodness predicates (stage latency under the configured threshold,
+    burst not shed, offload audit round not suspicious, drop conservation
+    holding at burst close).
+    """
+    return [
+        SLOObjective(
+            name=SLO_STAGE_LATENCY,
+            target=0.99,
+            short_window=short_window,
+            long_window=long_window,
+            burn_factor=burn_factor,
+            description="p99 of bursts see every stage under the latency threshold",
+        ),
+        SLOObjective(
+            name=SLO_SHED_RATIO,
+            target=0.95,
+            short_window=short_window,
+            long_window=long_window,
+            burn_factor=burn_factor,
+            description="at most 5% of bursts shed under backpressure",
+        ),
+        SLOObjective(
+            name=SLO_OFFLOAD_AUDIT,
+            target=0.99,
+            short_window=short_window,
+            long_window=long_window,
+            burn_factor=burn_factor,
+            description="offload audit rounds score clean",
+        ),
+        SLOObjective(
+            name=SLO_CONSERVATION,
+            target=0.999,
+            short_window=short_window,
+            long_window=long_window,
+            burn_factor=burn_factor,
+            debounce=1,
+            description="drop-conservation holds at every burst close",
+        ),
+    ]

@@ -1,0 +1,301 @@
+"""The live telemetry plane: stage-latency tracking + an HTTP endpoint.
+
+Until this module, metrics existed only as end-of-run snapshots; an
+operator of `repro serve` had no way to see the service *while it runs*.
+Two pieces fix that:
+
+* :class:`StageLatencyTracker` — per-stage :class:`StreamingQuantile`
+  sketches fed from the serve loop, published as
+  ``vif_serve_stage_latency_seconds{stage=...,quantile=...}`` gauges
+  (p50/p90/p99/p999) on demand, so a scrape always sees current
+  interpolated quantiles without the loop paying for publication per burst.
+
+* :class:`TelemetryServer` — a zero-dependency ``asyncio.start_server``
+  HTTP/1.0 endpoint serving:
+
+  ===========  =================================================================
+  ``/metrics``  Prometheus text exposition (``MetricsRegistry.render_prometheus``)
+  ``/varz``     schema-tagged JSON snapshot (registry + injected service view)
+  ``/healthz``  liveness — the event loop turns and the watchdog's own
+                heartbeat is fresh (stays 200 while a *stage* is hung)
+  ``/readyz``   readiness — injected predicate: all stages running, no
+                fail-closed shed, offload auditor within bounds
+  ===========  =================================================================
+
+Liveness and readiness are deliberately split: a hung filter stage makes
+the service unready (load balancers should drain it) but not unhealthy
+(the watchdog is alive and will restart the stage — killing the process
+would lose the drain).  Both predicates are injected callables returning
+``(ok, detail_dict)`` so the server owns no service state.
+
+:func:`http_get` is the matching minimal client (also asyncio, also
+zero-dependency) used by tests and the CLI's in-process scrapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.quantile import DEFAULT_QUANTILE_BOUNDS, StreamingQuantile
+
+__all__ = ["StageLatencyTracker", "TelemetryServer", "http_get", "VARZ_SCHEMA"]
+
+#: Schema tag on the ``/varz`` JSON document.
+VARZ_SCHEMA = "vif-varz-v1"
+
+#: The quantiles published per stage.
+PUBLISHED_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.5),
+    ("p90", 0.9),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+HealthFn = Callable[[], Tuple[bool, Dict[str, object]]]
+
+
+class StageLatencyTracker:
+    """Per-stage streaming latency quantiles for the serve loop.
+
+    ``observe`` is the hot path (one bisect + bookkeeping); ``publish``
+    runs on scrape/snapshot, writing the interpolated quantiles into the
+    registry as gauges.  Sketches merge across trackers (shard workers)
+    via :meth:`merge` — associativity is exact, see ``repro.obs.quantile``.
+    """
+
+    METRIC = "vif_serve_stage_latency_seconds"
+
+    def __init__(
+        self, bounds: Sequence[float] = DEFAULT_QUANTILE_BOUNDS
+    ) -> None:
+        self._bounds = tuple(bounds)
+        self._stages: Dict[str, StreamingQuantile] = {}
+
+    def sketch(self, stage: str) -> StreamingQuantile:
+        sketch = self._stages.get(stage)
+        if sketch is None:
+            sketch = self._stages[stage] = StreamingQuantile(self._bounds)
+        return sketch
+
+    def observe(self, stage: str, seconds: float) -> None:
+        self.sketch(stage).observe(seconds)
+
+    def merge(self, other: "StageLatencyTracker") -> None:
+        for stage, sketch in other._stages.items():
+            self.sketch(stage).merge(sketch)
+
+    @property
+    def stages(self) -> Dict[str, StreamingQuantile]:
+        return dict(self._stages)
+
+    def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Write current quantiles (and per-stage counts) into ``registry``."""
+        registry = registry or get_registry()
+        for stage in sorted(self._stages):
+            sketch = self._stages[stage]
+            for label, q in PUBLISHED_QUANTILES:
+                registry.gauge(
+                    self.METRIC,
+                    help="Interpolated serve-stage latency quantiles",
+                    stage=stage,
+                    quantile=label,
+                ).set(round(sketch.quantile(q), 9))
+            registry.gauge(
+                "vif_serve_stage_latency_count",
+                help="Latency observations behind the stage quantiles",
+                stage=stage,
+            ).set(sketch.count)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe per-stage quantile view for ``/varz``."""
+        out: Dict[str, object] = {}
+        for stage in sorted(self._stages):
+            sketch = self._stages[stage]
+            entry: Dict[str, object] = {
+                "count": sketch.count,
+                "sum": round(sketch.sum, 9),
+            }
+            for label, q in PUBLISHED_QUANTILES:
+                entry[label] = round(sketch.quantile(q), 9)
+            out[stage] = entry
+        return out
+
+
+def _response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json; charset=utf-8",
+) -> bytes:
+    reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed", 503: "Service Unavailable"}.get(
+        status, "Error"
+    )
+    head = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class TelemetryServer:
+    """Zero-dependency asyncio HTTP/1.0 exposition endpoint.
+
+    All service knowledge is injected: ``health``/``ready`` are predicates
+    returning ``(ok, detail)``; ``varz`` contributes a service-state block
+    to ``/varz``; ``refresh`` runs before every ``/metrics``/``/varz``
+    render (the serve loop publishes latency quantiles there).  ``port=0``
+    binds an ephemeral port — read :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        health: Optional[HealthFn] = None,
+        ready: Optional[HealthFn] = None,
+        varz: Optional[Callable[[], Dict[str, object]]] = None,
+        refresh: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._registry = registry
+        self._health = health or (lambda: (True, {}))
+        self._ready = ready or (lambda: (True, {}))
+        self._varz = varz
+        self._refresh = refresh
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry or get_registry()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> "TelemetryServer":
+        if self._server is not None:
+            raise RuntimeError("telemetry server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    # -- request handling --------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            # Drain headers until the blank line; HTTP/1.0, no bodies on GET.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = (parts[1] if len(parts) > 1 else "/").split("?", 1)[0]
+            if method != "GET":
+                payload = _response(
+                    405, b'{"error":"method not allowed"}\n'
+                )
+            else:
+                payload = self._route(path)
+            writer.write(payload)
+            await writer.drain()
+            self.requests_served += 1
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _route(self, path: str) -> bytes:
+        if path == "/metrics":
+            if self._refresh is not None:
+                self._refresh()
+            body = self.registry.render_prometheus().encode("utf-8")
+            return _response(
+                200, body, content_type="text/plain; version=0.0.4; charset=utf-8"
+            )
+        if path == "/varz":
+            if self._refresh is not None:
+                self._refresh()
+            doc: Dict[str, object] = {
+                "schema": VARZ_SCHEMA,
+                "metrics": self.registry.snapshot(),
+            }
+            if self._varz is not None:
+                doc["service"] = self._varz()
+            return _response(200, _json_body(doc))
+        if path == "/healthz":
+            ok, detail = self._health()
+            return _response(
+                200 if ok else 503, _json_body({"ok": ok, **detail})
+            )
+        if path == "/readyz":
+            ok, detail = self._ready()
+            return _response(
+                200 if ok else 503, _json_body({"ok": ok, **detail})
+            )
+        return _response(404, b'{"error":"not found"}\n')
+
+
+def _json_body(doc: Dict[str, object]) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def http_get(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Minimal asyncio HTTP GET: returns ``(status, headers, body)``.
+
+    The matching client for :class:`TelemetryServer` — used by the test
+    suite and the CLI's in-process scrape so neither needs ``curl`` or any
+    HTTP library.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout
+    )
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1", "replace").split("\r\n")
+    status = int(lines[0].split()[1]) if lines and len(lines[0].split()) > 1 else 0
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if _:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers, body

@@ -17,16 +17,30 @@ record deterministic traces (see the golden-trace regression test).
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Union
 
 Attr = Union[str, int, float, bool]
 
+#: Schema tag on exported span-buffer state (see ``Tracer.export_state``).
+TRACE_STATE_SCHEMA = "vif-trace-state-v1"
+
 
 class SpanRecord:
     """One closed (or still-open) span."""
 
-    __slots__ = ("span_id", "parent_id", "name", "start_s", "end_s", "args")
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "start_s",
+        "end_s",
+        "args",
+        "pid",
+        "tid",
+    )
 
     def __init__(
         self,
@@ -35,6 +49,8 @@ class SpanRecord:
         name: str,
         start_s: float,
         args: Dict[str, Attr],
+        pid: int = 0,
+        tid: int = 0,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
@@ -42,6 +58,8 @@ class SpanRecord:
         self.start_s = start_s
         self.end_s: Optional[float] = None
         self.args = args
+        self.pid = pid
+        self.tid = tid
 
 
 class _NullSpan:
@@ -86,16 +104,23 @@ class Tracer:
 
     ``time_source`` defaults to :func:`time.perf_counter`; inject a
     deterministic callable (e.g. a fixed-step fake clock) to make recorded
-    traces byte-stable across machines.
+    traces byte-stable across machines.  ``pid_source``/``tid_source``
+    default to the real :func:`os.getpid`/:func:`threading.get_ident` so
+    multi-worker traces render as separate lanes; golden tests inject
+    constants to stay byte-stable.
     """
 
     def __init__(
         self,
         time_source: Optional[Callable[[], float]] = None,
         enabled: bool = False,
+        pid_source: Optional[Callable[[], int]] = None,
+        tid_source: Optional[Callable[[], int]] = None,
     ) -> None:
         self.enabled = enabled
         self._time = time_source or time.perf_counter
+        self._pid = pid_source or os.getpid
+        self._tid = tid_source or threading.get_ident
         self._records: List[SpanRecord] = []
         self._stack: List[SpanRecord] = []
         self._next_id = 1
@@ -116,6 +141,8 @@ class Tracer:
             name=name,
             start_s=now,
             args=dict(args),
+            pid=self._pid(),
+            tid=self._tid(),
         )
         self._next_id += 1
         self._records.append(record)
@@ -162,11 +189,18 @@ class Tracer:
         """The ``traceEvents`` document Chrome/Perfetto load directly.
 
         Spans become ``ph: "X"`` complete events with microsecond ``ts`` and
-        ``dur`` relative to the first span.  Span and parent ids ride along
-        in ``args`` so tools (and the golden regression test) can recover
-        the exact tree without relying on interval containment.
+        ``dur`` relative to the earliest span.  Span and parent ids ride
+        along in ``args`` so tools (and the golden regression test) can
+        recover the exact tree without relying on interval containment.
+        Each event carries the pid/tid stamped when the span opened, so
+        merged multi-worker traces render one lane per worker process
+        (on Linux ``perf_counter`` is the system-wide CLOCK_MONOTONIC,
+        so cross-process spans share a timebase).
         """
-        epoch = self._epoch or 0.0
+        if self._records:
+            epoch = min(record.start_s for record in self._records)
+        else:
+            epoch = self._epoch or 0.0
         events: List[Dict[str, object]] = []
         for record in self._records:
             end_s = record.end_s if record.end_s is not None else record.start_s
@@ -180,8 +214,8 @@ class Tracer:
                     "ph": "X",
                     "ts": round((record.start_s - epoch) * 1e6, 3),
                     "dur": round((end_s - record.start_s) * 1e6, 3),
-                    "pid": 0,
-                    "tid": 0,
+                    "pid": record.pid,
+                    "tid": record.tid,
                     "args": args,
                 }
             )
@@ -192,6 +226,74 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_chrome_trace(), fh, indent=2, sort_keys=True)
             fh.write("\n")
+
+    # -- cross-process propagation ------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Serialize the span buffer for shipping across a process boundary.
+
+        Shard workers record into their own private tracer, then export
+        this blob through the same channel as ``MetricsRegistry.export_state``
+        (the worker summary message); the parent folds it back in with
+        :meth:`merge_state`.  The blob is plain JSON-safe data.
+        """
+        spans: List[Dict[str, object]] = []
+        for record in self._records:
+            spans.append(
+                {
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    "name": record.name,
+                    "start_s": record.start_s,
+                    "end_s": record.end_s,
+                    "args": dict(record.args),
+                    "pid": record.pid,
+                    "tid": record.tid,
+                }
+            )
+        return {"schema": TRACE_STATE_SCHEMA, "spans": spans}
+
+    def merge_state(self, state: Dict[str, object]) -> int:
+        """Fold an exported span buffer into this tracer; returns span count.
+
+        Imported spans get fresh local span ids (parent links are remapped
+        within the imported batch) so ids never collide with locally
+        recorded spans, while their pid/tid lanes and absolute timestamps
+        are preserved exactly as the worker stamped them.
+        """
+        if not isinstance(state, dict) or state.get("schema") != TRACE_STATE_SCHEMA:
+            raise ValueError(
+                f"expected trace state schema {TRACE_STATE_SCHEMA!r}, "
+                f"got {state.get('schema') if isinstance(state, dict) else state!r}"
+            )
+        spans = state.get("spans", [])
+        id_map: Dict[int, int] = {}
+        imported: List[SpanRecord] = []
+        for doc in spans:
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[int(doc["span_id"])] = new_id
+            record = SpanRecord(
+                span_id=new_id,
+                parent_id=doc.get("parent_id"),
+                name=str(doc["name"]),
+                start_s=float(doc["start_s"]),
+                args=dict(doc.get("args") or {}),
+                pid=int(doc.get("pid", 0)),
+                tid=int(doc.get("tid", 0)),
+            )
+            end_s = doc.get("end_s")
+            record.end_s = float(end_s) if end_s is not None else None
+            imported.append(record)
+        for record in imported:
+            if record.parent_id is not None:
+                # Parents outside the imported batch don't exist here; such
+                # spans become roots rather than pointing at a foreign id.
+                record.parent_id = id_map.get(int(record.parent_id))
+        self._records.extend(imported)
+        if imported and self._epoch is None:
+            self._epoch = min(r.start_s for r in imported)
+        return len(imported)
 
 
 # -- the process-wide default tracer --------------------------------------------

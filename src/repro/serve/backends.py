@@ -252,6 +252,10 @@ class FleetBackend(_OffloadMixin):
         if active:
             self.fleet.controller.load_balancer.blackhole(active)
 
+    def health_summary(self) -> Dict[str, object]:
+        """Fleet health rollup surfaced on ``/readyz`` and ``/varz``."""
+        return self.fleet.health_summary()
+
     def close(self) -> None:
         pass
 
@@ -300,6 +304,18 @@ class ShardBackend:
     def inject_offload_lie(self, lie: OffloadLie) -> None:
         """Chaos hook: corrupt every worker's fast-drop tier (acked)."""
         self.plane.inject_offload_lie(lie)
+
+    def health_summary(self) -> Dict[str, object]:
+        """Worker-process liveness rollup for ``/readyz`` and ``/varz``."""
+        alive = sum(
+            1 for worker in self.plane._workers if worker.is_alive()
+        )
+        return {
+            "workers": self.plane.num_workers,
+            "alive": alive,
+            "all_alive": alive == self.plane.num_workers,
+            "restarts": list(self.plane._worker_restarts),
+        }
 
     def fail_closed(self) -> None:
         # Tearing the plane down guarantees no further verdicts; the

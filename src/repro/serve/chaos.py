@@ -135,6 +135,15 @@ class ServeChaosDriver:
                     seed=f"{self.schedule.seed}/offload-lie/{event.round_index}",
                 )
             )
+        elif event.kind is FaultKind.LATENCY_SPIKE:
+            # Synthetic: recorded straight into the latency tracker (and
+            # the stage-latency SLO) rather than actually sleeping, so the
+            # drill is fast and the resulting slo_violation deterministic.
+            self.service.inject_stage_latency(
+                STAGE_BY_INDEX[event.target % len(STAGE_BY_INDEX)],
+                float(event.magnitude),
+                burst=event.round_index,
+            )
         elif event.kind is FaultKind.IAS_OUTAGE:
             if self.ias is None:
                 raise ConfigurationError(

@@ -45,13 +45,22 @@ from __future__ import annotations
 import asyncio
 import enum
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Dict, Optional, Sequence
+from typing import Awaitable, Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.rules import FilterRule
 from repro.dataplane.pipeline import UNROUTED
 from repro.errors import ConfigurationError
+from repro.obs.slo import (
+    SLO_CONSERVATION,
+    SLO_OFFLOAD_AUDIT,
+    SLO_SHED_RATIO,
+    SLO_STAGE_LATENCY,
+    SLOEngine,
+)
+from repro.obs.telemetry import StageLatencyTracker, TelemetryServer
 from repro.serve.backends import RuleDelta
 
 STAGES = ("ingest", "filter", "audit")
@@ -100,6 +109,25 @@ class ServeConfig:
     #: offload audit round (sampled re-verdicts scored against the enclave,
     #: ``offload_bypass`` alerting) every this many audited bursts.
     offload_audit_every_bursts: int = 8
+    #: Track per-stage / end-to-end latency into streaming quantile
+    #: sketches (published as ``vif_serve_stage_latency_seconds`` on
+    #: scrape).  Off = the telemetry-off baseline the overhead benchmark
+    #: compares against.
+    track_latency: bool = True
+    #: A stage iteration slower than this marks its burst bad for the
+    #: ``stage-latency`` SLO.  Deliberately huge by default: only injected
+    #: LATENCY_SPIKE chaos (or a true outage) crosses it, so same-seed
+    #: journals stay byte-identical under real measured jitter.
+    slo_latency_threshold_s: float = 30.0
+    #: Bind the telemetry HTTP endpoint when set (0 = ephemeral port; read
+    #: ``service.telemetry.port`` after start).
+    telemetry_port: Optional[int] = None
+    telemetry_host: str = "127.0.0.1"
+    #: After any stage restart, ``/readyz`` reports not-ready for this
+    #: long.  The heartbeat-staleness window alone closes within one
+    #: watchdog tick of the restart, so without the hold a load balancer
+    #: polling at human rates would never observe the degradation.
+    readiness_hold_s: float = 1.0
     #: Metrics label; auto-assigned when empty.
     label: str = ""
 
@@ -152,11 +180,13 @@ class ServeService:
         backend,
         config: Optional[ServeConfig] = None,
         chaos: Optional[ChaosHook] = None,
+        slo: Optional[SLOEngine] = None,
     ) -> None:
         self.source = source
         self.backend = backend
         self.config = config or ServeConfig()
         self.chaos = chaos
+        self.slo = slo
         self.state = ServeState.STARTING
         cfg = self.config
         if cfg.queue_depth < 1:
@@ -230,6 +260,20 @@ class ServeService:
         self._offload_rounds = 0
         self._source_exhausted = False
         self._started_at = 0.0
+        #: Per-stage / e2e streaming latency quantiles (published on scrape).
+        self.latency = StageLatencyTracker()
+        self._track_latency = cfg.track_latency
+        #: FIFO of (burst_index, enqueue_perf_counter) for bursts accepted
+        #: onto rx_q — popped when that burst finishes audit (e2e latency,
+        #: SLO burst close).  Shed bursts never enter; fail-closed clears it.
+        self._burst_marks: Deque[Tuple[int, float]] = deque()
+        self.telemetry: Optional[TelemetryServer] = None
+        self._watchdog_beat = 0.0
+        #: ``/readyz`` reports not-ready until this loop-time (set by stage
+        #: restarts; see ``ServeConfig.readiness_hold_s``).
+        self._degraded_until = 0.0
+        #: Last offload audit round's verdict (readyz + offload-audit SLO).
+        self._offload_suspicious = False
         #: Set once fail-closed shedding finished; drain() awaits it so a
         #: report taken on the failure path never snapshots mid-shed books.
         self._fail_closed_complete: Optional[asyncio.Event] = None
@@ -244,13 +288,20 @@ class ServeService:
             + c["unrouted"].value
             + c["shed"].value
         )
-        if c["ingested"].value == accounted + self._inflight:
+        # A pulled burst is counted ``ingested`` immediately but only
+        # joins ``_inflight`` once the queue put lands; the audit stage
+        # (conservation SLO) can observe that await window, so the burst
+        # riding in ``_ingest_pending`` must count toward the balance.
+        pending = (
+            len(self._ingest_pending) if self._ingest_pending is not None else 0
+        )
+        if c["ingested"].value == accounted + self._inflight + pending:
             return None
         return (
             f"serve lost packets untracked: ingested={c['ingested'].value}, "
             f"allowed={c['allowed'].value}, dropped={c['dropped'].value}, "
             f"unrouted={c['unrouted'].value}, shed={c['shed'].value}, "
-            f"in_flight={self._inflight}"
+            f"in_flight={self._inflight}, pending={pending}"
         )
 
     def check_conservation(self) -> None:
@@ -300,6 +351,17 @@ class ServeService:
         self._watchdog_task = asyncio.create_task(
             self._watchdog(), name=f"serve-{self.label}-watchdog"
         )
+        self._watchdog_beat = now
+        if cfg.telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                host=cfg.telemetry_host,
+                port=cfg.telemetry_port,
+                health=self._health_status,
+                ready=self._ready_status,
+                varz=self._varz_view,
+                refresh=self._publish_latency,
+            )
+            await self.telemetry.start()
         self._set_state(ServeState.SERVING)
         return self
 
@@ -323,7 +385,21 @@ class ServeService:
         body = self._stage_body(stage)
         while True:
             self._beat(stage)
-            idle = await body()
+            if self._track_latency:
+                t0 = time.perf_counter()
+                idle = await body()
+                if not idle:
+                    elapsed = time.perf_counter() - t0
+                    self.latency.observe(stage, elapsed)
+                    if elapsed > self.config.slo_latency_threshold_s:
+                        self._slo_observe(
+                            SLO_STAGE_LATENCY,
+                            self._burst_index,
+                            bad=True,
+                            worst=self.latency.sketch(stage).bucket_bound(elapsed),
+                        )
+            else:
+                idle = await body()
             if idle:
                 await asyncio.sleep(0.005)
 
@@ -355,10 +431,15 @@ class ServeService:
                 self._rx_q.put(burst), timeout=self.config.shed_timeout_s
             )
             self._inflight += len(burst)
+            self._burst_marks.append((self._burst_index, time.perf_counter()))
         except asyncio.TimeoutError:
             # The filter queue stayed full past the bound: shed the burst
             # (counted, conservation-visible) instead of buffering it.
             self._counters["shed"].inc(len(burst))
+            # A shed burst never reaches audit, so its SLO window closes
+            # here: one bad shed-ratio sample.
+            self._slo_observe(SLO_SHED_RATIO, self._burst_index, bad=True)
+            self._slo_close(self._burst_index)
         self._ingest_pending = None
         if self.config.ingest_interval_s:
             await asyncio.sleep(self.config.ingest_interval_s)
@@ -424,6 +505,12 @@ class ServeService:
         self._counters["audited"].inc(len(burst))
         self._audit_pending = None
         self._audited_bursts += 1
+        if self._burst_marks:
+            mark_index, mark_t = self._burst_marks.popleft()
+        else:
+            mark_index, mark_t = self._burst_index, 0.0
+        if self._track_latency and mark_t:
+            self.latency.observe("e2e", time.perf_counter() - mark_t)
         every = self.config.offload_audit_every_bursts
         if (
             every > 0
@@ -433,19 +520,36 @@ class ServeService:
             # Synchronous (no awaits): a watchdog cancellation can never
             # split a round between scoring and reset.
             self._offload_rounds += 1
-            self.backend.offload_close_round(self._offload_rounds)
+            report = self.backend.offload_close_round(self._offload_rounds)
+            self._offload_suspicious = bool(
+                getattr(report, "suspicious", False)
+            )
+            self._slo_observe(
+                SLO_OFFLOAD_AUDIT, mark_index, bad=self._offload_suspicious
+            )
+        self._slo_observe(
+            SLO_CONSERVATION,
+            mark_index,
+            bad=self._conservation_violation() is not None,
+        )
+        self._slo_close(mark_index)
         return False
 
     async def _control_stage(self) -> None:
         """Apply queued rule deltas between bursts, journaling each one."""
         while True:
             delta, done = await self._control_q.get()
+            apply_started = time.perf_counter() if self._track_latency else 0.0
             try:
                 self.backend.apply_delta(delta)
             except Exception as exc:  # surface to the caller, keep serving
                 if done is not None and not done.done():
                     done.set_exception(exc)
                 continue
+            if self._track_latency:
+                self.latency.observe(
+                    "control", time.perf_counter() - apply_started
+                )
             self._counters["rule_updates"].inc()
             journal = obs.get_journal()
             if journal.enabled and not hasattr(self.backend, "fleet"):
@@ -509,6 +613,7 @@ class ServeService:
         last_poll = loop.time()
         while True:
             await asyncio.sleep(cfg.watchdog_interval_s)
+            self._watchdog_beat = loop.time()
             if self.state in (ServeState.DRAINED, ServeState.FAILED):
                 return
             now = loop.time()
@@ -562,6 +667,10 @@ class ServeService:
 
     async def _restart_stage(self, stage: str, hung: bool) -> None:
         cfg = self.config
+        self._degraded_until = max(
+            self._degraded_until,
+            asyncio.get_running_loop().time() + cfg.readiness_hold_s,
+        )
         task = self._tasks[stage]
         if not task.done():
             task.cancel()
@@ -625,6 +734,7 @@ class ServeService:
         if shed:
             self._counters["shed"].inc(shed)
             self._inflight -= inflight_shed
+        self._burst_marks.clear()
         if hasattr(self.backend, "fail_closed"):
             self.backend.fail_closed()
         self.check_conservation()
@@ -654,7 +764,7 @@ class ServeService:
         if self.state is ServeState.FAILED:
             if self._fail_closed_complete is not None:
                 await self._fail_closed_complete.wait()
-            return self._final_report(time.perf_counter())
+            return await self._finish_drain(time.perf_counter())
         started = time.perf_counter()
         self._set_state(ServeState.DRAINING)
         # 1. Stop ingest (state gate makes _ingest_once a no-op; cancel the
@@ -681,11 +791,11 @@ class ServeService:
         ):
             if time.perf_counter() > deadline:
                 await self._fail_closed("drain timed out with bursts in flight")
-                return self._final_report(started)
+                return await self._finish_drain(started)
             if self.state is ServeState.FAILED:
                 if self._fail_closed_complete is not None:
                     await self._fail_closed_complete.wait()
-                return self._final_report(started)
+                return await self._finish_drain(started)
             await asyncio.sleep(0.01)
         # 3. Stop the remaining stages and the watchdog.
         if self._watchdog_task is not None and not self._watchdog_task.done():
@@ -708,7 +818,13 @@ class ServeService:
             except Exception:
                 pass
         self.backend.close()
-        return self._final_report(started)
+        return await self._finish_drain(started)
+
+    async def _finish_drain(self, drain_started: float) -> DrainReport:
+        report = self._final_report(drain_started)
+        if self.telemetry is not None:
+            await self.telemetry.stop()
+        return report
 
     def _final_report(self, drain_started: float) -> DrainReport:
         c = self.counters()
@@ -730,14 +846,22 @@ class ServeService:
             ),
             drain_seconds=time.perf_counter() - drain_started,
         )
+        if self._track_latency:
+            self.latency.observe("drain", report.drain_seconds)
+            self._publish_latency()
         journal = obs.get_journal()
         if journal.enabled:
+            # drain_seconds is wall-clock and would make otherwise
+            # identical same-seed journals diverge byte-wise; the caller's
+            # DrainReport still carries it, the journal omits it.
+            journaled = report.as_dict()
+            journaled.pop("drain_seconds", None)
             journal.emit(
                 "serve_state",
                 serve=self.label,
                 state=self.state.value,
                 previous=self.state.value,
-                **{"report": report.as_dict()},
+                **{"report": journaled},
             )
         if journal.sink is not None:
             journal.sink.flush()
@@ -747,6 +871,129 @@ class ServeService:
     def stage_restarts(self) -> Dict[str, int]:
         return dict(self._restarts)
 
+    # -- telemetry & SLO ---------------------------------------------------------
+
+    def _publish_latency(self) -> None:
+        """Refresh latency-quantile gauges (runs before every scrape)."""
+        if self._track_latency:
+            self.latency.publish()
+
+    def _slo_observe(
+        self, name: str, burst: int, bad: bool, worst: float = 0.0
+    ) -> None:
+        if self.slo is not None and self.slo.has(name):
+            self.slo.observe(name, burst, bad, worst)
+
+    def _slo_close(self, burst: int) -> None:
+        if self.slo is not None:
+            self.slo.close_burst(burst)
+
+    def inject_stage_latency(
+        self, stage: str, seconds: float, burst: Optional[int] = None
+    ) -> None:
+        """Chaos entry point (LATENCY_SPIKE): record a synthetic latency.
+
+        Feeds the quantile tracker and — when the spike crosses the SLO
+        threshold — marks the burst bad with a *bucket-quantized* worst
+        value, so the resulting ``slo_violation`` payload is deterministic.
+        The violation fires when this burst closes in the audit stage,
+        i.e. in the same round the spike was injected.
+        """
+        burst_index = self._burst_index if burst is None else burst
+        self.latency.observe(stage, seconds)
+        self._slo_observe(
+            SLO_STAGE_LATENCY,
+            burst_index,
+            bad=seconds > self.config.slo_latency_threshold_s,
+            worst=self.latency.sketch(stage).bucket_bound(seconds),
+        )
+
+    def _health_status(self) -> Tuple[bool, Dict[str, object]]:
+        """Liveness: the event loop turns and the watchdog itself is fresh.
+
+        Deliberately stays true through a STAGE_HANG — the watchdog is
+        alive and will restart the stage; killing the process would lose
+        the drain.
+        """
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            return False, {"state": self.state.value, "reason": "no event loop"}
+        task = self._watchdog_task
+        alive = task is not None and not task.done()
+        # The watchdog beats every watchdog_interval_s; allow generous slack
+        # for loop starvation before declaring the supervisor itself dead.
+        deadline = max(self.config.watchdog_interval_s * 20, 2.0)
+        age = now - self._watchdog_beat if self._watchdog_beat else 0.0
+        ok = alive and age <= deadline
+        return ok, {
+            "state": self.state.value,
+            "watchdog_alive": alive,
+            "watchdog_beat_age_s": round(age, 3),
+        }
+
+    def _ready_status(self) -> Tuple[bool, Dict[str, object]]:
+        """Readiness: serving, every stage running with a fresh heartbeat,
+        no post-restart degraded hold, offload auditor within bounds."""
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            return False, {"state": self.state.value, "reason": "no event loop"}
+        stages: Dict[str, object] = {}
+        stages_ok = True
+        for stage in STAGES:
+            task = self._tasks.get(stage)
+            alive = task is not None and not task.done()
+            age = now - self._heartbeats.get(stage, 0.0)
+            fresh = age <= self.config.heartbeat_deadline_s
+            stages[stage] = {
+                "alive": alive,
+                "beat_age_s": round(age, 3),
+                "fresh": fresh,
+            }
+            stages_ok = stages_ok and alive and fresh
+        backend_health = None
+        if hasattr(self.backend, "health_summary"):
+            try:
+                backend_health = self.backend.health_summary()
+            except Exception as exc:
+                backend_health = {"error": repr(exc)}
+        degraded = now < self._degraded_until
+        ok = (
+            self.state is ServeState.SERVING
+            and stages_ok
+            and not degraded
+            and not self._offload_suspicious
+        )
+        detail: Dict[str, object] = {
+            "state": self.state.value,
+            "stages": stages,
+            "degraded": degraded,
+            "offload_suspicious": self._offload_suspicious,
+        }
+        if backend_health is not None:
+            detail["backend"] = backend_health
+        return ok, detail
+
+    def _varz_view(self) -> Dict[str, object]:
+        """The service-state block of ``/varz``."""
+        view: Dict[str, object] = {
+            "label": self.label,
+            "state": self.state.value,
+            "counters": self.counters(),
+            "stage_restarts": dict(self._restarts),
+            "bursts": self._burst_index,
+            "stage_latency": self.latency.snapshot(),
+        }
+        if self.slo is not None:
+            view["slo"] = self.slo.status()
+        if hasattr(self.backend, "health_summary"):
+            try:
+                view["backend"] = self.backend.health_summary()
+            except Exception as exc:
+                view["backend"] = {"error": repr(exc)}
+        return view
+
 
 async def serve_bounded(
     source,
@@ -755,13 +1002,14 @@ async def serve_bounded(
     chaos: Optional[ChaosHook] = None,
     deltas: Optional[Sequence[RuleDelta]] = None,
     delta_every_bursts: int = 0,
+    slo: Optional[SLOEngine] = None,
 ) -> DrainReport:
     """Run a finite source to exhaustion, then drain (smoke/bench helper).
 
     ``deltas`` are applied round-robin every ``delta_every_bursts`` ingest
     bursts — the simplest way to exercise rule churn under load.
     """
-    service = ServeService(source, backend, config=config, chaos=chaos)
+    service = ServeService(source, backend, config=config, chaos=chaos, slo=slo)
     await service.start()
     pending = list(deltas or [])
     applied_at = 0

@@ -1,0 +1,169 @@
+"""A small Prometheus text-exposition (version 0.0.4) parser.
+
+Shared between the test suite (exposition regression tests, telemetry
+endpoint tests) and the CI serve-smoke step, which scrapes the live
+``/metrics`` endpoint and asserts the payload round-trips through this
+parser.  Import as ``tests.promtext`` with the repo root on ``PYTHONPATH``,
+or run as a script::
+
+    python -m tests.promtext bench-out/telemetry/metrics.prom
+
+The parser is deliberately strict: unknown escape sequences, malformed
+label bodies, junk after the value, or an unknown ``# TYPE`` all raise
+:class:`ValueError` with the offending line number — a scrape that "mostly
+parses" is exactly the regression this exists to catch.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Dict, List, NamedTuple, Tuple
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+class Sample(NamedTuple):
+    name: str
+    labels: Tuple[Tuple[str, str], ...]  # insertion order, as exposed
+    value: float
+
+
+class Exposition(NamedTuple):
+    samples: List[Sample]
+    types: Dict[str, str]  # family name -> counter|gauge|histogram|...
+    helps: Dict[str, str]
+
+    def value(self, name: str, **labels: str) -> float:
+        """The single sample matching ``name`` + exact label set."""
+        want = tuple(sorted(labels.items()))
+        hits = [
+            s
+            for s in self.samples
+            if s.name == name and tuple(sorted(s.labels)) == want
+        ]
+        if len(hits) != 1:
+            raise KeyError(
+                f"{name}{dict(labels)}: {len(hits)} matching samples"
+            )
+        return hits[0].value
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {token!r}")
+
+
+def _parse_labels(body: str, lineno: int) -> Tuple[Tuple[str, str], ...]:
+    """Parse the inside of a ``{...}`` label body (escape-aware)."""
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq == -1 or not _NAME_RE.match(body[i:eq]):
+            raise ValueError(f"line {lineno}: bad label name in {body!r}")
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: unquoted label value")
+        chars: List[str] = []
+        j = eq + 2
+        while True:
+            if j >= len(body):
+                raise ValueError(f"line {lineno}: unterminated label value")
+            ch = body[j]
+            if ch == "\\":
+                if j + 1 >= len(body) or body[j + 1] not in _ESCAPES:
+                    raise ValueError(
+                        f"line {lineno}: unknown escape in label value"
+                    )
+                chars.append(_ESCAPES[body[j + 1]])
+                j += 2
+            elif ch == '"':
+                break
+            elif ch == "\n":
+                raise ValueError(f"line {lineno}: raw newline in label value")
+            else:
+                chars.append(ch)
+                j += 1
+        labels.append((body[i:eq], "".join(chars)))
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"line {lineno}: expected ',' between labels")
+            i += 1
+    return tuple(labels)
+
+
+def parse(text: str) -> Exposition:
+    """Parse one exposition document; raises ValueError on any bad line."""
+    samples: List[Sample] = []
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad HELP metric name")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            if not _NAME_RE.match(name) or kind not in _TYPES:
+                raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        brace = line.find("{")
+        if brace != -1 and brace < line.find(" "):
+            end = line.rfind("}")
+            if end < brace:
+                raise ValueError(f"line {lineno}: unbalanced label braces")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : end], lineno)
+            rest = line[end + 1 :]
+        else:
+            name, _, rest = line.partition(" ")
+            labels = ()
+        if not _NAME_RE.match(name):
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        tokens = rest.split()
+        if not tokens or len(tokens) > 2:  # optional trailing timestamp
+            raise ValueError(f"line {lineno}: expected '<value> [timestamp]'")
+        samples.append(Sample(name, labels, _parse_value(tokens[0], lineno)))
+    return Exposition(samples, types, helps)
+
+
+def _main(argv: List[str]) -> int:
+    status = 0
+    for path in argv or ["-"]:
+        text = (
+            sys.stdin.read()
+            if path == "-"
+            else open(path, encoding="utf-8").read()
+        )
+        exposition = parse(text)
+        print(
+            f"{path}: {len(exposition.samples)} samples, "
+            f"{len(exposition.types)} typed families"
+        )
+        if not exposition.samples:
+            print(f"{path}: no samples", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

@@ -258,3 +258,75 @@ def test_span_noop_when_disabled():
     assert all(
         r.name != "never.recorded" for r in obs.get_tracer().records
     )
+
+
+# -- exposition edge cases (pinned bytes) ------------------------------------
+#
+# These pin the exact exposition output for the historically buggy value
+# classes: bucket-boundary observations, +Inf-only histograms, and
+# non-finite scalar samples (int(nan)/int(-inf) used to raise inside
+# _format_value, and snapshot() used to smuggle bare Infinity into JSON).
+
+
+def test_bucket_boundary_observation_pins_exposition_bytes(registry):
+    # `value <= bound` is inclusive: an observation exactly on a bucket
+    # boundary belongs to that bucket, not the next one up.
+    h = registry.histogram("unit_edge_seconds", buckets=(0.5, 1.0))
+    h.observe(0.5)
+    h.observe(1.0)
+    assert registry.render_prometheus() == (
+        "# TYPE unit_edge_seconds histogram\n"
+        'unit_edge_seconds_bucket{le="0.5"} 1\n'
+        'unit_edge_seconds_bucket{le="1"} 2\n'
+        'unit_edge_seconds_bucket{le="+Inf"} 2\n'
+        "unit_edge_seconds_sum 1.5\n"
+        "unit_edge_seconds_count 2\n"
+    )
+
+
+def test_inf_only_histogram_pins_exposition_bytes(registry):
+    h = registry.histogram("unit_inf_seconds", buckets=(1.0,))
+    h.observe(float("inf"))
+    assert registry.render_prometheus() == (
+        "# TYPE unit_inf_seconds histogram\n"
+        'unit_inf_seconds_bucket{le="1"} 0\n'
+        'unit_inf_seconds_bucket{le="+Inf"} 1\n'
+        "unit_inf_seconds_sum +Inf\n"
+        "unit_inf_seconds_count 1\n"
+    )
+    snap = registry.snapshot()
+    hist = snap["histograms"]["unit_inf_seconds"]
+    assert hist["sum"] == "+Inf"  # stringified, never a bare JSON Infinity
+    assert hist["count"] == 1
+    json.dumps(snap, allow_nan=False)  # strict JSON round-trips
+
+
+def test_nonfinite_gauge_values_render_and_snapshot(registry):
+    registry.gauge("unit_pos").set(float("inf"))
+    registry.gauge("unit_neg").set(float("-inf"))
+    registry.gauge("unit_nan").set(float("nan"))
+    text = registry.render_prometheus()
+    assert "unit_pos +Inf\n" in text
+    assert "unit_neg -Inf\n" in text
+    assert "unit_nan NaN\n" in text
+    from tests import promtext
+
+    exposition = promtext.parse(text)
+    assert exposition.value("unit_pos") == float("inf")
+    assert exposition.value("unit_neg") == float("-inf")
+    assert exposition.value("unit_nan") != exposition.value("unit_nan")
+
+    snap = registry.snapshot()
+    assert snap["series"]["unit_pos"]["value"] == "+Inf"
+    assert snap["series"]["unit_neg"]["value"] == "-Inf"
+    assert snap["series"]["unit_nan"]["value"] == "NaN"
+    json.dumps(snap, allow_nan=False)
+
+
+def test_large_integral_floats_keep_precision(registry):
+    # Values at/above 1e15 must not round-trip through int() (repr keeps
+    # the float form so the exposition stays faithful).
+    registry.gauge("unit_big").set(1e15)
+    assert "unit_big 1000000000000000.0\n" in registry.render_prometheus()
+    registry.gauge("unit_small").set(2.0)
+    assert "unit_small 2\n" in registry.render_prometheus()

@@ -5,13 +5,16 @@ Two guarantees, per the observability design:
 * enabling timing + tracing changes **no packet-level outcome** — every
   counter and every delivered packet is identical to the disabled run;
 * the disabled-path cost is near zero — throughput with full
-  instrumentation enabled stays within 10% of the disabled run (both sides
-  measured as best-of-N, which is the robust estimator under scheduler
-  noise).
+  instrumentation enabled stays within 10% of the disabled run, measured
+  as the median of interleaved disabled/enabled run pairs (single-run
+  ratios on a shared host swing by tens of percent in both directions;
+  the paired median is robust to both one-off stalls and slow host-wide
+  frequency drift, which best-of-N is not).
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 
 import pytest
@@ -27,11 +30,16 @@ from repro.tee.enclave import Platform
 
 N_PACKETS = 4_000
 REPEATS = 3
+#: The overhead gate uses a longer workload (amortizes per-run scheduler
+#: jitter, which dominates at 4k packets) and a handful of interleaved
+#: disabled/enabled pairs.
+OVERHEAD_PACKETS = 20_000
+OVERHEAD_PAIRS = 5
 
 
-def _packets():
+def _packets(count: int = N_PACKETS):
     flows = PacketGenerator(13).uniform_flows(64, dst_ip="10.1.0.9")
-    return [flows[i % len(flows)].make_packet() for i in range(N_PACKETS)]
+    return [flows[i % len(flows)].make_packet() for i in range(count)]
 
 
 def _build_pipeline():
@@ -84,14 +92,33 @@ def test_metrics_change_no_packet_outcome():
     assert stats_on["received"] == N_PACKETS
 
 
+def _timed_run(instrumented: bool) -> float:
+    """One workload run under the given instrumentation; returns seconds."""
+    prev_timing = obs.set_timing(instrumented)
+    prev_tracer = obs.set_tracer(Tracer(enabled=instrumented))
+    try:
+        pipeline = _build_pipeline()
+        packets = _packets(OVERHEAD_PACKETS)
+        start = time.perf_counter()
+        pipeline.process(packets)
+        return time.perf_counter() - start
+    finally:
+        obs.set_timing(prev_timing)
+        obs.set_tracer(prev_tracer)
+
+
 def test_enabled_overhead_within_ten_percent():
-    best_off, _, _ = _run(instrumented=False)
-    best_on, _, _ = _run(instrumented=True)
-    pps_off = N_PACKETS / best_off
-    pps_on = N_PACKETS / best_on
-    assert pps_on >= 0.9 * pps_off, (
-        f"metrics overhead too high: {pps_on:.0f} pps enabled vs "
-        f"{pps_off:.0f} pps disabled"
+    # Interleave the legs so host-wide drift (thermal, noisy neighbors)
+    # hits both sides of each pair; the median pair ratio is the gated
+    # estimate.
+    ratios = [
+        _timed_run(instrumented=False) / _timed_run(instrumented=True)
+        for _ in range(OVERHEAD_PAIRS)
+    ]
+    ratio = statistics.median(ratios)
+    assert ratio >= 0.9, (
+        f"metrics overhead too high: enabled runs at {ratio:.2%} of "
+        f"disabled throughput (pair ratios {[round(r, 3) for r in ratios]})"
     )
 
 

@@ -11,7 +11,9 @@ made deliberately.
 from __future__ import annotations
 
 import json
+import os
 import re
+import threading
 
 import pytest
 
@@ -102,7 +104,13 @@ def test_two_enclave_round_matches_golden_trace(golden_env):
     assert doc["displayTimeUnit"] == "ms"
     events = doc["traceEvents"]
     assert all(e["ph"] == "X" for e in events)
-    assert all(e["pid"] == 0 and e["tid"] == 0 for e in events)
+    # Spans stamp the real process/thread ids (multi-worker traces render
+    # as separate lanes); in this single-threaded run every event shares
+    # this process's identity.
+    assert all(
+        e["pid"] == os.getpid() and e["tid"] == threading.get_ident()
+        for e in events
+    )
     distilled = [
         (
             e["name"],

@@ -1,0 +1,193 @@
+"""Property tests for the streaming quantile sketch.
+
+The sketch's contract (see ``repro/obs/quantile.py``): for values inside
+``[bounds[0], bounds[-1]]`` the interpolated estimate's relative error
+against the exact empirical quantile is at most :data:`MAX_RELATIVE_ERROR`
+(one bucket's geometric width, ``10**(1/20) - 1`` under the default
+layout) — *except* across a distribution discontinuity wider than one
+bucket, where any histogram estimator snaps to one side of the jump (the
+adversarial-spike test pins that behaviour instead of pretending the bound
+holds there).  Merging is exact: bucket counts add, so any merge order is
+indistinguishable from one sketch over the concatenated stream.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantile import (
+    DEFAULT_QUANTILE_BOUNDS,
+    MAX_RELATIVE_ERROR,
+    StreamingQuantile,
+    histogram_quantile,
+    quantile_from_counts,
+)
+
+#: Float-noise slack on top of the documented bucket-width bound.
+EPS = 1e-9
+
+
+def exact_quantile(data, q):
+    """Exact linear-interpolated empirical quantile (inclusive method,
+    i.e. ``statistics.quantiles(data, n=..., method="inclusive")``)."""
+    ordered = sorted(data)
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+def _relative_error(estimate: float, truth: float) -> float:
+    return abs(estimate - truth) / truth
+
+
+def _assert_within_bound(sketch, data, qs=(0.5, 0.9, 0.99)):
+    for q in qs:
+        truth = exact_quantile(data, q)
+        estimate = sketch.quantile(q)
+        assert _relative_error(estimate, truth) <= MAX_RELATIVE_ERROR + EPS, (
+            f"q={q}: estimate {estimate} vs exact {truth} exceeds "
+            f"{MAX_RELATIVE_ERROR:.4f}"
+        )
+
+
+def test_exact_quantile_matches_statistics_module():
+    # Sanity-check the reference implementation itself against stdlib.
+    import statistics
+
+    rng = random.Random("vif-quantile-ref")
+    data = [rng.uniform(0.001, 5.0) for _ in range(999)]
+    cuts = statistics.quantiles(data, n=100, method="inclusive")
+    assert exact_quantile(data, 0.5) == pytest.approx(cuts[49])
+    assert exact_quantile(data, 0.9) == pytest.approx(cuts[89])
+    assert exact_quantile(data, 0.99) == pytest.approx(cuts[98])
+
+
+def test_uniform_workload_within_documented_bound():
+    rng = random.Random("vif-quantile-uniform")
+    data = [rng.uniform(0.0005, 10.0) for _ in range(5000)]
+    sketch = StreamingQuantile()
+    sketch.observe_many(data)
+    _assert_within_bound(sketch, data, qs=(0.5, 0.9, 0.99, 0.999))
+
+
+def test_lognormal_workload_within_documented_bound():
+    # Latency-shaped: median ~50ms with a heavy right tail.
+    rng = random.Random("vif-quantile-lognormal")
+    data = [rng.lognormvariate(-3.0, 1.5) for _ in range(5000)]
+    assert max(data) <= DEFAULT_QUANTILE_BOUNDS[-1]  # tail stays in-range
+    sketch = StreamingQuantile()
+    sketch.observe_many(data)
+    _assert_within_bound(sketch, data, qs=(0.5, 0.9, 0.99, 0.999))
+
+
+def test_adversarial_spike_workload():
+    # 99% fast (~1ms) + 1% stuck at 60s: quantiles on either side of the
+    # jump keep the bound; a quantile *inside* the jump (p99 here) snaps
+    # to the spike bucket — the conservative side for an alerting signal.
+    rng = random.Random("vif-quantile-spikes")
+    body = [rng.uniform(0.0008, 0.0012) for _ in range(4950)]
+    spikes = [60.0] * 50
+    data = body + spikes
+    rng.shuffle(data)
+    sketch = StreamingQuantile()
+    sketch.observe_many(data)
+    _assert_within_bound(sketch, data, qs=(0.5, 0.9))
+    assert _relative_error(sketch.quantile(0.999), 60.0) <= (
+        MAX_RELATIVE_ERROR + EPS
+    )
+    assert _relative_error(sketch.quantile(0.99), 60.0) <= (
+        MAX_RELATIVE_ERROR + EPS
+    )
+
+
+def test_merge_is_associative_and_exact():
+    rng = random.Random("vif-quantile-merge")
+    shards = [
+        [rng.lognormvariate(-4.0, 1.0) for _ in range(1000)]
+        for _ in range(3)
+    ]
+    whole = StreamingQuantile()
+    for shard in shards:
+        whole.observe_many(shard)
+
+    def sketch_of(values):
+        s = StreamingQuantile()
+        s.observe_many(values)
+        return s
+
+    a, b, c = (sketch_of(shard) for shard in shards)
+    left = sketch_of([]).merge(sketch_of(shards[0])).merge(
+        sketch_of(shards[1])
+    ).merge(sketch_of(shards[2]))
+    right = a.merge(b.merge(c))
+    for merged in (left, right):
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        assert merged.sum == pytest.approx(whole.sum)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert merged.quantile(q) == whole.quantile(q)
+
+
+def test_merge_rejects_mismatched_layouts():
+    with pytest.raises(ValueError, match="different bounds"):
+        StreamingQuantile().merge(StreamingQuantile(bounds=(1.0, 2.0)))
+
+
+def test_out_of_range_values_clamp():
+    sketch = StreamingQuantile()
+    sketch.observe(10_000.0)  # past the 100s top bound
+    assert sketch.quantile(0.5) == DEFAULT_QUANTILE_BOUNDS[-1]
+    assert sketch.max == 10_000.0  # min/max stay exact
+    low = StreamingQuantile()
+    low.observe(1e-9)  # below the 1µs bottom bound: interpolates toward 0
+    assert 0.0 <= low.quantile(0.5) <= DEFAULT_QUANTILE_BOUNDS[0]
+
+
+def test_empty_sketch_and_bad_q():
+    sketch = StreamingQuantile()
+    assert sketch.quantile(0.99) == 0.0
+    assert sketch.quantiles() == {
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0
+    }
+    with pytest.raises(ValueError, match="within"):
+        sketch.quantile(1.5)
+
+
+def test_bucket_bound_quantizes_deterministically():
+    sketch = StreamingQuantile()
+    bound = sketch.bucket_bound(60.0)
+    # Everything inside one bucket reports the same bound (journal
+    # payloads stay byte-identical under measurement jitter)...
+    assert sketch.bucket_bound(bound * 0.99) == bound
+    # ...and the bound is within one bucket width of the raw value.
+    assert _relative_error(bound, 60.0) <= MAX_RELATIVE_ERROR + EPS
+    assert sketch.bucket_bound(1e12) == DEFAULT_QUANTILE_BOUNDS[-1]
+
+
+def test_histogram_quantile_uses_existing_instrument():
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "vif_test_latency_seconds", buckets=(0.001, 0.01, 0.1, 1.0)
+    )
+    rng = random.Random("vif-quantile-hist")
+    data = [rng.uniform(0.002, 0.09) for _ in range(500)]
+    for value in data:
+        hist.observe(value)
+    estimate = histogram_quantile(hist, 0.5)
+    truth = exact_quantile(data, 0.5)
+    # Coarse 10x buckets: the estimate lands in the truth's bucket.
+    assert 0.01 < truth <= 0.1 and 0.01 <= estimate <= 0.1
+    assert histogram_quantile(hist, 0.0) <= histogram_quantile(hist, 1.0)
+
+
+def test_quantile_from_counts_overflow_clamps():
+    bounds = (1.0, 2.0)
+    counts = [0, 0, 5]  # all mass in the overflow slot
+    assert quantile_from_counts(bounds, counts, 0.5) == 2.0

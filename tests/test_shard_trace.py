@@ -1,0 +1,151 @@
+"""Cross-process trace propagation: worker spans merge into one timeline.
+
+Worker processes record their own ``shard.batch`` spans (stamped with the
+worker process's real pid), export them through the same state channel the
+metrics registry already uses, and the coordinator merges every batch into
+its ambient tracer — so one Chrome-trace JSON shows one lane per worker
+process plus the coordinator's own spans.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.dataplane.packet import FiveTuple, Packet, Protocol
+from repro.dataplane.shard import ShardedDataPlane
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_STATE_SCHEMA, Tracer
+
+
+@pytest.fixture
+def traced_obs():
+    prev_registry = obs.set_registry(MetricsRegistry())
+    prev_tracer = obs.set_tracer(Tracer(enabled=True))
+    yield obs.get_tracer()
+    obs.set_registry(prev_registry)
+    obs.set_tracer(prev_tracer)
+
+
+# -- export/merge unit behaviour ----------------------------------------------
+
+
+def test_export_state_merge_state_remaps_span_ids(traced_obs):
+    donor = Tracer(enabled=True)
+    with donor.span("donor.parent"):
+        with donor.span("donor.child"):
+            pass
+    state = donor.export_state()
+    assert state["schema"] == TRACE_STATE_SCHEMA
+
+    with traced_obs.span("local.existing"):
+        pass
+    merged = traced_obs.merge_state(state)
+    assert merged == 2
+
+    records = {r.name: r for r in traced_obs.records}
+    assert set(records) == {"local.existing", "donor.parent", "donor.child"}
+    span_ids = [r.span_id for r in traced_obs.records]
+    assert len(span_ids) == len(set(span_ids))  # fresh local ids, no clashes
+    assert records["donor.child"].parent_id == records["donor.parent"].span_id
+    assert records["donor.parent"].parent_id is None
+    # The donor's pid/tid stamps survive the merge verbatim.
+    assert records["donor.parent"].pid == os.getpid()
+
+
+def test_merge_state_foreign_parent_becomes_root(traced_obs):
+    donor = Tracer(enabled=True)
+    with donor.span("outer"):
+        with donor.span("inner"):
+            pass
+    state = donor.export_state()
+    # Ship only the child: its parent is not part of the batch, so the
+    # merged record must become a root instead of pointing at a random
+    # local span id.
+    state["spans"] = [s for s in state["spans"] if s["name"] == "inner"]
+    traced_obs.merge_state(state)
+    (record,) = traced_obs.records
+    assert record.name == "inner"
+    assert record.parent_id is None
+
+
+def test_merge_state_rejects_foreign_schema(traced_obs):
+    with pytest.raises(ValueError, match="schema"):
+        traced_obs.merge_state({"schema": "bogus", "spans": []})
+
+
+# -- the 4-worker integration lane check --------------------------------------
+
+
+def _rules(n: int = 8):
+    return [
+        FilterRule(
+            rule_id=i + 1,
+            pattern=FlowPattern(dst_prefix=f"10.0.{i}.0/24"),
+            action=Action.DROP if i % 2 else Action.ALLOW,
+        )
+        for i in range(n)
+    ]
+
+
+def _packets(rng: random.Random, num_flows: int, count: int):
+    flows = [
+        FiveTuple(
+            src_ip=f"172.16.{rng.randrange(16)}.{rng.randrange(256)}",
+            dst_ip=f"10.0.{rng.randrange(8)}.{rng.randrange(256)}",
+            src_port=rng.randrange(1024, 65536),
+            dst_port=rng.choice([80, 443]),
+            protocol=Protocol.TCP,
+        )
+        for _ in range(num_flows)
+    ]
+    return [
+        Packet(five_tuple=rng.choice(flows), size=64) for _ in range(count)
+    ]
+
+
+def test_four_worker_run_merges_into_distinct_pid_lanes(traced_obs):
+    rng = random.Random("shard-trace-lanes")
+    plane = ShardedDataPlane(
+        _rules(),
+        num_workers=4,
+        batch_size=64,
+        trace_spans=True,
+    )
+    with plane:
+        with traced_obs.span("coordinator.run"):
+            plane.process(_packets(rng, num_flows=64, count=1200))
+        plane.finish()
+
+    doc = traced_obs.to_chrome_trace()
+    batches = [e for e in doc["traceEvents"] if e["name"] == "shard.batch"]
+    assert batches, "workers recorded no batch spans"
+
+    # One lane per worker process: >= 4 distinct pids, none of them ours.
+    pids = {e["pid"] for e in batches}
+    assert len(pids) >= 4
+    assert os.getpid() not in pids
+    # Every worker contributed (RSS-sharding spreads 64 flows over 4).
+    assert {e["args"]["worker"] for e in batches} == {0, 1, 2, 3}
+    # The coordinator's own span sits in its own lane of the same doc.
+    coord = next(
+        e for e in doc["traceEvents"] if e["name"] == "coordinator.run"
+    )
+    assert coord["pid"] == os.getpid()
+    # Worker spans carry their flow counts (args survive the merge).
+    assert all(e["args"]["flows"] >= 1 for e in batches)
+
+
+def test_untraced_plane_ships_no_span_state(traced_obs):
+    rng = random.Random("shard-trace-off")
+    plane = ShardedDataPlane(
+        _rules(), num_workers=2, batch_size=64, trace_spans=False
+    )
+    with plane:
+        plane.process(_packets(rng, num_flows=16, count=200))
+        plane.finish()
+    assert [r.name for r in traced_obs.records] == []

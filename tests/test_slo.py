@@ -1,0 +1,289 @@
+"""The SLO engine: burn-rate math, debounce, and the serve-loop drill.
+
+The acceptance scenario from ISSUE.md lives here: a seeded latency-spike
+chaos schedule against a live serve loop produces **exactly one**
+debounced ``slo_violation`` journal event, attributed to the same burst
+the spike was injected at, and the whole journal is byte-identical across
+same-seed runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.core.filter import StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.obs.audit import ALERT_SLO, AuditTimeline
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO_STAGE_LATENCY,
+    SLOEngine,
+    SLOObjective,
+    default_serve_objectives,
+)
+from repro.serve import (
+    LocalBackend,
+    PktgenSource,
+    ServeChaosDriver,
+    ServeConfig,
+    ServeService,
+    ServeState,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    registry = obs.set_registry(MetricsRegistry())
+    journal = obs.set_journal(EventJournal(enabled=True))
+    yield obs.get_journal()
+    obs.set_registry(registry)
+    obs.set_journal(journal)
+
+
+# -- objective validation ------------------------------------------------------
+
+
+def test_objective_validation():
+    with pytest.raises(ValueError, match="target"):
+        SLOObjective(name="x", target=1.0)
+    with pytest.raises(ValueError, match="windows"):
+        SLOObjective(name="x", target=0.9, short_window=8, long_window=4)
+    with pytest.raises(ValueError, match="burn_factor"):
+        SLOObjective(name="x", target=0.9, burn_factor=0.0)
+    with pytest.raises(ValueError, match="debounce"):
+        SLOObjective(name="x", target=0.9, debounce=0)
+    assert SLOObjective(name="x", target=0.99).budget == pytest.approx(0.01)
+
+
+def test_engine_rejects_duplicates_and_unknown_names():
+    obj = SLOObjective(name="dup", target=0.9)
+    with pytest.raises(ValueError, match="duplicate"):
+        SLOEngine([obj, SLOObjective(name="dup", target=0.5)])
+    engine = SLOEngine([obj])
+    assert engine.has("dup") and not engine.has("other")
+    with pytest.raises(ValueError, match="unknown objective"):
+        engine.observe("other", burst=1, bad=True)
+
+
+# -- burn-rate math ------------------------------------------------------------
+
+
+def test_violation_needs_both_windows_burning():
+    # Budget 50%, short window 1, long window 4, burn factor 1: a single
+    # bad burst saturates the short window (burn 2.0), but three earlier
+    # good bursts dilute the long window to burn 0.5 — no violation.  The
+    # multi-window rule is exactly what keeps one blip from paging.
+    engine = SLOEngine(
+        [
+            SLOObjective(
+                name="latency", target=0.5,
+                short_window=1, long_window=4, burn_factor=1.0,
+            )
+        ]
+    )
+    for burst in (1, 2, 3):
+        engine.observe("latency", burst=burst, bad=False)
+        assert engine.close_burst(burst) == []
+    engine.observe("latency", burst=4, bad=True)
+    assert engine.close_burst(4) == []  # short burns at 2.0, long at 0.5
+
+    # A second consecutive bad burst drags the long window over too.
+    engine.observe("latency", burst=5, bad=True)
+    fired = engine.close_burst(5)
+    assert [v.objective for v in fired] == ["latency"]
+    v = fired[0]
+    assert v.burst == 5
+    assert v.burn_short == pytest.approx(2.0)  # 1/1 over budget 0.5
+    assert v.burn_long == pytest.approx(1.0)  # 2 bad of 4 over budget 0.5
+    assert (v.bad_short, v.len_short, v.bad_long, v.len_long) == (1, 1, 2, 4)
+
+
+def test_burn_rate_gauges_and_burst_counters_published():
+    engine = SLOEngine(
+        [SLOObjective(name="latency", target=0.9, short_window=2,
+                      long_window=4)]
+    )
+    engine.observe("latency", burst=1, bad=True)
+    engine.close_burst(1)
+    registry = obs.get_registry()
+    short = registry.get("vif_slo_burn_rate", objective="latency",
+                         window="short")
+    long_ = registry.get("vif_slo_burn_rate", objective="latency",
+                         window="long")
+    assert short.value == pytest.approx(10.0)  # 1/1 over budget 0.1
+    assert long_.value == pytest.approx(10.0)
+    bad = registry.get("vif_slo_bursts_total", objective="latency",
+                       outcome="bad")
+    assert bad.value == 1
+
+
+def test_debounce_requires_consecutive_violations():
+    engine = SLOEngine(
+        [
+            SLOObjective(
+                name="latency", target=0.5, short_window=4, long_window=4,
+                burn_factor=1.0, debounce=2,
+            )
+        ]
+    )
+    engine.observe("latency", burst=1, bad=True)
+    assert engine.close_burst(1) == []  # violating streak 1 of 2
+    engine.observe("latency", burst=2, bad=False)
+    assert engine.close_burst(2) != []  # bad sample still burns both windows
+
+
+def test_fires_once_per_episode_then_rearms():
+    engine = SLOEngine(
+        [
+            SLOObjective(
+                name="latency", target=0.5, short_window=2, long_window=2,
+                burn_factor=1.0,
+            )
+        ]
+    )
+    violations = []
+    burst = 0
+    # Episode one: a single bad burst, then enough good bursts to flush
+    # it out of both windows (clean evaluations re-arm the objective).
+    for bad in (True, False, False):
+        burst += 1
+        engine.observe("latency", burst=burst, bad=bad)
+        violations += engine.close_burst(burst)
+    assert [v.burst for v in violations] == [1]  # fired once, no flapping
+    # Episode two: a fresh bad burst fires again.
+    burst += 1
+    engine.observe("latency", burst=burst, bad=True)
+    violations += engine.close_burst(burst)
+    assert [v.burst for v in violations] == [1, burst]
+    assert len(engine.violations) == 2
+
+
+def test_violation_journals_and_raises_timeline_alert():
+    timeline = AuditTimeline(session_id="slo-test")
+    engine = SLOEngine(
+        [SLOObjective(name="latency", target=0.5, short_window=1,
+                      long_window=1)],
+        timeline=timeline,
+        session_id="slo-test",
+    )
+    engine.observe("latency", burst=7, bad=True, worst=63.0)
+    (violation,) = engine.close_burst(7)
+    assert violation.worst == 63.0
+
+    (event,) = obs.get_journal().of_type("slo_violation")
+    assert event.round_id == 7
+    assert event.payload["objective"] == "latency"
+    assert event.payload["worst"] == 63.0
+    assert event.payload["burn_short"] == 2.0
+
+    (alert,) = timeline.alerts
+    assert alert.kind == ALERT_SLO
+    assert alert.observer == "slo:latency"
+    counter = obs.get_registry().get(
+        "vif_slo_violations_total", objective="latency"
+    )
+    assert counter.value == 1
+
+
+def test_status_view_is_json_safe():
+    import json
+
+    engine = SLOEngine(default_serve_objectives())
+    engine.observe(SLO_STAGE_LATENCY, burst=1, bad=True)
+    engine.close_burst(1)
+    status = engine.status()
+    assert set(status) == {
+        "stage-latency", "shed-ratio", "offload-audit", "conservation"
+    }
+    json.dumps(status)  # must not smuggle non-JSON types
+
+
+# -- the serve-loop latency-spike drill ---------------------------------------
+
+SPIKE_BURST = 5
+TOTAL_BURSTS = 12
+
+
+def _run_spike_drill() -> str:
+    """One seeded serve session with a single LATENCY_SPIKE; returns the
+    serialized journal (and leaves it live for assertions)."""
+    filt = StatelessFilter(secret="vif-slo-drill")
+    rule = FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(dst_prefix="203.0.100.0/24"),
+        action=Action.DROP,
+        requested_by="victim.example",
+    )
+    filt.install_rule(rule)
+    source = PktgenSource(
+        [rule], packets_per_rule=2, background_packets=1,
+        total_bursts=TOTAL_BURSTS,
+    )
+    schedule = FaultSchedule(
+        rounds=TOTAL_BURSTS,
+        events=(
+            FaultEvent(
+                round_index=SPIKE_BURST,
+                kind=FaultKind.LATENCY_SPIKE,
+                target=1,  # the filter stage
+                magnitude=60,
+            ),
+        ),
+        seed="slo-drill",
+    )
+    slo = SLOEngine(default_serve_objectives(), session_id="slo-drill")
+    config = ServeConfig(
+        # queue_depth >= bursts: no shedding, so the only SLO-relevant
+        # happening is the injected spike and the journal is replayable.
+        queue_depth=TOTAL_BURSTS,
+        heartbeat_deadline_s=5.0,
+        watchdog_interval_s=0.05,
+        shed_timeout_s=1.0,
+        label="slo-drill",
+    )
+
+    async def scenario():
+        driver = ServeChaosDriver(schedule)
+        service = ServeService(
+            source, LocalBackend(filt), config=config, chaos=driver, slo=slo,
+        )
+        driver.bind(service)
+        await service.start()
+        deadline = asyncio.get_running_loop().time() + 30.0
+        while not service._source_exhausted:
+            assert asyncio.get_running_loop().time() < deadline
+            assert service.state is ServeState.SERVING
+            await asyncio.sleep(0.005)
+        return await service.drain()
+
+    report = asyncio.run(scenario())
+    assert report.unaccounted == 0 and report.shed == 0
+    return obs.get_journal().to_jsonl()
+
+
+def test_latency_spike_fires_exactly_one_violation_in_spike_round():
+    _run_spike_drill()
+    events = obs.get_journal().of_type("slo_violation")
+    assert len(events) == 1
+    (event,) = events
+    assert event.round_id == SPIKE_BURST
+    assert event.payload["objective"] == SLO_STAGE_LATENCY
+    # worst is the spike magnitude quantized to its bucket bound — a
+    # deterministic number, not a raw measurement.
+    assert event.payload["worst"] == pytest.approx(63.0957344, rel=1e-6)
+    assert event.payload["bad_short"] == 1
+
+
+def test_same_seed_spike_drill_journal_is_byte_identical():
+    first = _run_spike_drill()
+    # Fresh observability stack, same seed: the bytes must match.
+    obs.set_registry(MetricsRegistry())
+    obs.set_journal(EventJournal(enabled=True))
+    second = _run_spike_drill()
+    assert first == second
+    assert "slo_violation" in first

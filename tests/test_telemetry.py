@@ -1,0 +1,337 @@
+"""The live telemetry endpoint: /metrics, /varz, /healthz, /readyz.
+
+The HTTP layer is the zero-dependency ``asyncio.start_server`` loop in
+``repro/obs/telemetry.py``; these tests drive it with the same
+``http_get`` client the CLI smoke gate uses, and parse every ``/metrics``
+payload with the shared ``tests.promtext`` parser so an exposition that
+drifts off-spec fails here before it fails a real scraper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.filter import StatelessFilter
+from repro.core.rules import Action, FilterRule, FlowPattern
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    StageLatencyTracker,
+    TelemetryServer,
+    VARZ_SCHEMA,
+    http_get,
+)
+from repro.serve import (
+    LocalBackend,
+    PktgenSource,
+    ServeConfig,
+    ServeService,
+    ServeState,
+)
+
+from tests import promtext
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    registry = obs.set_registry(MetricsRegistry())
+    journal = obs.set_journal(EventJournal(enabled=True))
+    yield obs.get_journal()
+    obs.set_registry(registry)
+    obs.set_journal(journal)
+
+
+# -- the stage-latency tracker -------------------------------------------------
+
+
+def test_tracker_publishes_quantile_gauges():
+    registry = MetricsRegistry()
+    tracker = StageLatencyTracker()
+    for _ in range(100):
+        tracker.observe("filter", 0.010)
+    tracker.observe("filter", 1.0)
+    tracker.publish(registry)
+    text = registry.render_prometheus()
+    exposition = promtext.parse(text)
+    p50 = exposition.value(
+        "vif_serve_stage_latency_seconds", stage="filter", quantile="p50"
+    )
+    p999 = exposition.value(
+        "vif_serve_stage_latency_seconds", stage="filter", quantile="p999"
+    )
+    assert 0.008 <= p50 <= 0.012
+    assert p999 >= 0.5  # the 1s outlier dominates the extreme tail
+    assert (
+        exposition.value(
+            "vif_serve_stage_latency_count", stage="filter"
+        )
+        == 101
+    )
+    snap = tracker.snapshot()
+    assert snap["filter"]["count"] == 101
+
+
+def test_tracker_merge_folds_foreign_sketches():
+    ours = StageLatencyTracker()
+    theirs = StageLatencyTracker()
+    ours.observe("e2e", 0.5)
+    theirs.observe("e2e", 0.5)
+    theirs.observe("drain", 0.1)
+    ours.merge(theirs)
+    assert ours.sketch("e2e").count == 2
+    assert ours.sketch("drain").count == 1
+
+
+# -- the HTTP server in isolation ---------------------------------------------
+
+
+def _serve_and_get(server: TelemetryServer, *paths: str):
+    """Start the server, GET each path, stop; returns the responses."""
+
+    async def scenario():
+        await server.start()
+        try:
+            out = []
+            for path in paths:
+                out.append(await http_get(server.host, server.port, path))
+            return out
+        finally:
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+def test_metrics_endpoint_parses_and_refresh_runs():
+    registry = MetricsRegistry()
+    registry.counter("vif_test_scrapes_total", help="scrapes").inc(0)
+    refreshed = []
+    server = TelemetryServer(
+        registry=registry,
+        refresh=lambda: refreshed.append(True),
+    )
+    ((status, headers, body),) = _serve_and_get(server, "/metrics")
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain; version=0.0.4")
+    exposition = promtext.parse(body.decode())
+    assert exposition.value("vif_test_scrapes_total") == 0
+    assert refreshed  # the pre-scrape hook ran
+
+
+def test_varz_healthz_readyz_and_errors():
+    registry = MetricsRegistry()
+    server = TelemetryServer(
+        registry=registry,
+        health=lambda: (True, {"note": "alive"}),
+        ready=lambda: (False, {"reason": "warming up"}),
+        varz=lambda: {"label": "unit"},
+    )
+    responses = _serve_and_get(
+        server, "/varz", "/healthz", "/readyz", "/nope"
+    )
+    (varz_s, varz_h, varz_b) = responses[0]
+    assert varz_s == 200
+    varz = json.loads(varz_b.decode())
+    assert varz["schema"] == VARZ_SCHEMA
+    assert varz["service"] == {"label": "unit"}
+    assert "metrics" in varz
+
+    health_s, _, health_b = responses[1]
+    assert health_s == 200
+    assert json.loads(health_b.decode()) == {"ok": True, "note": "alive"}
+
+    ready_s, _, ready_b = responses[2]
+    assert ready_s == 503
+    assert json.loads(ready_b.decode()) == {
+        "ok": False,
+        "reason": "warming up",
+    }
+
+    assert responses[3][0] == 404
+
+
+def test_non_get_method_rejected():
+    server = TelemetryServer(registry=MetricsRegistry())
+
+    async def scenario():
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            status_line = await reader.readline()
+            writer.close()
+            return status_line
+        finally:
+            await server.stop()
+
+    status_line = asyncio.run(scenario())
+    assert b"405" in status_line
+
+
+def test_ephemeral_port_resolves_and_stop_refuses_connections():
+    server = TelemetryServer(registry=MetricsRegistry(), port=0)
+
+    async def scenario():
+        await server.start()
+        port = server.port
+        assert port != 0
+        status, _, _ = await http_get(server.host, port, "/metrics")
+        assert status == 200
+        await server.stop()
+        with pytest.raises(OSError):
+            await http_get(server.host, port, "/metrics", timeout=0.5)
+
+    asyncio.run(scenario())
+
+
+# -- wired into the serve runtime ---------------------------------------------
+
+
+def _local_backend() -> LocalBackend:
+    filt = StatelessFilter(secret="vif-telemetry-test")
+    rule = FilterRule(
+        rule_id=1,
+        pattern=FlowPattern(dst_prefix="203.0.100.0/24"),
+        action=Action.DROP,
+        requested_by="victim.example",
+    )
+    filt.install_rule(rule)
+    return LocalBackend(filt)
+
+
+def test_serve_endpoints_live_and_degraded_hold_flips_readyz():
+    source = PktgenSource(
+        _local_backend().filter.installed_rules(),
+        packets_per_rule=2,
+        background_packets=1,
+        total_bursts=400,
+    )
+    config = ServeConfig(
+        heartbeat_deadline_s=1.0,
+        watchdog_interval_s=0.02,
+        shed_timeout_s=0.1,
+        telemetry_port=0,
+    )
+    service = ServeService(source, _local_backend(), config=config)
+
+    async def scenario():
+        await service.start()
+        try:
+            telemetry = service.telemetry
+            assert telemetry is not None and telemetry.running
+
+            status, _, body = await http_get(
+                telemetry.host, telemetry.port, "/healthz"
+            )
+            assert status == 200
+            assert json.loads(body.decode())["watchdog_alive"] is True
+
+            status, _, body = await http_get(
+                telemetry.host, telemetry.port, "/readyz"
+            )
+            assert status == 200
+            detail = json.loads(body.decode())
+            assert detail["state"] == "serving"
+            assert detail["degraded"] is False
+
+            # A stage restart arms the degraded hold; /readyz flips to 503
+            # (while /healthz stays 200 — the watchdog is doing its job)
+            # and recovers once the hold expires.
+            loop = asyncio.get_running_loop()
+            service._degraded_until = loop.time() + 0.3
+            status, _, body = await http_get(
+                telemetry.host, telemetry.port, "/readyz"
+            )
+            assert status == 503
+            assert json.loads(body.decode())["degraded"] is True
+            status, _, _ = await http_get(
+                telemetry.host, telemetry.port, "/healthz"
+            )
+            assert status == 200
+
+            deadline = loop.time() + 5.0
+            while loop.time() < deadline:
+                status, _, _ = await http_get(
+                    telemetry.host, telemetry.port, "/readyz"
+                )
+                if status == 200:
+                    break
+                await asyncio.sleep(0.02)
+            assert status == 200, "readyz never recovered after the hold"
+
+            # /metrics from the live service parses and carries the stage
+            # latency gauges the refresh hook publishes.
+            status, _, body = await http_get(
+                telemetry.host, telemetry.port, "/metrics"
+            )
+            assert status == 200
+            exposition = promtext.parse(body.decode())
+            families = {s.name for s in exposition.samples}
+            assert "vif_serve_stage_latency_seconds" in families
+
+            status, _, body = await http_get(
+                telemetry.host, telemetry.port, "/varz"
+            )
+            varz = json.loads(body.decode())
+            assert varz["schema"] == VARZ_SCHEMA
+            assert varz["service"]["state"] == "serving"
+            assert "stage_latency" in varz["service"]
+
+            host, port = telemetry.host, telemetry.port
+        finally:
+            report = await service.drain()
+        assert report.unaccounted == 0
+        # Drain stops the endpoint with the service.
+        with pytest.raises(OSError):
+            await http_get(host, port, "/healthz", timeout=0.5)
+
+    asyncio.run(scenario())
+
+
+def test_stage_restart_arms_the_degraded_hold():
+    """The real path: a hung stage is restarted by the watchdog and the
+    restart stamps ``_degraded_until`` into the future."""
+    source = PktgenSource(
+        _local_backend().filter.installed_rules(),
+        packets_per_rule=2,
+        background_packets=1,
+        total_bursts=2000,
+    )
+    config = ServeConfig(
+        heartbeat_deadline_s=0.2,
+        watchdog_interval_s=0.02,
+        shed_timeout_s=0.1,
+        readiness_hold_s=5.0,
+    )
+    async def scenario():
+        hung = {"armed": True}
+
+        async def chaos(stage: str, burst_index: int) -> None:
+            if stage == "filter" and hung.pop("armed", None):
+                await asyncio.sleep(10.0)  # cancelled by the watchdog
+
+        service = ServeService(
+            source, _local_backend(), config=config, chaos=chaos
+        )
+        await service.start()
+        try:
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while service.stage_restarts.get("filter", 0) == 0:
+                assert (
+                    asyncio.get_running_loop().time() < deadline
+                ), "watchdog never restarted the hung stage"
+                await asyncio.sleep(0.01)
+            now = asyncio.get_running_loop().time()
+            assert service._degraded_until > now
+            ok, detail = service._ready_status()
+            assert ok is False and detail["degraded"] is True
+        finally:
+            await service.drain()
+
+    asyncio.run(scenario())
